@@ -1,0 +1,428 @@
+//! Analytical model of the backend matrix engine (paper Sec. VI, Fig. 15).
+//!
+//! The three variation-contributing kernels — registration's projection,
+//! VIO's Kalman gain, and SLAM's marginalization — decompose into five
+//! shared building blocks (Table I): multiplication, decomposition,
+//! inverse, transpose and forward/backward substitution. The engine
+//! executes blocks of the operands on a `B×B` systolic array ("the compute
+//! units have to support computations for only a block"), with two
+//! structural optimizations from Sec. VI-A: the symmetric innovation
+//! matrix `S` costs half, and the marginalization `A_mm` inverse reduces
+//! to reciprocals plus one small 6×6 inversion.
+
+use crate::platform::Platform;
+
+/// The five building blocks of paper Table I.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum MatrixOp {
+    /// Dense multiply `m×k · k×n`. `symmetric_output` halves the work
+    /// (e.g. `H·P·Hᵀ`).
+    Multiply {
+        /// Rows of the left operand.
+        m: usize,
+        /// Shared (inner) dimension.
+        k: usize,
+        /// Columns of the right operand.
+        n: usize,
+        /// Whether only one triangle must be computed.
+        symmetric_output: bool,
+    },
+    /// Cholesky-style decomposition of an `n×n` matrix.
+    Decompose {
+        /// Matrix dimension.
+        n: usize,
+    },
+    /// Inverse of an `n×n` matrix. `structured` models the specialized
+    /// marginalization path (diagonal block + 6×6 core).
+    Inverse {
+        /// Matrix dimension.
+        n: usize,
+        /// Use the reciprocal + 6×6 specialization.
+        structured: bool,
+    },
+    /// Transpose of an `m×n` matrix.
+    Transpose {
+        /// Rows.
+        m: usize,
+        /// Columns.
+        n: usize,
+    },
+    /// Forward/backward substitution on an `n×n` triangular system with
+    /// `rhs` right-hand sides.
+    Substitution {
+        /// Triangular dimension.
+        n: usize,
+        /// Number of right-hand-side columns.
+        rhs: usize,
+    },
+}
+
+impl MatrixOp {
+    /// Cycle cost on a `block × block` compute array.
+    pub fn cycles(&self, block: usize) -> f64 {
+        let b2 = (block * block) as f64;
+        let fill = 2.0 * block as f64; // array fill/drain per pass
+        match *self {
+            MatrixOp::Multiply {
+                m,
+                k,
+                n,
+                symmetric_output,
+            } => {
+                let macs = (m * k * n) as f64 * if symmetric_output { 0.5 } else { 1.0 };
+                macs / b2 + fill
+            }
+            // Cholesky has a sequential dependency chain along the
+            // diagonal: n³/3 MACs at ~half array efficiency.
+            MatrixOp::Decompose { n } => (n * n * n) as f64 / 3.0 / (b2 * 0.5) + fill,
+            MatrixOp::Inverse { n, structured } => {
+                if structured {
+                    // Reciprocal per diagonal entry + a fixed 6×6 core +
+                    // the coupling products.
+                    n as f64 + 220.0
+                } else {
+                    (n * n * n) as f64 / (b2 * 0.5) + fill
+                }
+            }
+            MatrixOp::Transpose { m, n } => (m * n) as f64 / block as f64 + fill,
+            // Triangular solves: n²/2 MACs per RHS, sequential chain.
+            MatrixOp::Substitution { n, rhs } => {
+                (n * n * rhs) as f64 / 2.0 / (b2 * 0.5) + fill
+            }
+        }
+    }
+
+    /// The Table I row this op belongs to.
+    pub fn block_name(&self) -> &'static str {
+        match self {
+            MatrixOp::Multiply { .. } => "Matrix Multiplication",
+            MatrixOp::Decompose { .. } => "Matrix Decomposition",
+            MatrixOp::Inverse { .. } => "Matrix Inverse",
+            MatrixOp::Transpose { .. } => "Matrix Transpose",
+            MatrixOp::Substitution { .. } => "Fwd./Bwd. Substitution",
+        }
+    }
+}
+
+/// The three offloadable backend kernels (paper Sec. VI-A).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BackendKernelKind {
+    /// Registration: camera-model projection `C(3×4) · X(4×M)`.
+    Projection,
+    /// VIO: Kalman gain `S·K = P·Hᵀ` (Eq. 1).
+    KalmanGain,
+    /// SLAM: Schur-complement marginalization
+    /// `A_rr − A_rm·A_mm⁻¹·A_mr` (Fig. 15).
+    Marginalization,
+}
+
+impl BackendKernelKind {
+    /// All three kernels.
+    pub const ALL: [BackendKernelKind; 3] = [
+        BackendKernelKind::Projection,
+        BackendKernelKind::KalmanGain,
+        BackendKernelKind::Marginalization,
+    ];
+
+    /// Paper display name.
+    pub fn paper_name(self) -> &'static str {
+        match self {
+            BackendKernelKind::Projection => "Projection",
+            BackendKernelKind::KalmanGain => "Kalman Gain",
+            BackendKernelKind::Marginalization => "Marginalization",
+        }
+    }
+}
+
+/// Problem dimensions for one kernel invocation.
+#[derive(Debug, Clone, Copy)]
+pub enum KernelDims {
+    /// `M` map points to project.
+    Projection {
+        /// Number of homogeneous points (columns of `X`).
+        map_points: usize,
+    },
+    /// Measurement rows and state dimension.
+    KalmanGain {
+        /// Rows of `H` (2× the key points used, post-compression).
+        rows: usize,
+        /// Error-state dimension (15 + 6 × window).
+        state: usize,
+    },
+    /// Marginalized block structure.
+    Marginalization {
+        /// Landmarks being marginalized (the diagonal `A` block is
+        /// `3k × 3k`).
+        landmarks: usize,
+        /// Remaining (kept) pose dimensions.
+        remaining: usize,
+    },
+}
+
+impl KernelDims {
+    /// Which kernel these dimensions describe.
+    pub fn kind(&self) -> BackendKernelKind {
+        match self {
+            KernelDims::Projection { .. } => BackendKernelKind::Projection,
+            KernelDims::KalmanGain { .. } => BackendKernelKind::KalmanGain,
+            KernelDims::Marginalization { .. } => BackendKernelKind::Marginalization,
+        }
+    }
+
+    /// The scalar workload size the scheduler regresses on (map points /
+    /// measurement rows / feature points — paper Fig. 16).
+    pub fn size(&self) -> usize {
+        match *self {
+            KernelDims::Projection { map_points } => map_points,
+            KernelDims::KalmanGain { rows, .. } => rows,
+            KernelDims::Marginalization { landmarks, .. } => landmarks,
+        }
+    }
+
+    /// Decomposes the kernel into Table I building blocks.
+    pub fn decompose(&self) -> Vec<MatrixOp> {
+        match *self {
+            // Projection: C(3×4) · X(4×M) — one multiply (plus the
+            // transpose of the point array into homogeneous columns).
+            KernelDims::Projection { map_points } => vec![
+                MatrixOp::Transpose { m: map_points, n: 4 },
+                MatrixOp::Multiply {
+                    m: 3,
+                    k: 4,
+                    n: map_points,
+                    symmetric_output: false,
+                },
+            ],
+            // Kalman gain (Eq. 1): S = H·P·Hᵀ + R (symmetric), then solve
+            // S·K' = (P·Hᵀ)' via decomposition + fwd/bwd substitution.
+            KernelDims::KalmanGain { rows, state } => vec![
+                MatrixOp::Transpose { m: rows, n: state },
+                MatrixOp::Multiply {
+                    m: state,
+                    k: state,
+                    n: rows,
+                    symmetric_output: false,
+                }, // P·Hᵀ
+                MatrixOp::Multiply {
+                    m: rows,
+                    k: state,
+                    n: rows,
+                    symmetric_output: true,
+                }, // H·(P·Hᵀ), symmetric S
+                MatrixOp::Decompose { n: rows },
+                MatrixOp::Substitution { n: rows, rhs: state },
+                MatrixOp::Substitution { n: rows, rhs: state },
+            ],
+            // Marginalization: A_mm⁻¹ (structured), A_rm·A_mm⁻¹,
+            // (A_rm·A_mm⁻¹)·A_mr (symmetric), subtract — all five blocks
+            // appear across the sequence (Table I row "Marginalization").
+            KernelDims::Marginalization {
+                landmarks,
+                remaining,
+            } => {
+                let m = 3 * landmarks + 6;
+                vec![
+                    MatrixOp::Inverse {
+                        n: m,
+                        structured: true,
+                    },
+                    MatrixOp::Transpose { m, n: remaining },
+                    MatrixOp::Multiply {
+                        m: remaining,
+                        k: m,
+                        n: m,
+                        symmetric_output: false,
+                    }, // A_rm·A_mm⁻¹
+                    MatrixOp::Multiply {
+                        m: remaining,
+                        k: m,
+                        n: remaining,
+                        symmetric_output: true,
+                    }, // ·A_mr
+                    MatrixOp::Decompose { n: remaining },
+                    MatrixOp::Substitution {
+                        n: remaining,
+                        rhs: 1,
+                    },
+                ]
+            }
+        }
+    }
+
+    /// Bytes moved to/from the accelerator for this invocation (the DMA
+    /// cost the runtime scheduler weighs, Sec. VI-B).
+    pub fn transfer_bytes(&self) -> usize {
+        match *self {
+            KernelDims::Projection { map_points } => {
+                // X in (4×M doubles) + projected pixels out (2×M).
+                map_points * 4 * 8 + map_points * 2 * 8
+            }
+            KernelDims::KalmanGain { rows, state } => {
+                // H (rows×state), P (state×state, symmetric → half), R
+                // diag, K out (state×rows).
+                rows * state * 8 + state * state * 4 + rows * 8 + state * rows * 8
+            }
+            KernelDims::Marginalization {
+                landmarks,
+                remaining,
+            } => {
+                let m = 3 * landmarks + 6;
+                // A_mm (structured: diagonal + 6×6 + coupling), A_rm,
+                // A_rr in; prior out.
+                m * 8 + 36 * 8 + m * remaining * 8 * 2 + remaining * remaining * 8
+            }
+        }
+    }
+}
+
+/// The backend accelerator instance.
+#[derive(Debug, Clone, Copy)]
+pub struct BackendEngine {
+    platform: Platform,
+}
+
+impl BackendEngine {
+    /// Creates an engine on the given platform.
+    pub fn new(platform: Platform) -> Self {
+        BackendEngine { platform }
+    }
+
+    /// The platform this engine models.
+    pub fn platform(&self) -> &Platform {
+        &self.platform
+    }
+
+    /// Compute-only latency (seconds) of one kernel invocation.
+    pub fn compute_time(&self, dims: &KernelDims) -> f64 {
+        let cycles: f64 = dims
+            .decompose()
+            .iter()
+            .map(|op| op.cycles(self.platform.matrix_block))
+            .sum();
+        cycles * self.platform.cycle_time()
+    }
+
+    /// End-to-end offload latency: host→FPGA DMA + compute + FPGA→host DMA
+    /// (the paper's three-transfers-per-frame protocol, Sec. VII-A).
+    pub fn offload_time(&self, dims: &KernelDims) -> f64 {
+        self.platform.offload_overhead_s
+            + self.platform.bus.transfer_time(dims.transfer_bytes())
+            + self.compute_time(dims)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::platform::Platform;
+
+    #[test]
+    fn table1_block_membership() {
+        // Paper Table I: projection uses multiplication + transpose;
+        // Kalman gain adds decomposition + substitution; marginalization
+        // uses all five.
+        let names = |dims: KernelDims| -> std::collections::HashSet<&'static str> {
+            dims.decompose().iter().map(|op| op.block_name()).collect()
+        };
+        let proj = names(KernelDims::Projection { map_points: 100 });
+        assert!(proj.contains("Matrix Multiplication"));
+        assert!(!proj.contains("Matrix Inverse"));
+        assert!(!proj.contains("Matrix Decomposition"));
+
+        let kg = names(KernelDims::KalmanGain { rows: 60, state: 100 });
+        assert!(kg.contains("Matrix Multiplication"));
+        assert!(kg.contains("Matrix Decomposition"));
+        assert!(kg.contains("Fwd./Bwd. Substitution"));
+        assert!(kg.contains("Matrix Transpose"));
+        assert!(!kg.contains("Matrix Inverse"));
+
+        let marg = names(KernelDims::Marginalization {
+            landmarks: 30,
+            remaining: 30,
+        });
+        assert_eq!(marg.len(), 5, "marginalization uses all five blocks");
+    }
+
+    #[test]
+    fn projection_scales_linearly() {
+        let e = BackendEngine::new(Platform::edx_car());
+        let t1 = e.compute_time(&KernelDims::Projection { map_points: 1000 });
+        let t2 = e.compute_time(&KernelDims::Projection { map_points: 2000 });
+        let ratio = t2 / t1;
+        assert!((1.7..2.3).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn kalman_gain_grows_superlinearly_in_rows() {
+        let e = BackendEngine::new(Platform::edx_car());
+        let t1 = e.compute_time(&KernelDims::KalmanGain { rows: 50, state: 195 });
+        let t2 = e.compute_time(&KernelDims::KalmanGain { rows: 100, state: 195 });
+        assert!(t2 / t1 > 1.9, "ratio {}", t2 / t1);
+    }
+
+    #[test]
+    fn structured_inverse_beats_general() {
+        let structured = MatrixOp::Inverse {
+            n: 96,
+            structured: true,
+        };
+        let general = MatrixOp::Inverse {
+            n: 96,
+            structured: false,
+        };
+        assert!(structured.cycles(16) * 20.0 < general.cycles(16));
+    }
+
+    #[test]
+    fn symmetric_multiply_halves_cycles() {
+        let full = MatrixOp::Multiply {
+            m: 64,
+            k: 64,
+            n: 64,
+            symmetric_output: false,
+        };
+        let half = MatrixOp::Multiply {
+            m: 64,
+            k: 64,
+            n: 64,
+            symmetric_output: true,
+        };
+        assert!(half.cycles(16) < full.cycles(16) * 0.6);
+    }
+
+    #[test]
+    fn small_kernels_are_transfer_dominated() {
+        // Paper Sec. VI-B: offloading tiny marginalizations is not worth
+        // it; the model must show transfer dominating compute there.
+        let e = BackendEngine::new(Platform::edx_drone());
+        let dims = KernelDims::Marginalization {
+            landmarks: 2,
+            remaining: 12,
+        };
+        let compute = e.compute_time(&dims);
+        let total = e.offload_time(&dims);
+        assert!(total - compute > compute, "transfer should dominate");
+    }
+
+    #[test]
+    fn car_engine_is_faster_than_drone() {
+        let dims = KernelDims::KalmanGain { rows: 120, state: 195 };
+        let car = BackendEngine::new(Platform::edx_car()).compute_time(&dims);
+        let drone = BackendEngine::new(Platform::edx_drone()).compute_time(&dims);
+        assert!(car < drone, "car {car} vs drone {drone}");
+    }
+
+    #[test]
+    fn sizes_match_figure16_axes() {
+        assert_eq!(KernelDims::Projection { map_points: 500 }.size(), 500);
+        assert_eq!(KernelDims::KalmanGain { rows: 80, state: 99 }.size(), 80);
+        assert_eq!(
+            KernelDims::Marginalization {
+                landmarks: 44,
+                remaining: 30
+            }
+            .size(),
+            44
+        );
+    }
+}

@@ -1,0 +1,176 @@
+//! CPU/GPU/DSP baseline models behind paper Table III.
+//!
+//! The paper compares EDX-CAR against seven software configurations. We
+//! measure our own multi-core-equivalent implementation directly; the
+//! other baselines are modeled as documented latency transforms of that
+//! measurement, with factors taken from the paper's analysis: ROS adds
+//! inter-process messaging overhead per frame ("known to incur non-trivial
+//! overheads", Sec. IV-A — their framework is ~4 % faster plus IPC);
+//! single-core forgoes the multi-core/SIMD speedup; mobile GPUs pay a
+//! ~40 ms launch/setup cost per frame and handle the sparse backend poorly
+//! (Sec. VII-H); the DSP sits between CPU and GPU.
+
+/// The software baselines of Table III.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Baseline {
+    /// Single core, with ROS inter-process plumbing.
+    SingleCoreRos,
+    /// Single core, ROS removed.
+    SingleCore,
+    /// Four cores + SIMD, with ROS.
+    MultiCoreRos,
+    /// Four cores + SIMD, no ROS — the paper's (and our) reference.
+    MultiCore,
+    /// Adreno 530 mobile GPU + CPU.
+    AdrenoGpu,
+    /// Hexagon 680 DSP + CPU.
+    HexagonDsp,
+    /// Maxwell mobile GPU + CPU.
+    MaxwellGpu,
+}
+
+impl Baseline {
+    /// All baselines in Table III order.
+    pub const ALL: [Baseline; 7] = [
+        Baseline::SingleCoreRos,
+        Baseline::SingleCore,
+        Baseline::MultiCoreRos,
+        Baseline::MultiCore,
+        Baseline::AdrenoGpu,
+        Baseline::HexagonDsp,
+        Baseline::MaxwellGpu,
+    ];
+
+    /// Display name matching the paper's table.
+    pub fn paper_name(self) -> &'static str {
+        match self {
+            Baseline::SingleCoreRos => "Single-core w/ ROS",
+            Baseline::SingleCore => "Single-core w/o ROS",
+            Baseline::MultiCoreRos => "Multi-core w/ ROS",
+            Baseline::MultiCore => "Multi-core w/o ROS (Our baseline)",
+            Baseline::AdrenoGpu => "Adreno 530 mobile GPU + CPU",
+            Baseline::HexagonDsp => "Hexagon 680 DSP + CPU",
+            Baseline::MaxwellGpu => "Maxwell mobile GPU + CPU",
+        }
+    }
+}
+
+/// Latency model of one baseline relative to the measured multi-core
+/// reference.
+#[derive(Debug, Clone, Copy)]
+pub struct BaselineModel {
+    /// Multiplier on compute time.
+    pub compute_factor: f64,
+    /// Fixed per-frame overhead (seconds): IPC for ROS, kernel
+    /// launch/setup for the GPUs.
+    pub fixed_overhead_s: f64,
+}
+
+impl BaselineModel {
+    /// The model for one baseline.
+    pub fn for_baseline(b: Baseline) -> BaselineModel {
+        match b {
+            // Four cores + SIMD buy ≈1.57× over single core on this
+            // pipeline (frontend parallelizes, backend's sparse solves
+            // do not).
+            Baseline::SingleCoreRos => BaselineModel {
+                compute_factor: 1.57,
+                fixed_overhead_s: 0.010,
+            },
+            Baseline::SingleCore => BaselineModel {
+                compute_factor: 1.57,
+                fixed_overhead_s: 0.0,
+            },
+            Baseline::MultiCoreRos => BaselineModel {
+                compute_factor: 1.0,
+                fixed_overhead_s: 0.010,
+            },
+            Baseline::MultiCore => BaselineModel {
+                compute_factor: 1.0,
+                fixed_overhead_s: 0.0,
+            },
+            // Mobile GPU: vision kernels offload but sparse backend
+            // regresses; 40 ms launch/setup per frame (Sec. VII-H).
+            Baseline::AdrenoGpu => BaselineModel {
+                compute_factor: 1.7,
+                fixed_overhead_s: 0.040,
+            },
+            Baseline::HexagonDsp => BaselineModel {
+                compute_factor: 1.15,
+                fixed_overhead_s: 0.005,
+            },
+            Baseline::MaxwellGpu => BaselineModel {
+                compute_factor: 1.0,
+                fixed_overhead_s: 0.020,
+            },
+        }
+    }
+
+    /// Frame latency of this baseline given the measured multi-core frame
+    /// latency.
+    pub fn frame_latency(&self, multicore_seconds: f64) -> f64 {
+        multicore_seconds * self.compute_factor + self.fixed_overhead_s
+    }
+}
+
+/// Computes the Table III speedup column: `baseline latency / eudoxus
+/// latency` for each baseline, given the measured multi-core frame time
+/// and the accelerated frame time.
+pub fn table3_speedups(multicore_seconds: f64, eudoxus_seconds: f64) -> Vec<(Baseline, f64)> {
+    Baseline::ALL
+        .iter()
+        .map(|&b| {
+            let lat = BaselineModel::for_baseline(b).frame_latency(multicore_seconds);
+            (b, lat / eudoxus_seconds)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordering_matches_paper_table3() {
+        // Paper Table III speedups over each baseline: single-core w/ ROS
+        // (3.5) > single-core (3.3) > DSP (2.5) ≥ multi-core w/ ROS (2.2)
+        // > our baseline (2.1); Adreno is the slowest baseline (4.4).
+        let rows = table3_speedups(0.105, 0.050);
+        let get = |b: Baseline| rows.iter().find(|(x, _)| *x == b).unwrap().1;
+        assert!(get(Baseline::SingleCoreRos) > get(Baseline::SingleCore));
+        assert!(get(Baseline::SingleCore) > get(Baseline::MultiCoreRos));
+        assert!(get(Baseline::MultiCoreRos) > get(Baseline::MultiCore));
+        assert!(get(Baseline::AdrenoGpu) > get(Baseline::SingleCoreRos));
+        assert!(get(Baseline::HexagonDsp) > get(Baseline::MultiCore));
+        assert!(get(Baseline::MaxwellGpu) > get(Baseline::MultiCore));
+    }
+
+    #[test]
+    fn reference_speedup_is_identity_factor() {
+        let rows = table3_speedups(0.1, 0.1);
+        let ours = rows
+            .iter()
+            .find(|(b, _)| *b == Baseline::MultiCore)
+            .unwrap()
+            .1;
+        assert!((ours - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gpu_overhead_dominates_at_small_frames() {
+        // For short frames the 40 ms launch cost makes the GPU far worse
+        // than the CPU (the paper's explanation for GPUs losing).
+        let cpu = BaselineModel::for_baseline(Baseline::MultiCore).frame_latency(0.03);
+        let gpu = BaselineModel::for_baseline(Baseline::AdrenoGpu).frame_latency(0.03);
+        assert!(gpu > cpu * 2.0);
+    }
+
+    #[test]
+    fn paper_names_are_stable() {
+        assert_eq!(
+            Baseline::MultiCore.paper_name(),
+            "Multi-core w/o ROS (Our baseline)"
+        );
+        assert_eq!(Baseline::ALL.len(), 7);
+    }
+}

@@ -1,0 +1,131 @@
+//! Per-frame energy model (paper Fig. 19).
+//!
+//! Baseline (CPU-only) frames burn host busy power for the whole frame.
+//! Accelerated frames split the time between FPGA blocks (static +
+//! dynamic power) and the residual host-side backend work; the host idles
+//! (at a fraction of busy power) while the FPGA runs. The paper reports
+//! 1.9 J → 0.5 J per frame on EDX-CAR (−73.7 %) and 0.8 J → 0.4 J on
+//! EDX-DRONE (−47.4 %), the drone saving less because FPGA static power
+//! stands out once dynamic power is small (Sec. VII-C).
+
+use crate::platform::Platform;
+
+/// Energy accounting for one frame (joules).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FrameEnergy {
+    /// Host CPU energy.
+    pub host_j: f64,
+    /// FPGA static energy (entire frame period — the fabric is powered
+    /// regardless).
+    pub fpga_static_j: f64,
+    /// FPGA dynamic energy (only while blocks are active).
+    pub fpga_dynamic_j: f64,
+}
+
+impl FrameEnergy {
+    /// Total joules.
+    pub fn total(&self) -> f64 {
+        self.host_j + self.fpga_static_j + self.fpga_dynamic_j
+    }
+}
+
+/// The platform energy model.
+#[derive(Debug, Clone, Copy)]
+pub struct EnergyModel {
+    platform: Platform,
+    /// Host idle power as a fraction of busy power.
+    idle_fraction: f64,
+}
+
+impl EnergyModel {
+    /// Creates the model for a platform.
+    pub fn new(platform: Platform) -> Self {
+        EnergyModel {
+            platform,
+            idle_fraction: 0.1,
+        }
+    }
+
+    /// Energy of a CPU-only (baseline) frame of the given latency.
+    pub fn baseline_frame(&self, frame_seconds: f64) -> FrameEnergy {
+        FrameEnergy {
+            host_j: self.platform.host_power_w * frame_seconds,
+            fpga_static_j: 0.0,
+            fpga_dynamic_j: 0.0,
+        }
+    }
+
+    /// Energy of an accelerated frame: `fpga_seconds` on the fabric,
+    /// `host_seconds` of remaining software, over a total frame period of
+    /// `frame_seconds`.
+    pub fn accelerated_frame(
+        &self,
+        frame_seconds: f64,
+        fpga_seconds: f64,
+        host_seconds: f64,
+    ) -> FrameEnergy {
+        let host_busy = self.platform.host_power_w * host_seconds;
+        let host_idle =
+            self.platform.host_power_w * self.idle_fraction * (frame_seconds - host_seconds).max(0.0);
+        FrameEnergy {
+            host_j: host_busy + host_idle,
+            fpga_static_j: self.platform.static_power_w * frame_seconds,
+            fpga_dynamic_j: self.platform.dynamic_power_w * fpga_seconds,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::platform::Platform;
+
+    #[test]
+    fn acceleration_saves_energy_at_paper_scale() {
+        // Car: baseline ≈ 105 ms/frame all-CPU vs accelerated ≈ 50 ms
+        // (frontend on FPGA ~40 ms, host backend ~10 ms).
+        let m = EnergyModel::new(Platform::edx_car());
+        let base = m.baseline_frame(0.105);
+        let accel = m.accelerated_frame(0.050, 0.040, 0.010);
+        let saving = 1.0 - accel.total() / base.total();
+        assert!(
+            (0.40..0.85).contains(&saving),
+            "saving {saving} (base {} J, accel {} J)",
+            base.total(),
+            accel.total()
+        );
+    }
+
+    #[test]
+    fn drone_saving_is_smaller_than_car() {
+        // Paper Sec. VII-C: the drone's saving (47 %) is below the car's
+        // (74 %) because static power dominates.
+        let car = EnergyModel::new(Platform::edx_car());
+        let car_saving = 1.0
+            - car.accelerated_frame(0.050, 0.040, 0.010).total()
+                / car.baseline_frame(0.105).total();
+        let drone = EnergyModel::new(Platform::edx_drone());
+        let drone_saving = 1.0
+            - drone.accelerated_frame(0.045, 0.035, 0.010).total()
+                / drone.baseline_frame(0.143).total();
+        assert!(car_saving > drone_saving, "car {car_saving} drone {drone_saving}");
+        assert!(drone_saving > 0.2, "drone still saves: {drone_saving}");
+    }
+
+    #[test]
+    fn static_power_accrues_for_whole_frame() {
+        let drone = Platform::edx_drone();
+        let m = EnergyModel::new(drone);
+        let e = m.accelerated_frame(0.1, 0.01, 0.01);
+        assert!((e.fpga_static_j - drone.static_power_w * 0.1).abs() < 1e-12);
+        assert!((e.fpga_dynamic_j - drone.dynamic_power_w * 0.01).abs() < 1e-12);
+    }
+
+    #[test]
+    fn baseline_scales_linearly_with_time() {
+        let m = EnergyModel::new(Platform::edx_car());
+        let e1 = m.baseline_frame(0.05).total();
+        let e2 = m.baseline_frame(0.10).total();
+        assert!((e2 - 2.0 * e1).abs() < 1e-12);
+    }
+}

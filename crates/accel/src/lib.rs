@@ -1,0 +1,46 @@
+//! Analytical model of the Eudoxus FPGA accelerator.
+//!
+//! The paper prototypes Eudoxus on two FPGAs — a Virtex-7 board for the
+//! self-driving car (EDX-CAR) and a Zynq Ultrascale+ for drones
+//! (EDX-DRONE) — neither of which is available here, so this crate
+//! implements the substitution DESIGN.md §1 documents: a calibrated,
+//! cycle-based analytical model of the architecture in paper Secs. V–VI.
+//! The *structural* claims are all modeled explicitly:
+//!
+//! * [`frontend_engine`] — the frontend task pipeline (FD/IF/FC → MO/DR,
+//!   DC/LSS), with feature-extraction hardware time-shared between the two
+//!   camera streams and optional FE↔SM pipelining (Sec. V-B);
+//! * [`stencil`] — stencil-buffer sizing and the replication-vs-sharing
+//!   trade-off of Fig. 14 (Sec. V-C);
+//! * [`backend_engine`] — the five matrix building blocks of Table I and
+//!   Fig. 15, with blocked execution, the symmetric-S optimization and the
+//!   specialized `A_mm` inversion (Sec. VI-A);
+//! * [`scheduler`] — the regression-based runtime offload scheduler
+//!   (Sec. VI-B);
+//! * [`resources`] — LUT/FF/DSP/BRAM accounting with and without sharing
+//!   (Table II);
+//! * [`energy`] — per-frame energy (Fig. 19);
+//! * [`baselines`] — the CPU/GPU/DSP comparison models behind Table III;
+//! * [`platform`] — the EDX-CAR and EDX-DRONE configurations.
+
+pub mod backend_engine;
+pub mod baselines;
+pub mod energy;
+pub mod frontend_engine;
+pub mod memory;
+pub mod platform;
+pub mod resources;
+pub mod scheduler;
+pub mod stencil;
+pub mod workload;
+
+pub use backend_engine::{BackendEngine, BackendKernelKind, KernelDims, MatrixOp};
+pub use baselines::{Baseline, BaselineModel};
+pub use energy::{EnergyModel, FrameEnergy};
+pub use frontend_engine::{FrontendEngine, FrontendLatency};
+pub use memory::MemoryReport;
+pub use platform::{Platform, PlatformKind};
+pub use resources::{ResourceReport, ResourceVector};
+pub use scheduler::{OffloadDecision, RuntimeScheduler, TrainingSample};
+pub use stencil::{SbPlan, SbStrategy, StencilConsumer};
+pub use workload::FrameWorkload;

@@ -1,0 +1,138 @@
+//! Platform configurations for the two FPGA prototypes.
+
+/// Which prototype (paper Sec. VII-A).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PlatformKind {
+    /// EDX-CAR: Virtex-7 XC7V690T + four-core Kaby Lake host over PCIe 3.0.
+    EdxCar,
+    /// EDX-DRONE: Zynq Ultrascale+ ZU9CG (quad A53 + FPGA on one chip,
+    /// AXI4 interconnect).
+    EdxDrone,
+}
+
+/// Host↔accelerator interconnect model.
+#[derive(Debug, Clone, Copy)]
+pub struct BusModel {
+    /// Sustained bandwidth (bytes/second).
+    pub bandwidth: f64,
+    /// Per-transfer latency (seconds).
+    pub latency: f64,
+}
+
+impl BusModel {
+    /// Time to move `bytes` across the bus.
+    pub fn transfer_time(&self, bytes: usize) -> f64 {
+        self.latency + bytes as f64 / self.bandwidth
+    }
+}
+
+/// One accelerator platform instance.
+#[derive(Debug, Clone, Copy)]
+pub struct Platform {
+    /// Which prototype this is.
+    pub kind: PlatformKind,
+    /// FPGA fabric clock (Hz).
+    pub clock_hz: f64,
+    /// Host link (paper: PCIe 3.0 at 7.9 GB/s for the car, AXI4 at
+    /// 1.2 GB/s for the drone).
+    pub bus: BusModel,
+    /// Input resolution (width, height).
+    pub resolution: (u32, u32),
+    /// Matrix-engine block edge (the car instance "uses a larger matrix
+    /// multiplication/decomposition unit", Sec. VII-A).
+    pub matrix_block: usize,
+    /// Pixels the FD/IF pipelines consume per cycle.
+    pub pixels_per_cycle: usize,
+    /// FPGA static power (W).
+    pub static_power_w: f64,
+    /// FPGA dynamic power at full activity (W).
+    pub dynamic_power_w: f64,
+    /// Host CPU busy power for the software portions (W).
+    pub host_power_w: f64,
+    /// Per-offload driver/doorbell overhead (seconds) for backend kernel
+    /// offloads — the three host↔FPGA round trips per frame the paper
+    /// describes go through the OS driver, unlike the frontend's streaming
+    /// DMA.
+    pub offload_overhead_s: f64,
+}
+
+impl Platform {
+    /// The self-driving-car prototype.
+    pub fn edx_car() -> Platform {
+        Platform {
+            kind: PlatformKind::EdxCar,
+            clock_hz: 200e6,
+            bus: BusModel {
+                bandwidth: 7.9e9,
+                latency: 8e-6,
+            },
+            resolution: (1280, 720),
+            matrix_block: 16,
+            pixels_per_cycle: 2,
+            static_power_w: 3.0,
+            dynamic_power_w: 9.0,
+            host_power_w: 18.0,
+            offload_overhead_s: 3e-4,
+        }
+    }
+
+    /// The drone prototype.
+    pub fn edx_drone() -> Platform {
+        Platform {
+            kind: PlatformKind::EdxDrone,
+            clock_hz: 150e6,
+            bus: BusModel {
+                bandwidth: 1.2e9,
+                latency: 3e-6,
+            },
+            resolution: (640, 480),
+            matrix_block: 8,
+            pixels_per_cycle: 2,
+            static_power_w: 4.0,
+            dynamic_power_w: 3.5,
+            host_power_w: 6.0,
+            offload_overhead_s: 2e-4,
+        }
+    }
+
+    /// Pixels per frame at this platform's resolution.
+    pub fn pixels(&self) -> usize {
+        (self.resolution.0 as usize) * (self.resolution.1 as usize)
+    }
+
+    /// Seconds per fabric cycle.
+    pub fn cycle_time(&self) -> f64 {
+        1.0 / self.clock_hz
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn car_outmuscles_drone() {
+        let car = Platform::edx_car();
+        let drone = Platform::edx_drone();
+        assert!(car.clock_hz > drone.clock_hz);
+        assert!(car.bus.bandwidth > drone.bus.bandwidth);
+        assert!(car.matrix_block > drone.matrix_block);
+        assert!(car.pixels() > drone.pixels());
+    }
+
+    #[test]
+    fn transfer_time_scales_with_bytes() {
+        let bus = Platform::edx_car().bus;
+        let small = bus.transfer_time(1024);
+        let big = bus.transfer_time(1024 * 1024);
+        assert!(big > small);
+        // 1 MiB over 7.9 GB/s ≈ 0.13 ms.
+        assert!((big - 8e-6 - 1048576.0 / 7.9e9).abs() < 1e-12);
+    }
+
+    #[test]
+    fn resolutions_match_paper() {
+        assert_eq!(Platform::edx_car().resolution, (1280, 720));
+        assert_eq!(Platform::edx_drone().resolution, (640, 480));
+    }
+}

@@ -1,0 +1,253 @@
+//! FPGA resource accounting (paper Table II).
+//!
+//! Per-block LUT/FF/DSP/BRAM costs, calibrated so the shared design lands
+//! near the paper's reported totals, plus the "N.S." (no-sharing)
+//! hypothetical: instantiating the frontend per mode and dedicated
+//! backend logic per kernel "would more than double" every resource and
+//! exceed both boards (Sec. VII-B).
+
+use crate::platform::{Platform, PlatformKind};
+
+/// One resource vector: LUTs, flip-flops, DSP slices, BRAM megabytes.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct ResourceVector {
+    /// Look-up tables.
+    pub lut: f64,
+    /// Flip-flops.
+    pub ff: f64,
+    /// DSP slices.
+    pub dsp: f64,
+    /// Block RAM, in megabytes.
+    pub bram_mb: f64,
+}
+
+impl ResourceVector {
+    /// Element-wise sum.
+    pub fn plus(self, o: ResourceVector) -> ResourceVector {
+        ResourceVector {
+            lut: self.lut + o.lut,
+            ff: self.ff + o.ff,
+            dsp: self.dsp + o.dsp,
+            bram_mb: self.bram_mb + o.bram_mb,
+        }
+    }
+
+    /// Element-wise scale.
+    pub fn times(self, s: f64) -> ResourceVector {
+        ResourceVector {
+            lut: self.lut * s,
+            ff: self.ff * s,
+            dsp: self.dsp * s,
+            bram_mb: self.bram_mb * s,
+        }
+    }
+}
+
+/// Board capacity.
+#[derive(Debug, Clone, Copy)]
+pub struct BoardCapacity {
+    /// Board display name.
+    pub name: &'static str,
+    /// Available resources.
+    pub available: ResourceVector,
+}
+
+/// Capacity of the platform's FPGA (Virtex-7 XC7V690T / Zynq ZU9CG).
+pub fn board_capacity(kind: PlatformKind) -> BoardCapacity {
+    match kind {
+        PlatformKind::EdxCar => BoardCapacity {
+            name: "Virtex-7",
+            available: ResourceVector {
+                lut: 433_200.0,
+                ff: 866_400.0,
+                dsp: 3_600.0,
+                bram_mb: 6.6, // 52.9 Mb of BRAM
+            },
+        },
+        PlatformKind::EdxDrone => BoardCapacity {
+            name: "Zynq",
+            available: ResourceVector {
+                lut: 274_080.0,
+                ff: 548_160.0,
+                dsp: 2_520.0,
+                bram_mb: 4.0, // 32.1 Mb of BRAM
+            },
+        },
+    }
+}
+
+/// Per-block costs for a platform (the car instance uses larger matrix
+/// units and buffers for its higher resolution, Sec. VII-A).
+fn block_costs(platform: &Platform) -> BlockCosts {
+    let scale = if platform.kind == PlatformKind::EdxCar {
+        1.0
+    } else {
+        0.66
+    };
+    BlockCosts {
+        feature_extraction: ResourceVector {
+            lut: 195_000.0,
+            ff: 99_000.0,
+            dsp: 690.0,
+            bram_mb: 2.45,
+        }
+        .times(scale),
+        stereo_matching: ResourceVector {
+            lut: 62_000.0,
+            ff: 33_000.0,
+            dsp: 190.0,
+            bram_mb: 0.85,
+        }
+        .times(scale),
+        temporal_matching: ResourceVector {
+            lut: 35_000.0,
+            ff: 17_000.0,
+            dsp: 150.0,
+            bram_mb: 0.38,
+        }
+        .times(scale),
+        // The five-block matrix engine, including its SPMs.
+        backend_engine: ResourceVector {
+            lut: 48_000.0,
+            ff: 78_000.0,
+            dsp: 230.0,
+            bram_mb: 1.22,
+        }
+        .times(scale),
+        // DMA, sensor interfaces, control.
+        misc: ResourceVector {
+            lut: 11_000.0,
+            ff: 12_500.0,
+            dsp: 24.0,
+            bram_mb: 0.1,
+        },
+    }
+}
+
+/// Costs of the major design blocks.
+#[derive(Debug, Clone, Copy)]
+pub struct BlockCosts {
+    /// FD + IF + FC (time-shared between both cameras).
+    pub feature_extraction: ResourceVector,
+    /// MO + DR.
+    pub stereo_matching: ResourceVector,
+    /// DC + LSS.
+    pub temporal_matching: ResourceVector,
+    /// The five-building-block matrix engine.
+    pub backend_engine: ResourceVector,
+    /// Interconnect/control overhead.
+    pub misc: ResourceVector,
+}
+
+/// A Table II row: the design's usage, board utilization percentages, and
+/// the hypothetical no-sharing usage.
+#[derive(Debug, Clone, Copy)]
+pub struct ResourceReport {
+    /// Shared (actual) design.
+    pub shared: ResourceVector,
+    /// Utilization of the board by the shared design (fractions 0–1).
+    pub utilization: ResourceVector,
+    /// No-sharing hypothetical (the "N.S." columns).
+    pub no_sharing: ResourceVector,
+    /// Frontend share of total used LUTs (the paper reports ~83 %).
+    pub frontend_lut_fraction: f64,
+}
+
+/// Builds the Table II row for a platform.
+pub fn resource_report(platform: &Platform) -> ResourceReport {
+    let costs = block_costs(platform);
+    let frontend = costs
+        .feature_extraction
+        .plus(costs.stereo_matching)
+        .plus(costs.temporal_matching);
+    let shared = frontend.plus(costs.backend_engine).plus(costs.misc);
+
+    // No sharing: each of the three modes instantiates its own frontend
+    // (the FE block additionally duplicated per camera stream since
+    // time-multiplexing is a sharing technique too), and each backend
+    // kernel gets dedicated logic instead of the shared five-block engine.
+    let frontend_ns = costs
+        .feature_extraction
+        .times(2.0) // no L/R time-sharing
+        .plus(costs.stereo_matching)
+        .plus(costs.temporal_matching)
+        .times(3.0); // one per mode
+    let backend_ns = costs.backend_engine.times(2.6); // dedicated per-kernel logic
+    let no_sharing = frontend_ns.plus(backend_ns).plus(costs.misc);
+
+    let cap = board_capacity(platform.kind).available;
+    ResourceReport {
+        shared,
+        utilization: ResourceVector {
+            lut: shared.lut / cap.lut,
+            ff: shared.ff / cap.ff,
+            dsp: shared.dsp / cap.dsp,
+            bram_mb: shared.bram_mb / cap.bram_mb,
+        },
+        no_sharing,
+        frontend_lut_fraction: frontend.lut / shared.lut,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::platform::Platform;
+
+    #[test]
+    fn shared_design_fits_both_boards() {
+        for p in [Platform::edx_car(), Platform::edx_drone()] {
+            let r = resource_report(&p);
+            assert!(r.utilization.lut < 1.0, "{:?} LUT {}", p.kind, r.utilization.lut);
+            assert!(r.utilization.ff < 1.0);
+            assert!(r.utilization.dsp < 1.0);
+            assert!(r.utilization.bram_mb < 1.0);
+        }
+    }
+
+    #[test]
+    fn no_sharing_exceeds_the_boards() {
+        // Paper Sec. VII-B: "resource consumption of all types would more
+        // than double, exceeding the available resources".
+        for p in [Platform::edx_car(), Platform::edx_drone()] {
+            let r = resource_report(&p);
+            let cap = board_capacity(p.kind).available;
+            assert!(r.no_sharing.lut > r.shared.lut * 2.0);
+            assert!(r.no_sharing.ff > r.shared.ff * 2.0);
+            assert!(r.no_sharing.dsp > r.shared.dsp * 2.0);
+            assert!(r.no_sharing.bram_mb > r.shared.bram_mb * 2.0);
+            assert!(r.no_sharing.lut > cap.lut, "{:?} must not fit", p.kind);
+        }
+    }
+
+    #[test]
+    fn frontend_dominates_lut_usage() {
+        // Paper Sec. VII-B: frontend ≈ 83 % of used LUTs, and feature
+        // extraction over two-thirds of the frontend.
+        let r = resource_report(&Platform::edx_car());
+        assert!(
+            (0.7..0.95).contains(&r.frontend_lut_fraction),
+            "frontend share {}",
+            r.frontend_lut_fraction
+        );
+    }
+
+    #[test]
+    fn car_totals_near_paper_table2() {
+        // Paper Table II: EDX-CAR ≈ 350 671 LUT, 239 347 FF, 1 284 DSP,
+        // 5.0 MB BRAM. The calibration should land within ~15 %.
+        let r = resource_report(&Platform::edx_car());
+        assert!((r.shared.lut - 350_671.0).abs() / 350_671.0 < 0.15, "lut {}", r.shared.lut);
+        assert!((r.shared.ff - 239_347.0).abs() / 239_347.0 < 0.15, "ff {}", r.shared.ff);
+        assert!((r.shared.dsp - 1_284.0).abs() / 1_284.0 < 0.15, "dsp {}", r.shared.dsp);
+        assert!((r.shared.bram_mb - 5.0).abs() / 5.0 < 0.15, "bram {}", r.shared.bram_mb);
+    }
+
+    #[test]
+    fn drone_uses_less_than_car() {
+        let car = resource_report(&Platform::edx_car());
+        let drone = resource_report(&Platform::edx_drone());
+        assert!(drone.shared.lut < car.shared.lut);
+        assert!(drone.shared.bram_mb < car.shared.bram_mb);
+    }
+}

@@ -1,0 +1,320 @@
+//! The runtime offload scheduler (paper Sec. VI-B).
+//!
+//! "Offloading backend kernels to the backend accelerator is not always
+//! beneficial due to the overhead of data transfer, especially when the
+//! size of the matrix involved in a kernel is small." The scheduler
+//! predicts each kernel's CPU time from its workload size using regression
+//! models fit offline — linear for projection, quadratic for Kalman gain
+//! and marginalization — and offloads only when the accelerator (compute +
+//! DMA) would be faster.
+
+use crate::backend_engine::{BackendEngine, BackendKernelKind, KernelDims};
+use eudoxus_math::{PolyFit, PolyModel};
+use std::collections::HashMap;
+
+/// A per-kernel CPU-latency predictor: a polynomial fit when the training
+/// sizes span a range, or a constant (mean) when they do not — a
+/// degenerate design (e.g. a fixed-size map) otherwise has no regression.
+#[derive(Debug, Clone)]
+enum KernelModel {
+    Fit(PolyFit),
+    Constant(f64),
+}
+
+impl KernelModel {
+    fn predict(&self, size: f64) -> f64 {
+        match self {
+            KernelModel::Fit(f) => f.predict(size).max(0.0),
+            KernelModel::Constant(c) => *c,
+        }
+    }
+}
+
+/// One offline profiling sample: a kernel ran on the CPU at a given
+/// workload size.
+#[derive(Debug, Clone, Copy)]
+pub struct TrainingSample {
+    /// Which kernel.
+    pub kind: BackendKernelKind,
+    /// Workload size (Fig. 16 x-axes).
+    pub size: usize,
+    /// Measured CPU latency (milliseconds).
+    pub cpu_millis: f64,
+}
+
+/// Where a kernel invocation should run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum OffloadDecision {
+    /// Run on the host CPU; carries the predicted CPU milliseconds.
+    Cpu {
+        /// Predicted CPU time (ms).
+        predicted_cpu_ms: f64,
+        /// Estimated accelerator time (ms).
+        accel_ms: f64,
+    },
+    /// Offload to the accelerator; same fields.
+    Accelerator {
+        /// Predicted CPU time (ms).
+        predicted_cpu_ms: f64,
+        /// Estimated accelerator time (ms).
+        accel_ms: f64,
+    },
+}
+
+impl OffloadDecision {
+    /// True when the decision is to offload.
+    pub fn is_offload(&self) -> bool {
+        matches!(self, OffloadDecision::Accelerator { .. })
+    }
+}
+
+/// The trained scheduler.
+///
+/// # Example
+///
+/// ```
+/// use eudoxus_accel::{BackendKernelKind, RuntimeScheduler, TrainingSample};
+///
+/// let samples: Vec<TrainingSample> = (1..40)
+///     .map(|i| TrainingSample {
+///         kind: BackendKernelKind::Projection,
+///         size: i * 100,
+///         cpu_millis: 0.5 + 0.002 * (i * 100) as f64,
+///     })
+///     .collect();
+/// let sched = RuntimeScheduler::train(&samples).unwrap();
+/// assert!(sched.r_squared(BackendKernelKind::Projection).unwrap() > 0.99);
+/// ```
+#[derive(Debug, Clone)]
+pub struct RuntimeScheduler {
+    fits: HashMap<BackendKernelKind, KernelModel>,
+}
+
+impl RuntimeScheduler {
+    /// The paper's model order per kernel: linear for projection,
+    /// quadratic for the other two.
+    pub fn model_for(kind: BackendKernelKind) -> PolyModel {
+        match kind {
+            BackendKernelKind::Projection => PolyModel::Linear,
+            BackendKernelKind::KalmanGain | BackendKernelKind::Marginalization => {
+                PolyModel::Quadratic
+            }
+        }
+    }
+
+    /// Fits the per-kernel regressions from profiling samples. Kernels
+    /// with too few samples are simply absent (decisions fall back to
+    /// CPU).
+    ///
+    /// Returns `None` when no kernel had enough samples.
+    pub fn train(samples: &[TrainingSample]) -> Option<RuntimeScheduler> {
+        let mut fits = HashMap::new();
+        for kind in BackendKernelKind::ALL {
+            let xs: Vec<f64> = samples
+                .iter()
+                .filter(|s| s.kind == kind)
+                .map(|s| s.size as f64)
+                .collect();
+            let ys: Vec<f64> = samples
+                .iter()
+                .filter(|s| s.kind == kind)
+                .map(|s| s.cpu_millis)
+                .collect();
+            let model = Self::model_for(kind);
+            if xs.is_empty() {
+                continue;
+            }
+            let mut distinct = xs.clone();
+            distinct.sort_by(f64::total_cmp);
+            distinct.dedup();
+            if xs.len() > model.degree() + 2 && distinct.len() > model.degree() {
+                if let Ok(fit) = PolyFit::fit(model, &xs, &ys) {
+                    fits.insert(kind, KernelModel::Fit(fit));
+                    continue;
+                }
+            }
+            // Degenerate sizes: fall back to the mean latency.
+            let mean = ys.iter().sum::<f64>() / ys.len() as f64;
+            fits.insert(kind, KernelModel::Constant(mean));
+        }
+        if fits.is_empty() {
+            None
+        } else {
+            Some(RuntimeScheduler { fits })
+        }
+    }
+
+    /// `R²` of the fitted model for a kernel (paper Sec. VII-F reports
+    /// 0.83 / 0.82 / 0.98). `None` for untrained kernels or constant
+    /// (degenerate-size) fallbacks.
+    pub fn r_squared(&self, kind: BackendKernelKind) -> Option<f64> {
+        match self.fits.get(&kind) {
+            Some(KernelModel::Fit(f)) => Some(f.r_squared()),
+            _ => None,
+        }
+    }
+
+    /// Predicted CPU milliseconds for a kernel at `size`.
+    pub fn predict_cpu_ms(&self, kind: BackendKernelKind, size: usize) -> Option<f64> {
+        self.fits.get(&kind).map(|f| f.predict(size as f64))
+    }
+
+    /// Decides where to run one invocation: offload iff the accelerator's
+    /// offload time beats the predicted CPU time.
+    pub fn decide(&self, engine: &BackendEngine, dims: &KernelDims) -> OffloadDecision {
+        let accel_ms = engine.offload_time(dims) * 1e3;
+        match self.predict_cpu_ms(dims.kind(), dims.size()) {
+            Some(predicted_cpu_ms) if accel_ms < predicted_cpu_ms => {
+                OffloadDecision::Accelerator {
+                    predicted_cpu_ms,
+                    accel_ms,
+                }
+            }
+            Some(predicted_cpu_ms) => OffloadDecision::Cpu {
+                predicted_cpu_ms,
+                accel_ms,
+            },
+            // Untrained kernel: be conservative, stay on the CPU.
+            None => OffloadDecision::Cpu {
+                predicted_cpu_ms: f64::MAX,
+                accel_ms,
+            },
+        }
+    }
+
+    /// The oracle's choice for the same invocation, given the *actual* CPU
+    /// time: the faster side, always correct (paper Sec. VII-F compares
+    /// against exactly this oracle).
+    pub fn oracle_decide(
+        engine: &BackendEngine,
+        dims: &KernelDims,
+        actual_cpu_ms: f64,
+    ) -> OffloadDecision {
+        let accel_ms = engine.offload_time(dims) * 1e3;
+        if accel_ms < actual_cpu_ms {
+            OffloadDecision::Accelerator {
+                predicted_cpu_ms: actual_cpu_ms,
+                accel_ms,
+            }
+        } else {
+            OffloadDecision::Cpu {
+                predicted_cpu_ms: actual_cpu_ms,
+                accel_ms,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::platform::Platform;
+
+    fn quadratic_samples(kind: BackendKernelKind, a: f64, b: f64, c: f64) -> Vec<TrainingSample> {
+        (1..50)
+            .map(|i| {
+                let x = (i * 5) as f64;
+                TrainingSample {
+                    kind,
+                    size: x as usize,
+                    cpu_millis: a + b * x + c * x * x,
+                }
+            })
+            .collect()
+    }
+
+    #[test]
+    fn trains_all_three_kernels() {
+        let mut samples = quadratic_samples(BackendKernelKind::Projection, 0.2, 0.01, 0.0);
+        samples.extend(quadratic_samples(BackendKernelKind::KalmanGain, 0.1, 0.0, 2e-4));
+        samples.extend(quadratic_samples(
+            BackendKernelKind::Marginalization,
+            0.3,
+            0.0,
+            5e-4,
+        ));
+        let sched = RuntimeScheduler::train(&samples).unwrap();
+        for kind in BackendKernelKind::ALL {
+            assert!(
+                sched.r_squared(kind).unwrap() > 0.99,
+                "{kind:?}: {:?}",
+                sched.r_squared(kind)
+            );
+        }
+    }
+
+    #[test]
+    fn big_kernels_offload_small_ones_do_not() {
+        // CPU model: projection takes 0.02 ms per point.
+        let samples = quadratic_samples(BackendKernelKind::Projection, 0.0, 0.02, 0.0);
+        let sched = RuntimeScheduler::train(&samples).unwrap();
+        let engine = BackendEngine::new(Platform::edx_drone());
+        let small = sched.decide(&engine, &KernelDims::Projection { map_points: 10 });
+        let big = sched.decide(&engine, &KernelDims::Projection { map_points: 20_000 });
+        assert!(!small.is_offload(), "{small:?}");
+        assert!(big.is_offload(), "{big:?}");
+    }
+
+    #[test]
+    fn oracle_always_picks_faster_side() {
+        let engine = BackendEngine::new(Platform::edx_car());
+        let dims = KernelDims::KalmanGain { rows: 100, state: 195 };
+        let accel_ms = engine.offload_time(&dims) * 1e3;
+        let slow_cpu = RuntimeScheduler::oracle_decide(&engine, &dims, accel_ms * 10.0);
+        assert!(slow_cpu.is_offload());
+        let fast_cpu = RuntimeScheduler::oracle_decide(&engine, &dims, accel_ms / 10.0);
+        assert!(!fast_cpu.is_offload());
+    }
+
+    #[test]
+    fn untrained_kernel_stays_on_cpu() {
+        let samples = quadratic_samples(BackendKernelKind::Projection, 0.0, 0.02, 0.0);
+        let sched = RuntimeScheduler::train(&samples).unwrap();
+        let engine = BackendEngine::new(Platform::edx_car());
+        let d = sched.decide(
+            &engine,
+            &KernelDims::Marginalization {
+                landmarks: 50,
+                remaining: 30,
+            },
+        );
+        assert!(!d.is_offload());
+    }
+
+    #[test]
+    fn too_few_samples_fall_back_to_constant_model() {
+        let samples = vec![TrainingSample {
+            kind: BackendKernelKind::Projection,
+            size: 10,
+            cpu_millis: 1.0,
+        }];
+        let sched = RuntimeScheduler::train(&samples).expect("constant fallback");
+        // No regression quality to report, but predictions still work.
+        assert!(sched.r_squared(BackendKernelKind::Projection).is_none());
+        assert_eq!(
+            sched.predict_cpu_ms(BackendKernelKind::Projection, 500),
+            Some(1.0)
+        );
+        assert!(RuntimeScheduler::train(&[]).is_none());
+    }
+
+    #[test]
+    fn scheduler_agrees_with_oracle_on_clean_data() {
+        // With noise-free training data, scheduler and oracle must agree
+        // everywhere (paper: < 0.001% difference from oracle).
+        let engine = BackendEngine::new(Platform::edx_drone());
+        let samples = quadratic_samples(BackendKernelKind::Projection, 0.05, 0.015, 0.0);
+        let sched = RuntimeScheduler::train(&samples).unwrap();
+        let mut disagreements = 0;
+        for mp in (10..30_000).step_by(500) {
+            let dims = KernelDims::Projection { map_points: mp };
+            let actual = 0.05 + 0.015 * mp as f64;
+            let s = sched.decide(&engine, &dims).is_offload();
+            let o = RuntimeScheduler::oracle_decide(&engine, &dims, actual).is_offload();
+            if s != o {
+                disagreements += 1;
+            }
+        }
+        assert!(disagreements <= 1, "{disagreements} disagreements");
+    }
+}

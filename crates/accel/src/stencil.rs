@@ -1,0 +1,190 @@
+//! Stencil-buffer sizing and the replication optimization (Figs. 13–14).
+//!
+//! A stencil buffer (SB) feeds one or more stencil consumers from a pixel
+//! stream. If consumers are far apart in the pipeline, sharing one SB
+//! forces every pixel to stay buffered from its production until the *last*
+//! consumption: `size = max(C_i) − P`. Re-reading the pixel from DRAM for
+//! the late consumer ("replication") shrinks on-chip storage to
+//! `Σ (C_i − P_i)` where each `P_i` is a fresh read — the paper's Fig. 14
+//! trade-off, which saves ~9 MB on EDX-CAR (Sec. VII-D) at the cost of
+//! extra DRAM traffic.
+
+/// One stencil consumer attached to a pixel stream.
+#[derive(Debug, Clone, Copy)]
+pub struct StencilConsumer {
+    /// Display name (e.g. "IF", "FD", "DR").
+    pub name: &'static str,
+    /// Stencil window rows (a `rows × cols` window needs `rows` lines
+    /// buffered).
+    pub rows: usize,
+    /// Pipeline delay, in cycles, between a pixel's production and this
+    /// consumer reading it.
+    pub delay_cycles: usize,
+}
+
+/// Buffering strategy chosen by [`plan_stencil_buffers`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SbStrategy {
+    /// One SB shared by all consumers (classic line buffer).
+    Shared,
+    /// One SB per consumer; the stream is re-read from DRAM for late
+    /// consumers.
+    Replicated,
+}
+
+/// Sizing outcome.
+#[derive(Debug, Clone, Copy)]
+pub struct SbPlan {
+    /// The cheaper strategy.
+    pub strategy: SbStrategy,
+    /// On-chip bytes under the chosen strategy.
+    pub bytes: usize,
+    /// On-chip bytes the rejected strategy would need.
+    pub rejected_bytes: usize,
+    /// Extra DRAM reads per frame the chosen strategy incurs (0 for
+    /// shared).
+    pub extra_dram_reads: usize,
+}
+
+/// Bytes a shared SB needs: every pixel lives from production to the last
+/// consumption (each consumer's delay already covers filling its own
+/// window, so the retention time is the maximum delay).
+fn shared_bytes(consumers: &[StencilConsumer], line_width: usize, bytes_per_px: usize) -> usize {
+    let max_delay = consumers.iter().map(|c| c.delay_cycles).max().unwrap_or(0);
+    let max_rows = consumers.iter().map(|c| c.rows).max().unwrap_or(0);
+    max_delay.max(max_rows * line_width) * bytes_per_px
+}
+
+/// Bytes under replication: each consumer holds only its own window,
+/// reading the stream at its own time.
+fn replicated_bytes(consumers: &[StencilConsumer], line_width: usize, bytes_per_px: usize) -> usize {
+    consumers
+        .iter()
+        .map(|c| c.rows * line_width * bytes_per_px)
+        .sum()
+}
+
+/// Chooses between sharing one SB and replicating per consumer
+/// (Fig. 14's "when `P2 > C1`, replicating pixels requires less memory").
+///
+/// `pixels_per_frame` sizes the DRAM re-read cost.
+pub fn plan_stencil_buffers(
+    consumers: &[StencilConsumer],
+    line_width: usize,
+    bytes_per_px: usize,
+    pixels_per_frame: usize,
+) -> SbPlan {
+    let shared = shared_bytes(consumers, line_width, bytes_per_px);
+    let replicated = replicated_bytes(consumers, line_width, bytes_per_px);
+    if replicated < shared {
+        SbPlan {
+            strategy: SbStrategy::Replicated,
+            bytes: replicated,
+            rejected_bytes: shared,
+            extra_dram_reads: pixels_per_frame * consumers.len().saturating_sub(1),
+        }
+    } else {
+        SbPlan {
+            strategy: SbStrategy::Shared,
+            bytes: shared,
+            rejected_bytes: replicated,
+            extra_dram_reads: 0,
+        }
+    }
+}
+
+/// The frontend's SB consumer set for a given image width: IF (5×5
+/// Gaussian) and FD (7×7 FAST footprint) read the stream immediately;
+/// DR's block matching re-reads the raw image millions of cycles later
+/// (after detection, description and matching optimization complete —
+/// paper Sec. V-C: "DR is millions of cycles later than IF and FD in the
+/// pipeline").
+pub fn frontend_consumers(width: u32, pixels: usize) -> Vec<StencilConsumer> {
+    vec![
+        StencilConsumer {
+            name: "IF",
+            rows: 5,
+            delay_cycles: 5 * width as usize,
+        },
+        StencilConsumer {
+            name: "FD",
+            rows: 7,
+            delay_cycles: 7 * width as usize,
+        },
+        StencilConsumer {
+            name: "DR",
+            rows: 9,
+            // The whole image plus matching must complete first: ≳ 3M
+            // cycles on the car configuration (paper Sec. VII-D).
+            delay_cycles: pixels * 7 / 2,
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn near_consumers_share() {
+        // Two windows consuming within a few lines: sharing wins.
+        let consumers = [
+            StencilConsumer {
+                name: "A",
+                rows: 3,
+                delay_cycles: 3 * 640,
+            },
+            StencilConsumer {
+                name: "B",
+                rows: 5,
+                delay_cycles: 5 * 640,
+            },
+        ];
+        let plan = plan_stencil_buffers(&consumers, 640, 1, 640 * 480);
+        assert_eq!(plan.strategy, SbStrategy::Shared);
+        assert_eq!(plan.extra_dram_reads, 0);
+        assert!(plan.bytes <= plan.rejected_bytes);
+    }
+
+    #[test]
+    fn distant_consumer_forces_replication() {
+        let consumers = frontend_consumers(1280, 1280 * 720);
+        let plan = plan_stencil_buffers(&consumers, 1280, 1, 1280 * 720);
+        assert_eq!(plan.strategy, SbStrategy::Replicated);
+        assert!(plan.extra_dram_reads > 0);
+        assert!(plan.bytes < plan.rejected_bytes / 10);
+    }
+
+    #[test]
+    fn car_savings_match_paper_scale() {
+        // Paper Sec. VII-D: without the optimization the SB size would
+        // grow by about 9 MB; with it, SBs stay far below 1 MB.
+        let pixels = 1280 * 720;
+        let consumers = frontend_consumers(1280, pixels);
+        // Two camera streams.
+        let plan = plan_stencil_buffers(&consumers, 1280, 1, pixels);
+        let saved = 2 * (plan.rejected_bytes - plan.bytes);
+        assert!(
+            (5_000_000..12_000_000).contains(&saved),
+            "saved {saved} bytes"
+        );
+        assert!(2 * plan.bytes < 600_000, "SB bytes {}", 2 * plan.bytes);
+    }
+
+    #[test]
+    fn single_consumer_prefers_sharing() {
+        let consumers = [StencilConsumer {
+            name: "only",
+            rows: 3,
+            delay_cycles: 3 * 320,
+        }];
+        let plan = plan_stencil_buffers(&consumers, 320, 1, 320 * 240);
+        assert_eq!(plan.strategy, SbStrategy::Shared);
+    }
+
+    #[test]
+    fn empty_consumer_list() {
+        let plan = plan_stencil_buffers(&[], 640, 1, 0);
+        assert_eq!(plan.bytes, 0);
+    }
+}

@@ -1,0 +1,64 @@
+//! Per-frame workload descriptors consumed by the analytical models.
+
+/// The quantities that determine one frame's accelerator latency. Produced
+/// from the real frontend's counters (`eudoxus_frontend::FrameStats`) by
+/// the unified pipeline.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FrameWorkload {
+    /// Pixels per camera image.
+    pub pixels: usize,
+    /// FAST detections in the left image.
+    pub keypoints_left: usize,
+    /// FAST detections in the right image.
+    pub keypoints_right: usize,
+    /// Accepted stereo matches (drives DR).
+    pub stereo_matches: usize,
+    /// Temporal tracks processed by DC/LSS.
+    pub tracks: usize,
+    /// Disparity search range in pixels (drives the DR block-matching
+    /// window sweep).
+    pub disparity_range: usize,
+}
+
+impl FrameWorkload {
+    /// A representative workload for the given resolution (used by
+    /// resource sizing, which is workload-independent, and by tests).
+    pub fn typical(width: u32, height: u32) -> FrameWorkload {
+        FrameWorkload {
+            pixels: (width as usize) * (height as usize),
+            keypoints_left: 350,
+            keypoints_right: 350,
+            stereo_matches: 260,
+            tracks: 300,
+            disparity_range: if width >= 1280 { 200 } else { 100 },
+        }
+    }
+
+    /// Bytes of correspondence data shipped to the backend per frame (the
+    /// paper measures 2–3 KB, Sec. V-A).
+    pub fn correspondence_bytes(&self) -> usize {
+        // 8 bytes per temporal match (two f32 coords) + 4 bytes disparity
+        // per spatial match.
+        self.tracks * 8 + self.stereo_matches * 4
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn typical_scales_with_resolution() {
+        let car = FrameWorkload::typical(1280, 720);
+        let drone = FrameWorkload::typical(640, 480);
+        assert!(car.pixels > drone.pixels);
+        assert!(car.disparity_range > drone.disparity_range);
+    }
+
+    #[test]
+    fn correspondence_payload_matches_paper_scale() {
+        let w = FrameWorkload::typical(1280, 720);
+        let kb = w.correspondence_bytes() as f64 / 1024.0;
+        assert!((2.0..4.0).contains(&kb), "payload {kb} KB");
+    }
+}

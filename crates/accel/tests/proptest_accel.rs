@@ -1,0 +1,117 @@
+//! Property-based tests on the accelerator models: sizing optimality,
+//! latency monotonicity, and scheduler consistency.
+
+use eudoxus_accel::backend_engine::{BackendEngine, KernelDims};
+use eudoxus_accel::platform::Platform;
+use eudoxus_accel::scheduler::{RuntimeScheduler, TrainingSample};
+use eudoxus_accel::stencil::{plan_stencil_buffers, StencilConsumer};
+use eudoxus_accel::workload::FrameWorkload;
+use eudoxus_accel::{BackendKernelKind, FrontendEngine};
+use proptest::prelude::*;
+
+fn consumers() -> impl Strategy<Value = Vec<StencilConsumer>> {
+    proptest::collection::vec(
+        (1usize..12, 0usize..4_000_000).prop_map(|(rows, delay)| StencilConsumer {
+            name: "c",
+            rows,
+            delay_cycles: delay + rows * 640, // delay covers the window fill
+        }),
+        1..5,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn stencil_plan_picks_smaller_strategy(cs in consumers()) {
+        let plan = plan_stencil_buffers(&cs, 640, 1, 640 * 480);
+        prop_assert!(plan.bytes <= plan.rejected_bytes);
+        // Sharing never incurs extra DRAM traffic; replication's extra
+        // traffic is one stream re-read per additional consumer.
+        match plan.strategy {
+            eudoxus_accel::SbStrategy::Shared => prop_assert_eq!(plan.extra_dram_reads, 0),
+            eudoxus_accel::SbStrategy::Replicated => {
+                prop_assert_eq!(plan.extra_dram_reads, (cs.len() - 1) * 640 * 480)
+            }
+        }
+    }
+
+    #[test]
+    fn frontend_latency_is_monotone_in_workload(
+        kp in 50usize..800,
+        extra in 1usize..300,
+    ) {
+        let engine = FrontendEngine::new(Platform::edx_drone());
+        let mut small = FrameWorkload::typical(640, 480);
+        small.keypoints_left = kp;
+        small.keypoints_right = kp;
+        let mut large = small;
+        large.keypoints_left += extra;
+        large.keypoints_right += extra;
+        large.stereo_matches += extra / 2;
+        prop_assert!(engine.latency(&small).total() <= engine.latency(&large).total());
+    }
+
+    #[test]
+    fn kernel_compute_time_is_monotone_in_size(
+        rows in 10usize..200,
+        extra in 1usize..100,
+    ) {
+        let engine = BackendEngine::new(Platform::edx_car());
+        let t1 = engine.compute_time(&KernelDims::KalmanGain { rows, state: 195 });
+        let t2 = engine.compute_time(&KernelDims::KalmanGain { rows: rows + extra, state: 195 });
+        prop_assert!(t2 >= t1);
+    }
+
+    #[test]
+    fn offload_time_always_exceeds_compute_time(m in 1usize..50_000) {
+        let engine = BackendEngine::new(Platform::edx_drone());
+        let dims = KernelDims::Projection { map_points: m };
+        prop_assert!(engine.offload_time(&dims) > engine.compute_time(&dims));
+    }
+
+    #[test]
+    fn scheduler_decision_is_threshold_monotone(
+        slope in 0.001f64..0.1,
+        intercept in 0.0f64..1.0,
+    ) {
+        // With a monotone CPU model, once the scheduler offloads at size s
+        // it must offload at every larger size (projection: linear model,
+        // accel time also monotone but flatter).
+        let samples: Vec<TrainingSample> = (1..60)
+            .map(|i| {
+                let size = i * 200;
+                TrainingSample {
+                    kind: BackendKernelKind::Projection,
+                    size,
+                    cpu_millis: intercept + slope * size as f64,
+                }
+            })
+            .collect();
+        let Some(sched) = RuntimeScheduler::train(&samples) else {
+            return Ok(());
+        };
+        let engine = BackendEngine::new(Platform::edx_drone());
+        let mut seen_offload = false;
+        for size in (100..20_000).step_by(500) {
+            let d = sched
+                .decide(&engine, &KernelDims::Projection { map_points: size })
+                .is_offload();
+            if seen_offload {
+                prop_assert!(d, "offload decision reversed at size {size}");
+            }
+            seen_offload |= d;
+        }
+    }
+
+    #[test]
+    fn oracle_never_loses(actual_cpu_ms in 0.0f64..100.0, rows in 10usize..300) {
+        let engine = BackendEngine::new(Platform::edx_car());
+        let dims = KernelDims::KalmanGain { rows, state: 195 };
+        let accel_ms = engine.offload_time(&dims) * 1e3;
+        let decision = RuntimeScheduler::oracle_decide(&engine, &dims, actual_cpu_ms);
+        let chosen = if decision.is_offload() { accel_ms } else { actual_cpu_ms };
+        prop_assert!(chosen <= accel_ms.min(actual_cpu_ms) + 1e-12);
+    }
+}

@@ -1,0 +1,169 @@
+//! Loosely-coupled GPS fusion (the "Fusion" block of paper Fig. 4).
+//!
+//! "It fuses the GPS signals with the pose information generated from the
+//! filtering block, essentially correcting the cumulative drift introduced
+//! in filtering. We use a loosely-coupled approach \[88\], where the GPS
+//! positions are integrated through a simple EKF" (paper Sec. IV-A).
+//! Each accepted fix becomes a 3-row position measurement applied to the
+//! MSCKF's position sub-state; an innovation gate rejects multipath
+//! outliers (Sec. II notes GPS "could be unreliable even outdoor when the
+//! multi-path problem occurs").
+
+use crate::kernels::{Kernel, KernelTimer};
+use crate::msckf::Msckf;
+use crate::types::GpsFix;
+
+/// GPS fusion parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct GpsFusionConfig {
+    /// Reject fixes whose innovation exceeds `gate · (σ_fix + σ_filter)`.
+    pub gate: f64,
+    /// Floor on the measurement σ (meters) — receivers over-report
+    /// confidence.
+    pub sigma_floor: f64,
+}
+
+impl Default for GpsFusionConfig {
+    fn default() -> Self {
+        GpsFusionConfig {
+            gate: 4.0,
+            sigma_floor: 0.4,
+        }
+    }
+}
+
+/// Fuses GPS fixes into the VIO filter.
+///
+/// # Example
+///
+/// ```
+/// use eudoxus_backend::{GpsFusion, GpsFusionConfig};
+///
+/// let fusion = GpsFusion::new(GpsFusionConfig::default());
+/// assert_eq!(fusion.config().gate, 4.0);
+/// ```
+#[derive(Debug, Clone, Copy, Default)]
+pub struct GpsFusion {
+    cfg: GpsFusionConfig,
+}
+
+impl GpsFusion {
+    /// Creates a fusion stage.
+    pub fn new(cfg: GpsFusionConfig) -> Self {
+        GpsFusion { cfg }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &GpsFusionConfig {
+        &self.cfg
+    }
+
+    /// Applies every gated fix as a position update on the filter; returns
+    /// how many fixes were accepted. Timing lands on the `Fusion` kernel.
+    pub fn fuse(&self, filter: &mut Msckf, fixes: &[GpsFix], timer: &mut KernelTimer) -> usize {
+        if fixes.is_empty() || !filter.is_initialized() {
+            return 0;
+        }
+        timer.time(Kernel::GpsFusion, fixes.len(), || {
+            let mut accepted = 0;
+            for fix in fixes {
+                let Some(pose) = filter.pose() else { break };
+                let innovation = (fix.position - pose.translation).norm();
+                let filter_sigma = filter.position_sigma().norm();
+                let sigma = fix.sigma.max(self.cfg.sigma_floor);
+                if innovation > self.cfg.gate * (sigma + filter_sigma) {
+                    continue; // multipath / outlier
+                }
+                filter.update_position(fix.position, sigma);
+                accepted += 1;
+            }
+            accepted
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::msckf::MsckfConfig;
+    use eudoxus_geometry::{Pose, Vec3};
+
+    fn drifted_filter() -> Msckf {
+        let mut f = Msckf::new(MsckfConfig::default());
+        f.initialize(Pose::identity(), Vec3::zero(), 0.0);
+        // Grow uncertainty so updates have headroom.
+        let readings: Vec<crate::types::ImuReading> = (1..=400)
+            .map(|i| crate::types::ImuReading {
+                t: i as f64 * 0.005,
+                gyro: Vec3::zero(),
+                accel: Vec3::new(0.0, 0.0, 9.80665),
+            })
+            .collect();
+        f.propagate(&readings);
+        f
+    }
+
+    #[test]
+    fn good_fixes_are_fused() {
+        let mut f = drifted_filter();
+        let fusion = GpsFusion::new(GpsFusionConfig::default());
+        let mut timer = KernelTimer::new();
+        let fixes = [GpsFix {
+            t: 2.0,
+            position: Vec3::new(0.5, 0.0, 0.0),
+            sigma: 0.5,
+        }];
+        let n = fusion.fuse(&mut f, &fixes, &mut timer);
+        assert_eq!(n, 1);
+        assert!(f.pose().unwrap().translation.x > 1e-4);
+        assert_eq!(timer.samples().len(), 1);
+        assert_eq!(timer.samples()[0].kernel, Kernel::GpsFusion);
+    }
+
+    #[test]
+    fn multipath_fix_is_gated_out() {
+        let mut f = drifted_filter();
+        let fusion = GpsFusion::new(GpsFusionConfig::default());
+        let mut timer = KernelTimer::new();
+        // 50 m excursion with small claimed sigma: way past the gate.
+        let fixes = [GpsFix {
+            t: 2.0,
+            position: Vec3::new(50.0, 0.0, 0.0),
+            sigma: 0.5,
+        }];
+        let n = fusion.fuse(&mut f, &fixes, &mut timer);
+        assert_eq!(n, 0);
+        assert!(f.pose().unwrap().translation.norm() < 1e-6);
+    }
+
+    #[test]
+    fn uninitialized_filter_is_untouched() {
+        let mut f = Msckf::new(MsckfConfig::default());
+        let fusion = GpsFusion::new(GpsFusionConfig::default());
+        let mut timer = KernelTimer::new();
+        let fixes = [GpsFix {
+            t: 0.0,
+            position: Vec3::zero(),
+            sigma: 1.0,
+        }];
+        assert_eq!(fusion.fuse(&mut f, &fixes, &mut timer), 0);
+    }
+
+    #[test]
+    fn repeated_fixes_converge_position() {
+        let mut f = drifted_filter();
+        let fusion = GpsFusion::new(GpsFusionConfig::default());
+        let mut timer = KernelTimer::new();
+        let target = Vec3::new(1.0, -0.5, 0.2);
+        for i in 0..20 {
+            let fixes = [GpsFix {
+                t: 2.0 + i as f64 * 0.1,
+                position: target,
+                sigma: 0.5,
+            }];
+            fusion.fuse(&mut f, &fixes, &mut timer);
+        }
+        let err = (f.pose().unwrap().translation - target).norm();
+        assert!(err < 0.25, "converged to {:?}", f.pose().unwrap().translation);
+    }
+}

@@ -1,0 +1,186 @@
+//! Per-kernel timing instrumentation.
+//!
+//! The paper's characterization attributes backend latency to named kernels
+//! (Figs. 6–8) and correlates each kernel's latency with the size of the
+//! matrices it manipulates (Fig. 16). [`KernelSample`] records exactly
+//! those two quantities per invocation.
+
+use std::fmt;
+use std::time::Instant;
+
+/// Backend kernels, named as in the paper's breakdown figures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Kernel {
+    // --- VIO mode (Fig. 7) ---
+    /// IMU state/covariance propagation ("IMU Proc.").
+    ImuIntegration,
+    /// Measurement Jacobian construction ("Jacobian").
+    Jacobian,
+    /// Innovation covariance `S = H·P·Hᵀ + R` ("Cov.").
+    Covariance,
+    /// Solving `S·K = (P·Hᵀ)ᵀ` ("Kalman Gain") — decomposition +
+    /// forward/backward substitution.
+    KalmanGain,
+    /// Measurement compression ("QR").
+    QrCompression,
+    /// Loosely-coupled GPS EKF ("Fusion").
+    GpsFusion,
+    // --- Registration mode (Fig. 6) ---
+    /// Camera-model projection of map points ("Projection").
+    Projection,
+    /// Descriptor matching against the map ("Match").
+    MapMatch,
+    /// Pose-only Gauss–Newton ("PoseOpt.").
+    PoseOptimization,
+    /// Pose/track bookkeeping and BoW update ("Update").
+    MapUpdate,
+    // --- SLAM mode (Fig. 8) ---
+    /// Levenberg–Marquardt bundle-adjustment iterations ("Solver").
+    Solver,
+    /// Schur-complement marginalization of old keyframes
+    /// ("Marginalization").
+    Marginalization,
+    /// Landmark initialization, keyframe and loop-closure bookkeeping
+    /// ("Init."/"Others").
+    SlamInit,
+}
+
+impl Kernel {
+    /// The paper's display name for this kernel.
+    pub fn paper_name(self) -> &'static str {
+        match self {
+            Kernel::ImuIntegration => "IMU Proc.",
+            Kernel::Jacobian => "Jacobian",
+            Kernel::Covariance => "Cov.",
+            Kernel::KalmanGain => "Kalman Gain",
+            Kernel::QrCompression => "QR",
+            Kernel::GpsFusion => "Fusion",
+            Kernel::Projection => "Projection",
+            Kernel::MapMatch => "Match",
+            Kernel::PoseOptimization => "PoseOpt.",
+            Kernel::MapUpdate => "Update",
+            Kernel::Solver => "Solver",
+            Kernel::Marginalization => "Marginalization",
+            Kernel::SlamInit => "Init.",
+        }
+    }
+}
+
+impl fmt::Display for Kernel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.paper_name())
+    }
+}
+
+/// One timed kernel invocation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct KernelSample {
+    /// Which kernel ran.
+    pub kernel: Kernel,
+    /// Wall-clock time (milliseconds).
+    pub millis: f64,
+    /// Workload size — the quantity the paper correlates latency against
+    /// (map points for projection, feature rows for Kalman gain, feature
+    /// count for marginalization; Fig. 16).
+    pub size: usize,
+}
+
+/// Collects [`KernelSample`]s during one backend frame.
+#[derive(Debug, Default)]
+pub struct KernelTimer {
+    samples: Vec<KernelSample>,
+}
+
+impl KernelTimer {
+    /// Creates an empty collector.
+    pub fn new() -> Self {
+        KernelTimer::default()
+    }
+
+    /// Times `f`, attributing its wall-clock cost to `kernel` with the
+    /// given workload `size`.
+    pub fn time<T>(&mut self, kernel: Kernel, size: usize, f: impl FnOnce() -> T) -> T {
+        let t0 = Instant::now();
+        let out = f();
+        self.samples.push(KernelSample {
+            kernel,
+            millis: t0.elapsed().as_secs_f64() * 1e3,
+            size,
+        });
+        out
+    }
+
+    /// Adds an externally measured sample.
+    pub fn push(&mut self, sample: KernelSample) {
+        self.samples.push(sample);
+    }
+
+    /// All samples recorded so far, in execution order.
+    pub fn samples(&self) -> &[KernelSample] {
+        &self.samples
+    }
+
+    /// Consumes the timer, returning its samples.
+    pub fn into_samples(self) -> Vec<KernelSample> {
+        self.samples
+    }
+
+    /// Total milliseconds attributed to `kernel`.
+    pub fn total_for(&self, kernel: Kernel) -> f64 {
+        self.samples
+            .iter()
+            .filter(|s| s.kernel == kernel)
+            .map(|s| s.millis)
+            .sum()
+    }
+
+    /// Total milliseconds across all kernels.
+    pub fn total(&self) -> f64 {
+        self.samples.iter().map(|s| s.millis).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timing_attributes_to_kernel() {
+        let mut t = KernelTimer::new();
+        let v = t.time(Kernel::Projection, 100, || 21 * 2);
+        assert_eq!(v, 42);
+        assert_eq!(t.samples().len(), 1);
+        assert_eq!(t.samples()[0].kernel, Kernel::Projection);
+        assert_eq!(t.samples()[0].size, 100);
+        assert!(t.samples()[0].millis >= 0.0);
+    }
+
+    #[test]
+    fn totals_aggregate_per_kernel() {
+        let mut t = KernelTimer::new();
+        t.push(KernelSample {
+            kernel: Kernel::Solver,
+            millis: 2.0,
+            size: 1,
+        });
+        t.push(KernelSample {
+            kernel: Kernel::Solver,
+            millis: 3.0,
+            size: 2,
+        });
+        t.push(KernelSample {
+            kernel: Kernel::Marginalization,
+            millis: 5.0,
+            size: 3,
+        });
+        assert_eq!(t.total_for(Kernel::Solver), 5.0);
+        assert_eq!(t.total(), 10.0);
+    }
+
+    #[test]
+    fn paper_names_match_figures() {
+        assert_eq!(Kernel::KalmanGain.paper_name(), "Kalman Gain");
+        assert_eq!(Kernel::Marginalization.to_string(), "Marginalization");
+        assert_eq!(Kernel::Projection.paper_name(), "Projection");
+    }
+}

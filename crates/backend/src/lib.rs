@@ -1,0 +1,41 @@
+//! The Eudoxus optimization backend: localization from visual
+//! correspondences.
+//!
+//! The unified framework's backend (paper Fig. 4) "calculates the 6 DoF
+//! pose from the visual correspondences generated in the frontend" and
+//! "is dynamically configured to execute in one of the three modes":
+//!
+//! * **VIO** ([`msckf`] + [`fusion`]) — MSCKF sliding-window Kalman
+//!   filtering over IMU and feature tracks, with loosely-coupled GPS fusion
+//!   correcting drift outdoors.
+//! * **SLAM** ([`slam`]) — keyframe bundle adjustment solved by
+//!   Levenberg–Marquardt, marginalization of old keyframes via Schur
+//!   complement, and bag-of-words loop closure; can persist its map.
+//! * **Registration** ([`registration`]) — localization against a
+//!   pre-built map: BoW place recognition, descriptor matching, camera-model
+//!   projection of map points, and pose-only optimization.
+//!
+//! Every mode implements [`BackendMode`] and reports per-kernel timings
+//! ([`kernels`]) with workload sizes, which feed the paper's
+//! characterization figures (Figs. 6–11, 16) and the runtime scheduler's
+//! regression models (Sec. VI-B).
+
+pub mod fusion;
+pub mod kernels;
+pub mod map;
+pub mod msckf;
+pub mod pose_opt;
+pub mod registration;
+pub mod slam;
+pub mod types;
+pub mod vio;
+
+pub use fusion::{GpsFusion, GpsFusionConfig};
+pub use kernels::{Kernel, KernelSample, KernelTimer};
+pub use map::{MapKeyframe, MapPoint, WorldMap};
+pub use msckf::{Msckf, MsckfConfig};
+pub use pose_opt::{optimize_pose, PoseObservation, PoseOptConfig, PoseOptResult};
+pub use registration::{Registration, RegistrationConfig};
+pub use slam::{Slam, SlamConfig};
+pub use types::{BackendInput, BackendMode, BackendReport, GpsFix, ImuReading};
+pub use vio::{Vio, VioConfig};

@@ -1,0 +1,258 @@
+//! Persistent world maps.
+//!
+//! The SLAM mapping block's output "could be optionally persisted offline
+//! and later used in the registration mode" (paper Sec. IV-A). A map is a
+//! set of 3-D points with ORB descriptors plus the keyframes that observed
+//! them; persistence uses a small self-contained binary format so no
+//! serialization dependency is needed.
+
+use eudoxus_frontend::OrbDescriptor;
+use eudoxus_geometry::{Pose, Vec3};
+use std::io::{self, Read, Write};
+use std::path::Path;
+
+/// Magic bytes identifying the map file format.
+const MAGIC: &[u8; 8] = b"EUDOXMAP";
+
+/// One landmark in the map.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MapPoint {
+    /// Stable identifier (track id at mapping time).
+    pub id: u64,
+    /// World position (meters).
+    pub position: Vec3,
+    /// Representative ORB descriptor.
+    pub descriptor: OrbDescriptor,
+}
+
+/// One keyframe snapshot in the map.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MapKeyframe {
+    /// Keyframe identifier.
+    pub id: u64,
+    /// Body pose at capture.
+    pub pose: Pose,
+    /// Ids of the map points observed from this keyframe.
+    pub point_ids: Vec<u64>,
+}
+
+/// A persisted map: what SLAM produces and registration consumes.
+///
+/// # Example
+///
+/// ```
+/// use eudoxus_backend::WorldMap;
+///
+/// let map = WorldMap::default();
+/// assert!(map.points.is_empty());
+/// ```
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct WorldMap {
+    /// All landmarks.
+    pub points: Vec<MapPoint>,
+    /// All keyframes.
+    pub keyframes: Vec<MapKeyframe>,
+}
+
+impl WorldMap {
+    /// Looks up a point by id (linear scan; maps are query-once data).
+    pub fn point(&self, id: u64) -> Option<&MapPoint> {
+        self.points.iter().find(|p| p.id == id)
+    }
+
+    /// Serializes to a writer.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O failures from the writer.
+    pub fn write_to(&self, w: &mut impl Write) -> io::Result<()> {
+        w.write_all(MAGIC)?;
+        w.write_all(&(self.points.len() as u64).to_le_bytes())?;
+        for p in &self.points {
+            w.write_all(&p.id.to_le_bytes())?;
+            for v in [p.position.x, p.position.y, p.position.z] {
+                w.write_all(&v.to_le_bytes())?;
+            }
+            for word in p.descriptor.words() {
+                w.write_all(&word.to_le_bytes())?;
+            }
+        }
+        w.write_all(&(self.keyframes.len() as u64).to_le_bytes())?;
+        for k in &self.keyframes {
+            w.write_all(&k.id.to_le_bytes())?;
+            let q = k.pose.rotation;
+            for v in [
+                q.w,
+                q.x,
+                q.y,
+                q.z,
+                k.pose.translation.x,
+                k.pose.translation.y,
+                k.pose.translation.z,
+            ] {
+                w.write_all(&v.to_le_bytes())?;
+            }
+            w.write_all(&(k.point_ids.len() as u64).to_le_bytes())?;
+            for pid in &k.point_ids {
+                w.write_all(&pid.to_le_bytes())?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Deserializes from a reader.
+    ///
+    /// # Errors
+    ///
+    /// Returns `InvalidData` for a bad magic header and propagates reader
+    /// failures.
+    pub fn read_from(r: &mut impl Read) -> io::Result<WorldMap> {
+        let mut magic = [0u8; 8];
+        r.read_exact(&mut magic)?;
+        if &magic != MAGIC {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "not a eudoxus map file",
+            ));
+        }
+        let read_u64 = |r: &mut dyn Read| -> io::Result<u64> {
+            let mut b = [0u8; 8];
+            r.read_exact(&mut b)?;
+            Ok(u64::from_le_bytes(b))
+        };
+        let read_f64 = |r: &mut dyn Read| -> io::Result<f64> {
+            let mut b = [0u8; 8];
+            r.read_exact(&mut b)?;
+            Ok(f64::from_le_bytes(b))
+        };
+        let n_points = read_u64(r)? as usize;
+        let mut points = Vec::with_capacity(n_points.min(1 << 24));
+        for _ in 0..n_points {
+            let id = read_u64(r)?;
+            let position = Vec3::new(read_f64(r)?, read_f64(r)?, read_f64(r)?);
+            let words = [read_u64(r)?, read_u64(r)?, read_u64(r)?, read_u64(r)?];
+            points.push(MapPoint {
+                id,
+                position,
+                descriptor: OrbDescriptor::from_words(words),
+            });
+        }
+        let n_kf = read_u64(r)? as usize;
+        let mut keyframes = Vec::with_capacity(n_kf.min(1 << 20));
+        for _ in 0..n_kf {
+            let id = read_u64(r)?;
+            let q = eudoxus_geometry::Quaternion::new(
+                read_f64(r)?,
+                read_f64(r)?,
+                read_f64(r)?,
+                read_f64(r)?,
+            );
+            let t = Vec3::new(read_f64(r)?, read_f64(r)?, read_f64(r)?);
+            let n_ids = read_u64(r)? as usize;
+            let mut point_ids = Vec::with_capacity(n_ids.min(1 << 20));
+            for _ in 0..n_ids {
+                point_ids.push(read_u64(r)?);
+            }
+            keyframes.push(MapKeyframe {
+                id,
+                pose: Pose::new(q, t),
+                point_ids,
+            });
+        }
+        Ok(WorldMap { points, keyframes })
+    }
+
+    /// Saves to a file.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn save(&self, path: impl AsRef<Path>) -> io::Result<()> {
+        let mut f = std::fs::File::create(path)?;
+        self.write_to(&mut f)
+    }
+
+    /// Loads from a file.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem and format errors.
+    pub fn load(path: impl AsRef<Path>) -> io::Result<WorldMap> {
+        let mut f = std::fs::File::open(path)?;
+        WorldMap::read_from(&mut f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eudoxus_geometry::Quaternion;
+
+    fn sample_map() -> WorldMap {
+        let mut d1 = OrbDescriptor::zero();
+        d1.set_bit(5);
+        d1.set_bit(100);
+        WorldMap {
+            points: vec![
+                MapPoint {
+                    id: 1,
+                    position: Vec3::new(1.0, 2.0, 3.0),
+                    descriptor: d1,
+                },
+                MapPoint {
+                    id: 9,
+                    position: Vec3::new(-0.5, 0.25, 8.0),
+                    descriptor: OrbDescriptor::zero(),
+                },
+            ],
+            keyframes: vec![MapKeyframe {
+                id: 0,
+                pose: Pose::new(
+                    Quaternion::from_axis_angle(Vec3::unit_z(), 0.3),
+                    Vec3::new(4.0, 5.0, 6.0),
+                ),
+                point_ids: vec![1, 9],
+            }],
+        }
+    }
+
+    #[test]
+    fn roundtrip_through_buffer() {
+        let map = sample_map();
+        let mut buf = Vec::new();
+        map.write_to(&mut buf).unwrap();
+        let loaded = WorldMap::read_from(&mut buf.as_slice()).unwrap();
+        assert_eq!(loaded.points.len(), 2);
+        assert_eq!(loaded.keyframes.len(), 1);
+        assert_eq!(loaded.points[0].descriptor, map.points[0].descriptor);
+        assert!((loaded.keyframes[0].pose.translation - map.keyframes[0].pose.translation).norm() < 1e-12);
+        assert!(loaded.keyframes[0]
+            .pose
+            .rotation
+            .angle_to(map.keyframes[0].pose.rotation) < 1e-9);
+    }
+
+    #[test]
+    fn roundtrip_through_file() {
+        let map = sample_map();
+        let path = std::env::temp_dir().join("eudoxus_map_test.bin");
+        map.save(&path).unwrap();
+        let loaded = WorldMap::load(&path).unwrap();
+        assert_eq!(loaded.points, map.points);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let bytes = b"NOTAMAP!\0\0\0\0";
+        let err = WorldMap::read_from(&mut &bytes[..]).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn point_lookup() {
+        let map = sample_map();
+        assert!(map.point(9).is_some());
+        assert!(map.point(7).is_none());
+    }
+}

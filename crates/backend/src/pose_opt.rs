@@ -1,0 +1,268 @@
+//! Pose-only Gauss–Newton optimization on 2D–3D correspondences.
+//!
+//! Shared by the registration mode ("PoseOpt." in paper Fig. 6) and the
+//! SLAM tracking block: given matched world points and their pixel
+//! observations, refine the 6-DoF camera pose by minimizing reprojection
+//! error with a robust (Huber) weight.
+
+use eudoxus_geometry::{Mat3, PinholeCamera, Pose, Quaternion, Vec2, Vec3};
+use eudoxus_math::{Matrix, Vector};
+
+/// One 2D–3D correspondence.
+#[derive(Debug, Clone, Copy)]
+pub struct PoseObservation {
+    /// World-frame point.
+    pub world: Vec3,
+    /// Observed pixel.
+    pub pixel: Vec2,
+}
+
+/// Result of [`optimize_pose`].
+#[derive(Debug, Clone, Copy)]
+pub struct PoseOptResult {
+    /// Refined pose.
+    pub pose: Pose,
+    /// Iterations executed.
+    pub iterations: usize,
+    /// Final mean reprojection error over inliers (pixels).
+    pub mean_error_px: f64,
+    /// Number of observations within the Huber band at convergence.
+    pub inliers: usize,
+}
+
+/// Gauss–Newton settings.
+#[derive(Debug, Clone, Copy)]
+pub struct PoseOptConfig {
+    /// Maximum iterations.
+    pub max_iterations: usize,
+    /// Stop when the update norm falls below this.
+    pub epsilon: f64,
+    /// Huber threshold (pixels).
+    pub huber_px: f64,
+    /// Hard outlier gate (pixels): residuals beyond this are ignored
+    /// entirely (wrong associations can be hundreds of pixels off).
+    pub outlier_gate_px: f64,
+}
+
+impl Default for PoseOptConfig {
+    fn default() -> Self {
+        PoseOptConfig {
+            max_iterations: 10,
+            epsilon: 1e-7,
+            huber_px: 4.0,
+            outlier_gate_px: 12.0,
+        }
+    }
+}
+
+/// Refines `initial` so the world points project onto their pixels.
+///
+/// Returns `None` when fewer than 4 observations are usable (pose would be
+/// under-constrained).
+pub fn optimize_pose(
+    camera: &PinholeCamera,
+    initial: Pose,
+    observations: &[PoseObservation],
+    cfg: &PoseOptConfig,
+) -> Option<PoseOptResult> {
+    if observations.len() < 4 {
+        return None;
+    }
+    let mut pose = initial;
+    let mut iterations = 0;
+    for it in 0..cfg.max_iterations {
+        iterations = it + 1;
+        // Accumulate the 6×6 normal equations over world-frame pose
+        // perturbation [δθ, δp].
+        let mut h = Matrix::zeros(6, 6);
+        let mut g = Vector::zeros(6);
+        let mut used = 0usize;
+        // A coarse initialization can push every residual past the gate;
+        // count the gated survivors first and disable the gate when it
+        // would starve the solve (Huber still bounds outlier influence).
+        let gated_survivors = observations
+            .iter()
+            .filter(|obs| {
+                let p_cam = pose.inverse_transform(obs.world);
+                p_cam.z > 0.05
+                    && camera
+                        .project(p_cam)
+                        .is_some_and(|pred| (obs.pixel - pred).norm() <= cfg.outlier_gate_px)
+            })
+            .count();
+        let gate = if gated_survivors >= 4 {
+            cfg.outlier_gate_px
+        } else {
+            f64::INFINITY
+        };
+        for obs in observations {
+            let p_cam = pose.inverse_transform(obs.world);
+            if p_cam.z <= 0.05 {
+                continue;
+            }
+            let Some(pred) = camera.project(p_cam) else { continue };
+            let r = obs.pixel - pred;
+            let e = r.norm();
+            if e > gate {
+                continue; // gated outlier
+            }
+            // Huber weight.
+            let w = if e <= cfg.huber_px { 1.0 } else { cfg.huber_px / e };
+            // ∂h/∂δθ = Jπ·Rᵀ·hat(p_w − t); ∂h/∂δp = −Jπ·Rᵀ.
+            let j_pi = camera.projection_jacobian(p_cam);
+            let rot_t = pose.rotation.conjugate().to_matrix();
+            let jf = mul2x3(&j_pi, &rot_t);
+            let jtheta = mul2x3(&jf, &Mat3::hat(obs.world - pose.translation));
+            // Residual jacobian J = ∂r/∂x = −∂h/∂x.
+            let mut jrow = [[0.0f64; 6]; 2];
+            for c in 0..3 {
+                jrow[0][c] = -jtheta[0][c];
+                jrow[1][c] = -jtheta[1][c];
+                jrow[0][3 + c] = jf[0][c];
+                jrow[1][3 + c] = jf[1][c];
+            }
+            let rv = [r.x, r.y];
+            for a in 0..6 {
+                for b in 0..6 {
+                    h[(a, b)] += w * (jrow[0][a] * jrow[0][b] + jrow[1][a] * jrow[1][b]);
+                }
+                g[a] += w * (jrow[0][a] * rv[0] + jrow[1][a] * rv[1]);
+            }
+            used += 1;
+        }
+        if used < 4 {
+            return None;
+        }
+        h.add_diag(1e-8);
+        // GN step: (JᵀJ)δ = −Jᵀr.
+        let step = h.solve_spd(&(-&g)).ok()?;
+        let dtheta = Vec3::new(step[0], step[1], step[2]);
+        let dp = Vec3::new(step[3], step[4], step[5]);
+        pose = Pose::new(
+            Quaternion::from_rotation_vector(dtheta) * pose.rotation,
+            pose.translation + dp,
+        );
+        if step.norm() < cfg.epsilon {
+            break;
+        }
+    }
+    // Final statistics.
+    let mut err_sum = 0.0;
+    let mut inliers = 0usize;
+    for obs in observations {
+        let p_cam = pose.inverse_transform(obs.world);
+        if p_cam.z <= 0.05 {
+            continue;
+        }
+        if let Some(pred) = camera.project(p_cam) {
+            let e = (obs.pixel - pred).norm();
+            if e <= cfg.huber_px {
+                inliers += 1;
+                err_sum += e;
+            }
+        }
+    }
+    Some(PoseOptResult {
+        pose,
+        iterations,
+        mean_error_px: if inliers > 0 { err_sum / inliers as f64 } else { f64::MAX },
+        inliers,
+    })
+}
+
+fn mul2x3(j: &[[f64; 3]; 2], m: &Mat3) -> [[f64; 3]; 2] {
+    let mut out = [[0.0; 3]; 2];
+    for r in 0..2 {
+        for c in 0..3 {
+            out[r][c] = (0..3).map(|k| j[r][k] * m.m[k][c]).sum();
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn camera() -> PinholeCamera {
+        PinholeCamera::centered(500.0, 640, 480)
+    }
+
+    fn scene() -> Vec<Vec3> {
+        (0..24)
+            .map(|i| {
+                Vec3::new(
+                    (i % 6) as f64 * 0.8 - 2.0,
+                    ((i / 6) % 4) as f64 * 0.7 - 1.0,
+                    4.0 + (i % 5) as f64 * 0.9,
+                )
+            })
+            .collect()
+    }
+
+    fn observe(cam: &PinholeCamera, pose: Pose, points: &[Vec3]) -> Vec<PoseObservation> {
+        points
+            .iter()
+            .filter_map(|&w| {
+                cam.project_in_bounds(pose.inverse_transform(w))
+                    .map(|pixel| PoseObservation { world: w, pixel })
+            })
+            .collect()
+    }
+
+    #[test]
+    fn recovers_perturbed_pose() {
+        let cam = camera();
+        let truth = Pose::from_rotation_vector(Vec3::new(0.02, -0.05, 0.1), Vec3::new(0.4, -0.2, 0.1));
+        let obs = observe(&cam, truth, &scene());
+        assert!(obs.len() >= 10);
+        let init = Pose::from_rotation_vector(Vec3::new(0.0, 0.0, 0.05), Vec3::new(0.2, 0.0, 0.0));
+        let result = optimize_pose(&cam, init, &obs, &PoseOptConfig::default()).unwrap();
+        assert!(result.pose.translation_distance(truth) < 1e-4, "t err {}", result.pose.translation_distance(truth));
+        assert!(result.pose.rotation_distance(truth) < 1e-5);
+        assert!(result.mean_error_px < 1e-3);
+    }
+
+    #[test]
+    fn robust_to_outliers() {
+        let cam = camera();
+        let truth = Pose::new(Quaternion::identity(), Vec3::new(0.1, 0.1, 0.0));
+        let mut obs = observe(&cam, truth, &scene());
+        // Corrupt 20% with gross errors.
+        let n_bad = obs.len() / 5;
+        for o in obs.iter_mut().take(n_bad) {
+            o.pixel = o.pixel + Vec2::new(60.0, -40.0);
+        }
+        let result =
+            optimize_pose(&cam, Pose::identity(), &obs, &PoseOptConfig::default()).unwrap();
+        assert!(
+            result.pose.translation_distance(truth) < 0.05,
+            "t err {}",
+            result.pose.translation_distance(truth)
+        );
+        assert!(result.inliers >= obs.len() - n_bad - 2);
+    }
+
+    #[test]
+    fn too_few_observations_rejected() {
+        let cam = camera();
+        let obs = vec![
+            PoseObservation {
+                world: Vec3::new(0.0, 0.0, 5.0),
+                pixel: Vec2::new(320.0, 240.0),
+            };
+            3
+        ];
+        assert!(optimize_pose(&cam, Pose::identity(), &obs, &PoseOptConfig::default()).is_none());
+    }
+
+    #[test]
+    fn exact_initial_pose_converges_immediately() {
+        let cam = camera();
+        let truth = Pose::new(Quaternion::identity(), Vec3::new(0.3, 0.0, -0.1));
+        let obs = observe(&cam, truth, &scene());
+        let result = optimize_pose(&cam, truth, &obs, &PoseOptConfig::default()).unwrap();
+        assert!(result.iterations <= 2);
+        assert!(result.pose.translation_distance(truth) < 1e-9);
+    }
+}

@@ -1,0 +1,421 @@
+//! The registration backend mode: localization against a given map.
+//!
+//! "It calculates the 6 DoF pose against a given map … using the
+//! bag-of-words framework" (paper Sec. III). Per frame the mode runs the
+//! four kernels of paper Fig. 6: **Update** (BoW bookkeeping and — when
+//! lost — global relocalization), **Projection** (the camera-model
+//! projection of all map points, a `3×4 · 4×M` matrix multiply whose
+//! latency scales with the number of map points, Fig. 16a), **Match**
+//! (descriptor association), and **PoseOpt.** (pose-only Gauss–Newton).
+
+use crate::kernels::{Kernel, KernelTimer};
+use crate::map::WorldMap;
+use crate::pose_opt::{optimize_pose, PoseObservation, PoseOptConfig};
+use crate::types::{BackendInput, BackendMode, BackendReport};
+use eudoxus_geometry::{Pose, Vec2};
+use eudoxus_vocab::{KeyframeDatabase, Vocabulary, VocabularyConfig};
+
+/// Registration tuning parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct RegistrationConfig {
+    /// Max descriptor Hamming distance for a 2D–3D match.
+    pub max_hamming: u32,
+    /// Pixel search radius around a projected map point.
+    pub match_radius_px: f64,
+    /// Pose optimizer settings.
+    pub pose_opt: PoseOptConfig,
+    /// Minimum accepted matches to stay "tracking".
+    pub min_matches: usize,
+    /// Maximum mean reprojection error of pose-opt inliers for the frame
+    /// to count as tracking (rejects coincidental matches against a wrong
+    /// map).
+    pub max_mean_error_px: f64,
+    /// Vocabulary shape for the relocalization database.
+    pub vocab: VocabularyConfig,
+}
+
+impl Default for RegistrationConfig {
+    fn default() -> Self {
+        RegistrationConfig {
+            max_hamming: 50,
+            match_radius_px: 30.0,
+            pose_opt: PoseOptConfig::default(),
+            min_matches: 8,
+            max_mean_error_px: 2.5,
+            vocab: VocabularyConfig::default(),
+        }
+    }
+}
+
+/// The registration backend.
+///
+/// # Example
+///
+/// ```
+/// use eudoxus_backend::{BackendMode, Registration, RegistrationConfig, WorldMap};
+///
+/// let reg = Registration::new(WorldMap::default(), RegistrationConfig::default());
+/// assert_eq!(reg.name(), "registration");
+/// ```
+#[derive(Debug)]
+pub struct Registration {
+    cfg: RegistrationConfig,
+    map: WorldMap,
+    vocab: Option<Vocabulary>,
+    db: KeyframeDatabase,
+    pose: Option<Pose>,
+    motion: Pose,
+    relocalizations: usize,
+}
+
+impl Registration {
+    /// Creates a registration backend over a persisted map, training the
+    /// relocalization vocabulary from the map's descriptors.
+    pub fn new(map: WorldMap, cfg: RegistrationConfig) -> Self {
+        let (vocab, db) = if map.points.is_empty() {
+            (None, KeyframeDatabase::new())
+        } else {
+            let corpus: Vec<_> = map.points.iter().map(|p| p.descriptor).collect();
+            let mut vocab = Vocabulary::train(&corpus, &cfg.vocab, 23);
+            // One document per keyframe: descriptors of its observed points.
+            let docs: Vec<Vec<_>> = map
+                .keyframes
+                .iter()
+                .map(|k| {
+                    k.point_ids
+                        .iter()
+                        .filter_map(|pid| map.point(*pid).map(|p| p.descriptor))
+                        .collect()
+                })
+                .collect();
+            vocab.reweight_idf(&docs);
+            let mut db = KeyframeDatabase::new();
+            for (kf, doc) in map.keyframes.iter().zip(&docs) {
+                db.insert(kf.id, vocab.bow(doc));
+            }
+            (Some(vocab), db)
+        };
+        Registration {
+            cfg,
+            map,
+            vocab,
+            db,
+            pose: None,
+            motion: Pose::identity(),
+            relocalizations: 0,
+        }
+    }
+
+    /// The map being localized against.
+    pub fn map(&self) -> &WorldMap {
+        &self.map
+    }
+
+    /// How many global relocalizations (BoW queries after being lost) have
+    /// fired.
+    pub fn relocalizations(&self) -> usize {
+        self.relocalizations
+    }
+
+    /// BoW global relocalization: the best-matching keyframe's pose.
+    fn relocalize(&mut self, descriptors: &[eudoxus_frontend::OrbDescriptor]) -> Option<Pose> {
+        let vocab = self.vocab.as_ref()?;
+        let bow = vocab.bow(descriptors);
+        let hits = self.db.query(&bow, 1);
+        let hit = hits.first()?;
+        let kf = self.map.keyframes.iter().find(|k| k.id == hit.doc_id)?;
+        self.relocalizations += 1;
+        Some(kf.pose)
+    }
+}
+
+impl BackendMode for Registration {
+    fn process(&mut self, input: &BackendInput<'_>) -> BackendReport {
+        let mut timer = KernelTimer::new();
+        let camera = input.rig.camera;
+
+        // [Update] BoW bookkeeping + relocalization when lost.
+        let descriptors: Vec<_> = input.observations.iter().map(|o| o.descriptor).collect();
+        let predicted = timer.time(Kernel::MapUpdate, descriptors.len(), || {
+            match self.pose {
+                Some(p) => Some(p * self.motion),
+                None => self.relocalize(&descriptors),
+            }
+        });
+        let Some(predicted) = predicted else {
+            return BackendReport {
+                pose: Pose::identity(),
+                kernels: timer.into_samples(),
+                tracking: false,
+            };
+        };
+
+        // [Projection] project every map point through the predicted pose —
+        // the `C · X` kernel over all M map points.
+        let visible: Vec<(usize, Vec2)> = timer.time(
+            Kernel::Projection,
+            self.map.points.len(),
+            || {
+                self.map
+                    .points
+                    .iter()
+                    .enumerate()
+                    .filter_map(|(i, p)| {
+                        camera
+                            .project_in_bounds(predicted.inverse_transform(p.position))
+                            .map(|px| (i, px))
+                    })
+                    .collect()
+            },
+        );
+
+        // [Match] associate observations to projected map points.
+        let matches: Vec<PoseObservation> = timer.time(
+            Kernel::MapMatch,
+            input.observations.len(),
+            || {
+                let r2 = self.cfg.match_radius_px * self.cfg.match_radius_px;
+                let mut out = Vec::new();
+                let mut used = vec![false; self.map.points.len()];
+                for o in input.observations {
+                    let opx = Vec2::new(o.x as f64, o.y as f64);
+                    let mut best: Option<(usize, u32)> = None;
+                    for &(pi, ppx) in &visible {
+                        if used[pi] {
+                            continue;
+                        }
+                        let d = ppx - opx;
+                        if d.norm_squared() > r2 {
+                            continue;
+                        }
+                        let h = o.descriptor.hamming(&self.map.points[pi].descriptor);
+                        if h <= self.cfg.max_hamming && best.is_none_or(|(_, bh)| h < bh) {
+                            best = Some((pi, h));
+                        }
+                    }
+                    if let Some((pi, _)) = best {
+                        used[pi] = true;
+                        out.push(PoseObservation {
+                            world: self.map.points[pi].position,
+                            pixel: opx,
+                        });
+                    }
+                }
+                out
+            },
+        );
+
+        // [PoseOpt.] pose-only Gauss–Newton on the accepted matches.
+        let optimized = timer.time(Kernel::PoseOptimization, matches.len(), || {
+            optimize_pose(&camera, predicted, &matches, &self.cfg.pose_opt)
+        });
+
+        let tracking = matches.len() >= self.cfg.min_matches
+            && optimized.is_some_and(|r| {
+                r.inliers >= self.cfg.min_matches && r.mean_error_px <= self.cfg.max_mean_error_px
+            });
+        let new_pose = optimized.map_or(predicted, |r| r.pose);
+        if tracking {
+            if let Some(prev) = self.pose {
+                self.motion = prev.between(new_pose);
+            }
+            self.pose = Some(new_pose);
+        } else {
+            // Lost: force relocalization next frame.
+            self.pose = None;
+            self.motion = Pose::identity();
+        }
+
+        BackendReport {
+            pose: new_pose,
+            kernels: timer.into_samples(),
+            tracking,
+        }
+    }
+
+    fn reset(&mut self) {
+        self.pose = None;
+        self.motion = Pose::identity();
+    }
+
+    fn name(&self) -> &'static str {
+        "registration"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::map::{MapKeyframe, MapPoint};
+    use eudoxus_frontend::{Observation, OrbDescriptor};
+    use eudoxus_geometry::{PinholeCamera, StereoRig, Vec3};
+
+    fn rig() -> StereoRig {
+        StereoRig::new(PinholeCamera::centered(450.0, 640, 480), 0.11)
+    }
+
+    fn descriptor_for(i: usize) -> OrbDescriptor {
+        let mut d = OrbDescriptor::zero();
+        for b in 0..10 {
+            d.set_bit((i * 37 + b * 11) % 256);
+        }
+        d
+    }
+
+    fn synthetic_map() -> (WorldMap, Vec<Vec3>) {
+        let positions: Vec<Vec3> = (0..50)
+            .map(|i| {
+                Vec3::new(
+                    (i % 10) as f64 * 0.8 - 3.5,
+                    ((i / 10) % 5) as f64 * 0.7 - 1.4,
+                    5.0 + (i % 3) as f64,
+                )
+            })
+            .collect();
+        let points: Vec<MapPoint> = positions
+            .iter()
+            .enumerate()
+            .map(|(i, &p)| MapPoint {
+                id: i as u64,
+                position: p,
+                descriptor: descriptor_for(i),
+            })
+            .collect();
+        let keyframes = vec![MapKeyframe {
+            id: 0,
+            pose: Pose::identity(),
+            point_ids: (0..50).collect(),
+        }];
+        (WorldMap { points, keyframes }, positions)
+    }
+
+    fn observations_at(rig: &StereoRig, pose: Pose, positions: &[Vec3]) -> Vec<Observation> {
+        positions
+            .iter()
+            .enumerate()
+            .filter_map(|(i, lm)| {
+                rig.camera
+                    .project_in_bounds(pose.inverse_transform(*lm))
+                    .map(|px| Observation {
+                        track_id: i as u64,
+                        x: px.x as f32,
+                        y: px.y as f32,
+                        disparity: None,
+                        descriptor: descriptor_for(i),
+                    })
+            })
+            .collect()
+    }
+
+    #[test]
+    fn localizes_against_map() {
+        let rig = rig();
+        let (map, positions) = synthetic_map();
+        let mut reg = Registration::new(map, RegistrationConfig::default());
+        let mut worst = 0.0f64;
+        for frame in 0..8 {
+            let truth = Pose::new(Default::default(), Vec3::new(0.1 * frame as f64, 0.02 * frame as f64, 0.0));
+            let obs = observations_at(&rig, truth, &positions);
+            let report = reg.process(&BackendInput {
+                t: frame as f64 * 0.1,
+                observations: &obs,
+                imu: &[],
+                gps: &[],
+                rig,
+            });
+            assert!(report.tracking, "lost at frame {frame}");
+            worst = worst.max(report.pose.translation_distance(truth));
+        }
+        assert!(worst < 0.03, "worst error {worst}");
+        // First frame required a relocalization (no prior pose).
+        assert_eq!(reg.relocalizations(), 1);
+    }
+
+    #[test]
+    fn kernel_set_matches_figure6() {
+        let rig = rig();
+        let (map, positions) = synthetic_map();
+        let mut reg = Registration::new(map, RegistrationConfig::default());
+        let obs = observations_at(&rig, Pose::identity(), &positions);
+        let report = reg.process(&BackendInput {
+            t: 0.0,
+            observations: &obs,
+            imu: &[],
+            gps: &[],
+            rig,
+        });
+        let kinds: Vec<Kernel> = report.kernels.iter().map(|k| k.kernel).collect();
+        assert!(kinds.contains(&Kernel::MapUpdate));
+        assert!(kinds.contains(&Kernel::Projection));
+        assert!(kinds.contains(&Kernel::MapMatch));
+        assert!(kinds.contains(&Kernel::PoseOptimization));
+        // Projection size is the map size (the M in C·X).
+        let proj = report
+            .kernels
+            .iter()
+            .find(|k| k.kernel == Kernel::Projection)
+            .unwrap();
+        assert_eq!(proj.size, 50);
+    }
+
+    #[test]
+    fn relocalizes_after_losing_track() {
+        let rig = rig();
+        let (map, positions) = synthetic_map();
+        let mut reg = Registration::new(map, RegistrationConfig::default());
+        let truth = Pose::identity();
+        let obs = observations_at(&rig, truth, &positions);
+        assert!(reg
+            .process(&BackendInput {
+                t: 0.0,
+                observations: &obs,
+                imu: &[],
+                gps: &[],
+                rig,
+            })
+            .tracking);
+        // A frame with garbage observations loses tracking.
+        let garbage: Vec<Observation> = (0..20)
+            .map(|i| Observation {
+                track_id: 1000 + i,
+                x: 10.0 + i as f32,
+                y: 10.0,
+                disparity: None,
+                descriptor: OrbDescriptor::from_words([u64::MAX; 4]),
+            })
+            .collect();
+        let lost = reg.process(&BackendInput {
+            t: 0.1,
+            observations: &garbage,
+            imu: &[],
+            gps: &[],
+            rig,
+        });
+        assert!(!lost.tracking);
+        // Good observations again: BoW relocalization recovers the pose.
+        let recovered = reg.process(&BackendInput {
+            t: 0.2,
+            observations: &obs,
+            imu: &[],
+            gps: &[],
+            rig,
+        });
+        assert!(recovered.tracking);
+        assert!(recovered.pose.translation_distance(truth) < 0.05);
+        assert!(reg.relocalizations() >= 2);
+    }
+
+    #[test]
+    fn empty_map_never_tracks() {
+        let rig = rig();
+        let mut reg = Registration::new(WorldMap::default(), RegistrationConfig::default());
+        let report = reg.process(&BackendInput {
+            t: 0.0,
+            observations: &[],
+            imu: &[],
+            gps: &[],
+            rig,
+        });
+        assert!(!report.tracking);
+    }
+}

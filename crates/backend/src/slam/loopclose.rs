@@ -1,0 +1,163 @@
+//! Loop-closure support: rigid alignment of matched point sets.
+//!
+//! When the bag-of-words database recognizes a previously mapped place,
+//! SLAM "closes the loop" (paper Sec. III) by estimating the rigid
+//! transform between the drifted current map and the original one. The
+//! estimator is Horn's closed-form quaternion method; the dominant
+//! eigenvector of the 4×4 profile matrix is found by shifted power
+//! iteration (no external eigensolver needed).
+
+use eudoxus_geometry::{Pose, Quaternion, Vec3};
+
+/// Estimates the rigid transform `T` minimizing `Σ‖to_i − T·from_i‖²`.
+///
+/// Returns `None` for fewer than 3 pairs or degenerate geometry.
+///
+/// # Example
+///
+/// ```
+/// use eudoxus_backend::slam::align_point_sets;
+/// use eudoxus_geometry::{Pose, Vec3};
+///
+/// let from = vec![
+///     Vec3::new(0.0, 0.0, 0.0),
+///     Vec3::new(1.0, 0.0, 0.0),
+///     Vec3::new(0.0, 1.0, 0.0),
+///     Vec3::new(0.0, 0.0, 1.0),
+/// ];
+/// let truth = Pose::from_rotation_vector(Vec3::new(0.0, 0.0, 0.2), Vec3::new(1.0, -0.5, 0.3));
+/// let to: Vec<Vec3> = from.iter().map(|&p| truth.transform(p)).collect();
+/// let t = align_point_sets(&from, &to).unwrap();
+/// assert!(t.translation_distance(truth) < 1e-9);
+/// ```
+pub fn align_point_sets(from: &[Vec3], to: &[Vec3]) -> Option<Pose> {
+    if from.len() < 3 || from.len() != to.len() {
+        return None;
+    }
+    let n = from.len() as f64;
+    let c_from = from.iter().fold(Vec3::zero(), |a, &b| a + b) / n;
+    let c_to = to.iter().fold(Vec3::zero(), |a, &b| a + b) / n;
+
+    // Cross-covariance M = Σ (from − c_from)·(to − c_to)ᵀ.
+    let mut m = [[0.0f64; 3]; 3];
+    for (f, t) in from.iter().zip(to) {
+        let a = *f - c_from;
+        let b = *t - c_to;
+        let av = [a.x, a.y, a.z];
+        let bv = [b.x, b.y, b.z];
+        for i in 0..3 {
+            for j in 0..3 {
+                m[i][j] += av[i] * bv[j];
+            }
+        }
+    }
+    // Horn's N matrix (symmetric 4×4) whose dominant eigenvector is the
+    // optimal quaternion (w, x, y, z).
+    let tr = m[0][0] + m[1][1] + m[2][2];
+    let n4 = [
+        [
+            tr,
+            m[1][2] - m[2][1],
+            m[2][0] - m[0][2],
+            m[0][1] - m[1][0],
+        ],
+        [
+            m[1][2] - m[2][1],
+            m[0][0] - m[1][1] - m[2][2],
+            m[0][1] + m[1][0],
+            m[2][0] + m[0][2],
+        ],
+        [
+            m[2][0] - m[0][2],
+            m[0][1] + m[1][0],
+            m[1][1] - m[0][0] - m[2][2],
+            m[1][2] + m[2][1],
+        ],
+        [
+            m[0][1] - m[1][0],
+            m[2][0] + m[0][2],
+            m[1][2] + m[2][1],
+            m[2][2] - m[0][0] - m[1][1],
+        ],
+    ];
+    // Shift to make the dominant eigenvalue the largest in magnitude.
+    let shift: f64 = n4
+        .iter()
+        .map(|row| row.iter().map(|v| v.abs()).sum::<f64>())
+        .fold(0.0, f64::max)
+        + 1.0;
+    let mut v = [1.0f64, 0.1, 0.1, 0.1];
+    for _ in 0..64 {
+        let mut nv = [0.0f64; 4];
+        for i in 0..4 {
+            nv[i] = shift * v[i] + (0..4).map(|j| n4[i][j] * v[j]).sum::<f64>();
+        }
+        let norm = nv.iter().map(|x| x * x).sum::<f64>().sqrt();
+        if norm < 1e-12 {
+            return None;
+        }
+        for i in 0..4 {
+            v[i] = nv[i] / norm;
+        }
+    }
+    let q = Quaternion::new(v[0], v[1], v[2], v[3]);
+    let t = c_to - q.rotate(c_from);
+    Some(Pose::new(q, t))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cloud() -> Vec<Vec3> {
+        (0..12)
+            .map(|i| {
+                Vec3::new(
+                    ((i * 7) % 5) as f64 - 2.0,
+                    ((i * 3) % 4) as f64 - 1.5,
+                    ((i * 11) % 6) as f64,
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn recovers_random_rigid_transform() {
+        let from = cloud();
+        let truth = Pose::from_rotation_vector(Vec3::new(0.3, -0.2, 0.5), Vec3::new(2.0, -1.0, 0.7));
+        let to: Vec<Vec3> = from.iter().map(|&p| truth.transform(p)).collect();
+        let est = align_point_sets(&from, &to).unwrap();
+        assert!(est.translation_distance(truth) < 1e-9);
+        assert!(est.rotation_distance(truth) < 1e-9);
+    }
+
+    #[test]
+    fn identity_for_identical_sets() {
+        let pts = cloud();
+        let est = align_point_sets(&pts, &pts).unwrap();
+        assert!(est.translation.norm() < 1e-9);
+        assert!(est.rotation.angle_to(Quaternion::identity()) < 1e-9);
+    }
+
+    #[test]
+    fn tolerates_small_noise() {
+        let from = cloud();
+        let truth = Pose::from_rotation_vector(Vec3::new(0.0, 0.1, 0.0), Vec3::new(0.5, 0.0, 0.0));
+        let to: Vec<Vec3> = from
+            .iter()
+            .enumerate()
+            .map(|(i, &p)| truth.transform(p) + Vec3::new(0.01, -0.01, 0.005) * ((i % 3) as f64 - 1.0))
+            .collect();
+        let est = align_point_sets(&from, &to).unwrap();
+        assert!(est.translation_distance(truth) < 0.05);
+        assert!(est.rotation_distance(truth) < 0.02);
+    }
+
+    #[test]
+    fn too_few_points_rejected() {
+        let a = vec![Vec3::zero(), Vec3::unit_x()];
+        assert!(align_point_sets(&a, &a).is_none());
+        let b = cloud();
+        assert!(align_point_sets(&b[..3], &b[..4]).is_none());
+    }
+}

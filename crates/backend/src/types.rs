@@ -1,0 +1,91 @@
+//! Backend input/output types and the mode trait.
+
+use crate::kernels::KernelSample;
+use eudoxus_frontend::Observation;
+use eudoxus_geometry::{Pose, StereoRig, Vec3};
+
+/// One IMU reading, as consumed by the backend (decoupled from the
+/// simulator's generation-side type).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ImuReading {
+    /// Timestamp (seconds).
+    pub t: f64,
+    /// Body angular rate (rad/s).
+    pub gyro: Vec3,
+    /// Body specific force (m/s²).
+    pub accel: Vec3,
+}
+
+/// One GPS fix, as consumed by the backend.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GpsFix {
+    /// Timestamp (seconds).
+    pub t: f64,
+    /// Measured world position (meters).
+    pub position: Vec3,
+    /// Reported 1-σ accuracy (meters).
+    pub sigma: f64,
+}
+
+/// Everything a backend mode receives for one frame.
+#[derive(Debug, Clone)]
+pub struct BackendInput<'a> {
+    /// Frame timestamp (seconds).
+    pub t: f64,
+    /// Feature observations with persistent track ids (from the frontend).
+    pub observations: &'a [Observation],
+    /// IMU readings since the previous frame.
+    pub imu: &'a [ImuReading],
+    /// GPS fixes since the previous frame (empty indoors).
+    pub gps: &'a [GpsFix],
+    /// The stereo rig (intrinsics + baseline).
+    pub rig: StereoRig,
+}
+
+/// What a backend mode produces for one frame.
+#[derive(Debug, Clone)]
+pub struct BackendReport {
+    /// Estimated body pose at the frame timestamp.
+    pub pose: Pose,
+    /// Per-kernel timing/size samples for this frame.
+    pub kernels: Vec<KernelSample>,
+    /// Whether the estimator considers itself converged/tracking (false
+    /// during initialization or after losing the map).
+    pub tracking: bool,
+}
+
+/// A localization backend mode (paper Fig. 4: VIO / SLAM / Registration).
+pub trait BackendMode {
+    /// Processes one frame of correspondences and sensor data.
+    fn process(&mut self, input: &BackendInput<'_>) -> BackendReport;
+
+    /// Resets all estimator state (used at dataset segment boundaries).
+    fn reset(&mut self);
+
+    /// Short mode name for reports ("vio", "slam", "registration").
+    fn name(&self) -> &'static str;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn types_are_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<ImuReading>();
+        assert_send_sync::<GpsFix>();
+        assert_send_sync::<BackendReport>();
+    }
+
+    #[test]
+    fn report_carries_kernels() {
+        let r = BackendReport {
+            pose: Pose::identity(),
+            kernels: vec![],
+            tracking: true,
+        };
+        assert!(r.kernels.is_empty());
+        assert!(r.tracking);
+    }
+}

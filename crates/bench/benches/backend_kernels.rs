@@ -1,0 +1,85 @@
+//! Criterion benchmarks of the three offloadable backend kernels at the
+//! CPU level (the latencies Fig. 16 characterizes), plus the accelerator
+//! model's estimate for the same sizes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use eudoxus_accel::{BackendEngine, KernelDims, Platform};
+use eudoxus_math::{Cholesky, Matrix};
+use std::hint::black_box;
+
+/// CPU Kalman-gain kernel: S = H·P·Hᵀ + R; solve S·K' = (P·Hᵀ)'.
+fn kalman_gain_cpu(rows: usize, state: usize) -> Matrix {
+    let h = Matrix::from_fn(rows, state, |i, j| ((i * state + j) as f64 * 0.11).sin());
+    let p = {
+        let b = Matrix::from_fn(state, state, |i, j| ((i + 2 * j) as f64 * 0.07).cos());
+        let mut p = b.outer_gram();
+        p.add_diag(state as f64);
+        p
+    };
+    let pht = p.matmul(&h.transpose()).unwrap();
+    let mut s = h.matmul(&pht).unwrap();
+    s.add_diag(1.5 * 1.5);
+    let chol = Cholesky::factor(&s).unwrap();
+    chol.solve_matrix(&pht.transpose()).unwrap().transpose()
+}
+
+/// CPU projection kernel: C(3×4) · X(4×M).
+fn projection_cpu(map_points: usize) -> Matrix {
+    let c = Matrix::from_fn(3, 4, |i, j| (i + j) as f64);
+    let x = Matrix::from_fn(4, map_points, |i, j| ((i * map_points + j) as f64 * 0.01).sin());
+    c.matmul(&x).unwrap()
+}
+
+fn bench_backend(c: &mut Criterion) {
+    let engine = BackendEngine::new(Platform::edx_car());
+
+    let mut group = c.benchmark_group("kalman_gain_cpu");
+    for rows in [40usize, 80, 160] {
+        group.bench_with_input(BenchmarkId::from_parameter(rows), &rows, |b, &rows| {
+            b.iter(|| black_box(kalman_gain_cpu(rows, 195)))
+        });
+        let est = engine.offload_time(&KernelDims::KalmanGain { rows, state: 195 });
+        println!("model: kalman gain rows={rows} accel offload ≈ {:.3} ms", est * 1e3);
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("projection_cpu");
+    for m in [1_000usize, 4_000, 16_000] {
+        group.bench_with_input(BenchmarkId::from_parameter(m), &m, |b, &m| {
+            b.iter(|| black_box(projection_cpu(m)))
+        });
+        let est = engine.offload_time(&KernelDims::Projection { map_points: m });
+        println!("model: projection M={m} accel offload ≈ {:.3} ms", est * 1e3);
+    }
+    group.finish();
+
+    // Marginalization at the math level: Schur complement of a
+    // marginalization-shaped matrix.
+    let mut group = c.benchmark_group("marginalization_cpu");
+    for k in [20usize, 40] {
+        let na = 3 * k;
+        let n = na + 36;
+        let b = Matrix::from_fn(n, n, |i, j| ((i * n + j) as f64 * 0.19).sin());
+        let mut m = b.outer_gram();
+        m.add_diag(n as f64);
+        group.bench_with_input(BenchmarkId::from_parameter(k), &k, |bench, _| {
+            bench.iter(|| {
+                let blk = eudoxus_math::BlockMatrix::split(black_box(&m), na).unwrap();
+                eudoxus_math::schur_complement(blk.a(), blk.b(), blk.c(), blk.d()).unwrap()
+            })
+        });
+        let est = engine.offload_time(&KernelDims::Marginalization {
+            landmarks: k,
+            remaining: 36,
+        });
+        println!("model: marginalization k={k} accel offload ≈ {:.3} ms", est * 1e3);
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_backend
+}
+criterion_main!(benches);

@@ -1,0 +1,94 @@
+//! Criterion micro-benchmarks of the frontend kernels (the FD/IF/FC,
+//! MO/DR and DC/LSS tasks of paper Fig. 12) on rendered drone frames.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use eudoxus_frontend::{
+    compute_orb, detect_fast, match_stereo, track_pyramidal, FastConfig, Feature, Frontend,
+    FrontendConfig, KltConfig, OrbConfig, StereoConfig,
+};
+use eudoxus_image::gaussian_blur;
+use eudoxus_sim::{Platform, ScenarioBuilder, ScenarioKind};
+use std::hint::black_box;
+
+fn bench_frontend(c: &mut Criterion) {
+    let data = ScenarioBuilder::new(ScenarioKind::IndoorUnknown)
+        .frames(2)
+        .seed(7)
+        .platform(Platform::Drone)
+        .build();
+    let left = &data.frames[0].left;
+    let right = &data.frames[0].right;
+    let next_left = &data.frames[1].left;
+
+    c.bench_function("fast_detect_640x480", |b| {
+        b.iter(|| detect_fast(black_box(left), &FastConfig::default()))
+    });
+
+    let blurred = gaussian_blur(left, 1.2);
+    let kps = detect_fast(left, &FastConfig::default());
+    c.bench_function("orb_describe_per_400_kps", |b| {
+        b.iter(|| {
+            let n = kps
+                .iter()
+                .take(400)
+                .filter_map(|kp| compute_orb(black_box(&blurred), kp, &OrbConfig::default()))
+                .count();
+            black_box(n)
+        })
+    });
+
+    let blurred_r = gaussian_blur(right, 1.2);
+    let feats_l: Vec<Feature> = kps
+        .iter()
+        .filter_map(|kp| {
+            compute_orb(&blurred, kp, &OrbConfig::default()).map(|d| Feature {
+                keypoint: *kp,
+                descriptor: d,
+            })
+        })
+        .collect();
+    let kps_r = detect_fast(right, &FastConfig::default());
+    let feats_r: Vec<Feature> = kps_r
+        .iter()
+        .filter_map(|kp| {
+            compute_orb(&blurred_r, kp, &OrbConfig::default()).map(|d| Feature {
+                keypoint: *kp,
+                descriptor: d,
+            })
+        })
+        .collect();
+    c.bench_function("stereo_match_mo_dr", |b| {
+        b.iter(|| {
+            match_stereo(
+                black_box(&feats_l),
+                black_box(&feats_r),
+                left,
+                right,
+                &StereoConfig::default(),
+            )
+        })
+    });
+
+    let points: Vec<(f32, f32)> = feats_l
+        .iter()
+        .take(300)
+        .map(|f| (f.keypoint.x, f.keypoint.y))
+        .collect();
+    c.bench_function("klt_track_300_points", |b| {
+        b.iter(|| track_pyramidal(black_box(left), black_box(next_left), &points, &KltConfig::default()))
+    });
+
+    c.bench_function("frontend_full_frame", |b| {
+        b.iter(|| {
+            let mut fe = Frontend::new(FrontendConfig::default());
+            black_box(fe.process(left, right))
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_frontend
+}
+criterion_main!(benches);

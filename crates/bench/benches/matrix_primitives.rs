@@ -1,0 +1,89 @@
+//! Criterion benchmarks of the five matrix building blocks (paper
+//! Table I), including the ablations DESIGN.md calls out: blocked vs
+//! naive multiplication and structured vs general inversion.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use eudoxus_math::{BlockMatrix, Cholesky, Matrix, Qr, Vector};
+use std::hint::black_box;
+
+fn spd(n: usize) -> Matrix {
+    let b = Matrix::from_fn(n, n, |i, j| ((i * n + j) as f64 * 0.37).sin());
+    let mut a = b.outer_gram();
+    a.add_diag(n as f64);
+    a
+}
+
+fn bench_primitives(c: &mut Criterion) {
+    // Multiplication: naive vs blocked (the engine's blocking ablation).
+    let mut group = c.benchmark_group("multiply");
+    for n in [64usize, 128] {
+        let a = Matrix::from_fn(n, n, |i, j| (i + j) as f64 * 0.01);
+        let b = Matrix::from_fn(n, n, |i, j| (i as f64 - j as f64) * 0.02);
+        group.bench_with_input(BenchmarkId::new("naive", n), &n, |bench, _| {
+            bench.iter(|| black_box(&a).matmul(black_box(&b)).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("blocked32", n), &n, |bench, _| {
+            bench.iter(|| black_box(&a).matmul_blocked(black_box(&b), 32).unwrap())
+        });
+    }
+    group.finish();
+
+    // Decomposition (Cholesky) — the Kalman-gain path.
+    let mut group = c.benchmark_group("decompose");
+    for n in [60usize, 120] {
+        let a = spd(n);
+        group.bench_with_input(BenchmarkId::new("cholesky", n), &n, |bench, _| {
+            bench.iter(|| Cholesky::factor(black_box(&a)).unwrap())
+        });
+    }
+    group.finish();
+
+    // Substitution (solve after decomposition).
+    let a = spd(120);
+    let chol = Cholesky::factor(&a).unwrap();
+    let rhs = Vector::from_iter((0..120).map(|i| (i as f64).sin()));
+    c.bench_function("substitution_120", |b| {
+        b.iter(|| chol.solve(black_box(&rhs)).unwrap())
+    });
+
+    // QR (MSCKF measurement compression).
+    let tall = Matrix::from_fn(240, 60, |i, j| ((i * 61 + j) as f64 * 0.13).cos());
+    c.bench_function("qr_240x60", |b| {
+        b.iter(|| Qr::factor(black_box(&tall)).unwrap())
+    });
+
+    // Inverse: structured (marginalization A_mm) vs general — the
+    // specialization ablation of Sec. VI-A.
+    let na = 60;
+    let n = na + 6;
+    let mut m = Matrix::zeros(n, n);
+    for i in 0..na {
+        m[(i, i)] = 2.0 + i as f64 * 0.05;
+    }
+    for i in 0..6 {
+        for j in 0..6 {
+            m[(na + i, na + j)] = if i == j { 9.0 } else { 0.3 };
+        }
+    }
+    for i in 0..na {
+        for j in 0..6 {
+            let v = 0.05 * ((i + j) as f64).sin();
+            m[(i, na + j)] = v;
+            m[(na + j, i)] = v;
+        }
+    }
+    let blk = BlockMatrix::split(&m, na).unwrap();
+    c.bench_function("inverse_structured_66", |b| {
+        b.iter(|| blk.inverse_structured().unwrap())
+    });
+    c.bench_function("inverse_general_66", |b| {
+        b.iter(|| black_box(&m).inverse().unwrap())
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_primitives
+}
+criterion_main!(benches);

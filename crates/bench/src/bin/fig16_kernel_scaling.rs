@@ -1,0 +1,95 @@
+//! Fig. 16a–c: backend kernel latency vs the size of the matrices it
+//! operates on, with the scheduler's regression fits.
+//!
+//! Paper shape: projection scales linearly with map points; Kalman gain
+//! and marginalization scale superlinearly (quadratic fits) with feature
+//! counts.
+
+use eudoxus_bench::{dataset, row, run_pipeline, run_pipeline_with_map, section};
+use eudoxus_backend::Kernel;
+use eudoxus_math::{PolyFit, PolyModel};
+use eudoxus_sim::{Platform, ScenarioKind};
+
+fn scatter(samples: &[(usize, f64)], model: PolyModel, label: &str) {
+    if samples.len() < 6 {
+        println!("{label}: too few samples ({})", samples.len());
+        return;
+    }
+    // Bucketize for a compact series.
+    let mut sorted = samples.to_vec();
+    sorted.sort_by_key(|&(s, _)| s);
+    section(label);
+    row(&["size".into(), "latency ms".into()]);
+    let buckets = 8.min(sorted.len());
+    for b in 0..buckets {
+        let lo = b * sorted.len() / buckets;
+        let hi = ((b + 1) * sorted.len() / buckets).max(lo + 1);
+        let chunk = &sorted[lo..hi.min(sorted.len())];
+        let size = chunk.iter().map(|&(s, _)| s as f64).sum::<f64>() / chunk.len() as f64;
+        let ms = chunk.iter().map(|&(_, m)| m).sum::<f64>() / chunk.len() as f64;
+        row(&[format!("{size:.0}"), format!("{ms:.3}")]);
+    }
+    let xs: Vec<f64> = samples.iter().map(|&(s, _)| s as f64).collect();
+    let ys: Vec<f64> = samples.iter().map(|&(_, m)| m).collect();
+    match PolyFit::fit(model, &xs, &ys) {
+        Ok(fit) => println!(
+            "fit: {:?}, coeffs {:?}, R^2 = {:.3}",
+            model,
+            fit.coefficients()
+                .iter()
+                .map(|c| format!("{c:.2e}"))
+                .collect::<Vec<_>>(),
+            fit.r_squared()
+        ),
+        Err(e) => println!("fit failed: {e}"),
+    }
+}
+
+fn main() {
+    println!("Fig. 16: kernel latency is dictated by operand matrix size");
+    // Vary workload sizes via landmark-count/scenario sweeps.
+    let mut projection = Vec::new();
+    let mut kalman = Vec::new();
+    let mut marginalization = Vec::new();
+    // Sweep landmark density AND run length so persisted-map sizes (the
+    // projection kernel's M) span a wide range.
+    for (i, (lm_count, frames)) in [(250usize, 20usize), (900, 30), (2500, 60)]
+        .iter()
+        .enumerate()
+    {
+        let reg_data = eudoxus_sim::ScenarioBuilder::new(ScenarioKind::IndoorKnown)
+            .frames(*frames)
+            .fps(10.0)
+            .seed(40 + i as u64)
+            .platform(Platform::Drone)
+            .landmarks(*lm_count)
+            .build();
+        let reg = run_pipeline_with_map(&reg_data);
+        projection.extend(reg.kernel_samples(Kernel::Projection));
+    }
+    for (i, frames) in [30usize, 45].iter().enumerate() {
+        let vio = run_pipeline(&dataset(
+            ScenarioKind::OutdoorUnknown,
+            Platform::Drone,
+            *frames,
+            50 + i as u64,
+        ));
+        kalman.extend(vio.kernel_samples(Kernel::KalmanGain));
+        let slam = run_pipeline(&dataset(
+            ScenarioKind::IndoorUnknown,
+            Platform::Drone,
+            *frames,
+            60 + i as u64,
+        ));
+        marginalization.extend(slam.kernel_samples(Kernel::Marginalization));
+    }
+    let _ = &dataset; // keep the harness import exercised
+    scatter(&projection, PolyModel::Linear, "Fig. 16a: projection vs map points (linear)");
+    scatter(&kalman, PolyModel::Quadratic, "Fig. 16b: Kalman gain vs measurement rows (quadratic)");
+    scatter(
+        &marginalization,
+        PolyModel::Quadratic,
+        "Fig. 16c: marginalization vs marginalized dim (quadratic)",
+    );
+    println!("\npaper: projection linear in map points; others quadratic in features");
+}

@@ -1,0 +1,52 @@
+//! Table I: the variation-contributing backend kernels decompose into the
+//! five shared matrix building blocks.
+
+use eudoxus_accel::{BackendKernelKind, KernelDims};
+use eudoxus_bench::{row, section};
+
+fn main() {
+    section("Table I: building blocks per backend kernel");
+    let blocks = [
+        "Matrix Multiplication",
+        "Matrix Decomposition",
+        "Matrix Inverse",
+        "Matrix Transpose",
+        "Fwd./Bwd. Substitution",
+    ];
+    let dims = [
+        KernelDims::Projection { map_points: 2000 },
+        KernelDims::KalmanGain { rows: 80, state: 195 },
+        KernelDims::Marginalization {
+            landmarks: 40,
+            remaining: 30,
+        },
+    ];
+    row(&[
+        "building block".into(),
+        "Projection".into(),
+        "Kalman Gain".into(),
+        "Marginal.".into(),
+    ]);
+    for block in blocks {
+        let mut cells = vec![block.to_string()];
+        for d in &dims {
+            let used = d.decompose().iter().any(|op| op.block_name() == block);
+            cells.push(if used { "x".into() } else { "".into() });
+        }
+        row(&cells);
+    }
+    println!("\npaper Table I: multiplication+transpose in all; decomposition/substitution");
+    println!("in Kalman gain + marginalization; inverse only in marginalization");
+
+    section("per-kernel op sequences (with cycle costs on EDX-CAR, block=16)");
+    for d in &dims {
+        println!("\n{}:", match d.kind() {
+            BackendKernelKind::Projection => "Projection (C[3x4] . X[4xM], M=2000)",
+            BackendKernelKind::KalmanGain => "Kalman Gain (rows=80, state=195)",
+            BackendKernelKind::Marginalization => "Marginalization (40 landmarks + pose, 30 kept)",
+        });
+        for op in d.decompose() {
+            println!("  {:<24} {:>10.0} cycles", op.block_name(), op.cycles(16));
+        }
+    }
+}

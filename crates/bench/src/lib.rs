@@ -1,0 +1,67 @@
+//! Shared harness for the experiment regenerators.
+//!
+//! One binary per table/figure group of the paper (see DESIGN.md §3):
+//!
+//! | Binary | Regenerates |
+//! |---|---|
+//! | `fig03_accuracy` | Fig. 3a–d: error vs frame rate per algorithm per environment |
+//! | `characterization` | Figs. 5–11: latency splits, kernel breakdowns, per-frame variation |
+//! | `fig16_kernel_scaling` | Fig. 16a–c: kernel latency vs matrix size + fits |
+//! | `table1_blocks` | Table I: kernel → building-block decomposition |
+//! | `table2_resources` | Table II + the SB saving of Sec. VII-D |
+//! | `evaluation` | Figs. 17–21: latency/SD/FPS/energy, baseline vs accelerated, both platforms |
+//! | `sched_eval` | Sec. VII-F: scheduler R², oracle comparison, offload rates |
+//! | `table3_baselines` | Table III: speedups over CPU/GPU/DSP baselines |
+//! | `accuracy_check` | Sec. IV-A: relative trajectory error of the unified framework |
+//!
+//! Run any of them with
+//! `cargo run --release -p eudoxus-bench --bin <name>`.
+
+use eudoxus_core::{Eudoxus, PipelineConfig, RunLog};
+use eudoxus_sim::{Dataset, Platform, ScenarioBuilder, ScenarioKind};
+
+/// Builds a dataset with the harness defaults.
+pub fn dataset(kind: ScenarioKind, platform: Platform, frames: usize, seed: u64) -> Dataset {
+    ScenarioBuilder::new(kind)
+        .frames(frames)
+        .fps(10.0)
+        .seed(seed)
+        .platform(platform)
+        .build()
+}
+
+/// Runs the unified pipeline over a dataset, ground-truth anchored.
+pub fn run_pipeline(data: &Dataset) -> RunLog {
+    let mut system = Eudoxus::new(PipelineConfig::anchored());
+    system.process_dataset(data)
+}
+
+/// Runs the pipeline with a map (registration enabled), surveying first.
+pub fn run_pipeline_with_map(data: &Dataset) -> RunLog {
+    let map = eudoxus_core::build_map(data, &PipelineConfig::anchored());
+    let mut system = Eudoxus::new(PipelineConfig::anchored()).with_map(map);
+    system.process_dataset(data)
+}
+
+/// Prints a fixed-width table row.
+pub fn row(cells: &[String]) {
+    let line: Vec<String> = cells.iter().map(|c| format!("{c:>14}")).collect();
+    println!("{}", line.join(" |"));
+}
+
+/// Prints a section header.
+pub fn section(title: &str) {
+    println!("\n=== {title} ===");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn harness_builds_and_runs_small() {
+        let d = dataset(ScenarioKind::IndoorUnknown, Platform::Drone, 2, 1);
+        let log = run_pipeline(&d);
+        assert_eq!(log.len(), 2);
+    }
+}

@@ -1,0 +1,409 @@
+//! Accelerated execution: replaying a measured CPU run through the
+//! accelerator models.
+//!
+//! The evaluation methodology mirrors the paper's: the *baseline* numbers
+//! are real measurements of the software pipeline; the *accelerated*
+//! numbers replay each frame's workload through the analytical FPGA models
+//! — frontend task pipeline, backend matrix engine, runtime offload
+//! scheduler, and the energy model. This module produces the data behind
+//! Figs. 17–21 and the scheduler study of Sec. VII-F.
+
+use crate::instrument::RunLog;
+use crate::stats::Summary;
+use eudoxus_accel::{
+    BackendEngine, BackendKernelKind, EnergyModel, FrameEnergy, FrameWorkload, FrontendEngine,
+    KernelDims, Platform, RuntimeScheduler, TrainingSample,
+};
+use eudoxus_backend::Kernel;
+
+/// Offload policy for the backend kernels.
+#[derive(Debug, Clone)]
+pub enum OffloadPolicy {
+    /// Never offload (backend stays on the host CPU).
+    Never,
+    /// Always offload the three accelerator kernels.
+    Always,
+    /// Use the trained runtime scheduler (paper Sec. VI-B).
+    Scheduled(RuntimeScheduler),
+}
+
+/// One frame replayed through the accelerator.
+#[derive(Debug, Clone, Copy)]
+pub struct AcceleratedFrame {
+    /// Modeled frontend latency (ms).
+    pub frontend_ms: f64,
+    /// Backend latency after offload decisions (ms).
+    pub backend_ms: f64,
+    /// Offloadable kernel invocations this frame.
+    pub offloadable: usize,
+    /// How many were actually offloaded.
+    pub offloaded: usize,
+    /// Per-frame energy.
+    pub energy: FrameEnergy,
+}
+
+impl AcceleratedFrame {
+    /// End-to-end (non-pipelined) frame latency (ms).
+    pub fn total_ms(&self) -> f64 {
+        self.frontend_ms + self.backend_ms
+    }
+}
+
+/// A replayed run.
+#[derive(Debug, Clone)]
+pub struct AcceleratedRun {
+    /// Per-frame results, in order.
+    pub frames: Vec<AcceleratedFrame>,
+}
+
+impl AcceleratedRun {
+    /// Total latencies (ms).
+    pub fn total_ms(&self) -> Vec<f64> {
+        self.frames.iter().map(|f| f.total_ms()).collect()
+    }
+
+    /// Latency summary.
+    pub fn summary(&self) -> Summary {
+        Summary::of(&self.total_ms())
+    }
+
+    /// Throughput without frontend↔backend pipelining.
+    pub fn fps_unpipelined(&self) -> f64 {
+        let s = self.summary();
+        if s.mean <= 0.0 {
+            0.0
+        } else {
+            1000.0 / s.mean
+        }
+    }
+
+    /// Throughput with the frontend of frame `i+1` overlapping the backend
+    /// of frame `i` (paper Fig. 18 "w/ Pipelining"): the frame period is
+    /// the slower of the two stages.
+    pub fn fps_pipelined(&self) -> f64 {
+        let periods: Vec<f64> = self
+            .frames
+            .iter()
+            .map(|f| f.frontend_ms.max(f.backend_ms))
+            .collect();
+        let s = Summary::of(&periods);
+        if s.mean <= 0.0 {
+            0.0
+        } else {
+            1000.0 / s.mean
+        }
+    }
+
+    /// Mean energy per frame (joules).
+    pub fn mean_energy(&self) -> f64 {
+        if self.frames.is_empty() {
+            return 0.0;
+        }
+        self.frames.iter().map(|f| f.energy.total()).sum::<f64>() / self.frames.len() as f64
+    }
+
+    /// Fraction of offloadable kernels actually offloaded.
+    pub fn offload_rate(&self) -> f64 {
+        let total: usize = self.frames.iter().map(|f| f.offloadable).sum();
+        let off: usize = self.frames.iter().map(|f| f.offloaded).sum();
+        if total == 0 {
+            0.0
+        } else {
+            off as f64 / total as f64
+        }
+    }
+}
+
+/// Maps a measured backend kernel onto the accelerator's offloadable kind.
+fn offloadable_kind(kernel: Kernel) -> Option<BackendKernelKind> {
+    match kernel {
+        Kernel::KalmanGain => Some(BackendKernelKind::KalmanGain),
+        Kernel::Projection => Some(BackendKernelKind::Projection),
+        Kernel::Marginalization => Some(BackendKernelKind::Marginalization),
+        _ => None,
+    }
+}
+
+/// The accelerated executor for one platform.
+#[derive(Debug, Clone)]
+pub struct Executor {
+    platform: Platform,
+    frontend: FrontendEngine,
+    backend: BackendEngine,
+    energy: EnergyModel,
+    /// MSCKF error-state dimension used to size Kalman-gain offloads.
+    msckf_state_dim: usize,
+}
+
+impl Executor {
+    /// Creates an executor for a platform.
+    pub fn new(platform: Platform) -> Self {
+        Executor {
+            platform,
+            frontend: FrontendEngine::new(platform),
+            backend: BackendEngine::new(platform),
+            energy: EnergyModel::new(platform),
+            msckf_state_dim: 15 + 6 * 30,
+        }
+    }
+
+    /// The platform being modeled.
+    pub fn platform(&self) -> &Platform {
+        &self.platform
+    }
+
+    /// The backend engine (scheduler experiments need direct access).
+    pub fn backend_engine(&self) -> &BackendEngine {
+        &self.backend
+    }
+
+    /// Builds scheduler training samples from the first
+    /// `train_fraction` of the log (the paper trains on 25 % of frames,
+    /// Sec. VII-A).
+    pub fn training_samples(&self, log: &RunLog, train_fraction: f64) -> Vec<TrainingSample> {
+        let n_train = ((log.len() as f64) * train_fraction).ceil() as usize;
+        let mut samples = Vec::new();
+        for r in log.records.iter().take(n_train) {
+            for k in &r.backend_kernels {
+                if let Some(kind) = offloadable_kind(k.kernel) {
+                    samples.push(TrainingSample {
+                        kind,
+                        size: k.size,
+                        cpu_millis: k.millis,
+                    });
+                }
+            }
+        }
+        samples
+    }
+
+    /// Trains the runtime scheduler on the head of the log.
+    pub fn train_scheduler(&self, log: &RunLog, train_fraction: f64) -> Option<RuntimeScheduler> {
+        RuntimeScheduler::train(&self.training_samples(log, train_fraction))
+    }
+
+    /// Accelerator dimensions for one measured kernel sample.
+    fn dims_for(&self, kind: BackendKernelKind, size: usize) -> KernelDims {
+        match kind {
+            BackendKernelKind::Projection => KernelDims::Projection { map_points: size },
+            BackendKernelKind::KalmanGain => KernelDims::KalmanGain {
+                rows: size,
+                state: self.msckf_state_dim,
+            },
+            BackendKernelKind::Marginalization => KernelDims::Marginalization {
+                // The recorded size is the marginalized block dimension
+                // 3k + 6.
+                landmarks: size.saturating_sub(6) / 3,
+                remaining: 6 * 5,
+            },
+        }
+    }
+
+    /// Replays a measured run under an offload policy.
+    pub fn replay(&self, log: &RunLog, policy: &OffloadPolicy) -> AcceleratedRun {
+        let frames = log
+            .records
+            .iter()
+            .map(|r| {
+                // Frontend through the accelerator.
+                let workload = FrameWorkload {
+                    pixels: self.platform.pixels(),
+                    keypoints_left: r.frontend_stats.keypoints_left,
+                    keypoints_right: r.frontend_stats.keypoints_right,
+                    stereo_matches: r.frontend_stats.stereo_matches,
+                    tracks: r.frontend_stats.tracks_continued + r.frontend_stats.tracks_lost,
+                    disparity_range: if self.platform.resolution.0 >= 1280 {
+                        200
+                    } else {
+                        100
+                    },
+                };
+                let fe = self.frontend.latency(&workload);
+                let frontend_ms = fe.total() * 1e3;
+
+                // Backend: offload decisions per kernel sample.
+                let mut backend_ms = 0.0;
+                let mut fpga_backend_s = 0.0;
+                let mut host_backend_s = 0.0;
+                let mut offloadable = 0usize;
+                let mut offloaded = 0usize;
+                for k in &r.backend_kernels {
+                    match offloadable_kind(k.kernel) {
+                        Some(kind) => {
+                            offloadable += 1;
+                            let dims = self.dims_for(kind, k.size);
+                            let accel_ms = self.backend.offload_time(&dims) * 1e3;
+                            let do_offload = match policy {
+                                OffloadPolicy::Never => false,
+                                OffloadPolicy::Always => true,
+                                OffloadPolicy::Scheduled(s) => {
+                                    s.decide(&self.backend, &dims).is_offload()
+                                }
+                            };
+                            if do_offload {
+                                offloaded += 1;
+                                backend_ms += accel_ms;
+                                fpga_backend_s += accel_ms * 1e-3;
+                            } else {
+                                backend_ms += k.millis;
+                                host_backend_s += k.millis * 1e-3;
+                            }
+                        }
+                        None => {
+                            backend_ms += k.millis;
+                            host_backend_s += k.millis * 1e-3;
+                        }
+                    }
+                }
+
+                let frame_s = (frontend_ms + backend_ms) * 1e-3;
+                let fpga_s = fe.total() + fpga_backend_s;
+                let energy = self
+                    .energy
+                    .accelerated_frame(frame_s, fpga_s, host_backend_s);
+                AcceleratedFrame {
+                    frontend_ms,
+                    backend_ms,
+                    offloadable,
+                    offloaded,
+                    energy,
+                }
+            })
+            .collect();
+        AcceleratedRun { frames }
+    }
+
+    /// Baseline (all-CPU) energy per frame for the measured log (joules).
+    pub fn baseline_energy(&self, log: &RunLog) -> f64 {
+        if log.is_empty() {
+            return 0.0;
+        }
+        log.records
+            .iter()
+            .map(|r| self.energy.baseline_frame(r.total_ms() * 1e-3).total())
+            .sum::<f64>()
+            / log.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instrument::FrameRecord;
+    use crate::mode::Mode;
+    use eudoxus_backend::KernelSample;
+    use eudoxus_frontend::{FrameStats, FrontendTiming};
+    use eudoxus_geometry::Pose;
+    use eudoxus_sim::Environment;
+    use std::time::Duration;
+
+    /// A synthetic measured log: heavy frontend, sizable Kalman gains.
+    fn synthetic_log(frames: usize) -> RunLog {
+        let mut log = RunLog::new();
+        for i in 0..frames {
+            let rows = 40 + (i % 50) * 4;
+            log.records.push(FrameRecord {
+                index: i,
+                t: i as f64 * 0.1,
+                environment: Environment::OutdoorUnknown,
+                mode: Mode::Vio,
+                frontend_timing: FrontendTiming {
+                    detection: Duration::from_millis(30),
+                    filtering: Duration::from_millis(20),
+                    description: Duration::from_millis(15),
+                    stereo: Duration::from_millis(25),
+                    temporal: Duration::from_millis(10),
+                },
+                frontend_stats: FrameStats {
+                    keypoints_left: 350,
+                    keypoints_right: 350,
+                    stereo_matches: 260,
+                    tracks_continued: 280,
+                    tracks_spawned: 40,
+                    tracks_lost: 30,
+                },
+                backend_kernels: vec![
+                    KernelSample {
+                        kernel: Kernel::ImuIntegration,
+                        millis: 2.0,
+                        size: 20,
+                    },
+                    KernelSample {
+                        kernel: Kernel::KalmanGain,
+                        // Quadratic CPU cost in rows.
+                        millis: 0.5 + 1.2e-3 * (rows * rows) as f64,
+                        size: rows,
+                    },
+                ],
+                pose: Pose::identity(),
+                ground_truth: Pose::identity(),
+                tracking: true,
+            });
+        }
+        log
+    }
+
+    #[test]
+    fn acceleration_beats_measured_baseline() {
+        let log = synthetic_log(40);
+        let exec = Executor::new(Platform::edx_car());
+        let sched = exec.train_scheduler(&log, 0.25).expect("trainable");
+        let run = exec.replay(&log, &OffloadPolicy::Scheduled(sched));
+        let baseline_mean = log.latency_summary(None).mean;
+        let accel_mean = run.summary().mean;
+        assert!(
+            accel_mean < baseline_mean,
+            "accel {accel_mean} ms vs baseline {baseline_mean} ms"
+        );
+    }
+
+    #[test]
+    fn pipelining_improves_throughput() {
+        let log = synthetic_log(20);
+        let exec = Executor::new(Platform::edx_car());
+        let run = exec.replay(&log, &OffloadPolicy::Always);
+        assert!(run.fps_pipelined() > run.fps_unpipelined());
+    }
+
+    #[test]
+    fn scheduler_offloads_large_kernels_only() {
+        let log = synthetic_log(60);
+        let exec = Executor::new(Platform::edx_car());
+        let sched = exec.train_scheduler(&log, 0.25).expect("trainable");
+        let run = exec.replay(&log, &OffloadPolicy::Scheduled(sched));
+        let rate = run.offload_rate();
+        assert!(rate > 0.3, "offload rate {rate}");
+        // Scheduled must be at least as fast as both extremes.
+        let always = exec.replay(&log, &OffloadPolicy::Always);
+        let never = exec.replay(&log, &OffloadPolicy::Never);
+        let s = run.summary().mean;
+        assert!(s <= always.summary().mean + 1e-9);
+        assert!(s <= never.summary().mean + 1e-9);
+    }
+
+    #[test]
+    fn energy_drops_with_acceleration() {
+        let log = synthetic_log(30);
+        let exec = Executor::new(Platform::edx_car());
+        let run = exec.replay(&log, &OffloadPolicy::Always);
+        let baseline_j = exec.baseline_energy(&log);
+        assert!(
+            run.mean_energy() < baseline_j,
+            "accel {} J vs baseline {} J",
+            run.mean_energy(),
+            baseline_j
+        );
+    }
+
+    #[test]
+    fn never_policy_keeps_cpu_times() {
+        let log = synthetic_log(10);
+        let exec = Executor::new(Platform::edx_drone());
+        let run = exec.replay(&log, &OffloadPolicy::Never);
+        assert_eq!(run.offload_rate(), 0.0);
+        // Backend times must equal the measured CPU times.
+        for (f, r) in run.frames.iter().zip(&log.records) {
+            assert!((f.backend_ms - r.backend_ms()).abs() < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,274 @@
+//! Per-frame instrumentation records — the raw material of every
+//! characterization figure.
+
+use crate::metrics;
+use crate::mode::Mode;
+use crate::stats::Summary;
+use eudoxus_backend::{Kernel, KernelSample};
+use eudoxus_frontend::{FrameStats, FrontendTiming};
+use eudoxus_geometry::Pose;
+use eudoxus_sim::Environment;
+
+/// Everything recorded for one processed frame.
+#[derive(Debug, Clone)]
+pub struct FrameRecord {
+    /// Frame index within the dataset.
+    pub index: usize,
+    /// Capture timestamp (seconds).
+    pub t: f64,
+    /// Environment label.
+    pub environment: Environment,
+    /// Backend mode that ran.
+    pub mode: Mode,
+    /// Frontend per-task wall-clock times.
+    pub frontend_timing: FrontendTiming,
+    /// Frontend workload counters (feeds the accelerator model).
+    pub frontend_stats: FrameStats,
+    /// Backend kernel samples (kernel, ms, workload size).
+    pub backend_kernels: Vec<KernelSample>,
+    /// Estimated pose.
+    pub pose: Pose,
+    /// Ground-truth pose.
+    pub ground_truth: Pose,
+    /// Whether the backend reported itself tracking.
+    pub tracking: bool,
+}
+
+impl FrameRecord {
+    /// Frontend milliseconds.
+    pub fn frontend_ms(&self) -> f64 {
+        self.frontend_timing.total().as_secs_f64() * 1e3
+    }
+
+    /// Backend milliseconds (sum of kernel samples).
+    pub fn backend_ms(&self) -> f64 {
+        self.backend_kernels.iter().map(|k| k.millis).sum()
+    }
+
+    /// End-to-end frame milliseconds.
+    pub fn total_ms(&self) -> f64 {
+        self.frontend_ms() + self.backend_ms()
+    }
+
+    /// Milliseconds attributed to one kernel this frame.
+    pub fn kernel_ms(&self, kernel: Kernel) -> f64 {
+        self.backend_kernels
+            .iter()
+            .filter(|k| k.kernel == kernel)
+            .map(|k| k.millis)
+            .sum()
+    }
+
+    /// Translational error against ground truth (meters).
+    pub fn translation_error(&self) -> f64 {
+        self.pose.translation_distance(self.ground_truth)
+    }
+}
+
+/// A complete instrumented run.
+#[derive(Debug, Clone, Default)]
+pub struct RunLog {
+    /// Per-frame records in order.
+    pub records: Vec<FrameRecord>,
+}
+
+impl RunLog {
+    /// Creates an empty log.
+    pub fn new() -> Self {
+        RunLog::default()
+    }
+
+    /// Number of frames.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Whether the log is empty.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Records for one mode only.
+    pub fn frames_in_mode(&self, mode: Mode) -> Vec<&FrameRecord> {
+        self.records.iter().filter(|r| r.mode == mode).collect()
+    }
+
+    /// Frontend latencies (ms) for all frames, or one mode.
+    pub fn frontend_ms(&self, mode: Option<Mode>) -> Vec<f64> {
+        self.records
+            .iter()
+            .filter(|r| mode.is_none_or(|m| r.mode == m))
+            .map(|r| r.frontend_ms())
+            .collect()
+    }
+
+    /// Backend latencies (ms).
+    pub fn backend_ms(&self, mode: Option<Mode>) -> Vec<f64> {
+        self.records
+            .iter()
+            .filter(|r| mode.is_none_or(|m| r.mode == m))
+            .map(|r| r.backend_ms())
+            .collect()
+    }
+
+    /// Total latencies (ms).
+    pub fn total_ms(&self, mode: Option<Mode>) -> Vec<f64> {
+        self.records
+            .iter()
+            .filter(|r| mode.is_none_or(|m| r.mode == m))
+            .map(|r| r.total_ms())
+            .collect()
+    }
+
+    /// Total milliseconds per kernel across the run, restricted to a mode.
+    pub fn kernel_totals(&self, mode: Mode) -> Vec<(Kernel, f64)> {
+        let mut totals: std::collections::HashMap<Kernel, f64> = std::collections::HashMap::new();
+        for r in self.records.iter().filter(|r| r.mode == mode) {
+            for k in &r.backend_kernels {
+                *totals.entry(k.kernel).or_insert(0.0) += k.millis;
+            }
+        }
+        let mut v: Vec<(Kernel, f64)> = totals.into_iter().collect();
+        v.sort_by(|a, b| b.1.total_cmp(&a.1));
+        v
+    }
+
+    /// All `(size, ms)` samples of one kernel — the scatter behind
+    /// Fig. 16 and the scheduler's training set.
+    pub fn kernel_samples(&self, kernel: Kernel) -> Vec<(usize, f64)> {
+        self.records
+            .iter()
+            .flat_map(|r| r.backend_kernels.iter())
+            .filter(|k| k.kernel == kernel)
+            .map(|k| (k.size, k.millis))
+            .collect()
+    }
+
+    /// Translation RMSE over the whole run (meters).
+    pub fn translation_rmse(&self) -> f64 {
+        let est: Vec<Pose> = self.records.iter().map(|r| r.pose).collect();
+        let gt: Vec<Pose> = self.records.iter().map(|r| r.ground_truth).collect();
+        metrics::translation_rmse(&est, &gt)
+    }
+
+    /// Relative trajectory error (%).
+    pub fn relative_error_percent(&self) -> f64 {
+        let est: Vec<Pose> = self.records.iter().map(|r| r.pose).collect();
+        let gt: Vec<Pose> = self.records.iter().map(|r| r.ground_truth).collect();
+        metrics::relative_error_percent(&est, &gt)
+    }
+
+    /// Latency summary (total ms) over all frames or one mode.
+    pub fn latency_summary(&self, mode: Option<Mode>) -> Summary {
+        Summary::of(&self.total_ms(mode))
+    }
+
+    /// Effective frames per second of the measured run.
+    pub fn fps(&self) -> f64 {
+        let s = self.latency_summary(None);
+        if s.mean <= 0.0 {
+            0.0
+        } else {
+            1000.0 / s.mean
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eudoxus_frontend::FrontendTiming;
+    use std::time::Duration;
+
+    fn record(mode: Mode, fe_ms: u64, kernels: Vec<KernelSample>) -> FrameRecord {
+        FrameRecord {
+            index: 0,
+            t: 0.0,
+            environment: Environment::OutdoorUnknown,
+            mode,
+            frontend_timing: FrontendTiming {
+                detection: Duration::from_millis(fe_ms),
+                ..Default::default()
+            },
+            frontend_stats: FrameStats::default(),
+            backend_kernels: kernels,
+            pose: Pose::identity(),
+            ground_truth: Pose::identity(),
+            tracking: true,
+        }
+    }
+
+    #[test]
+    fn latency_accounting() {
+        let r = record(
+            Mode::Vio,
+            10,
+            vec![
+                KernelSample {
+                    kernel: Kernel::KalmanGain,
+                    millis: 5.0,
+                    size: 60,
+                },
+                KernelSample {
+                    kernel: Kernel::ImuIntegration,
+                    millis: 2.0,
+                    size: 20,
+                },
+            ],
+        );
+        assert!((r.frontend_ms() - 10.0).abs() < 1e-9);
+        assert!((r.backend_ms() - 7.0).abs() < 1e-9);
+        assert!((r.total_ms() - 17.0).abs() < 1e-9);
+        assert_eq!(r.kernel_ms(Kernel::KalmanGain), 5.0);
+    }
+
+    #[test]
+    fn log_filters_by_mode() {
+        let mut log = RunLog::new();
+        log.records.push(record(Mode::Vio, 10, vec![]));
+        log.records.push(record(Mode::Slam, 20, vec![]));
+        assert_eq!(log.frames_in_mode(Mode::Vio).len(), 1);
+        assert_eq!(log.frontend_ms(Some(Mode::Slam)), vec![20.0]);
+        assert_eq!(log.frontend_ms(None).len(), 2);
+    }
+
+    #[test]
+    fn kernel_totals_sorted_descending() {
+        let mut log = RunLog::new();
+        log.records.push(record(
+            Mode::Vio,
+            0,
+            vec![
+                KernelSample {
+                    kernel: Kernel::KalmanGain,
+                    millis: 1.0,
+                    size: 1,
+                },
+                KernelSample {
+                    kernel: Kernel::ImuIntegration,
+                    millis: 9.0,
+                    size: 1,
+                },
+            ],
+        ));
+        let totals = log.kernel_totals(Mode::Vio);
+        assert_eq!(totals[0].0, Kernel::ImuIntegration);
+        assert_eq!(totals.len(), 2);
+    }
+
+    #[test]
+    fn kernel_samples_collects_sizes() {
+        let mut log = RunLog::new();
+        log.records.push(record(
+            Mode::Vio,
+            0,
+            vec![KernelSample {
+                kernel: Kernel::KalmanGain,
+                millis: 3.0,
+                size: 44,
+            }],
+        ));
+        assert_eq!(log.kernel_samples(Kernel::KalmanGain), vec![(44, 3.0)]);
+        assert!(log.kernel_samples(Kernel::Solver).is_empty());
+    }
+}

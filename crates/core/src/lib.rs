@@ -1,0 +1,47 @@
+//! The unified Eudoxus localization framework.
+//!
+//! This crate assembles the paper's Fig. 4: one shared vision frontend
+//! feeding an optimization backend that switches between three modes —
+//! registration, VIO and SLAM — according to the operating environment
+//! (Fig. 2 taxonomy: GPS availability × map availability). It provides:
+//!
+//! * [`mode`] — mode selection from the environment;
+//! * [`pipeline`] — the end-to-end per-frame pipeline over a dataset, with
+//!   full per-kernel instrumentation;
+//! * [`instrument`] — the run log every experiment consumes;
+//! * [`executor`] — replay of a measured CPU run through the accelerator
+//!   models, producing the accelerated latency/energy numbers of
+//!   Figs. 17–21;
+//! * [`metrics`] — trajectory error metrics (RMSE/ATE);
+//! * [`stats`] — summary statistics (mean/SD/RSD/percentiles);
+//! * [`mapping`] — building a persisted map via a SLAM pass.
+//!
+//! # Example
+//!
+//! ```no_run
+//! use eudoxus_core::{Eudoxus, PipelineConfig};
+//! use eudoxus_sim::{ScenarioBuilder, ScenarioKind};
+//!
+//! let dataset = ScenarioBuilder::new(ScenarioKind::OutdoorUnknown)
+//!     .frames(30)
+//!     .build();
+//! let mut system = Eudoxus::new(PipelineConfig::default());
+//! let log = system.process_dataset(&dataset);
+//! println!("RMSE: {:.3} m", log.translation_rmse());
+//! ```
+
+pub mod executor;
+pub mod instrument;
+pub mod mapping;
+pub mod metrics;
+pub mod mode;
+pub mod pipeline;
+pub mod stats;
+
+pub use executor::{AcceleratedFrame, AcceleratedRun, Executor};
+pub use instrument::{FrameRecord, RunLog};
+pub use mapping::build_map;
+pub use metrics::{relative_error_percent, translation_rmse};
+pub use mode::Mode;
+pub use pipeline::{Eudoxus, PipelineConfig};
+pub use stats::Summary;

@@ -1,0 +1,63 @@
+//! Map construction via a SLAM pass.
+//!
+//! In deployment, "the robots would spend a few days mapping new
+//! warehouses" (paper Sec. III) before registration can run there. This
+//! helper performs that survey pass: run the pipeline in SLAM mode over a
+//! dataset and persist the resulting map.
+
+use crate::pipeline::{Eudoxus, PipelineConfig};
+use eudoxus_backend::WorldMap;
+use eudoxus_sim::{Dataset, Environment};
+
+/// Runs a SLAM mapping pass over the dataset and returns the persisted
+/// map. The dataset's environment labels are ignored — every frame is
+/// treated as unmapped territory, exactly like a survey run.
+pub fn build_map(dataset: &Dataset, config: &PipelineConfig) -> WorldMap {
+    // Relabel every frame as indoor-unknown so the mode selector picks
+    // SLAM throughout.
+    let mut survey = dataset.clone();
+    for f in &mut survey.frames {
+        f.environment = Environment::IndoorUnknown;
+    }
+    for s in &mut survey.segments {
+        s.environment = Environment::IndoorUnknown;
+    }
+    let mut system = Eudoxus::new(config.clone());
+    let _ = system.process_dataset(&survey);
+    system.slam().persist_map()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eudoxus_sim::{Platform, ScenarioBuilder, ScenarioKind};
+
+    #[test]
+    fn survey_produces_nonempty_map() {
+        let data = ScenarioBuilder::new(ScenarioKind::IndoorKnown)
+            .frames(5)
+            .seed(11)
+            .platform(Platform::Drone)
+            .build();
+        let map = build_map(&data, &PipelineConfig::anchored());
+        assert!(map.points.len() > 30, "only {} points", map.points.len());
+        assert!(!map.keyframes.is_empty());
+    }
+
+    #[test]
+    fn map_points_lie_in_the_room() {
+        let data = ScenarioBuilder::new(ScenarioKind::IndoorUnknown)
+            .frames(4)
+            .seed(5)
+            .platform(Platform::Drone)
+            .build();
+        let map = build_map(&data, &PipelineConfig::anchored());
+        // Indoor room is 12×8×4 m centered at origin; allow slack for
+        // depth noise.
+        for p in &map.points {
+            assert!(p.position.x.abs() < 10.0, "{:?}", p.position);
+            assert!(p.position.y.abs() < 8.0, "{:?}", p.position);
+            assert!((-2.0..7.0).contains(&p.position.z), "{:?}", p.position);
+        }
+    }
+}

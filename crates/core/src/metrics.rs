@@ -1,0 +1,120 @@
+//! Trajectory accuracy metrics.
+//!
+//! The paper reports localization error as RMSE in meters against ground
+//! truth (Fig. 3) and as relative trajectory error in percent of distance
+//! traveled (Sec. IV-A accuracy: 0.28 %–0.42 % on EuRoC-class data).
+
+use crate::stats::Summary;
+use eudoxus_geometry::Pose;
+
+/// RMSE of translational error between estimated and ground-truth pose
+/// sequences (paired by index).
+///
+/// # Panics
+///
+/// Panics if the sequences have different lengths.
+pub fn translation_rmse(estimated: &[Pose], ground_truth: &[Pose]) -> f64 {
+    assert_eq!(
+        estimated.len(),
+        ground_truth.len(),
+        "pose sequences must pair up"
+    );
+    let errors: Vec<f64> = estimated
+        .iter()
+        .zip(ground_truth)
+        .map(|(e, g)| e.translation_distance(*g))
+        .collect();
+    Summary::rms(&errors)
+}
+
+/// Relative trajectory error: final-drift-normalized percentage — total
+/// translational RMSE divided by trajectory length, × 100.
+///
+/// Returns 0 for trajectories shorter than 1 mm.
+///
+/// # Panics
+///
+/// Panics if the sequences have different lengths.
+pub fn relative_error_percent(estimated: &[Pose], ground_truth: &[Pose]) -> f64 {
+    let rmse = translation_rmse(estimated, ground_truth);
+    let length: f64 = ground_truth
+        .windows(2)
+        .map(|w| w[0].translation_distance(w[1]))
+        .sum();
+    if length < 1e-3 {
+        0.0
+    } else {
+        rmse / length * 100.0
+    }
+}
+
+/// Mean rotational error in radians.
+///
+/// # Panics
+///
+/// Panics if the sequences have different lengths.
+pub fn rotation_error_mean(estimated: &[Pose], ground_truth: &[Pose]) -> f64 {
+    assert_eq!(estimated.len(), ground_truth.len());
+    if estimated.is_empty() {
+        return 0.0;
+    }
+    estimated
+        .iter()
+        .zip(ground_truth)
+        .map(|(e, g)| e.rotation_distance(*g))
+        .sum::<f64>()
+        / estimated.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eudoxus_geometry::Vec3;
+
+    fn line(n: usize, offset: f64) -> Vec<Pose> {
+        (0..n)
+            .map(|i| {
+                Pose::from_rotation_vector(
+                    Vec3::zero(),
+                    Vec3::new(i as f64 + offset, 0.0, 0.0),
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn perfect_estimate_has_zero_error() {
+        let gt = line(10, 0.0);
+        assert_eq!(translation_rmse(&gt, &gt), 0.0);
+        assert_eq!(relative_error_percent(&gt, &gt), 0.0);
+        assert_eq!(rotation_error_mean(&gt, &gt), 0.0);
+    }
+
+    #[test]
+    fn constant_offset_gives_that_rmse() {
+        let gt = line(10, 0.0);
+        let est = line(10, 0.5);
+        assert!((translation_rmse(&est, &gt) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn relative_error_normalizes_by_length() {
+        let gt = line(11, 0.0); // 10 m long
+        let est = line(11, 0.1);
+        // 0.1 m RMSE over 10 m = 1 %.
+        assert!((relative_error_percent(&est, &gt) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "pair up")]
+    fn mismatched_lengths_panic() {
+        let _ = translation_rmse(&line(3, 0.0), &line(4, 0.0));
+    }
+
+    #[test]
+    fn stationary_trajectory_relative_error_is_zero() {
+        let gt = vec![Pose::identity(); 5];
+        let est = vec![Pose::identity(); 5];
+        assert_eq!(relative_error_percent(&est, &gt), 0.0);
+    }
+}

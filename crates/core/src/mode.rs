@@ -1,0 +1,65 @@
+//! Backend mode selection (paper Fig. 2).
+
+use eudoxus_sim::Environment;
+use std::fmt;
+
+/// The three backend modes of the unified algorithm (paper Fig. 4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Mode {
+    /// Localize against a pre-built map (indoor, known).
+    Registration,
+    /// Filter-based odometry, GPS-corrected outdoors.
+    Vio,
+    /// Build the map while localizing (indoor, unknown).
+    Slam,
+}
+
+impl Mode {
+    /// All modes in paper order.
+    pub const ALL: [Mode; 3] = [Mode::Registration, Mode::Vio, Mode::Slam];
+
+    /// Selects the mode an environment prefers (the affinity the paper
+    /// establishes in Sec. III): registration indoors with a map, SLAM
+    /// indoors without, VIO (with GPS) outdoors — with or without a map,
+    /// since VIO Pareto-dominates there (Fig. 3c/d).
+    pub fn for_environment(env: Environment) -> Mode {
+        match env {
+            Environment::IndoorUnknown => Mode::Slam,
+            Environment::IndoorKnown => Mode::Registration,
+            Environment::OutdoorUnknown | Environment::OutdoorKnown => Mode::Vio,
+        }
+    }
+}
+
+impl fmt::Display for Mode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Mode::Registration => "registration",
+            Mode::Vio => "vio",
+            Mode::Slam => "slam",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn affinity_matches_figure2() {
+        assert_eq!(Mode::for_environment(Environment::IndoorUnknown), Mode::Slam);
+        assert_eq!(
+            Mode::for_environment(Environment::IndoorKnown),
+            Mode::Registration
+        );
+        assert_eq!(Mode::for_environment(Environment::OutdoorUnknown), Mode::Vio);
+        assert_eq!(Mode::for_environment(Environment::OutdoorKnown), Mode::Vio);
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(Mode::Slam.to_string(), "slam");
+        assert_eq!(Mode::ALL.len(), 3);
+    }
+}

@@ -1,0 +1,287 @@
+//! The end-to-end unified localization pipeline (paper Fig. 4).
+//!
+//! Per frame: the shared frontend extracts and matches features; the
+//! environment selects the backend mode; the chosen backend consumes the
+//! correspondences plus the IMU/GPS windows. Estimators reset at dataset
+//! segment boundaries (mixed datasets are concatenations of independent
+//! traversals — see `eudoxus_sim::Dataset::concat`).
+
+use crate::instrument::{FrameRecord, RunLog};
+use crate::mode::Mode;
+use eudoxus_backend::{
+    BackendInput, BackendMode, GpsFix, ImuReading, Registration, RegistrationConfig, Slam,
+    SlamConfig, Vio, VioConfig, WorldMap,
+};
+use eudoxus_frontend::{Frontend, FrontendConfig};
+use eudoxus_geometry::Vec3;
+use eudoxus_sim::{Dataset, FrameData};
+
+/// Configuration of the full pipeline.
+#[derive(Debug, Clone, Default)]
+pub struct PipelineConfig {
+    /// Frontend settings.
+    pub frontend: FrontendConfig,
+    /// VIO settings.
+    pub vio: VioConfig,
+    /// SLAM settings.
+    pub slam: SlamConfig,
+    /// Registration settings (only used when a map is installed).
+    pub registration: RegistrationConfig,
+    /// Initialize estimators from the dataset's first ground-truth pose of
+    /// each segment (standard evaluation practice; VIO otherwise
+    /// estimates a relative trajectory from identity).
+    pub anchor_to_ground_truth: bool,
+}
+
+impl PipelineConfig {
+    /// Default configuration with ground-truth anchoring enabled.
+    pub fn anchored() -> Self {
+        PipelineConfig {
+            anchor_to_ground_truth: true,
+            ..PipelineConfig::default()
+        }
+    }
+}
+
+/// The unified localization system.
+pub struct Eudoxus {
+    config: PipelineConfig,
+    frontend: Frontend,
+    vio: Vio,
+    slam: Slam,
+    registration: Option<Registration>,
+}
+
+impl std::fmt::Debug for Eudoxus {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "Eudoxus(map: {})",
+            if self.registration.is_some() { "yes" } else { "no" }
+        )
+    }
+}
+
+impl Eudoxus {
+    /// Creates a system without a map (registration mode unavailable; the
+    /// mode selector then falls back to SLAM for indoor-known segments).
+    pub fn new(config: PipelineConfig) -> Self {
+        Eudoxus {
+            frontend: Frontend::new(config.frontend),
+            vio: Vio::new(config.vio),
+            slam: Slam::new(config.slam),
+            registration: None,
+            config,
+        }
+    }
+
+    /// Installs a persisted map, enabling registration mode.
+    pub fn with_map(mut self, map: WorldMap) -> Self {
+        self.registration = Some(Registration::new(map, self.config.registration));
+        self
+    }
+
+    /// Read access to the SLAM backend (map persistence).
+    pub fn slam(&self) -> &Slam {
+        &self.slam
+    }
+
+    /// The mode that will run for a frame in `env`, given map
+    /// availability.
+    pub fn effective_mode(&self, env: eudoxus_sim::Environment) -> Mode {
+        let preferred = Mode::for_environment(env);
+        if preferred == Mode::Registration && self.registration.is_none() {
+            // No map installed: the indoor-known segment degrades to SLAM.
+            Mode::Slam
+        } else {
+            preferred
+        }
+    }
+
+    /// Resets all estimators (segment boundary).
+    pub fn reset(&mut self) {
+        self.frontend.reset();
+        self.vio.reset();
+        self.slam.reset();
+        if let Some(reg) = &mut self.registration {
+            reg.reset();
+        }
+    }
+
+    /// Processes one frame, returning its instrumentation record.
+    pub fn process_frame(&mut self, dataset: &Dataset, frame: &FrameData) -> FrameRecord {
+        let i = frame.index;
+        if dataset.is_segment_start(i) {
+            self.reset();
+            if self.config.anchor_to_ground_truth {
+                let gt = dataset.ground_truth[i];
+                // Velocity from the first two ground-truth poses.
+                let vel = if i + 1 < dataset.ground_truth.len() {
+                    (dataset.ground_truth[i + 1].translation - gt.translation)
+                        * dataset.fps
+                } else {
+                    Vec3::zero()
+                };
+                self.vio.set_initial_state(gt, vel);
+                self.slam.set_initial_pose(gt);
+            }
+        }
+
+        // Shared frontend.
+        let fe = self.frontend.process(&frame.left, &frame.right);
+
+        // Sensor windows since the previous frame.
+        let t_prev = if i == 0 { -1.0 } else { dataset.frames[i - 1].t };
+        let imu: Vec<ImuReading> = dataset
+            .imu_between(t_prev, frame.t)
+            .iter()
+            .map(|s| ImuReading {
+                t: s.t,
+                gyro: s.gyro,
+                accel: s.accel,
+            })
+            .collect();
+        let gps: Vec<GpsFix> = dataset
+            .gps_between(t_prev, frame.t)
+            .iter()
+            .map(|s| GpsFix {
+                t: s.t,
+                position: s.position,
+                sigma: s.sigma,
+            })
+            .collect();
+
+        let input = BackendInput {
+            t: frame.t,
+            observations: &fe.observations,
+            imu: &imu,
+            gps: &gps,
+            rig: dataset.rig,
+        };
+
+        let mode = self.effective_mode(frame.environment);
+        let report = match mode {
+            Mode::Vio => self.vio.process(&input),
+            Mode::Slam => self.slam.process(&input),
+            Mode::Registration => self
+                .registration
+                .as_mut()
+                .expect("effective_mode guarantees a map")
+                .process(&input),
+        };
+
+        FrameRecord {
+            index: i,
+            t: frame.t,
+            environment: frame.environment,
+            mode,
+            frontend_timing: fe.timing,
+            frontend_stats: fe.stats,
+            backend_kernels: report.kernels,
+            pose: report.pose,
+            ground_truth: dataset.ground_truth[i],
+            tracking: report.tracking,
+        }
+    }
+
+    /// Processes a whole dataset, producing the run log.
+    pub fn process_dataset(&mut self, dataset: &Dataset) -> RunLog {
+        let mut log = RunLog::new();
+        for frame in &dataset.frames {
+            log.records.push(self.process_frame(dataset, frame));
+        }
+        log
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eudoxus_sim::{Environment, Platform, ScenarioBuilder, ScenarioKind};
+
+    fn dataset(kind: ScenarioKind, frames: usize) -> Dataset {
+        ScenarioBuilder::new(kind)
+            .frames(frames)
+            .seed(7)
+            .platform(Platform::Drone)
+            .build()
+    }
+
+    #[test]
+    fn outdoor_runs_vio_and_stays_accurate() {
+        let data = dataset(ScenarioKind::OutdoorUnknown, 6);
+        let mut system = Eudoxus::new(PipelineConfig::anchored());
+        let log = system.process_dataset(&data);
+        assert_eq!(log.len(), 6);
+        assert!(log.records.iter().all(|r| r.mode == Mode::Vio));
+        let rmse = log.translation_rmse();
+        assert!(rmse < 1.5, "VIO RMSE {rmse} m");
+    }
+
+    #[test]
+    fn indoor_unknown_runs_slam() {
+        let data = dataset(ScenarioKind::IndoorUnknown, 5);
+        let mut system = Eudoxus::new(PipelineConfig::anchored());
+        let log = system.process_dataset(&data);
+        assert!(log.records.iter().all(|r| r.mode == Mode::Slam));
+        let rmse = log.translation_rmse();
+        assert!(rmse < 1.0, "SLAM RMSE {rmse} m");
+    }
+
+    #[test]
+    fn indoor_known_without_map_degrades_to_slam() {
+        let data = dataset(ScenarioKind::IndoorKnown, 2);
+        let mut system = Eudoxus::new(PipelineConfig::anchored());
+        let log = system.process_dataset(&data);
+        assert!(log.records.iter().all(|r| r.mode == Mode::Slam));
+    }
+
+    #[test]
+    fn indoor_known_with_map_runs_registration() {
+        let data = dataset(ScenarioKind::IndoorKnown, 6);
+        // Mapping pass (SLAM over the same traversal), then registration.
+        let map = crate::mapping::build_map(&data, &PipelineConfig::anchored());
+        assert!(!map.points.is_empty());
+        let mut system = Eudoxus::new(PipelineConfig::anchored()).with_map(map);
+        let log = system.process_dataset(&data);
+        assert!(log.records.iter().all(|r| r.mode == Mode::Registration));
+        let tracked = log.records.iter().filter(|r| r.tracking).count();
+        assert!(tracked >= log.len() / 2, "tracked {tracked}/{}", log.len());
+    }
+
+    #[test]
+    fn mixed_dataset_switches_modes_at_segments() {
+        let data = ScenarioBuilder::new(ScenarioKind::Mixed)
+            .frames(12)
+            .seed(3)
+            .platform(Platform::Drone)
+            .build();
+        let mut system = Eudoxus::new(PipelineConfig::anchored());
+        let log = system.process_dataset(&data);
+        let modes: Vec<Mode> = log.records.iter().map(|r| r.mode).collect();
+        assert!(modes.contains(&Mode::Vio));
+        assert!(modes.contains(&Mode::Slam));
+        // Environment labels drive the modes.
+        for r in &log.records {
+            if r.environment == Environment::OutdoorUnknown {
+                assert_eq!(r.mode, Mode::Vio);
+            }
+        }
+    }
+
+    #[test]
+    fn kernels_recorded_per_mode() {
+        let data = dataset(ScenarioKind::OutdoorUnknown, 4);
+        let mut system = Eudoxus::new(PipelineConfig::anchored());
+        let log = system.process_dataset(&data);
+        // Every VIO frame must at least run IMU integration.
+        for r in &log.records {
+            assert!(
+                !r.backend_kernels.is_empty(),
+                "frame {} has no kernel samples",
+                r.index
+            );
+        }
+        assert!(log.latency_summary(None).mean > 0.0);
+    }
+}

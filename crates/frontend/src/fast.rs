@@ -1,0 +1,295 @@
+//! FAST corner detection (the FD task of paper Fig. 12).
+//!
+//! Implements the FAST-9 segment test of Rosten & Drummond \[74\]: a pixel is
+//! a corner when at least 9 contiguous pixels on the 16-pixel Bresenham
+//! circle are all brighter than `center + t` or all darker than
+//! `center − t`. Non-maximum suppression keeps the locally strongest
+//! responses, and a bucketing pass spreads key points across the image the
+//! way production frontends do.
+
+use crate::feature::KeyPoint;
+use eudoxus_image::GrayImage;
+
+/// Offsets of the 16-pixel Bresenham circle of radius 3, clockwise from
+/// 12 o'clock.
+pub const CIRCLE: [(i64, i64); 16] = [
+    (0, -3),
+    (1, -3),
+    (2, -2),
+    (3, -1),
+    (3, 0),
+    (3, 1),
+    (2, 2),
+    (1, 3),
+    (0, 3),
+    (-1, 3),
+    (-2, 2),
+    (-3, 1),
+    (-3, 0),
+    (-3, -1),
+    (-2, -2),
+    (-1, -3),
+];
+
+/// Minimum contiguous arc length for the segment test (FAST-9).
+const ARC: usize = 9;
+
+/// FAST detector parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct FastConfig {
+    /// Intensity threshold `t` of the segment test.
+    pub threshold: u8,
+    /// Cap on returned key points (strongest kept, spread via grid cells).
+    pub max_keypoints: usize,
+    /// Grid cell edge for spatial bucketing (pixels).
+    pub cell_size: u32,
+}
+
+impl Default for FastConfig {
+    fn default() -> Self {
+        FastConfig {
+            threshold: 22,
+            max_keypoints: 800,
+            cell_size: 40,
+        }
+    }
+}
+
+/// Segment-test classification of one pixel; returns the corner response
+/// (0 when not a corner). The response is the sum of absolute differences
+/// beyond the threshold over the circle — the score used for NMS.
+fn corner_response(img: &GrayImage, x: u32, y: u32, t: u8) -> f32 {
+    let c = img.get(x, y) as i32;
+    let t = t as i32;
+    let (xi, yi) = (x as i64, y as i64);
+
+    // Quick rejection: among the 4 compass points, FAST-9 requires at least
+    // 2 consistent extremes for a valid arc of length 9.
+    let p0 = img.get_clamped(xi, yi - 3) as i32;
+    let p8 = img.get_clamped(xi, yi + 3) as i32;
+    let p4 = img.get_clamped(xi + 3, yi) as i32;
+    let p12 = img.get_clamped(xi - 3, yi) as i32;
+    let bright_quick = [p0, p4, p8, p12].iter().filter(|&&p| p > c + t).count();
+    let dark_quick = [p0, p4, p8, p12].iter().filter(|&&p| p < c - t).count();
+    if bright_quick < 2 && dark_quick < 2 {
+        return 0.0;
+    }
+
+    // Full segment test with wrap-around (scan 16 + ARC positions).
+    let mut ring = [0i32; 16];
+    for (slot, &(dx, dy)) in ring.iter_mut().zip(CIRCLE.iter()) {
+        *slot = img.get_clamped(xi + dx, yi + dy) as i32;
+    }
+    let mut bright_run = 0usize;
+    let mut dark_run = 0usize;
+    let mut is_corner = false;
+    for k in 0..(16 + ARC) {
+        let p = ring[k % 16];
+        if p > c + t {
+            bright_run += 1;
+            dark_run = 0;
+        } else if p < c - t {
+            dark_run += 1;
+            bright_run = 0;
+        } else {
+            bright_run = 0;
+            dark_run = 0;
+        }
+        if bright_run >= ARC || dark_run >= ARC {
+            is_corner = true;
+            break;
+        }
+    }
+    if !is_corner {
+        return 0.0;
+    }
+    ring.iter()
+        .map(|&p| ((p - c).abs() - t).max(0))
+        .sum::<i32>() as f32
+}
+
+/// Detects FAST-9 corners with 3×3 non-maximum suppression and grid
+/// bucketing.
+///
+/// Returns key points sorted by descending response.
+pub fn detect_fast(img: &GrayImage, cfg: &FastConfig) -> Vec<KeyPoint> {
+    let (w, h) = img.dimensions();
+    if w < 8 || h < 8 {
+        return Vec::new();
+    }
+    // Response map over the valid interior.
+    let mut responses = vec![0.0f32; (w * h) as usize];
+    for y in 3..(h - 3) {
+        for x in 3..(w - 3) {
+            responses[(y * w + x) as usize] = corner_response(img, x, y, cfg.threshold);
+        }
+    }
+    // 3×3 non-maximum suppression.
+    let mut candidates: Vec<KeyPoint> = Vec::new();
+    for y in 3..(h - 3) {
+        for x in 3..(w - 3) {
+            let r = responses[(y * w + x) as usize];
+            if r <= 0.0 {
+                continue;
+            }
+            let mut is_max = true;
+            'nms: for dy in -1i64..=1 {
+                for dx in -1i64..=1 {
+                    if dx == 0 && dy == 0 {
+                        continue;
+                    }
+                    let n = responses[((y as i64 + dy) as u32 * w + (x as i64 + dx) as u32) as usize];
+                    if n > r || (n == r && (dy < 0 || (dy == 0 && dx < 0))) {
+                        is_max = false;
+                        break 'nms;
+                    }
+                }
+            }
+            if is_max {
+                candidates.push(KeyPoint::new(x as f32, y as f32, r));
+            }
+        }
+    }
+    bucket_keypoints(candidates, w, h, cfg)
+}
+
+/// Spreads key points over the image: keeps the strongest per grid cell
+/// first, then fills remaining quota by global response order.
+fn bucket_keypoints(mut kps: Vec<KeyPoint>, w: u32, h: u32, cfg: &FastConfig) -> Vec<KeyPoint> {
+    if kps.len() <= cfg.max_keypoints {
+        kps.sort_by(|a, b| b.response.total_cmp(&a.response));
+        return kps;
+    }
+    let cell = cfg.cell_size.max(8);
+    let cols = w.div_ceil(cell);
+    let rows = h.div_ceil(cell);
+    kps.sort_by(|a, b| b.response.total_cmp(&a.response));
+    let mut cell_counts = vec![0u32; (cols * rows) as usize];
+    let per_cell = ((cfg.max_keypoints as u32) / (cols * rows).max(1)).max(1);
+    let mut picked = Vec::with_capacity(cfg.max_keypoints);
+    let mut spill = Vec::new();
+    for kp in kps {
+        let ci = (kp.y as u32 / cell) * cols + (kp.x as u32 / cell);
+        if cell_counts[ci as usize] < per_cell {
+            cell_counts[ci as usize] += 1;
+            picked.push(kp);
+        } else {
+            spill.push(kp);
+        }
+        if picked.len() == cfg.max_keypoints {
+            break;
+        }
+    }
+    // Fill remaining quota with the strongest spilled points.
+    for kp in spill {
+        if picked.len() >= cfg.max_keypoints {
+            break;
+        }
+        picked.push(kp);
+    }
+    picked.sort_by(|a, b| b.response.total_cmp(&a.response));
+    picked
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A bright disc on dark background — an unambiguous corner source.
+    fn disc_image() -> GrayImage {
+        GrayImage::from_fn(40, 40, |x, y| {
+            let dx = x as f32 - 20.0;
+            let dy = y as f32 - 20.0;
+            if dx * dx + dy * dy < 9.0 {
+                220
+            } else {
+                30
+            }
+        })
+    }
+
+    #[test]
+    fn detects_disc_boundary() {
+        let kps = detect_fast(&disc_image(), &FastConfig::default());
+        assert!(!kps.is_empty());
+        // All detections near the disc.
+        for kp in &kps {
+            let dx = kp.x - 20.0;
+            let dy = kp.y - 20.0;
+            assert!(dx * dx + dy * dy < 49.0, "stray detection at {kp:?}");
+        }
+    }
+
+    #[test]
+    fn flat_image_has_no_corners() {
+        let img = GrayImage::filled(64, 64, 100);
+        assert!(detect_fast(&img, &FastConfig::default()).is_empty());
+    }
+
+    #[test]
+    fn low_contrast_below_threshold_ignored() {
+        let img = GrayImage::from_fn(40, 40, |x, _| if x < 20 { 100 } else { 110 });
+        let cfg = FastConfig {
+            threshold: 25,
+            ..FastConfig::default()
+        };
+        assert!(detect_fast(&img, &cfg).is_empty());
+    }
+
+    #[test]
+    fn dark_corner_also_detected() {
+        // Dark disc on bright background (tests the "darker" arc branch).
+        let img = GrayImage::from_fn(40, 40, |x, y| {
+            let dx = x as f32 - 20.0;
+            let dy = y as f32 - 20.0;
+            if dx * dx + dy * dy < 9.0 {
+                20
+            } else {
+                200
+            }
+        });
+        assert!(!detect_fast(&img, &FastConfig::default()).is_empty());
+    }
+
+    #[test]
+    fn max_keypoints_is_respected() {
+        // A dense grid of bright discs — every disc produces corners.
+        let img = GrayImage::from_fn(160, 160, |x, y| {
+            let dx = (x % 16) as f32 - 8.0;
+            let dy = (y % 16) as f32 - 8.0;
+            if dx * dx + dy * dy < 9.0 {
+                210
+            } else {
+                40
+            }
+        });
+        let cfg = FastConfig {
+            max_keypoints: 50,
+            ..FastConfig::default()
+        };
+        let kps = detect_fast(&img, &cfg);
+        assert!(kps.len() <= 50);
+        assert!(kps.len() > 20);
+        // Sorted by response.
+        for w in kps.windows(2) {
+            assert!(w[0].response >= w[1].response);
+        }
+    }
+
+    #[test]
+    fn tiny_image_is_safe() {
+        let img = GrayImage::new(6, 6);
+        assert!(detect_fast(&img, &FastConfig::default()).is_empty());
+    }
+
+    #[test]
+    fn nms_keeps_single_peak_per_corner() {
+        let kps = detect_fast(&disc_image(), &FastConfig::default());
+        // No two detections closer than 2 px.
+        for i in 0..kps.len() {
+            for j in (i + 1)..kps.len() {
+                assert!(kps[i].distance_squared(&kps[j]) >= 2.0);
+            }
+        }
+    }
+}

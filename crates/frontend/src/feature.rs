@@ -1,0 +1,150 @@
+//! Key points and binary descriptors.
+
+use std::fmt;
+
+/// A detected key point in image coordinates (sub-pixel).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct KeyPoint {
+    /// Horizontal position (pixels).
+    pub x: f32,
+    /// Vertical position (pixels).
+    pub y: f32,
+    /// Detector response (corner strength); larger is stronger.
+    pub response: f32,
+}
+
+impl KeyPoint {
+    /// Creates a key point.
+    pub fn new(x: f32, y: f32, response: f32) -> Self {
+        KeyPoint { x, y, response }
+    }
+
+    /// Squared distance to another key point.
+    pub fn distance_squared(&self, other: &KeyPoint) -> f32 {
+        let dx = self.x - other.x;
+        let dy = self.y - other.y;
+        dx * dx + dy * dy
+    }
+}
+
+/// A 256-bit ORB descriptor stored as four 64-bit words.
+///
+/// # Example
+///
+/// ```
+/// use eudoxus_frontend::OrbDescriptor;
+/// let a = OrbDescriptor::from_words([0, 0, 0, 0]);
+/// let b = OrbDescriptor::from_words([0b1011, 0, 0, 0]);
+/// assert_eq!(a.hamming(&b), 3);
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct OrbDescriptor {
+    words: [u64; 4],
+}
+
+impl OrbDescriptor {
+    /// Builds from raw 64-bit words.
+    pub const fn from_words(words: [u64; 4]) -> Self {
+        OrbDescriptor { words }
+    }
+
+    /// The all-zero descriptor (useful as a placeholder in tests).
+    pub const fn zero() -> Self {
+        OrbDescriptor { words: [0; 4] }
+    }
+
+    /// Raw words.
+    pub fn words(&self) -> &[u64; 4] {
+        &self.words
+    }
+
+    /// Sets bit `i` (0-based).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= 256`.
+    pub fn set_bit(&mut self, i: usize) {
+        assert!(i < 256, "descriptor bit index out of range");
+        self.words[i / 64] |= 1u64 << (i % 64);
+    }
+
+    /// Reads bit `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= 256`.
+    pub fn bit(&self, i: usize) -> bool {
+        assert!(i < 256, "descriptor bit index out of range");
+        (self.words[i / 64] >> (i % 64)) & 1 == 1
+    }
+
+    /// Hamming distance (number of differing bits, 0–256).
+    pub fn hamming(&self, other: &OrbDescriptor) -> u32 {
+        self.words
+            .iter()
+            .zip(&other.words)
+            .map(|(a, b)| (a ^ b).count_ones())
+            .sum()
+    }
+}
+
+impl fmt::Debug for OrbDescriptor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "OrbDescriptor({:016x}{:016x}{:016x}{:016x})",
+            self.words[0], self.words[1], self.words[2], self.words[3]
+        )
+    }
+}
+
+/// A key point paired with its descriptor.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Feature {
+    /// Where the feature was detected.
+    pub keypoint: KeyPoint,
+    /// Its binary appearance descriptor.
+    pub descriptor: OrbDescriptor,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hamming_distance_counts_bits() {
+        let mut a = OrbDescriptor::zero();
+        let mut b = OrbDescriptor::zero();
+        a.set_bit(0);
+        a.set_bit(100);
+        a.set_bit(255);
+        b.set_bit(100);
+        assert_eq!(a.hamming(&b), 2);
+        assert_eq!(a.hamming(&a), 0);
+        assert_eq!(OrbDescriptor::zero().hamming(&a), 3);
+    }
+
+    #[test]
+    fn bit_roundtrip() {
+        let mut d = OrbDescriptor::zero();
+        for i in [0usize, 63, 64, 127, 128, 200, 255] {
+            assert!(!d.bit(i));
+            d.set_bit(i);
+            assert!(d.bit(i));
+        }
+    }
+
+    #[test]
+    fn keypoint_distance() {
+        let a = KeyPoint::new(0.0, 0.0, 1.0);
+        let b = KeyPoint::new(3.0, 4.0, 1.0);
+        assert_eq!(a.distance_squared(&b), 25.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bit_index_bounds() {
+        let d = OrbDescriptor::zero();
+        let _ = d.bit(256);
+    }
+}

@@ -1,0 +1,313 @@
+//! Pyramidal Lucas–Kanade optical flow (the DC + LSS tasks of Fig. 12).
+//!
+//! Temporal matching "tracks feature points across frames using the classic
+//! Lucas–Kanade optical flow method" (paper Sec. IV-A). The accelerator
+//! splits it into derivatives calculation (DC) and a linear least-squares
+//! solve (LSS); the CPU implementation below has the same two phases per
+//! iteration: template gradients once per level, then iterative 2×2 normal
+//! equation solves.
+
+use eudoxus_image::{GrayImage, Pyramid};
+
+/// LK tracker parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct KltConfig {
+    /// Half-size of the tracking window (window is `(2w+1)²`).
+    pub window_radius: i64,
+    /// Pyramid levels (1 = no pyramid).
+    pub levels: usize,
+    /// Max Gauss–Newton iterations per level.
+    pub max_iterations: usize,
+    /// Convergence threshold on the update norm (pixels).
+    pub epsilon: f32,
+    /// Minimum acceptable eigenvalue proxy of the 2×2 normal matrix
+    /// (rejects textureless windows).
+    pub min_determinant: f32,
+    /// Maximum residual per pixel for a track to be declared good.
+    pub max_residual: f32,
+}
+
+impl Default for KltConfig {
+    fn default() -> Self {
+        KltConfig {
+            window_radius: 7,
+            levels: 3,
+            max_iterations: 15,
+            epsilon: 0.03,
+            min_determinant: 1e-4,
+            max_residual: 18.0,
+        }
+    }
+}
+
+/// Result of tracking one point.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum TrackOutcome {
+    /// Converged; carries the position in the new frame.
+    Tracked {
+        /// New x (pixels).
+        x: f32,
+        /// New y (pixels).
+        y: f32,
+        /// Mean absolute residual over the window (intensity units).
+        residual: f32,
+    },
+    /// The point left the image bounds.
+    OutOfBounds,
+    /// The window had too little texture to constrain the solve.
+    Degenerate,
+    /// The iteration failed to converge or the residual stayed large.
+    Lost,
+}
+
+impl TrackOutcome {
+    /// The tracked position, if successful.
+    pub fn position(&self) -> Option<(f32, f32)> {
+        match *self {
+            TrackOutcome::Tracked { x, y, .. } => Some((x, y)),
+            _ => None,
+        }
+    }
+}
+
+/// Tracks one point on a single pyramid level; `(gx, gy)` is the initial
+/// displacement estimate. Returns `(dx, dy, residual)` on success.
+///
+/// The DC phase samples template values and central-difference gradients
+/// *within the window only* — computing full-image gradient maps per
+/// track would dominate the frame time, and the accelerator's DC block
+/// likewise operates on windowed data (paper Fig. 12).
+#[allow(clippy::too_many_arguments)]
+fn track_level(
+    prev: &GrayImage,
+    next: &GrayImage,
+    px: f32,
+    py: f32,
+    mut gx: f32,
+    mut gy: f32,
+    cfg: &KltConfig,
+) -> Option<(f32, f32, f32)> {
+    let r = cfg.window_radius;
+    let w = (2 * r + 1) as usize;
+    let n_px = (w * w) as f32;
+
+    // DC phase: template values, window gradients and the 2×2 structure
+    // tensor (constant across iterations: linearized at the template).
+    let mut template = vec![0.0f32; w * w];
+    let mut grad_x = vec![0.0f32; w * w];
+    let mut grad_y = vec![0.0f32; w * w];
+    let mut a11 = 0.0f32;
+    let mut a12 = 0.0f32;
+    let mut a22 = 0.0f32;
+    for (row, dy) in (-r..=r).enumerate() {
+        for (col, dx) in (-r..=r).enumerate() {
+            let tx = px + dx as f32;
+            let ty = py + dy as f32;
+            let idx = row * w + col;
+            template[idx] = prev.sample_bilinear(tx, ty);
+            let ix = (prev.sample_bilinear(tx + 1.0, ty) - prev.sample_bilinear(tx - 1.0, ty))
+                * 0.5;
+            let iy = (prev.sample_bilinear(tx, ty + 1.0) - prev.sample_bilinear(tx, ty - 1.0))
+                * 0.5;
+            grad_x[idx] = ix;
+            grad_y[idx] = iy;
+            a11 += ix * ix;
+            a12 += ix * iy;
+            a22 += iy * iy;
+        }
+    }
+    let det = a11 * a22 - a12 * a12;
+    if det < cfg.min_determinant * n_px * n_px {
+        return None;
+    }
+    let inv = 1.0 / det;
+
+    // LSS phase: iterate the 2×2 solve.
+    let mut residual = f32::MAX;
+    for _ in 0..cfg.max_iterations {
+        let mut b1 = 0.0f32;
+        let mut b2 = 0.0f32;
+        let mut res_acc = 0.0f32;
+        for (row, dy) in (-r..=r).enumerate() {
+            for (col, dx) in (-r..=r).enumerate() {
+                let idx = row * w + col;
+                let tx = px + dx as f32;
+                let ty = py + dy as f32;
+                let it = next.sample_bilinear(tx + gx, ty + gy) - template[idx];
+                b1 += it * grad_x[idx];
+                b2 += it * grad_y[idx];
+                res_acc += it.abs();
+            }
+        }
+        residual = res_acc / n_px;
+        let ux = (a22 * b1 - a12 * b2) * inv;
+        let uy = (a11 * b2 - a12 * b1) * inv;
+        gx -= ux;
+        gy -= uy;
+        if (ux * ux + uy * uy).sqrt() < cfg.epsilon {
+            break;
+        }
+    }
+    Some((gx, gy, residual))
+}
+
+/// Tracks points from `prev` to `next` using pyramids built internally.
+///
+/// `points` are positions in `prev`; the result has one [`TrackOutcome`]
+/// per input point, in order.
+pub fn track_pyramidal(
+    prev: &GrayImage,
+    next: &GrayImage,
+    points: &[(f32, f32)],
+    cfg: &KltConfig,
+) -> Vec<TrackOutcome> {
+    let prev_pyr = Pyramid::build(prev.clone(), cfg.levels);
+    let next_pyr = Pyramid::build(next.clone(), cfg.levels);
+    points
+        .iter()
+        .map(|&(x, y)| track_one(&prev_pyr, &next_pyr, x, y, cfg))
+        .collect()
+}
+
+/// Tracks a single point through the pyramid, coarse to fine.
+pub fn track_one(
+    prev_pyr: &Pyramid,
+    next_pyr: &Pyramid,
+    x: f32,
+    y: f32,
+    cfg: &KltConfig,
+) -> TrackOutcome {
+    let levels = prev_pyr.levels().min(next_pyr.levels());
+    let mut gx = 0.0f32;
+    let mut gy = 0.0f32;
+    let mut residual = f32::MAX;
+    let mut degenerate = false;
+    for li in (0..levels).rev() {
+        let scale = prev_pyr.scale(li);
+        let (lx, ly) = (x / scale, y / scale);
+        match track_level(prev_pyr.level(li), next_pyr.level(li), lx, ly, gx, gy, cfg) {
+            Some((dx, dy, res)) => {
+                residual = res;
+                if li > 0 {
+                    gx = dx * 2.0;
+                    gy = dy * 2.0;
+                } else {
+                    gx = dx;
+                    gy = dy;
+                }
+            }
+            None => {
+                degenerate = true;
+                break;
+            }
+        }
+    }
+    if degenerate {
+        return TrackOutcome::Degenerate;
+    }
+    let nx = x + gx;
+    let ny = y + gy;
+    let base = next_pyr.level(0);
+    let m = cfg.window_radius as f32;
+    if nx < m || ny < m || nx >= base.width() as f32 - m || ny >= base.height() as f32 - m {
+        return TrackOutcome::OutOfBounds;
+    }
+    if residual > cfg.max_residual {
+        return TrackOutcome::Lost;
+    }
+    TrackOutcome::Tracked {
+        x: nx,
+        y: ny,
+        residual,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A textured image with a smooth per-pixel pattern, shifted by
+    /// `(sx, sy)` pixels.
+    fn textured(sx: f32, sy: f32) -> GrayImage {
+        GrayImage::from_fn(96, 96, |x, y| {
+            let u = x as f32 - sx;
+            let v = y as f32 - sy;
+            let val = 128.0
+                + 50.0 * ((u * 0.35).sin() * (v * 0.28).cos())
+                + 30.0 * ((u * 0.11 + v * 0.17).sin());
+            val.clamp(0.0, 255.0) as u8
+        })
+    }
+
+    #[test]
+    fn tracks_small_shift() {
+        let prev = textured(0.0, 0.0);
+        let next = textured(1.7, -0.8);
+        let pts = [(40.0, 40.0), (55.0, 30.0), (30.0, 60.0)];
+        let out = track_pyramidal(&prev, &next, &pts, &KltConfig::default());
+        for (i, o) in out.iter().enumerate() {
+            let (nx, ny) = o.position().unwrap_or_else(|| panic!("point {i} lost: {o:?}"));
+            assert!((nx - (pts[i].0 + 1.7)).abs() < 0.25, "x err {}", nx - pts[i].0);
+            assert!((ny - (pts[i].1 - 0.8)).abs() < 0.25, "y err {}", ny - pts[i].1);
+        }
+    }
+
+    #[test]
+    fn tracks_large_shift_via_pyramid() {
+        let prev = textured(0.0, 0.0);
+        let next = textured(9.0, 6.0);
+        let out = track_pyramidal(&prev, &next, &[(45.0, 45.0)], &KltConfig::default());
+        let (nx, ny) = out[0].position().expect("tracked");
+        assert!((nx - 54.0).abs() < 0.6, "nx={nx}");
+        assert!((ny - 51.0).abs() < 0.6, "ny={ny}");
+    }
+
+    #[test]
+    fn flat_region_is_degenerate() {
+        let prev = GrayImage::filled(64, 64, 120);
+        let next = GrayImage::filled(64, 64, 120);
+        let out = track_pyramidal(&prev, &next, &[(32.0, 32.0)], &KltConfig::default());
+        assert_eq!(out[0], TrackOutcome::Degenerate);
+    }
+
+    #[test]
+    fn point_leaving_image_is_out_of_bounds() {
+        // Aperiodic texture (quadratic phase) so large shifts cannot alias
+        // onto a false in-bounds match.
+        let tex = |s: f32| {
+            GrayImage::from_fn(96, 96, |x, y| {
+                let u = x as f32 - s;
+                let v = y as f32;
+                let val = 128.0 + 60.0 * ((u * u * 0.01 + v * 0.3).sin());
+                val.clamp(0.0, 255.0) as u8
+            })
+        };
+        let prev = tex(0.0);
+        let next = tex(30.0);
+        // Point near the right edge moves out of the frame.
+        let out = track_pyramidal(&prev, &next, &[(90.0, 48.0)], &KltConfig::default());
+        assert!(
+            matches!(out[0], TrackOutcome::OutOfBounds | TrackOutcome::Lost),
+            "outcome {:?}",
+            out[0]
+        );
+    }
+
+    #[test]
+    fn appearance_change_is_lost() {
+        let prev = textured(0.0, 0.0);
+        // Completely different content.
+        let next = GrayImage::from_fn(96, 96, |x, y| (((x / 2) ^ (y / 3)) * 53 % 256) as u8);
+        let out = track_pyramidal(&prev, &next, &[(48.0, 48.0)], &KltConfig::default());
+        assert!(out[0].position().is_none(), "outcome {:?}", out[0]);
+    }
+
+    #[test]
+    fn zero_motion_stays_put() {
+        let prev = textured(0.0, 0.0);
+        let out = track_pyramidal(&prev, &prev, &[(50.0, 50.0)], &KltConfig::default());
+        let (nx, ny) = out[0].position().expect("tracked");
+        assert!((nx - 50.0).abs() < 0.05);
+        assert!((ny - 50.0).abs() < 0.05);
+    }
+}

@@ -1,0 +1,47 @@
+//! The Eudoxus vision frontend: visual feature matching.
+//!
+//! The unified localization algorithm (paper Fig. 4) shares one visual
+//! frontend across all three backend modes. It establishes feature
+//! correspondences both *spatially* (between the stereo pair) and
+//! *temporally* (between consecutive frames):
+//!
+//! * **Feature extraction** — FAST key points ([`fast`]) with ORB
+//!   descriptors ([`orb`]), the combination the paper adopts from
+//!   ORB-SLAM-class systems.
+//! * **Stereo matching** — Hamming-distance matching of ORB descriptors
+//!   followed by block-matching disparity refinement ([`stereo`]).
+//! * **Temporal matching** — pyramidal Lucas–Kanade optical flow
+//!   ([`klt`]).
+//!
+//! [`pipeline::Frontend`] wires the blocks together, manages persistent
+//! track identities, and reports per-task wall-clock timings matching the
+//! accelerator task graph (FD, IF, FC, MO, DR, DC, LSS of paper Fig. 12) so
+//! the characterization experiments (Figs. 5–11) can attribute latency.
+//!
+//! # Example
+//!
+//! ```
+//! use eudoxus_frontend::{Frontend, FrontendConfig};
+//! use eudoxus_image::GrayImage;
+//!
+//! let mut frontend = Frontend::new(FrontendConfig::default());
+//! let left = GrayImage::filled(64, 48, 120);
+//! let right = left.clone();
+//! let frame = frontend.process(&left, &right);
+//! // A textureless frame yields no features but a valid (empty) result.
+//! assert_eq!(frame.observations.len(), 0);
+//! ```
+
+pub mod fast;
+pub mod feature;
+pub mod klt;
+pub mod orb;
+pub mod pipeline;
+pub mod stereo;
+
+pub use fast::{detect_fast, FastConfig};
+pub use feature::{Feature, KeyPoint, OrbDescriptor};
+pub use klt::{track_pyramidal, KltConfig, TrackOutcome};
+pub use orb::{compute_orb, OrbConfig};
+pub use pipeline::{FrameStats, Frontend, FrontendConfig, FrontendFrame, FrontendTiming, Observation, Tuning};
+pub use stereo::{match_stereo, StereoConfig, StereoMatch};

@@ -1,0 +1,477 @@
+//! The assembled frontend pipeline with track management and per-task
+//! timing.
+//!
+//! Mirrors the block structure of paper Fig. 12: image filtering (IF) and
+//! feature detection (FD) feed descriptor calculation (FC); descriptors
+//! from both eyes feed stereo matching (MO + DR); the previous left frame
+//! feeds temporal matching (DC + LSS). The pipeline also owns *track
+//! identities*: a feature tracked across frames keeps a stable `track_id`,
+//! which is what the MSCKF and SLAM backends key their observations on.
+
+use crate::fast::{detect_fast, FastConfig};
+use crate::feature::{Feature, KeyPoint, OrbDescriptor};
+use crate::klt::{track_pyramidal, KltConfig};
+use crate::orb::{compute_orb, OrbConfig};
+use crate::stereo::{match_stereo, StereoConfig};
+use eudoxus_image::{gaussian_blur, GrayImage};
+use std::time::{Duration, Instant};
+
+/// Frontend parameters.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FrontendConfig {
+    /// FAST detector settings.
+    pub fast: FastConfig,
+    /// ORB descriptor settings.
+    pub orb: OrbConfig,
+    /// Stereo matcher settings.
+    pub stereo: StereoConfig,
+    /// LK tracker settings.
+    pub klt: KltConfig,
+    /// Extra knobs with defaults.
+    pub tuning: Tuning,
+}
+
+/// Secondary frontend knobs.
+#[derive(Debug, Clone, Copy)]
+pub struct Tuning {
+    /// Gaussian σ applied before descriptor calculation (the IF task).
+    pub blur_sigma: f32,
+    /// Max distance (pixels) to snap an LK-tracked point to a detection.
+    pub snap_radius: f32,
+    /// Cap on simultaneously live tracks.
+    pub max_tracks: usize,
+}
+
+impl Default for Tuning {
+    fn default() -> Self {
+        Tuning {
+            blur_sigma: 1.2,
+            snap_radius: 3.0,
+            max_tracks: 420,
+        }
+    }
+}
+
+/// Wall-clock time spent in each frontend block for one frame.
+///
+/// Names follow the accelerator task graph: FD + IF + FC form feature
+/// extraction; MO + DR form stereo matching; DC + LSS form temporal
+/// matching (paper Fig. 12).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FrontendTiming {
+    /// Feature point detection (FD) over both images.
+    pub detection: Duration,
+    /// Image filtering (IF) over both images.
+    pub filtering: Duration,
+    /// Feature descriptor calculation (FC) over both images.
+    pub description: Duration,
+    /// Stereo matching: matching optimization + disparity refinement
+    /// (MO + DR).
+    pub stereo: Duration,
+    /// Temporal matching: derivatives + least-squares solves (DC + LSS).
+    pub temporal: Duration,
+}
+
+impl FrontendTiming {
+    /// Total frontend time.
+    pub fn total(&self) -> Duration {
+        self.detection + self.filtering + self.description + self.stereo + self.temporal
+    }
+
+    /// Feature-extraction share (FD + IF + FC).
+    pub fn feature_extraction(&self) -> Duration {
+        self.detection + self.filtering + self.description
+    }
+}
+
+/// One per-frame feature observation handed to the backends.
+#[derive(Debug, Clone, Copy)]
+pub struct Observation {
+    /// Persistent track identity (stable across frames while tracked).
+    pub track_id: u64,
+    /// Sub-pixel position in the left image.
+    pub x: f32,
+    /// Sub-pixel position in the left image.
+    pub y: f32,
+    /// Stereo disparity when the feature matched across the pair.
+    pub disparity: Option<f32>,
+    /// ORB descriptor from the left image.
+    pub descriptor: OrbDescriptor,
+}
+
+/// Counters describing one processed frame (inputs to the accelerator's
+/// analytical model and the runtime scheduler's regressors).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FrameStats {
+    /// FAST detections in the left image (after bucketing).
+    pub keypoints_left: usize,
+    /// FAST detections in the right image.
+    pub keypoints_right: usize,
+    /// Accepted stereo matches.
+    pub stereo_matches: usize,
+    /// Tracks carried over from the previous frame.
+    pub tracks_continued: usize,
+    /// Newly spawned tracks this frame.
+    pub tracks_spawned: usize,
+    /// Tracks that died this frame.
+    pub tracks_lost: usize,
+}
+
+/// Output of [`Frontend::process`] for one stereo frame.
+#[derive(Debug, Clone)]
+pub struct FrontendFrame {
+    /// Features visible this frame, with persistent identities.
+    pub observations: Vec<Observation>,
+    /// Per-task wall-clock timings.
+    pub timing: FrontendTiming,
+    /// Workload counters.
+    pub stats: FrameStats,
+}
+
+/// A live track (internal state).
+#[derive(Debug, Clone, Copy)]
+struct Track {
+    id: u64,
+    x: f32,
+    y: f32,
+}
+
+/// The stateful frontend.
+///
+/// # Example
+///
+/// ```
+/// use eudoxus_frontend::{Frontend, FrontendConfig};
+/// use eudoxus_image::GrayImage;
+///
+/// let mut fe = Frontend::new(FrontendConfig::default());
+/// let img = GrayImage::filled(64, 64, 100);
+/// let out = fe.process(&img, &img);
+/// assert!(out.observations.is_empty()); // textureless input
+/// ```
+#[derive(Debug)]
+pub struct Frontend {
+    config: FrontendConfig,
+    prev_left: Option<GrayImage>,
+    tracks: Vec<Track>,
+    next_id: u64,
+}
+
+impl Frontend {
+    /// Creates a frontend with the given configuration.
+    pub fn new(config: FrontendConfig) -> Self {
+        Frontend {
+            config,
+            prev_left: None,
+            tracks: Vec::new(),
+            next_id: 0,
+        }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &FrontendConfig {
+        &self.config
+    }
+
+    /// Number of currently live tracks.
+    pub fn live_tracks(&self) -> usize {
+        self.tracks.len()
+    }
+
+    /// Resets all state (used at dataset segment boundaries).
+    pub fn reset(&mut self) {
+        self.prev_left = None;
+        self.tracks.clear();
+    }
+
+    /// Processes one stereo frame, returning observations with persistent
+    /// track identities plus timing and workload counters.
+    pub fn process(&mut self, left: &GrayImage, right: &GrayImage) -> FrontendFrame {
+        let cfg = &self.config;
+        let mut timing = FrontendTiming::default();
+        let mut stats = FrameStats::default();
+
+        // IF: smooth both images for descriptor sampling.
+        let t = Instant::now();
+        let left_blur = gaussian_blur(left, cfg.tuning.blur_sigma);
+        let right_blur = gaussian_blur(right, cfg.tuning.blur_sigma);
+        timing.filtering = t.elapsed();
+
+        // FD: detect on both raw images.
+        let t = Instant::now();
+        let kps_left = detect_fast(left, &cfg.fast);
+        let kps_right = detect_fast(right, &cfg.fast);
+        timing.detection = t.elapsed();
+        stats.keypoints_left = kps_left.len();
+        stats.keypoints_right = kps_right.len();
+
+        // FC: describe on the blurred images; drop border points.
+        let t = Instant::now();
+        let feats_left: Vec<Feature> = kps_left
+            .iter()
+            .filter_map(|kp| {
+                compute_orb(&left_blur, kp, &cfg.orb).map(|descriptor| Feature {
+                    keypoint: *kp,
+                    descriptor,
+                })
+            })
+            .collect();
+        let feats_right: Vec<Feature> = kps_right
+            .iter()
+            .filter_map(|kp| {
+                compute_orb(&right_blur, kp, &cfg.orb).map(|descriptor| Feature {
+                    keypoint: *kp,
+                    descriptor,
+                })
+            })
+            .collect();
+        timing.description = t.elapsed();
+
+        // MO + DR: spatial correspondences.
+        let t = Instant::now();
+        let stereo = match_stereo(&feats_left, &feats_right, left, right, &cfg.stereo);
+        timing.stereo = t.elapsed();
+        stats.stereo_matches = stereo.len();
+        let mut disparity_of: Vec<Option<f32>> = vec![None; feats_left.len()];
+        for m in &stereo {
+            disparity_of[m.left_index] = Some(m.disparity);
+        }
+
+        // DC + LSS: temporal correspondences for live tracks.
+        let t = Instant::now();
+        let tracked: Vec<Option<(f32, f32)>> = match &self.prev_left {
+            Some(prev) if !self.tracks.is_empty() => {
+                let pts: Vec<(f32, f32)> = self.tracks.iter().map(|tr| (tr.x, tr.y)).collect();
+                track_pyramidal(prev, left, &pts, &cfg.klt)
+                    .into_iter()
+                    .map(|o| o.position())
+                    .collect()
+            }
+            _ => vec![None; self.tracks.len()],
+        };
+        timing.temporal = t.elapsed();
+
+        // Associate: snap each tracked point to the nearest detection.
+        let snap2 = cfg.tuning.snap_radius * cfg.tuning.snap_radius;
+        let mut claimed: Vec<Option<u64>> = vec![None; feats_left.len()];
+        let mut new_tracks: Vec<Track> = Vec::new();
+        let mut observations: Vec<Observation> = Vec::new();
+        for (track, pos) in self.tracks.iter().zip(&tracked) {
+            let Some((tx, ty)) = *pos else {
+                stats.tracks_lost += 1;
+                continue;
+            };
+            // Nearest unclaimed detection within the snap radius.
+            let probe = KeyPoint::new(tx, ty, 0.0);
+            let mut best: Option<(usize, f32)> = None;
+            for (fi, f) in feats_left.iter().enumerate() {
+                if claimed[fi].is_some() {
+                    continue;
+                }
+                let d2 = f.keypoint.distance_squared(&probe);
+                if d2 <= snap2 && best.is_none_or(|(_, bd)| d2 < bd) {
+                    best = Some((fi, d2));
+                }
+            }
+            match best {
+                Some((fi, _)) => {
+                    claimed[fi] = Some(track.id);
+                    let f = &feats_left[fi];
+                    observations.push(Observation {
+                        track_id: track.id,
+                        x: f.keypoint.x,
+                        y: f.keypoint.y,
+                        disparity: disparity_of[fi],
+                        descriptor: f.descriptor,
+                    });
+                    new_tracks.push(Track {
+                        id: track.id,
+                        x: f.keypoint.x,
+                        y: f.keypoint.y,
+                    });
+                    stats.tracks_continued += 1;
+                }
+                None => {
+                    // No detection nearby (the detector's spatial
+                    // bucketing is view-dependent); keep the track alive at
+                    // the LK position, as production frontends do —
+                    // detection only *replenishes* tracks, it does not
+                    // gate them.
+                    let kp = KeyPoint::new(tx, ty, 0.0);
+                    match compute_orb(&left_blur, &kp, &cfg.orb) {
+                        Some(descriptor) => {
+                            observations.push(Observation {
+                                track_id: track.id,
+                                x: tx,
+                                y: ty,
+                                disparity: None,
+                                descriptor,
+                            });
+                            new_tracks.push(Track {
+                                id: track.id,
+                                x: tx,
+                                y: ty,
+                            });
+                            stats.tracks_continued += 1;
+                        }
+                        None => stats.tracks_lost += 1,
+                    }
+                }
+            }
+        }
+
+        // Spawn tracks on unclaimed detections (strongest first — the
+        // detection list is already response-ordered).
+        for (fi, f) in feats_left.iter().enumerate() {
+            if new_tracks.len() >= cfg.tuning.max_tracks {
+                break;
+            }
+            if claimed[fi].is_some() {
+                continue;
+            }
+            let id = self.next_id;
+            self.next_id += 1;
+            claimed[fi] = Some(id);
+            observations.push(Observation {
+                track_id: id,
+                x: f.keypoint.x,
+                y: f.keypoint.y,
+                disparity: disparity_of[fi],
+                descriptor: f.descriptor,
+            });
+            new_tracks.push(Track {
+                id,
+                x: f.keypoint.x,
+                y: f.keypoint.y,
+            });
+            stats.tracks_spawned += 1;
+        }
+
+        self.tracks = new_tracks;
+        self.prev_left = Some(left.clone());
+
+        FrontendFrame {
+            observations,
+            timing,
+            stats,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// An image with a grid of distinct textured blobs, shifted by
+    /// `(sx, sy)` — a miniature of what `eudoxus-sim` renders.
+    fn blob_grid(sx: f32, sy: f32) -> GrayImage {
+        let mut img = GrayImage::filled(160, 120, 110);
+        for by in 0..3u64 {
+            for bx in 0..4u64 {
+                let cx = 24.0 + bx as f32 * 36.0 + sx;
+                let cy = 20.0 + by as f32 * 36.0 + sy;
+                let id = by * 4 + bx;
+                for dy in -6i64..=6 {
+                    for dx in -6i64..=6 {
+                        let px = (cx + dx as f32).round() as i64;
+                        let py = (cy + dy as f32).round() as i64;
+                        if px < 0 || py < 0 || px >= 160 || py >= 120 {
+                            continue;
+                        }
+                        if dx * dx + dy * dy > 36 {
+                            continue;
+                        }
+                        let tex = eudoxus_sim::rng::hash_u8(id, dx as u64, dy as u64) as i64;
+                        let v = (110 + (tex - 128)).clamp(0, 255) as u8;
+                        img.put(px as u32, py as u32, v);
+                    }
+                }
+            }
+        }
+        img
+    }
+
+    fn stereo_pair(shift: f32, disparity: f32) -> (GrayImage, GrayImage) {
+        (blob_grid(shift, 0.0), blob_grid(shift - disparity, 0.0))
+    }
+
+    #[test]
+    fn first_frame_spawns_tracks() {
+        let mut fe = Frontend::new(FrontendConfig::default());
+        let (l, r) = stereo_pair(0.0, 6.0);
+        let out = fe.process(&l, &r);
+        assert!(out.observations.len() >= 8, "only {} obs", out.observations.len());
+        assert_eq!(out.stats.tracks_spawned, out.observations.len());
+        assert_eq!(out.stats.tracks_continued, 0);
+        // Most features should have stereo depth.
+        let with_depth = out.observations.iter().filter(|o| o.disparity.is_some()).count();
+        assert!(with_depth * 2 >= out.observations.len());
+    }
+
+    #[test]
+    fn second_frame_continues_tracks() {
+        let mut fe = Frontend::new(FrontendConfig::default());
+        let (l0, r0) = stereo_pair(0.0, 6.0);
+        let first = fe.process(&l0, &r0);
+        let (l1, r1) = stereo_pair(2.0, 6.0);
+        let second = fe.process(&l1, &r1);
+        assert!(
+            second.stats.tracks_continued >= first.observations.len() / 2,
+            "continued {} of {}",
+            second.stats.tracks_continued,
+            first.observations.len()
+        );
+        // Continued observations keep their ids.
+        let ids0: std::collections::HashSet<u64> =
+            first.observations.iter().map(|o| o.track_id).collect();
+        let kept = second
+            .observations
+            .iter()
+            .filter(|o| ids0.contains(&o.track_id))
+            .count();
+        assert_eq!(kept, second.stats.tracks_continued);
+    }
+
+    #[test]
+    fn stereo_disparity_is_recovered() {
+        let mut fe = Frontend::new(FrontendConfig::default());
+        let (l, r) = stereo_pair(0.0, 6.0);
+        let out = fe.process(&l, &r);
+        let disparities: Vec<f32> = out.observations.iter().filter_map(|o| o.disparity).collect();
+        assert!(!disparities.is_empty());
+        for d in disparities {
+            assert!((d - 6.0).abs() < 1.0, "disparity {d}");
+        }
+    }
+
+    #[test]
+    fn reset_clears_tracks() {
+        let mut fe = Frontend::new(FrontendConfig::default());
+        let (l, r) = stereo_pair(0.0, 6.0);
+        fe.process(&l, &r);
+        assert!(fe.live_tracks() > 0);
+        fe.reset();
+        assert_eq!(fe.live_tracks(), 0);
+        let out = fe.process(&l, &r);
+        assert_eq!(out.stats.tracks_continued, 0);
+    }
+
+    #[test]
+    fn timing_fields_are_populated() {
+        let mut fe = Frontend::new(FrontendConfig::default());
+        let (l, r) = stereo_pair(0.0, 6.0);
+        let out = fe.process(&l, &r);
+        assert!(out.timing.total() > Duration::ZERO);
+        assert!(out.timing.feature_extraction() >= out.timing.detection);
+    }
+
+    #[test]
+    fn track_cap_is_enforced() {
+        let mut cfg = FrontendConfig::default();
+        cfg.tuning.max_tracks = 5;
+        let mut fe = Frontend::new(cfg);
+        let (l, r) = stereo_pair(0.0, 6.0);
+        let out = fe.process(&l, &r);
+        assert!(out.observations.len() <= 5);
+    }
+}

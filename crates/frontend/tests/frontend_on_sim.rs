@@ -1,0 +1,109 @@
+//! End-to-end frontend validation on simulator-rendered stereo frames:
+//! the rendered landmark stamps must be detected, stereo-matched with
+//! metrically correct depth, and tracked across frames.
+
+use eudoxus_frontend::{Frontend, FrontendConfig};
+use eudoxus_sim::{ScenarioBuilder, ScenarioKind};
+
+#[test]
+fn frontend_recovers_depth_and_tracks_on_synthetic_frames() {
+    let data = ScenarioBuilder::new(ScenarioKind::IndoorUnknown)
+        .frames(5)
+        .fps(10.0)
+        .seed(42)
+        .build();
+    let mut fe = Frontend::new(FrontendConfig::default());
+
+    let mut continued_total = 0usize;
+    for (i, frame) in data.frames.iter().enumerate() {
+        let out = fe.process(&frame.left, &frame.right);
+        assert!(
+            out.observations.len() >= 25,
+            "frame {i}: only {} observations",
+            out.observations.len()
+        );
+        let with_disp = out
+            .observations
+            .iter()
+            .filter(|o| o.disparity.is_some())
+            .count();
+        assert!(
+            with_disp * 3 >= out.observations.len(),
+            "frame {i}: only {with_disp}/{} stereo matches",
+            out.observations.len()
+        );
+        if i > 0 {
+            continued_total += out.stats.tracks_continued;
+        }
+
+        // Depth sanity: indoor room depths are bounded by room size. A
+        // small fraction of wrong stereo matches is expected (the backends
+        // gate them), so require a large majority to be plausible.
+        let depths: Vec<f64> = out
+            .observations
+            .iter()
+            .filter_map(|o| o.disparity)
+            .map(|d| data.rig.depth_from_disparity(d as f64).unwrap())
+            .collect();
+        let plausible = depths.iter().filter(|d| (0.2..20.0).contains(*d)).count();
+        assert!(
+            plausible * 10 >= depths.len() * 9,
+            "frame {i}: only {plausible}/{} plausible depths",
+            depths.len()
+        );
+    }
+    assert!(
+        continued_total >= 4 * 15,
+        "too few continued tracks overall: {continued_total}"
+    );
+}
+
+#[test]
+fn stereo_depth_matches_geometry_on_outdoor_frames() {
+    let data = ScenarioBuilder::new(ScenarioKind::OutdoorUnknown)
+        .frames(2)
+        .seed(11)
+        .build();
+    let mut fe = Frontend::new(FrontendConfig::default());
+    let out = fe.process(&data.frames[0].left, &data.frames[0].right);
+
+    // For each stereo observation, the implied depth must be within the
+    // street scene's depth band — allowing a small mismatch tail that the
+    // backends gate out.
+    let depths: Vec<f64> = out
+        .observations
+        .iter()
+        .filter_map(|o| o.disparity)
+        .map(|d| data.rig.depth_from_disparity(d as f64).unwrap())
+        .collect();
+    let plausible = depths.iter().filter(|d| (0.5..120.0).contains(*d)).count();
+    assert!(depths.len() >= 20, "only {} stereo observations", depths.len());
+    assert!(
+        plausible * 10 >= depths.len() * 9,
+        "only {plausible}/{} plausible street depths",
+        depths.len()
+    );
+}
+
+#[test]
+fn frontend_is_deterministic_across_runs() {
+    let data = ScenarioBuilder::new(ScenarioKind::IndoorUnknown)
+        .frames(2)
+        .seed(3)
+        .build();
+    let run = || {
+        let mut fe = Frontend::new(FrontendConfig::default());
+        let mut ids = Vec::new();
+        for frame in &data.frames {
+            let out = fe.process(&frame.left, &frame.right);
+            ids.push(
+                out.observations
+                    .iter()
+                    .map(|o| (o.track_id, o.x.to_bits(), o.y.to_bits()))
+                    .collect::<Vec<_>>(),
+            );
+        }
+        ids
+    };
+    assert_eq!(run(), run());
+}

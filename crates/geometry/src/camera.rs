@@ -1,0 +1,266 @@
+//! Pin-hole and stereo camera models.
+//!
+//! Conventions: the camera frame has `+z` forward (optical axis), `+x`
+//! right, `+y` down; pixels are `u = fx·x/z + cx`, `v = fy·y/z + cy`. The
+//! stereo rig places the right camera at `+baseline` along the left camera's
+//! x-axis, so disparity `d = u_left − u_right = fx·baseline / depth`.
+
+use crate::pose::Pose;
+use crate::vec::{Vec2, Vec3};
+
+/// Intrinsic pin-hole camera model.
+///
+/// # Example
+///
+/// ```
+/// use eudoxus_geometry::{PinholeCamera, Vec3};
+///
+/// let cam = PinholeCamera::new(500.0, 500.0, 320.0, 240.0, 640, 480);
+/// let px = cam.project(Vec3::new(0.0, 0.0, 2.0)).unwrap();
+/// assert_eq!((px.x, px.y), (320.0, 240.0));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PinholeCamera {
+    /// Focal length in pixels, horizontal.
+    pub fx: f64,
+    /// Focal length in pixels, vertical.
+    pub fy: f64,
+    /// Principal point, horizontal.
+    pub cx: f64,
+    /// Principal point, vertical.
+    pub cy: f64,
+    /// Sensor width in pixels.
+    pub width: u32,
+    /// Sensor height in pixels.
+    pub height: u32,
+}
+
+impl PinholeCamera {
+    /// Builds an intrinsic model.
+    pub const fn new(fx: f64, fy: f64, cx: f64, cy: f64, width: u32, height: u32) -> Self {
+        PinholeCamera {
+            fx,
+            fy,
+            cx,
+            cy,
+            width,
+            height,
+        }
+    }
+
+    /// A model with the principal point at the image center and a field of
+    /// view determined by `focal_px`. Matches the synthetic rigs used in
+    /// the EDX-CAR (1280×720) and EDX-DRONE (640×480) configurations.
+    pub fn centered(focal_px: f64, width: u32, height: u32) -> Self {
+        PinholeCamera::new(
+            focal_px,
+            focal_px,
+            width as f64 * 0.5,
+            height as f64 * 0.5,
+            width,
+            height,
+        )
+    }
+
+    /// Projects a camera-frame point to pixel coordinates. Returns `None`
+    /// when the point is behind the camera (`z <= min_depth`).
+    pub fn project(&self, p_cam: Vec3) -> Option<Vec2> {
+        const MIN_DEPTH: f64 = 1e-3;
+        if p_cam.z <= MIN_DEPTH {
+            return None;
+        }
+        Some(Vec2::new(
+            self.fx * p_cam.x / p_cam.z + self.cx,
+            self.fy * p_cam.y / p_cam.z + self.cy,
+        ))
+    }
+
+    /// Projects and additionally requires the pixel to land on the sensor.
+    pub fn project_in_bounds(&self, p_cam: Vec3) -> Option<Vec2> {
+        self.project(p_cam).filter(|px| self.contains(*px))
+    }
+
+    /// True when the pixel lies on the sensor.
+    pub fn contains(&self, px: Vec2) -> bool {
+        px.x >= 0.0 && px.y >= 0.0 && px.x < self.width as f64 && px.y < self.height as f64
+    }
+
+    /// Back-projects a pixel to the unit-depth ray direction in the camera
+    /// frame (z = 1).
+    pub fn unproject(&self, px: Vec2) -> Vec3 {
+        Vec3::new((px.x - self.cx) / self.fx, (px.y - self.cy) / self.fy, 1.0)
+    }
+
+    /// Back-projects a pixel at a known depth.
+    pub fn unproject_depth(&self, px: Vec2, depth: f64) -> Vec3 {
+        self.unproject(px) * depth
+    }
+
+    /// Jacobian of the projection with respect to the camera-frame point:
+    /// a 2×3 matrix in row-major order
+    /// `[fx/z, 0, −fx·x/z²; 0, fy/z, −fy·y/z²]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p_cam.z <= 0` (callers must cull behind-camera points
+    /// before linearizing).
+    pub fn projection_jacobian(&self, p_cam: Vec3) -> [[f64; 3]; 2] {
+        assert!(p_cam.z > 0.0, "cannot linearize behind the camera");
+        let iz = 1.0 / p_cam.z;
+        let iz2 = iz * iz;
+        [
+            [self.fx * iz, 0.0, -self.fx * p_cam.x * iz2],
+            [0.0, self.fy * iz, -self.fy * p_cam.y * iz2],
+        ]
+    }
+}
+
+/// A calibrated stereo camera pair.
+///
+/// # Example
+///
+/// ```
+/// use eudoxus_geometry::{PinholeCamera, StereoRig, Vec3};
+///
+/// let rig = StereoRig::new(PinholeCamera::centered(500.0, 640, 480), 0.12);
+/// let (l, r) = rig.project(Vec3::new(0.0, 0.0, 3.0)).unwrap();
+/// let disparity = l.x - r.x;
+/// assert!((rig.depth_from_disparity(disparity).unwrap() - 3.0).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StereoRig {
+    /// Shared intrinsics of both cameras (rectified pair).
+    pub camera: PinholeCamera,
+    /// Baseline in meters (right camera at `+x` of the left).
+    pub baseline: f64,
+}
+
+impl StereoRig {
+    /// Builds a rig from intrinsics and baseline.
+    pub const fn new(camera: PinholeCamera, baseline: f64) -> Self {
+        StereoRig { camera, baseline }
+    }
+
+    /// Projects a *left-camera-frame* point into both cameras. `None` if
+    /// either projection fails.
+    pub fn project(&self, p_left: Vec3) -> Option<(Vec2, Vec2)> {
+        let l = self.camera.project(p_left)?;
+        let r = self
+            .camera
+            .project(p_left - Vec3::new(self.baseline, 0.0, 0.0))?;
+        Some((l, r))
+    }
+
+    /// Projects requiring both pixels on-sensor.
+    pub fn project_in_bounds(&self, p_left: Vec3) -> Option<(Vec2, Vec2)> {
+        let (l, r) = self.project(p_left)?;
+        (self.camera.contains(l) && self.camera.contains(r)).then_some((l, r))
+    }
+
+    /// Depth from a (positive) disparity; `None` for non-positive input.
+    pub fn depth_from_disparity(&self, disparity: f64) -> Option<f64> {
+        (disparity > 1e-9).then(|| self.camera.fx * self.baseline / disparity)
+    }
+
+    /// Disparity a point at `depth` produces.
+    pub fn disparity_from_depth(&self, depth: f64) -> f64 {
+        self.camera.fx * self.baseline / depth
+    }
+
+    /// Reconstructs the left-camera-frame point from a matched pixel pair.
+    /// `None` when disparity is non-positive.
+    pub fn reconstruct(&self, left_px: Vec2, right_px: Vec2) -> Option<Vec3> {
+        let depth = self.depth_from_disparity(left_px.x - right_px.x)?;
+        Some(self.camera.unproject_depth(left_px, depth))
+    }
+
+    /// The pose of the right camera in the left camera's frame.
+    pub fn right_in_left(&self) -> Pose {
+        Pose::new(
+            crate::quaternion::Quaternion::identity(),
+            Vec3::new(self.baseline, 0.0, 0.0),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cam() -> PinholeCamera {
+        PinholeCamera::centered(450.0, 640, 480)
+    }
+
+    #[test]
+    fn project_unproject_roundtrip() {
+        let c = cam();
+        let p = Vec3::new(0.5, -0.3, 4.0);
+        let px = c.project(p).unwrap();
+        let back = c.unproject_depth(px, 4.0);
+        assert!((back - p).norm() < 1e-12);
+    }
+
+    #[test]
+    fn behind_camera_rejected() {
+        assert!(cam().project(Vec3::new(0.0, 0.0, -1.0)).is_none());
+        assert!(cam().project(Vec3::new(0.0, 0.0, 0.0)).is_none());
+    }
+
+    #[test]
+    fn bounds_check() {
+        let c = cam();
+        // Far off-axis point projects off-sensor.
+        assert!(c.project_in_bounds(Vec3::new(100.0, 0.0, 1.0)).is_none());
+        assert!(c.project_in_bounds(Vec3::new(0.0, 0.0, 1.0)).is_some());
+    }
+
+    #[test]
+    fn jacobian_matches_finite_difference() {
+        let c = cam();
+        let p = Vec3::new(0.4, 0.2, 3.0);
+        let j = c.projection_jacobian(p);
+        let eps = 1e-7;
+        for axis in 0..3 {
+            let dp = match axis {
+                0 => Vec3::new(eps, 0.0, 0.0),
+                1 => Vec3::new(0.0, eps, 0.0),
+                _ => Vec3::new(0.0, 0.0, eps),
+            };
+            let f0 = c.project(p).unwrap();
+            let f1 = c.project(p + dp).unwrap();
+            let du = (f1.x - f0.x) / eps;
+            let dv = (f1.y - f0.y) / eps;
+            assert!((du - j[0][axis]).abs() < 1e-4, "axis {axis}");
+            assert!((dv - j[1][axis]).abs() < 1e-4, "axis {axis}");
+        }
+    }
+
+    #[test]
+    fn stereo_depth_disparity_roundtrip() {
+        let rig = StereoRig::new(cam(), 0.2);
+        for depth in [0.5, 2.0, 10.0, 50.0] {
+            let d = rig.disparity_from_depth(depth);
+            assert!((rig.depth_from_disparity(d).unwrap() - depth).abs() < 1e-9);
+        }
+        assert!(rig.depth_from_disparity(0.0).is_none());
+        assert!(rig.depth_from_disparity(-1.0).is_none());
+    }
+
+    #[test]
+    fn stereo_reconstruct_roundtrip() {
+        let rig = StereoRig::new(cam(), 0.12);
+        let p = Vec3::new(0.7, -0.4, 5.0);
+        let (l, r) = rig.project(p).unwrap();
+        let rec = rig.reconstruct(l, r).unwrap();
+        assert!((rec - p).norm() < 1e-9);
+    }
+
+    #[test]
+    fn epipolar_rows_match() {
+        // Rectified pair: matched points share the same row.
+        let rig = StereoRig::new(cam(), 0.12);
+        let (l, r) = rig.project(Vec3::new(0.3, 0.25, 2.0)).unwrap();
+        assert!((l.y - r.y).abs() < 1e-12);
+        assert!(l.x > r.x, "disparity must be positive");
+    }
+}

@@ -1,0 +1,35 @@
+//! Rigid-body geometry for the Eudoxus localization stack.
+//!
+//! Localization estimates the 6-DoF pose of the machine — three translational
+//! and three rotational degrees of freedom (paper Fig. 1). This crate
+//! provides the geometric vocabulary every other crate builds on: fixed-size
+//! vectors and 3×3 matrices, unit quaternions, the SO(3)/SE(3) exponential
+//! and logarithm maps, pin-hole and stereo camera models, multi-view
+//! triangulation, and the projection Jacobians the optimization backends
+//! linearize against.
+//!
+//! # Example
+//!
+//! ```
+//! use eudoxus_geometry::{Pose, Vec3};
+//!
+//! let pose = Pose::from_rotation_vector(Vec3::new(0.0, 0.0, 0.1), Vec3::new(1.0, 0.0, 0.0));
+//! let p_world = pose.transform(Vec3::new(1.0, 0.0, 0.0));
+//! assert!((p_world.y - 0.1f64.sin() - 0.0).abs() < 1e-9);
+//! ```
+
+pub mod camera;
+pub mod mat3;
+pub mod pose;
+pub mod quaternion;
+pub mod so3;
+pub mod triangulate;
+pub mod vec;
+
+pub use camera::{PinholeCamera, StereoRig};
+pub use mat3::Mat3;
+pub use pose::Pose;
+pub use quaternion::Quaternion;
+pub use so3::{exp_so3, log_so3};
+pub use triangulate::{triangulate_multi_view, triangulate_stereo, TriangulationError};
+pub use vec::{Vec2, Vec3};

@@ -1,0 +1,268 @@
+//! Fixed 3×3 matrices (rotation matrices, small Jacobian blocks).
+
+use crate::vec::Vec3;
+use eudoxus_math::Matrix;
+use std::ops::{Add, Mul, Sub};
+
+/// A copyable 3×3 matrix in row-major order.
+///
+/// # Example
+///
+/// ```
+/// use eudoxus_geometry::{Mat3, Vec3};
+/// let r = Mat3::identity();
+/// assert_eq!(r * Vec3::new(1.0, 2.0, 3.0), Vec3::new(1.0, 2.0, 3.0));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Mat3 {
+    /// Row-major entries.
+    pub m: [[f64; 3]; 3],
+}
+
+impl Mat3 {
+    /// Identity matrix.
+    pub const fn identity() -> Self {
+        Mat3 {
+            m: [[1.0, 0.0, 0.0], [0.0, 1.0, 0.0], [0.0, 0.0, 1.0]],
+        }
+    }
+
+    /// Zero matrix.
+    pub const fn zero() -> Self {
+        Mat3 { m: [[0.0; 3]; 3] }
+    }
+
+    /// Builds from rows.
+    pub const fn from_rows(r0: [f64; 3], r1: [f64; 3], r2: [f64; 3]) -> Self {
+        Mat3 { m: [r0, r1, r2] }
+    }
+
+    /// Diagonal matrix.
+    pub const fn from_diag(d: [f64; 3]) -> Self {
+        Mat3 {
+            m: [[d[0], 0.0, 0.0], [0.0, d[1], 0.0], [0.0, 0.0, d[2]]],
+        }
+    }
+
+    /// Skew-symmetric (hat) matrix of `v`, so that `hat(v)·w = v × w`.
+    pub fn hat(v: Vec3) -> Self {
+        Mat3::from_rows(
+            [0.0, -v.z, v.y],
+            [v.z, 0.0, -v.x],
+            [-v.y, v.x, 0.0],
+        )
+    }
+
+    /// Outer product `a·bᵀ`.
+    pub fn outer(a: Vec3, b: Vec3) -> Self {
+        Mat3::from_rows(
+            [a.x * b.x, a.x * b.y, a.x * b.z],
+            [a.y * b.x, a.y * b.y, a.y * b.z],
+            [a.z * b.x, a.z * b.y, a.z * b.z],
+        )
+    }
+
+    /// Transpose.
+    pub fn transpose(self) -> Mat3 {
+        let m = self.m;
+        Mat3::from_rows(
+            [m[0][0], m[1][0], m[2][0]],
+            [m[0][1], m[1][1], m[2][1]],
+            [m[0][2], m[1][2], m[2][2]],
+        )
+    }
+
+    /// Determinant.
+    pub fn det(self) -> f64 {
+        let m = self.m;
+        m[0][0] * (m[1][1] * m[2][2] - m[1][2] * m[2][1])
+            - m[0][1] * (m[1][0] * m[2][2] - m[1][2] * m[2][0])
+            + m[0][2] * (m[1][0] * m[2][1] - m[1][1] * m[2][0])
+    }
+
+    /// Inverse via the adjugate; `None` when (numerically) singular.
+    pub fn inverse(self) -> Option<Mat3> {
+        let d = self.det();
+        if d.abs() < 1e-15 {
+            return None;
+        }
+        let m = self.m;
+        let inv_det = 1.0 / d;
+        Some(Mat3::from_rows(
+            [
+                (m[1][1] * m[2][2] - m[1][2] * m[2][1]) * inv_det,
+                (m[0][2] * m[2][1] - m[0][1] * m[2][2]) * inv_det,
+                (m[0][1] * m[1][2] - m[0][2] * m[1][1]) * inv_det,
+            ],
+            [
+                (m[1][2] * m[2][0] - m[1][0] * m[2][2]) * inv_det,
+                (m[0][0] * m[2][2] - m[0][2] * m[2][0]) * inv_det,
+                (m[0][2] * m[1][0] - m[0][0] * m[1][2]) * inv_det,
+            ],
+            [
+                (m[1][0] * m[2][1] - m[1][1] * m[2][0]) * inv_det,
+                (m[0][1] * m[2][0] - m[0][0] * m[2][1]) * inv_det,
+                (m[0][0] * m[1][1] - m[0][1] * m[1][0]) * inv_det,
+            ],
+        ))
+    }
+
+    /// Row `i` as a [`Vec3`].
+    ///
+    /// # Panics
+    ///
+    /// Panics for `i > 2`.
+    pub fn row(self, i: usize) -> Vec3 {
+        Vec3::new(self.m[i][0], self.m[i][1], self.m[i][2])
+    }
+
+    /// Column `j` as a [`Vec3`].
+    ///
+    /// # Panics
+    ///
+    /// Panics for `j > 2`.
+    pub fn col(self, j: usize) -> Vec3 {
+        Vec3::new(self.m[0][j], self.m[1][j], self.m[2][j])
+    }
+
+    /// Scales every entry.
+    pub fn scale(self, s: f64) -> Mat3 {
+        let mut out = self;
+        for row in &mut out.m {
+            for v in row {
+                *v *= s;
+            }
+        }
+        out
+    }
+
+    /// Max-absolute-entry norm.
+    pub fn norm_max(self) -> f64 {
+        self.m
+            .iter()
+            .flatten()
+            .fold(0.0f64, |acc, &v| acc.max(v.abs()))
+    }
+
+    /// Converts to a dense [`Matrix`] for interop with `eudoxus-math`.
+    pub fn to_matrix(self) -> Matrix {
+        Matrix::from_fn(3, 3, |i, j| self.m[i][j])
+    }
+
+    /// Builds from the top-left 3×3 of a dense [`Matrix`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m` is smaller than 3×3.
+    pub fn from_matrix(m: &Matrix) -> Self {
+        assert!(m.rows() >= 3 && m.cols() >= 3, "matrix too small for Mat3");
+        Mat3 {
+            m: [
+                [m[(0, 0)], m[(0, 1)], m[(0, 2)]],
+                [m[(1, 0)], m[(1, 1)], m[(1, 2)]],
+                [m[(2, 0)], m[(2, 1)], m[(2, 2)]],
+            ],
+        }
+    }
+}
+
+impl Default for Mat3 {
+    fn default() -> Self {
+        Mat3::identity()
+    }
+}
+
+impl Mul<Vec3> for Mat3 {
+    type Output = Vec3;
+    fn mul(self, v: Vec3) -> Vec3 {
+        Vec3::new(self.row(0).dot(v), self.row(1).dot(v), self.row(2).dot(v))
+    }
+}
+
+impl Mul for Mat3 {
+    type Output = Mat3;
+    fn mul(self, rhs: Mat3) -> Mat3 {
+        let mut out = Mat3::zero();
+        for i in 0..3 {
+            for j in 0..3 {
+                out.m[i][j] = (0..3).map(|k| self.m[i][k] * rhs.m[k][j]).sum();
+            }
+        }
+        out
+    }
+}
+
+impl Add for Mat3 {
+    type Output = Mat3;
+    fn add(self, rhs: Mat3) -> Mat3 {
+        let mut out = Mat3::zero();
+        for i in 0..3 {
+            for j in 0..3 {
+                out.m[i][j] = self.m[i][j] + rhs.m[i][j];
+            }
+        }
+        out
+    }
+}
+
+impl Sub for Mat3 {
+    type Output = Mat3;
+    fn sub(self, rhs: Mat3) -> Mat3 {
+        let mut out = Mat3::zero();
+        for i in 0..3 {
+            for j in 0..3 {
+                out.m[i][j] = self.m[i][j] - rhs.m[i][j];
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hat_encodes_cross_product() {
+        let v = Vec3::new(0.3, -1.2, 2.0);
+        let w = Vec3::new(1.0, 0.5, -0.7);
+        let lhs = Mat3::hat(v) * w;
+        let rhs = v.cross(w);
+        assert!((lhs - rhs).norm() < 1e-14);
+    }
+
+    #[test]
+    fn inverse_roundtrip() {
+        let a = Mat3::from_rows([2.0, 1.0, 0.0], [1.0, 3.0, 0.5], [0.0, 0.5, 1.5]);
+        let inv = a.inverse().unwrap();
+        let eye = a * inv;
+        assert!((eye - Mat3::identity()).norm_max() < 1e-12);
+    }
+
+    #[test]
+    fn singular_has_no_inverse() {
+        let a = Mat3::from_rows([1.0, 2.0, 3.0], [2.0, 4.0, 6.0], [0.0, 1.0, 1.0]);
+        assert!(a.inverse().is_none());
+    }
+
+    #[test]
+    fn det_of_diag() {
+        assert_eq!(Mat3::from_diag([2.0, 3.0, 4.0]).det(), 24.0);
+    }
+
+    #[test]
+    fn transpose_and_outer() {
+        let a = Vec3::new(1.0, 2.0, 3.0);
+        let b = Vec3::new(4.0, 5.0, 6.0);
+        let o = Mat3::outer(a, b);
+        assert_eq!(o.m[1][2], 12.0);
+        assert_eq!(o.transpose().m[2][1], 12.0);
+    }
+
+    #[test]
+    fn matrix_interop() {
+        let a = Mat3::from_rows([1.0, 2.0, 3.0], [4.0, 5.0, 6.0], [7.0, 8.0, 10.0]);
+        let dense = a.to_matrix();
+        assert_eq!(Mat3::from_matrix(&dense), a);
+    }
+}

@@ -1,0 +1,212 @@
+//! SE(3) rigid-body poses.
+
+use crate::mat3::Mat3;
+use crate::quaternion::Quaternion;
+use crate::so3::{exp_so3, log_so3};
+use crate::vec::Vec3;
+use std::ops::Mul;
+
+/// A 6-DoF rigid-body pose: rotation plus translation (paper Fig. 1).
+///
+/// Convention: `pose.transform(p)` maps a point from the *body/camera* frame
+/// to the *world* frame, i.e. the pose stores the body-to-world transform
+/// `p_w = R·p_b + t` and `t` is the body origin expressed in world
+/// coordinates.
+///
+/// # Example
+///
+/// ```
+/// use eudoxus_geometry::{Pose, Quaternion, Vec3};
+///
+/// let pose = Pose::new(Quaternion::identity(), Vec3::new(1.0, 2.0, 3.0));
+/// assert_eq!(pose.transform(Vec3::zero()), Vec3::new(1.0, 2.0, 3.0));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Pose {
+    /// Body-to-world rotation.
+    pub rotation: Quaternion,
+    /// Body origin in world coordinates.
+    pub translation: Vec3,
+}
+
+impl Pose {
+    /// Builds a pose from rotation and translation.
+    pub fn new(rotation: Quaternion, translation: Vec3) -> Self {
+        Pose {
+            rotation,
+            translation,
+        }
+    }
+
+    /// The identity pose.
+    pub fn identity() -> Self {
+        Pose::default()
+    }
+
+    /// Builds from a rotation vector (axis–angle) and translation.
+    pub fn from_rotation_vector(rv: Vec3, translation: Vec3) -> Self {
+        Pose::new(Quaternion::from_rotation_vector(rv), translation)
+    }
+
+    /// Maps a body-frame point into the world frame.
+    pub fn transform(self, p: Vec3) -> Vec3 {
+        self.rotation.rotate(p) + self.translation
+    }
+
+    /// Maps a world-frame point into the body frame.
+    pub fn inverse_transform(self, p: Vec3) -> Vec3 {
+        self.rotation.conjugate().rotate(p - self.translation)
+    }
+
+    /// The inverse pose.
+    pub fn inverse(self) -> Pose {
+        let rinv = self.rotation.conjugate();
+        Pose::new(rinv, -rinv.rotate(self.translation))
+    }
+
+    /// Rotation as a matrix.
+    pub fn rotation_matrix(self) -> Mat3 {
+        self.rotation.to_matrix()
+    }
+
+    /// SE(3)-style logarithm split into `(rotation_vector, translation)`.
+    ///
+    /// Note: the translation component is the raw translation difference
+    /// (the "pseudo-log" used by trajectory-error metrics), not the full
+    /// SE(3) log's `V⁻¹·t`.
+    pub fn to_vector(self) -> [f64; 6] {
+        let rv = self.rotation.to_rotation_vector();
+        [
+            rv.x,
+            rv.y,
+            rv.z,
+            self.translation.x,
+            self.translation.y,
+            self.translation.z,
+        ]
+    }
+
+    /// Inverse of [`Pose::to_vector`].
+    pub fn from_vector(v: [f64; 6]) -> Self {
+        Pose::from_rotation_vector(Vec3::new(v[0], v[1], v[2]), Vec3::new(v[3], v[4], v[5]))
+    }
+
+    /// Right-multiplies by a small SE(3) perturbation given as
+    /// `(δφ, δt)` in the *body* frame: `T ← T · exp(δ)`.
+    pub fn perturb_local(self, dphi: Vec3, dt: Vec3) -> Pose {
+        let dq = Quaternion::from_rotation_vector(dphi);
+        Pose::new(self.rotation * dq, self.translation + self.rotation.rotate(dt))
+    }
+
+    /// Left-multiplies by a small world-frame perturbation:
+    /// `T ← exp(δ) · T`.
+    pub fn perturb_global(self, dphi: Vec3, dt: Vec3) -> Pose {
+        let dr = exp_so3(dphi);
+        Pose::new(
+            Quaternion::from_matrix(dr) * self.rotation,
+            dr * self.translation + dt,
+        )
+    }
+
+    /// Relative pose `self⁻¹ · other` (expresses `other` in `self`'s frame).
+    pub fn between(self, other: Pose) -> Pose {
+        self.inverse() * other
+    }
+
+    /// Translational distance to another pose.
+    pub fn translation_distance(self, other: Pose) -> f64 {
+        (self.translation - other.translation).norm()
+    }
+
+    /// Rotational distance (radians) to another pose.
+    pub fn rotation_distance(self, other: Pose) -> f64 {
+        self.rotation.angle_to(other.rotation)
+    }
+
+    /// Minimal 6-vector of the relative pose to `other`, useful as an error
+    /// term: `[log(R_selfᵀ R_other), t_other − t_self]`.
+    pub fn error_to(self, other: Pose) -> [f64; 6] {
+        let dr = log_so3((self.rotation.conjugate() * other.rotation).to_matrix());
+        let dt = other.translation - self.translation;
+        [dr.x, dr.y, dr.z, dt.x, dt.y, dt.z]
+    }
+}
+
+impl Mul for Pose {
+    type Output = Pose;
+    /// Pose composition: `(a * b).transform(p) == a.transform(b.transform(p))`.
+    fn mul(self, rhs: Pose) -> Pose {
+        Pose::new(
+            self.rotation * rhs.rotation,
+            self.rotation.rotate(rhs.translation) + self.translation,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::FRAC_PI_2;
+
+    fn sample_pose() -> Pose {
+        Pose::from_rotation_vector(Vec3::new(0.2, -0.5, 0.8), Vec3::new(1.0, -2.0, 0.5))
+    }
+
+    #[test]
+    fn inverse_composes_to_identity() {
+        let p = sample_pose();
+        let e = p * p.inverse();
+        assert!(e.translation.norm() < 1e-12);
+        assert!(e.rotation.angle_to(Quaternion::identity()) < 1e-12);
+    }
+
+    #[test]
+    fn composition_matches_sequential_transform() {
+        let a = sample_pose();
+        let b = Pose::from_rotation_vector(Vec3::new(-0.1, 0.3, 0.0), Vec3::new(0.0, 1.0, 1.0));
+        let p = Vec3::new(0.3, 0.7, -1.2);
+        let seq = a.transform(b.transform(p));
+        let comp = (a * b).transform(p);
+        assert!((seq - comp).norm() < 1e-12);
+    }
+
+    #[test]
+    fn transform_inverse_roundtrip() {
+        let p = sample_pose();
+        let x = Vec3::new(4.0, 5.0, 6.0);
+        assert!((p.inverse_transform(p.transform(x)) - x).norm() < 1e-12);
+    }
+
+    #[test]
+    fn vector_roundtrip() {
+        let p = sample_pose();
+        let q = Pose::from_vector(p.to_vector());
+        assert!(p.translation_distance(q) < 1e-12);
+        assert!(p.rotation_distance(q) < 1e-9);
+    }
+
+    #[test]
+    fn between_recovers_relative() {
+        let a = sample_pose();
+        let b = Pose::from_rotation_vector(Vec3::new(0.0, 0.0, FRAC_PI_2), Vec3::new(2.0, 0.0, 0.0));
+        let rel = a.between(b);
+        let b2 = a * rel;
+        assert!(b2.translation_distance(b) < 1e-12);
+        assert!(b2.rotation_distance(b) < 1e-12);
+    }
+
+    #[test]
+    fn local_perturbation_is_first_order_additive() {
+        let p = sample_pose();
+        let d = 1e-6;
+        let perturbed = p.perturb_local(Vec3::new(d, 0.0, 0.0), Vec3::zero());
+        assert!((p.rotation_distance(perturbed) - d).abs() < 1e-9);
+    }
+
+    #[test]
+    fn error_to_self_is_zero() {
+        let p = sample_pose();
+        let e = p.error_to(p);
+        assert!(e.iter().all(|v| v.abs() < 1e-12));
+    }
+}

@@ -1,0 +1,307 @@
+//! Unit quaternions for attitude representation.
+//!
+//! The MSCKF state vector stores attitude as a unit quaternion while the
+//! error state uses a minimal 3-parameter rotation vector (paper's filtering
+//! block follows \[64\]); this module provides both views plus conversions to
+//! rotation matrices and Euler angles (yaw/pitch/roll of paper Fig. 1).
+
+use crate::mat3::Mat3;
+use crate::vec::Vec3;
+use std::ops::Mul;
+
+/// A unit quaternion `w + xi + yj + zk` representing a 3-D rotation.
+///
+/// Constructors normalize, so values of this type are always unit length.
+///
+/// # Example
+///
+/// ```
+/// use eudoxus_geometry::{Quaternion, Vec3};
+///
+/// let q = Quaternion::from_axis_angle(Vec3::unit_z(), std::f64::consts::FRAC_PI_2);
+/// let v = q.rotate(Vec3::unit_x());
+/// assert!((v - Vec3::unit_y()).norm() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Quaternion {
+    /// Scalar part.
+    pub w: f64,
+    /// Vector part, i component.
+    pub x: f64,
+    /// Vector part, j component.
+    pub y: f64,
+    /// Vector part, k component.
+    pub z: f64,
+}
+
+impl Quaternion {
+    /// The identity rotation.
+    pub const fn identity() -> Self {
+        Quaternion {
+            w: 1.0,
+            x: 0.0,
+            y: 0.0,
+            z: 0.0,
+        }
+    }
+
+    /// Builds from components, normalizing to unit length.
+    ///
+    /// # Panics
+    ///
+    /// Panics if all components are zero.
+    pub fn new(w: f64, x: f64, y: f64, z: f64) -> Self {
+        let n = (w * w + x * x + y * y + z * z).sqrt();
+        assert!(n > 1e-15, "cannot normalize a zero quaternion");
+        Quaternion {
+            w: w / n,
+            x: x / n,
+            y: y / n,
+            z: z / n,
+        }
+    }
+
+    /// Rotation of `angle` radians about `axis`.
+    ///
+    /// A zero axis yields the identity rotation.
+    pub fn from_axis_angle(axis: Vec3, angle: f64) -> Self {
+        match axis.normalized() {
+            Some(a) => {
+                let half = 0.5 * angle;
+                let s = half.sin();
+                Quaternion::new(half.cos(), a.x * s, a.y * s, a.z * s)
+            }
+            None => Quaternion::identity(),
+        }
+    }
+
+    /// Exponential map: rotation vector (axis × angle) to quaternion.
+    pub fn from_rotation_vector(rv: Vec3) -> Self {
+        let angle = rv.norm();
+        if angle < 1e-12 {
+            // First-order expansion keeps the map smooth near zero.
+            Quaternion::new(1.0, 0.5 * rv.x, 0.5 * rv.y, 0.5 * rv.z)
+        } else {
+            Quaternion::from_axis_angle(rv, angle)
+        }
+    }
+
+    /// Logarithm map: quaternion to rotation vector.
+    pub fn to_rotation_vector(self) -> Vec3 {
+        let q = if self.w < 0.0 { self.conjugate_neg() } else { self };
+        let vn = (q.x * q.x + q.y * q.y + q.z * q.z).sqrt();
+        if vn < 1e-12 {
+            Vec3::new(2.0 * q.x, 2.0 * q.y, 2.0 * q.z)
+        } else {
+            let angle = 2.0 * vn.atan2(q.w);
+            Vec3::new(q.x, q.y, q.z) * (angle / vn)
+        }
+    }
+
+    /// Negates all components (same rotation, other double cover).
+    fn conjugate_neg(self) -> Quaternion {
+        Quaternion {
+            w: -self.w,
+            x: -self.x,
+            y: -self.y,
+            z: -self.z,
+        }
+    }
+
+    /// The inverse rotation.
+    pub fn conjugate(self) -> Quaternion {
+        Quaternion {
+            w: self.w,
+            x: -self.x,
+            y: -self.y,
+            z: -self.z,
+        }
+    }
+
+    /// Rotates a vector.
+    pub fn rotate(self, v: Vec3) -> Vec3 {
+        // v' = v + 2 q_v × (q_v × v + w v)
+        let qv = Vec3::new(self.x, self.y, self.z);
+        let t = qv.cross(v) * 2.0;
+        v + t * self.w + qv.cross(t)
+    }
+
+    /// Equivalent rotation matrix.
+    pub fn to_matrix(self) -> Mat3 {
+        let (w, x, y, z) = (self.w, self.x, self.y, self.z);
+        Mat3::from_rows(
+            [
+                1.0 - 2.0 * (y * y + z * z),
+                2.0 * (x * y - w * z),
+                2.0 * (x * z + w * y),
+            ],
+            [
+                2.0 * (x * y + w * z),
+                1.0 - 2.0 * (x * x + z * z),
+                2.0 * (y * z - w * x),
+            ],
+            [
+                2.0 * (x * z - w * y),
+                2.0 * (y * z + w * x),
+                1.0 - 2.0 * (x * x + y * y),
+            ],
+        )
+    }
+
+    /// Builds from a rotation matrix (Shepperd's method).
+    pub fn from_matrix(m: Mat3) -> Self {
+        let t = m.m[0][0] + m.m[1][1] + m.m[2][2];
+        if t > 0.0 {
+            let s = (t + 1.0).sqrt() * 2.0;
+            Quaternion::new(
+                0.25 * s,
+                (m.m[2][1] - m.m[1][2]) / s,
+                (m.m[0][2] - m.m[2][0]) / s,
+                (m.m[1][0] - m.m[0][1]) / s,
+            )
+        } else if m.m[0][0] > m.m[1][1] && m.m[0][0] > m.m[2][2] {
+            let s = (1.0 + m.m[0][0] - m.m[1][1] - m.m[2][2]).sqrt() * 2.0;
+            Quaternion::new(
+                (m.m[2][1] - m.m[1][2]) / s,
+                0.25 * s,
+                (m.m[0][1] + m.m[1][0]) / s,
+                (m.m[0][2] + m.m[2][0]) / s,
+            )
+        } else if m.m[1][1] > m.m[2][2] {
+            let s = (1.0 + m.m[1][1] - m.m[0][0] - m.m[2][2]).sqrt() * 2.0;
+            Quaternion::new(
+                (m.m[0][2] - m.m[2][0]) / s,
+                (m.m[0][1] + m.m[1][0]) / s,
+                0.25 * s,
+                (m.m[1][2] + m.m[2][1]) / s,
+            )
+        } else {
+            let s = (1.0 + m.m[2][2] - m.m[0][0] - m.m[1][1]).sqrt() * 2.0;
+            Quaternion::new(
+                (m.m[1][0] - m.m[0][1]) / s,
+                (m.m[0][2] + m.m[2][0]) / s,
+                (m.m[1][2] + m.m[2][1]) / s,
+                0.25 * s,
+            )
+        }
+    }
+
+    /// Yaw (α), pitch (β), roll (γ) — the rotational DoF of paper Fig. 1 —
+    /// using the Z-Y-X convention.
+    pub fn to_euler(self) -> (f64, f64, f64) {
+        let m = self.to_matrix();
+        let pitch = (-m.m[2][0]).clamp(-1.0, 1.0).asin();
+        let yaw = m.m[1][0].atan2(m.m[0][0]);
+        let roll = m.m[2][1].atan2(m.m[2][2]);
+        (yaw, pitch, roll)
+    }
+
+    /// Angle of the relative rotation to `other`, in radians.
+    pub fn angle_to(self, other: Quaternion) -> f64 {
+        (self.conjugate() * other).to_rotation_vector().norm()
+    }
+
+    /// Renormalizes in place to counter floating-point drift (used after
+    /// long integration chains).
+    pub fn renormalize(&mut self) {
+        let n = (self.w * self.w + self.x * self.x + self.y * self.y + self.z * self.z).sqrt();
+        self.w /= n;
+        self.x /= n;
+        self.y /= n;
+        self.z /= n;
+    }
+}
+
+impl Default for Quaternion {
+    fn default() -> Self {
+        Quaternion::identity()
+    }
+}
+
+impl Mul for Quaternion {
+    type Output = Quaternion;
+    fn mul(self, r: Quaternion) -> Quaternion {
+        // Hamilton product; the result of multiplying two unit quaternions
+        // is unit up to rounding, renormalized by `new`.
+        Quaternion::new(
+            self.w * r.w - self.x * r.x - self.y * r.y - self.z * r.z,
+            self.w * r.x + self.x * r.w + self.y * r.z - self.z * r.y,
+            self.w * r.y - self.x * r.z + self.y * r.w + self.z * r.x,
+            self.w * r.z + self.x * r.y - self.y * r.x + self.z * r.w,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::{FRAC_PI_2, PI};
+
+    #[test]
+    fn rotation_matches_matrix() {
+        let q = Quaternion::from_axis_angle(Vec3::new(1.0, 1.0, 0.3), 0.73);
+        let v = Vec3::new(0.2, -1.0, 0.5);
+        let via_q = q.rotate(v);
+        let via_m = q.to_matrix() * v;
+        assert!((via_q - via_m).norm() < 1e-12);
+    }
+
+    #[test]
+    fn exp_log_roundtrip() {
+        for rv in [
+            Vec3::new(0.1, -0.2, 0.3),
+            Vec3::new(1e-14, 0.0, 0.0),
+            Vec3::new(2.0, 1.0, -0.5),
+        ] {
+            let q = Quaternion::from_rotation_vector(rv);
+            let back = q.to_rotation_vector();
+            assert!((back - rv).norm() < 1e-9, "rv={rv:?} back={back:?}");
+        }
+    }
+
+    #[test]
+    fn matrix_roundtrip() {
+        let q = Quaternion::from_axis_angle(Vec3::new(-0.3, 0.8, 0.52), 2.7);
+        let q2 = Quaternion::from_matrix(q.to_matrix());
+        // Compare up to double cover.
+        assert!(q.angle_to(q2) < 1e-9);
+    }
+
+    #[test]
+    fn composition_matches_sequential_rotation() {
+        let q1 = Quaternion::from_axis_angle(Vec3::unit_z(), FRAC_PI_2);
+        let q2 = Quaternion::from_axis_angle(Vec3::unit_x(), FRAC_PI_2);
+        let v = Vec3::new(1.0, 2.0, 3.0);
+        let seq = q2.rotate(q1.rotate(v));
+        let comp = (q2 * q1).rotate(v);
+        assert!((seq - comp).norm() < 1e-12);
+    }
+
+    #[test]
+    fn conjugate_inverts() {
+        let q = Quaternion::from_axis_angle(Vec3::new(0.2, 0.5, -1.0), 1.1);
+        let v = Vec3::new(1.0, -2.0, 0.5);
+        assert!((q.conjugate().rotate(q.rotate(v)) - v).norm() < 1e-12);
+    }
+
+    #[test]
+    fn euler_of_pure_yaw() {
+        let q = Quaternion::from_axis_angle(Vec3::unit_z(), 0.4);
+        let (yaw, pitch, roll) = q.to_euler();
+        assert!((yaw - 0.4).abs() < 1e-12);
+        assert!(pitch.abs() < 1e-12);
+        assert!(roll.abs() < 1e-12);
+    }
+
+    #[test]
+    fn angle_to_antipodal_is_zero() {
+        let q = Quaternion::from_axis_angle(Vec3::unit_y(), PI / 3.0);
+        let anti = Quaternion {
+            w: -q.w,
+            x: -q.x,
+            y: -q.y,
+            z: -q.z,
+        };
+        assert!(q.angle_to(anti) < 1e-9);
+    }
+}

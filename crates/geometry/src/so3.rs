@@ -1,0 +1,156 @@
+//! SO(3) exponential/logarithm maps on rotation matrices.
+//!
+//! The filtering and bundle-adjustment backends linearize rotations on the
+//! SO(3) tangent space; these maps convert between rotation vectors and
+//! rotation matrices (Rodrigues' formula) and provide the right Jacobian
+//! used in IMU preintegration-style covariance propagation.
+
+use crate::mat3::Mat3;
+use crate::vec::Vec3;
+
+/// Rodrigues' formula: rotation vector to rotation matrix.
+///
+/// # Example
+///
+/// ```
+/// use eudoxus_geometry::{exp_so3, Vec3};
+/// let r = exp_so3(Vec3::new(0.0, 0.0, std::f64::consts::FRAC_PI_2));
+/// let v = r * Vec3::unit_x();
+/// assert!((v - Vec3::unit_y()).norm() < 1e-12);
+/// ```
+pub fn exp_so3(rv: Vec3) -> Mat3 {
+    let theta = rv.norm();
+    let k = Mat3::hat(rv);
+    if theta < 1e-8 {
+        // Second-order Taylor expansion for small angles.
+        return Mat3::identity() + k + (k * k).scale(0.5);
+    }
+    let a = theta.sin() / theta;
+    let b = (1.0 - theta.cos()) / (theta * theta);
+    Mat3::identity() + k.scale(a) + (k * k).scale(b)
+}
+
+/// Logarithm map: rotation matrix to rotation vector.
+///
+/// The result has magnitude in `[0, π]`.
+pub fn log_so3(r: Mat3) -> Vec3 {
+    let cos_theta = ((r.m[0][0] + r.m[1][1] + r.m[2][2] - 1.0) * 0.5).clamp(-1.0, 1.0);
+    let theta = cos_theta.acos();
+    if theta < 1e-8 {
+        // Near identity: vee of the antisymmetric part.
+        return Vec3::new(
+            (r.m[2][1] - r.m[1][2]) * 0.5,
+            (r.m[0][2] - r.m[2][0]) * 0.5,
+            (r.m[1][0] - r.m[0][1]) * 0.5,
+        );
+    }
+    if (std::f64::consts::PI - theta) < 1e-6 {
+        // Near π the antisymmetric part degenerates; recover the axis from
+        // the symmetric part: R ≈ I + 2·hat(a)² ⇒ (R+I)/2 = a·aᵀ.
+        let b = Mat3::from_rows(
+            [
+                (r.m[0][0] + 1.0) * 0.5,
+                (r.m[0][1] + r.m[1][0]) * 0.25,
+                (r.m[0][2] + r.m[2][0]) * 0.25,
+            ],
+            [0.0; 3],
+            [0.0; 3],
+        );
+        let ax = b.m[0][0].max(0.0).sqrt();
+        let (x, y, z) = if ax > 1e-6 {
+            (ax, b.m[0][1] / ax, b.m[0][2] / ax)
+        } else {
+            let ay = ((r.m[1][1] + 1.0) * 0.5).max(0.0).sqrt();
+            if ay > 1e-6 {
+                ((r.m[0][1] + r.m[1][0]) * 0.25 / ay, ay, (r.m[1][2] + r.m[2][1]) * 0.25 / ay)
+            } else {
+                let az = ((r.m[2][2] + 1.0) * 0.5).max(0.0).sqrt();
+                ((r.m[0][2] + r.m[2][0]) * 0.25 / az, (r.m[1][2] + r.m[2][1]) * 0.25 / az, az)
+            }
+        };
+        let axis = Vec3::new(x, y, z).normalized().unwrap_or(Vec3::unit_x());
+        // Fix sign using the antisymmetric part when it is not fully zero.
+        let anti = Vec3::new(
+            r.m[2][1] - r.m[1][2],
+            r.m[0][2] - r.m[2][0],
+            r.m[1][0] - r.m[0][1],
+        );
+        let axis = if anti.dot(axis) < 0.0 { -axis } else { axis };
+        return axis * theta;
+    }
+    let s = theta / (2.0 * theta.sin());
+    Vec3::new(
+        (r.m[2][1] - r.m[1][2]) * s,
+        (r.m[0][2] - r.m[2][0]) * s,
+        (r.m[1][0] - r.m[0][1]) * s,
+    )
+}
+
+/// Right Jacobian of SO(3): `J_r(φ)` with
+/// `exp(φ + δφ) ≈ exp(φ)·exp(J_r(φ)·δφ)`.
+pub fn right_jacobian_so3(rv: Vec3) -> Mat3 {
+    let theta = rv.norm();
+    let k = Mat3::hat(rv);
+    if theta < 1e-8 {
+        return Mat3::identity() - k.scale(0.5);
+    }
+    let t2 = theta * theta;
+    let a = (1.0 - theta.cos()) / t2;
+    let b = (theta - theta.sin()) / (t2 * theta);
+    Mat3::identity() - k.scale(a) + (k * k).scale(b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::PI;
+
+    #[test]
+    fn exp_log_roundtrip() {
+        for rv in [
+            Vec3::new(0.3, -0.1, 0.2),
+            Vec3::new(1e-10, 0.0, 0.0),
+            Vec3::new(1.5, 1.5, 1.5),
+            Vec3::new(0.0, PI - 1e-3, 0.0),
+        ] {
+            let r = exp_so3(rv);
+            let back = log_so3(r);
+            assert!((back - rv).norm() < 1e-6, "rv={rv:?} back={back:?}");
+        }
+    }
+
+    #[test]
+    fn exp_produces_orthonormal_matrices() {
+        let r = exp_so3(Vec3::new(0.7, -0.3, 1.1));
+        let should_be_eye = r * r.transpose();
+        assert!((should_be_eye - Mat3::identity()).norm_max() < 1e-12);
+        assert!((r.det() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn log_near_pi_recovers_angle() {
+        let rv = Vec3::new(0.0, 0.0, PI - 1e-8);
+        let r = exp_so3(rv);
+        let back = log_so3(r);
+        assert!((back.norm() - rv.norm()).abs() < 1e-5);
+    }
+
+    #[test]
+    fn right_jacobian_first_order_property() {
+        // exp(φ + δ) ≈ exp(φ)·exp(J_r(φ)·δ) for small δ.
+        let phi = Vec3::new(0.4, -0.2, 0.6);
+        let delta = Vec3::new(1e-5, -2e-5, 1.5e-5);
+        let lhs = exp_so3(phi + delta);
+        let rhs = exp_so3(phi) * exp_so3(right_jacobian_so3(phi) * delta);
+        assert!((lhs - rhs).norm_max() < 1e-9);
+    }
+
+    #[test]
+    fn matches_quaternion_exp() {
+        use crate::quaternion::Quaternion;
+        let rv = Vec3::new(0.2, 0.9, -0.4);
+        let via_mat = exp_so3(rv);
+        let via_quat = Quaternion::from_rotation_vector(rv).to_matrix();
+        assert!((via_mat - via_quat).norm_max() < 1e-12);
+    }
+}

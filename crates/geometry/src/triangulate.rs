@@ -1,0 +1,293 @@
+//! Landmark triangulation from stereo pairs and multi-view tracks.
+//!
+//! The MSCKF measurement update and the SLAM mapping block both need 3-D
+//! positions for tracked features: MSCKF triangulates a feature from all the
+//! camera poses in its sliding window before computing residuals, and SLAM
+//! initializes map points the same way. The implementation is the standard
+//! two-step: a linear mid-point/DLT initialization followed by Gauss–Newton
+//! refinement on reprojection error.
+
+use crate::camera::PinholeCamera;
+use crate::pose::Pose;
+use crate::vec::{Vec2, Vec3};
+use eudoxus_math::{Matrix, Vector};
+use std::fmt;
+
+/// Why triangulation failed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TriangulationError {
+    /// Fewer than two observations.
+    TooFewObservations,
+    /// Observation rays are (near) parallel — not enough parallax.
+    InsufficientParallax,
+    /// The triangulated point fell behind one of the cameras.
+    BehindCamera,
+    /// The linear system was singular.
+    Degenerate,
+}
+
+impl fmt::Display for TriangulationError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TriangulationError::TooFewObservations => write!(f, "fewer than two observations"),
+            TriangulationError::InsufficientParallax => write!(f, "insufficient parallax"),
+            TriangulationError::BehindCamera => write!(f, "point behind a camera"),
+            TriangulationError::Degenerate => write!(f, "degenerate observation geometry"),
+        }
+    }
+}
+
+impl std::error::Error for TriangulationError {}
+
+/// Triangulates from a rectified stereo observation: `left_px`/`right_px`
+/// in the two cameras of a rig with the given `baseline`, returning the
+/// point in the left camera frame.
+///
+/// # Errors
+///
+/// [`TriangulationError::InsufficientParallax`] when disparity is too small.
+///
+/// # Example
+///
+/// ```
+/// use eudoxus_geometry::{triangulate_stereo, PinholeCamera, Vec2, Vec3};
+///
+/// let cam = PinholeCamera::centered(400.0, 640, 480);
+/// let p = triangulate_stereo(&cam, 0.1, Vec2::new(340.0, 240.0), Vec2::new(330.0, 240.0))?;
+/// assert!((p.z - 4.0).abs() < 1e-9);
+/// # Ok::<(), eudoxus_geometry::TriangulationError>(())
+/// ```
+pub fn triangulate_stereo(
+    camera: &PinholeCamera,
+    baseline: f64,
+    left_px: Vec2,
+    right_px: Vec2,
+) -> Result<Vec3, TriangulationError> {
+    let disparity = left_px.x - right_px.x;
+    if disparity < 0.2 {
+        return Err(TriangulationError::InsufficientParallax);
+    }
+    let depth = camera.fx * baseline / disparity;
+    Ok(camera.unproject_depth(left_px, depth))
+}
+
+/// Triangulates a world-frame point from pixel observations in several
+/// posed cameras (`poses[i]` maps camera `i`'s frame to world).
+///
+/// Uses a linear DLT initialization, then ≤10 Gauss–Newton iterations on
+/// total reprojection error.
+///
+/// # Errors
+///
+/// See [`TriangulationError`] variants.
+pub fn triangulate_multi_view(
+    camera: &PinholeCamera,
+    observations: &[(Pose, Vec2)],
+) -> Result<Vec3, TriangulationError> {
+    if observations.len() < 2 {
+        return Err(TriangulationError::TooFewObservations);
+    }
+    // Parallax check: angle between the first and last observation rays.
+    let ray_w = |pose: &Pose, px: Vec2| -> Vec3 {
+        pose.rotation
+            .rotate(camera.unproject(px))
+            .normalized()
+            .unwrap_or(Vec3::unit_z())
+    };
+    let first = observations.first().expect("len >= 2");
+    let last = observations.last().expect("len >= 2");
+    let cos_angle = ray_w(&first.0, first.1).dot(ray_w(&last.0, last.1));
+    let same_center = (first.0.translation - last.0.translation).norm() < 1e-9;
+    if cos_angle > 1.0 - 1e-10 && same_center {
+        return Err(TriangulationError::InsufficientParallax);
+    }
+
+    // Linear initialization: for each observation, two rows of
+    // [u·P3 − P1; v·P3 − P2]·X = 0 where P are rows of the projection, in
+    // inhomogeneous form A·x = b.
+    let n = observations.len();
+    let mut a = Matrix::zeros(2 * n, 3);
+    let mut b = Vector::zeros(2 * n);
+    for (k, (pose, px)) in observations.iter().enumerate() {
+        let inv = pose.inverse();
+        let r = inv.rotation.to_matrix();
+        let t = inv.translation;
+        let norm_px = camera.unproject(*px); // (x/z, y/z, 1)
+        // Row pairs: (r0 - u·r2)·x = u·t2 - t0 ; (r1 - v·r2)·x = v·t2 - t1
+        for (row, (ri, ti, c)) in [
+            (r.row(0), t.x, norm_px.x),
+            (r.row(1), t.y, norm_px.y),
+        ]
+        .iter()
+        .enumerate()
+        .map(|(i, v)| (i, *v))
+        {
+            let coeff = ri - r.row(2) * c;
+            a[(2 * k + row, 0)] = coeff.x;
+            a[(2 * k + row, 1)] = coeff.y;
+            a[(2 * k + row, 2)] = coeff.z;
+            b[2 * k + row] = c * t.z - ti;
+        }
+    }
+    let ata = a.gram();
+    let atb = a.tr_matvec(&b);
+    let x0 = ata
+        .solve_spd(&atb)
+        .or_else(|_| ata.solve(&atb))
+        .map_err(|_| TriangulationError::Degenerate)?;
+    let mut point = Vec3::new(x0[0], x0[1], x0[2]);
+
+    // Gauss–Newton refinement on reprojection error.
+    for _ in 0..10 {
+        let mut h = Matrix::zeros(3, 3);
+        let mut g = Vector::zeros(3);
+        let mut valid = 0;
+        for (pose, px) in observations {
+            let p_cam = pose.inverse_transform(point);
+            if p_cam.z <= 1e-3 {
+                continue;
+            }
+            valid += 1;
+            let proj = camera.project(p_cam).expect("depth checked");
+            let r = proj - *px;
+            let j_cam = camera.projection_jacobian(p_cam);
+            // d p_cam / d p_world = Rᵀ (world→camera rotation).
+            let rot_t = pose.rotation.conjugate().to_matrix();
+            // J = j_cam · Rᵀ (2×3).
+            let mut j = [[0.0; 3]; 2];
+            for row in 0..2 {
+                for col in 0..3 {
+                    j[row][col] = (0..3).map(|k| j_cam[row][k] * rot_t.m[k][col]).sum();
+                }
+            }
+            for col in 0..3 {
+                g[col] += j[0][col] * r.x + j[1][col] * r.y;
+                for col2 in 0..3 {
+                    h[(col, col2)] += j[0][col] * j[0][col2] + j[1][col] * j[1][col2];
+                }
+            }
+        }
+        if valid < 2 {
+            return Err(TriangulationError::BehindCamera);
+        }
+        h.add_diag(1e-9);
+        let step = match h.solve_spd(&g) {
+            Ok(s) => s,
+            Err(_) => return Err(TriangulationError::Degenerate),
+        };
+        point = point - Vec3::new(step[0], step[1], step[2]);
+        if step.norm() < 1e-10 {
+            break;
+        }
+    }
+
+    // Cheirality: the refined point must be in front of every camera that
+    // observed it.
+    for (pose, _) in observations {
+        if pose.inverse_transform(point).z <= 0.0 {
+            return Err(TriangulationError::BehindCamera);
+        }
+    }
+    Ok(point)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::quaternion::Quaternion;
+
+    fn cam() -> PinholeCamera {
+        PinholeCamera::centered(420.0, 640, 480)
+    }
+
+    #[test]
+    fn stereo_triangulation_exact() {
+        let c = cam();
+        let baseline = 0.11;
+        let p = Vec3::new(0.5, -0.2, 6.0);
+        let l = c.project(p).unwrap();
+        let r = c.project(p - Vec3::new(baseline, 0.0, 0.0)).unwrap();
+        let rec = triangulate_stereo(&c, baseline, l, r).unwrap();
+        assert!((rec - p).norm() < 1e-9);
+    }
+
+    #[test]
+    fn stereo_rejects_zero_disparity() {
+        let c = cam();
+        let px = Vec2::new(320.0, 240.0);
+        assert_eq!(
+            triangulate_stereo(&c, 0.1, px, px),
+            Err(TriangulationError::InsufficientParallax)
+        );
+    }
+
+    #[test]
+    fn multi_view_recovers_point() {
+        let c = cam();
+        let point = Vec3::new(1.0, 0.5, 8.0);
+        let mut obs = Vec::new();
+        for i in 0..5 {
+            let pose = Pose::new(
+                Quaternion::from_axis_angle(Vec3::unit_y(), 0.02 * i as f64),
+                Vec3::new(0.3 * i as f64, 0.0, 0.0),
+            );
+            let px = c.project(pose.inverse_transform(point)).unwrap();
+            obs.push((pose, px));
+        }
+        let rec = triangulate_multi_view(&c, &obs).unwrap();
+        assert!((rec - point).norm() < 1e-6);
+    }
+
+    #[test]
+    fn multi_view_with_pixel_noise_stays_close() {
+        let c = cam();
+        let point = Vec3::new(-0.8, 0.3, 10.0);
+        let mut obs = Vec::new();
+        for i in 0..8 {
+            let pose = Pose::new(Quaternion::identity(), Vec3::new(0.25 * i as f64, 0.01 * i as f64, 0.0));
+            let px = c.project(pose.inverse_transform(point)).unwrap();
+            // Deterministic sub-pixel perturbation.
+            let noise = Vec2::new(((i * 7) % 3) as f64 * 0.2 - 0.2, ((i * 5) % 3) as f64 * 0.2 - 0.2);
+            obs.push((pose, px + noise));
+        }
+        let rec = triangulate_multi_view(&c, &obs).unwrap();
+        assert!((rec - point).norm() < 0.3, "rec={rec:?}");
+    }
+
+    #[test]
+    fn too_few_observations() {
+        let c = cam();
+        assert_eq!(
+            triangulate_multi_view(&c, &[(Pose::identity(), Vec2::zero())]),
+            Err(TriangulationError::TooFewObservations)
+        );
+    }
+
+    #[test]
+    fn no_parallax_detected() {
+        let c = cam();
+        let pose = Pose::identity();
+        let px = Vec2::new(300.0, 200.0);
+        let obs = vec![(pose, px), (pose, px)];
+        assert_eq!(
+            triangulate_multi_view(&c, &obs),
+            Err(TriangulationError::InsufficientParallax)
+        );
+    }
+
+    #[test]
+    fn behind_camera_detected() {
+        let c = cam();
+        // Two cameras looking +z, point behind them.
+        let point = Vec3::new(0.0, 0.0, -5.0);
+        let p0 = Pose::identity();
+        let p1 = Pose::new(Quaternion::identity(), Vec3::new(1.0, 0.0, 0.0));
+        // Fake pixel observations (what a point in front would give).
+        let obs = vec![(p0, Vec2::new(320.0, 240.0)), (p1, Vec2::new(250.0, 240.0))];
+        // Whatever the solver returns must not claim a behind-camera point.
+        if let Ok(p) = triangulate_multi_view(&c, &obs) {
+            assert!(p.z > 0.0);
+        }
+        let _ = point;
+    }
+}

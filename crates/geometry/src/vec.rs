@@ -1,0 +1,305 @@
+//! Fixed-size 2- and 3-vectors (copyable, allocation-free).
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Div, Mul, Neg, Sub, SubAssign};
+
+/// A 2-vector, used for pixel coordinates and image-plane quantities.
+///
+/// # Example
+///
+/// ```
+/// use eudoxus_geometry::Vec2;
+/// let d = Vec2::new(3.0, 4.0);
+/// assert_eq!(d.norm(), 5.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Vec2 {
+    /// Horizontal component.
+    pub x: f64,
+    /// Vertical component.
+    pub y: f64,
+}
+
+impl Vec2 {
+    /// Creates a vector from components.
+    pub const fn new(x: f64, y: f64) -> Self {
+        Vec2 { x, y }
+    }
+
+    /// The zero vector.
+    pub const fn zero() -> Self {
+        Vec2 { x: 0.0, y: 0.0 }
+    }
+
+    /// Dot product.
+    pub fn dot(self, rhs: Vec2) -> f64 {
+        self.x * rhs.x + self.y * rhs.y
+    }
+
+    /// Euclidean norm.
+    pub fn norm(self) -> f64 {
+        self.dot(self).sqrt()
+    }
+
+    /// Squared norm.
+    pub fn norm_squared(self) -> f64 {
+        self.dot(self)
+    }
+}
+
+impl Add for Vec2 {
+    type Output = Vec2;
+    fn add(self, rhs: Vec2) -> Vec2 {
+        Vec2::new(self.x + rhs.x, self.y + rhs.y)
+    }
+}
+
+impl Sub for Vec2 {
+    type Output = Vec2;
+    fn sub(self, rhs: Vec2) -> Vec2 {
+        Vec2::new(self.x - rhs.x, self.y - rhs.y)
+    }
+}
+
+impl Mul<f64> for Vec2 {
+    type Output = Vec2;
+    fn mul(self, s: f64) -> Vec2 {
+        Vec2::new(self.x * s, self.y * s)
+    }
+}
+
+impl Div<f64> for Vec2 {
+    type Output = Vec2;
+    fn div(self, s: f64) -> Vec2 {
+        Vec2::new(self.x / s, self.y / s)
+    }
+}
+
+impl Neg for Vec2 {
+    type Output = Vec2;
+    fn neg(self) -> Vec2 {
+        Vec2::new(-self.x, -self.y)
+    }
+}
+
+impl fmt::Display for Vec2 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({:.3}, {:.3})", self.x, self.y)
+    }
+}
+
+/// A 3-vector, used for positions, velocities, angular rates and landmarks.
+///
+/// # Example
+///
+/// ```
+/// use eudoxus_geometry::Vec3;
+/// let a = Vec3::new(1.0, 0.0, 0.0);
+/// let b = Vec3::new(0.0, 1.0, 0.0);
+/// assert_eq!(a.cross(b), Vec3::new(0.0, 0.0, 1.0));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Vec3 {
+    /// X component.
+    pub x: f64,
+    /// Y component.
+    pub y: f64,
+    /// Z component.
+    pub z: f64,
+}
+
+impl Vec3 {
+    /// Creates a vector from components.
+    pub const fn new(x: f64, y: f64, z: f64) -> Self {
+        Vec3 { x, y, z }
+    }
+
+    /// The zero vector.
+    pub const fn zero() -> Self {
+        Vec3 {
+            x: 0.0,
+            y: 0.0,
+            z: 0.0,
+        }
+    }
+
+    /// Unit X axis.
+    pub const fn unit_x() -> Self {
+        Vec3::new(1.0, 0.0, 0.0)
+    }
+
+    /// Unit Y axis.
+    pub const fn unit_y() -> Self {
+        Vec3::new(0.0, 1.0, 0.0)
+    }
+
+    /// Unit Z axis.
+    pub const fn unit_z() -> Self {
+        Vec3::new(0.0, 0.0, 1.0)
+    }
+
+    /// Dot product.
+    pub fn dot(self, rhs: Vec3) -> f64 {
+        self.x * rhs.x + self.y * rhs.y + self.z * rhs.z
+    }
+
+    /// Cross product.
+    pub fn cross(self, rhs: Vec3) -> Vec3 {
+        Vec3::new(
+            self.y * rhs.z - self.z * rhs.y,
+            self.z * rhs.x - self.x * rhs.z,
+            self.x * rhs.y - self.y * rhs.x,
+        )
+    }
+
+    /// Euclidean norm.
+    pub fn norm(self) -> f64 {
+        self.dot(self).sqrt()
+    }
+
+    /// Squared norm.
+    pub fn norm_squared(self) -> f64 {
+        self.dot(self)
+    }
+
+    /// Unit vector in the same direction; returns `None` for (near) zero
+    /// input.
+    pub fn normalized(self) -> Option<Vec3> {
+        let n = self.norm();
+        if n < 1e-15 {
+            None
+        } else {
+            Some(self / n)
+        }
+    }
+
+    /// Component-wise access by index 0..=2.
+    ///
+    /// # Panics
+    ///
+    /// Panics for `i > 2`.
+    pub fn get(self, i: usize) -> f64 {
+        match i {
+            0 => self.x,
+            1 => self.y,
+            2 => self.z,
+            _ => panic!("Vec3 index out of range: {i}"),
+        }
+    }
+
+    /// Components as an array.
+    pub fn to_array(self) -> [f64; 3] {
+        [self.x, self.y, self.z]
+    }
+
+    /// Builds from an array.
+    pub fn from_array(a: [f64; 3]) -> Self {
+        Vec3::new(a[0], a[1], a[2])
+    }
+}
+
+impl Add for Vec3 {
+    type Output = Vec3;
+    fn add(self, rhs: Vec3) -> Vec3 {
+        Vec3::new(self.x + rhs.x, self.y + rhs.y, self.z + rhs.z)
+    }
+}
+
+impl AddAssign for Vec3 {
+    fn add_assign(&mut self, rhs: Vec3) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub for Vec3 {
+    type Output = Vec3;
+    fn sub(self, rhs: Vec3) -> Vec3 {
+        Vec3::new(self.x - rhs.x, self.y - rhs.y, self.z - rhs.z)
+    }
+}
+
+impl SubAssign for Vec3 {
+    fn sub_assign(&mut self, rhs: Vec3) {
+        *self = *self - rhs;
+    }
+}
+
+impl Mul<f64> for Vec3 {
+    type Output = Vec3;
+    fn mul(self, s: f64) -> Vec3 {
+        Vec3::new(self.x * s, self.y * s, self.z * s)
+    }
+}
+
+impl Div<f64> for Vec3 {
+    type Output = Vec3;
+    fn div(self, s: f64) -> Vec3 {
+        Vec3::new(self.x / s, self.y / s, self.z / s)
+    }
+}
+
+impl Neg for Vec3 {
+    type Output = Vec3;
+    fn neg(self) -> Vec3 {
+        Vec3::new(-self.x, -self.y, -self.z)
+    }
+}
+
+impl fmt::Display for Vec3 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({:.3}, {:.3}, {:.3})", self.x, self.y, self.z)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cross_product_is_perpendicular() {
+        let a = Vec3::new(1.0, 2.0, 3.0);
+        let b = Vec3::new(-2.0, 0.5, 1.0);
+        let c = a.cross(b);
+        assert!(c.dot(a).abs() < 1e-12);
+        assert!(c.dot(b).abs() < 1e-12);
+    }
+
+    #[test]
+    fn normalization() {
+        let v = Vec3::new(0.0, 3.0, 4.0).normalized().unwrap();
+        assert!((v.norm() - 1.0).abs() < 1e-15);
+        assert!(Vec3::zero().normalized().is_none());
+    }
+
+    #[test]
+    fn arithmetic() {
+        let a = Vec3::new(1.0, 2.0, 3.0);
+        assert_eq!(a + a, a * 2.0);
+        assert_eq!(a - a, Vec3::zero());
+        assert_eq!(-a, a * -1.0);
+        assert_eq!(a / 2.0, Vec3::new(0.5, 1.0, 1.5));
+        let mut b = a;
+        b += a;
+        assert_eq!(b, a * 2.0);
+        b -= a;
+        assert_eq!(b, a);
+    }
+
+    #[test]
+    fn indexing_and_arrays() {
+        let a = Vec3::new(1.0, 2.0, 3.0);
+        assert_eq!(a.get(0), 1.0);
+        assert_eq!(a.get(2), 3.0);
+        assert_eq!(Vec3::from_array(a.to_array()), a);
+    }
+
+    #[test]
+    fn vec2_basics() {
+        let v = Vec2::new(1.0, 1.0);
+        assert!((v.norm_squared() - 2.0).abs() < 1e-15);
+        assert_eq!(v + v, v * 2.0);
+        assert_eq!(v - v, Vec2::zero());
+        assert_eq!((-v).x, -1.0);
+        assert_eq!((v / 2.0).y, 0.5);
+    }
+}

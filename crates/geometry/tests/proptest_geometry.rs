@@ -1,0 +1,121 @@
+//! Property-based tests for group laws and projection round-trips.
+
+use eudoxus_geometry::{
+    exp_so3, log_so3, triangulate_multi_view, PinholeCamera, Pose, Quaternion, Vec2, Vec3,
+};
+use proptest::prelude::*;
+
+fn vec3(limit: f64) -> impl Strategy<Value = Vec3> {
+    (-limit..limit, -limit..limit, -limit..limit).prop_map(|(x, y, z)| Vec3::new(x, y, z))
+}
+
+fn pose() -> impl Strategy<Value = Pose> {
+    (vec3(1.5), vec3(5.0)).prop_map(|(rv, t)| Pose::from_rotation_vector(rv, t))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn quaternion_rotation_preserves_norm(rv in vec3(3.0), v in vec3(10.0)) {
+        let q = Quaternion::from_rotation_vector(rv);
+        prop_assert!((q.rotate(v).norm() - v.norm()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn quaternion_composition_associative(a in vec3(1.0), b in vec3(1.0), c in vec3(1.0)) {
+        let (qa, qb, qc) = (
+            Quaternion::from_rotation_vector(a),
+            Quaternion::from_rotation_vector(b),
+            Quaternion::from_rotation_vector(c),
+        );
+        let left = (qa * qb) * qc;
+        let right = qa * (qb * qc);
+        prop_assert!(left.angle_to(right) < 1e-9);
+    }
+
+    #[test]
+    fn so3_exp_log_roundtrip(rv in vec3(2.9)) {
+        // log returns the principal value (norm ≤ π), so compare the
+        // *rotations*, not the raw vectors (|rv| can exceed π here).
+        let r = exp_so3(rv);
+        let back = exp_so3(log_so3(r));
+        prop_assert!((back - r).norm_max() < 1e-6);
+        if rv.norm() < std::f64::consts::PI - 1e-3 {
+            prop_assert!((log_so3(r) - rv).norm() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn pose_group_laws(a in pose(), b in pose(), p in vec3(10.0)) {
+        // Associativity of action and identity/inverse laws.
+        let via_compose = (a * b).transform(p);
+        let via_seq = a.transform(b.transform(p));
+        prop_assert!((via_compose - via_seq).norm() < 1e-9);
+        let e = a * a.inverse();
+        prop_assert!(e.translation.norm() < 1e-9);
+        prop_assert!(e.rotation.angle_to(Quaternion::identity()) < 1e-9);
+    }
+
+    #[test]
+    fn pose_transform_roundtrip(a in pose(), p in vec3(20.0)) {
+        prop_assert!((a.inverse_transform(a.transform(p)) - p).norm() < 1e-9);
+    }
+
+    #[test]
+    fn projection_roundtrip(x in -2.0f64..2.0, y in -1.5f64..1.5, z in 1.0f64..40.0) {
+        let cam = PinholeCamera::centered(400.0, 1280, 720);
+        let p = Vec3::new(x, y, z);
+        let px = cam.project(p).unwrap();
+        let back = cam.unproject_depth(px, z);
+        prop_assert!((back - p).norm() < 1e-9);
+    }
+
+    #[test]
+    fn triangulation_recovers_synthetic_points(
+        x in -3.0f64..3.0,
+        y in -2.0f64..2.0,
+        z in 4.0f64..30.0,
+        step in 0.1f64..0.5,
+    ) {
+        let cam = PinholeCamera::centered(420.0, 640, 480);
+        let point = Vec3::new(x, y, z);
+        let mut obs = Vec::new();
+        for i in 0..4 {
+            let pose = Pose::new(Quaternion::identity(), Vec3::new(step * i as f64, 0.0, 0.0));
+            if let Some(px) = cam.project(pose.inverse_transform(point)) {
+                obs.push((pose, px));
+            }
+        }
+        prop_assume!(obs.len() >= 3);
+        let rec = triangulate_multi_view(&cam, &obs).unwrap();
+        prop_assert!((rec - point).norm() < 1e-4, "rec {rec:?} vs {point:?}");
+    }
+
+    #[test]
+    fn euler_yaw_roundtrip(yaw in -3.0f64..3.0) {
+        let q = Quaternion::from_axis_angle(Vec3::unit_z(), yaw);
+        let (y, p, r) = q.to_euler();
+        prop_assert!((y - yaw).abs() < 1e-9);
+        prop_assert!(p.abs() < 1e-9 && r.abs() < 1e-9);
+    }
+
+    #[test]
+    fn stereo_disparity_positive_for_front_points(x in -2.0f64..2.0, z in 1.0f64..50.0) {
+        let rig = eudoxus_geometry::StereoRig::new(PinholeCamera::centered(500.0, 640, 480), 0.12);
+        if let Some((l, r)) = rig.project(Vec3::new(x, 0.0, z)) {
+            prop_assert!(l.x - r.x > 0.0);
+            prop_assert!((l.y - r.y).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn error_to_is_antisymmetric_in_translation(a in pose(), b in pose()) {
+        let e_ab = a.error_to(b);
+        let e_ba = b.error_to(a);
+        for i in 3..6 {
+            prop_assert!((e_ab[i] + e_ba[i]).abs() < 1e-9);
+        }
+        let _ = Vec2::zero();
+    }
+}

@@ -1,0 +1,143 @@
+//! Separable convolution filters.
+//!
+//! The feature-extraction block runs an image-filtering (IF) task before
+//! descriptor computation (paper Fig. 12); ORB uses a Gaussian-smoothed
+//! image so the BRIEF comparisons are noise-robust. Filters here use
+//! clamped borders and separable passes — the same dataflow the
+//! accelerator's stencil buffers capture.
+
+use crate::gray::{FloatImage, GrayImage};
+
+/// Builds a normalized 1-D Gaussian kernel for the given `sigma`. The
+/// radius is `ceil(3σ)`, covering > 99.7 % of the mass.
+///
+/// # Panics
+///
+/// Panics if `sigma` is not positive.
+pub fn gaussian_kernel(sigma: f32) -> Vec<f32> {
+    assert!(sigma > 0.0, "sigma must be positive");
+    let radius = (3.0 * sigma).ceil() as i32;
+    let mut k: Vec<f32> = (-radius..=radius)
+        .map(|i| (-(i * i) as f32 / (2.0 * sigma * sigma)).exp())
+        .collect();
+    let sum: f32 = k.iter().sum();
+    for v in &mut k {
+        *v /= sum;
+    }
+    k
+}
+
+/// Applies a separable filter: `kernel_x` along rows then `kernel_y` along
+/// columns, with clamped borders.
+///
+/// # Panics
+///
+/// Panics if either kernel has even length (no center tap).
+pub fn separable_filter(img: &GrayImage, kernel_x: &[f32], kernel_y: &[f32]) -> FloatImage {
+    assert!(kernel_x.len() % 2 == 1, "kernel_x needs a center tap");
+    assert!(kernel_y.len() % 2 == 1, "kernel_y needs a center tap");
+    let (w, h) = img.dimensions();
+    let rx = (kernel_x.len() / 2) as i64;
+    let ry = (kernel_y.len() / 2) as i64;
+
+    // Horizontal pass.
+    let mut tmp = FloatImage::new(w, h);
+    for y in 0..h {
+        for x in 0..w {
+            let mut acc = 0.0;
+            for (k, &kv) in kernel_x.iter().enumerate() {
+                acc += kv * img.get_clamped(x as i64 + k as i64 - rx, y as i64) as f32;
+            }
+            tmp.put(x, y, acc);
+        }
+    }
+    // Vertical pass.
+    let mut out = FloatImage::new(w, h);
+    for y in 0..h {
+        for x in 0..w {
+            let mut acc = 0.0;
+            for (k, &kv) in kernel_y.iter().enumerate() {
+                acc += kv * tmp.get_clamped(x as i64, y as i64 + k as i64 - ry);
+            }
+            out.put(x, y, acc);
+        }
+    }
+    out
+}
+
+/// Gaussian blur with standard deviation `sigma`, returned as 8-bit.
+///
+/// # Panics
+///
+/// Panics if `sigma` is not positive.
+pub fn gaussian_blur(img: &GrayImage, sigma: f32) -> GrayImage {
+    let k = gaussian_kernel(sigma);
+    separable_filter(img, &k, &k).to_gray()
+}
+
+/// Box filter (uniform average) with a `(2·radius+1)²` window.
+pub fn box_filter(img: &GrayImage, radius: usize) -> GrayImage {
+    let n = 2 * radius + 1;
+    let k = vec![1.0 / n as f32; n];
+    separable_filter(img, &k, &k).to_gray()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gaussian_kernel_is_normalized_and_symmetric() {
+        let k = gaussian_kernel(1.3);
+        let sum: f32 = k.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-6);
+        let n = k.len();
+        for i in 0..n / 2 {
+            assert!((k[i] - k[n - 1 - i]).abs() < 1e-7);
+        }
+        assert_eq!(n % 2, 1);
+    }
+
+    #[test]
+    fn blur_preserves_constant_images() {
+        let img = GrayImage::filled(20, 20, 128);
+        let out = gaussian_blur(&img, 2.0);
+        for y in 0..20 {
+            for x in 0..20 {
+                assert_eq!(out.get(x, y), 128);
+            }
+        }
+    }
+
+    #[test]
+    fn blur_reduces_contrast_of_impulse() {
+        let mut img = GrayImage::new(11, 11);
+        img.put(5, 5, 255);
+        let out = gaussian_blur(&img, 1.0);
+        assert!(out.get(5, 5) < 255);
+        assert!(out.get(5, 5) > out.get(5, 3));
+        assert!(out.get(4, 5) > 0);
+    }
+
+    #[test]
+    fn box_filter_averages_window() {
+        let img = GrayImage::from_fn(3, 3, |x, _| if x == 1 { 90 } else { 0 });
+        let out = box_filter(&img, 1);
+        // Center: mean of the 3x3 = 3*90/9 = 30.
+        assert_eq!(out.get(1, 1), 30);
+    }
+
+    #[test]
+    fn separable_filter_identity_kernel() {
+        let img = GrayImage::from_fn(9, 7, |x, y| (x * 11 + y * 31) as u8);
+        let out = separable_filter(&img, &[1.0], &[1.0]).to_gray();
+        assert_eq!(out, img);
+    }
+
+    #[test]
+    #[should_panic(expected = "center tap")]
+    fn even_kernel_rejected() {
+        let img = GrayImage::new(4, 4);
+        let _ = separable_filter(&img, &[0.5, 0.5], &[1.0]);
+    }
+}

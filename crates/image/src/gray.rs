@@ -1,0 +1,352 @@
+//! Owned grayscale image buffers.
+
+use std::fmt;
+
+/// An 8-bit grayscale image, row-major.
+///
+/// # Example
+///
+/// ```
+/// use eudoxus_image::GrayImage;
+/// let mut img = GrayImage::new(4, 3);
+/// img.put(2, 1, 200);
+/// assert_eq!(img.get(2, 1), 200);
+/// ```
+#[derive(Clone, PartialEq, Eq)]
+pub struct GrayImage {
+    width: u32,
+    height: u32,
+    data: Vec<u8>,
+}
+
+impl GrayImage {
+    /// Creates a black image.
+    pub fn new(width: u32, height: u32) -> Self {
+        GrayImage {
+            width,
+            height,
+            data: vec![0; (width * height) as usize],
+        }
+    }
+
+    /// Creates an image filled with `value`.
+    pub fn filled(width: u32, height: u32, value: u8) -> Self {
+        GrayImage {
+            width,
+            height,
+            data: vec![value; (width * height) as usize],
+        }
+    }
+
+    /// Creates an image by evaluating `f(x, y)` per pixel.
+    pub fn from_fn(width: u32, height: u32, mut f: impl FnMut(u32, u32) -> u8) -> Self {
+        let mut img = GrayImage::new(width, height);
+        for y in 0..height {
+            for x in 0..width {
+                img.put(x, y, f(x, y));
+            }
+        }
+        img
+    }
+
+    /// Builds from an existing buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != width * height`.
+    pub fn from_vec(width: u32, height: u32, data: Vec<u8>) -> Self {
+        assert_eq!(data.len(), (width * height) as usize);
+        GrayImage {
+            width,
+            height,
+            data,
+        }
+    }
+
+    /// Image width in pixels.
+    #[inline]
+    pub fn width(&self) -> u32 {
+        self.width
+    }
+
+    /// Image height in pixels.
+    #[inline]
+    pub fn height(&self) -> u32 {
+        self.height
+    }
+
+    /// `(width, height)` pair.
+    #[inline]
+    pub fn dimensions(&self) -> (u32, u32) {
+        (self.width, self.height)
+    }
+
+    /// Pixel value at `(x, y)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when out of bounds (use [`GrayImage::get_checked`] to probe).
+    #[inline]
+    pub fn get(&self, x: u32, y: u32) -> u8 {
+        self.data[(y * self.width + x) as usize]
+    }
+
+    /// Pixel value, or `None` out of bounds.
+    #[inline]
+    pub fn get_checked(&self, x: i64, y: i64) -> Option<u8> {
+        if x < 0 || y < 0 || x >= self.width as i64 || y >= self.height as i64 {
+            None
+        } else {
+            Some(self.get(x as u32, y as u32))
+        }
+    }
+
+    /// Pixel value with coordinates clamped to the border.
+    #[inline]
+    pub fn get_clamped(&self, x: i64, y: i64) -> u8 {
+        let cx = x.clamp(0, self.width as i64 - 1) as u32;
+        let cy = y.clamp(0, self.height as i64 - 1) as u32;
+        self.get(cx, cy)
+    }
+
+    /// Writes a pixel.
+    ///
+    /// # Panics
+    ///
+    /// Panics when out of bounds.
+    #[inline]
+    pub fn put(&mut self, x: u32, y: u32, v: u8) {
+        self.data[(y * self.width + x) as usize] = v;
+    }
+
+    /// Saturating add onto a pixel (used by the synthetic renderer).
+    #[inline]
+    pub fn add_saturating(&mut self, x: u32, y: u32, v: u8) {
+        let p = &mut self.data[(y * self.width + x) as usize];
+        *p = p.saturating_add(v);
+    }
+
+    /// Bilinear sample at fractional coordinates, clamped at borders.
+    pub fn sample_bilinear(&self, x: f32, y: f32) -> f32 {
+        let x0 = x.floor();
+        let y0 = y.floor();
+        let fx = x - x0;
+        let fy = y - y0;
+        let (x0, y0) = (x0 as i64, y0 as i64);
+        let p00 = self.get_clamped(x0, y0) as f32;
+        let p10 = self.get_clamped(x0 + 1, y0) as f32;
+        let p01 = self.get_clamped(x0, y0 + 1) as f32;
+        let p11 = self.get_clamped(x0 + 1, y0 + 1) as f32;
+        p00 * (1.0 - fx) * (1.0 - fy) + p10 * fx * (1.0 - fy) + p01 * (1.0 - fx) * fy + p11 * fx * fy
+    }
+
+    /// Raw pixel buffer.
+    #[inline]
+    pub fn as_raw(&self) -> &[u8] {
+        &self.data
+    }
+
+    /// Mutable raw pixel buffer.
+    #[inline]
+    pub fn as_raw_mut(&mut self) -> &mut [u8] {
+        &mut self.data
+    }
+
+    /// Half-resolution downsample by 2×2 averaging (pyramid level step).
+    pub fn downsample_2x(&self) -> GrayImage {
+        let w = (self.width / 2).max(1);
+        let h = (self.height / 2).max(1);
+        GrayImage::from_fn(w, h, |x, y| {
+            let (sx, sy) = (x * 2, y * 2);
+            let a = self.get_clamped(sx as i64, sy as i64) as u16;
+            let b = self.get_clamped(sx as i64 + 1, sy as i64) as u16;
+            let c = self.get_clamped(sx as i64, sy as i64 + 1) as u16;
+            let d = self.get_clamped(sx as i64 + 1, sy as i64 + 1) as u16;
+            ((a + b + c + d) / 4) as u8
+        })
+    }
+
+    /// Mean intensity.
+    pub fn mean(&self) -> f64 {
+        if self.data.is_empty() {
+            return 0.0;
+        }
+        self.data.iter().map(|&v| v as f64).sum::<f64>() / self.data.len() as f64
+    }
+}
+
+impl fmt::Debug for GrayImage {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "GrayImage({}x{}, mean {:.1})",
+            self.width,
+            self.height,
+            self.mean()
+        )
+    }
+}
+
+/// A 32-bit float image (gradients, filtered intermediates).
+#[derive(Clone, PartialEq)]
+pub struct FloatImage {
+    width: u32,
+    height: u32,
+    data: Vec<f32>,
+}
+
+impl FloatImage {
+    /// Creates a zero-filled image.
+    pub fn new(width: u32, height: u32) -> Self {
+        FloatImage {
+            width,
+            height,
+            data: vec![0.0; (width * height) as usize],
+        }
+    }
+
+    /// Converts a grayscale image to float.
+    pub fn from_gray(img: &GrayImage) -> Self {
+        FloatImage {
+            width: img.width(),
+            height: img.height(),
+            data: img.as_raw().iter().map(|&v| v as f32).collect(),
+        }
+    }
+
+    /// Image width in pixels.
+    #[inline]
+    pub fn width(&self) -> u32 {
+        self.width
+    }
+
+    /// Image height in pixels.
+    #[inline]
+    pub fn height(&self) -> u32 {
+        self.height
+    }
+
+    /// Value at `(x, y)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when out of bounds.
+    #[inline]
+    pub fn get(&self, x: u32, y: u32) -> f32 {
+        self.data[(y * self.width + x) as usize]
+    }
+
+    /// Value with coordinates clamped to the border.
+    #[inline]
+    pub fn get_clamped(&self, x: i64, y: i64) -> f32 {
+        let cx = x.clamp(0, self.width as i64 - 1) as u32;
+        let cy = y.clamp(0, self.height as i64 - 1) as u32;
+        self.get(cx, cy)
+    }
+
+    /// Writes a value.
+    ///
+    /// # Panics
+    ///
+    /// Panics when out of bounds.
+    #[inline]
+    pub fn put(&mut self, x: u32, y: u32, v: f32) {
+        self.data[(y * self.width + x) as usize] = v;
+    }
+
+    /// Bilinear sample at fractional coordinates, clamped at borders.
+    pub fn sample_bilinear(&self, x: f32, y: f32) -> f32 {
+        let x0 = x.floor();
+        let y0 = y.floor();
+        let fx = x - x0;
+        let fy = y - y0;
+        let (x0, y0) = (x0 as i64, y0 as i64);
+        let p00 = self.get_clamped(x0, y0);
+        let p10 = self.get_clamped(x0 + 1, y0);
+        let p01 = self.get_clamped(x0, y0 + 1);
+        let p11 = self.get_clamped(x0 + 1, y0 + 1);
+        p00 * (1.0 - fx) * (1.0 - fy) + p10 * fx * (1.0 - fy) + p01 * (1.0 - fx) * fy + p11 * fx * fy
+    }
+
+    /// Converts back to 8-bit with clamping.
+    pub fn to_gray(&self) -> GrayImage {
+        GrayImage::from_vec(
+            self.width,
+            self.height,
+            self.data
+                .iter()
+                .map(|&v| v.round().clamp(0.0, 255.0) as u8)
+                .collect(),
+        )
+    }
+
+    /// Raw buffer.
+    #[inline]
+    pub fn as_raw(&self) -> &[f32] {
+        &self.data
+    }
+}
+
+impl fmt::Debug for FloatImage {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "FloatImage({}x{})", self.width, self.height)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn get_put_roundtrip() {
+        let mut img = GrayImage::new(8, 8);
+        img.put(3, 4, 99);
+        assert_eq!(img.get(3, 4), 99);
+        assert_eq!(img.get_checked(3, 4), Some(99));
+        assert_eq!(img.get_checked(-1, 0), None);
+        assert_eq!(img.get_checked(8, 0), None);
+    }
+
+    #[test]
+    fn clamped_access_replicates_border() {
+        let img = GrayImage::from_fn(4, 4, |x, y| (x + y * 4) as u8);
+        assert_eq!(img.get_clamped(-5, -5), img.get(0, 0));
+        assert_eq!(img.get_clamped(10, 10), img.get(3, 3));
+    }
+
+    #[test]
+    fn bilinear_interpolates_midpoint() {
+        let mut img = GrayImage::new(2, 1);
+        img.put(0, 0, 0);
+        img.put(1, 0, 100);
+        assert!((img.sample_bilinear(0.5, 0.0) - 50.0).abs() < 1e-5);
+        assert!((img.sample_bilinear(0.0, 0.0) - 0.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn downsample_halves_dimensions() {
+        let img = GrayImage::filled(10, 6, 77);
+        let half = img.downsample_2x();
+        assert_eq!(half.dimensions(), (5, 3));
+        assert_eq!(half.get(2, 1), 77);
+    }
+
+    #[test]
+    fn saturating_add_caps_at_255() {
+        let mut img = GrayImage::filled(1, 1, 250);
+        img.add_saturating(0, 0, 10);
+        assert_eq!(img.get(0, 0), 255);
+    }
+
+    #[test]
+    fn float_conversion_roundtrip() {
+        let img = GrayImage::from_fn(5, 5, |x, y| (x * 13 + y * 29) as u8);
+        let f = FloatImage::from_gray(&img);
+        assert_eq!(f.to_gray(), img);
+    }
+
+    #[test]
+    fn mean_of_filled() {
+        assert_eq!(GrayImage::filled(3, 3, 60).mean(), 60.0);
+    }
+}

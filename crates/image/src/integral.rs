@@ -1,0 +1,124 @@
+//! Integral images (summed-area tables) for O(1) box sums.
+//!
+//! The disparity-refinement (DR) task compares pixel blocks around candidate
+//! matches; integral images make the per-candidate cost independent of the
+//! block size, mirroring the constant-time-per-window behaviour the
+//! accelerator's stencil pipeline achieves.
+
+use crate::gray::GrayImage;
+
+/// Summed-area table over a grayscale image.
+///
+/// # Example
+///
+/// ```
+/// use eudoxus_image::{GrayImage, IntegralImage};
+/// let img = GrayImage::filled(4, 4, 10);
+/// let ii = IntegralImage::build(&img);
+/// assert_eq!(ii.box_sum(0, 0, 3, 3), 160); // 16 pixels × 10
+/// ```
+#[derive(Debug, Clone)]
+pub struct IntegralImage {
+    width: u32,
+    height: u32,
+    /// `(width+1) × (height+1)` table with a zero row/column at index 0.
+    table: Vec<u64>,
+}
+
+impl IntegralImage {
+    /// Builds the table in one pass.
+    pub fn build(img: &GrayImage) -> Self {
+        let (w, h) = img.dimensions();
+        let tw = (w + 1) as usize;
+        let th = (h + 1) as usize;
+        let mut table = vec![0u64; tw * th];
+        for y in 0..h as usize {
+            let mut row_sum = 0u64;
+            for x in 0..w as usize {
+                row_sum += img.get(x as u32, y as u32) as u64;
+                table[(y + 1) * tw + (x + 1)] = table[y * tw + (x + 1)] + row_sum;
+            }
+        }
+        IntegralImage {
+            width: w,
+            height: h,
+            table,
+        }
+    }
+
+    /// Source image width.
+    pub fn width(&self) -> u32 {
+        self.width
+    }
+
+    /// Source image height.
+    pub fn height(&self) -> u32 {
+        self.height
+    }
+
+    /// Sum over the inclusive pixel rectangle `[x0, x1] × [y0, y1]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the rectangle is inverted or out of bounds.
+    pub fn box_sum(&self, x0: u32, y0: u32, x1: u32, y1: u32) -> u64 {
+        assert!(x0 <= x1 && y0 <= y1, "inverted rectangle");
+        assert!(x1 < self.width && y1 < self.height, "rectangle out of bounds");
+        let tw = (self.width + 1) as usize;
+        let (x0, y0, x1, y1) = (x0 as usize, y0 as usize, x1 as usize + 1, y1 as usize + 1);
+        self.table[y1 * tw + x1] + self.table[y0 * tw + x0]
+            - self.table[y0 * tw + x1]
+            - self.table[y1 * tw + x0]
+    }
+
+    /// Mean over the inclusive pixel rectangle.
+    ///
+    /// # Panics
+    ///
+    /// Same conditions as [`IntegralImage::box_sum`].
+    pub fn box_mean(&self, x0: u32, y0: u32, x1: u32, y1: u32) -> f64 {
+        let n = ((x1 - x0 + 1) * (y1 - y0 + 1)) as f64;
+        self.box_sum(x0, y0, x1, y1) as f64 / n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_naive_sum() {
+        let img = GrayImage::from_fn(7, 5, |x, y| ((x * 31 + y * 17) % 251) as u8);
+        let ii = IntegralImage::build(&img);
+        for (x0, y0, x1, y1) in [(0, 0, 6, 4), (1, 1, 3, 3), (2, 0, 2, 0), (4, 2, 6, 4)] {
+            let mut naive = 0u64;
+            for y in y0..=y1 {
+                for x in x0..=x1 {
+                    naive += img.get(x, y) as u64;
+                }
+            }
+            assert_eq!(ii.box_sum(x0, y0, x1, y1), naive);
+        }
+    }
+
+    #[test]
+    fn single_pixel_sum() {
+        let img = GrayImage::from_fn(3, 3, |x, y| (x + 3 * y) as u8);
+        let ii = IntegralImage::build(&img);
+        assert_eq!(ii.box_sum(2, 2, 2, 2), 8);
+    }
+
+    #[test]
+    fn mean_of_uniform_region() {
+        let img = GrayImage::filled(6, 6, 42);
+        let ii = IntegralImage::build(&img);
+        assert_eq!(ii.box_mean(1, 1, 4, 4), 42.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn out_of_bounds_panics() {
+        let ii = IntegralImage::build(&GrayImage::new(4, 4));
+        let _ = ii.box_sum(0, 0, 4, 0);
+    }
+}

@@ -1,0 +1,29 @@
+//! Image-processing substrate for the Eudoxus vision frontend.
+//!
+//! The frontend (paper Sec. V) operates on grayscale camera frames: image
+//! filtering before descriptor computation, gradients for Lucas–Kanade
+//! optical flow, pyramids for coarse-to-fine tracking, and box sums for
+//! block matching. This crate provides those primitives on simple owned
+//! buffers — `GrayImage` (u8) and `FloatImage` (f32).
+//!
+//! # Example
+//!
+//! ```
+//! use eudoxus_image::{gaussian_blur, GrayImage};
+//!
+//! let img = GrayImage::from_fn(16, 16, |x, y| ((x ^ y) * 16) as u8);
+//! let smoothed = gaussian_blur(&img, 1.0);
+//! assert_eq!(smoothed.dimensions(), (16, 16));
+//! ```
+
+pub mod filter;
+pub mod gradient;
+pub mod gray;
+pub mod integral;
+pub mod pyramid;
+
+pub use filter::{box_filter, gaussian_blur, gaussian_kernel, separable_filter};
+pub use gradient::{scharr_gradients, Gradients};
+pub use gray::{FloatImage, GrayImage};
+pub use integral::IntegralImage;
+pub use pyramid::Pyramid;

@@ -1,0 +1,101 @@
+//! Image pyramids for coarse-to-fine Lucas–Kanade tracking.
+
+use crate::gray::GrayImage;
+
+/// A multi-scale pyramid; level 0 is the full-resolution image and each
+/// subsequent level halves both dimensions.
+///
+/// # Example
+///
+/// ```
+/// use eudoxus_image::{GrayImage, Pyramid};
+/// let img = GrayImage::filled(64, 48, 100);
+/// let pyr = Pyramid::build(img, 3);
+/// assert_eq!(pyr.levels(), 3);
+/// assert_eq!(pyr.level(2).dimensions(), (16, 12));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Pyramid {
+    levels: Vec<GrayImage>,
+}
+
+impl Pyramid {
+    /// Builds a pyramid with up to `max_levels` levels; stops early when a
+    /// level would shrink below 8 pixels on a side.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_levels == 0`.
+    pub fn build(base: GrayImage, max_levels: usize) -> Self {
+        assert!(max_levels > 0, "a pyramid needs at least one level");
+        let mut levels = vec![base];
+        while levels.len() < max_levels {
+            let prev = levels.last().expect("non-empty");
+            if prev.width() < 16 || prev.height() < 16 {
+                break;
+            }
+            levels.push(prev.downsample_2x());
+        }
+        Pyramid { levels }
+    }
+
+    /// Number of levels actually built.
+    pub fn levels(&self) -> usize {
+        self.levels.len()
+    }
+
+    /// Borrow level `i` (0 = full resolution).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= levels()`.
+    pub fn level(&self, i: usize) -> &GrayImage {
+        &self.levels[i]
+    }
+
+    /// Scale factor of level `i` relative to level 0 (`2^i`).
+    pub fn scale(&self, i: usize) -> f32 {
+        (1u32 << i) as f32
+    }
+
+    /// Iterates levels from coarsest to finest — the order LK processes
+    /// them.
+    pub fn coarse_to_fine(&self) -> impl Iterator<Item = (usize, &GrayImage)> {
+        (0..self.levels.len()).rev().map(move |i| (i, &self.levels[i]))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_requested_levels() {
+        let pyr = Pyramid::build(GrayImage::new(128, 128), 4);
+        assert_eq!(pyr.levels(), 4);
+        assert_eq!(pyr.level(0).dimensions(), (128, 128));
+        assert_eq!(pyr.level(3).dimensions(), (16, 16));
+    }
+
+    #[test]
+    fn stops_when_too_small() {
+        let pyr = Pyramid::build(GrayImage::new(32, 32), 8);
+        // 32 → 16 → 8, then 8 < 16 stops further halving.
+        assert_eq!(pyr.levels(), 3);
+        assert_eq!(pyr.level(2).dimensions(), (8, 8));
+    }
+
+    #[test]
+    fn coarse_to_fine_order() {
+        let pyr = Pyramid::build(GrayImage::new(64, 64), 3);
+        let order: Vec<usize> = pyr.coarse_to_fine().map(|(i, _)| i).collect();
+        assert_eq!(order, vec![2, 1, 0]);
+    }
+
+    #[test]
+    fn scale_doubles_per_level() {
+        let pyr = Pyramid::build(GrayImage::new(64, 64), 3);
+        assert_eq!(pyr.scale(0), 1.0);
+        assert_eq!(pyr.scale(2), 4.0);
+    }
+}

@@ -1,0 +1,91 @@
+//! Error type shared by all fallible linear-algebra operations.
+
+use std::fmt;
+
+/// Errors produced by linear-algebra routines.
+///
+/// Every fallible operation in this crate returns [`MathError`] rather than
+/// panicking, so callers in the localization backends can degrade gracefully
+/// (e.g. skip a filter update when a measurement matrix is rank-deficient).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MathError {
+    /// Operand dimensions are incompatible, e.g. multiplying a `2×3` by a
+    /// `2×2`. Carries `(left_rows, left_cols, right_rows, right_cols)`.
+    DimensionMismatch {
+        /// Shape of the left operand.
+        left: (usize, usize),
+        /// Shape of the right operand.
+        right: (usize, usize),
+    },
+    /// An operation that requires a square matrix received a rectangular one.
+    NotSquare {
+        /// Shape of the offending matrix.
+        shape: (usize, usize),
+    },
+    /// The matrix is singular (or numerically so) and cannot be factored or
+    /// inverted.
+    Singular,
+    /// Cholesky factorization was requested for a matrix that is not
+    /// (numerically) symmetric positive definite.
+    NotPositiveDefinite,
+    /// A least-squares problem has fewer rows than columns.
+    Underdetermined {
+        /// Number of equations provided.
+        rows: usize,
+        /// Number of unknowns requested.
+        cols: usize,
+    },
+    /// Index or block selection out of the matrix bounds.
+    OutOfBounds,
+}
+
+impl fmt::Display for MathError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MathError::DimensionMismatch { left, right } => write!(
+                f,
+                "dimension mismatch: left is {}x{}, right is {}x{}",
+                left.0, left.1, right.0, right.1
+            ),
+            MathError::NotSquare { shape } => {
+                write!(f, "matrix is not square: {}x{}", shape.0, shape.1)
+            }
+            MathError::Singular => write!(f, "matrix is singular"),
+            MathError::NotPositiveDefinite => {
+                write!(f, "matrix is not symmetric positive definite")
+            }
+            MathError::Underdetermined { rows, cols } => write!(
+                f,
+                "underdetermined system: {rows} equations for {cols} unknowns"
+            ),
+            MathError::OutOfBounds => write!(f, "index out of bounds"),
+        }
+    }
+}
+
+impl std::error::Error for MathError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_informative() {
+        let e = MathError::DimensionMismatch {
+            left: (2, 3),
+            right: (2, 2),
+        };
+        assert_eq!(e.to_string(), "dimension mismatch: left is 2x3, right is 2x2");
+        assert_eq!(MathError::Singular.to_string(), "matrix is singular");
+        assert_eq!(
+            MathError::NotSquare { shape: (1, 4) }.to_string(),
+            "matrix is not square: 1x4"
+        );
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<MathError>();
+    }
+}

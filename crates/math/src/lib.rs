@@ -1,0 +1,44 @@
+//! Dense linear algebra substrate for the Eudoxus localization stack.
+//!
+//! The Eudoxus backend accelerator (paper Sec. VI) is built around five
+//! matrix primitives — multiplication, decomposition, inverse, transpose and
+//! forward/backward substitution (Table I). This crate provides exactly those
+//! primitives (plus the supporting structure: blocked operations, Schur
+//! complements, symmetric specializations, a dedicated 6×6 inverse) as a
+//! from-scratch, dependency-free implementation. Everything in the VIO /
+//! SLAM / registration backends, as well as the accelerator's functional
+//! model, is expressed in terms of this crate.
+//!
+//! # Example
+//!
+//! ```
+//! use eudoxus_math::{Matrix, Vector};
+//!
+//! let a = Matrix::from_rows(&[&[4.0, 1.0], &[1.0, 3.0]]);
+//! let b = Vector::from_slice(&[1.0, 2.0]);
+//! let x = a.solve_spd(&b).expect("SPD system");
+//! let r = &a.matvec(&x) - &b;
+//! assert!(r.norm() < 1e-12);
+//! ```
+
+pub mod block;
+pub mod cholesky;
+pub mod error;
+pub mod lu;
+pub mod matrix;
+pub mod qr;
+pub mod regression;
+pub mod solve;
+pub mod vector;
+
+pub use block::{schur_complement, BlockMatrix};
+pub use cholesky::Cholesky;
+pub use error::MathError;
+pub use lu::Lu;
+pub use matrix::Matrix;
+pub use qr::Qr;
+pub use regression::{PolyFit, PolyModel};
+pub use vector::Vector;
+
+/// Result alias used across the crate.
+pub type Result<T> = std::result::Result<T, MathError>;

@@ -1,0 +1,190 @@
+//! Polynomial least-squares regression.
+//!
+//! The runtime scheduler (paper Sec. VI-B) predicts the CPU latency of each
+//! backend kernel from the size of its operands: "the projection time is fit
+//! using a linear model whereas the other two kernels' times are estimated by
+//! quadratic models". This module provides those fits plus the `R²`
+//! goodness-of-fit statistic the paper reports (0.83 / 0.82 / 0.98 in
+//! Sec. VII-F).
+
+use crate::error::MathError;
+use crate::matrix::Matrix;
+use crate::qr::Qr;
+use crate::vector::Vector;
+use crate::Result;
+
+/// Model order used by [`PolyFit`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PolyModel {
+    /// `y = c0 + c1·x` — used for the registration projection kernel.
+    Linear,
+    /// `y = c0 + c1·x + c2·x²` — used for Kalman gain and marginalization.
+    Quadratic,
+}
+
+impl PolyModel {
+    /// Polynomial degree of the model.
+    pub fn degree(self) -> usize {
+        match self {
+            PolyModel::Linear => 1,
+            PolyModel::Quadratic => 2,
+        }
+    }
+}
+
+/// A fitted polynomial `y(x) = Σ c_k x^k` with its goodness of fit.
+///
+/// # Example
+///
+/// ```
+/// use eudoxus_math::{PolyFit, PolyModel};
+///
+/// let xs: Vec<f64> = (0..20).map(|i| i as f64).collect();
+/// let ys: Vec<f64> = xs.iter().map(|x| 3.0 + 2.0 * x).collect();
+/// let fit = PolyFit::fit(PolyModel::Linear, &xs, &ys)?;
+/// assert!((fit.predict(10.0) - 23.0).abs() < 1e-9);
+/// assert!(fit.r_squared() > 0.999);
+/// # Ok::<(), eudoxus_math::MathError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct PolyFit {
+    model: PolyModel,
+    coeffs: Vec<f64>,
+    r_squared: f64,
+}
+
+impl PolyFit {
+    /// Fits the model to paired samples by QR least squares.
+    ///
+    /// # Errors
+    ///
+    /// [`MathError::DimensionMismatch`] when `xs.len() != ys.len()`,
+    /// [`MathError::Underdetermined`] when there are fewer samples than
+    /// coefficients, and [`MathError::Singular`] for degenerate designs
+    /// (e.g. all `xs` identical).
+    pub fn fit(model: PolyModel, xs: &[f64], ys: &[f64]) -> Result<Self> {
+        if xs.len() != ys.len() {
+            return Err(MathError::DimensionMismatch {
+                left: (xs.len(), 1),
+                right: (ys.len(), 1),
+            });
+        }
+        let ncoef = model.degree() + 1;
+        if xs.len() < ncoef {
+            return Err(MathError::Underdetermined {
+                rows: xs.len(),
+                cols: ncoef,
+            });
+        }
+        let design = Matrix::from_fn(xs.len(), ncoef, |i, j| xs[i].powi(j as i32));
+        let y = Vector::from_slice(ys);
+        let coeffs = Qr::factor(&design)?.solve_least_squares(&y)?;
+        // R² = 1 - SS_res / SS_tot.
+        let mean = ys.iter().sum::<f64>() / ys.len() as f64;
+        let ss_tot: f64 = ys.iter().map(|v| (v - mean) * (v - mean)).sum();
+        let ss_res: f64 = xs
+            .iter()
+            .zip(ys)
+            .map(|(&x, &yv)| {
+                let p: f64 = coeffs
+                    .as_slice()
+                    .iter()
+                    .enumerate()
+                    .map(|(k, &c)| c * x.powi(k as i32))
+                    .sum();
+                (yv - p) * (yv - p)
+            })
+            .sum();
+        let r_squared = if ss_tot <= f64::MIN_POSITIVE {
+            1.0
+        } else {
+            1.0 - ss_res / ss_tot
+        };
+        Ok(PolyFit {
+            model,
+            coeffs: coeffs.into_vec(),
+            r_squared,
+        })
+    }
+
+    /// The model order this fit used.
+    pub fn model(&self) -> PolyModel {
+        self.model
+    }
+
+    /// Fitted coefficients, lowest order first.
+    pub fn coefficients(&self) -> &[f64] {
+        &self.coeffs
+    }
+
+    /// Coefficient of determination `R²`.
+    pub fn r_squared(&self) -> f64 {
+        self.r_squared
+    }
+
+    /// Evaluates the fitted polynomial at `x`.
+    pub fn predict(&self, x: f64) -> f64 {
+        self.coeffs
+            .iter()
+            .enumerate()
+            .map(|(k, &c)| c * x.powi(k as i32))
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linear_recovers_exact_line() {
+        let xs: Vec<f64> = (0..50).map(|i| i as f64 * 0.5).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| -1.5 + 0.8 * x).collect();
+        let fit = PolyFit::fit(PolyModel::Linear, &xs, &ys).unwrap();
+        assert!((fit.coefficients()[0] + 1.5).abs() < 1e-9);
+        assert!((fit.coefficients()[1] - 0.8).abs() < 1e-9);
+        assert!((fit.r_squared() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quadratic_recovers_exact_parabola() {
+        let xs: Vec<f64> = (1..40).map(|i| i as f64).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| 2.0 + 0.1 * x + 0.03 * x * x).collect();
+        let fit = PolyFit::fit(PolyModel::Quadratic, &xs, &ys).unwrap();
+        assert!((fit.predict(50.0) - (2.0 + 5.0 + 75.0)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn r_squared_degrades_with_noise() {
+        let xs: Vec<f64> = (0..100).map(|i| i as f64).collect();
+        // Deterministic pseudo-noise.
+        let ys: Vec<f64> = xs
+            .iter()
+            .map(|x| 5.0 + 2.0 * x + 20.0 * (x * 12.9898).sin())
+            .collect();
+        let fit = PolyFit::fit(PolyModel::Linear, &xs, &ys).unwrap();
+        assert!(fit.r_squared() > 0.9 && fit.r_squared() < 1.0);
+    }
+
+    #[test]
+    fn too_few_samples_rejected() {
+        assert!(matches!(
+            PolyFit::fit(PolyModel::Quadratic, &[1.0, 2.0], &[1.0, 2.0]),
+            Err(MathError::Underdetermined { .. })
+        ));
+    }
+
+    #[test]
+    fn mismatched_lengths_rejected() {
+        assert!(PolyFit::fit(PolyModel::Linear, &[1.0, 2.0], &[1.0]).is_err());
+    }
+
+    #[test]
+    fn constant_target_gives_full_r_squared() {
+        let xs: Vec<f64> = (0..10).map(|i| i as f64).collect();
+        let ys = vec![4.0; 10];
+        let fit = PolyFit::fit(PolyModel::Linear, &xs, &ys).unwrap();
+        assert!((fit.predict(3.0) - 4.0).abs() < 1e-9);
+        assert_eq!(fit.r_squared(), 1.0);
+    }
+}

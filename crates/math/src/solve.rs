@@ -1,0 +1,177 @@
+//! Forward and backward substitution on triangular systems.
+//!
+//! Substitution is one of the five accelerator building blocks (paper
+//! Table I, "Fwd./Bwd. Substitution"): computing the Kalman gain solves
+//! `S·K = P·Hᵀ` by decomposing `S` and substituting, and marginalization
+//! does the same against its Schur-complement factors.
+
+use crate::error::MathError;
+use crate::matrix::Matrix;
+use crate::vector::Vector;
+use crate::Result;
+
+/// Numerical threshold below which a pivot is treated as zero.
+pub const PIVOT_EPS: f64 = 1e-12;
+
+/// Solves `L x = b` for lower-triangular `L` by forward substitution.
+///
+/// Only the lower triangle of `l` is read.
+///
+/// # Errors
+///
+/// [`MathError::NotSquare`] for rectangular `l`,
+/// [`MathError::DimensionMismatch`] when `b.len() != l.rows()`, and
+/// [`MathError::Singular`] when a diagonal entry vanishes.
+pub fn forward_substitute(l: &Matrix, b: &Vector) -> Result<Vector> {
+    if !l.is_square() {
+        return Err(MathError::NotSquare { shape: l.shape() });
+    }
+    if b.len() != l.rows() {
+        return Err(MathError::DimensionMismatch {
+            left: l.shape(),
+            right: (b.len(), 1),
+        });
+    }
+    let n = l.rows();
+    let mut x = Vector::zeros(n);
+    for i in 0..n {
+        let mut s = b[i];
+        for j in 0..i {
+            s -= l[(i, j)] * x[j];
+        }
+        let d = l[(i, i)];
+        if d.abs() < PIVOT_EPS {
+            return Err(MathError::Singular);
+        }
+        x[i] = s / d;
+    }
+    Ok(x)
+}
+
+/// Solves `U x = b` for upper-triangular `U` by backward substitution.
+///
+/// Only the upper triangle of `u` is read.
+///
+/// # Errors
+///
+/// Same conditions as [`forward_substitute`].
+pub fn backward_substitute(u: &Matrix, b: &Vector) -> Result<Vector> {
+    if !u.is_square() {
+        return Err(MathError::NotSquare { shape: u.shape() });
+    }
+    if b.len() != u.rows() {
+        return Err(MathError::DimensionMismatch {
+            left: u.shape(),
+            right: (b.len(), 1),
+        });
+    }
+    let n = u.rows();
+    let mut x = Vector::zeros(n);
+    for i in (0..n).rev() {
+        let mut s = b[i];
+        for j in (i + 1)..n {
+            s -= u[(i, j)] * x[j];
+        }
+        let d = u[(i, i)];
+        if d.abs() < PIVOT_EPS {
+            return Err(MathError::Singular);
+        }
+        x[i] = s / d;
+    }
+    Ok(x)
+}
+
+/// Solves `L X = B` column-wise by forward substitution.
+///
+/// # Errors
+///
+/// Same conditions as [`forward_substitute`].
+pub fn forward_substitute_matrix(l: &Matrix, b: &Matrix) -> Result<Matrix> {
+    if b.rows() != l.rows() {
+        return Err(MathError::DimensionMismatch {
+            left: l.shape(),
+            right: b.shape(),
+        });
+    }
+    let mut out = Matrix::zeros(b.rows(), b.cols());
+    for j in 0..b.cols() {
+        let x = forward_substitute(l, &b.col(j))?;
+        for i in 0..b.rows() {
+            out[(i, j)] = x[i];
+        }
+    }
+    Ok(out)
+}
+
+/// Solves `U X = B` column-wise by backward substitution.
+///
+/// # Errors
+///
+/// Same conditions as [`backward_substitute`].
+pub fn backward_substitute_matrix(u: &Matrix, b: &Matrix) -> Result<Matrix> {
+    if b.rows() != u.rows() {
+        return Err(MathError::DimensionMismatch {
+            left: u.shape(),
+            right: b.shape(),
+        });
+    }
+    let mut out = Matrix::zeros(b.rows(), b.cols());
+    for j in 0..b.cols() {
+        let x = backward_substitute(u, &b.col(j))?;
+        for i in 0..b.rows() {
+            out[(i, j)] = x[i];
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forward_solves_lower_system() {
+        let l = Matrix::from_rows(&[&[2.0, 0.0], &[1.0, 3.0]]);
+        let b = Vector::from_slice(&[4.0, 11.0]);
+        let x = forward_substitute(&l, &b).unwrap();
+        assert_eq!(x.as_slice(), &[2.0, 3.0]);
+    }
+
+    #[test]
+    fn backward_solves_upper_system() {
+        let u = Matrix::from_rows(&[&[2.0, 1.0], &[0.0, 3.0]]);
+        let b = Vector::from_slice(&[7.0, 9.0]);
+        let x = backward_substitute(&u, &b).unwrap();
+        assert_eq!(x.as_slice(), &[2.0, 3.0]);
+    }
+
+    #[test]
+    fn singular_diagonal_is_reported() {
+        let l = Matrix::from_rows(&[&[0.0, 0.0], &[1.0, 1.0]]);
+        assert_eq!(
+            forward_substitute(&l, &Vector::zeros(2)),
+            Err(MathError::Singular)
+        );
+    }
+
+    #[test]
+    fn matrix_right_hand_sides() {
+        let l = Matrix::from_rows(&[&[1.0, 0.0], &[2.0, 1.0]]);
+        let b = Matrix::from_rows(&[&[1.0, 0.0], &[0.0, 1.0]]);
+        let x = forward_substitute_matrix(&l, &b).unwrap();
+        let check = l.matmul(&x).unwrap();
+        assert!((&check - &b).norm_max() < 1e-14);
+        let u = l.transpose();
+        let y = backward_substitute_matrix(&u, &b).unwrap();
+        let check = u.matmul(&y).unwrap();
+        assert!((&check - &b).norm_max() < 1e-14);
+    }
+
+    #[test]
+    fn shape_errors() {
+        let rect = Matrix::zeros(2, 3);
+        assert!(forward_substitute(&rect, &Vector::zeros(2)).is_err());
+        let l = Matrix::identity(2);
+        assert!(backward_substitute(&l, &Vector::zeros(3)).is_err());
+    }
+}

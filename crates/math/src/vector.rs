@@ -1,0 +1,278 @@
+//! Dense `f64` vector companion to [`crate::Matrix`].
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Index, IndexMut, Mul, Neg, Sub, SubAssign};
+
+/// A dense column vector of `f64`.
+///
+/// # Example
+///
+/// ```
+/// use eudoxus_math::Vector;
+///
+/// let v = Vector::from_slice(&[3.0, 4.0]);
+/// assert_eq!(v.norm(), 5.0);
+/// ```
+#[derive(Clone, PartialEq, Default)]
+pub struct Vector {
+    data: Vec<f64>,
+}
+
+impl Vector {
+    /// Creates a vector of `n` zeros.
+    pub fn zeros(n: usize) -> Self {
+        Vector { data: vec![0.0; n] }
+    }
+
+    /// Creates a vector by copying a slice.
+    pub fn from_slice(s: &[f64]) -> Self {
+        Vector { data: s.to_vec() }
+    }
+
+    /// Creates a vector from an owned buffer.
+    pub fn from_vec(data: Vec<f64>) -> Self {
+        Vector { data }
+    }
+
+    /// Creates a vector by collecting an iterator.
+    pub fn from_iter(it: impl IntoIterator<Item = f64>) -> Self {
+        Vector {
+            data: it.into_iter().collect(),
+        }
+    }
+
+    /// Number of entries.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True when the vector has no entries.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Borrow the entries.
+    #[inline]
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Mutably borrow the entries.
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
+    /// Consumes the vector, returning its buffer.
+    pub fn into_vec(self) -> Vec<f64> {
+        self.data
+    }
+
+    /// Dot product.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lengths differ.
+    pub fn dot(&self, rhs: &Vector) -> f64 {
+        assert_eq!(self.len(), rhs.len(), "dot length mismatch");
+        self.data.iter().zip(&rhs.data).map(|(a, b)| a * b).sum()
+    }
+
+    /// Euclidean norm.
+    pub fn norm(&self) -> f64 {
+        self.dot(self).sqrt()
+    }
+
+    /// Squared Euclidean norm.
+    pub fn norm_squared(&self) -> f64 {
+        self.dot(self)
+    }
+
+    /// Max-absolute-entry norm.
+    pub fn norm_max(&self) -> f64 {
+        self.data.iter().fold(0.0f64, |m, &x| m.max(x.abs()))
+    }
+
+    /// Scales every entry by `s`.
+    pub fn scale(&self, s: f64) -> Vector {
+        Vector {
+            data: self.data.iter().map(|x| x * s).collect(),
+        }
+    }
+
+    /// `self ← self + a * x` (BLAS axpy).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lengths differ.
+    pub fn axpy(&mut self, a: f64, x: &Vector) {
+        assert_eq!(self.len(), x.len(), "axpy length mismatch");
+        for (s, &v) in self.data.iter_mut().zip(&x.data) {
+            *s += a * v;
+        }
+    }
+
+    /// Copy of the sub-vector `[start, start+len)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range overruns the vector.
+    pub fn segment(&self, start: usize, len: usize) -> Vector {
+        Vector::from_slice(&self.data[start..start + len])
+    }
+
+    /// Overwrites `[start, start+src.len())` with `src`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range overruns the vector.
+    pub fn set_segment(&mut self, start: usize, src: &Vector) {
+        self.data[start..start + src.len()].copy_from_slice(&src.data);
+    }
+
+    /// Concatenates two vectors.
+    pub fn concat(&self, other: &Vector) -> Vector {
+        let mut data = Vec::with_capacity(self.len() + other.len());
+        data.extend_from_slice(&self.data);
+        data.extend_from_slice(&other.data);
+        Vector { data }
+    }
+}
+
+impl Index<usize> for Vector {
+    type Output = f64;
+    #[inline]
+    fn index(&self, i: usize) -> &f64 {
+        &self.data[i]
+    }
+}
+
+impl IndexMut<usize> for Vector {
+    #[inline]
+    fn index_mut(&mut self, i: usize) -> &mut f64 {
+        &mut self.data[i]
+    }
+}
+
+impl fmt::Debug for Vector {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Vector[")?;
+        for (i, x) in self.data.iter().take(12).enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{x:.4}")?;
+        }
+        if self.data.len() > 12 {
+            write!(f, ", …")?;
+        }
+        write!(f, "] (len {})", self.data.len())
+    }
+}
+
+impl Add for &Vector {
+    type Output = Vector;
+    fn add(self, rhs: &Vector) -> Vector {
+        assert_eq!(self.len(), rhs.len(), "vector add length mismatch");
+        Vector::from_iter(self.data.iter().zip(&rhs.data).map(|(a, b)| a + b))
+    }
+}
+
+impl Sub for &Vector {
+    type Output = Vector;
+    fn sub(self, rhs: &Vector) -> Vector {
+        assert_eq!(self.len(), rhs.len(), "vector sub length mismatch");
+        Vector::from_iter(self.data.iter().zip(&rhs.data).map(|(a, b)| a - b))
+    }
+}
+
+impl AddAssign<&Vector> for Vector {
+    fn add_assign(&mut self, rhs: &Vector) {
+        self.axpy(1.0, rhs);
+    }
+}
+
+impl SubAssign<&Vector> for Vector {
+    fn sub_assign(&mut self, rhs: &Vector) {
+        self.axpy(-1.0, rhs);
+    }
+}
+
+impl Neg for &Vector {
+    type Output = Vector;
+    fn neg(self) -> Vector {
+        self.scale(-1.0)
+    }
+}
+
+impl Mul<f64> for &Vector {
+    type Output = Vector;
+    fn mul(self, rhs: f64) -> Vector {
+        self.scale(rhs)
+    }
+}
+
+impl FromIterator<f64> for Vector {
+    fn from_iter<T: IntoIterator<Item = f64>>(iter: T) -> Self {
+        Vector {
+            data: iter.into_iter().collect(),
+        }
+    }
+}
+
+impl Extend<f64> for Vector {
+    fn extend<T: IntoIterator<Item = f64>>(&mut self, iter: T) {
+        self.data.extend(iter);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_arithmetic() {
+        let a = Vector::from_slice(&[1.0, 2.0, 3.0]);
+        let b = Vector::from_slice(&[4.0, 5.0, 6.0]);
+        assert_eq!((&a + &b).as_slice(), &[5.0, 7.0, 9.0]);
+        assert_eq!((&b - &a).as_slice(), &[3.0, 3.0, 3.0]);
+        assert_eq!(a.dot(&b), 32.0);
+        assert_eq!((&a * 2.0).as_slice(), &[2.0, 4.0, 6.0]);
+        assert_eq!((-&a).as_slice(), &[-1.0, -2.0, -3.0]);
+    }
+
+    #[test]
+    fn axpy_accumulates() {
+        let mut a = Vector::zeros(3);
+        a.axpy(2.0, &Vector::from_slice(&[1.0, 1.0, 1.0]));
+        assert_eq!(a.as_slice(), &[2.0, 2.0, 2.0]);
+    }
+
+    #[test]
+    fn segments() {
+        let mut a = Vector::from_slice(&[0.0, 1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(a.segment(1, 3).as_slice(), &[1.0, 2.0, 3.0]);
+        a.set_segment(2, &Vector::from_slice(&[9.0, 9.0]));
+        assert_eq!(a.as_slice(), &[0.0, 1.0, 9.0, 9.0, 4.0]);
+    }
+
+    #[test]
+    fn norms() {
+        let v = Vector::from_slice(&[3.0, -4.0]);
+        assert_eq!(v.norm(), 5.0);
+        assert_eq!(v.norm_squared(), 25.0);
+        assert_eq!(v.norm_max(), 4.0);
+    }
+
+    #[test]
+    fn collect_and_extend() {
+        let v: Vector = (0..3).map(|i| i as f64).collect();
+        assert_eq!(v.len(), 3);
+        let mut v = v;
+        v.extend([5.0]);
+        assert_eq!(v.len(), 4);
+        assert_eq!(v[3], 5.0);
+    }
+}

@@ -1,0 +1,159 @@
+//! Property-based tests over the linear-algebra substrate.
+//!
+//! These check algebraic identities on randomly generated matrices — the
+//! invariants the localization backends rely on every frame.
+
+use eudoxus_math::{schur_complement, BlockMatrix, Cholesky, Lu, Matrix, Qr, Vector};
+use proptest::prelude::*;
+
+/// Strategy: an `n × m` matrix with bounded entries.
+fn matrix(n: usize, m: usize) -> impl Strategy<Value = Matrix> {
+    proptest::collection::vec(-10.0f64..10.0, n * m)
+        .prop_map(move |v| Matrix::from_vec(n, m, v))
+}
+
+/// Strategy: an SPD matrix `B·Bᵀ + n·I`.
+fn spd(n: usize) -> impl Strategy<Value = Matrix> {
+    matrix(n, n).prop_map(move |b| {
+        let mut a = b.outer_gram();
+        a.add_diag(n as f64 + 1.0);
+        a
+    })
+}
+
+fn vector(n: usize) -> impl Strategy<Value = Vector> {
+    proptest::collection::vec(-10.0f64..10.0, n).prop_map(Vector::from_vec)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn matmul_associative(a in matrix(4, 3), b in matrix(3, 5), c in matrix(5, 2)) {
+        let left = a.matmul(&b).unwrap().matmul(&c).unwrap();
+        let right = a.matmul(&b.matmul(&c).unwrap()).unwrap();
+        prop_assert!((&left - &right).norm_max() < 1e-9);
+    }
+
+    #[test]
+    fn matmul_transpose_identity(a in matrix(4, 3), b in matrix(3, 4)) {
+        // (A·B)ᵀ = Bᵀ·Aᵀ
+        let left = a.matmul(&b).unwrap().transpose();
+        let right = b.transpose().matmul(&a.transpose()).unwrap();
+        prop_assert!((&left - &right).norm_max() < 1e-10);
+    }
+
+    #[test]
+    fn blocked_matmul_matches_naive(a in matrix(6, 7), b in matrix(7, 5), block in 1usize..9) {
+        let naive = a.matmul(&b).unwrap();
+        let blocked = a.matmul_blocked(&b, block).unwrap();
+        prop_assert!((&naive - &blocked).norm_max() < 1e-10);
+    }
+
+    #[test]
+    fn cholesky_reconstructs(a in spd(6)) {
+        let ch = Cholesky::factor(&a).unwrap();
+        let recon = ch.l().matmul(&ch.l().transpose()).unwrap();
+        prop_assert!((&recon - &a).norm_max() < 1e-8 * (1.0 + a.norm_max()));
+    }
+
+    #[test]
+    fn cholesky_solve_residual(a in spd(5), b in vector(5)) {
+        let x = a.solve_spd(&b).unwrap();
+        let r = &a.matvec(&x) - &b;
+        prop_assert!(r.norm() < 1e-7 * (1.0 + b.norm()));
+    }
+
+    #[test]
+    fn lu_solve_residual(m in matrix(5, 5), b in vector(5)) {
+        // Make the matrix well-conditioned by diagonal dominance.
+        let mut a = m;
+        for i in 0..5 {
+            let rowsum: f64 = a.row(i).iter().map(|x| x.abs()).sum();
+            a[(i, i)] += rowsum + 1.0;
+        }
+        let x = Lu::factor(&a).unwrap().solve(&b).unwrap();
+        let r = &a.matvec(&x) - &b;
+        prop_assert!(r.norm() < 1e-8 * (1.0 + b.norm()));
+    }
+
+    #[test]
+    fn lu_inverse_roundtrip(m in matrix(4, 4)) {
+        let mut a = m;
+        for i in 0..4 {
+            let rowsum: f64 = a.row(i).iter().map(|x| x.abs()).sum();
+            a[(i, i)] += rowsum + 1.0;
+        }
+        let inv = a.inverse().unwrap();
+        let eye = a.matmul(&inv).unwrap();
+        prop_assert!((&eye - &Matrix::identity(4)).norm_max() < 1e-8);
+    }
+
+    #[test]
+    fn qr_q_orthonormal(a in matrix(8, 4)) {
+        let qr = Qr::factor(&a).unwrap();
+        let q = qr.q_thin();
+        let qtq = q.gram();
+        prop_assert!((&qtq - &Matrix::identity(4)).norm_max() < 1e-9);
+    }
+
+    #[test]
+    fn qr_reconstructs(a in matrix(7, 4)) {
+        let qr = Qr::factor(&a).unwrap();
+        let recon = qr.q_thin().matmul(&qr.r()).unwrap();
+        prop_assert!((&recon - &a).norm_max() < 1e-9);
+    }
+
+    #[test]
+    fn qr_least_squares_is_stationary(a in matrix(9, 3), b in vector(9)) {
+        // At the LS solution, Aᵀ(Ax - b) ≈ 0.
+        let x = Qr::factor(&a).unwrap().solve_least_squares(&b).unwrap();
+        let grad = a.tr_matvec(&(&a.matvec(&x) - &b));
+        prop_assert!(grad.norm_max() < 1e-7 * (1.0 + b.norm()));
+    }
+
+    #[test]
+    fn schur_complement_consistent(a in spd(8)) {
+        // Inverting the full SPD matrix and inverting via Schur complement of
+        // the top-left block agree on the bottom-right block:
+        // (M⁻¹)_dd = S⁻¹ where S = D - C A⁻¹ B.
+        let blk = BlockMatrix::split(&a, 5).unwrap();
+        let s = schur_complement(blk.a(), blk.b(), blk.c(), blk.d()).unwrap();
+        let s_inv = s.inverse().unwrap();
+        let full_inv = a.inverse().unwrap();
+        let dd = full_inv.block(5, 5, 3, 3).unwrap();
+        prop_assert!((&s_inv - &dd).norm_max() < 1e-6 * (1.0 + s_inv.norm_max()));
+    }
+
+    #[test]
+    fn structured_inverse_matches_general(diag in proptest::collection::vec(1.0f64..5.0, 7)) {
+        // Marginalization-shaped matrix: diagonal A block + 6×6 D block.
+        let na = diag.len();
+        let n = na + 6;
+        let mut m = Matrix::zeros(n, n);
+        for (i, &d) in diag.iter().enumerate() {
+            m[(i, i)] = d;
+        }
+        for i in 0..6 {
+            for j in 0..6 {
+                m[(na + i, na + j)] = if i == j { 9.0 } else { 0.4 };
+            }
+        }
+        for i in 0..na {
+            for j in 0..6 {
+                let v = 0.1 * ((i * 7 + j) as f64).sin();
+                m[(i, na + j)] = v;
+                m[(na + j, i)] = v;
+            }
+        }
+        let blk = BlockMatrix::split(&m, na).unwrap();
+        let fast = blk.inverse_structured().unwrap();
+        let general = m.inverse().unwrap();
+        prop_assert!((&fast - &general).norm_max() < 1e-7);
+    }
+
+    #[test]
+    fn vector_triangle_inequality(a in vector(6), b in vector(6)) {
+        prop_assert!((&a + &b).norm() <= a.norm() + b.norm() + 1e-12);
+    }
+}

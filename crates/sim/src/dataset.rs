@@ -1,0 +1,210 @@
+//! Assembled sensor datasets (frames + IMU + GPS + ground truth).
+
+use crate::environment::Environment;
+use crate::gps::GpsSample;
+use crate::imu::ImuSample;
+use eudoxus_geometry::{Pose, StereoRig};
+use eudoxus_image::GrayImage;
+
+/// One synchronized stereo frame with its environment label.
+#[derive(Debug, Clone)]
+pub struct FrameData {
+    /// Frame index within the dataset.
+    pub index: usize,
+    /// Capture timestamp (seconds).
+    pub t: f64,
+    /// Environment the machine is operating in at this instant.
+    pub environment: Environment,
+    /// Left camera image.
+    pub left: GrayImage,
+    /// Right camera image.
+    pub right: GrayImage,
+}
+
+/// A contiguous run of frames sharing an environment (mode switches happen
+/// at segment boundaries; estimators reset there because mixed datasets are
+/// concatenations of independently generated traversals).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Segment {
+    /// Index of the first frame in the segment.
+    pub start_frame: usize,
+    /// Environment of every frame in the segment.
+    pub environment: Environment,
+}
+
+/// A complete synthetic dataset: the substitution for KITTI / EuRoC /
+/// the in-house recordings (see DESIGN.md §1).
+#[derive(Debug, Clone)]
+pub struct Dataset {
+    /// Human-readable name (e.g. `"outdoor-unknown[car]"`).
+    pub name: String,
+    /// Stereo rig that captured the frames.
+    pub rig: StereoRig,
+    /// Nominal camera frame rate (Hz).
+    pub fps: f64,
+    /// Stereo frames in time order.
+    pub frames: Vec<FrameData>,
+    /// IMU samples in time order (200 Hz by default).
+    pub imu: Vec<ImuSample>,
+    /// GPS fixes in time order (empty indoors).
+    pub gps: Vec<GpsSample>,
+    /// Ground-truth body pose per frame.
+    pub ground_truth: Vec<Pose>,
+    /// Environment segments, in frame order.
+    pub segments: Vec<Segment>,
+}
+
+impl Dataset {
+    /// Total time span covered by the frames (seconds).
+    pub fn duration(&self) -> f64 {
+        match (self.frames.first(), self.frames.last()) {
+            (Some(a), Some(b)) => b.t - a.t,
+            _ => 0.0,
+        }
+    }
+
+    /// IMU samples with `t0 < t ≤ t1` (the integration window between two
+    /// consecutive frames).
+    pub fn imu_between(&self, t0: f64, t1: f64) -> &[ImuSample] {
+        let lo = self.imu.partition_point(|s| s.t <= t0);
+        let hi = self.imu.partition_point(|s| s.t <= t1);
+        &self.imu[lo..hi]
+    }
+
+    /// GPS fixes with `t0 < t ≤ t1`.
+    pub fn gps_between(&self, t0: f64, t1: f64) -> &[GpsSample] {
+        let lo = self.gps.partition_point(|s| s.t <= t0);
+        let hi = self.gps.partition_point(|s| s.t <= t1);
+        &self.gps[lo..hi]
+    }
+
+    /// The segment containing `frame_index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty dataset or out-of-range index.
+    pub fn segment_of(&self, frame_index: usize) -> Segment {
+        assert!(frame_index < self.frames.len(), "frame index out of range");
+        let i = self
+            .segments
+            .partition_point(|s| s.start_frame <= frame_index);
+        self.segments[i - 1]
+    }
+
+    /// True when `frame_index` starts a new segment (estimators reset here).
+    pub fn is_segment_start(&self, frame_index: usize) -> bool {
+        self.segments.iter().any(|s| s.start_frame == frame_index)
+    }
+
+    /// Concatenates datasets recorded with the same rig, shifting times and
+    /// indices so the result is monotonic. Used to build the paper's mixed
+    /// evaluation set (50 % outdoor / 25 % indoor-unknown / 25 %
+    /// indoor-known, Sec. VII-A).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `parts` is empty or rigs differ.
+    pub fn concat(name: impl Into<String>, parts: Vec<Dataset>) -> Dataset {
+        assert!(!parts.is_empty(), "cannot concatenate zero datasets");
+        let rig = parts[0].rig;
+        let fps = parts[0].fps;
+        let mut out = Dataset {
+            name: name.into(),
+            rig,
+            fps,
+            frames: Vec::new(),
+            imu: Vec::new(),
+            gps: Vec::new(),
+            ground_truth: Vec::new(),
+            segments: Vec::new(),
+        };
+        let mut t_offset = 0.0;
+        for part in parts {
+            assert!(part.rig == rig, "rig mismatch in concatenation");
+            let frame_offset = out.frames.len();
+            for seg in &part.segments {
+                out.segments.push(Segment {
+                    start_frame: seg.start_frame + frame_offset,
+                    environment: seg.environment,
+                });
+            }
+            for f in part.frames {
+                out.frames.push(FrameData {
+                    index: f.index + frame_offset,
+                    t: f.t + t_offset,
+                    ..f
+                });
+            }
+            for s in part.imu {
+                out.imu.push(ImuSample {
+                    t: s.t + t_offset,
+                    ..s
+                });
+            }
+            for s in part.gps {
+                out.gps.push(GpsSample {
+                    t: s.t + t_offset,
+                    ..s
+                });
+            }
+            out.ground_truth.extend(part.ground_truth);
+            // Next part starts one frame period after this one ends.
+            t_offset = out.frames.last().map_or(t_offset, |f| f.t) + 1.0 / fps;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::{Platform, ScenarioBuilder, ScenarioKind};
+
+    fn tiny(kind: ScenarioKind) -> Dataset {
+        ScenarioBuilder::new(kind)
+            .frames(3)
+            .seed(1)
+            .platform(Platform::Drone)
+            .build()
+    }
+
+    #[test]
+    fn imu_window_is_half_open() {
+        let d = tiny(ScenarioKind::OutdoorUnknown);
+        let all = d.imu_between(-1.0, d.duration() + 1.0);
+        assert!(!all.is_empty());
+        let t_mid = d.frames[1].t;
+        let before = d.imu_between(-1.0, t_mid);
+        let after = d.imu_between(t_mid, d.duration() + 1.0);
+        assert_eq!(before.len() + after.len(), all.len());
+    }
+
+    #[test]
+    fn concat_shifts_times_and_indices() {
+        let a = tiny(ScenarioKind::OutdoorUnknown);
+        let b = tiny(ScenarioKind::IndoorUnknown);
+        let c = Dataset::concat("mix", vec![a.clone(), b.clone()]);
+        assert_eq!(c.frames.len(), 6);
+        assert_eq!(c.frames[3].index, 3);
+        assert!(c.frames[3].t > c.frames[2].t);
+        assert_eq!(c.segments.len(), 2);
+        assert_eq!(c.segment_of(0).environment, Environment::OutdoorUnknown);
+        assert_eq!(c.segment_of(5).environment, Environment::IndoorUnknown);
+        assert!(c.is_segment_start(3));
+        assert!(!c.is_segment_start(4));
+        // IMU timestamps strictly increasing across the seam.
+        for w in c.imu.windows(2) {
+            assert!(w[1].t > w[0].t);
+        }
+    }
+
+    #[test]
+    fn gps_only_in_outdoor_segment() {
+        let a = tiny(ScenarioKind::OutdoorUnknown);
+        let b = tiny(ScenarioKind::IndoorUnknown);
+        let boundary_t = a.duration();
+        let c = Dataset::concat("mix", vec![a, b]);
+        assert!(!c.gps.is_empty());
+        assert!(c.gps.iter().all(|g| g.t <= boundary_t + 0.2));
+    }
+}

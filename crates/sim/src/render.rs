@@ -1,0 +1,366 @@
+//! Stereo frame rendering.
+//!
+//! Each landmark is rendered as a small *planar textured patch* fixed in
+//! world space: every pixel inside the patch footprint is shaded by
+//! intersecting its view ray with the patch plane and sampling a
+//! deterministic texture keyed by the landmark id. Because the texture
+//! lives on a world-space plane, all views of it — left/right eyes,
+//! consecutive frames, near/far — are related by true homographies, so
+//! feature positions obey real multi-view geometry (sub-pixel parallax
+//! included) and descriptors of the same landmark match across views.
+//! A low-amplitude background texture gives Lucas–Kanade usable gradients
+//! everywhere without triggering the FAST detector.
+//!
+//! Simplifications vs. a real camera (documented per DESIGN.md §1): no
+//! occlusion between patches (additive blending on overlap — note the
+//! indoor room is convex, so its shell landmarks are all genuinely
+//! visible), and a distance-dependent contrast falloff instead of full
+//! photometric simulation.
+
+use crate::rng::hash_u8;
+use crate::world::World;
+use eudoxus_geometry::{Pose, StereoRig, Vec3};
+use eudoxus_image::GrayImage;
+
+/// Rendering parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct RenderConfig {
+    /// Physical half-size of a landmark patch (meters).
+    pub patch_radius_m: f64,
+    /// Cap on the rendered footprint half-size (pixels) so very close
+    /// patches stay cheap.
+    pub max_footprint_px: i64,
+    /// Background mean intensity.
+    pub background_base: u8,
+    /// Peak-to-peak amplitude of background texture (kept below the FAST
+    /// threshold so the background never detects as a corner).
+    pub background_amplitude: u8,
+    /// Landmarks farther than this are not rendered (meters).
+    pub max_distance: f64,
+    /// Landmarks closer than this are not rendered (meters).
+    pub min_distance: f64,
+}
+
+impl Default for RenderConfig {
+    fn default() -> Self {
+        RenderConfig {
+            patch_radius_m: 0.09,
+            max_footprint_px: 22,
+            background_base: 110,
+            background_amplitude: 14,
+            max_distance: 60.0,
+            min_distance: 0.4,
+        }
+    }
+}
+
+/// Fills the low-contrast background texture.
+fn fill_background(img: &mut GrayImage, cfg: &RenderConfig) {
+    let amp = cfg.background_amplitude as i32;
+    let (w, h) = img.dimensions();
+    for y in 0..h {
+        for x in 0..w {
+            // Coarse 4×4 blocks so the texture has gradients at the scale LK
+            // windows see, not per-pixel salt-and-pepper.
+            let n = hash_u8((x / 4) as u64, (y / 4) as u64, 0x5EED) as i32;
+            let v = cfg.background_base as i32 + (n * amp / 255) - amp / 2;
+            img.put(x, y, v.clamp(0, 255) as u8);
+        }
+    }
+}
+
+/// Signed texture lattice value of landmark `id` at integer lattice
+/// coordinates, in `[-1, 1]`.
+fn patch_texel(id: u64, ux: i64, uy: i64) -> f32 {
+    (hash_u8(id, (ux as u64) ^ 0x55, (uy as u64) ^ 0xAA) as f32 - 127.5) / 127.5
+}
+
+/// Smooth patch texture at *metric* plane coordinates: bilinear
+/// interpolation of a coarse lattice plus a landmark-specific linear
+/// ramp. The ramp gives each patch a dominant gradient direction, which
+/// stabilizes ORB's intensity-centroid orientation exactly like real
+/// asymmetric texture does.
+fn patch_sample(id: u64, u_m: f64, v_m: f64, cell_m: f64) -> f32 {
+    let gx = u_m / cell_m;
+    let gy = v_m / cell_m;
+    let x0 = gx.floor();
+    let y0 = gy.floor();
+    let ax = (gx - x0) as f32;
+    let ay = (gy - y0) as f32;
+    let (x0, y0) = (x0 as i64, y0 as i64);
+    let p00 = patch_texel(id, x0, y0);
+    let p10 = patch_texel(id, x0 + 1, y0);
+    let p01 = patch_texel(id, x0, y0 + 1);
+    let p11 = patch_texel(id, x0 + 1, y0 + 1);
+    let noise = p00 * (1.0 - ax) * (1.0 - ay)
+        + p10 * ax * (1.0 - ay)
+        + p01 * (1.0 - ax) * ay
+        + p11 * ax * ay;
+    // Per-landmark ramp direction from the id hash (metric coordinates, so
+    // the gradient is attached to the surface).
+    let theta = hash_u8(id, 0x51, 0) as f64 / 255.0 * std::f64::consts::TAU;
+    let ramp = ((theta.cos() * u_m + theta.sin() * v_m) / (3.0 * cell_m)) as f32;
+    (0.6 * noise + 0.5 * ramp).clamp(-1.0, 1.0)
+}
+
+/// Per-landmark fixed plane basis `(normal, u, v)` in world space, chosen
+/// deterministically from the id.
+fn patch_basis(id: u64) -> (Vec3, Vec3, Vec3) {
+    // Pseudo-random but deterministic normal, biased toward horizontal so
+    // wall-mounted patches face the room.
+    let a = hash_u8(id, 1, 7) as f64 / 255.0 * std::f64::consts::TAU;
+    let b = (hash_u8(id, 3, 11) as f64 / 255.0 - 0.5) * 1.2;
+    let normal = Vec3::new(a.cos() * b.cos(), a.sin() * b.cos(), b.sin());
+    let up = if normal.z.abs() < 0.9 { Vec3::unit_z() } else { Vec3::unit_x() };
+    let u = normal.cross(up).normalized().unwrap_or(Vec3::unit_x());
+    let v = normal.cross(u).normalized().unwrap_or(Vec3::unit_y());
+    (normal, u, v)
+}
+
+/// Renders one landmark patch into one camera image.
+///
+/// `p_cam` is the patch center in the camera frame; `rot_wc` columns are
+/// the world axes in camera coordinates (i.e. the camera-from-world
+/// rotation applied to the basis vectors).
+#[allow(clippy::too_many_arguments)]
+fn render_patch(
+    img: &mut GrayImage,
+    id: u64,
+    p_cam: Vec3,
+    n_cam: Vec3,
+    u_cam: Vec3,
+    v_cam: Vec3,
+    contrast: f32,
+    cam: &eudoxus_geometry::PinholeCamera,
+    cfg: &RenderConfig,
+) {
+    let Some(center_px) = cam.project(p_cam) else { return };
+    // Footprint: patch radius in pixels at the patch depth.
+    let fp = ((cam.fx * cfg.patch_radius_m / p_cam.z).ceil() as i64)
+        .clamp(2, cfg.max_footprint_px);
+    let (w, h) = img.dimensions();
+    let x_lo = (center_px.x.floor() as i64 - fp).max(0);
+    let x_hi = (center_px.x.ceil() as i64 + fp).min(w as i64 - 1);
+    let y_lo = (center_px.y.floor() as i64 - fp).max(0);
+    let y_hi = (center_px.y.ceil() as i64 + fp).min(h as i64 - 1);
+    if x_lo > x_hi || y_lo > y_hi {
+        return;
+    }
+    let pn = p_cam.dot(n_cam);
+    let r2 = cfg.patch_radius_m * cfg.patch_radius_m;
+    let cell_m = cfg.patch_radius_m / 2.4;
+    for py in y_lo..=y_hi {
+        for px in x_lo..=x_hi {
+            // View ray through the pixel center.
+            let d = Vec3::new(
+                (px as f64 - cam.cx) / cam.fx,
+                (py as f64 - cam.cy) / cam.fy,
+                1.0,
+            );
+            let dn = d.dot(n_cam);
+            if dn.abs() < 1e-9 {
+                continue;
+            }
+            let t = pn / dn;
+            if t <= 0.0 {
+                continue;
+            }
+            let hit = d * t;
+            let q = hit - p_cam;
+            let qu = q.dot(u_cam);
+            let qv = q.dot(v_cam);
+            let d2 = qu * qu + qv * qv;
+            if d2 > r2 {
+                continue;
+            }
+            // Radial window: full contrast at the center, fading at the rim.
+            let win = (1.0 - d2 / r2) as f32;
+            let tex = patch_sample(id, qu, qv, cell_m);
+            let delta = (tex * win * contrast * 120.0) as i32;
+            let old = img.get(px as u32, py as u32) as i32;
+            img.put(px as u32, py as u32, (old + delta).clamp(0, 255) as u8);
+        }
+    }
+}
+
+/// Renders the stereo pair observed from `pose` (body == left camera).
+///
+/// Returns `(left, right)` grayscale frames.
+pub fn render_stereo_pair(
+    world: &World,
+    pose: Pose,
+    rig: &StereoRig,
+    cfg: &RenderConfig,
+) -> (GrayImage, GrayImage) {
+    let cam = rig.camera;
+    let mut left = GrayImage::new(cam.width, cam.height);
+    let mut right = GrayImage::new(cam.width, cam.height);
+    fill_background(&mut left, cfg);
+    fill_background(&mut right, cfg);
+
+    let rot_cw = pose.rotation.conjugate(); // world → camera
+    for lm in world.landmarks_near(pose.translation, cfg.max_distance) {
+        let p_cam = pose.inverse_transform(lm.position);
+        if p_cam.z < cfg.min_distance {
+            continue;
+        }
+        // Contrast falls off with distance, so nearby structure dominates
+        // detection exactly as in real footage.
+        let contrast = (6.0 / p_cam.z).clamp(0.35, 1.0) as f32;
+        let (n_w, u_w, v_w) = patch_basis(lm.id);
+        let n_cam = rot_cw.rotate(n_w);
+        let u_cam = rot_cw.rotate(u_w);
+        let v_cam = rot_cw.rotate(v_w);
+        // Skip patches viewed edge-on (degenerate homography).
+        let view_dir = p_cam.normalized().unwrap_or(Vec3::unit_z());
+        if n_cam.dot(view_dir).abs() < 0.25 {
+            continue;
+        }
+        render_patch(&mut left, lm.id, p_cam, n_cam, u_cam, v_cam, contrast, &cam, cfg);
+        let p_right = p_cam - Vec3::new(rig.baseline, 0.0, 0.0);
+        render_patch(&mut right, lm.id, p_right, n_cam, u_cam, v_cam, contrast, &cam, cfg);
+    }
+    (left, right)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eudoxus_geometry::PinholeCamera;
+
+    fn rig() -> StereoRig {
+        StereoRig::new(PinholeCamera::centered(400.0, 320, 240), 0.12)
+    }
+
+    /// An id whose patch normal faces a camera looking along +z.
+    fn facing_id() -> u64 {
+        (0..200u64)
+            .find(|&i| patch_basis(i).0.z.abs() > 0.45)
+            .expect("some id faces the camera")
+    }
+
+    fn world_one_landmark(z: f64) -> World {
+        World::from_landmarks(
+            vec![crate::world::Landmark {
+                id: facing_id(),
+                position: Vec3::new(0.0, 0.0, z),
+            }],
+            Vec3::new(10.0, 10.0, 10.0),
+        )
+    }
+
+    /// The identity pose looks along world +z with +x right, so a landmark
+    /// at (0, 0, z) projects to the principal point.
+    fn identity_pose() -> Pose {
+        Pose::identity()
+    }
+
+    #[test]
+    fn landmark_appears_in_both_eyes_with_disparity() {
+        let rig = rig();
+        let world = world_one_landmark(3.0);
+        let (l, r) = render_stereo_pair(&world, identity_pose(), &rig, &RenderConfig::default());
+        let disparity = rig.disparity_from_depth(3.0);
+        let base = RenderConfig::default().background_base;
+        let mut max_dev_l = 0i32;
+        let mut max_dev_r = 0i32;
+        for dy in -6i64..=6 {
+            for dx in -6i64..=6 {
+                let vl = l.get_clamped(160 + dx, 120 + dy) as i32;
+                max_dev_l = max_dev_l.max((vl - base as i32).abs());
+                let vr = r.get_clamped(160 - disparity.round() as i64 + dx, 120 + dy) as i32;
+                max_dev_r = max_dev_r.max((vr - base as i32).abs());
+            }
+        }
+        assert!(max_dev_l > 25, "left patch missing (dev {max_dev_l})");
+        assert!(
+            max_dev_r > 25,
+            "right patch missing at disparity {disparity} (dev {max_dev_r})"
+        );
+    }
+
+    #[test]
+    fn patch_is_geometrically_consistent_across_eyes() {
+        // Sample the patch along its plane through both cameras: the same
+        // plane point must give (nearly) the same intensity.
+        let rig = rig();
+        let world = world_one_landmark(4.0);
+        let (l, r) = render_stereo_pair(&world, identity_pose(), &rig, &RenderConfig::default());
+        let d = rig.disparity_from_depth(4.0);
+        let mut diff_sum = 0i64;
+        let mut n = 0;
+        for dy in -4i64..=4 {
+            for dx in -4i64..=4 {
+                let vl = l.get_clamped(160 + dx, 120 + dy) as i64;
+                // The patch is planar: to first order the right view is the
+                // left view shifted by the center disparity.
+                let vr = r.get_clamped(160 - d.round() as i64 + dx, 120 + dy) as i64;
+                diff_sum += (vl - vr).abs();
+                n += 1;
+            }
+        }
+        assert!(diff_sum / n < 14, "mean abs diff {}", diff_sum / n);
+    }
+
+    #[test]
+    fn footprint_scales_with_distance() {
+        // A near landmark must light up more pixels than a far one.
+        let rig = rig();
+        let cfg = RenderConfig::default();
+        let count_lit = |z: f64| -> usize {
+            let world = world_one_landmark(z);
+            let (l, _) = render_stereo_pair(&world, identity_pose(), &rig, &cfg);
+            let base_lo = cfg.background_base as i32 - cfg.background_amplitude as i32 - 4;
+            let base_hi = cfg.background_base as i32 + cfg.background_amplitude as i32 + 4;
+            let mut n = 0;
+            for y in 0..240 {
+                for x in 0..320 {
+                    let v = l.get(x, y) as i32;
+                    if v < base_lo || v > base_hi {
+                        n += 1;
+                    }
+                }
+            }
+            n
+        };
+        let near = count_lit(1.5);
+        let far = count_lit(6.0);
+        assert!(near > far * 2, "near {near} far {far}");
+    }
+
+    #[test]
+    fn behind_camera_not_rendered() {
+        let rig = rig();
+        let world = world_one_landmark(-3.0);
+        let cfg = RenderConfig::default();
+        let (l, _) = render_stereo_pair(&world, identity_pose(), &rig, &cfg);
+        let lo = cfg.background_base as i32 - cfg.background_amplitude as i32;
+        let hi = cfg.background_base as i32 + cfg.background_amplitude as i32;
+        for y in (0..240).step_by(17) {
+            for x in (0..320).step_by(13) {
+                let v = l.get(x, y) as i32;
+                assert!(v >= lo && v <= hi, "unexpected content at {x},{y}: {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn background_is_deterministic() {
+        let rig = rig();
+        let world = world_one_landmark(3.0);
+        let (l1, _) = render_stereo_pair(&world, identity_pose(), &rig, &RenderConfig::default());
+        let (l2, _) = render_stereo_pair(&world, identity_pose(), &rig, &RenderConfig::default());
+        assert_eq!(l1, l2);
+    }
+
+    #[test]
+    fn far_landmarks_are_culled() {
+        let rig = rig();
+        let world = world_one_landmark(100.0);
+        let cfg = RenderConfig::default(); // max_distance 60
+        let (l, _) = render_stereo_pair(&world, identity_pose(), &rig, &cfg);
+        let base = cfg.background_base as i32;
+        let v = l.get(160, 120) as i32;
+        assert!((v - base).abs() <= cfg.background_amplitude as i32);
+    }
+}

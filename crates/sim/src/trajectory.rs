@@ -1,0 +1,340 @@
+//! Continuous-time reference trajectories.
+//!
+//! A trajectory supplies the ground-truth pose at any time; velocities,
+//! accelerations and body rates are derived by central finite differences,
+//! which keeps every concrete trajectory a pure pose function and
+//! guarantees the IMU synthesis is kinematically consistent with the
+//! ground truth (the property MSCKF integration depends on).
+//!
+//! Frame conventions: world `z` is up; the body frame equals the left
+//! camera frame — `+z` forward (direction of travel), `+x` right, `+y`
+//! down.
+
+use eudoxus_geometry::{Mat3, Pose, Quaternion, Vec3};
+
+/// Differentiation step for finite-difference kinematics (seconds).
+const FD_STEP: f64 = 1e-4;
+
+/// A continuous ground-truth trajectory.
+pub trait Trajectory {
+    /// Body-to-world pose at time `t` (seconds).
+    fn pose_at(&self, t: f64) -> Pose;
+
+    /// Total duration of interest (seconds).
+    fn duration(&self) -> f64;
+
+    /// World-frame linear velocity by central difference.
+    fn velocity_world(&self, t: f64) -> Vec3 {
+        let a = self.pose_at(t - FD_STEP).translation;
+        let b = self.pose_at(t + FD_STEP).translation;
+        (b - a) / (2.0 * FD_STEP)
+    }
+
+    /// World-frame linear acceleration by second-order central difference.
+    fn acceleration_world(&self, t: f64) -> Vec3 {
+        let a = self.pose_at(t - FD_STEP).translation;
+        let b = self.pose_at(t).translation;
+        let c = self.pose_at(t + FD_STEP).translation;
+        (a + c - b * 2.0) / (FD_STEP * FD_STEP)
+    }
+
+    /// Body-frame angular velocity by quaternion central difference.
+    fn angular_velocity_body(&self, t: f64) -> Vec3 {
+        let qa = self.pose_at(t - FD_STEP).rotation;
+        let qb = self.pose_at(t + FD_STEP).rotation;
+        let dq = qa.conjugate() * qb;
+        dq.to_rotation_vector() / (2.0 * FD_STEP)
+    }
+}
+
+/// Builds the camera/body attitude whose `+z` axis points along `forward`
+/// (horizontal-ish direction), with `+y` down.
+pub(crate) fn heading_attitude(forward: Vec3) -> Quaternion {
+    let f = forward.normalized().unwrap_or(Vec3::unit_x());
+    let up = Vec3::unit_z();
+    // Right = forward × up (horizontal), re-orthogonalized.
+    let right = f.cross(up).normalized().unwrap_or(Vec3::unit_y());
+    let down = f.cross(right).normalized().unwrap_or(-up);
+    // Columns are the body axes expressed in world coordinates.
+    let r = Mat3::from_rows(
+        [right.x, down.x, f.x],
+        [right.y, down.y, f.y],
+        [right.z, down.z, f.z],
+    );
+    Quaternion::from_matrix(r)
+}
+
+/// A stadium-shaped closed circuit in the horizontal plane: two straights of
+/// length `straight` joined by semicircles of radius `radius`, traversed at
+/// constant `speed` and constant `height`. Models both the car loop
+/// (large) and an indoor inspection loop (small).
+///
+/// # Example
+///
+/// ```
+/// use eudoxus_sim::{CircuitTrajectory, Trajectory};
+///
+/// let traj = CircuitTrajectory::new(20.0, 5.0, 2.0, 1.5);
+/// let p0 = traj.pose_at(0.0);
+/// let p_lap = traj.pose_at(traj.lap_time());
+/// assert!(p0.translation_distance(p_lap) < 1e-6, "closed loop");
+/// ```
+#[derive(Debug, Clone)]
+pub struct CircuitTrajectory {
+    straight: f64,
+    radius: f64,
+    speed: f64,
+    height: f64,
+    center: Vec3,
+    laps: f64,
+}
+
+impl CircuitTrajectory {
+    /// Creates a circuit centered at the origin.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless all of `straight`, `radius`, `speed` are positive.
+    pub fn new(straight: f64, radius: f64, speed: f64, height: f64) -> Self {
+        assert!(straight > 0.0 && radius > 0.0 && speed > 0.0);
+        CircuitTrajectory {
+            straight,
+            radius,
+            speed,
+            height,
+            center: Vec3::zero(),
+            laps: 1.0,
+        }
+    }
+
+    /// Moves the circuit center.
+    pub fn with_center(mut self, center: Vec3) -> Self {
+        self.center = center;
+        self
+    }
+
+    /// Sets how many laps [`Trajectory::duration`] covers.
+    pub fn with_laps(mut self, laps: f64) -> Self {
+        self.laps = laps;
+        self
+    }
+
+    /// Perimeter length of one lap (meters).
+    pub fn lap_length(&self) -> f64 {
+        2.0 * self.straight + 2.0 * std::f64::consts::PI * self.radius
+    }
+
+    /// Time for one lap (seconds).
+    pub fn lap_time(&self) -> f64 {
+        self.lap_length() / self.speed
+    }
+
+    /// Position and heading at arc length `s` along the lap.
+    fn sample(&self, s: f64) -> (Vec3, Vec3) {
+        let l = self.lap_length();
+        let s = s.rem_euclid(l);
+        let half = self.straight / 2.0;
+        let arc = std::f64::consts::PI * self.radius;
+        // Segment layout (counter-clockwise):
+        //   [0, straight):       bottom straight, heading +x, at y=-radius
+        //   [straight, s+arc):   right semicircle
+        //   [s+arc, 2s+arc):     top straight, heading -x, at y=+radius
+        //   [2s+arc, 2s+2arc):   left semicircle
+        if s < self.straight {
+            let x = -half + s;
+            (Vec3::new(x, -self.radius, self.height), Vec3::unit_x())
+        } else if s < self.straight + arc {
+            let phi = (s - self.straight) / self.radius; // 0..π
+            let ang = -std::f64::consts::FRAC_PI_2 + phi;
+            (
+                Vec3::new(
+                    half + self.radius * ang.cos(),
+                    self.radius * ang.sin(),
+                    self.height,
+                ),
+                Vec3::new(-ang.sin(), ang.cos(), 0.0),
+            )
+        } else if s < 2.0 * self.straight + arc {
+            let x = half - (s - self.straight - arc);
+            (Vec3::new(x, self.radius, self.height), -Vec3::unit_x())
+        } else {
+            let phi = (s - 2.0 * self.straight - arc) / self.radius;
+            let ang = std::f64::consts::FRAC_PI_2 + phi;
+            (
+                Vec3::new(
+                    -half + self.radius * ang.cos(),
+                    self.radius * ang.sin(),
+                    self.height,
+                ),
+                Vec3::new(-ang.sin(), ang.cos(), 0.0),
+            )
+        }
+    }
+}
+
+impl Trajectory for CircuitTrajectory {
+    fn pose_at(&self, t: f64) -> Pose {
+        let (pos, fwd) = self.sample(self.speed * t);
+        Pose::new(heading_attitude(fwd), pos + self.center)
+    }
+
+    fn duration(&self) -> f64 {
+        self.lap_time() * self.laps
+    }
+}
+
+/// A drone figure-8 (Lissajous) trajectory with gentle altitude
+/// oscillation, looking along the direction of travel — representative of
+/// the EuRoC MAV sequences.
+#[derive(Debug, Clone)]
+pub struct Figure8Trajectory {
+    amplitude_x: f64,
+    amplitude_y: f64,
+    omega: f64,
+    height: f64,
+    height_swing: f64,
+    center: Vec3,
+    cycles: f64,
+}
+
+impl Figure8Trajectory {
+    /// Creates a figure-8 of the given half-extents with base angular
+    /// frequency `omega` (rad/s) at `height` meters.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless extents and `omega` are positive.
+    pub fn new(amplitude_x: f64, amplitude_y: f64, omega: f64, height: f64) -> Self {
+        assert!(amplitude_x > 0.0 && amplitude_y > 0.0 && omega > 0.0);
+        Figure8Trajectory {
+            amplitude_x,
+            amplitude_y,
+            omega,
+            height,
+            height_swing: 0.3,
+            center: Vec3::zero(),
+            cycles: 1.0,
+        }
+    }
+
+    /// Moves the pattern center.
+    pub fn with_center(mut self, center: Vec3) -> Self {
+        self.center = center;
+        self
+    }
+
+    /// Sets how many figure-8 cycles [`Trajectory::duration`] covers.
+    pub fn with_cycles(mut self, cycles: f64) -> Self {
+        self.cycles = cycles;
+        self
+    }
+
+    fn position(&self, t: f64) -> Vec3 {
+        let w = self.omega;
+        Vec3::new(
+            self.amplitude_x * (w * t).sin(),
+            self.amplitude_y * (2.0 * w * t).sin() * 0.5,
+            self.height + self.height_swing * (0.5 * w * t).sin(),
+        ) + self.center
+    }
+}
+
+impl Trajectory for Figure8Trajectory {
+    fn pose_at(&self, t: f64) -> Pose {
+        let pos = self.position(t);
+        // Look along the travel direction (finite difference of position).
+        let ahead = self.position(t + 1e-3);
+        let fwd = ahead - pos;
+        let fwd = if fwd.norm() < 1e-9 { Vec3::unit_x() } else { fwd };
+        Pose::new(heading_attitude(Vec3::new(fwd.x, fwd.y, fwd.z * 0.3)), pos)
+    }
+
+    fn duration(&self) -> f64 {
+        2.0 * std::f64::consts::PI / self.omega * self.cycles
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn circuit_speed_is_constant() {
+        let traj = CircuitTrajectory::new(30.0, 8.0, 5.0, 1.2);
+        for i in 0..20 {
+            let t = traj.lap_time() * i as f64 / 20.0;
+            let v = traj.velocity_world(t);
+            assert!((v.norm() - 5.0).abs() < 1e-3, "t={t} |v|={}", v.norm());
+        }
+    }
+
+    #[test]
+    fn circuit_heading_matches_velocity() {
+        let traj = CircuitTrajectory::new(30.0, 8.0, 5.0, 1.2);
+        for i in 1..10 {
+            let t = traj.lap_time() * i as f64 / 10.0;
+            let pose = traj.pose_at(t);
+            let v = traj.velocity_world(t).normalized().unwrap();
+            // Body +z (camera forward) must align with velocity.
+            let fwd_world = pose.rotation.rotate(Vec3::unit_z());
+            assert!(fwd_world.dot(v) > 0.999, "t={t}");
+        }
+    }
+
+    #[test]
+    fn circuit_turns_have_centripetal_acceleration() {
+        let traj = CircuitTrajectory::new(30.0, 8.0, 5.0, 1.2);
+        // Middle of the right semicircle.
+        let t = (30.0 + std::f64::consts::PI * 8.0 / 2.0) / 5.0;
+        let a = traj.acceleration_world(t);
+        // |a| = v²/r = 25/8.
+        assert!((a.norm() - 25.0 / 8.0).abs() < 0.02, "|a|={}", a.norm());
+    }
+
+    #[test]
+    fn straight_segments_have_zero_angular_rate() {
+        let traj = CircuitTrajectory::new(30.0, 8.0, 5.0, 1.2);
+        let w = traj.angular_velocity_body(1.0); // early in the bottom straight
+        assert!(w.norm() < 1e-6);
+    }
+
+    #[test]
+    fn arcs_have_constant_yaw_rate() {
+        let traj = CircuitTrajectory::new(30.0, 8.0, 5.0, 1.2);
+        let t = (30.0 + std::f64::consts::PI * 4.0) / 5.0;
+        let w = traj.angular_velocity_body(t);
+        // Yaw rate = v/r = 0.625 rad/s about the body's vertical (-y, since
+        // +y is down and the turn is counter-clockwise seen from above).
+        assert!((w.norm() - 0.625).abs() < 1e-3, "|w|={}", w.norm());
+    }
+
+    #[test]
+    fn figure8_stays_near_center() {
+        let traj = Figure8Trajectory::new(3.0, 2.0, 0.5, 1.5).with_center(Vec3::new(1.0, 0.0, 0.0));
+        for i in 0..50 {
+            let t = traj.duration() * i as f64 / 50.0;
+            let p = traj.pose_at(t).translation;
+            assert!((p.x - 1.0).abs() <= 3.0 + 1e-9);
+            assert!(p.y.abs() <= 1.0 + 1e-9);
+            assert!((p.z - 1.5).abs() <= 0.31);
+        }
+    }
+
+    #[test]
+    fn figure8_rotation_is_unit() {
+        let traj = Figure8Trajectory::new(3.0, 2.0, 0.5, 1.5);
+        for i in 0..20 {
+            let t = traj.duration() * i as f64 / 20.0;
+            let q = traj.pose_at(t).rotation;
+            let n = (q.w * q.w + q.x * q.x + q.y * q.y + q.z * q.z).sqrt();
+            assert!((n - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn duration_scales_with_laps() {
+        let one = CircuitTrajectory::new(10.0, 3.0, 2.0, 1.0);
+        let three = CircuitTrajectory::new(10.0, 3.0, 2.0, 1.0).with_laps(3.0);
+        assert!((three.duration() - 3.0 * one.duration()).abs() < 1e-9);
+    }
+}

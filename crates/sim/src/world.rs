@@ -1,0 +1,177 @@
+//! Synthetic landmark worlds.
+//!
+//! A world is a set of point landmarks, each carrying a stable identity that
+//! keys its visual texture (see [`crate::render`]). Two generators cover the
+//! paper's dataset mix: an indoor room (EuRoC-like) and an outdoor street
+//! corridor (KITTI-like).
+
+use crate::rng::SimRng;
+use eudoxus_geometry::Vec3;
+
+/// A point landmark with a stable identity.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Landmark {
+    /// Stable identifier; keys the rendered texture pattern.
+    pub id: u64,
+    /// Position in the world frame (meters).
+    pub position: Vec3,
+}
+
+/// A collection of landmarks observable by the cameras.
+///
+/// # Example
+///
+/// ```
+/// use eudoxus_sim::World;
+///
+/// let world = World::indoor_room(42, 300);
+/// assert_eq!(world.landmarks().len(), 300);
+/// ```
+#[derive(Debug, Clone)]
+pub struct World {
+    landmarks: Vec<Landmark>,
+    extent: Vec3,
+}
+
+impl World {
+    /// Builds a world from explicit landmarks.
+    pub fn from_landmarks(landmarks: Vec<Landmark>, extent: Vec3) -> Self {
+        World { landmarks, extent }
+    }
+
+    /// An indoor room: landmarks on the walls, floor and ceiling of a
+    /// 12 m × 8 m × 4 m hall (EuRoC "Machine Hall"-like scale).
+    pub fn indoor_room(seed: u64, count: usize) -> Self {
+        let mut rng = SimRng::seed_from(seed);
+        let (lx, ly, lz) = (12.0, 8.0, 4.0);
+        let mut landmarks = Vec::with_capacity(count);
+        for id in 0..count as u64 {
+            // Choose one of the 6 faces, biased toward walls (richer texture
+            // at eye level, as in real interiors).
+            let face = rng.uniform_usize(0, 8);
+            let u = rng.uniform(0.0, 1.0);
+            let v = rng.uniform(0.0, 1.0);
+            let pos = match face {
+                0 | 6 => Vec3::new(u * lx - lx / 2.0, -ly / 2.0, v * lz), // wall y-
+                1 | 7 => Vec3::new(u * lx - lx / 2.0, ly / 2.0, v * lz),  // wall y+
+                2 => Vec3::new(-lx / 2.0, u * ly - ly / 2.0, v * lz),     // wall x-
+                3 => Vec3::new(lx / 2.0, u * ly - ly / 2.0, v * lz),      // wall x+
+                4 => Vec3::new(u * lx - lx / 2.0, v * ly - ly / 2.0, 0.0), // floor
+                _ => Vec3::new(u * lx - lx / 2.0, v * ly - ly / 2.0, lz), // ceiling
+            };
+            landmarks.push(Landmark { id, position: pos });
+        }
+        World {
+            landmarks,
+            extent: Vec3::new(lx, ly, lz),
+        }
+    }
+
+    /// An outdoor street: a corridor of landmarks (building façades, poles,
+    /// ground clutter) lining a `length`-meter street (KITTI-like scale).
+    pub fn outdoor_street(seed: u64, count: usize, length: f64) -> Self {
+        let mut rng = SimRng::seed_from(seed);
+        let half_width = 8.0;
+        let mut landmarks = Vec::with_capacity(count);
+        for id in 0..count as u64 {
+            let along = rng.uniform(-length / 2.0 - 10.0, length / 2.0 + 10.0);
+            let side = if rng.chance(0.5) { 1.0 } else { -1.0 };
+            let kind = rng.uniform_usize(0, 10);
+            let pos = if kind < 7 {
+                // Façade points: offset from the street edge, 0–8 m up.
+                Vec3::new(
+                    along,
+                    side * (half_width + rng.uniform(0.0, 3.0)),
+                    rng.uniform(0.3, 8.0),
+                )
+            } else {
+                // Ground clutter inside the corridor.
+                Vec3::new(along, rng.uniform(-half_width, half_width), rng.uniform(0.0, 0.6))
+            };
+            landmarks.push(Landmark { id, position: pos });
+        }
+        World {
+            landmarks,
+            extent: Vec3::new(length, half_width * 2.0, 8.0),
+        }
+    }
+
+    /// All landmarks.
+    pub fn landmarks(&self) -> &[Landmark] {
+        &self.landmarks
+    }
+
+    /// Bounding extent of the generated geometry (meters).
+    pub fn extent(&self) -> Vec3 {
+        self.extent
+    }
+
+    /// Landmarks within `radius` of a point — the candidate set the
+    /// renderer projects for one frame.
+    pub fn landmarks_near(&self, center: Vec3, radius: f64) -> impl Iterator<Item = &Landmark> {
+        let r2 = radius * radius;
+        self.landmarks
+            .iter()
+            .filter(move |l| (l.position - center).norm_squared() <= r2)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn indoor_room_is_bounded() {
+        let w = World::indoor_room(1, 500);
+        for l in w.landmarks() {
+            assert!(l.position.x.abs() <= 6.0 + 1e-9);
+            assert!(l.position.y.abs() <= 4.0 + 1e-9);
+            assert!((0.0..=4.0).contains(&l.position.z));
+        }
+    }
+
+    #[test]
+    fn street_spans_length_centered() {
+        let w = World::outdoor_street(2, 2000, 200.0);
+        let max_x = w
+            .landmarks()
+            .iter()
+            .map(|l| l.position.x)
+            .fold(f64::MIN, f64::max);
+        let min_x = w
+            .landmarks()
+            .iter()
+            .map(|l| l.position.x)
+            .fold(f64::MAX, f64::min);
+        assert!(max_x > 90.0 && min_x < -90.0);
+    }
+
+    #[test]
+    fn ids_are_unique() {
+        let w = World::indoor_room(3, 100);
+        let mut ids: Vec<u64> = w.landmarks().iter().map(|l| l.id).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), 100);
+    }
+
+    #[test]
+    fn near_query_filters_by_radius() {
+        let w = World::indoor_room(4, 400);
+        let center = Vec3::new(0.0, 0.0, 1.5);
+        let near: Vec<_> = w.landmarks_near(center, 3.0).collect();
+        assert!(!near.is_empty());
+        for l in near {
+            assert!((l.position - center).norm() <= 3.0);
+        }
+    }
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let a = World::indoor_room(9, 50);
+        let b = World::indoor_room(9, 50);
+        for (la, lb) in a.landmarks().iter().zip(b.landmarks()) {
+            assert_eq!(la.position, lb.position);
+        }
+    }
+}

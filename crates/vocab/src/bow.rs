@@ -1,0 +1,137 @@
+//! Sparse bag-of-words vectors and the DBoW2 L1 similarity score.
+
+/// A sparse, L1-normalized tf-idf document vector.
+///
+/// # Example
+///
+/// ```
+/// use eudoxus_vocab::BowVector;
+///
+/// let a = BowVector::from_entries(vec![(1, 2.0), (5, 1.0)]);
+/// let b = BowVector::from_entries(vec![(1, 2.0), (5, 1.0)]);
+/// assert!((a.similarity(&b) - 1.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct BowVector {
+    /// `(word, weight)` pairs sorted by word id; weights sum to 1.
+    entries: Vec<(usize, f64)>,
+}
+
+impl BowVector {
+    /// Builds from raw `(word, weight)` entries; duplicates are summed,
+    /// non-positive weights dropped, and the result L1-normalized.
+    pub fn from_entries(mut entries: Vec<(usize, f64)>) -> Self {
+        entries.retain(|&(_, v)| v > 0.0);
+        entries.sort_by_key(|&(w, _)| w);
+        // Merge duplicates.
+        let mut merged: Vec<(usize, f64)> = Vec::with_capacity(entries.len());
+        for (w, v) in entries {
+            match merged.last_mut() {
+                Some((lw, lv)) if *lw == w => *lv += v,
+                _ => merged.push((w, v)),
+            }
+        }
+        let sum: f64 = merged.iter().map(|&(_, v)| v).sum();
+        if sum > 0.0 {
+            for (_, v) in &mut merged {
+                *v /= sum;
+            }
+        }
+        BowVector { entries: merged }
+    }
+
+    /// True when the document had no quantizable descriptors.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Number of distinct words.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Sorted `(word, weight)` pairs.
+    pub fn entries(&self) -> &[(usize, f64)] {
+        &self.entries
+    }
+
+    /// DBoW2 L1 score: `s(a, b) = 1 − ½·Σ|aᵢ − bᵢ| ∈ [0, 1]`; 1 for
+    /// identical distributions, 0 for disjoint support.
+    pub fn similarity(&self, other: &BowVector) -> f64 {
+        // Merge-walk the two sorted sparse vectors.
+        let mut l1 = 0.0;
+        let (mut i, mut j) = (0, 0);
+        while i < self.entries.len() && j < other.entries.len() {
+            let (wa, va) = self.entries[i];
+            let (wb, vb) = other.entries[j];
+            if wa == wb {
+                l1 += (va - vb).abs();
+                i += 1;
+                j += 1;
+            } else if wa < wb {
+                l1 += va;
+                i += 1;
+            } else {
+                l1 += vb;
+                j += 1;
+            }
+        }
+        l1 += self.entries[i..].iter().map(|&(_, v)| v).sum::<f64>();
+        l1 += other.entries[j..].iter().map(|&(_, v)| v).sum::<f64>();
+        1.0 - 0.5 * l1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normalization_sums_to_one() {
+        let v = BowVector::from_entries(vec![(3, 1.0), (1, 3.0)]);
+        let sum: f64 = v.entries().iter().map(|&(_, w)| w).sum();
+        assert!((sum - 1.0).abs() < 1e-12);
+        assert_eq!(v.entries()[0].0, 1, "sorted by word");
+    }
+
+    #[test]
+    fn duplicates_are_merged() {
+        let v = BowVector::from_entries(vec![(2, 1.0), (2, 1.0), (4, 2.0)]);
+        assert_eq!(v.len(), 2);
+        assert!((v.entries()[0].1 - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn disjoint_documents_score_zero() {
+        let a = BowVector::from_entries(vec![(1, 1.0), (2, 1.0)]);
+        let b = BowVector::from_entries(vec![(3, 1.0), (4, 1.0)]);
+        assert!(a.similarity(&b).abs() < 1e-12);
+    }
+
+    #[test]
+    fn similarity_is_symmetric_and_bounded() {
+        let a = BowVector::from_entries(vec![(1, 1.0), (2, 2.0), (7, 1.0)]);
+        let b = BowVector::from_entries(vec![(2, 1.0), (7, 3.0), (9, 1.0)]);
+        let s1 = a.similarity(&b);
+        let s2 = b.similarity(&a);
+        assert!((s1 - s2).abs() < 1e-12);
+        assert!((0.0..=1.0).contains(&s1));
+        assert!(s1 > 0.0, "shared words give positive score");
+    }
+
+    #[test]
+    fn negative_and_zero_weights_dropped() {
+        let v = BowVector::from_entries(vec![(1, -1.0), (2, 0.0), (3, 2.0)]);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v.entries()[0], (3, 1.0));
+    }
+
+    #[test]
+    fn empty_vector_behaviour() {
+        let e = BowVector::default();
+        let v = BowVector::from_entries(vec![(1, 1.0)]);
+        assert!(e.is_empty());
+        // Empty vs non-empty: no overlap, half the mass of v → score 0.5.
+        assert!((e.similarity(&v) - 0.5).abs() < 1e-12);
+    }
+}

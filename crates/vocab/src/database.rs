@@ -1,0 +1,163 @@
+//! Inverted-index keyframe database.
+//!
+//! Registration's tracking block queries "the features in the current frame
+//! and a given map" (paper Sec. IV-A); SLAM queries it for loop-closure
+//! candidates. The inverted index makes queries proportional to the number
+//! of shared words rather than the number of stored keyframes — the same
+//! structure DBoW2 uses. The paper notes the loop-detection dictionary is
+//! about 60 MB and lives in DRAM (Sec. VII-B); only the projection kernel
+//! of loop closure is offloaded to the accelerator.
+
+use crate::bow::BowVector;
+use std::collections::HashMap;
+
+/// One query hit.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QueryResult {
+    /// Stored document (keyframe) identifier.
+    pub doc_id: u64,
+    /// L1 similarity score in `[0, 1]`.
+    pub score: f64,
+}
+
+/// An inverted-index database of BoW documents.
+///
+/// # Example
+///
+/// ```
+/// use eudoxus_vocab::{BowVector, KeyframeDatabase};
+///
+/// let mut db = KeyframeDatabase::new();
+/// db.insert(7, BowVector::from_entries(vec![(1, 1.0), (2, 1.0)]));
+/// let hits = db.query(&BowVector::from_entries(vec![(1, 1.0), (2, 1.0)]), 5);
+/// assert_eq!(hits[0].doc_id, 7);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct KeyframeDatabase {
+    docs: HashMap<u64, BowVector>,
+    /// word → list of doc ids containing it.
+    inverted: HashMap<usize, Vec<u64>>,
+}
+
+impl KeyframeDatabase {
+    /// Creates an empty database.
+    pub fn new() -> Self {
+        KeyframeDatabase::default()
+    }
+
+    /// Number of stored documents.
+    pub fn len(&self) -> usize {
+        self.docs.len()
+    }
+
+    /// True when no documents are stored.
+    pub fn is_empty(&self) -> bool {
+        self.docs.is_empty()
+    }
+
+    /// Inserts (or replaces) a document.
+    pub fn insert(&mut self, doc_id: u64, bow: BowVector) {
+        if let Some(old) = self.docs.remove(&doc_id) {
+            for &(w, _) in old.entries() {
+                if let Some(list) = self.inverted.get_mut(&w) {
+                    list.retain(|&d| d != doc_id);
+                }
+            }
+        }
+        for &(w, _) in bow.entries() {
+            self.inverted.entry(w).or_default().push(doc_id);
+        }
+        self.docs.insert(doc_id, bow);
+    }
+
+    /// Borrows a stored document.
+    pub fn get(&self, doc_id: u64) -> Option<&BowVector> {
+        self.docs.get(&doc_id)
+    }
+
+    /// Returns the `top_n` most similar stored documents, best first.
+    /// Only documents sharing at least one word are considered.
+    pub fn query(&self, bow: &BowVector, top_n: usize) -> Vec<QueryResult> {
+        let mut candidates: Vec<u64> = Vec::new();
+        for &(w, _) in bow.entries() {
+            if let Some(list) = self.inverted.get(&w) {
+                candidates.extend_from_slice(list);
+            }
+        }
+        candidates.sort_unstable();
+        candidates.dedup();
+        let mut results: Vec<QueryResult> = candidates
+            .into_iter()
+            .map(|doc_id| QueryResult {
+                doc_id,
+                score: self.docs[&doc_id].similarity(bow),
+            })
+            .collect();
+        results.sort_by(|a, b| b.score.total_cmp(&a.score).then(a.doc_id.cmp(&b.doc_id)));
+        results.truncate(top_n);
+        results
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn doc(words: &[usize]) -> BowVector {
+        BowVector::from_entries(words.iter().map(|&w| (w, 1.0)).collect())
+    }
+
+    #[test]
+    fn query_returns_best_match_first() {
+        let mut db = KeyframeDatabase::new();
+        db.insert(1, doc(&[1, 2, 3, 4]));
+        db.insert(2, doc(&[3, 4, 5, 6]));
+        db.insert(3, doc(&[7, 8, 9, 10]));
+        let hits = db.query(&doc(&[1, 2, 3, 4]), 10);
+        assert_eq!(hits[0].doc_id, 1);
+        assert!(hits[0].score > 0.99);
+        // doc 3 shares nothing — not even a candidate.
+        assert!(hits.iter().all(|h| h.doc_id != 3));
+    }
+
+    #[test]
+    fn top_n_truncates() {
+        let mut db = KeyframeDatabase::new();
+        for i in 0..10 {
+            db.insert(i, doc(&[1, 2, (i + 10) as usize]));
+        }
+        let hits = db.query(&doc(&[1, 2]), 3);
+        assert_eq!(hits.len(), 3);
+    }
+
+    #[test]
+    fn replacement_updates_index() {
+        let mut db = KeyframeDatabase::new();
+        db.insert(1, doc(&[1, 2]));
+        db.insert(1, doc(&[5, 6]));
+        assert_eq!(db.len(), 1);
+        assert!(db.query(&doc(&[1, 2]), 5).is_empty());
+        assert_eq!(db.query(&doc(&[5, 6]), 5)[0].doc_id, 1);
+    }
+
+    #[test]
+    fn empty_database_and_empty_query() {
+        let db = KeyframeDatabase::new();
+        assert!(db.query(&doc(&[1]), 5).is_empty());
+        let mut db = KeyframeDatabase::new();
+        db.insert(1, doc(&[1]));
+        assert!(db.query(&BowVector::default(), 5).is_empty());
+    }
+
+    #[test]
+    fn scores_order_by_overlap() {
+        let mut db = KeyframeDatabase::new();
+        db.insert(1, doc(&[1, 2, 3, 4]));
+        db.insert(2, doc(&[1, 2, 5, 6]));
+        db.insert(3, doc(&[1, 7, 8, 9]));
+        let hits = db.query(&doc(&[1, 2, 3, 4]), 10);
+        let pos = |id: u64| hits.iter().position(|h| h.doc_id == id).unwrap();
+        assert!(pos(1) < pos(2));
+        assert!(pos(2) < pos(3));
+    }
+}

@@ -1,0 +1,211 @@
+//! k-majority clustering: k-means over binary descriptors with the Hamming
+//! metric, where each centroid is the bitwise majority vote of its members.
+
+use eudoxus_frontend::OrbDescriptor;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Clustering parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct KMajorityConfig {
+    /// Number of clusters.
+    pub k: usize,
+    /// Maximum Lloyd iterations.
+    pub max_iterations: usize,
+}
+
+impl Default for KMajorityConfig {
+    fn default() -> Self {
+        KMajorityConfig {
+            k: 8,
+            max_iterations: 12,
+        }
+    }
+}
+
+/// Bitwise majority vote over a set of descriptors; ties break toward 0.
+fn majority(descriptors: &[&OrbDescriptor]) -> OrbDescriptor {
+    let mut counts = [0u32; 256];
+    for d in descriptors {
+        for (w, word) in d.words().iter().enumerate() {
+            let mut bits = *word;
+            while bits != 0 {
+                let b = bits.trailing_zeros() as usize;
+                counts[w * 64 + b] += 1;
+                bits &= bits - 1;
+            }
+        }
+    }
+    let half = descriptors.len() as u32 / 2;
+    let mut out = OrbDescriptor::zero();
+    for (i, &c) in counts.iter().enumerate() {
+        if c > half {
+            out.set_bit(i);
+        }
+    }
+    out
+}
+
+/// Clusters descriptors into `cfg.k` groups.
+///
+/// Returns `(centroids, assignment)` where `assignment[i]` is the centroid
+/// index of `descriptors[i]`. When there are fewer descriptors than `k`,
+/// returns one singleton cluster per descriptor.
+pub fn kmajority_cluster(
+    descriptors: &[OrbDescriptor],
+    cfg: &KMajorityConfig,
+    seed: u64,
+) -> (Vec<OrbDescriptor>, Vec<usize>) {
+    let n = descriptors.len();
+    if n == 0 {
+        return (Vec::new(), Vec::new());
+    }
+    let k = cfg.k.min(n).max(1);
+    let mut rng = StdRng::seed_from_u64(seed);
+
+    // k-means++-style seeding under Hamming distance.
+    let mut centroids: Vec<OrbDescriptor> = Vec::with_capacity(k);
+    centroids.push(descriptors[rng.random_range(0..n)]);
+    while centroids.len() < k {
+        // Pick the descriptor farthest from its nearest centroid.
+        let (best_idx, _) = descriptors
+            .iter()
+            .enumerate()
+            .map(|(i, d)| {
+                let min_d = centroids.iter().map(|c| c.hamming(d)).min().expect("non-empty");
+                (i, min_d)
+            })
+            .max_by_key(|&(_, d)| d)
+            .expect("non-empty");
+        centroids.push(descriptors[best_idx]);
+    }
+
+    let mut assignment = vec![0usize; n];
+    for _ in 0..cfg.max_iterations {
+        // Assign.
+        let mut changed = false;
+        for (i, d) in descriptors.iter().enumerate() {
+            let best = centroids
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, c)| c.hamming(d))
+                .map(|(ci, _)| ci)
+                .expect("k >= 1");
+            if assignment[i] != best {
+                assignment[i] = best;
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+        // Update.
+        for (ci, centroid) in centroids.iter_mut().enumerate() {
+            let members: Vec<&OrbDescriptor> = descriptors
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| assignment[*i] == ci)
+                .map(|(_, d)| d)
+                .collect();
+            if !members.is_empty() {
+                *centroid = majority(&members);
+            }
+        }
+    }
+    (centroids, assignment)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Generates `per_family` noisy variants of `families` base patterns.
+    fn corpus(families: usize, per_family: usize, seed: u64) -> (Vec<OrbDescriptor>, Vec<usize>) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let bases: Vec<OrbDescriptor> = (0..families)
+            .map(|_| OrbDescriptor::from_words([rng.random(), rng.random(), rng.random(), rng.random()]))
+            .collect();
+        let mut descs = Vec::new();
+        let mut labels = Vec::new();
+        for (fi, base) in bases.iter().enumerate() {
+            for _ in 0..per_family {
+                let mut d = *base;
+                // Flip ~8 random bits (distance within a family ≈ 8,
+                // between random families ≈ 128).
+                for _ in 0..8 {
+                    d = flip_bit(d, rng.random_range(0..256));
+                }
+                descs.push(d);
+                labels.push(fi);
+            }
+        }
+        (descs, labels)
+    }
+
+    fn flip_bit(d: OrbDescriptor, i: usize) -> OrbDescriptor {
+        let mut w = *d.words();
+        w[i / 64] ^= 1 << (i % 64);
+        OrbDescriptor::from_words(w)
+    }
+
+    #[test]
+    fn recovers_planted_families() {
+        let (descs, labels) = corpus(4, 20, 42);
+        let cfg = KMajorityConfig {
+            k: 4,
+            max_iterations: 20,
+        };
+        let (_, assign) = kmajority_cluster(&descs, &cfg, 1);
+        // Members of the same family must map to the same cluster.
+        for f in 0..4 {
+            let clusters: std::collections::HashSet<usize> = labels
+                .iter()
+                .zip(&assign)
+                .filter(|(l, _)| **l == f)
+                .map(|(_, a)| *a)
+                .collect();
+            assert_eq!(clusters.len(), 1, "family {f} split: {clusters:?}");
+        }
+    }
+
+    #[test]
+    fn centroid_is_close_to_family_base() {
+        let (descs, _) = corpus(1, 31, 7);
+        let cfg = KMajorityConfig {
+            k: 1,
+            max_iterations: 10,
+        };
+        let (centroids, _) = kmajority_cluster(&descs, &cfg, 1);
+        // The majority vote denoises: centroid within a few bits of every
+        // member's common core.
+        let mean_dist: f64 = descs
+            .iter()
+            .map(|d| centroids[0].hamming(d) as f64)
+            .sum::<f64>()
+            / descs.len() as f64;
+        assert!(mean_dist < 16.0, "mean distance {mean_dist}");
+    }
+
+    #[test]
+    fn fewer_descriptors_than_k() {
+        let (descs, _) = corpus(2, 1, 3);
+        let (centroids, assign) = kmajority_cluster(&descs, &KMajorityConfig::default(), 1);
+        assert_eq!(centroids.len(), 2);
+        assert_eq!(assign.len(), 2);
+        assert_ne!(assign[0], assign[1]);
+    }
+
+    #[test]
+    fn empty_input() {
+        let (c, a) = kmajority_cluster(&[], &KMajorityConfig::default(), 1);
+        assert!(c.is_empty() && a.is_empty());
+    }
+
+    #[test]
+    fn deterministic_for_seed() {
+        let (descs, _) = corpus(3, 10, 9);
+        let a = kmajority_cluster(&descs, &KMajorityConfig::default(), 5);
+        let b = kmajority_cluster(&descs, &KMajorityConfig::default(), 5);
+        assert_eq!(a.1, b.1);
+    }
+}

@@ -1,0 +1,37 @@
+//! Bag-of-binary-words place recognition for Eudoxus.
+//!
+//! The registration and SLAM tracking blocks use "the bag-of-words place
+//! recognition method" (paper Sec. IV-A, citing Gálvez-López & Tardós'
+//! DBoW2 \[36\] and Mur-Artal's relocalization \[66\]). This crate is a
+//! from-scratch implementation of that stack:
+//!
+//! * [`kmajority`] — k-majority clustering of 256-bit ORB descriptors
+//!   (k-means under the Hamming metric, bitwise-majority centroids);
+//! * [`tree`] — a hierarchical vocabulary tree with tf-idf word weights;
+//! * [`bow`] — sparse BoW vectors and the L1 similarity score;
+//! * [`database`] — an inverted-index keyframe database for fast queries.
+//!
+//! # Example
+//!
+//! ```
+//! use eudoxus_frontend::OrbDescriptor;
+//! use eudoxus_vocab::{Vocabulary, VocabularyConfig};
+//!
+//! // Train on a toy corpus of descriptors.
+//! let corpus: Vec<OrbDescriptor> = (0..64u64)
+//!     .map(|i| OrbDescriptor::from_words([i.wrapping_mul(0x9E37), i, i ^ 0xFF, !i]))
+//!     .collect();
+//! let vocab = Vocabulary::train(&corpus, &VocabularyConfig::small(), 7);
+//! let bow = vocab.bow(&corpus[..8]);
+//! assert!(bow.similarity(&bow) > 0.999, "self-similarity is 1");
+//! ```
+
+pub mod bow;
+pub mod database;
+pub mod kmajority;
+pub mod tree;
+
+pub use bow::BowVector;
+pub use database::{KeyframeDatabase, QueryResult};
+pub use kmajority::{kmajority_cluster, KMajorityConfig};
+pub use tree::{Vocabulary, VocabularyConfig};

@@ -1,0 +1,268 @@
+//! Hierarchical vocabulary tree with tf-idf weighting.
+
+use crate::bow::BowVector;
+use crate::kmajority::{kmajority_cluster, KMajorityConfig};
+use eudoxus_frontend::OrbDescriptor;
+
+/// Vocabulary training parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct VocabularyConfig {
+    /// Branching factor at every tree level.
+    pub branching: usize,
+    /// Tree depth (number of clustering levels). Leaf count ≈
+    /// `branching^depth`.
+    pub depth: usize,
+    /// Lloyd iterations per clustering step.
+    pub iterations: usize,
+}
+
+impl Default for VocabularyConfig {
+    fn default() -> Self {
+        VocabularyConfig {
+            branching: 8,
+            depth: 3,
+            iterations: 10,
+        }
+    }
+}
+
+impl VocabularyConfig {
+    /// A small vocabulary suitable for unit tests (64 words).
+    pub fn small() -> Self {
+        VocabularyConfig {
+            branching: 8,
+            depth: 2,
+            iterations: 8,
+        }
+    }
+}
+
+/// One tree node.
+#[derive(Debug, Clone)]
+struct Node {
+    centroid: OrbDescriptor,
+    /// Child node indices; empty for leaves.
+    children: Vec<usize>,
+    /// Word id when this node is a leaf.
+    word: Option<usize>,
+}
+
+/// A trained vocabulary: descriptors quantize to word ids; documents
+/// (descriptor sets) convert to tf-idf [`BowVector`]s.
+#[derive(Debug, Clone)]
+pub struct Vocabulary {
+    nodes: Vec<Node>,
+    root_children: Vec<usize>,
+    /// Per-word inverse document frequency weight.
+    idf: Vec<f64>,
+    words: usize,
+}
+
+impl Vocabulary {
+    /// Trains the tree on a descriptor corpus. The idf weights are
+    /// initialized uniformly; call [`Vocabulary::reweight_idf`] with training
+    /// documents to install corpus statistics.
+    pub fn train(corpus: &[OrbDescriptor], cfg: &VocabularyConfig, seed: u64) -> Vocabulary {
+        let mut vocab = Vocabulary {
+            nodes: Vec::new(),
+            root_children: Vec::new(),
+            idf: Vec::new(),
+            words: 0,
+        };
+        let indices: Vec<usize> = (0..corpus.len()).collect();
+        vocab.root_children = vocab.build_level(corpus, &indices, cfg, seed, cfg.depth);
+        vocab.idf = vec![1.0; vocab.words];
+        vocab
+    }
+
+    /// Recursively clusters `subset` and builds child nodes; returns the
+    /// node indices of this level.
+    fn build_level(
+        &mut self,
+        corpus: &[OrbDescriptor],
+        subset: &[usize],
+        cfg: &VocabularyConfig,
+        seed: u64,
+        levels_left: usize,
+    ) -> Vec<usize> {
+        if subset.is_empty() {
+            return Vec::new();
+        }
+        let descs: Vec<OrbDescriptor> = subset.iter().map(|&i| corpus[i]).collect();
+        let kcfg = KMajorityConfig {
+            k: cfg.branching,
+            max_iterations: cfg.iterations,
+        };
+        let (centroids, assignment) = kmajority_cluster(&descs, &kcfg, seed);
+        let mut out = Vec::with_capacity(centroids.len());
+        for (ci, centroid) in centroids.iter().enumerate() {
+            let members: Vec<usize> = subset
+                .iter()
+                .zip(&assignment)
+                .filter(|(_, a)| **a == ci)
+                .map(|(&i, _)| i)
+                .collect();
+            let node_idx = self.nodes.len();
+            self.nodes.push(Node {
+                centroid: *centroid,
+                children: Vec::new(),
+                word: None,
+            });
+            if levels_left > 1 && members.len() > cfg.branching {
+                let children =
+                    self.build_level(corpus, &members, cfg, seed.wrapping_add(ci as u64 + 1), levels_left - 1);
+                self.nodes[node_idx].children = children;
+            } else {
+                let word = self.words;
+                self.words += 1;
+                self.nodes[node_idx].word = Some(word);
+            }
+            out.push(node_idx);
+        }
+        out
+    }
+
+    /// Number of leaf words.
+    pub fn word_count(&self) -> usize {
+        self.words
+    }
+
+    /// Quantizes one descriptor to its word id by greedy tree descent.
+    ///
+    /// Returns `None` only for an empty vocabulary.
+    pub fn word_of(&self, descriptor: &OrbDescriptor) -> Option<usize> {
+        let mut level = &self.root_children;
+        loop {
+            let best = level
+                .iter()
+                .min_by_key(|&&ni| self.nodes[ni].centroid.hamming(descriptor))?;
+            let node = &self.nodes[*best];
+            if let Some(w) = node.word {
+                return Some(w);
+            }
+            level = &node.children;
+        }
+    }
+
+    /// Converts a document (one frame's descriptors) to a normalized tf-idf
+    /// BoW vector.
+    pub fn bow(&self, descriptors: &[OrbDescriptor]) -> BowVector {
+        let mut counts: std::collections::BTreeMap<usize, f64> = std::collections::BTreeMap::new();
+        for d in descriptors {
+            if let Some(w) = self.word_of(d) {
+                *counts.entry(w).or_insert(0.0) += 1.0;
+            }
+        }
+        let entries: Vec<(usize, f64)> = counts
+            .into_iter()
+            .map(|(w, tf)| (w, tf * self.idf[w]))
+            .collect();
+        BowVector::from_entries(entries)
+    }
+
+    /// Recomputes idf weights from a set of training documents:
+    /// `idf(w) = ln(N / (1 + n_w))` clamped to ≥ 0.05, where `n_w` counts
+    /// documents containing word `w`.
+    pub fn reweight_idf(&mut self, documents: &[Vec<OrbDescriptor>]) {
+        let n = documents.len().max(1) as f64;
+        let mut doc_freq = vec![0usize; self.words];
+        for doc in documents {
+            let mut seen = vec![false; self.words];
+            for d in doc {
+                if let Some(w) = self.word_of(d) {
+                    if !seen[w] {
+                        seen[w] = true;
+                        doc_freq[w] += 1;
+                    }
+                }
+            }
+        }
+        for (w, &df) in doc_freq.iter().enumerate() {
+            self.idf[w] = (n / (1.0 + df as f64)).ln().max(0.05);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{RngExt, SeedableRng};
+
+    fn random_corpus(n: usize, seed: u64) -> Vec<OrbDescriptor> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| {
+                OrbDescriptor::from_words([rng.random(), rng.random(), rng.random(), rng.random()])
+            })
+            .collect()
+    }
+
+    #[test]
+    fn training_produces_words() {
+        let corpus = random_corpus(300, 1);
+        let vocab = Vocabulary::train(&corpus, &VocabularyConfig::small(), 2);
+        assert!(vocab.word_count() >= 8, "only {} words", vocab.word_count());
+        assert!(vocab.word_count() <= 64 + 8);
+    }
+
+    #[test]
+    fn quantization_is_stable() {
+        let corpus = random_corpus(200, 3);
+        let vocab = Vocabulary::train(&corpus, &VocabularyConfig::small(), 2);
+        for d in &corpus[..20] {
+            assert_eq!(vocab.word_of(d), vocab.word_of(d));
+        }
+    }
+
+    #[test]
+    fn similar_descriptors_share_words() {
+        let corpus = random_corpus(200, 5);
+        let vocab = Vocabulary::train(&corpus, &VocabularyConfig::small(), 2);
+        // A descriptor and a 4-bit-flipped copy should usually quantize the
+        // same way; check a majority does.
+        let mut same = 0;
+        for d in &corpus[..50] {
+            let mut w = *d.words();
+            w[0] ^= 0b1111;
+            let d2 = OrbDescriptor::from_words(w);
+            if vocab.word_of(d) == vocab.word_of(&d2) {
+                same += 1;
+            }
+        }
+        assert!(same >= 35, "only {same}/50 stable under 4-bit noise");
+    }
+
+    #[test]
+    fn bow_of_same_document_is_identical() {
+        let corpus = random_corpus(300, 7);
+        let vocab = Vocabulary::train(&corpus, &VocabularyConfig::small(), 2);
+        let a = vocab.bow(&corpus[..30]);
+        let b = vocab.bow(&corpus[..30]);
+        assert!(a.similarity(&b) > 0.999);
+    }
+
+    #[test]
+    fn idf_downweights_ubiquitous_words() {
+        let corpus = random_corpus(300, 9);
+        let mut vocab = Vocabulary::train(&corpus, &VocabularyConfig::small(), 2);
+        // Documents that all share corpus[0] but differ elsewhere.
+        let docs: Vec<Vec<OrbDescriptor>> = (0..10)
+            .map(|i| vec![corpus[0], corpus[10 + i], corpus[30 + i]])
+            .collect();
+        vocab.reweight_idf(&docs);
+        let w_common = vocab.word_of(&corpus[0]).unwrap();
+        let w_rare = vocab.word_of(&corpus[11]).unwrap();
+        if w_common != w_rare {
+            assert!(vocab.idf[w_common] <= vocab.idf[w_rare]);
+        }
+    }
+
+    #[test]
+    fn empty_document_gives_empty_bow() {
+        let corpus = random_corpus(100, 11);
+        let vocab = Vocabulary::train(&corpus, &VocabularyConfig::small(), 2);
+        let bow = vocab.bow(&[]);
+        assert!(bow.is_empty());
+    }
+}

@@ -1,0 +1,74 @@
+//! Property-based tests on the bag-of-words stack.
+
+use eudoxus_frontend::OrbDescriptor;
+use eudoxus_vocab::{BowVector, KeyframeDatabase, Vocabulary, VocabularyConfig};
+use proptest::prelude::*;
+
+fn descriptor() -> impl Strategy<Value = OrbDescriptor> {
+    (any::<u64>(), any::<u64>(), any::<u64>(), any::<u64>())
+        .prop_map(|(a, b, c, d)| OrbDescriptor::from_words([a, b, c, d]))
+}
+
+fn bow_entries() -> impl Strategy<Value = Vec<(usize, f64)>> {
+    proptest::collection::vec((0usize..200, 0.01f64..10.0), 1..20)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn hamming_is_a_metric(a in descriptor(), b in descriptor(), c in descriptor()) {
+        prop_assert_eq!(a.hamming(&a), 0);
+        prop_assert_eq!(a.hamming(&b), b.hamming(&a));
+        prop_assert!(a.hamming(&c) <= a.hamming(&b) + b.hamming(&c));
+        prop_assert!(a.hamming(&b) <= 256);
+    }
+
+    #[test]
+    fn bow_similarity_bounds(ea in bow_entries(), eb in bow_entries()) {
+        let a = BowVector::from_entries(ea);
+        let b = BowVector::from_entries(eb);
+        let s = a.similarity(&b);
+        prop_assert!((-1e-12..=1.0 + 1e-12).contains(&s));
+        prop_assert!((a.similarity(&b) - b.similarity(&a)).abs() < 1e-12);
+        prop_assert!(a.similarity(&a) > 1.0 - 1e-9);
+    }
+
+    #[test]
+    fn quantization_total(descs in proptest::collection::vec(descriptor(), 30..120)) {
+        // Every descriptor quantizes to a word of a trained vocabulary.
+        let vocab = Vocabulary::train(&descs, &VocabularyConfig::small(), 3);
+        for d in &descs {
+            let w = vocab.word_of(d);
+            prop_assert!(w.is_some());
+            prop_assert!(w.unwrap() < vocab.word_count());
+        }
+    }
+
+    #[test]
+    fn database_query_is_sorted_and_self_is_top(
+        docs in proptest::collection::vec(
+            proptest::collection::vec(0usize..60, 3..12), 2..10)
+    ) {
+        let mut db = KeyframeDatabase::new();
+        let bows: Vec<BowVector> = docs
+            .iter()
+            .map(|words| BowVector::from_entries(words.iter().map(|&w| (w, 1.0)).collect()))
+            .collect();
+        for (i, bow) in bows.iter().enumerate() {
+            db.insert(i as u64, bow.clone());
+        }
+        for (i, bow) in bows.iter().enumerate() {
+            let hits = db.query(bow, docs.len());
+            // Scores descend.
+            for w in hits.windows(2) {
+                prop_assert!(w[0].score >= w[1].score - 1e-12);
+            }
+            // The document itself scores maximally among hits.
+            let self_score = hits.iter().find(|h| h.doc_id == i as u64).map(|h| h.score);
+            if let Some(s) = self_score {
+                prop_assert!(hits.iter().all(|h| h.score <= s + 1e-9));
+            }
+        }
+    }
+}

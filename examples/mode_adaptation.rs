@@ -1,0 +1,82 @@
+//! "One algorithm does not fit all" (paper Sec. III): run each primitive
+//! algorithm on each environment and print the accuracy matrix — a
+//! miniature of Fig. 3.
+//!
+//! Registration needs a map, so it only applies to the known
+//! environments; the map comes from a prior survey pass.
+//!
+//! Run with: `cargo run --release --example mode_adaptation`
+
+use eudoxus::prelude::*;
+use eudoxus_sim::Platform as SimPlatform;
+
+/// Relabels every frame so the mode selector runs the wanted backend.
+fn relabeled(dataset: &Dataset, env: Environment) -> Dataset {
+    let mut d = dataset.clone();
+    for f in &mut d.frames {
+        f.environment = env;
+    }
+    for s in &mut d.segments {
+        s.environment = env;
+    }
+    d
+}
+
+fn main() {
+    println!("=== one algorithm does not fit all (mini Fig. 3) ===\n");
+    let frames = 18;
+    for (label, kind) in [
+        ("indoor-unknown ", ScenarioKind::IndoorUnknown),
+        ("indoor-known   ", ScenarioKind::IndoorKnown),
+        ("outdoor-unknown", ScenarioKind::OutdoorUnknown),
+    ] {
+        let dataset = ScenarioBuilder::new(kind)
+            .frames(frames)
+            .seed(21)
+            .platform(SimPlatform::Drone)
+            .build();
+        let has_map = dataset.frames[0].environment.has_map();
+
+        // Force each algorithm by relabeling the environment.
+        let mut row = format!("{label} |");
+        // VIO (outdoor labels give it GPS only when truly outdoor —
+        // relabeling indoor data as outdoor would invent GPS, so instead
+        // keep the dataset's own GPS stream and just force the mode).
+        let vio_env = if dataset.frames[0].environment.has_gps() {
+            Environment::OutdoorUnknown
+        } else {
+            // VIO without GPS: the paper's indoor VIO data point.
+            Environment::OutdoorUnknown
+        };
+        let vio_data = {
+            let mut d = relabeled(&dataset, vio_env);
+            if !dataset.frames[0].environment.has_gps() {
+                d.gps.clear(); // no GPS indoors, whatever the label says
+            }
+            d
+        };
+        let mut vio = Eudoxus::new(PipelineConfig::anchored());
+        let vio_rmse = vio.process_dataset(&vio_data).translation_rmse();
+        row.push_str(&format!("  VIO {vio_rmse:>6.3} m"));
+
+        // SLAM.
+        let slam_data = relabeled(&dataset, Environment::IndoorUnknown);
+        let mut slam = Eudoxus::new(PipelineConfig::anchored());
+        let slam_rmse = slam.process_dataset(&slam_data).translation_rmse();
+        row.push_str(&format!("  | SLAM {slam_rmse:>6.3} m"));
+
+        // Registration, where a map exists.
+        if has_map {
+            let map = build_map(&dataset, &PipelineConfig::anchored());
+            let reg_data = relabeled(&dataset, Environment::IndoorKnown);
+            let mut reg = Eudoxus::new(PipelineConfig::anchored()).with_map(map);
+            let reg_rmse = reg.process_dataset(&reg_data).translation_rmse();
+            row.push_str(&format!("  | Reg. {reg_rmse:>6.3} m"));
+        } else {
+            row.push_str("  | Reg.    n/a  ");
+        }
+        println!("{row}");
+    }
+    println!("\neach environment prefers a different algorithm — the premise");
+    println!("of the unified, mode-switching Eudoxus framework (paper Fig. 2).");
+}

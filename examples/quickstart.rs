@@ -1,0 +1,65 @@
+//! Quickstart: localize a vehicle on a synthetic outdoor traversal.
+//!
+//! Generates a KITTI-like street scenario, runs the unified Eudoxus
+//! pipeline (the environment selects VIO+GPS), and prints accuracy and
+//! per-stage latency.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use eudoxus::prelude::*;
+
+fn main() {
+    println!("=== Eudoxus quickstart ===");
+    println!("generating synthetic outdoor dataset (1280x720 stereo)…");
+    let dataset = ScenarioBuilder::new(ScenarioKind::OutdoorUnknown)
+        .frames(30)
+        .fps(10.0)
+        .seed(42)
+        .build();
+    println!(
+        "  {} frames, {} IMU samples, {} GPS fixes",
+        dataset.frames.len(),
+        dataset.imu.len(),
+        dataset.gps.len()
+    );
+
+    println!("running the unified localization pipeline…");
+    let mut system = Eudoxus::new(PipelineConfig::anchored());
+    let log = system.process_dataset(&dataset);
+
+    let summary = log.latency_summary(None);
+    println!("\nresults:");
+    println!("  mode:              {}", log.records[0].mode);
+    println!("  translation RMSE:  {:.3} m", log.translation_rmse());
+    println!("  relative error:    {:.3} %", log.relative_error_percent());
+    println!(
+        "  frame latency:     {:.1} ms mean, {:.1} ms max ({:.1} FPS)",
+        summary.mean, summary.max, log.fps()
+    );
+    println!(
+        "  frontend/backend:  {:.1} / {:.1} ms mean",
+        Summary::of(&log.frontend_ms(None)).mean,
+        Summary::of(&log.backend_ms(None)).mean,
+    );
+
+    // Replay the measured run through the EDX-CAR accelerator model.
+    println!("\nreplaying through the EDX-CAR accelerator model…");
+    let exec = Executor::new(Platform::edx_car());
+    let policy = match exec.train_scheduler(&log, 0.25) {
+        Some(s) => OffloadPolicy::Scheduled(s),
+        None => OffloadPolicy::Always,
+    };
+    let accel = exec.replay(&log, &policy);
+    println!(
+        "  accelerated:       {:.1} ms mean ({:.1} FPS unpipelined, {:.1} FPS pipelined)",
+        accel.summary().mean,
+        accel.fps_unpipelined(),
+        accel.fps_pipelined()
+    );
+    println!(
+        "  speedup:           {:.2}x   energy: {:.2} J -> {:.2} J per frame",
+        summary.mean / accel.summary().mean,
+        exec.baseline_energy(&log),
+        accel.mean_energy()
+    );
+}

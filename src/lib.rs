@@ -1,0 +1,72 @@
+//! # Eudoxus
+//!
+//! A from-scratch Rust reproduction of *"Eudoxus: Characterizing and
+//! Accelerating Localization in Autonomous Machines"* (HPCA 2021): a
+//! unified localization framework — one shared vision frontend feeding
+//! registration / VIO / SLAM backends selected by the operating
+//! environment — together with a calibrated analytical model of the
+//! paper's FPGA accelerator (frontend task pipeline, five-building-block
+//! matrix engine, runtime offload scheduler, resource/energy accounting).
+//!
+//! This crate is a facade: each subsystem lives in its own crate and is
+//! re-exported here under a short name.
+//!
+//! | Module | Crate | Contents |
+//! |---|---|---|
+//! | [`math`] | `eudoxus-math` | dense linear algebra (QR/Cholesky/LU, Schur) |
+//! | [`geometry`] | `eudoxus-geometry` | SO(3)/SE(3), cameras, triangulation |
+//! | [`image`] | `eudoxus-image` | filtering, gradients, pyramids |
+//! | [`sim`] | `eudoxus-sim` | synthetic worlds, sensors, datasets |
+//! | [`frontend`] | `eudoxus-frontend` | FAST, ORB, stereo, Lucas–Kanade |
+//! | [`vocab`] | `eudoxus-vocab` | bag-of-binary-words place recognition |
+//! | [`backend`] | `eudoxus-backend` | MSCKF, GPS fusion, SLAM, registration |
+//! | [`accel`] | `eudoxus-accel` | FPGA accelerator models |
+//! | [`core`] | `eudoxus-core` | the unified pipeline + instrumentation |
+//!
+//! # Quickstart
+//!
+//! ```no_run
+//! use eudoxus::prelude::*;
+//!
+//! // Synthesize an outdoor traversal (KITTI-like substitution).
+//! let dataset = ScenarioBuilder::new(ScenarioKind::OutdoorUnknown)
+//!     .frames(50)
+//!     .build();
+//! // Run the unified pipeline: the environment selects VIO+GPS.
+//! let mut system = Eudoxus::new(PipelineConfig::anchored());
+//! let log = system.process_dataset(&dataset);
+//! println!("RMSE {:.3} m at {:.1} FPS", log.translation_rmse(), log.fps());
+//! ```
+
+pub use eudoxus_accel as accel;
+pub use eudoxus_backend as backend;
+pub use eudoxus_core as core;
+pub use eudoxus_frontend as frontend;
+pub use eudoxus_geometry as geometry;
+pub use eudoxus_image as image;
+pub use eudoxus_math as math;
+pub use eudoxus_sim as sim;
+pub use eudoxus_vocab as vocab;
+
+/// The most common imports, in one place.
+pub mod prelude {
+    pub use eudoxus_accel::{Platform, PlatformKind};
+    pub use eudoxus_backend::{BackendMode, WorldMap};
+    pub use eudoxus_core::executor::{Executor, OffloadPolicy};
+    pub use eudoxus_core::{build_map, Eudoxus, Mode, PipelineConfig, RunLog, Summary};
+    pub use eudoxus_frontend::{Frontend, FrontendConfig};
+    pub use eudoxus_geometry::{Pose, Vec3};
+    pub use eudoxus_sim::{Dataset, Environment, ScenarioBuilder, ScenarioKind};
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn facade_reexports_compile() {
+        use crate::prelude::*;
+        let _ = PipelineConfig::anchored();
+        let _ = Platform::edx_car();
+        let _ = Mode::ALL;
+        let _ = Vec3::zero();
+    }
+}

@@ -1,0 +1,118 @@
+//! End-to-end integration tests spanning every crate: dataset synthesis →
+//! frontend → mode selection → backend → metrics, including the
+//! map-persistence round trip that links SLAM to registration.
+
+use eudoxus::prelude::*;
+use eudoxus_sim::Platform as SimPlatform;
+
+fn drone_dataset(kind: ScenarioKind, frames: usize, seed: u64) -> Dataset {
+    ScenarioBuilder::new(kind)
+        .frames(frames)
+        .fps(10.0)
+        .seed(seed)
+        .platform(SimPlatform::Drone)
+        .build()
+}
+
+#[test]
+fn vio_tracks_outdoor_trajectory_within_bounds() {
+    let data = drone_dataset(ScenarioKind::OutdoorUnknown, 10, 1);
+    let mut system = Eudoxus::new(PipelineConfig::anchored());
+    let log = system.process_dataset(&data);
+    assert_eq!(log.len(), 10);
+    assert!(log.records.iter().all(|r| r.mode == Mode::Vio));
+    let rmse = log.translation_rmse();
+    assert!(rmse < 1.2, "VIO RMSE {rmse} m");
+    // GPS fusion must have run on some frame.
+    let fused = log
+        .records
+        .iter()
+        .any(|r| r.kernel_ms(eudoxus::backend::Kernel::GpsFusion) > 0.0);
+    assert!(fused, "no GPS fusion kernel recorded");
+}
+
+#[test]
+fn slam_bounds_drift_indoors() {
+    let data = drone_dataset(ScenarioKind::IndoorUnknown, 10, 2);
+    let mut system = Eudoxus::new(PipelineConfig::anchored());
+    let log = system.process_dataset(&data);
+    assert!(log.records.iter().all(|r| r.mode == Mode::Slam));
+    let rmse = log.translation_rmse();
+    assert!(rmse < 0.8, "SLAM RMSE {rmse} m");
+    // The mapping kernels must appear.
+    let kernels = log.kernel_totals(Mode::Slam);
+    assert!(
+        kernels
+            .iter()
+            .any(|(k, _)| *k == eudoxus::backend::Kernel::Solver),
+        "no Solver kernel: {kernels:?}"
+    );
+}
+
+#[test]
+fn map_roundtrip_enables_registration() {
+    let data = drone_dataset(ScenarioKind::IndoorKnown, 8, 3);
+    // Survey → persist → reload → localize.
+    let map = build_map(&data, &PipelineConfig::anchored());
+    assert!(map.points.len() > 30);
+    let path = std::env::temp_dir().join("eudoxus_it_map.bin");
+    map.save(&path).expect("save map");
+    let reloaded = WorldMap::load(&path).expect("load map");
+    assert_eq!(reloaded.points.len(), map.points.len());
+    std::fs::remove_file(&path).ok();
+
+    let mut system = Eudoxus::new(PipelineConfig::anchored()).with_map(reloaded);
+    let log = system.process_dataset(&data);
+    assert!(log.records.iter().all(|r| r.mode == Mode::Registration));
+    let tracked = log.records.iter().filter(|r| r.tracking).count();
+    assert!(
+        tracked * 2 >= log.len(),
+        "registration tracked only {tracked}/{} frames",
+        log.len()
+    );
+    // Projection kernel sizes equal the map size.
+    let sizes: Vec<usize> = log
+        .kernel_samples(eudoxus::backend::Kernel::Projection)
+        .iter()
+        .map(|&(s, _)| s)
+        .collect();
+    assert!(sizes.iter().all(|&s| s == map.points.len()));
+}
+
+#[test]
+fn mixed_mission_switches_modes_and_recovers() {
+    let data = ScenarioBuilder::new(ScenarioKind::Mixed)
+        .frames(12)
+        .seed(4)
+        .platform(SimPlatform::Drone)
+        .build();
+    let mut system = Eudoxus::new(PipelineConfig::anchored());
+    let log = system.process_dataset(&data);
+    let modes: std::collections::HashSet<Mode> =
+        log.records.iter().map(|r| r.mode).collect();
+    assert!(modes.contains(&Mode::Vio));
+    assert!(modes.contains(&Mode::Slam));
+    // Per-segment accuracy stays bounded even across resets.
+    for seg_frames in log.records.chunks(3) {
+        for r in seg_frames {
+            assert!(
+                r.translation_error() < 2.0,
+                "frame {} error {}",
+                r.index,
+                r.translation_error()
+            );
+        }
+    }
+}
+
+#[test]
+fn frontend_workload_counters_are_recorded() {
+    let data = drone_dataset(ScenarioKind::IndoorUnknown, 3, 5);
+    let mut system = Eudoxus::new(PipelineConfig::anchored());
+    let log = system.process_dataset(&data);
+    for r in &log.records {
+        assert!(r.frontend_stats.keypoints_left > 20, "frame {}", r.index);
+        assert!(r.frontend_stats.stereo_matches > 10, "frame {}", r.index);
+        assert!(r.frontend_ms() > 0.0);
+    }
+}
