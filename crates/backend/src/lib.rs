@@ -15,10 +15,14 @@
 //!   pre-built map: BoW place recognition, descriptor matching, camera-model
 //!   projection of map points, and pose-only optimization.
 //!
-//! Every mode implements [`BackendMode`] and reports per-kernel timings
-//! ([`kernels`]) with workload sizes, which feed the paper's
-//! characterization figures (Figs. 6–11, 16) and the runtime scheduler's
-//! regression models (Sec. VI-B).
+//! Every estimator implements the [`Backend`] trait — a streaming
+//! interface (`begin_segment` / `step` / `reset`) advertising its
+//! [`BackendMode`] — so the pipeline dispatches frames through a registry
+//! of `Box<dyn Backend>` and third parties can plug a custom
+//! implementation into any of the three estimator families.
+//! Each step reports per-kernel timings ([`kernels`]) with workload sizes,
+//! which feed the paper's characterization figures (Figs. 6–11, 16) and
+//! the runtime scheduler's regression models (Sec. VI-B).
 
 pub mod fusion;
 pub mod kernels;
@@ -37,5 +41,6 @@ pub use msckf::{Msckf, MsckfConfig};
 pub use pose_opt::{optimize_pose, PoseObservation, PoseOptConfig, PoseOptResult};
 pub use registration::{Registration, RegistrationConfig};
 pub use slam::{Slam, SlamConfig};
-pub use types::{BackendInput, BackendMode, BackendReport, GpsFix, ImuReading};
+pub use eudoxus_geometry::PoseAnchor;
+pub use types::{Backend, BackendEstimate, BackendInput, BackendMode, GpsFix, ImuReading};
 pub use vio::{Vio, VioConfig};

@@ -219,8 +219,8 @@ impl Msckf {
 
         // Nominal state (first-order with midpoint position).
         let v_old = self.velocity;
-        self.velocity = self.velocity + a_world * dt;
-        self.position = self.position + (v_old + self.velocity) * (0.5 * dt);
+        self.velocity += a_world * dt;
+        self.position += (v_old + self.velocity) * (0.5 * dt);
         self.rotation = self.rotation * Quaternion::from_rotation_vector(omega * dt);
         self.rotation.renormalize();
 

@@ -11,8 +11,8 @@
 use crate::kernels::{Kernel, KernelTimer};
 use crate::map::WorldMap;
 use crate::pose_opt::{optimize_pose, PoseObservation, PoseOptConfig};
-use crate::types::{BackendInput, BackendMode, BackendReport};
-use eudoxus_geometry::{Pose, Vec2};
+use crate::types::{Backend, BackendEstimate, BackendInput, BackendMode};
+use eudoxus_geometry::{Pose, PoseAnchor, Vec2};
 use eudoxus_vocab::{KeyframeDatabase, Vocabulary, VocabularyConfig};
 
 /// Registration tuning parameters.
@@ -52,9 +52,10 @@ impl Default for RegistrationConfig {
 /// # Example
 ///
 /// ```
-/// use eudoxus_backend::{BackendMode, Registration, RegistrationConfig, WorldMap};
+/// use eudoxus_backend::{Backend, BackendMode, Registration, RegistrationConfig, WorldMap};
 ///
 /// let reg = Registration::new(WorldMap::default(), RegistrationConfig::default());
+/// assert_eq!(reg.mode(), BackendMode::Registration);
 /// assert_eq!(reg.name(), "registration");
 /// ```
 #[derive(Debug)]
@@ -129,8 +130,20 @@ impl Registration {
     }
 }
 
-impl BackendMode for Registration {
-    fn process(&mut self, input: &BackendInput<'_>) -> BackendReport {
+impl Backend for Registration {
+    fn mode(&self) -> BackendMode {
+        BackendMode::Registration
+    }
+
+    fn begin_segment(&mut self, _anchor: Option<PoseAnchor>) {
+        // Registration localizes globally against its map (BoW
+        // relocalization), so a segment anchor carries no information it
+        // needs — matching the pre-streaming pipeline, which never
+        // anchored this mode.
+        self.reset();
+    }
+
+    fn step(&mut self, input: &BackendInput<'_>) -> BackendEstimate {
         let mut timer = KernelTimer::new();
         let camera = input.rig.camera;
 
@@ -143,7 +156,7 @@ impl BackendMode for Registration {
             }
         });
         let Some(predicted) = predicted else {
-            return BackendReport {
+            return BackendEstimate {
                 pose: Pose::identity(),
                 kernels: timer.into_samples(),
                 tracking: false,
@@ -226,7 +239,7 @@ impl BackendMode for Registration {
             self.motion = Pose::identity();
         }
 
-        BackendReport {
+        BackendEstimate {
             pose: new_pose,
             kernels: timer.into_samples(),
             tracking,
@@ -236,10 +249,6 @@ impl BackendMode for Registration {
     fn reset(&mut self) {
         self.pose = None;
         self.motion = Pose::identity();
-    }
-
-    fn name(&self) -> &'static str {
-        "registration"
     }
 }
 
@@ -316,7 +325,7 @@ mod tests {
         for frame in 0..8 {
             let truth = Pose::new(Default::default(), Vec3::new(0.1 * frame as f64, 0.02 * frame as f64, 0.0));
             let obs = observations_at(&rig, truth, &positions);
-            let report = reg.process(&BackendInput {
+            let report = reg.step(&BackendInput {
                 t: frame as f64 * 0.1,
                 observations: &obs,
                 imu: &[],
@@ -337,7 +346,7 @@ mod tests {
         let (map, positions) = synthetic_map();
         let mut reg = Registration::new(map, RegistrationConfig::default());
         let obs = observations_at(&rig, Pose::identity(), &positions);
-        let report = reg.process(&BackendInput {
+        let report = reg.step(&BackendInput {
             t: 0.0,
             observations: &obs,
             imu: &[],
@@ -366,7 +375,7 @@ mod tests {
         let truth = Pose::identity();
         let obs = observations_at(&rig, truth, &positions);
         assert!(reg
-            .process(&BackendInput {
+            .step(&BackendInput {
                 t: 0.0,
                 observations: &obs,
                 imu: &[],
@@ -384,7 +393,7 @@ mod tests {
                 descriptor: OrbDescriptor::from_words([u64::MAX; 4]),
             })
             .collect();
-        let lost = reg.process(&BackendInput {
+        let lost = reg.step(&BackendInput {
             t: 0.1,
             observations: &garbage,
             imu: &[],
@@ -393,7 +402,7 @@ mod tests {
         });
         assert!(!lost.tracking);
         // Good observations again: BoW relocalization recovers the pose.
-        let recovered = reg.process(&BackendInput {
+        let recovered = reg.step(&BackendInput {
             t: 0.2,
             observations: &obs,
             imu: &[],
@@ -409,7 +418,7 @@ mod tests {
     fn empty_map_never_tracks() {
         let rig = rig();
         let mut reg = Registration::new(WorldMap::default(), RegistrationConfig::default());
-        let report = reg.process(&BackendInput {
+        let report = reg.step(&BackendInput {
             t: 0.0,
             observations: &[],
             imu: &[],

@@ -192,9 +192,12 @@ pub fn solve_lm(p: &mut BaProblem, cfg: &LmConfig, prior: Option<&PosePrior>) ->
         let mut g_p = Vector::zeros(np);
         let mut h_ll: Vec<Mat3> = vec![Mat3::zero(); n_lm];
         let mut g_l: Vec<Vec3> = vec![Vec3::zero(); n_lm];
-        // Sparse pose-landmark coupling: (slot, lm) → 6×3 block.
-        let mut h_pl: std::collections::HashMap<(usize, usize), [[f64; 3]; 6]> =
-            std::collections::HashMap::new();
+        // Sparse pose-landmark coupling: (slot, lm) → 6×3 block. BTreeMap
+        // rather than HashMap: the Schur reduction below iterates this map
+        // accumulating floats, and a deterministic order keeps whole runs
+        // bit-reproducible (HashMap order varies per instance).
+        let mut h_pl: std::collections::BTreeMap<(usize, usize), [[f64; 3]; 6]> =
+            std::collections::BTreeMap::new();
 
         for o in &p.observations {
             let pose = p.poses[o.kf];

@@ -20,7 +20,7 @@ pub use loopclose::align_point_sets;
 use crate::kernels::{Kernel, KernelTimer};
 use crate::map::{MapKeyframe, MapPoint, WorldMap};
 use crate::pose_opt::{optimize_pose, PoseObservation, PoseOptConfig};
-use crate::types::{BackendInput, BackendMode, BackendReport};
+use crate::types::{Backend, BackendEstimate, BackendInput, BackendMode};
 use eudoxus_frontend::OrbDescriptor;
 use eudoxus_geometry::{Pose, Vec2, Vec3};
 use eudoxus_vocab::{KeyframeDatabase, Vocabulary, VocabularyConfig};
@@ -84,9 +84,10 @@ struct KeyframeData {
 /// # Example
 ///
 /// ```
-/// use eudoxus_backend::{BackendMode, Slam, SlamConfig};
+/// use eudoxus_backend::{Backend, BackendMode, Slam, SlamConfig};
 ///
 /// let mut slam = Slam::new(SlamConfig::default());
+/// assert_eq!(slam.mode(), BackendMode::Slam);
 /// assert_eq!(slam.name(), "slam");
 /// ```
 #[derive(Debug)]
@@ -308,8 +309,19 @@ impl Slam {
     }
 }
 
-impl BackendMode for Slam {
-    fn process(&mut self, input: &BackendInput<'_>) -> BackendReport {
+impl Backend for Slam {
+    fn mode(&self) -> BackendMode {
+        BackendMode::Slam
+    }
+
+    fn begin_segment(&mut self, anchor: Option<eudoxus_geometry::PoseAnchor>) {
+        self.reset();
+        // The anchor replaces any previous segment's: an unanchored
+        // segment maps from identity, not from stale state.
+        self.initial = anchor.map(|a| a.pose);
+    }
+
+    fn step(&mut self, input: &BackendInput<'_>) -> BackendEstimate {
         let mut timer = KernelTimer::new();
         let camera = input.rig.camera;
         self.baseline = input.rig.baseline;
@@ -365,7 +377,7 @@ impl BackendMode for Slam {
         });
 
         // --- Keyframe path: mapping, marginalization, loop closure. ---
-        if self.frame_count % self.cfg.keyframe_interval as u64 == 0 {
+        if self.frame_count.is_multiple_of(self.cfg.keyframe_interval as u64) {
             // Only observations consistent with the current map enter the
             // keyframe (mistracked features otherwise poison BA).
             let obs: Vec<(u64, Vec2, Option<f64>)> = input
@@ -482,7 +494,7 @@ impl BackendMode for Slam {
         self.last_pose = Some(self.pose);
         self.frame_count += 1;
 
-        BackendReport {
+        BackendEstimate {
             pose: self.pose,
             kernels: timer.into_samples(),
             tracking,
@@ -496,8 +508,8 @@ impl BackendMode for Slam {
         self.initial = initial;
     }
 
-    fn name(&self) -> &'static str {
-        "slam"
+    fn persist_map(&self) -> Option<WorldMap> {
+        Some(Slam::persist_map(self))
     }
 }
 
@@ -538,7 +550,7 @@ mod tests {
                         // Unique-ish synthetic descriptor per landmark.
                         let mut d = OrbDescriptor::zero();
                         for b in 0..8 {
-                            d.set_bit(((i * 31 + b * 7) % 256) as usize);
+                            d.set_bit((i * 31 + b * 7) % 256);
                         }
                         d
                     },
@@ -557,7 +569,7 @@ mod tests {
             let t = frame as f64 * 0.1;
             let truth = Pose::new(Default::default(), Vec3::new(0.15 * frame as f64, 0.0, 0.0));
             let obs = observations_at(&rig, truth, &lms);
-            let report = slam.process(&BackendInput {
+            let report = slam.step(&BackendInput {
                 t,
                 observations: &obs,
                 imu: &[],
@@ -585,7 +597,7 @@ mod tests {
         for frame in 0..8u64 {
             let truth = Pose::new(Default::default(), Vec3::new(0.1 * frame as f64, 0.0, 0.0));
             let obs = observations_at(&rig, truth, &lms);
-            let report = slam.process(&BackendInput {
+            let report = slam.step(&BackendInput {
                 t: frame as f64 * 0.1,
                 observations: &obs,
                 imu: &[],
@@ -609,7 +621,7 @@ mod tests {
         for frame in 0..9u64 {
             let truth = Pose::new(Default::default(), Vec3::new(0.12 * frame as f64, 0.0, 0.0));
             let obs = observations_at(&rig, truth, &lms);
-            slam.process(&BackendInput {
+            slam.step(&BackendInput {
                 t: frame as f64 * 0.1,
                 observations: &obs,
                 imu: &[],
@@ -637,7 +649,7 @@ mod tests {
         let lms = landmark_grid();
         let mut slam = Slam::new(SlamConfig::default());
         let obs = observations_at(&rig, Pose::identity(), &lms);
-        slam.process(&BackendInput {
+        slam.step(&BackendInput {
             t: 0.0,
             observations: &obs,
             imu: &[],

@@ -1,8 +1,10 @@
-//! Backend input/output types and the mode trait.
+//! Backend input/output types and the pluggable estimator trait.
 
 use crate::kernels::KernelSample;
+use crate::map::WorldMap;
 use eudoxus_frontend::Observation;
-use eudoxus_geometry::{Pose, StereoRig, Vec3};
+use eudoxus_geometry::{Pose, PoseAnchor, StereoRig, Vec3};
+use std::fmt;
 
 /// One IMU reading, as consumed by the backend (decoupled from the
 /// simulator's generation-side type).
@@ -27,7 +29,7 @@ pub struct GpsFix {
     pub sigma: f64,
 }
 
-/// Everything a backend mode receives for one frame.
+/// Everything a backend receives for one frame.
 #[derive(Debug, Clone)]
 pub struct BackendInput<'a> {
     /// Frame timestamp (seconds).
@@ -42,9 +44,9 @@ pub struct BackendInput<'a> {
     pub rig: StereoRig,
 }
 
-/// What a backend mode produces for one frame.
+/// What a backend produces for one frame.
 #[derive(Debug, Clone)]
-pub struct BackendReport {
+pub struct BackendEstimate {
     /// Estimated body pose at the frame timestamp.
     pub pose: Pose,
     /// Per-kernel timing/size samples for this frame.
@@ -54,16 +56,95 @@ pub struct BackendReport {
     pub tracking: bool,
 }
 
-/// A localization backend mode (paper Fig. 4: VIO / SLAM / Registration).
-pub trait BackendMode {
-    /// Processes one frame of correspondences and sensor data.
-    fn process(&mut self, input: &BackendInput<'_>) -> BackendReport;
+/// The three estimator families of the unified algorithm (paper Fig. 4).
+///
+/// A [`Backend`] advertises which family it implements; the pipeline's
+/// registry dispatches each frame to the registered backend of the mode
+/// the environment prefers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BackendMode {
+    /// Localize against a pre-built map (indoor, known).
+    Registration,
+    /// Filter-based odometry, GPS-corrected outdoors.
+    Vio,
+    /// Build the map while localizing (indoor, unknown).
+    Slam,
+}
 
-    /// Resets all estimator state (used at dataset segment boundaries).
-    fn reset(&mut self);
+impl BackendMode {
+    /// All modes in paper order.
+    pub const ALL: [BackendMode; 3] = [
+        BackendMode::Registration,
+        BackendMode::Vio,
+        BackendMode::Slam,
+    ];
 
     /// Short mode name for reports ("vio", "slam", "registration").
-    fn name(&self) -> &'static str;
+    pub fn name(self) -> &'static str {
+        match self {
+            BackendMode::Registration => "registration",
+            BackendMode::Vio => "vio",
+            BackendMode::Slam => "slam",
+        }
+    }
+
+    /// The mode a frame degrades to when no backend of this mode is
+    /// registered: registration (needs a map) falls back to SLAM, SLAM
+    /// falls back to pure odometry. VIO is the floor — without it the
+    /// registry cannot serve the frame at all.
+    pub fn fallback(self) -> Option<BackendMode> {
+        match self {
+            BackendMode::Registration => Some(BackendMode::Slam),
+            BackendMode::Slam => Some(BackendMode::Vio),
+            BackendMode::Vio => None,
+        }
+    }
+}
+
+impl fmt::Display for BackendMode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A pluggable localization estimator (paper Fig. 4: VIO / SLAM /
+/// registration). Third parties can supply their own implementation of
+/// any of the three families — e.g. a custom VIO — and register it in
+/// place of the built-in one; the set of families itself (and thus the
+/// dispatchable [`BackendMode`]s) is closed.
+///
+/// A backend is driven as a stream: [`begin_segment`](Backend::begin_segment)
+/// opens an independent trajectory segment (optionally anchored to a known
+/// state), then [`step`](Backend::step) consumes one frame of
+/// correspondences and inter-frame sensor windows at a time.
+pub trait Backend {
+    /// Which estimator family this backend implements. The registry
+    /// dispatches frames by this value.
+    fn mode(&self) -> BackendMode;
+
+    /// Starts a new independent trajectory segment, resetting estimator
+    /// state. When `anchor` is given, the estimator should initialize from
+    /// that known state; estimators that localize globally (e.g. against a
+    /// persisted map) may ignore it.
+    fn begin_segment(&mut self, anchor: Option<PoseAnchor>);
+
+    /// Processes one frame of correspondences and sensor data.
+    fn step(&mut self, input: &BackendInput<'_>) -> BackendEstimate;
+
+    /// Resets all estimator state (equivalent to `begin_segment(None)` for
+    /// estimators without sticky anchors).
+    fn reset(&mut self);
+
+    /// Short name for reports; defaults to the mode's name.
+    fn name(&self) -> &'static str {
+        self.mode().name()
+    }
+
+    /// Exports the map this backend has built, if it builds one (SLAM
+    /// does; odometry and map-consuming backends return `None`).
+    fn persist_map(&self) -> Option<WorldMap> {
+        None
+    }
 }
 
 #[cfg(test)]
@@ -75,17 +156,35 @@ mod tests {
         fn assert_send_sync<T: Send + Sync>() {}
         assert_send_sync::<ImuReading>();
         assert_send_sync::<GpsFix>();
-        assert_send_sync::<BackendReport>();
+        assert_send_sync::<BackendEstimate>();
+        assert_send_sync::<BackendMode>();
     }
 
     #[test]
-    fn report_carries_kernels() {
-        let r = BackendReport {
+    fn estimate_carries_kernels() {
+        let r = BackendEstimate {
             pose: Pose::identity(),
             kernels: vec![],
             tracking: true,
         };
         assert!(r.kernels.is_empty());
         assert!(r.tracking);
+    }
+
+    #[test]
+    fn fallback_chain_ends_at_vio() {
+        assert_eq!(
+            BackendMode::Registration.fallback(),
+            Some(BackendMode::Slam)
+        );
+        assert_eq!(BackendMode::Slam.fallback(), Some(BackendMode::Vio));
+        assert_eq!(BackendMode::Vio.fallback(), None);
+        assert_eq!(BackendMode::ALL.len(), 3);
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(BackendMode::Slam.to_string(), "slam");
+        assert_eq!(BackendMode::Registration.name(), "registration");
     }
 }

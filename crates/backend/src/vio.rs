@@ -9,8 +9,8 @@
 use crate::fusion::{GpsFusion, GpsFusionConfig};
 use crate::kernels::{Kernel, KernelTimer};
 use crate::msckf::{Msckf, MsckfConfig};
-use crate::types::{BackendInput, BackendMode, BackendReport};
-use eudoxus_geometry::{Pose, Vec2, Vec3};
+use crate::types::{Backend, BackendEstimate, BackendInput, BackendMode};
+use eudoxus_geometry::{Pose, PoseAnchor, Vec2, Vec3};
 use std::collections::HashSet;
 
 /// Combined VIO configuration.
@@ -28,9 +28,10 @@ pub struct VioConfig {
 ///
 /// ```
 /// use eudoxus_backend::vio::{Vio, VioConfig};
-/// use eudoxus_backend::BackendMode;
+/// use eudoxus_backend::{Backend, BackendMode};
 ///
 /// let mut vio = Vio::new(VioConfig::default());
+/// assert_eq!(vio.mode(), BackendMode::Vio);
 /// assert_eq!(vio.name(), "vio");
 /// ```
 #[derive(Debug)]
@@ -65,8 +66,19 @@ impl Vio {
     }
 }
 
-impl BackendMode for Vio {
-    fn process(&mut self, input: &BackendInput<'_>) -> BackendReport {
+impl Backend for Vio {
+    fn mode(&self) -> BackendMode {
+        BackendMode::Vio
+    }
+
+    fn begin_segment(&mut self, anchor: Option<PoseAnchor>) {
+        self.filter.reset();
+        // The anchor replaces any previous segment's: an unanchored
+        // segment initializes from identity, not from stale state.
+        self.initial = anchor.map(|a| (a.pose, a.velocity));
+    }
+
+    fn step(&mut self, input: &BackendInput<'_>) -> BackendEstimate {
         let mut timer = KernelTimer::new();
         if !self.filter.is_initialized() {
             let (pose, vel) = self.initial.unwrap_or((Pose::identity(), Vec3::zero()));
@@ -99,7 +111,7 @@ impl BackendMode for Vio {
         // [Fusion] GPS position updates, when outdoors.
         self.fusion.fuse(&mut self.filter, input.gps, &mut timer);
 
-        BackendReport {
+        BackendEstimate {
             pose: self.filter.pose().unwrap_or_default(),
             kernels: timer.into_samples(),
             tracking: self.filter.window_len() > 0,
@@ -108,10 +120,6 @@ impl BackendMode for Vio {
 
     fn reset(&mut self) {
         self.filter.reset();
-    }
-
-    fn name(&self) -> &'static str {
-        "vio"
     }
 }
 
@@ -169,7 +177,7 @@ mod tests {
                 position: true_pose.translation,
                 sigma: 0.5,
             }];
-            let report = vio.process(&BackendInput {
+            let report = vio.step(&BackendInput {
                 t,
                 observations: &observations,
                 imu: &imu,
@@ -192,6 +200,31 @@ mod tests {
     }
 
     #[test]
+    fn unanchored_segment_clears_sticky_anchor() {
+        let rig = rig();
+        let mut vio = Vio::new(VioConfig::default());
+        let anchored = Pose::new(Default::default(), Vec3::new(5.0, -2.0, 1.0));
+        vio.begin_segment(Some(PoseAnchor::stationary(anchored)));
+        let input = BackendInput {
+            t: 0.0,
+            observations: &[],
+            imu: &[],
+            gps: &[],
+            rig,
+        };
+        assert!(vio.step(&input).pose.translation_distance(anchored) < 1e-9);
+        // A new segment WITHOUT an anchor must start from identity, not
+        // from the previous segment's anchor.
+        vio.begin_segment(None);
+        let r = vio.step(&input);
+        assert!(
+            r.pose.translation.norm() < 1e-9,
+            "stale anchor leaked into unanchored segment: {:?}",
+            r.pose.translation
+        );
+    }
+
+    #[test]
     fn reset_reinitializes_on_next_frame() {
         let rig = rig();
         let mut vio = Vio::new(VioConfig::default());
@@ -203,11 +236,11 @@ mod tests {
             gps: &[],
             rig,
         };
-        let r1 = vio.process(&input);
+        let r1 = vio.step(&input);
         assert!((r1.pose.translation - Vec3::new(1.0, 2.0, 3.0)).norm() < 1e-9);
         vio.reset();
         assert!(!vio.filter().is_initialized());
-        let r2 = vio.process(&input);
+        let r2 = vio.step(&input);
         assert!((r2.pose.translation - Vec3::new(1.0, 2.0, 3.0)).norm() < 1e-9);
     }
 }

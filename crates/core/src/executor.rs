@@ -337,6 +337,7 @@ mod tests {
                 ],
                 pose: Pose::identity(),
                 ground_truth: Pose::identity(),
+                has_ground_truth: true,
                 tracking: true,
             });
         }

@@ -28,8 +28,13 @@ pub struct FrameRecord {
     pub backend_kernels: Vec<KernelSample>,
     /// Estimated pose.
     pub pose: Pose,
-    /// Ground-truth pose.
+    /// Ground-truth pose. Only meaningful when
+    /// [`has_ground_truth`](Self::has_ground_truth) is set; live streams
+    /// without a reference store the estimate here.
     pub ground_truth: Pose,
+    /// Whether the stream supplied a reference pose for this frame.
+    /// Error metrics skip frames without one.
+    pub has_ground_truth: bool,
     /// Whether the backend reported itself tracking.
     pub tracking: bool,
 }
@@ -59,8 +64,12 @@ impl FrameRecord {
             .sum()
     }
 
-    /// Translational error against ground truth (meters).
+    /// Translational error against ground truth (meters); `NaN` when the
+    /// frame carries no reference pose, matching the [`RunLog`] metrics.
     pub fn translation_error(&self) -> f64 {
+        if !self.has_ground_truth {
+            return f64::NAN;
+        }
         self.pose.translation_distance(self.ground_truth)
     }
 }
@@ -144,17 +153,34 @@ impl RunLog {
             .collect()
     }
 
-    /// Translation RMSE over the whole run (meters).
+    /// Records that carry a reference pose (error metrics use only
+    /// these; a live stream without ground truth has none).
+    fn referenced(&self) -> (Vec<Pose>, Vec<Pose>) {
+        self.records
+            .iter()
+            .filter(|r| r.has_ground_truth)
+            .map(|r| (r.pose, r.ground_truth))
+            .unzip()
+    }
+
+    /// Translation RMSE over the frames with a reference pose (meters).
+    /// `NaN` when no frame carries one — "no reference" must not read
+    /// as "zero error".
     pub fn translation_rmse(&self) -> f64 {
-        let est: Vec<Pose> = self.records.iter().map(|r| r.pose).collect();
-        let gt: Vec<Pose> = self.records.iter().map(|r| r.ground_truth).collect();
+        let (est, gt) = self.referenced();
+        if est.is_empty() {
+            return f64::NAN;
+        }
         metrics::translation_rmse(&est, &gt)
     }
 
-    /// Relative trajectory error (%).
+    /// Relative trajectory error (%) over the frames with a reference
+    /// pose; `NaN` when no frame carries one.
     pub fn relative_error_percent(&self) -> f64 {
-        let est: Vec<Pose> = self.records.iter().map(|r| r.pose).collect();
-        let gt: Vec<Pose> = self.records.iter().map(|r| r.ground_truth).collect();
+        let (est, gt) = self.referenced();
+        if est.is_empty() {
+            return f64::NAN;
+        }
         metrics::relative_error_percent(&est, &gt)
     }
 
@@ -194,6 +220,7 @@ mod tests {
             backend_kernels: kernels,
             pose: Pose::identity(),
             ground_truth: Pose::identity(),
+            has_ground_truth: true,
             tracking: true,
         }
     }

@@ -5,9 +5,14 @@
 //! registration, VIO and SLAM — according to the operating environment
 //! (Fig. 2 taxonomy: GPS availability × map availability). It provides:
 //!
+//! * [`session`] — the streaming API: a [`LocalizationSession`] fed one
+//!   `SensorEvent` at a time through a registry of pluggable
+//!   `Backend` estimators, and a [`SessionManager`] that round-robins
+//!   many concurrent agents;
 //! * [`mode`] — mode selection from the environment;
-//! * [`pipeline`] — the end-to-end per-frame pipeline over a dataset, with
-//!   full per-kernel instrumentation;
+//! * [`pipeline`] — the batch adapter: [`Eudoxus::process_dataset`]
+//!   replays a recorded dataset through a session, with full per-kernel
+//!   instrumentation;
 //! * [`instrument`] — the run log every experiment consumes;
 //! * [`executor`] — replay of a measured CPU run through the accelerator
 //!   models, producing the accelerated latency/energy numbers of
@@ -16,7 +21,10 @@
 //! * [`stats`] — summary statistics (mean/SD/RSD/percentiles);
 //! * [`mapping`] — building a persisted map via a SLAM pass.
 //!
-//! # Example
+//! # Batch example
+//!
+//! Replay a recorded dataset (the adapter drives the streaming session
+//! internally):
 //!
 //! ```no_run
 //! use eudoxus_core::{Eudoxus, PipelineConfig};
@@ -29,6 +37,41 @@
 //! let log = system.process_dataset(&dataset);
 //! println!("RMSE: {:.3} m", log.translation_rmse());
 //! ```
+//!
+//! # Streaming example
+//!
+//! Feed sensor events one at a time — the shape a live deployment uses
+//! (here the events come from a replayed dataset):
+//!
+//! ```no_run
+//! use eudoxus_core::{LocalizationSession, PipelineConfig};
+//! use eudoxus_sim::{ScenarioBuilder, ScenarioKind};
+//!
+//! let dataset = ScenarioBuilder::new(ScenarioKind::OutdoorUnknown)
+//!     .frames(30)
+//!     .build();
+//! let mut session = LocalizationSession::new(PipelineConfig::default());
+//! for event in dataset.events() {
+//!     if let Some(record) = session.push(event) {
+//!         println!("frame {} via {}: {:?}", record.index, record.mode, record.pose);
+//!     }
+//! }
+//! ```
+//!
+//! # Migrating from the pre-streaming API
+//!
+//! [`Eudoxus`] no longer exposes its concrete estimators (the old direct
+//! `vio`/`slam`/`registration` fields and the `slam()` accessor are
+//! gone): estimators live in the session's registry behind the
+//! `eudoxus_backend::Backend` trait. Use
+//! [`Eudoxus::persisted_map`] to export a SLAM map,
+//! [`Eudoxus::session_mut`] to register custom backends, and
+//! `session().backend(mode)` for read access to a specific estimator.
+//! In `eudoxus_backend`, the old `BackendMode` *trait*
+//! (`process`/`reset`/`name`) became the `Backend` trait
+//! (`begin_segment`/`step`/`reset`/`mode`), `BackendMode` is now the
+//! estimator-family *enum*, and `BackendReport` was renamed
+//! `BackendEstimate`.
 
 pub mod executor;
 pub mod instrument;
@@ -36,6 +79,7 @@ pub mod mapping;
 pub mod metrics;
 pub mod mode;
 pub mod pipeline;
+pub mod session;
 pub mod stats;
 
 pub use executor::{AcceleratedFrame, AcceleratedRun, Executor};
@@ -44,4 +88,9 @@ pub use mapping::build_map;
 pub use metrics::{relative_error_percent, translation_rmse};
 pub use mode::Mode;
 pub use pipeline::{Eudoxus, PipelineConfig};
+pub use session::{LocalizationSession, SessionManager};
 pub use stats::Summary;
+
+// The streaming event types, re-exported so session consumers need only
+// this crate.
+pub use eudoxus_sim::{ImageEvent, SensorEvent};

@@ -31,6 +31,32 @@ impl Mode {
     }
 }
 
+// `Mode` (the environment-selection vocabulary, tied to `eudoxus_sim`)
+// and `eudoxus_backend::BackendMode` (the estimator-registry vocabulary)
+// intentionally stay separate enums: the backend crate cannot name the
+// simulator's `Environment`, and keeping the serving-side type free of
+// selection policy lets third-party backends depend on `eudoxus-backend`
+// alone. These conversions are the only coupling point.
+impl From<eudoxus_backend::BackendMode> for Mode {
+    fn from(mode: eudoxus_backend::BackendMode) -> Mode {
+        match mode {
+            eudoxus_backend::BackendMode::Registration => Mode::Registration,
+            eudoxus_backend::BackendMode::Vio => Mode::Vio,
+            eudoxus_backend::BackendMode::Slam => Mode::Slam,
+        }
+    }
+}
+
+impl From<Mode> for eudoxus_backend::BackendMode {
+    fn from(mode: Mode) -> eudoxus_backend::BackendMode {
+        match mode {
+            Mode::Registration => eudoxus_backend::BackendMode::Registration,
+            Mode::Vio => eudoxus_backend::BackendMode::Vio,
+            Mode::Slam => eudoxus_backend::BackendMode::Slam,
+        }
+    }
+}
+
 impl fmt::Display for Mode {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         let s = match self {
@@ -61,5 +87,13 @@ mod tests {
     fn display_names() {
         assert_eq!(Mode::Slam.to_string(), "slam");
         assert_eq!(Mode::ALL.len(), 3);
+    }
+
+    #[test]
+    fn backend_mode_roundtrip() {
+        use eudoxus_backend::BackendMode;
+        for mode in Mode::ALL {
+            assert_eq!(Mode::from(BackendMode::from(mode)), mode);
+        }
     }
 }

@@ -1,20 +1,22 @@
-//! The end-to-end unified localization pipeline (paper Fig. 4).
+//! The end-to-end unified localization pipeline (paper Fig. 4), as a
+//! batch adapter over the streaming API.
 //!
-//! Per frame: the shared frontend extracts and matches features; the
-//! environment selects the backend mode; the chosen backend consumes the
-//! correspondences plus the IMU/GPS windows. Estimators reset at dataset
-//! segment boundaries (mixed datasets are concatenations of independent
-//! traversals — see `eudoxus_sim::Dataset::concat`).
+//! [`Eudoxus`] owns a single [`LocalizationSession`] and replays a
+//! recorded [`Dataset`] into it via [`Dataset::events`]: per frame, the
+//! shared frontend extracts and matches features, the environment selects
+//! the backend mode through the session's estimator registry, and the
+//! chosen backend consumes the correspondences plus the IMU/GPS windows.
+//! Estimators reset at dataset segment boundaries (mixed datasets are
+//! concatenations of independent traversals — see
+//! `eudoxus_sim::Dataset::concat`), which arrive as
+//! [`SensorEvent::SegmentBoundary`](eudoxus_sim::SensorEvent) events.
 
-use crate::instrument::{FrameRecord, RunLog};
+use crate::instrument::RunLog;
 use crate::mode::Mode;
-use eudoxus_backend::{
-    BackendInput, BackendMode, GpsFix, ImuReading, Registration, RegistrationConfig, Slam,
-    SlamConfig, Vio, VioConfig, WorldMap,
-};
-use eudoxus_frontend::{Frontend, FrontendConfig};
-use eudoxus_geometry::Vec3;
-use eudoxus_sim::{Dataset, FrameData};
+use crate::session::LocalizationSession;
+use eudoxus_backend::{RegistrationConfig, SlamConfig, VioConfig, WorldMap};
+use eudoxus_frontend::FrontendConfig;
+use eudoxus_sim::Dataset;
 
 /// Configuration of the full pipeline.
 #[derive(Debug, Clone, Default)]
@@ -27,9 +29,12 @@ pub struct PipelineConfig {
     pub slam: SlamConfig,
     /// Registration settings (only used when a map is installed).
     pub registration: RegistrationConfig,
-    /// Initialize estimators from the dataset's first ground-truth pose of
-    /// each segment (standard evaluation practice; VIO otherwise
-    /// estimates a relative trajectory from identity).
+    /// Apply the anchors carried by segment-boundary events when
+    /// initializing estimators. In dataset replay the anchor is the
+    /// segment's first ground-truth pose (standard evaluation practice);
+    /// a live producer doing an estimator hand-off must also enable this
+    /// for its anchors to take effect. Off (the default), every segment
+    /// starts from identity and VIO estimates a relative trajectory.
     pub anchor_to_ground_truth: bool,
 }
 
@@ -43,22 +48,19 @@ impl PipelineConfig {
     }
 }
 
-/// The unified localization system.
+/// The unified localization system, batch flavor: a thin adapter that
+/// replays datasets through a [`LocalizationSession`].
+///
+/// Prefer driving a [`LocalizationSession`] directly (or a
+/// [`SessionManager`](crate::session::SessionManager) for many agents)
+/// when the input is a live stream rather than a recorded dataset.
 pub struct Eudoxus {
-    config: PipelineConfig,
-    frontend: Frontend,
-    vio: Vio,
-    slam: Slam,
-    registration: Option<Registration>,
+    session: LocalizationSession,
 }
 
 impl std::fmt::Debug for Eudoxus {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(
-            f,
-            "Eudoxus(map: {})",
-            if self.registration.is_some() { "yes" } else { "no" }
-        )
+        write!(f, "Eudoxus({:?})", self.session)
     }
 }
 
@@ -67,128 +69,55 @@ impl Eudoxus {
     /// mode selector then falls back to SLAM for indoor-known segments).
     pub fn new(config: PipelineConfig) -> Self {
         Eudoxus {
-            frontend: Frontend::new(config.frontend),
-            vio: Vio::new(config.vio),
-            slam: Slam::new(config.slam),
-            registration: None,
-            config,
+            session: LocalizationSession::new(config),
         }
     }
 
     /// Installs a persisted map, enabling registration mode.
     pub fn with_map(mut self, map: WorldMap) -> Self {
-        self.registration = Some(Registration::new(map, self.config.registration));
+        self.session = self.session.with_map(map);
         self
     }
 
-    /// Read access to the SLAM backend (map persistence).
-    pub fn slam(&self) -> &Slam {
-        &self.slam
+    /// Read access to the underlying streaming session (estimator
+    /// registry, persisted map, …).
+    pub fn session(&self) -> &LocalizationSession {
+        &self.session
     }
 
-    /// The mode that will run for a frame in `env`, given map
-    /// availability.
+    /// Mutable access to the underlying session (e.g. to register a
+    /// custom backend before replaying).
+    pub fn session_mut(&mut self) -> &mut LocalizationSession {
+        &mut self.session
+    }
+
+    /// The map persisted by the session's mapping backend (SLAM), if any.
+    pub fn persisted_map(&self) -> Option<WorldMap> {
+        self.session.persisted_map()
+    }
+
+    /// The mode that will run for a frame in `env`, given the registered
+    /// backends (e.g. map availability).
     pub fn effective_mode(&self, env: eudoxus_sim::Environment) -> Mode {
-        let preferred = Mode::for_environment(env);
-        if preferred == Mode::Registration && self.registration.is_none() {
-            // No map installed: the indoor-known segment degrades to SLAM.
-            Mode::Slam
-        } else {
-            preferred
-        }
+        self.session.effective_mode(env)
     }
 
     /// Resets all estimators (segment boundary).
     pub fn reset(&mut self) {
-        self.frontend.reset();
-        self.vio.reset();
-        self.slam.reset();
-        if let Some(reg) = &mut self.registration {
-            reg.reset();
-        }
+        self.session.reset();
     }
 
-    /// Processes one frame, returning its instrumentation record.
-    pub fn process_frame(&mut self, dataset: &Dataset, frame: &FrameData) -> FrameRecord {
-        let i = frame.index;
-        if dataset.is_segment_start(i) {
-            self.reset();
-            if self.config.anchor_to_ground_truth {
-                let gt = dataset.ground_truth[i];
-                // Velocity from the first two ground-truth poses.
-                let vel = if i + 1 < dataset.ground_truth.len() {
-                    (dataset.ground_truth[i + 1].translation - gt.translation)
-                        * dataset.fps
-                } else {
-                    Vec3::zero()
-                };
-                self.vio.set_initial_state(gt, vel);
-                self.slam.set_initial_pose(gt);
-            }
-        }
-
-        // Shared frontend.
-        let fe = self.frontend.process(&frame.left, &frame.right);
-
-        // Sensor windows since the previous frame.
-        let t_prev = if i == 0 { -1.0 } else { dataset.frames[i - 1].t };
-        let imu: Vec<ImuReading> = dataset
-            .imu_between(t_prev, frame.t)
-            .iter()
-            .map(|s| ImuReading {
-                t: s.t,
-                gyro: s.gyro,
-                accel: s.accel,
-            })
-            .collect();
-        let gps: Vec<GpsFix> = dataset
-            .gps_between(t_prev, frame.t)
-            .iter()
-            .map(|s| GpsFix {
-                t: s.t,
-                position: s.position,
-                sigma: s.sigma,
-            })
-            .collect();
-
-        let input = BackendInput {
-            t: frame.t,
-            observations: &fe.observations,
-            imu: &imu,
-            gps: &gps,
-            rig: dataset.rig,
-        };
-
-        let mode = self.effective_mode(frame.environment);
-        let report = match mode {
-            Mode::Vio => self.vio.process(&input),
-            Mode::Slam => self.slam.process(&input),
-            Mode::Registration => self
-                .registration
-                .as_mut()
-                .expect("effective_mode guarantees a map")
-                .process(&input),
-        };
-
-        FrameRecord {
-            index: i,
-            t: frame.t,
-            environment: frame.environment,
-            mode,
-            frontend_timing: fe.timing,
-            frontend_stats: fe.stats,
-            backend_kernels: report.kernels,
-            pose: report.pose,
-            ground_truth: dataset.ground_truth[i],
-            tracking: report.tracking,
-        }
-    }
-
-    /// Processes a whole dataset, producing the run log.
+    /// Processes a whole dataset by replaying it as an event stream,
+    /// producing the run log.
     pub fn process_dataset(&mut self, dataset: &Dataset) -> RunLog {
+        // Each replay's records are indexed from 0, like the dataset's
+        // frames (a session fed live events instead counts monotonically).
+        self.session.rebase_frame_index(0);
         let mut log = RunLog::new();
-        for frame in &dataset.frames {
-            log.records.push(self.process_frame(dataset, frame));
+        for event in dataset.events() {
+            if let Some(record) = self.session.push(event) {
+                log.records.push(record);
+            }
         }
         log
     }
@@ -283,5 +212,16 @@ mod tests {
             );
         }
         assert!(log.latency_summary(None).mean > 0.0);
+    }
+
+    #[test]
+    fn repeated_replays_restart_frame_indices() {
+        let data = dataset(ScenarioKind::OutdoorUnknown, 3);
+        let mut system = Eudoxus::new(PipelineConfig::anchored());
+        let first = system.process_dataset(&data);
+        let second = system.process_dataset(&data);
+        assert_eq!(first.records[0].index, 0);
+        assert_eq!(second.records[0].index, 0);
+        assert_eq!(second.records.last().unwrap().index, 2);
     }
 }

@@ -36,7 +36,7 @@ fn sampling_pattern() -> &'static [((f32, f32), (f32, f32)); 256] {
     static PATTERN: OnceLock<[((f32, f32), (f32, f32)); 256]> = OnceLock::new();
     PATTERN.get_or_init(|| {
         // xorshift64* PRNG — fixed seed, so every build uses one pattern.
-        let mut state = 0x9E3779B97F4A7C15u64;
+        let mut state = 0x9E37_79B9_7F4A_7C15u64;
         let mut next = move || {
             state ^= state >> 12;
             state ^= state << 25;

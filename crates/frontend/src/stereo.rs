@@ -149,7 +149,7 @@ pub fn match_stereo(
     }
 
     // Enforce one-to-one on right features: keep the smallest distance.
-    proposals.sort_by(|a, b| a.distance.cmp(&b.distance));
+    proposals.sort_by_key(|m| m.distance);
     let mut right_used = vec![false; right_features.len()];
     let mut accepted: Vec<StereoMatch> = Vec::new();
     for m in proposals {
@@ -158,7 +158,7 @@ pub fn match_stereo(
             accepted.push(m);
         }
     }
-    accepted.sort_by(|a, b| a.left_index.cmp(&b.left_index));
+    accepted.sort_by_key(|m| m.left_index);
     accepted
 }
 

@@ -28,7 +28,7 @@ pub mod vec;
 
 pub use camera::{PinholeCamera, StereoRig};
 pub use mat3::Mat3;
-pub use pose::Pose;
+pub use pose::{Pose, PoseAnchor};
 pub use quaternion::Quaternion;
 pub use so3::{exp_so3, log_so3};
 pub use triangulate::{triangulate_multi_view, triangulate_stereo, TriangulationError};

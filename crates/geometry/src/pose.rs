@@ -143,6 +143,32 @@ impl Mul for Pose {
     }
 }
 
+/// A known kinematic state — pose plus linear velocity — used to anchor an
+/// estimator at the start of a trajectory segment (e.g. the surveyed start
+/// of an evaluation run, or a hand-off point between estimators).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PoseAnchor {
+    /// Body pose at the anchor instant.
+    pub pose: Pose,
+    /// World-frame linear velocity at the anchor instant (m/s).
+    pub velocity: Vec3,
+}
+
+impl PoseAnchor {
+    /// Anchor with a known velocity.
+    pub fn new(pose: Pose, velocity: Vec3) -> Self {
+        PoseAnchor { pose, velocity }
+    }
+
+    /// Anchor at rest.
+    pub fn stationary(pose: Pose) -> Self {
+        PoseAnchor {
+            pose,
+            velocity: Vec3::zero(),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

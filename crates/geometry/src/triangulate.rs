@@ -175,7 +175,7 @@ pub fn triangulate_multi_view(
             Ok(s) => s,
             Err(_) => return Err(TriangulationError::Degenerate),
         };
-        point = point - Vec3::new(step[0], step[1], step[2]);
+        point -= Vec3::new(step[0], step[1], step[2]);
         if step.norm() < 1e-10 {
             break;
         }

@@ -35,6 +35,7 @@ impl Vector {
     }
 
     /// Creates a vector by collecting an iterator.
+    #[allow(clippy::should_implement_trait)] // inherent ctor predates the lint; callers rely on it
     pub fn from_iter(it: impl IntoIterator<Item = f64>) -> Self {
         Vector {
             data: it.into_iter().collect(),

@@ -36,7 +36,7 @@ pub mod scenario;
 pub mod trajectory;
 pub mod world;
 
-pub use dataset::{Dataset, FrameData};
+pub use dataset::{Dataset, FrameData, ImageEvent, SensorEvent};
 pub use environment::Environment;
 pub use gps::{GpsModel, GpsSample};
 pub use imu::{ImuModel, ImuSample};

@@ -216,7 +216,7 @@ fn build_segment(
     let rig = platform.rig();
     let cfg = platform.render_config();
     let duration = frames as f64 / fps;
-    let mut rng = SimRng::seed_from(seed ^ 0xE0D0_05);
+    let mut rng = SimRng::seed_from(seed ^ 0xE0_D0_05);
 
     // World + trajectory per environment/platform.
     let (world, trajectory): (World, Box<dyn Trajectory>) = if env.is_indoor() {

@@ -1,0 +1,183 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The build environment has no access to a crate registry, so this shim
+//! provides the subset of the `rand` API the workspace uses: a seedable
+//! deterministic [`rngs::StdRng`], the [`SeedableRng`] constructor and the
+//! [`RngExt`] extension trait with `random`/`random_range`.
+//!
+//! The generator is SplitMix64: statistically solid for simulation and
+//! test-corpus generation, bit-reproducible across platforms, and with a
+//! trivially auditable implementation. It does **not** match the stream of
+//! the real `rand::rngs::StdRng` (ChaCha12) — nothing in this workspace
+//! depends on the concrete stream, only on determinism per seed.
+
+/// Low-level source of random 64-bit words.
+pub trait RngCore {
+    /// Next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Construction from a seed.
+pub trait SeedableRng: Sized {
+    /// Creates a generator deterministically from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Types that can be produced uniformly from raw generator output.
+pub trait StandardUniform: Sized {
+    /// Draws one value from the full domain of the type.
+    fn draw(rng: &mut dyn RngCore) -> Self;
+}
+
+impl StandardUniform for u64 {
+    fn draw(rng: &mut dyn RngCore) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl StandardUniform for u32 {
+    fn draw(rng: &mut dyn RngCore) -> Self {
+        (rng.next_u64() >> 32) as u32
+    }
+}
+
+impl StandardUniform for f64 {
+    fn draw(rng: &mut dyn RngCore) -> Self {
+        // 53 mantissa bits -> [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// Types that can be sampled uniformly from a half-open range.
+pub trait SampleUniform: Copy + PartialOrd {
+    /// Uniform draw from `[lo, hi)`.
+    fn sample(lo: Self, hi: Self, rng: &mut dyn RngCore) -> Self;
+}
+
+/// Unbiased uniform integer in `[0, span)` by rejection sampling.
+fn uniform_u64_below(span: u64, rng: &mut dyn RngCore) -> u64 {
+    debug_assert!(span > 0);
+    let zone = u64::MAX - (u64::MAX - span + 1) % span;
+    loop {
+        let v = rng.next_u64();
+        if v <= zone {
+            return v % span;
+        }
+    }
+}
+
+macro_rules! impl_sample_uniform_int {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample(lo: Self, hi: Self, rng: &mut dyn RngCore) -> Self {
+                assert!(lo < hi, "cannot sample empty range");
+                let span = (hi as i128 - lo as i128) as u64;
+                lo.wrapping_add(uniform_u64_below(span, rng) as $t)
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform_int!(usize, u64, u32, i64, i32);
+
+impl SampleUniform for f64 {
+    fn sample(lo: Self, hi: Self, rng: &mut dyn RngCore) -> Self {
+        assert!(lo < hi, "cannot sample empty range");
+        let unit = f64::draw(rng);
+        let v = lo + (hi - lo) * unit;
+        // Floating rounding can land exactly on `hi`; clamp back inside.
+        if v >= hi {
+            lo.max(hi - (hi - lo) * f64::EPSILON)
+        } else {
+            v
+        }
+    }
+}
+
+/// User-facing convenience methods (the rand 0.9 `Rng`, renamed `RngExt`
+/// upstream).
+pub trait RngExt: RngCore {
+    /// Draws a value covering the type's full domain.
+    fn random<T: StandardUniform>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::draw(self)
+    }
+
+    /// Uniform draw from a half-open range.
+    fn random_range<T: SampleUniform>(&mut self, range: std::ops::Range<T>) -> T
+    where
+        Self: Sized,
+    {
+        T::sample(range.start, range.end, self)
+    }
+}
+
+impl<R: RngCore> RngExt for R {}
+
+pub mod rngs {
+    //! Concrete generators.
+
+    use super::{RngCore, SeedableRng};
+
+    /// Deterministic 64-bit-state generator (SplitMix64).
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            StdRng { state: seed }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{RngExt, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.random::<u64>(), b.random::<u64>());
+        }
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let f = rng.random_range(-2.0f64..3.0);
+            assert!((-2.0..3.0).contains(&f));
+            let u = rng.random_range(0usize..17);
+            assert!(u < 17);
+            let i = rng.random_range(-5i32..5);
+            assert!((-5..5).contains(&i));
+        }
+    }
+
+    #[test]
+    fn small_ranges_hit_every_value() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut seen = [false; 4];
+        for _ in 0..200 {
+            seen[rng.random_range(0usize..4)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+}

@@ -25,6 +25,9 @@
 //!
 //! # Quickstart
 //!
+//! Batch: replay a recorded dataset through the unified pipeline (a thin
+//! adapter over the streaming session).
+//!
 //! ```no_run
 //! use eudoxus::prelude::*;
 //!
@@ -37,6 +40,28 @@
 //! let log = system.process_dataset(&dataset);
 //! println!("RMSE {:.3} m at {:.1} FPS", log.translation_rmse(), log.fps());
 //! ```
+//!
+//! Streaming: feed sensor events one at a time into a
+//! [`LocalizationSession`](eudoxus_core::LocalizationSession) — the shape
+//! a live deployment uses. `Dataset::events()` replays a dataset as such
+//! a stream; a `SessionManager` serves many agents concurrently.
+//!
+//! ```no_run
+//! use eudoxus::prelude::*;
+//!
+//! let dataset = ScenarioBuilder::new(ScenarioKind::Mixed).frames(20).build();
+//! let mut session = LocalizationSession::new(PipelineConfig::anchored());
+//! for event in dataset.events() {
+//!     if let Some(record) = session.push(event) {
+//!         println!("frame {} ran {}", record.index, record.mode);
+//!     }
+//! }
+//! ```
+//!
+//! Since the streaming redesign, `Eudoxus` no longer exposes concrete
+//! estimator fields — backends are registered behind the
+//! [`Backend`](eudoxus_backend::Backend) trait (see the `eudoxus_core`
+//! module docs for the migration notes).
 
 pub use eudoxus_accel as accel;
 pub use eudoxus_backend as backend;
@@ -51,12 +76,17 @@ pub use eudoxus_vocab as vocab;
 /// The most common imports, in one place.
 pub mod prelude {
     pub use eudoxus_accel::{Platform, PlatformKind};
-    pub use eudoxus_backend::{BackendMode, WorldMap};
+    pub use eudoxus_backend::{Backend, BackendMode, WorldMap};
     pub use eudoxus_core::executor::{Executor, OffloadPolicy};
-    pub use eudoxus_core::{build_map, Eudoxus, Mode, PipelineConfig, RunLog, Summary};
+    pub use eudoxus_core::{
+        build_map, Eudoxus, LocalizationSession, Mode, PipelineConfig, RunLog, SessionManager,
+        Summary,
+    };
     pub use eudoxus_frontend::{Frontend, FrontendConfig};
-    pub use eudoxus_geometry::{Pose, Vec3};
-    pub use eudoxus_sim::{Dataset, Environment, ScenarioBuilder, ScenarioKind};
+    pub use eudoxus_geometry::{Pose, PoseAnchor, Vec3};
+    pub use eudoxus_sim::{
+        Dataset, Environment, ScenarioBuilder, ScenarioKind, SensorEvent,
+    };
 }
 
 #[cfg(test)]

@@ -1,0 +1,106 @@
+//! Streaming/batch equivalence: feeding `Dataset::events()` one event at
+//! a time into a `LocalizationSession` must produce exactly the run the
+//! batch adapter (`Eudoxus::process_dataset`) produces — same modes, same
+//! poses, bit for bit. This is the contract that lets every recorded-data
+//! experiment stand in for the live streaming deployment.
+
+use eudoxus_core::{Eudoxus, FrameRecord, LocalizationSession, PipelineConfig};
+use eudoxus_sim::{Dataset, Platform, ScenarioBuilder, ScenarioKind};
+
+/// Exact bit pattern of a pose (bit-identical comparison, immune to the
+/// `-0.0 == 0.0` and NaN pitfalls of float equality).
+fn pose_bits(pose: &eudoxus_geometry::Pose) -> [u64; 7] {
+    [
+        pose.translation.x.to_bits(),
+        pose.translation.y.to_bits(),
+        pose.translation.z.to_bits(),
+        pose.rotation.w.to_bits(),
+        pose.rotation.x.to_bits(),
+        pose.rotation.y.to_bits(),
+        pose.rotation.z.to_bits(),
+    ]
+}
+
+fn dataset(kind: ScenarioKind, frames: usize, seed: u64) -> Dataset {
+    ScenarioBuilder::new(kind)
+        .frames(frames)
+        .seed(seed)
+        .platform(Platform::Drone)
+        .build()
+}
+
+/// Pushes the dataset's event stream one event at a time.
+fn stream_records(session: &mut LocalizationSession, data: &Dataset) -> Vec<FrameRecord> {
+    let mut records = Vec::new();
+    for event in data.events() {
+        if let Some(record) = session.push(event) {
+            records.push(record);
+        }
+    }
+    records
+}
+
+/// Asserts the streaming replay matches the batch run bit for bit on the
+/// deterministic fields (wall-clock kernel timings legitimately differ).
+fn assert_equivalent(kind: ScenarioKind, frames: usize, seed: u64) {
+    let data = dataset(kind, frames, seed);
+
+    let mut batch = Eudoxus::new(PipelineConfig::anchored());
+    let batch_log = batch.process_dataset(&data);
+
+    let mut session = LocalizationSession::new(PipelineConfig::anchored());
+    let streamed = stream_records(&mut session, &data);
+
+    assert_eq!(batch_log.len(), streamed.len(), "{kind:?}: frame count");
+    for (b, s) in batch_log.records.iter().zip(&streamed) {
+        assert_eq!(b.index, s.index, "{kind:?}: index");
+        assert_eq!(b.mode, s.mode, "{kind:?}: mode at frame {}", b.index);
+        assert_eq!(
+            pose_bits(&b.pose),
+            pose_bits(&s.pose),
+            "{kind:?}: pose bits at frame {}",
+            b.index
+        );
+        assert_eq!(b.tracking, s.tracking, "{kind:?}: tracking at {}", b.index);
+        assert_eq!(
+            b.environment, s.environment,
+            "{kind:?}: environment at {}",
+            b.index
+        );
+    }
+}
+
+#[test]
+fn outdoor_stream_matches_batch() {
+    assert_equivalent(ScenarioKind::OutdoorUnknown, 8, 11);
+}
+
+#[test]
+fn indoor_unknown_stream_matches_batch() {
+    assert_equivalent(ScenarioKind::IndoorUnknown, 8, 13);
+}
+
+#[test]
+fn mixed_stream_matches_batch() {
+    // Mixed datasets exercise segment boundaries mid-stream: estimator
+    // resets and re-anchoring must line up exactly with the batch path.
+    assert_equivalent(ScenarioKind::Mixed, 12, 3);
+}
+
+#[test]
+fn registration_stream_matches_batch() {
+    let data = dataset(ScenarioKind::IndoorKnown, 6, 7);
+    let map = eudoxus_core::build_map(&data, &PipelineConfig::anchored());
+
+    let mut batch = Eudoxus::new(PipelineConfig::anchored()).with_map(map.clone());
+    let batch_log = batch.process_dataset(&data);
+
+    let mut session = LocalizationSession::new(PipelineConfig::anchored()).with_map(map);
+    let streamed = stream_records(&mut session, &data);
+
+    assert_eq!(batch_log.len(), streamed.len());
+    for (b, s) in batch_log.records.iter().zip(&streamed) {
+        assert_eq!(b.mode, s.mode);
+        assert_eq!(pose_bits(&b.pose), pose_bits(&s.pose));
+    }
+}
