@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/accelerated_replay-0f2840ab67383f78.d: tests/accelerated_replay.rs Cargo.toml
+
+/root/repo/target/debug/deps/libaccelerated_replay-0f2840ab67383f78.rmeta: tests/accelerated_replay.rs Cargo.toml
+
+tests/accelerated_replay.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

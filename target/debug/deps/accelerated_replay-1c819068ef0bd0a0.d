@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/accelerated_replay-1c819068ef0bd0a0.d: tests/accelerated_replay.rs
+
+/root/repo/target/debug/deps/accelerated_replay-1c819068ef0bd0a0: tests/accelerated_replay.rs
+
+tests/accelerated_replay.rs:

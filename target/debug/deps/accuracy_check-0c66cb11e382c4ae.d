@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/accuracy_check-0c66cb11e382c4ae.d: crates/bench/src/bin/accuracy_check.rs Cargo.toml
+
+/root/repo/target/debug/deps/libaccuracy_check-0c66cb11e382c4ae.rmeta: crates/bench/src/bin/accuracy_check.rs Cargo.toml
+
+crates/bench/src/bin/accuracy_check.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

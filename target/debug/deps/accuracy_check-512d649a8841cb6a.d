@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/accuracy_check-512d649a8841cb6a.d: crates/bench/src/bin/accuracy_check.rs
+
+/root/repo/target/debug/deps/accuracy_check-512d649a8841cb6a: crates/bench/src/bin/accuracy_check.rs
+
+crates/bench/src/bin/accuracy_check.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/accuracy_check-87fc562f006c1767.d: crates/bench/src/bin/accuracy_check.rs
+
+/root/repo/target/debug/deps/accuracy_check-87fc562f006c1767: crates/bench/src/bin/accuracy_check.rs
+
+crates/bench/src/bin/accuracy_check.rs:

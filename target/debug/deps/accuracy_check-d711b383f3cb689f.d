@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/accuracy_check-d711b383f3cb689f.d: crates/bench/src/bin/accuracy_check.rs
+
+/root/repo/target/debug/deps/libaccuracy_check-d711b383f3cb689f.rmeta: crates/bench/src/bin/accuracy_check.rs
+
+crates/bench/src/bin/accuracy_check.rs:

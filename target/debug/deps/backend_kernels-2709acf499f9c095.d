@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/backend_kernels-2709acf499f9c095.d: crates/bench/benches/backend_kernels.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbackend_kernels-2709acf499f9c095.rmeta: crates/bench/benches/backend_kernels.rs Cargo.toml
+
+crates/bench/benches/backend_kernels.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

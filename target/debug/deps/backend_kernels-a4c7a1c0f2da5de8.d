@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/backend_kernels-a4c7a1c0f2da5de8.d: crates/bench/benches/backend_kernels.rs
+
+/root/repo/target/debug/deps/backend_kernels-a4c7a1c0f2da5de8: crates/bench/benches/backend_kernels.rs
+
+crates/bench/benches/backend_kernels.rs:

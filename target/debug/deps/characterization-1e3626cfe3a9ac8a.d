@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/characterization-1e3626cfe3a9ac8a.d: crates/bench/src/bin/characterization.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcharacterization-1e3626cfe3a9ac8a.rmeta: crates/bench/src/bin/characterization.rs Cargo.toml
+
+crates/bench/src/bin/characterization.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/characterization-1f138f1e0567d5f2.d: crates/bench/src/bin/characterization.rs
+
+/root/repo/target/debug/deps/characterization-1f138f1e0567d5f2: crates/bench/src/bin/characterization.rs
+
+crates/bench/src/bin/characterization.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/characterization-5a9735793eb18311.d: crates/bench/src/bin/characterization.rs
+
+/root/repo/target/debug/deps/libcharacterization-5a9735793eb18311.rmeta: crates/bench/src/bin/characterization.rs
+
+crates/bench/src/bin/characterization.rs:

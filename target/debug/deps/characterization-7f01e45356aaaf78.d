@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/characterization-7f01e45356aaaf78.d: crates/bench/src/bin/characterization.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcharacterization-7f01e45356aaaf78.rmeta: crates/bench/src/bin/characterization.rs Cargo.toml
+
+crates/bench/src/bin/characterization.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

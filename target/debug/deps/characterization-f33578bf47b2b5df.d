@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/characterization-f33578bf47b2b5df.d: crates/bench/src/bin/characterization.rs
+
+/root/repo/target/debug/deps/characterization-f33578bf47b2b5df: crates/bench/src/bin/characterization.rs
+
+crates/bench/src/bin/characterization.rs:

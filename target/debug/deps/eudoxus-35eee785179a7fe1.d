@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/eudoxus-35eee785179a7fe1.d: src/lib.rs
+
+/root/repo/target/debug/deps/libeudoxus-35eee785179a7fe1.rmeta: src/lib.rs
+
+src/lib.rs:

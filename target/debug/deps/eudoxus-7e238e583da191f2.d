@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/eudoxus-7e238e583da191f2.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libeudoxus-7e238e583da191f2.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

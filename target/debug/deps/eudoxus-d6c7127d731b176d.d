@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/eudoxus-d6c7127d731b176d.d: src/lib.rs
+
+/root/repo/target/debug/deps/eudoxus-d6c7127d731b176d: src/lib.rs
+
+src/lib.rs:

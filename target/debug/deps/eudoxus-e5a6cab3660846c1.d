@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/eudoxus-e5a6cab3660846c1.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libeudoxus-e5a6cab3660846c1.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/eudoxus-f3fd879bc289f237.d: src/lib.rs
+
+/root/repo/target/debug/deps/libeudoxus-f3fd879bc289f237.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libeudoxus-f3fd879bc289f237.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,19 @@
+/root/repo/target/debug/deps/eudoxus_accel-3eee1f510288a6a8.d: crates/accel/src/lib.rs crates/accel/src/backend_engine.rs crates/accel/src/baselines.rs crates/accel/src/energy.rs crates/accel/src/frontend_engine.rs crates/accel/src/memory.rs crates/accel/src/platform.rs crates/accel/src/resources.rs crates/accel/src/scheduler.rs crates/accel/src/stencil.rs crates/accel/src/workload.rs Cargo.toml
+
+/root/repo/target/debug/deps/libeudoxus_accel-3eee1f510288a6a8.rmeta: crates/accel/src/lib.rs crates/accel/src/backend_engine.rs crates/accel/src/baselines.rs crates/accel/src/energy.rs crates/accel/src/frontend_engine.rs crates/accel/src/memory.rs crates/accel/src/platform.rs crates/accel/src/resources.rs crates/accel/src/scheduler.rs crates/accel/src/stencil.rs crates/accel/src/workload.rs Cargo.toml
+
+crates/accel/src/lib.rs:
+crates/accel/src/backend_engine.rs:
+crates/accel/src/baselines.rs:
+crates/accel/src/energy.rs:
+crates/accel/src/frontend_engine.rs:
+crates/accel/src/memory.rs:
+crates/accel/src/platform.rs:
+crates/accel/src/resources.rs:
+crates/accel/src/scheduler.rs:
+crates/accel/src/stencil.rs:
+crates/accel/src/workload.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,20 @@
+/root/repo/target/debug/deps/eudoxus_backend-c4d68c808eeba2c1.d: crates/backend/src/lib.rs crates/backend/src/fusion.rs crates/backend/src/kernels.rs crates/backend/src/map.rs crates/backend/src/msckf.rs crates/backend/src/pose_opt.rs crates/backend/src/registration.rs crates/backend/src/slam/mod.rs crates/backend/src/slam/ba.rs crates/backend/src/slam/loopclose.rs crates/backend/src/types.rs crates/backend/src/vio.rs Cargo.toml
+
+/root/repo/target/debug/deps/libeudoxus_backend-c4d68c808eeba2c1.rmeta: crates/backend/src/lib.rs crates/backend/src/fusion.rs crates/backend/src/kernels.rs crates/backend/src/map.rs crates/backend/src/msckf.rs crates/backend/src/pose_opt.rs crates/backend/src/registration.rs crates/backend/src/slam/mod.rs crates/backend/src/slam/ba.rs crates/backend/src/slam/loopclose.rs crates/backend/src/types.rs crates/backend/src/vio.rs Cargo.toml
+
+crates/backend/src/lib.rs:
+crates/backend/src/fusion.rs:
+crates/backend/src/kernels.rs:
+crates/backend/src/map.rs:
+crates/backend/src/msckf.rs:
+crates/backend/src/pose_opt.rs:
+crates/backend/src/registration.rs:
+crates/backend/src/slam/mod.rs:
+crates/backend/src/slam/ba.rs:
+crates/backend/src/slam/loopclose.rs:
+crates/backend/src/types.rs:
+crates/backend/src/vio.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/eudoxus_bench-09fa519cefdd606d.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/eudoxus_bench-09fa519cefdd606d: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/eudoxus_bench-4db563ffa01da5d1.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libeudoxus_bench-4db563ffa01da5d1.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/eudoxus_bench-a2a1e689649d151a.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libeudoxus_bench-a2a1e689649d151a.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

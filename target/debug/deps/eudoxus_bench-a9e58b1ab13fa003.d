@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/eudoxus_bench-a9e58b1ab13fa003.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libeudoxus_bench-a9e58b1ab13fa003.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libeudoxus_bench-a9e58b1ab13fa003.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

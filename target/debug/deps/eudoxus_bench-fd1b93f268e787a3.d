@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/eudoxus_bench-fd1b93f268e787a3.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libeudoxus_bench-fd1b93f268e787a3.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

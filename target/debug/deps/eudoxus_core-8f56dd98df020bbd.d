@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/eudoxus_core-8f56dd98df020bbd.d: crates/core/src/lib.rs crates/core/src/executor.rs crates/core/src/instrument.rs crates/core/src/mapping.rs crates/core/src/metrics.rs crates/core/src/mode.rs crates/core/src/pipeline.rs crates/core/src/session.rs crates/core/src/stats.rs Cargo.toml
+
+/root/repo/target/debug/deps/libeudoxus_core-8f56dd98df020bbd.rmeta: crates/core/src/lib.rs crates/core/src/executor.rs crates/core/src/instrument.rs crates/core/src/mapping.rs crates/core/src/metrics.rs crates/core/src/mode.rs crates/core/src/pipeline.rs crates/core/src/session.rs crates/core/src/stats.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/executor.rs:
+crates/core/src/instrument.rs:
+crates/core/src/mapping.rs:
+crates/core/src/metrics.rs:
+crates/core/src/mode.rs:
+crates/core/src/pipeline.rs:
+crates/core/src/session.rs:
+crates/core/src/stats.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/eudoxus_core-f643ee1b0fef3b3f.d: crates/core/src/lib.rs crates/core/src/executor.rs crates/core/src/instrument.rs crates/core/src/mapping.rs crates/core/src/metrics.rs crates/core/src/mode.rs crates/core/src/pipeline.rs crates/core/src/session.rs crates/core/src/stats.rs Cargo.toml
+
+/root/repo/target/debug/deps/libeudoxus_core-f643ee1b0fef3b3f.rmeta: crates/core/src/lib.rs crates/core/src/executor.rs crates/core/src/instrument.rs crates/core/src/mapping.rs crates/core/src/metrics.rs crates/core/src/mode.rs crates/core/src/pipeline.rs crates/core/src/session.rs crates/core/src/stats.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/executor.rs:
+crates/core/src/instrument.rs:
+crates/core/src/mapping.rs:
+crates/core/src/metrics.rs:
+crates/core/src/mode.rs:
+crates/core/src/pipeline.rs:
+crates/core/src/session.rs:
+crates/core/src/stats.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/eudoxus_core-fc4ccac10f7942b4.d: crates/core/src/lib.rs crates/core/src/executor.rs crates/core/src/instrument.rs crates/core/src/mapping.rs crates/core/src/metrics.rs crates/core/src/mode.rs crates/core/src/pipeline.rs crates/core/src/session.rs crates/core/src/stats.rs
+
+/root/repo/target/debug/deps/libeudoxus_core-fc4ccac10f7942b4.rlib: crates/core/src/lib.rs crates/core/src/executor.rs crates/core/src/instrument.rs crates/core/src/mapping.rs crates/core/src/metrics.rs crates/core/src/mode.rs crates/core/src/pipeline.rs crates/core/src/session.rs crates/core/src/stats.rs
+
+/root/repo/target/debug/deps/libeudoxus_core-fc4ccac10f7942b4.rmeta: crates/core/src/lib.rs crates/core/src/executor.rs crates/core/src/instrument.rs crates/core/src/mapping.rs crates/core/src/metrics.rs crates/core/src/mode.rs crates/core/src/pipeline.rs crates/core/src/session.rs crates/core/src/stats.rs
+
+crates/core/src/lib.rs:
+crates/core/src/executor.rs:
+crates/core/src/instrument.rs:
+crates/core/src/mapping.rs:
+crates/core/src/metrics.rs:
+crates/core/src/mode.rs:
+crates/core/src/pipeline.rs:
+crates/core/src/session.rs:
+crates/core/src/stats.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/eudoxus_frontend-16bbffb7c5c109ce.d: crates/frontend/src/lib.rs crates/frontend/src/fast.rs crates/frontend/src/feature.rs crates/frontend/src/klt.rs crates/frontend/src/orb.rs crates/frontend/src/pipeline.rs crates/frontend/src/stereo.rs
+
+/root/repo/target/debug/deps/libeudoxus_frontend-16bbffb7c5c109ce.rlib: crates/frontend/src/lib.rs crates/frontend/src/fast.rs crates/frontend/src/feature.rs crates/frontend/src/klt.rs crates/frontend/src/orb.rs crates/frontend/src/pipeline.rs crates/frontend/src/stereo.rs
+
+/root/repo/target/debug/deps/libeudoxus_frontend-16bbffb7c5c109ce.rmeta: crates/frontend/src/lib.rs crates/frontend/src/fast.rs crates/frontend/src/feature.rs crates/frontend/src/klt.rs crates/frontend/src/orb.rs crates/frontend/src/pipeline.rs crates/frontend/src/stereo.rs
+
+crates/frontend/src/lib.rs:
+crates/frontend/src/fast.rs:
+crates/frontend/src/feature.rs:
+crates/frontend/src/klt.rs:
+crates/frontend/src/orb.rs:
+crates/frontend/src/pipeline.rs:
+crates/frontend/src/stereo.rs:

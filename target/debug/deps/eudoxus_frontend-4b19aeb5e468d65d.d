@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/eudoxus_frontend-4b19aeb5e468d65d.d: crates/frontend/src/lib.rs crates/frontend/src/fast.rs crates/frontend/src/feature.rs crates/frontend/src/klt.rs crates/frontend/src/orb.rs crates/frontend/src/pipeline.rs crates/frontend/src/stereo.rs Cargo.toml
+
+/root/repo/target/debug/deps/libeudoxus_frontend-4b19aeb5e468d65d.rmeta: crates/frontend/src/lib.rs crates/frontend/src/fast.rs crates/frontend/src/feature.rs crates/frontend/src/klt.rs crates/frontend/src/orb.rs crates/frontend/src/pipeline.rs crates/frontend/src/stereo.rs Cargo.toml
+
+crates/frontend/src/lib.rs:
+crates/frontend/src/fast.rs:
+crates/frontend/src/feature.rs:
+crates/frontend/src/klt.rs:
+crates/frontend/src/orb.rs:
+crates/frontend/src/pipeline.rs:
+crates/frontend/src/stereo.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

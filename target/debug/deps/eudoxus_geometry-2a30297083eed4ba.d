@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/eudoxus_geometry-2a30297083eed4ba.d: crates/geometry/src/lib.rs crates/geometry/src/camera.rs crates/geometry/src/mat3.rs crates/geometry/src/pose.rs crates/geometry/src/quaternion.rs crates/geometry/src/so3.rs crates/geometry/src/triangulate.rs crates/geometry/src/vec.rs Cargo.toml
+
+/root/repo/target/debug/deps/libeudoxus_geometry-2a30297083eed4ba.rmeta: crates/geometry/src/lib.rs crates/geometry/src/camera.rs crates/geometry/src/mat3.rs crates/geometry/src/pose.rs crates/geometry/src/quaternion.rs crates/geometry/src/so3.rs crates/geometry/src/triangulate.rs crates/geometry/src/vec.rs Cargo.toml
+
+crates/geometry/src/lib.rs:
+crates/geometry/src/camera.rs:
+crates/geometry/src/mat3.rs:
+crates/geometry/src/pose.rs:
+crates/geometry/src/quaternion.rs:
+crates/geometry/src/so3.rs:
+crates/geometry/src/triangulate.rs:
+crates/geometry/src/vec.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

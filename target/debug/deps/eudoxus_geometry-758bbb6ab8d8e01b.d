@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/eudoxus_geometry-758bbb6ab8d8e01b.d: crates/geometry/src/lib.rs crates/geometry/src/camera.rs crates/geometry/src/mat3.rs crates/geometry/src/pose.rs crates/geometry/src/quaternion.rs crates/geometry/src/so3.rs crates/geometry/src/triangulate.rs crates/geometry/src/vec.rs
+
+/root/repo/target/debug/deps/eudoxus_geometry-758bbb6ab8d8e01b: crates/geometry/src/lib.rs crates/geometry/src/camera.rs crates/geometry/src/mat3.rs crates/geometry/src/pose.rs crates/geometry/src/quaternion.rs crates/geometry/src/so3.rs crates/geometry/src/triangulate.rs crates/geometry/src/vec.rs
+
+crates/geometry/src/lib.rs:
+crates/geometry/src/camera.rs:
+crates/geometry/src/mat3.rs:
+crates/geometry/src/pose.rs:
+crates/geometry/src/quaternion.rs:
+crates/geometry/src/so3.rs:
+crates/geometry/src/triangulate.rs:
+crates/geometry/src/vec.rs:

@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/eudoxus_math-37c34c836f431c81.d: crates/math/src/lib.rs crates/math/src/block.rs crates/math/src/cholesky.rs crates/math/src/error.rs crates/math/src/lu.rs crates/math/src/matrix.rs crates/math/src/qr.rs crates/math/src/regression.rs crates/math/src/solve.rs crates/math/src/vector.rs Cargo.toml
+
+/root/repo/target/debug/deps/libeudoxus_math-37c34c836f431c81.rmeta: crates/math/src/lib.rs crates/math/src/block.rs crates/math/src/cholesky.rs crates/math/src/error.rs crates/math/src/lu.rs crates/math/src/matrix.rs crates/math/src/qr.rs crates/math/src/regression.rs crates/math/src/solve.rs crates/math/src/vector.rs Cargo.toml
+
+crates/math/src/lib.rs:
+crates/math/src/block.rs:
+crates/math/src/cholesky.rs:
+crates/math/src/error.rs:
+crates/math/src/lu.rs:
+crates/math/src/matrix.rs:
+crates/math/src/qr.rs:
+crates/math/src/regression.rs:
+crates/math/src/solve.rs:
+crates/math/src/vector.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/eudoxus_sim-b97e29a371a7d2d7.d: crates/sim/src/lib.rs crates/sim/src/dataset.rs crates/sim/src/environment.rs crates/sim/src/gps.rs crates/sim/src/imu.rs crates/sim/src/render.rs crates/sim/src/rng.rs crates/sim/src/scenario.rs crates/sim/src/trajectory.rs crates/sim/src/world.rs Cargo.toml
+
+/root/repo/target/debug/deps/libeudoxus_sim-b97e29a371a7d2d7.rmeta: crates/sim/src/lib.rs crates/sim/src/dataset.rs crates/sim/src/environment.rs crates/sim/src/gps.rs crates/sim/src/imu.rs crates/sim/src/render.rs crates/sim/src/rng.rs crates/sim/src/scenario.rs crates/sim/src/trajectory.rs crates/sim/src/world.rs Cargo.toml
+
+crates/sim/src/lib.rs:
+crates/sim/src/dataset.rs:
+crates/sim/src/environment.rs:
+crates/sim/src/gps.rs:
+crates/sim/src/imu.rs:
+crates/sim/src/render.rs:
+crates/sim/src/rng.rs:
+crates/sim/src/scenario.rs:
+crates/sim/src/trajectory.rs:
+crates/sim/src/world.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/eudoxus_vocab-6fc59c607d0dfffa.d: crates/vocab/src/lib.rs crates/vocab/src/bow.rs crates/vocab/src/database.rs crates/vocab/src/kmajority.rs crates/vocab/src/tree.rs Cargo.toml
+
+/root/repo/target/debug/deps/libeudoxus_vocab-6fc59c607d0dfffa.rmeta: crates/vocab/src/lib.rs crates/vocab/src/bow.rs crates/vocab/src/database.rs crates/vocab/src/kmajority.rs crates/vocab/src/tree.rs Cargo.toml
+
+crates/vocab/src/lib.rs:
+crates/vocab/src/bow.rs:
+crates/vocab/src/database.rs:
+crates/vocab/src/kmajority.rs:
+crates/vocab/src/tree.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

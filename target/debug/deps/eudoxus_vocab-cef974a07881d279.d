@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/eudoxus_vocab-cef974a07881d279.d: crates/vocab/src/lib.rs crates/vocab/src/bow.rs crates/vocab/src/database.rs crates/vocab/src/kmajority.rs crates/vocab/src/tree.rs
+
+/root/repo/target/debug/deps/libeudoxus_vocab-cef974a07881d279.rlib: crates/vocab/src/lib.rs crates/vocab/src/bow.rs crates/vocab/src/database.rs crates/vocab/src/kmajority.rs crates/vocab/src/tree.rs
+
+/root/repo/target/debug/deps/libeudoxus_vocab-cef974a07881d279.rmeta: crates/vocab/src/lib.rs crates/vocab/src/bow.rs crates/vocab/src/database.rs crates/vocab/src/kmajority.rs crates/vocab/src/tree.rs
+
+crates/vocab/src/lib.rs:
+crates/vocab/src/bow.rs:
+crates/vocab/src/database.rs:
+crates/vocab/src/kmajority.rs:
+crates/vocab/src/tree.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/evaluation-10d57b66daec20db.d: crates/bench/src/bin/evaluation.rs
+
+/root/repo/target/debug/deps/evaluation-10d57b66daec20db: crates/bench/src/bin/evaluation.rs
+
+crates/bench/src/bin/evaluation.rs:

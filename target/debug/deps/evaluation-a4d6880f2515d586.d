@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/evaluation-a4d6880f2515d586.d: crates/bench/src/bin/evaluation.rs Cargo.toml
+
+/root/repo/target/debug/deps/libevaluation-a4d6880f2515d586.rmeta: crates/bench/src/bin/evaluation.rs Cargo.toml
+
+crates/bench/src/bin/evaluation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/evaluation-adbe3cfd7f245110.d: crates/bench/src/bin/evaluation.rs
+
+/root/repo/target/debug/deps/libevaluation-adbe3cfd7f245110.rmeta: crates/bench/src/bin/evaluation.rs
+
+crates/bench/src/bin/evaluation.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/evaluation-c99f80b8d0553798.d: crates/bench/src/bin/evaluation.rs
+
+/root/repo/target/debug/deps/evaluation-c99f80b8d0553798: crates/bench/src/bin/evaluation.rs
+
+crates/bench/src/bin/evaluation.rs:

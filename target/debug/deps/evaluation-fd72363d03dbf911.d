@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/evaluation-fd72363d03dbf911.d: crates/bench/src/bin/evaluation.rs Cargo.toml
+
+/root/repo/target/debug/deps/libevaluation-fd72363d03dbf911.rmeta: crates/bench/src/bin/evaluation.rs Cargo.toml
+
+crates/bench/src/bin/evaluation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/failure_injection-ab7375d067d2b424.d: tests/failure_injection.rs
+
+/root/repo/target/debug/deps/failure_injection-ab7375d067d2b424: tests/failure_injection.rs
+
+tests/failure_injection.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig03_accuracy-0c876d26a42630ef.d: crates/bench/src/bin/fig03_accuracy.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig03_accuracy-0c876d26a42630ef.rmeta: crates/bench/src/bin/fig03_accuracy.rs Cargo.toml
+
+crates/bench/src/bin/fig03_accuracy.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig03_accuracy-2078e1a18b5b497a.d: crates/bench/src/bin/fig03_accuracy.rs
+
+/root/repo/target/debug/deps/fig03_accuracy-2078e1a18b5b497a: crates/bench/src/bin/fig03_accuracy.rs
+
+crates/bench/src/bin/fig03_accuracy.rs:

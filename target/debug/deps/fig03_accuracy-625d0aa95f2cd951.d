@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig03_accuracy-625d0aa95f2cd951.d: crates/bench/src/bin/fig03_accuracy.rs
+
+/root/repo/target/debug/deps/libfig03_accuracy-625d0aa95f2cd951.rmeta: crates/bench/src/bin/fig03_accuracy.rs
+
+crates/bench/src/bin/fig03_accuracy.rs:

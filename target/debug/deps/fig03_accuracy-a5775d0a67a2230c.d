@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig03_accuracy-a5775d0a67a2230c.d: crates/bench/src/bin/fig03_accuracy.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig03_accuracy-a5775d0a67a2230c.rmeta: crates/bench/src/bin/fig03_accuracy.rs Cargo.toml
+
+crates/bench/src/bin/fig03_accuracy.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig03_accuracy-e05807cddb686f48.d: crates/bench/src/bin/fig03_accuracy.rs
+
+/root/repo/target/debug/deps/fig03_accuracy-e05807cddb686f48: crates/bench/src/bin/fig03_accuracy.rs
+
+crates/bench/src/bin/fig03_accuracy.rs:

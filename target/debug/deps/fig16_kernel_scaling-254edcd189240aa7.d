@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig16_kernel_scaling-254edcd189240aa7.d: crates/bench/src/bin/fig16_kernel_scaling.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig16_kernel_scaling-254edcd189240aa7.rmeta: crates/bench/src/bin/fig16_kernel_scaling.rs Cargo.toml
+
+crates/bench/src/bin/fig16_kernel_scaling.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

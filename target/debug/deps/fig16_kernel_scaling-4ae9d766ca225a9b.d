@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig16_kernel_scaling-4ae9d766ca225a9b.d: crates/bench/src/bin/fig16_kernel_scaling.rs
+
+/root/repo/target/debug/deps/libfig16_kernel_scaling-4ae9d766ca225a9b.rmeta: crates/bench/src/bin/fig16_kernel_scaling.rs
+
+crates/bench/src/bin/fig16_kernel_scaling.rs:

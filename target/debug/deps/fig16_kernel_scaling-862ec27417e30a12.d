@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig16_kernel_scaling-862ec27417e30a12.d: crates/bench/src/bin/fig16_kernel_scaling.rs
+
+/root/repo/target/debug/deps/fig16_kernel_scaling-862ec27417e30a12: crates/bench/src/bin/fig16_kernel_scaling.rs
+
+crates/bench/src/bin/fig16_kernel_scaling.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/frontend_kernels-875eb776edf9158b.d: crates/bench/benches/frontend_kernels.rs
+
+/root/repo/target/debug/deps/frontend_kernels-875eb776edf9158b: crates/bench/benches/frontend_kernels.rs
+
+crates/bench/benches/frontend_kernels.rs:

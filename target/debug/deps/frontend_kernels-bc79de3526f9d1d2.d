@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/frontend_kernels-bc79de3526f9d1d2.d: crates/bench/benches/frontend_kernels.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfrontend_kernels-bc79de3526f9d1d2.rmeta: crates/bench/benches/frontend_kernels.rs Cargo.toml
+
+crates/bench/benches/frontend_kernels.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/frontend_on_sim-81732e16e64ffa74.d: crates/frontend/tests/frontend_on_sim.rs
+
+/root/repo/target/debug/deps/frontend_on_sim-81732e16e64ffa74: crates/frontend/tests/frontend_on_sim.rs
+
+crates/frontend/tests/frontend_on_sim.rs:

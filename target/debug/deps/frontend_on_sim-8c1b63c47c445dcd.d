@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/frontend_on_sim-8c1b63c47c445dcd.d: crates/frontend/tests/frontend_on_sim.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfrontend_on_sim-8c1b63c47c445dcd.rmeta: crates/frontend/tests/frontend_on_sim.rs Cargo.toml
+
+crates/frontend/tests/frontend_on_sim.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

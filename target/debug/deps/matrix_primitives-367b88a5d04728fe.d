@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/matrix_primitives-367b88a5d04728fe.d: crates/bench/benches/matrix_primitives.rs
+
+/root/repo/target/debug/deps/matrix_primitives-367b88a5d04728fe: crates/bench/benches/matrix_primitives.rs
+
+crates/bench/benches/matrix_primitives.rs:

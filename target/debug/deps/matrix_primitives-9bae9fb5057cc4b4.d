@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/matrix_primitives-9bae9fb5057cc4b4.d: crates/bench/benches/matrix_primitives.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmatrix_primitives-9bae9fb5057cc4b4.rmeta: crates/bench/benches/matrix_primitives.rs Cargo.toml
+
+crates/bench/benches/matrix_primitives.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pipeline_end_to_end-7381130e72a0bbd1.d: tests/pipeline_end_to_end.rs
+
+/root/repo/target/debug/deps/pipeline_end_to_end-7381130e72a0bbd1: tests/pipeline_end_to_end.rs
+
+tests/pipeline_end_to_end.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/pipeline_end_to_end-ef7b80a69df35e36.d: tests/pipeline_end_to_end.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpipeline_end_to_end-ef7b80a69df35e36.rmeta: tests/pipeline_end_to_end.rs Cargo.toml
+
+tests/pipeline_end_to_end.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

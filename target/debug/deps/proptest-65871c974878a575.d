@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest-65871c974878a575.d: shims/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-65871c974878a575.rmeta: shims/proptest/src/lib.rs
+
+shims/proptest/src/lib.rs:

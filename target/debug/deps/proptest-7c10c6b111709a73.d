@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/proptest-7c10c6b111709a73.d: shims/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-7c10c6b111709a73.rlib: shims/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-7c10c6b111709a73.rmeta: shims/proptest/src/lib.rs
+
+shims/proptest/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest-83965fd16eeac1f1.d: shims/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/proptest-83965fd16eeac1f1: shims/proptest/src/lib.rs
+
+shims/proptest/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptest-e14f5a2c8a9a1ed8.d: shims/proptest/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptest-e14f5a2c8a9a1ed8.rmeta: shims/proptest/src/lib.rs Cargo.toml
+
+shims/proptest/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

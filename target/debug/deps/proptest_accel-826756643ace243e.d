@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest_accel-826756643ace243e.d: crates/accel/tests/proptest_accel.rs
+
+/root/repo/target/debug/deps/proptest_accel-826756643ace243e: crates/accel/tests/proptest_accel.rs
+
+crates/accel/tests/proptest_accel.rs:

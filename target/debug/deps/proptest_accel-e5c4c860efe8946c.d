@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptest_accel-e5c4c860efe8946c.d: crates/accel/tests/proptest_accel.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptest_accel-e5c4c860efe8946c.rmeta: crates/accel/tests/proptest_accel.rs Cargo.toml
+
+crates/accel/tests/proptest_accel.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptest_geometry-0bf1200956c6a0db.d: crates/geometry/tests/proptest_geometry.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptest_geometry-0bf1200956c6a0db.rmeta: crates/geometry/tests/proptest_geometry.rs Cargo.toml
+
+crates/geometry/tests/proptest_geometry.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest_geometry-ccd8bc5100c4d307.d: crates/geometry/tests/proptest_geometry.rs
+
+/root/repo/target/debug/deps/proptest_geometry-ccd8bc5100c4d307: crates/geometry/tests/proptest_geometry.rs
+
+crates/geometry/tests/proptest_geometry.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest_linalg-5f42505264854671.d: crates/math/tests/proptest_linalg.rs
+
+/root/repo/target/debug/deps/proptest_linalg-5f42505264854671: crates/math/tests/proptest_linalg.rs
+
+crates/math/tests/proptest_linalg.rs:

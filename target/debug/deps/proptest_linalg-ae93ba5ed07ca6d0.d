@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptest_linalg-ae93ba5ed07ca6d0.d: crates/math/tests/proptest_linalg.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptest_linalg-ae93ba5ed07ca6d0.rmeta: crates/math/tests/proptest_linalg.rs Cargo.toml
+
+crates/math/tests/proptest_linalg.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

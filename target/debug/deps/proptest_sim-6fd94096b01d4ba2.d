@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptest_sim-6fd94096b01d4ba2.d: crates/sim/tests/proptest_sim.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptest_sim-6fd94096b01d4ba2.rmeta: crates/sim/tests/proptest_sim.rs Cargo.toml
+
+crates/sim/tests/proptest_sim.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest_sim-bb6114e34a03ec97.d: crates/sim/tests/proptest_sim.rs
+
+/root/repo/target/debug/deps/proptest_sim-bb6114e34a03ec97: crates/sim/tests/proptest_sim.rs
+
+crates/sim/tests/proptest_sim.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptest_vocab-1d366300c735a110.d: crates/vocab/tests/proptest_vocab.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptest_vocab-1d366300c735a110.rmeta: crates/vocab/tests/proptest_vocab.rs Cargo.toml
+
+crates/vocab/tests/proptest_vocab.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

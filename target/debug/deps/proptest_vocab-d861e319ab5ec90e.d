@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest_vocab-d861e319ab5ec90e.d: crates/vocab/tests/proptest_vocab.rs
+
+/root/repo/target/debug/deps/proptest_vocab-d861e319ab5ec90e: crates/vocab/tests/proptest_vocab.rs
+
+crates/vocab/tests/proptest_vocab.rs:

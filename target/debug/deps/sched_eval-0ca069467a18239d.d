@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sched_eval-0ca069467a18239d.d: crates/bench/src/bin/sched_eval.rs
+
+/root/repo/target/debug/deps/sched_eval-0ca069467a18239d: crates/bench/src/bin/sched_eval.rs
+
+crates/bench/src/bin/sched_eval.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sched_eval-386a6c5edf2368ae.d: crates/bench/src/bin/sched_eval.rs
+
+/root/repo/target/debug/deps/sched_eval-386a6c5edf2368ae: crates/bench/src/bin/sched_eval.rs
+
+crates/bench/src/bin/sched_eval.rs:

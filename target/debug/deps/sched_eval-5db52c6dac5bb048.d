@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sched_eval-5db52c6dac5bb048.d: crates/bench/src/bin/sched_eval.rs
+
+/root/repo/target/debug/deps/libsched_eval-5db52c6dac5bb048.rmeta: crates/bench/src/bin/sched_eval.rs
+
+crates/bench/src/bin/sched_eval.rs:

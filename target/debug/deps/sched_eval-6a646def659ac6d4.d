@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/sched_eval-6a646def659ac6d4.d: crates/bench/src/bin/sched_eval.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsched_eval-6a646def659ac6d4.rmeta: crates/bench/src/bin/sched_eval.rs Cargo.toml
+
+crates/bench/src/bin/sched_eval.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

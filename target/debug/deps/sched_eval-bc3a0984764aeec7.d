@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/sched_eval-bc3a0984764aeec7.d: crates/bench/src/bin/sched_eval.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsched_eval-bc3a0984764aeec7.rmeta: crates/bench/src/bin/sched_eval.rs Cargo.toml
+
+crates/bench/src/bin/sched_eval.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

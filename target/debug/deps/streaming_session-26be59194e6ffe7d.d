@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/streaming_session-26be59194e6ffe7d.d: tests/streaming_session.rs
+
+/root/repo/target/debug/deps/streaming_session-26be59194e6ffe7d: tests/streaming_session.rs
+
+tests/streaming_session.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/streaming_session-5db781db719a1ff9.d: tests/streaming_session.rs Cargo.toml
+
+/root/repo/target/debug/deps/libstreaming_session-5db781db719a1ff9.rmeta: tests/streaming_session.rs Cargo.toml
+
+tests/streaming_session.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table1_blocks-1ed512cf9263ec1a.d: crates/bench/src/bin/table1_blocks.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable1_blocks-1ed512cf9263ec1a.rmeta: crates/bench/src/bin/table1_blocks.rs Cargo.toml
+
+crates/bench/src/bin/table1_blocks.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1_blocks-a1f5625bc6a4175f.d: crates/bench/src/bin/table1_blocks.rs
+
+/root/repo/target/debug/deps/libtable1_blocks-a1f5625bc6a4175f.rmeta: crates/bench/src/bin/table1_blocks.rs
+
+crates/bench/src/bin/table1_blocks.rs:

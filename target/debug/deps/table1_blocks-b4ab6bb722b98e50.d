@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1_blocks-b4ab6bb722b98e50.d: crates/bench/src/bin/table1_blocks.rs
+
+/root/repo/target/debug/deps/table1_blocks-b4ab6bb722b98e50: crates/bench/src/bin/table1_blocks.rs
+
+crates/bench/src/bin/table1_blocks.rs:

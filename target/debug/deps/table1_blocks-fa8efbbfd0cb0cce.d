@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1_blocks-fa8efbbfd0cb0cce.d: crates/bench/src/bin/table1_blocks.rs
+
+/root/repo/target/debug/deps/table1_blocks-fa8efbbfd0cb0cce: crates/bench/src/bin/table1_blocks.rs
+
+crates/bench/src/bin/table1_blocks.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table2_resources-2e4268e664a1aae7.d: crates/bench/src/bin/table2_resources.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable2_resources-2e4268e664a1aae7.rmeta: crates/bench/src/bin/table2_resources.rs Cargo.toml
+
+crates/bench/src/bin/table2_resources.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

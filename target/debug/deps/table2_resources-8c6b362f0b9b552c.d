@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2_resources-8c6b362f0b9b552c.d: crates/bench/src/bin/table2_resources.rs
+
+/root/repo/target/debug/deps/libtable2_resources-8c6b362f0b9b552c.rmeta: crates/bench/src/bin/table2_resources.rs
+
+crates/bench/src/bin/table2_resources.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2_resources-d27a6626fcb1a59d.d: crates/bench/src/bin/table2_resources.rs
+
+/root/repo/target/debug/deps/table2_resources-d27a6626fcb1a59d: crates/bench/src/bin/table2_resources.rs
+
+crates/bench/src/bin/table2_resources.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2_resources-db81a445ef49b71d.d: crates/bench/src/bin/table2_resources.rs
+
+/root/repo/target/debug/deps/table2_resources-db81a445ef49b71d: crates/bench/src/bin/table2_resources.rs
+
+crates/bench/src/bin/table2_resources.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table3_baselines-022ccb3ab2a4d277.d: crates/bench/src/bin/table3_baselines.rs
+
+/root/repo/target/debug/deps/table3_baselines-022ccb3ab2a4d277: crates/bench/src/bin/table3_baselines.rs
+
+crates/bench/src/bin/table3_baselines.rs:

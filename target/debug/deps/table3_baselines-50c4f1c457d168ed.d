@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table3_baselines-50c4f1c457d168ed.d: crates/bench/src/bin/table3_baselines.rs
+
+/root/repo/target/debug/deps/table3_baselines-50c4f1c457d168ed: crates/bench/src/bin/table3_baselines.rs
+
+crates/bench/src/bin/table3_baselines.rs:

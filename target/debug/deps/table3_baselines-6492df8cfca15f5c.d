@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table3_baselines-6492df8cfca15f5c.d: crates/bench/src/bin/table3_baselines.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable3_baselines-6492df8cfca15f5c.rmeta: crates/bench/src/bin/table3_baselines.rs Cargo.toml
+
+crates/bench/src/bin/table3_baselines.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table3_baselines-d021eebe8608f753.d: crates/bench/src/bin/table3_baselines.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable3_baselines-d021eebe8608f753.rmeta: crates/bench/src/bin/table3_baselines.rs Cargo.toml
+
+crates/bench/src/bin/table3_baselines.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

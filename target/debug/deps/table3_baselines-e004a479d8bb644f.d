@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table3_baselines-e004a479d8bb644f.d: crates/bench/src/bin/table3_baselines.rs
+
+/root/repo/target/debug/deps/libtable3_baselines-e004a479d8bb644f.rmeta: crates/bench/src/bin/table3_baselines.rs
+
+crates/bench/src/bin/table3_baselines.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tmp_determinism-dce0b4447d500fd9.d: tests/tmp_determinism.rs
+
+/root/repo/target/debug/deps/tmp_determinism-dce0b4447d500fd9: tests/tmp_determinism.rs
+
+tests/tmp_determinism.rs:

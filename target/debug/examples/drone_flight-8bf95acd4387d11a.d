@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/drone_flight-8bf95acd4387d11a.d: examples/drone_flight.rs
+
+/root/repo/target/debug/examples/drone_flight-8bf95acd4387d11a: examples/drone_flight.rs
+
+examples/drone_flight.rs:

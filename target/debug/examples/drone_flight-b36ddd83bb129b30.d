@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/drone_flight-b36ddd83bb129b30.d: examples/drone_flight.rs Cargo.toml
+
+/root/repo/target/debug/examples/libdrone_flight-b36ddd83bb129b30.rmeta: examples/drone_flight.rs Cargo.toml
+
+examples/drone_flight.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

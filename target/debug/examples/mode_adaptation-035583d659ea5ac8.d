@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/mode_adaptation-035583d659ea5ac8.d: examples/mode_adaptation.rs
+
+/root/repo/target/debug/examples/mode_adaptation-035583d659ea5ac8: examples/mode_adaptation.rs
+
+examples/mode_adaptation.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/mode_adaptation-0d50abc506cfa277.d: examples/mode_adaptation.rs Cargo.toml
+
+/root/repo/target/debug/examples/libmode_adaptation-0d50abc506cfa277.rmeta: examples/mode_adaptation.rs Cargo.toml
+
+examples/mode_adaptation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/multi_agent-42663124098428e3.d: examples/multi_agent.rs
+
+/root/repo/target/debug/examples/multi_agent-42663124098428e3: examples/multi_agent.rs
+
+examples/multi_agent.rs:

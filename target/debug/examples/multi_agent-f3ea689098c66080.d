@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/multi_agent-f3ea689098c66080.d: examples/multi_agent.rs Cargo.toml
+
+/root/repo/target/debug/examples/libmulti_agent-f3ea689098c66080.rmeta: examples/multi_agent.rs Cargo.toml
+
+examples/multi_agent.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-435f0c868d425344.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-435f0c868d425344: examples/quickstart.rs
+
+examples/quickstart.rs:

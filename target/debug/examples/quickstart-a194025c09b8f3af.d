@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/quickstart-a194025c09b8f3af.d: examples/quickstart.rs Cargo.toml
+
+/root/repo/target/debug/examples/libquickstart-a194025c09b8f3af.rmeta: examples/quickstart.rs Cargo.toml
+
+examples/quickstart.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

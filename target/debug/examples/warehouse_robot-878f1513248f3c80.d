@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/warehouse_robot-878f1513248f3c80.d: examples/warehouse_robot.rs
+
+/root/repo/target/debug/examples/warehouse_robot-878f1513248f3c80: examples/warehouse_robot.rs
+
+examples/warehouse_robot.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/warehouse_robot-c262781517ef42a8.d: examples/warehouse_robot.rs Cargo.toml
+
+/root/repo/target/debug/examples/libwarehouse_robot-c262781517ef42a8.rmeta: examples/warehouse_robot.rs Cargo.toml
+
+examples/warehouse_robot.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

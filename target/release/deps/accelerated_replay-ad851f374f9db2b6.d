@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/accelerated_replay-ad851f374f9db2b6.d: tests/accelerated_replay.rs
+
+/root/repo/target/release/deps/accelerated_replay-ad851f374f9db2b6: tests/accelerated_replay.rs
+
+tests/accelerated_replay.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/accuracy_check-0ec225cdf73bbea8.d: crates/bench/src/bin/accuracy_check.rs
+
+/root/repo/target/release/deps/accuracy_check-0ec225cdf73bbea8: crates/bench/src/bin/accuracy_check.rs
+
+crates/bench/src/bin/accuracy_check.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/accuracy_check-3589f96c2c853a67.d: crates/bench/src/bin/accuracy_check.rs
+
+/root/repo/target/release/deps/accuracy_check-3589f96c2c853a67: crates/bench/src/bin/accuracy_check.rs
+
+crates/bench/src/bin/accuracy_check.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/backend_kernels-43533ba2d82b5cd8.d: crates/bench/benches/backend_kernels.rs
+
+/root/repo/target/release/deps/backend_kernels-43533ba2d82b5cd8: crates/bench/benches/backend_kernels.rs
+
+crates/bench/benches/backend_kernels.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/characterization-2bb730bc8dc26e22.d: crates/bench/src/bin/characterization.rs
+
+/root/repo/target/release/deps/characterization-2bb730bc8dc26e22: crates/bench/src/bin/characterization.rs
+
+crates/bench/src/bin/characterization.rs:

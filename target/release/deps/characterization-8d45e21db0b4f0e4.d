@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/characterization-8d45e21db0b4f0e4.d: crates/bench/src/bin/characterization.rs
+
+/root/repo/target/release/deps/characterization-8d45e21db0b4f0e4: crates/bench/src/bin/characterization.rs
+
+crates/bench/src/bin/characterization.rs:

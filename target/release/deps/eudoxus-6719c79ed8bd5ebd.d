@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/eudoxus-6719c79ed8bd5ebd.d: src/lib.rs
+
+/root/repo/target/release/deps/libeudoxus-6719c79ed8bd5ebd.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libeudoxus-6719c79ed8bd5ebd.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/eudoxus-b8f0c6737788e879.d: src/lib.rs
+
+/root/repo/target/release/deps/eudoxus-b8f0c6737788e879: src/lib.rs
+
+src/lib.rs:

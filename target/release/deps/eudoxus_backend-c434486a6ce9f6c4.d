@@ -1,0 +1,18 @@
+/root/repo/target/release/deps/eudoxus_backend-c434486a6ce9f6c4.d: crates/backend/src/lib.rs crates/backend/src/fusion.rs crates/backend/src/kernels.rs crates/backend/src/map.rs crates/backend/src/msckf.rs crates/backend/src/pose_opt.rs crates/backend/src/registration.rs crates/backend/src/slam/mod.rs crates/backend/src/slam/ba.rs crates/backend/src/slam/loopclose.rs crates/backend/src/types.rs crates/backend/src/vio.rs
+
+/root/repo/target/release/deps/libeudoxus_backend-c434486a6ce9f6c4.rlib: crates/backend/src/lib.rs crates/backend/src/fusion.rs crates/backend/src/kernels.rs crates/backend/src/map.rs crates/backend/src/msckf.rs crates/backend/src/pose_opt.rs crates/backend/src/registration.rs crates/backend/src/slam/mod.rs crates/backend/src/slam/ba.rs crates/backend/src/slam/loopclose.rs crates/backend/src/types.rs crates/backend/src/vio.rs
+
+/root/repo/target/release/deps/libeudoxus_backend-c434486a6ce9f6c4.rmeta: crates/backend/src/lib.rs crates/backend/src/fusion.rs crates/backend/src/kernels.rs crates/backend/src/map.rs crates/backend/src/msckf.rs crates/backend/src/pose_opt.rs crates/backend/src/registration.rs crates/backend/src/slam/mod.rs crates/backend/src/slam/ba.rs crates/backend/src/slam/loopclose.rs crates/backend/src/types.rs crates/backend/src/vio.rs
+
+crates/backend/src/lib.rs:
+crates/backend/src/fusion.rs:
+crates/backend/src/kernels.rs:
+crates/backend/src/map.rs:
+crates/backend/src/msckf.rs:
+crates/backend/src/pose_opt.rs:
+crates/backend/src/registration.rs:
+crates/backend/src/slam/mod.rs:
+crates/backend/src/slam/ba.rs:
+crates/backend/src/slam/loopclose.rs:
+crates/backend/src/types.rs:
+crates/backend/src/vio.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/eudoxus_bench-02c9184bb717a22b.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libeudoxus_bench-02c9184bb717a22b.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libeudoxus_bench-02c9184bb717a22b.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/eudoxus_core-90fb041afa60bdb0.d: crates/core/src/lib.rs crates/core/src/executor.rs crates/core/src/instrument.rs crates/core/src/mapping.rs crates/core/src/metrics.rs crates/core/src/mode.rs crates/core/src/pipeline.rs crates/core/src/session.rs crates/core/src/stats.rs
+
+/root/repo/target/release/deps/libeudoxus_core-90fb041afa60bdb0.rlib: crates/core/src/lib.rs crates/core/src/executor.rs crates/core/src/instrument.rs crates/core/src/mapping.rs crates/core/src/metrics.rs crates/core/src/mode.rs crates/core/src/pipeline.rs crates/core/src/session.rs crates/core/src/stats.rs
+
+/root/repo/target/release/deps/libeudoxus_core-90fb041afa60bdb0.rmeta: crates/core/src/lib.rs crates/core/src/executor.rs crates/core/src/instrument.rs crates/core/src/mapping.rs crates/core/src/metrics.rs crates/core/src/mode.rs crates/core/src/pipeline.rs crates/core/src/session.rs crates/core/src/stats.rs
+
+crates/core/src/lib.rs:
+crates/core/src/executor.rs:
+crates/core/src/instrument.rs:
+crates/core/src/mapping.rs:
+crates/core/src/metrics.rs:
+crates/core/src/mode.rs:
+crates/core/src/pipeline.rs:
+crates/core/src/session.rs:
+crates/core/src/stats.rs:

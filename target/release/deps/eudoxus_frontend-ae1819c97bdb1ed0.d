@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/eudoxus_frontend-ae1819c97bdb1ed0.d: crates/frontend/src/lib.rs crates/frontend/src/fast.rs crates/frontend/src/feature.rs crates/frontend/src/klt.rs crates/frontend/src/orb.rs crates/frontend/src/pipeline.rs crates/frontend/src/stereo.rs
+
+/root/repo/target/release/deps/libeudoxus_frontend-ae1819c97bdb1ed0.rlib: crates/frontend/src/lib.rs crates/frontend/src/fast.rs crates/frontend/src/feature.rs crates/frontend/src/klt.rs crates/frontend/src/orb.rs crates/frontend/src/pipeline.rs crates/frontend/src/stereo.rs
+
+/root/repo/target/release/deps/libeudoxus_frontend-ae1819c97bdb1ed0.rmeta: crates/frontend/src/lib.rs crates/frontend/src/fast.rs crates/frontend/src/feature.rs crates/frontend/src/klt.rs crates/frontend/src/orb.rs crates/frontend/src/pipeline.rs crates/frontend/src/stereo.rs
+
+crates/frontend/src/lib.rs:
+crates/frontend/src/fast.rs:
+crates/frontend/src/feature.rs:
+crates/frontend/src/klt.rs:
+crates/frontend/src/orb.rs:
+crates/frontend/src/pipeline.rs:
+crates/frontend/src/stereo.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/eudoxus_frontend-e6fb66b0db697065.d: crates/frontend/src/lib.rs crates/frontend/src/fast.rs crates/frontend/src/feature.rs crates/frontend/src/klt.rs crates/frontend/src/orb.rs crates/frontend/src/pipeline.rs crates/frontend/src/stereo.rs
+
+/root/repo/target/release/deps/eudoxus_frontend-e6fb66b0db697065: crates/frontend/src/lib.rs crates/frontend/src/fast.rs crates/frontend/src/feature.rs crates/frontend/src/klt.rs crates/frontend/src/orb.rs crates/frontend/src/pipeline.rs crates/frontend/src/stereo.rs
+
+crates/frontend/src/lib.rs:
+crates/frontend/src/fast.rs:
+crates/frontend/src/feature.rs:
+crates/frontend/src/klt.rs:
+crates/frontend/src/orb.rs:
+crates/frontend/src/pipeline.rs:
+crates/frontend/src/stereo.rs:

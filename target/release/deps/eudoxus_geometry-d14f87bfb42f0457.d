@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/eudoxus_geometry-d14f87bfb42f0457.d: crates/geometry/src/lib.rs crates/geometry/src/camera.rs crates/geometry/src/mat3.rs crates/geometry/src/pose.rs crates/geometry/src/quaternion.rs crates/geometry/src/so3.rs crates/geometry/src/triangulate.rs crates/geometry/src/vec.rs
+
+/root/repo/target/release/deps/eudoxus_geometry-d14f87bfb42f0457: crates/geometry/src/lib.rs crates/geometry/src/camera.rs crates/geometry/src/mat3.rs crates/geometry/src/pose.rs crates/geometry/src/quaternion.rs crates/geometry/src/so3.rs crates/geometry/src/triangulate.rs crates/geometry/src/vec.rs
+
+crates/geometry/src/lib.rs:
+crates/geometry/src/camera.rs:
+crates/geometry/src/mat3.rs:
+crates/geometry/src/pose.rs:
+crates/geometry/src/quaternion.rs:
+crates/geometry/src/so3.rs:
+crates/geometry/src/triangulate.rs:
+crates/geometry/src/vec.rs:

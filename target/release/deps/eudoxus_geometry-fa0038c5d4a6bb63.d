@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/eudoxus_geometry-fa0038c5d4a6bb63.d: crates/geometry/src/lib.rs crates/geometry/src/camera.rs crates/geometry/src/mat3.rs crates/geometry/src/pose.rs crates/geometry/src/quaternion.rs crates/geometry/src/so3.rs crates/geometry/src/triangulate.rs crates/geometry/src/vec.rs
+
+/root/repo/target/release/deps/libeudoxus_geometry-fa0038c5d4a6bb63.rlib: crates/geometry/src/lib.rs crates/geometry/src/camera.rs crates/geometry/src/mat3.rs crates/geometry/src/pose.rs crates/geometry/src/quaternion.rs crates/geometry/src/so3.rs crates/geometry/src/triangulate.rs crates/geometry/src/vec.rs
+
+/root/repo/target/release/deps/libeudoxus_geometry-fa0038c5d4a6bb63.rmeta: crates/geometry/src/lib.rs crates/geometry/src/camera.rs crates/geometry/src/mat3.rs crates/geometry/src/pose.rs crates/geometry/src/quaternion.rs crates/geometry/src/so3.rs crates/geometry/src/triangulate.rs crates/geometry/src/vec.rs
+
+crates/geometry/src/lib.rs:
+crates/geometry/src/camera.rs:
+crates/geometry/src/mat3.rs:
+crates/geometry/src/pose.rs:
+crates/geometry/src/quaternion.rs:
+crates/geometry/src/so3.rs:
+crates/geometry/src/triangulate.rs:
+crates/geometry/src/vec.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/eudoxus_image-c7fd2c0fa6097219.d: crates/image/src/lib.rs crates/image/src/filter.rs crates/image/src/gradient.rs crates/image/src/gray.rs crates/image/src/integral.rs crates/image/src/pyramid.rs
+
+/root/repo/target/release/deps/eudoxus_image-c7fd2c0fa6097219: crates/image/src/lib.rs crates/image/src/filter.rs crates/image/src/gradient.rs crates/image/src/gray.rs crates/image/src/integral.rs crates/image/src/pyramid.rs
+
+crates/image/src/lib.rs:
+crates/image/src/filter.rs:
+crates/image/src/gradient.rs:
+crates/image/src/gray.rs:
+crates/image/src/integral.rs:
+crates/image/src/pyramid.rs:

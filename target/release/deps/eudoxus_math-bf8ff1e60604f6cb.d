@@ -1,0 +1,16 @@
+/root/repo/target/release/deps/eudoxus_math-bf8ff1e60604f6cb.d: crates/math/src/lib.rs crates/math/src/block.rs crates/math/src/cholesky.rs crates/math/src/error.rs crates/math/src/lu.rs crates/math/src/matrix.rs crates/math/src/qr.rs crates/math/src/regression.rs crates/math/src/solve.rs crates/math/src/vector.rs
+
+/root/repo/target/release/deps/libeudoxus_math-bf8ff1e60604f6cb.rlib: crates/math/src/lib.rs crates/math/src/block.rs crates/math/src/cholesky.rs crates/math/src/error.rs crates/math/src/lu.rs crates/math/src/matrix.rs crates/math/src/qr.rs crates/math/src/regression.rs crates/math/src/solve.rs crates/math/src/vector.rs
+
+/root/repo/target/release/deps/libeudoxus_math-bf8ff1e60604f6cb.rmeta: crates/math/src/lib.rs crates/math/src/block.rs crates/math/src/cholesky.rs crates/math/src/error.rs crates/math/src/lu.rs crates/math/src/matrix.rs crates/math/src/qr.rs crates/math/src/regression.rs crates/math/src/solve.rs crates/math/src/vector.rs
+
+crates/math/src/lib.rs:
+crates/math/src/block.rs:
+crates/math/src/cholesky.rs:
+crates/math/src/error.rs:
+crates/math/src/lu.rs:
+crates/math/src/matrix.rs:
+crates/math/src/qr.rs:
+crates/math/src/regression.rs:
+crates/math/src/solve.rs:
+crates/math/src/vector.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/eudoxus_math-c851f5aff4780c57.d: crates/math/src/lib.rs crates/math/src/block.rs crates/math/src/cholesky.rs crates/math/src/error.rs crates/math/src/lu.rs crates/math/src/matrix.rs crates/math/src/qr.rs crates/math/src/regression.rs crates/math/src/solve.rs crates/math/src/vector.rs
+
+/root/repo/target/release/deps/eudoxus_math-c851f5aff4780c57: crates/math/src/lib.rs crates/math/src/block.rs crates/math/src/cholesky.rs crates/math/src/error.rs crates/math/src/lu.rs crates/math/src/matrix.rs crates/math/src/qr.rs crates/math/src/regression.rs crates/math/src/solve.rs crates/math/src/vector.rs
+
+crates/math/src/lib.rs:
+crates/math/src/block.rs:
+crates/math/src/cholesky.rs:
+crates/math/src/error.rs:
+crates/math/src/lu.rs:
+crates/math/src/matrix.rs:
+crates/math/src/qr.rs:
+crates/math/src/regression.rs:
+crates/math/src/solve.rs:
+crates/math/src/vector.rs:

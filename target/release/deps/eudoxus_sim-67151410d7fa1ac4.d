@@ -1,0 +1,16 @@
+/root/repo/target/release/deps/eudoxus_sim-67151410d7fa1ac4.d: crates/sim/src/lib.rs crates/sim/src/dataset.rs crates/sim/src/environment.rs crates/sim/src/gps.rs crates/sim/src/imu.rs crates/sim/src/render.rs crates/sim/src/rng.rs crates/sim/src/scenario.rs crates/sim/src/trajectory.rs crates/sim/src/world.rs
+
+/root/repo/target/release/deps/libeudoxus_sim-67151410d7fa1ac4.rlib: crates/sim/src/lib.rs crates/sim/src/dataset.rs crates/sim/src/environment.rs crates/sim/src/gps.rs crates/sim/src/imu.rs crates/sim/src/render.rs crates/sim/src/rng.rs crates/sim/src/scenario.rs crates/sim/src/trajectory.rs crates/sim/src/world.rs
+
+/root/repo/target/release/deps/libeudoxus_sim-67151410d7fa1ac4.rmeta: crates/sim/src/lib.rs crates/sim/src/dataset.rs crates/sim/src/environment.rs crates/sim/src/gps.rs crates/sim/src/imu.rs crates/sim/src/render.rs crates/sim/src/rng.rs crates/sim/src/scenario.rs crates/sim/src/trajectory.rs crates/sim/src/world.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/dataset.rs:
+crates/sim/src/environment.rs:
+crates/sim/src/gps.rs:
+crates/sim/src/imu.rs:
+crates/sim/src/render.rs:
+crates/sim/src/rng.rs:
+crates/sim/src/scenario.rs:
+crates/sim/src/trajectory.rs:
+crates/sim/src/world.rs:

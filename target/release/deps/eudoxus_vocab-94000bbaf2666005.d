@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/eudoxus_vocab-94000bbaf2666005.d: crates/vocab/src/lib.rs crates/vocab/src/bow.rs crates/vocab/src/database.rs crates/vocab/src/kmajority.rs crates/vocab/src/tree.rs
+
+/root/repo/target/release/deps/eudoxus_vocab-94000bbaf2666005: crates/vocab/src/lib.rs crates/vocab/src/bow.rs crates/vocab/src/database.rs crates/vocab/src/kmajority.rs crates/vocab/src/tree.rs
+
+crates/vocab/src/lib.rs:
+crates/vocab/src/bow.rs:
+crates/vocab/src/database.rs:
+crates/vocab/src/kmajority.rs:
+crates/vocab/src/tree.rs:

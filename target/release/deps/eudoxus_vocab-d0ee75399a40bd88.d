@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/eudoxus_vocab-d0ee75399a40bd88.d: crates/vocab/src/lib.rs crates/vocab/src/bow.rs crates/vocab/src/database.rs crates/vocab/src/kmajority.rs crates/vocab/src/tree.rs
+
+/root/repo/target/release/deps/libeudoxus_vocab-d0ee75399a40bd88.rlib: crates/vocab/src/lib.rs crates/vocab/src/bow.rs crates/vocab/src/database.rs crates/vocab/src/kmajority.rs crates/vocab/src/tree.rs
+
+/root/repo/target/release/deps/libeudoxus_vocab-d0ee75399a40bd88.rmeta: crates/vocab/src/lib.rs crates/vocab/src/bow.rs crates/vocab/src/database.rs crates/vocab/src/kmajority.rs crates/vocab/src/tree.rs
+
+crates/vocab/src/lib.rs:
+crates/vocab/src/bow.rs:
+crates/vocab/src/database.rs:
+crates/vocab/src/kmajority.rs:
+crates/vocab/src/tree.rs:

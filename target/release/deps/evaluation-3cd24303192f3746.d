@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/evaluation-3cd24303192f3746.d: crates/bench/src/bin/evaluation.rs
+
+/root/repo/target/release/deps/evaluation-3cd24303192f3746: crates/bench/src/bin/evaluation.rs
+
+crates/bench/src/bin/evaluation.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/evaluation-5407b87aa9a951bd.d: crates/bench/src/bin/evaluation.rs
+
+/root/repo/target/release/deps/evaluation-5407b87aa9a951bd: crates/bench/src/bin/evaluation.rs
+
+crates/bench/src/bin/evaluation.rs:

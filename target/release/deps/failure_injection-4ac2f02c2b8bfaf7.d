@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/failure_injection-4ac2f02c2b8bfaf7.d: tests/failure_injection.rs
+
+/root/repo/target/release/deps/failure_injection-4ac2f02c2b8bfaf7: tests/failure_injection.rs
+
+tests/failure_injection.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig03_accuracy-5f8a031bd86a6567.d: crates/bench/src/bin/fig03_accuracy.rs
+
+/root/repo/target/release/deps/fig03_accuracy-5f8a031bd86a6567: crates/bench/src/bin/fig03_accuracy.rs
+
+crates/bench/src/bin/fig03_accuracy.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig03_accuracy-8701c78ee1982539.d: crates/bench/src/bin/fig03_accuracy.rs
+
+/root/repo/target/release/deps/fig03_accuracy-8701c78ee1982539: crates/bench/src/bin/fig03_accuracy.rs
+
+crates/bench/src/bin/fig03_accuracy.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig16_kernel_scaling-94f2b7fac2745bff.d: crates/bench/src/bin/fig16_kernel_scaling.rs
+
+/root/repo/target/release/deps/fig16_kernel_scaling-94f2b7fac2745bff: crates/bench/src/bin/fig16_kernel_scaling.rs
+
+crates/bench/src/bin/fig16_kernel_scaling.rs:

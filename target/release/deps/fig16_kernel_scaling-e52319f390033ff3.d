@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig16_kernel_scaling-e52319f390033ff3.d: crates/bench/src/bin/fig16_kernel_scaling.rs
+
+/root/repo/target/release/deps/fig16_kernel_scaling-e52319f390033ff3: crates/bench/src/bin/fig16_kernel_scaling.rs
+
+crates/bench/src/bin/fig16_kernel_scaling.rs:

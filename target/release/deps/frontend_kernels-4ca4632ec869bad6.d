@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/frontend_kernels-4ca4632ec869bad6.d: crates/bench/benches/frontend_kernels.rs
+
+/root/repo/target/release/deps/frontend_kernels-4ca4632ec869bad6: crates/bench/benches/frontend_kernels.rs
+
+crates/bench/benches/frontend_kernels.rs:

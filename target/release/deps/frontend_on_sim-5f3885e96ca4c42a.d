@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/frontend_on_sim-5f3885e96ca4c42a.d: crates/frontend/tests/frontend_on_sim.rs
+
+/root/repo/target/release/deps/frontend_on_sim-5f3885e96ca4c42a: crates/frontend/tests/frontend_on_sim.rs
+
+crates/frontend/tests/frontend_on_sim.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/matrix_primitives-61919d2cb2954d38.d: crates/bench/benches/matrix_primitives.rs
+
+/root/repo/target/release/deps/matrix_primitives-61919d2cb2954d38: crates/bench/benches/matrix_primitives.rs
+
+crates/bench/benches/matrix_primitives.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/pipeline_end_to_end-8e614d7b6769216a.d: tests/pipeline_end_to_end.rs
+
+/root/repo/target/release/deps/pipeline_end_to_end-8e614d7b6769216a: tests/pipeline_end_to_end.rs
+
+tests/pipeline_end_to_end.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/proptest-904e4cf0ca39e819.d: shims/proptest/src/lib.rs
+
+/root/repo/target/release/deps/proptest-904e4cf0ca39e819: shims/proptest/src/lib.rs
+
+shims/proptest/src/lib.rs:

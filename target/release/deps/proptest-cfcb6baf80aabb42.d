@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/proptest-cfcb6baf80aabb42.d: shims/proptest/src/lib.rs
+
+/root/repo/target/release/deps/libproptest-cfcb6baf80aabb42.rlib: shims/proptest/src/lib.rs
+
+/root/repo/target/release/deps/libproptest-cfcb6baf80aabb42.rmeta: shims/proptest/src/lib.rs
+
+shims/proptest/src/lib.rs:

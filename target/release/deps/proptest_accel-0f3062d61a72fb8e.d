@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/proptest_accel-0f3062d61a72fb8e.d: crates/accel/tests/proptest_accel.rs
+
+/root/repo/target/release/deps/proptest_accel-0f3062d61a72fb8e: crates/accel/tests/proptest_accel.rs
+
+crates/accel/tests/proptest_accel.rs:

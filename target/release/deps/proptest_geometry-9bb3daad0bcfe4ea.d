@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/proptest_geometry-9bb3daad0bcfe4ea.d: crates/geometry/tests/proptest_geometry.rs
+
+/root/repo/target/release/deps/proptest_geometry-9bb3daad0bcfe4ea: crates/geometry/tests/proptest_geometry.rs
+
+crates/geometry/tests/proptest_geometry.rs:

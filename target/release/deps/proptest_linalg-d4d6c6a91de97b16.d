@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/proptest_linalg-d4d6c6a91de97b16.d: crates/math/tests/proptest_linalg.rs
+
+/root/repo/target/release/deps/proptest_linalg-d4d6c6a91de97b16: crates/math/tests/proptest_linalg.rs
+
+crates/math/tests/proptest_linalg.rs:

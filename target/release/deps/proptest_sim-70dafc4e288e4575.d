@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/proptest_sim-70dafc4e288e4575.d: crates/sim/tests/proptest_sim.rs
+
+/root/repo/target/release/deps/proptest_sim-70dafc4e288e4575: crates/sim/tests/proptest_sim.rs
+
+crates/sim/tests/proptest_sim.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/proptest_vocab-f4304faaafefde25.d: crates/vocab/tests/proptest_vocab.rs
+
+/root/repo/target/release/deps/proptest_vocab-f4304faaafefde25: crates/vocab/tests/proptest_vocab.rs
+
+crates/vocab/tests/proptest_vocab.rs:

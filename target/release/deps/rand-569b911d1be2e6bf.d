@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/rand-569b911d1be2e6bf.d: shims/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-569b911d1be2e6bf.rlib: shims/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-569b911d1be2e6bf.rmeta: shims/rand/src/lib.rs
+
+shims/rand/src/lib.rs:

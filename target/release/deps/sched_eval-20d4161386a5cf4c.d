@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/sched_eval-20d4161386a5cf4c.d: crates/bench/src/bin/sched_eval.rs
+
+/root/repo/target/release/deps/sched_eval-20d4161386a5cf4c: crates/bench/src/bin/sched_eval.rs
+
+crates/bench/src/bin/sched_eval.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/sched_eval-74ddf7d05c3df3c2.d: crates/bench/src/bin/sched_eval.rs
+
+/root/repo/target/release/deps/sched_eval-74ddf7d05c3df3c2: crates/bench/src/bin/sched_eval.rs
+
+crates/bench/src/bin/sched_eval.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/streaming_session-55888c5f92ad1c25.d: tests/streaming_session.rs
+
+/root/repo/target/release/deps/streaming_session-55888c5f92ad1c25: tests/streaming_session.rs
+
+tests/streaming_session.rs:

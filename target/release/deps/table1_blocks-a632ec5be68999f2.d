@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table1_blocks-a632ec5be68999f2.d: crates/bench/src/bin/table1_blocks.rs
+
+/root/repo/target/release/deps/table1_blocks-a632ec5be68999f2: crates/bench/src/bin/table1_blocks.rs
+
+crates/bench/src/bin/table1_blocks.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table1_blocks-d5c1f661c34a0208.d: crates/bench/src/bin/table1_blocks.rs
+
+/root/repo/target/release/deps/table1_blocks-d5c1f661c34a0208: crates/bench/src/bin/table1_blocks.rs
+
+crates/bench/src/bin/table1_blocks.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table2_resources-50190ae3babb63b1.d: crates/bench/src/bin/table2_resources.rs
+
+/root/repo/target/release/deps/table2_resources-50190ae3babb63b1: crates/bench/src/bin/table2_resources.rs
+
+crates/bench/src/bin/table2_resources.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table2_resources-54df15ebb8d420a6.d: crates/bench/src/bin/table2_resources.rs
+
+/root/repo/target/release/deps/table2_resources-54df15ebb8d420a6: crates/bench/src/bin/table2_resources.rs
+
+crates/bench/src/bin/table2_resources.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table3_baselines-904139be344118e0.d: crates/bench/src/bin/table3_baselines.rs
+
+/root/repo/target/release/deps/table3_baselines-904139be344118e0: crates/bench/src/bin/table3_baselines.rs
+
+crates/bench/src/bin/table3_baselines.rs:

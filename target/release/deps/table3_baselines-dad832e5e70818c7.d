@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table3_baselines-dad832e5e70818c7.d: crates/bench/src/bin/table3_baselines.rs
+
+/root/repo/target/release/deps/table3_baselines-dad832e5e70818c7: crates/bench/src/bin/table3_baselines.rs
+
+crates/bench/src/bin/table3_baselines.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/drone_flight-30a5b90a761cd4db.d: examples/drone_flight.rs
+
+/root/repo/target/release/examples/drone_flight-30a5b90a761cd4db: examples/drone_flight.rs
+
+examples/drone_flight.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/mode_adaptation-e93a606da28de8ee.d: examples/mode_adaptation.rs
+
+/root/repo/target/release/examples/mode_adaptation-e93a606da28de8ee: examples/mode_adaptation.rs
+
+examples/mode_adaptation.rs:

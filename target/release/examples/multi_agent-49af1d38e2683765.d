@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/multi_agent-49af1d38e2683765.d: examples/multi_agent.rs
+
+/root/repo/target/release/examples/multi_agent-49af1d38e2683765: examples/multi_agent.rs
+
+examples/multi_agent.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-138fc34aec9db0b0.d: examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-138fc34aec9db0b0: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/warehouse_robot-8a0fb5492173c55a.d: examples/warehouse_robot.rs
+
+/root/repo/target/release/examples/warehouse_robot-8a0fb5492173c55a: examples/warehouse_robot.rs
+
+examples/warehouse_robot.rs:
