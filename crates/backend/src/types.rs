@@ -117,7 +117,13 @@ impl fmt::Display for BackendMode {
 /// opens an independent trajectory segment (optionally anchored to a known
 /// state), then [`step`](Backend::step) consumes one frame of
 /// correspondences and inter-frame sensor windows at a time.
-pub trait Backend {
+///
+/// Backends must be [`Send`]: sessions are the sharding unit of the
+/// serving layer (`SessionManager::poll_parallel` moves whole sessions —
+/// and thus their registered backends — across worker threads). Each
+/// session is only ever driven by one thread at a time, so `Sync` is not
+/// required.
+pub trait Backend: Send {
     /// Which estimator family this backend implements. The registry
     /// dispatches frames by this value.
     fn mode(&self) -> BackendMode;

@@ -2,11 +2,13 @@
 //! MO/DR and DC/LSS tasks of paper Fig. 12) on rendered drone frames.
 
 use criterion::{criterion_group, criterion_main, Criterion};
+use eudoxus_bench::baseline;
 use eudoxus_frontend::{
-    compute_orb, detect_fast, match_stereo, track_pyramidal, FastConfig, Feature, Frontend,
-    FrontendConfig, KltConfig, OrbConfig, StereoConfig,
+    compute_orb, detect_fast, detect_fast_into, match_stereo, track_pyramidal,
+    track_pyramidal_into, FastConfig, FastScratch, Feature, Frontend, FrontendConfig, KltConfig,
+    KltScratch, OrbConfig, StereoConfig,
 };
-use eudoxus_image::gaussian_blur;
+use eudoxus_image::{gaussian_blur, gaussian_blur_into, FilterScratch, GrayImage, Pyramid};
 use eudoxus_sim::{Platform, ScenarioBuilder, ScenarioKind};
 use std::hint::black_box;
 
@@ -20,9 +22,39 @@ fn bench_frontend(c: &mut Criterion) {
     let right = &data.frames[0].right;
     let next_left = &data.frames[1].left;
 
+    // Before/after: the seed detector (per-frame allocations, clamped
+    // taps) vs the allocating wrapper vs the warm scratch-reused path.
+    c.bench_function("fast_detect_640x480_seed_baseline", |b| {
+        b.iter(|| baseline::detect_fast_baseline(black_box(left), &FastConfig::default()))
+    });
     c.bench_function("fast_detect_640x480", |b| {
         b.iter(|| detect_fast(black_box(left), &FastConfig::default()))
     });
+    {
+        let mut scratch = FastScratch::default();
+        let mut out = Vec::new();
+        c.bench_function("fast_detect_640x480_into_warm", |b| {
+            b.iter(|| {
+                detect_fast_into(black_box(left), &FastConfig::default(), &mut scratch, &mut out);
+                black_box(out.len())
+            })
+        });
+    }
+
+    // Before/after: seed blur vs warm scratch-reused blur.
+    c.bench_function("gaussian_blur_640x480_seed_baseline", |b| {
+        b.iter(|| baseline::gaussian_blur_baseline(black_box(left), 1.2))
+    });
+    {
+        let mut scratch = FilterScratch::default();
+        let mut out = GrayImage::default();
+        c.bench_function("gaussian_blur_640x480_into_warm", |b| {
+            b.iter(|| {
+                gaussian_blur_into(black_box(left), 1.2, &mut scratch, &mut out);
+                black_box(out.width())
+            })
+        });
+    }
 
     let blurred = gaussian_blur(left, 1.2);
     let kps = detect_fast(left, &FastConfig::default());
@@ -74,9 +106,35 @@ fn bench_frontend(c: &mut Criterion) {
         .take(300)
         .map(|f| (f.keypoint.x, f.keypoint.y))
         .collect();
+    // Before/after: rebuild-both-pyramids-per-call (seed and current
+    // wrapper) vs the frontend's steady state (both pyramids cached, only
+    // the solve runs).
+    c.bench_function("klt_track_300_points_seed_baseline", |b| {
+        b.iter(|| {
+            baseline::track_pyramidal_baseline(
+                black_box(left),
+                black_box(next_left),
+                &points,
+                &KltConfig::default(),
+            )
+        })
+    });
     c.bench_function("klt_track_300_points", |b| {
         b.iter(|| track_pyramidal(black_box(left), black_box(next_left), &points, &KltConfig::default()))
     });
+    {
+        let cfg = KltConfig::default();
+        let prev_pyr = Pyramid::build((**left).clone(), cfg.levels);
+        let next_pyr = Pyramid::build((**next_left).clone(), cfg.levels);
+        let mut scratch = KltScratch::default();
+        let mut out = Vec::new();
+        c.bench_function("klt_track_300_points_cached_pyramids", |b| {
+            b.iter(|| {
+                track_pyramidal_into(&prev_pyr, &next_pyr, &points, &cfg, &mut scratch, &mut out);
+                black_box(out.len())
+            })
+        });
+    }
 
     c.bench_function("frontend_full_frame", |b| {
         b.iter(|| {

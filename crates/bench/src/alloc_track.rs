@@ -1,0 +1,55 @@
+//! Heap-allocation counting for the perf experiments.
+//!
+//! [`CountingAllocator`] wraps the system allocator and bumps a global
+//! counter on every `alloc`/`realloc`. Two ways to install it:
+//!
+//! * Build `eudoxus-bench` with the `count-alloc` feature — the
+//!   `throughput` binary then reports allocations-per-frame in
+//!   `BENCH_throughput.json`.
+//! * Declare it as the `#[global_allocator]` of a test binary (see
+//!   `tests/alloc_free.rs`), which asserts the scratch-reused kernels are
+//!   allocation-free after warm-up.
+//!
+//! Do not combine the two in one build (`cargo test --features
+//! count-alloc`): a binary can only have one global allocator.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+/// A system allocator that counts allocation events (`alloc` and
+/// `realloc`; `dealloc` is free and not counted).
+pub struct CountingAllocator;
+
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+/// Allocation events counted so far. Zero (and constant) unless a
+/// [`CountingAllocator`] is installed as the global allocator.
+pub fn allocations() -> u64 {
+    ALLOCATIONS.load(Ordering::Relaxed)
+}
+
+/// Whether this build installed the counting allocator via the
+/// `count-alloc` feature.
+pub fn counting_enabled() -> bool {
+    cfg!(feature = "count-alloc")
+}
+
+#[cfg(feature = "count-alloc")]
+#[global_allocator]
+static GLOBAL: CountingAllocator = CountingAllocator;

@@ -1,0 +1,312 @@
+//! Replay-throughput benchmark: seeds the performance trajectory.
+//!
+//! Replays the four scenario kinds through the seed-equivalent
+//! [`BaselineFrontend`](eudoxus_bench::baseline::BaselineFrontend), the
+//! optimized scratch-reusing `Frontend`, and a full streaming
+//! `LocalizationSession`, then drives a multi-agent `SessionManager`
+//! sequentially and with `poll_parallel`. Writes `BENCH_throughput.json`
+//! with frames/sec, per-kernel microseconds, and (when built with
+//! `--features count-alloc`) allocations-per-frame.
+//!
+//! ```text
+//! cargo run --release -p eudoxus-bench --bin throughput -- \
+//!     [--frames N] [--workers W] [--out PATH]
+//! ```
+
+use eudoxus_bench::baseline::BaselineFrontend;
+use eudoxus_bench::{alloc_track, dataset, row, section};
+use eudoxus_core::{FrameRecord, LocalizationSession, PipelineConfig, SessionManager};
+use eudoxus_frontend::{Frontend, FrontendConfig};
+use eudoxus_sim::{Dataset, Platform, ScenarioKind};
+use std::time::Instant;
+
+const KINDS: [(ScenarioKind, &str); 4] = [
+    (ScenarioKind::OutdoorUnknown, "outdoor_unknown"),
+    (ScenarioKind::IndoorUnknown, "indoor_unknown"),
+    (ScenarioKind::IndoorKnown, "indoor_known"),
+    (ScenarioKind::Mixed, "mixed"),
+];
+
+struct Args {
+    frames: usize,
+    workers: usize,
+    out: String,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        frames: 40,
+        workers: std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(2)
+            .min(KINDS.len()),
+        out: "BENCH_throughput.json".to_string(),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .unwrap_or_else(|| panic!("{name} needs a value"))
+        };
+        match flag.as_str() {
+            "--frames" => args.frames = value("--frames").parse().expect("--frames: integer"),
+            "--workers" => args.workers = value("--workers").parse().expect("--workers: integer"),
+            "--out" => args.out = value("--out"),
+            other => panic!("unknown flag {other} (supported: --frames --workers --out)"),
+        }
+    }
+    args.frames = args.frames.max(2);
+    args.workers = args.workers.max(1);
+    args
+}
+
+/// Mean of per-record kernel time in microseconds, by accessor.
+fn mean_us(records: &[FrameRecord], f: impl Fn(&FrameRecord) -> std::time::Duration) -> f64 {
+    if records.is_empty() {
+        return 0.0;
+    }
+    records.iter().map(|r| f(r).as_secs_f64() * 1e6).sum::<f64>() / records.len() as f64
+}
+
+struct ScenarioResult {
+    name: &'static str,
+    baseline_frontend_fps: f64,
+    frontend_fps: f64,
+    frontend_speedup: f64,
+    session_fps: f64,
+    session_fps_baseline_est: f64,
+    session_speedup_est: f64,
+    kernel_us: [(&'static str, f64); 5],
+    allocations_per_frame: Option<f64>,
+}
+
+fn run_scenario(data: &Dataset, name: &'static str) -> ScenarioResult {
+    // Pre-PR baseline: the seed frontend, allocating per frame.
+    let mut baseline = BaselineFrontend::new(FrontendConfig::default());
+    let t = Instant::now();
+    for frame in &data.frames {
+        std::hint::black_box(baseline.process(&frame.left, &frame.right));
+    }
+    let baseline_frontend_s = t.elapsed().as_secs_f64();
+
+    // Optimized frontend: scratch reuse + cached pyramid.
+    let mut frontend = Frontend::new(FrontendConfig::default());
+    let t = Instant::now();
+    for frame in &data.frames {
+        std::hint::black_box(frontend.process(&frame.left, &frame.right));
+    }
+    let frontend_s = t.elapsed().as_secs_f64();
+
+    // Full streaming session (frontend + backend + event plumbing).
+    let mut session = LocalizationSession::new(PipelineConfig::anchored());
+    let alloc_before = alloc_track::allocations();
+    let t = Instant::now();
+    let records: Vec<FrameRecord> = data.events().filter_map(|e| session.push(e)).collect();
+    let session_s = t.elapsed().as_secs_f64();
+    let alloc_after = alloc_track::allocations();
+    assert_eq!(records.len(), data.frames.len(), "every frame yields a record");
+
+    let n = data.frames.len() as f64;
+    let frontend_share = frontend_s / n;
+    let baseline_share = baseline_frontend_s / n;
+    // Estimated seed-era session time: swap the measured optimized
+    // frontend share for the measured baseline share.
+    let session_baseline_s_est = session_s - frontend_s + baseline_frontend_s;
+
+    ScenarioResult {
+        name,
+        baseline_frontend_fps: n / baseline_frontend_s,
+        frontend_fps: n / frontend_s,
+        frontend_speedup: baseline_share / frontend_share,
+        session_fps: n / session_s,
+        session_fps_baseline_est: n / session_baseline_s_est,
+        session_speedup_est: session_baseline_s_est / session_s,
+        kernel_us: [
+            ("filtering", mean_us(&records, |r| r.frontend_timing.filtering)),
+            ("detection", mean_us(&records, |r| r.frontend_timing.detection)),
+            ("description", mean_us(&records, |r| r.frontend_timing.description)),
+            ("stereo", mean_us(&records, |r| r.frontend_timing.stereo)),
+            ("temporal", mean_us(&records, |r| r.frontend_timing.temporal)),
+        ],
+        allocations_per_frame: alloc_track::counting_enabled()
+            .then(|| (alloc_after - alloc_before) as f64 / n),
+    }
+}
+
+struct ManagerResult {
+    agents: usize,
+    workers: usize,
+    sequential_fps: f64,
+    parallel_fps: f64,
+    parallel_speedup: f64,
+}
+
+fn run_manager(datasets: &[Dataset], workers: usize) -> ManagerResult {
+    let fill = |manager: &mut SessionManager| {
+        for (i, data) in datasets.iter().enumerate() {
+            let id = format!("agent-{i}");
+            manager.add_agent(&id, LocalizationSession::new(PipelineConfig::anchored()));
+            for event in data.events() {
+                manager.enqueue(&id, event);
+            }
+        }
+    };
+    let total_frames: usize = datasets.iter().map(|d| d.frames.len()).sum();
+
+    let mut sequential = SessionManager::new();
+    fill(&mut sequential);
+    let t = Instant::now();
+    let seq_records = sequential.run_until_idle();
+    let sequential_s = t.elapsed().as_secs_f64();
+    assert_eq!(seq_records.len(), total_frames);
+
+    let mut parallel = SessionManager::new();
+    fill(&mut parallel);
+    let t = Instant::now();
+    let par_records = parallel.poll_parallel(workers);
+    let parallel_s = t.elapsed().as_secs_f64();
+    assert_eq!(par_records.len(), total_frames);
+
+    ManagerResult {
+        agents: datasets.len(),
+        workers,
+        sequential_fps: total_frames as f64 / sequential_s,
+        parallel_fps: total_frames as f64 / parallel_s,
+        parallel_speedup: sequential_s / parallel_s,
+    }
+}
+
+fn json_f(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:.3}")
+    } else {
+        "null".to_string()
+    }
+}
+
+fn write_json(path: &str, frames: usize, scenarios: &[ScenarioResult], manager: &ManagerResult) {
+    let mean_speedup =
+        scenarios.iter().map(|s| s.frontend_speedup).sum::<f64>() / scenarios.len().max(1) as f64;
+    let mut s = String::new();
+    s.push_str("{\n");
+    s.push_str(&format!("  \"frames_per_scenario\": {frames},\n"));
+    s.push_str(&format!(
+        "  \"mean_frontend_speedup_vs_seed_baseline\": {},\n",
+        json_f(mean_speedup)
+    ));
+    s.push_str(&format!(
+        "  \"count_alloc_enabled\": {},\n",
+        alloc_track::counting_enabled()
+    ));
+    s.push_str("  \"scenarios\": [\n");
+    for (i, sc) in scenarios.iter().enumerate() {
+        s.push_str("    {\n");
+        s.push_str(&format!("      \"kind\": \"{}\",\n", sc.name));
+        s.push_str(&format!(
+            "      \"baseline_frontend_fps\": {},\n",
+            json_f(sc.baseline_frontend_fps)
+        ));
+        s.push_str(&format!("      \"frontend_fps\": {},\n", json_f(sc.frontend_fps)));
+        s.push_str(&format!(
+            "      \"frontend_speedup\": {},\n",
+            json_f(sc.frontend_speedup)
+        ));
+        s.push_str(&format!("      \"session_fps\": {},\n", json_f(sc.session_fps)));
+        s.push_str(&format!(
+            "      \"session_fps_baseline_est\": {},\n",
+            json_f(sc.session_fps_baseline_est)
+        ));
+        s.push_str(&format!(
+            "      \"session_speedup_est\": {},\n",
+            json_f(sc.session_speedup_est)
+        ));
+        s.push_str("      \"kernel_us\": {");
+        for (j, (k, v)) in sc.kernel_us.iter().enumerate() {
+            s.push_str(&format!("\"{k}\": {}", json_f(*v)));
+            if j + 1 < sc.kernel_us.len() {
+                s.push_str(", ");
+            }
+        }
+        s.push_str("},\n");
+        s.push_str(&format!(
+            "      \"allocations_per_frame\": {}\n",
+            sc.allocations_per_frame.map_or("null".to_string(), json_f)
+        ));
+        s.push_str(if i + 1 < scenarios.len() { "    },\n" } else { "    }\n" });
+    }
+    s.push_str("  ],\n");
+    s.push_str("  \"manager\": {\n");
+    s.push_str(&format!("    \"agents\": {},\n", manager.agents));
+    s.push_str(&format!("    \"workers\": {},\n", manager.workers));
+    s.push_str(&format!(
+        "    \"sequential_fps\": {},\n",
+        json_f(manager.sequential_fps)
+    ));
+    s.push_str(&format!("    \"parallel_fps\": {},\n", json_f(manager.parallel_fps)));
+    s.push_str(&format!(
+        "    \"parallel_speedup\": {}\n",
+        json_f(manager.parallel_speedup)
+    ));
+    s.push_str("  }\n");
+    s.push_str("}\n");
+    std::fs::write(path, s).expect("write BENCH json");
+}
+
+fn main() {
+    let args = parse_args();
+
+    section(&format!(
+        "Replay throughput: {} frames/scenario, drone rig",
+        args.frames
+    ));
+    let mut scenarios = Vec::new();
+    let mut datasets = Vec::new();
+    row(&[
+        "scenario".into(),
+        "seed fps".into(),
+        "opt fps".into(),
+        "speedup".into(),
+        "session fps".into(),
+        "alloc/frame".into(),
+    ]);
+    for (kind, name) in KINDS {
+        let data = dataset(kind, Platform::Drone, args.frames, 7);
+        let result = run_scenario(&data, name);
+        row(&[
+            name.into(),
+            format!("{:.2}", result.baseline_frontend_fps),
+            format!("{:.2}", result.frontend_fps),
+            format!("{:.2}x", result.frontend_speedup),
+            format!("{:.2}", result.session_fps),
+            result
+                .allocations_per_frame
+                .map_or("n/a".into(), |a| format!("{a:.0}")),
+        ]);
+        scenarios.push(result);
+        datasets.push(data);
+    }
+
+    section(&format!(
+        "SessionManager: {} agents, {} workers",
+        datasets.len(),
+        args.workers
+    ));
+    let manager = run_manager(&datasets, args.workers);
+    row(&[
+        "sequential fps".into(),
+        format!("{:.2}", manager.sequential_fps),
+        "parallel fps".into(),
+        format!("{:.2}", manager.parallel_fps),
+        "speedup".into(),
+        format!("{:.2}x", manager.parallel_speedup),
+    ]);
+
+    write_json(&args.out, args.frames, &scenarios, &manager);
+    println!("\nwrote {}", args.out);
+
+    let mean_speedup: f64 =
+        scenarios.iter().map(|s| s.frontend_speedup).sum::<f64>() / scenarios.len() as f64;
+    println!(
+        "mean single-session frontend speedup vs seed baseline: {mean_speedup:.2}x"
+    );
+}

@@ -16,6 +16,15 @@
 //!
 //! Run any of them with
 //! `cargo run --release -p eudoxus-bench --bin <name>`.
+//!
+//! Two support modules back the performance trajectory:
+//! [`baseline`] preserves the seed frontend kernels (the before of every
+//! before/after comparison), and [`alloc_track`] counts heap allocations
+//! (install via the `count-alloc` feature). The `throughput` binary ties
+//! them together and writes `BENCH_throughput.json`.
+
+pub mod alloc_track;
+pub mod baseline;
 
 use eudoxus_core::{Eudoxus, PipelineConfig, RunLog};
 use eudoxus_sim::{Dataset, Platform, ScenarioBuilder, ScenarioKind};

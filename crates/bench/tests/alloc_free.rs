@@ -1,0 +1,89 @@
+//! Counting-allocator proof of the allocation-free steady state: after
+//! one warm-up call, the scratch-reused kernels (blur, FAST, pyramid
+//! rebuild, KLT) perform zero heap allocations, and a warm
+//! `Frontend::process` allocates far less than a cold one.
+//!
+//! The counting allocator is global to this test binary, so everything
+//! runs inside a single `#[test]` — parallel test threads would otherwise
+//! pollute each other's deltas.
+
+use eudoxus_bench::alloc_track::{allocations, CountingAllocator};
+use eudoxus_frontend::{
+    detect_fast_into, track_pyramidal_into, FastConfig, FastScratch, Frontend, FrontendConfig,
+    KltConfig, KltScratch,
+};
+use eudoxus_image::{gaussian_blur_into, FilterScratch, GrayImage, Pyramid};
+use eudoxus_sim::{Platform, ScenarioBuilder, ScenarioKind};
+
+#[global_allocator]
+static GLOBAL: CountingAllocator = CountingAllocator;
+
+/// Runs `f` and returns how many allocation events it performed.
+fn alloc_delta(mut f: impl FnMut()) -> u64 {
+    let before = allocations();
+    f();
+    allocations() - before
+}
+
+#[test]
+fn steady_state_kernels_are_allocation_free() {
+    let data = ScenarioBuilder::new(ScenarioKind::IndoorUnknown)
+        .frames(3)
+        .seed(7)
+        .platform(Platform::Drone)
+        .build();
+    let left = &data.frames[0].left;
+    let right = &data.frames[0].right;
+    let next_left = &data.frames[1].left;
+
+    // Gaussian blur (the IF task).
+    let mut filter = FilterScratch::default();
+    let mut blurred = GrayImage::default();
+    gaussian_blur_into(left, 1.2, &mut filter, &mut blurred); // warm-up
+    let d = alloc_delta(|| gaussian_blur_into(left, 1.2, &mut filter, &mut blurred));
+    assert_eq!(d, 0, "warm gaussian_blur_into allocated {d} times");
+
+    // FAST detection (the FD task), including NMS, bucketing and sorting.
+    let mut fast = FastScratch::default();
+    let mut kps = Vec::new();
+    detect_fast_into(left, &FastConfig::default(), &mut fast, &mut kps); // warm-up
+    let d = alloc_delta(|| detect_fast_into(left, &FastConfig::default(), &mut fast, &mut kps));
+    assert_eq!(d, 0, "warm detect_fast_into allocated {d} times");
+    assert!(!kps.is_empty(), "rendered frame must yield corners");
+
+    // Pyramid rebuild (the per-frame pyramid of the DC/LSS tasks).
+    let klt_cfg = KltConfig::default();
+    let mut pyr = Pyramid::empty();
+    pyr.rebuild_from(left, klt_cfg.levels); // warm-up
+    let d = alloc_delta(|| pyr.rebuild_from(next_left, klt_cfg.levels));
+    assert_eq!(d, 0, "warm Pyramid::rebuild_from allocated {d} times");
+
+    // KLT tracking between cached pyramids (the DC + LSS tasks).
+    let prev_pyr = Pyramid::build((**left).clone(), klt_cfg.levels);
+    let next_pyr = Pyramid::build((**next_left).clone(), klt_cfg.levels);
+    let points: Vec<(f32, f32)> = kps.iter().take(100).map(|k| (k.x, k.y)).collect();
+    let mut klt = KltScratch::default();
+    let mut outcomes = Vec::new();
+    track_pyramidal_into(&prev_pyr, &next_pyr, &points, &klt_cfg, &mut klt, &mut outcomes);
+    let d = alloc_delta(|| {
+        track_pyramidal_into(&prev_pyr, &next_pyr, &points, &klt_cfg, &mut klt, &mut outcomes)
+    });
+    assert_eq!(d, 0, "warm track_pyramidal_into allocated {d} times");
+
+    // Full frontend: response maps, blur buffers and pyramids no longer
+    // allocate, so a warm frame must cost a small fraction of the cold
+    // frame's allocations (what remains: the returned observations, the
+    // stereo matcher's internals, ORB bookkeeping).
+    let mut frontend = Frontend::new(FrontendConfig::default());
+    let cold = alloc_delta(|| {
+        frontend.process(left, right);
+    });
+    frontend.process(next_left, right); // settle track state
+    let warm = alloc_delta(|| {
+        frontend.process(left, right);
+    });
+    assert!(
+        warm * 2 < cold,
+        "warm Frontend::process allocated {warm} times vs {cold} cold — scratch reuse regressed"
+    );
+}

@@ -1,0 +1,154 @@
+//! Golden bit-identity: the optimized scratch/pyramid-cached frontend
+//! must reproduce the seed implementation byte for byte.
+//!
+//! `eudoxus_bench::baseline` preserves the seed kernels and the seed
+//! frontend verbatim; these tests drive both paths over rendered frames
+//! of every scenario kind and compare outputs at the bit level. Together
+//! with `tests/streaming_session.rs` at the workspace root (batch vs
+//! stream vs `poll_parallel` RunLog equivalence), this pins the whole
+//! optimization down: same poses, faster clock.
+
+use eudoxus_bench::baseline::{
+    detect_fast_baseline, gaussian_blur_baseline, track_pyramidal_baseline, BaselineFrontend,
+};
+use eudoxus_frontend::{
+    detect_fast_into, track_pyramidal_into, FastConfig, FastScratch, Frontend, FrontendConfig,
+    KltConfig, KltScratch, TrackOutcome,
+};
+use eudoxus_image::{gaussian_blur_into, FilterScratch, GrayImage, Pyramid};
+use eudoxus_sim::{Dataset, Platform, ScenarioBuilder, ScenarioKind};
+
+const KINDS: [ScenarioKind; 4] = [
+    ScenarioKind::OutdoorUnknown,
+    ScenarioKind::IndoorUnknown,
+    ScenarioKind::IndoorKnown,
+    ScenarioKind::Mixed,
+];
+
+fn dataset(kind: ScenarioKind, frames: usize) -> Dataset {
+    ScenarioBuilder::new(kind)
+        .frames(frames)
+        .seed(17)
+        .platform(Platform::Drone)
+        .build()
+}
+
+#[test]
+fn blur_kernel_matches_seed_bitwise() {
+    let data = dataset(ScenarioKind::IndoorUnknown, 2);
+    let mut scratch = FilterScratch::default();
+    let mut out = GrayImage::default();
+    for frame in &data.frames {
+        for img in [&frame.left, &frame.right] {
+            let seed = gaussian_blur_baseline(img, 1.2);
+            gaussian_blur_into(img, 1.2, &mut scratch, &mut out);
+            assert_eq!(seed, out, "blur differs from seed");
+        }
+    }
+}
+
+#[test]
+fn fast_kernel_matches_seed_bitwise() {
+    let data = dataset(ScenarioKind::OutdoorUnknown, 2);
+    let cfg = FastConfig::default();
+    let mut scratch = FastScratch::default();
+    let mut out = Vec::new();
+    for frame in &data.frames {
+        for img in [&frame.left, &frame.right] {
+            let seed = detect_fast_baseline(img, &cfg);
+            detect_fast_into(img, &cfg, &mut scratch, &mut out);
+            assert_eq!(seed.len(), out.len(), "keypoint count differs");
+            for (a, b) in seed.iter().zip(&out) {
+                assert_eq!(a.x.to_bits(), b.x.to_bits());
+                assert_eq!(a.y.to_bits(), b.y.to_bits());
+                assert_eq!(a.response.to_bits(), b.response.to_bits());
+            }
+        }
+    }
+}
+
+#[test]
+fn klt_kernel_matches_seed_bitwise() {
+    let data = dataset(ScenarioKind::IndoorUnknown, 3);
+    let klt_cfg = KltConfig::default();
+    let prev = &data.frames[0].left;
+    let next = &data.frames[1].left;
+    let kps = detect_fast_baseline(prev, &FastConfig::default());
+    let points: Vec<(f32, f32)> = kps.iter().take(150).map(|k| (k.x, k.y)).collect();
+    assert!(!points.is_empty());
+
+    let seed = track_pyramidal_baseline(prev, next, &points, &klt_cfg);
+
+    // Optimized path: cached/rebuilt pyramids + reused scratch.
+    let mut prev_pyr = Pyramid::empty();
+    prev_pyr.rebuild_from(prev, klt_cfg.levels);
+    let mut next_pyr = Pyramid::empty();
+    next_pyr.rebuild_from(next, klt_cfg.levels);
+    let mut scratch = KltScratch::default();
+    let mut out = Vec::new();
+    track_pyramidal_into(&prev_pyr, &next_pyr, &points, &klt_cfg, &mut scratch, &mut out);
+
+    assert_eq!(seed.len(), out.len());
+    for (a, b) in seed.iter().zip(&out) {
+        match (a, b) {
+            (
+                TrackOutcome::Tracked { x: ax, y: ay, residual: ar },
+                TrackOutcome::Tracked { x: bx, y: by, residual: br },
+            ) => {
+                assert_eq!(ax.to_bits(), bx.to_bits());
+                assert_eq!(ay.to_bits(), by.to_bits());
+                assert_eq!(ar.to_bits(), br.to_bits());
+            }
+            _ => assert_eq!(a, b),
+        }
+    }
+}
+
+#[test]
+fn full_frontend_matches_seed_across_all_scenario_kinds() {
+    // The strongest frontend-level guarantee: observation streams —
+    // track ids, positions, disparities, descriptors — are bit-identical
+    // between the seed frontend (prev_left clone, two pyramid builds,
+    // fresh buffers every frame) and the optimized one (scratch reuse,
+    // one pyramid rebuild, cached template pyramid), across multiple
+    // frames and a mid-stream reset of every scenario kind.
+    for kind in KINDS {
+        let data = dataset(kind, 4);
+        let mut seed_fe = BaselineFrontend::new(FrontendConfig::default());
+        let mut opt_fe = Frontend::new(FrontendConfig::default());
+        for (i, frame) in data.frames.iter().enumerate() {
+            if i == 2 {
+                // Segment boundary behavior must match too.
+                seed_fe.reset();
+                opt_fe.reset();
+            }
+            let seed = seed_fe.process(&frame.left, &frame.right);
+            let opt = opt_fe.process(&frame.left, &frame.right);
+            assert_eq!(
+                seed.observations.len(),
+                opt.observations.len(),
+                "{kind:?} frame {i}: observation count"
+            );
+            for (a, b) in seed.observations.iter().zip(&opt.observations) {
+                assert_eq!(a.track_id, b.track_id, "{kind:?} frame {i}: track id");
+                assert_eq!(a.x.to_bits(), b.x.to_bits(), "{kind:?} frame {i}: x");
+                assert_eq!(a.y.to_bits(), b.y.to_bits(), "{kind:?} frame {i}: y");
+                assert_eq!(
+                    a.disparity.map(f32::to_bits),
+                    b.disparity.map(f32::to_bits),
+                    "{kind:?} frame {i}: disparity"
+                );
+                assert_eq!(
+                    a.descriptor.words(),
+                    b.descriptor.words(),
+                    "{kind:?} frame {i}: descriptor"
+                );
+            }
+            assert_eq!(seed.stats.keypoints_left, opt.stats.keypoints_left);
+            assert_eq!(seed.stats.stereo_matches, opt.stats.stereo_matches);
+            assert_eq!(seed.stats.tracks_continued, opt.stats.tracks_continued);
+            assert_eq!(seed.stats.tracks_spawned, opt.stats.tracks_spawned);
+            assert_eq!(seed.stats.tracks_lost, opt.stats.tracks_lost);
+        }
+    }
+}

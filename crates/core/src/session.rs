@@ -295,11 +295,13 @@ struct AgentSlot {
 /// Owns N independent [`LocalizationSession`]s keyed by agent id and
 /// services their event queues round-robin.
 ///
-/// This is the serving/sharding seam: one manager per worker core (or per
-/// shard of agents), each agent's stream isolated in its own session.
-/// [`enqueue`](SessionManager::enqueue) is the ingest side;
-/// [`poll`](SessionManager::poll) advances one agent at a time so no
-/// single chatty agent can starve the others.
+/// This is the serving/sharding seam: each agent's stream is isolated in
+/// its own session. [`enqueue`](SessionManager::enqueue) is the ingest
+/// side; [`poll`](SessionManager::poll) advances one agent at a time so
+/// no single chatty agent can starve the others, and
+/// [`poll_parallel`](SessionManager::poll_parallel) drains all queues
+/// with the agents sharded across worker threads — same records, same
+/// order, multi-core throughput.
 #[derive(Default)]
 pub struct SessionManager {
     agents: Vec<AgentSlot>,
@@ -418,6 +420,116 @@ impl SessionManager {
         // poll() returning None guarantees the queues drained (trailing
         // non-frame events are consumed into session buffers).
         debug_assert_eq!(self.pending_events(), 0);
+        out
+    }
+
+    /// Drains every queue like [`run_until_idle`](Self::run_until_idle),
+    /// but shards the *agents* across `n_workers` OS threads
+    /// (`std::thread::scope`). Sessions are independent, so each worker
+    /// drives its share of sessions sequentially with no locking; the
+    /// per-agent record streams are then merged back into exactly the
+    /// order sequential round-robin polling would have produced — the
+    /// returned vector (ids, records, poses, bit for bit) and the final
+    /// manager/session states are identical to the sequential path.
+    ///
+    /// Use [`poll`](Self::poll) when single-frame latency or external
+    /// side-effect ordering matters; use this when throughput does.
+    /// Worker-count guidance: sessions are CPU-bound, so `n_workers ≈
+    /// min(agent_count, physical cores)` saturates the machine; more
+    /// workers than agents is never useful (the extra threads idle), and
+    /// `n_workers = 1` degenerates to the sequential path.
+    pub fn poll_parallel(&mut self, n_workers: usize) -> Vec<(String, FrameRecord)> {
+        let n = self.agents.len();
+        if n == 0 {
+            return Vec::new();
+        }
+
+        // Simulate the sequential round-robin schedule on the queue
+        // *skeleton* (only whether each event is an image matters): which
+        // agent produces each successive record, and where the cursor
+        // ends. `push` returns a record exactly for image events, so the
+        // skeleton predicts the sessions' outputs without running them.
+        let mut remaining: Vec<VecDeque<bool>> = self
+            .agents
+            .iter()
+            .map(|a| {
+                a.inbox
+                    .iter()
+                    .map(|e| matches!(e, SensorEvent::Image(_)))
+                    .collect()
+            })
+            .collect();
+        let mut merge_order: Vec<usize> = Vec::new();
+        let mut cursor = self.cursor;
+        'polls: loop {
+            let start = cursor;
+            for turn in 0..n {
+                let idx = (start + turn) % n;
+                if remaining[idx].is_empty() {
+                    continue;
+                }
+                cursor = (idx + 1) % n;
+                let mut produced = false;
+                while let Some(is_image) = remaining[idx].pop_front() {
+                    if is_image {
+                        produced = true;
+                        break;
+                    }
+                }
+                if produced {
+                    merge_order.push(idx);
+                    continue 'polls;
+                }
+            }
+            break;
+        }
+
+        // Fan the agents out: each worker drains whole sessions, so all
+        // per-session work stays single-threaded and bit-identical.
+        let n_workers = n_workers.clamp(1, n);
+        let chunk = n.div_ceil(n_workers);
+        let mut per_agent: Vec<Vec<FrameRecord>> = Vec::with_capacity(n);
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = self
+                .agents
+                .chunks_mut(chunk)
+                .map(|slots| {
+                    scope.spawn(move || {
+                        slots
+                            .iter_mut()
+                            .map(|slot| {
+                                let mut records = Vec::new();
+                                while let Some(event) = slot.inbox.pop_front() {
+                                    if let Some(record) = slot.session.push(event) {
+                                        records.push(record);
+                                    }
+                                }
+                                records
+                            })
+                            .collect::<Vec<Vec<FrameRecord>>>()
+                    })
+                })
+                .collect();
+            for handle in handles {
+                per_agent.extend(handle.join().expect("session worker panicked"));
+            }
+        });
+
+        // Deterministic merge: interleave the per-agent streams in the
+        // simulated round-robin order.
+        let mut streams: Vec<std::vec::IntoIter<FrameRecord>> =
+            per_agent.into_iter().map(Vec::into_iter).collect();
+        let out: Vec<(String, FrameRecord)> = merge_order
+            .into_iter()
+            .map(|idx| {
+                let record = streams[idx]
+                    .next()
+                    .expect("skeleton schedule matches session output");
+                (self.agents[idx].id.clone(), record)
+            })
+            .collect();
+        debug_assert!(streams.iter_mut().all(|s| s.next().is_none()));
+        self.cursor = cursor;
         out
     }
 }
@@ -574,6 +686,78 @@ mod tests {
         assert_eq!(id, "b");
         assert!(manager.poll().is_none());
         assert_eq!(manager.pending_events(), 0);
+    }
+
+    #[test]
+    fn poll_parallel_matches_sequential_for_every_worker_count() {
+        // Three agents with different scenario kinds and queue shapes
+        // (one gets a trailing partial frame). The parallel drain must
+        // reproduce the sequential record stream exactly for any worker
+        // count, including workers > agents.
+        let build = || {
+            let mut manager = SessionManager::new();
+            for id in ["a", "b", "c"] {
+                manager.add_agent(id, LocalizationSession::new(PipelineConfig::anchored()));
+            }
+            for (id, kind, seed) in [
+                ("a", ScenarioKind::OutdoorUnknown, 1),
+                ("b", ScenarioKind::IndoorUnknown, 2),
+                ("c", ScenarioKind::Mixed, 3),
+            ] {
+                for e in dataset(kind, 3, seed).events() {
+                    manager.enqueue(id, e);
+                }
+            }
+            // Trailing partial frame for "b": consumed, yields no record.
+            manager.enqueue("b", SensorEvent::SegmentBoundary { anchor: None });
+            manager
+        };
+
+        for workers in [1, 2, 8] {
+            let mut sequential = build();
+            let expected = sequential.run_until_idle();
+            assert!(!expected.is_empty());
+
+            let mut parallel = build();
+            let got = parallel.poll_parallel(workers);
+            assert_eq!(got.len(), expected.len(), "{workers} workers: count");
+            for ((eid, er), (gid, gr)) in expected.iter().zip(&got) {
+                assert_eq!(eid, gid, "{workers} workers: agent order");
+                assert_eq!(er.index, gr.index);
+                assert_eq!(er.mode, gr.mode);
+                assert_eq!(
+                    er.pose.translation.x.to_bits(),
+                    gr.pose.translation.x.to_bits(),
+                    "{workers} workers: pose bits"
+                );
+            }
+            assert_eq!(parallel.pending_events(), 0);
+
+            // Follow-up traffic sees identical manager state (cursor,
+            // session buffers) on both paths.
+            for m in [&mut sequential, &mut parallel] {
+                for e in dataset(ScenarioKind::OutdoorUnknown, 1, 9).events() {
+                    m.enqueue("a", e);
+                }
+            }
+            let s2 = sequential.run_until_idle();
+            let p2 = parallel.run_until_idle();
+            assert_eq!(s2.len(), p2.len());
+            for ((_, a), (_, b)) in s2.iter().zip(&p2) {
+                assert_eq!(
+                    a.pose.translation.x.to_bits(),
+                    b.pose.translation.x.to_bits()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn poll_parallel_on_empty_manager_is_empty() {
+        let mut manager = SessionManager::new();
+        assert!(manager.poll_parallel(4).is_empty());
+        manager.add_agent("a", LocalizationSession::new(PipelineConfig::anchored()));
+        assert!(manager.poll_parallel(4).is_empty());
     }
 
     #[test]

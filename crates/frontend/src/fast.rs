@@ -58,27 +58,33 @@ impl Default for FastConfig {
 /// Segment-test classification of one pixel; returns the corner response
 /// (0 when not a corner). The response is the sum of absolute differences
 /// beyond the threshold over the circle — the score used for NMS.
+///
+/// The caller's scan loop keeps `(x, y)` at least 3 pixels inside every
+/// border, so each circle tap is in bounds and the per-tap clamp of the
+/// seed implementation reduces to an unchecked read (same pixels, same
+/// arithmetic — the clamp never fired on the interior). The caller has
+/// also already passed the compass quick-reject (FAST-9 needs ≥ 2
+/// consistent extremes among the 4 compass points for any length-9 arc),
+/// so this evaluates the full wrap-around segment test directly — for a
+/// pixel that passed the pre-test, the seed code reached the same point
+/// with the same state.
 fn corner_response(img: &GrayImage, x: u32, y: u32, t: u8) -> f32 {
-    let c = img.get(x, y) as i32;
+    debug_assert!(
+        x >= 3 && y >= 3 && x + 3 < img.width() && y + 3 < img.height(),
+        "corner_response requires a 3-pixel interior margin"
+    );
+    // SAFETY: the interior margin asserted above keeps every offset tap
+    // of the radius-3 Bresenham circle in bounds.
+    let tap = |dx: i64, dy: i64| unsafe {
+        img.get_unchecked((x as i64 + dx) as u32, (y as i64 + dy) as u32) as i32
+    };
+    let c = tap(0, 0);
     let t = t as i32;
-    let (xi, yi) = (x as i64, y as i64);
-
-    // Quick rejection: among the 4 compass points, FAST-9 requires at least
-    // 2 consistent extremes for a valid arc of length 9.
-    let p0 = img.get_clamped(xi, yi - 3) as i32;
-    let p8 = img.get_clamped(xi, yi + 3) as i32;
-    let p4 = img.get_clamped(xi + 3, yi) as i32;
-    let p12 = img.get_clamped(xi - 3, yi) as i32;
-    let bright_quick = [p0, p4, p8, p12].iter().filter(|&&p| p > c + t).count();
-    let dark_quick = [p0, p4, p8, p12].iter().filter(|&&p| p < c - t).count();
-    if bright_quick < 2 && dark_quick < 2 {
-        return 0.0;
-    }
 
     // Full segment test with wrap-around (scan 16 + ARC positions).
     let mut ring = [0i32; 16];
     for (slot, &(dx, dy)) in ring.iter_mut().zip(CIRCLE.iter()) {
-        *slot = img.get_clamped(xi + dx, yi + dy) as i32;
+        *slot = tap(dx, dy);
     }
     let mut bright_run = 0usize;
     let mut dark_run = 0usize;
@@ -108,27 +114,88 @@ fn corner_response(img: &GrayImage, x: u32, y: u32, t: u8) -> f32 {
         .sum::<i32>() as f32
 }
 
+/// Reusable workspaces for [`detect_fast_into`]: the full-image response
+/// map, the NMS candidate list, and the bucketing buffers. One warm-up
+/// call at a given image size makes every subsequent call allocation-free.
+#[derive(Debug, Clone, Default)]
+pub struct FastScratch {
+    responses: Vec<f32>,
+    candidates: Vec<KeyPoint>,
+    sort_buf: Vec<KeyPoint>,
+    cell_counts: Vec<u32>,
+    spill: Vec<KeyPoint>,
+}
+
 /// Detects FAST-9 corners with 3×3 non-maximum suppression and grid
 /// bucketing.
 ///
-/// Returns key points sorted by descending response.
+/// Returns key points sorted by descending response. Thin wrapper over
+/// [`detect_fast_into`] with throwaway buffers; steady-state callers
+/// (e.g. the frontend, once per frame per eye) should hold a
+/// [`FastScratch`] and call the `_into` form instead.
 pub fn detect_fast(img: &GrayImage, cfg: &FastConfig) -> Vec<KeyPoint> {
+    let mut scratch = FastScratch::default();
+    let mut out = Vec::new();
+    detect_fast_into(img, cfg, &mut scratch, &mut out);
+    out
+}
+
+/// [`detect_fast`] into a reusable output vector with reusable internal
+/// buffers. Bit-identical results (same key points in the same order);
+/// zero heap allocations once `scratch` and `out` are warm.
+pub fn detect_fast_into(
+    img: &GrayImage,
+    cfg: &FastConfig,
+    scratch: &mut FastScratch,
+    out: &mut Vec<KeyPoint>,
+) {
+    out.clear();
     let (w, h) = img.dimensions();
     if w < 8 || h < 8 {
-        return Vec::new();
+        return;
     }
-    // Response map over the valid interior.
-    let mut responses = vec![0.0f32; (w * h) as usize];
+    // Response map over the valid interior (cleared to zero so NMS reads
+    // of the untouched border ring see no stale responses).
+    scratch.responses.clear();
+    scratch.responses.resize((w * h) as usize, 0.0);
+    // Row-sliced quick rejection: the compass pre-test of the segment
+    // test, run over raw rows so the ~95 % of pixels that fail it never
+    // pay for the full ring evaluation. Pixels that fail score 0 in the
+    // full test too, so the response map is unchanged.
+    let raw = img.as_raw();
+    let wu = w as usize;
+    let t = cfg.threshold as i32;
     for y in 3..(h - 3) {
+        let yy = y as usize;
+        let mid = &raw[yy * wu..][..wu];
+        let up3 = &raw[(yy - 3) * wu..][..wu];
+        let dn3 = &raw[(yy + 3) * wu..][..wu];
         for x in 3..(w - 3) {
-            responses[(y * w + x) as usize] = corner_response(img, x, y, cfg.threshold);
+            let xu = x as usize;
+            let c = mid[xu] as i32;
+            let p0 = up3[xu] as i32;
+            let p4 = mid[xu + 3] as i32;
+            let p8 = dn3[xu] as i32;
+            let p12 = mid[xu - 3] as i32;
+            let bright = u8::from(p0 > c + t)
+                + u8::from(p4 > c + t)
+                + u8::from(p8 > c + t)
+                + u8::from(p12 > c + t);
+            let dark = u8::from(p0 < c - t)
+                + u8::from(p4 < c - t)
+                + u8::from(p8 < c - t)
+                + u8::from(p12 < c - t);
+            if bright >= 2 || dark >= 2 {
+                scratch.responses[(y * w + x) as usize] =
+                    corner_response(img, x, y, cfg.threshold);
+            }
         }
     }
     // 3×3 non-maximum suppression.
-    let mut candidates: Vec<KeyPoint> = Vec::new();
+    scratch.candidates.clear();
     for y in 3..(h - 3) {
         for x in 3..(w - 3) {
-            let r = responses[(y * w + x) as usize];
+            let r = scratch.responses[(y * w + x) as usize];
             if r <= 0.0 {
                 continue;
             }
@@ -138,7 +205,8 @@ pub fn detect_fast(img: &GrayImage, cfg: &FastConfig) -> Vec<KeyPoint> {
                     if dx == 0 && dy == 0 {
                         continue;
                     }
-                    let n = responses[((y as i64 + dy) as u32 * w + (x as i64 + dx) as u32) as usize];
+                    let n = scratch.responses
+                        [((y as i64 + dy) as u32 * w + (x as i64 + dx) as u32) as usize];
                     if n > r || (n == r && (dy < 0 || (dy == 0 && dx < 0))) {
                         is_max = false;
                         break 'nms;
@@ -146,49 +214,95 @@ pub fn detect_fast(img: &GrayImage, cfg: &FastConfig) -> Vec<KeyPoint> {
                 }
             }
             if is_max {
-                candidates.push(KeyPoint::new(x as f32, y as f32, r));
+                scratch.candidates.push(KeyPoint::new(x as f32, y as f32, r));
             }
         }
     }
-    bucket_keypoints(candidates, w, h, cfg)
+    bucket_keypoints_into(scratch, w, h, cfg, out);
+}
+
+/// Stable descending-by-response sort into place, using a caller-owned
+/// merge buffer instead of the hidden allocation `slice::sort_by` makes
+/// per call. Stable sorts are order-unique for a given comparator, so the
+/// result is identical to
+/// `v.sort_by(|a, b| b.response.total_cmp(&a.response))`.
+fn sort_desc_by_response(v: &mut [KeyPoint], buf: &mut Vec<KeyPoint>) {
+    let n = v.len();
+    if n < 2 {
+        return;
+    }
+    buf.clear();
+    buf.resize(n, KeyPoint::new(0.0, 0.0, 0.0));
+    let mut width = 1;
+    while width < n {
+        let mut lo = 0;
+        while lo < n {
+            let mid = usize::min(lo + width, n);
+            let hi = usize::min(lo + 2 * width, n);
+            let (mut i, mut j) = (lo, mid);
+            for slot in buf[lo..hi].iter_mut() {
+                // Take the right run only when it is strictly stronger —
+                // ties keep the left (earlier) element, i.e. stability.
+                let take_right = j < hi
+                    && (i >= mid
+                        || v[j].response.total_cmp(&v[i].response) == std::cmp::Ordering::Greater);
+                if take_right {
+                    *slot = v[j];
+                    j += 1;
+                } else {
+                    *slot = v[i];
+                    i += 1;
+                }
+            }
+            lo = hi;
+        }
+        v.copy_from_slice(&buf[..n]);
+        width *= 2;
+    }
 }
 
 /// Spreads key points over the image: keeps the strongest per grid cell
-/// first, then fills remaining quota by global response order.
-fn bucket_keypoints(mut kps: Vec<KeyPoint>, w: u32, h: u32, cfg: &FastConfig) -> Vec<KeyPoint> {
-    if kps.len() <= cfg.max_keypoints {
-        kps.sort_by(|a, b| b.response.total_cmp(&a.response));
-        return kps;
+/// first, then fills remaining quota by global response order. Operates on
+/// `scratch.candidates`, writing the selection into `out`.
+fn bucket_keypoints_into(
+    scratch: &mut FastScratch,
+    w: u32,
+    h: u32,
+    cfg: &FastConfig,
+    out: &mut Vec<KeyPoint>,
+) {
+    sort_desc_by_response(&mut scratch.candidates, &mut scratch.sort_buf);
+    if scratch.candidates.len() <= cfg.max_keypoints {
+        out.extend_from_slice(&scratch.candidates);
+        return;
     }
     let cell = cfg.cell_size.max(8);
     let cols = w.div_ceil(cell);
     let rows = h.div_ceil(cell);
-    kps.sort_by(|a, b| b.response.total_cmp(&a.response));
-    let mut cell_counts = vec![0u32; (cols * rows) as usize];
+    scratch.cell_counts.clear();
+    scratch.cell_counts.resize((cols * rows) as usize, 0);
     let per_cell = ((cfg.max_keypoints as u32) / (cols * rows).max(1)).max(1);
-    let mut picked = Vec::with_capacity(cfg.max_keypoints);
-    let mut spill = Vec::new();
-    for kp in kps {
+    scratch.spill.clear();
+    for &kp in &scratch.candidates {
         let ci = (kp.y as u32 / cell) * cols + (kp.x as u32 / cell);
-        if cell_counts[ci as usize] < per_cell {
-            cell_counts[ci as usize] += 1;
-            picked.push(kp);
+        if scratch.cell_counts[ci as usize] < per_cell {
+            scratch.cell_counts[ci as usize] += 1;
+            out.push(kp);
         } else {
-            spill.push(kp);
+            scratch.spill.push(kp);
         }
-        if picked.len() == cfg.max_keypoints {
+        if out.len() == cfg.max_keypoints {
             break;
         }
     }
     // Fill remaining quota with the strongest spilled points.
-    for kp in spill {
-        if picked.len() >= cfg.max_keypoints {
+    for &kp in &scratch.spill {
+        if out.len() >= cfg.max_keypoints {
             break;
         }
-        picked.push(kp);
+        out.push(kp);
     }
-    picked.sort_by(|a, b| b.response.total_cmp(&a.response));
-    picked
+    sort_desc_by_response(out, &mut scratch.sort_buf);
 }
 
 #[cfg(test)]
@@ -280,6 +394,57 @@ mod tests {
     fn tiny_image_is_safe() {
         let img = GrayImage::new(6, 6);
         assert!(detect_fast(&img, &FastConfig::default()).is_empty());
+    }
+
+    #[test]
+    fn scratch_reuse_is_bit_identical() {
+        // One FastScratch reused across images of different content and
+        // size must match fresh-buffer detection exactly, point for point.
+        let dense = GrayImage::from_fn(160, 160, |x, y| {
+            let dx = (x % 16) as f32 - 8.0;
+            let dy = (y % 16) as f32 - 8.0;
+            if dx * dx + dy * dy < 9.0 {
+                210
+            } else {
+                40
+            }
+        });
+        let cfg_small = FastConfig {
+            max_keypoints: 50,
+            ..FastConfig::default()
+        };
+        let mut scratch = FastScratch::default();
+        let mut out = Vec::new();
+        for (img, cfg) in [
+            (&disc_image(), &FastConfig::default()),
+            (&dense, &cfg_small), // exercises the bucketing (spill) path
+            (&disc_image(), &FastConfig::default()),
+            (&GrayImage::filled(64, 64, 100), &FastConfig::default()),
+        ] {
+            detect_fast_into(img, cfg, &mut scratch, &mut out);
+            let fresh = detect_fast(img, cfg);
+            assert_eq!(out.len(), fresh.len());
+            for (a, b) in out.iter().zip(&fresh) {
+                assert_eq!(a.x.to_bits(), b.x.to_bits());
+                assert_eq!(a.y.to_bits(), b.y.to_bits());
+                assert_eq!(a.response.to_bits(), b.response.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn scratch_sort_matches_std_stable_sort() {
+        // Deliberately includes ties so stability is exercised.
+        let mut kps: Vec<KeyPoint> = (0..257)
+            .map(|i| KeyPoint::new(i as f32, 0.0, ((i * 7919) % 23) as f32))
+            .collect();
+        let mut reference = kps.clone();
+        reference.sort_by(|a, b| b.response.total_cmp(&a.response));
+        let mut buf = Vec::new();
+        sort_desc_by_response(&mut kps, &mut buf);
+        for (a, b) in kps.iter().zip(&reference) {
+            assert_eq!((a.x, a.response), (b.x, b.response));
+        }
     }
 
     #[test]

@@ -7,7 +7,7 @@
 //! iteration: template gradients once per level, then iterative 2×2 normal
 //! equation solves.
 
-use eudoxus_image::{GrayImage, Pyramid};
+use eudoxus_image::{FloatImage, GrayImage, Pyramid};
 
 /// LK tracker parameters.
 #[derive(Debug, Clone, Copy)]
@@ -70,6 +70,147 @@ impl TrackOutcome {
     }
 }
 
+/// Reusable window buffers for the LK solve (template values and
+/// gradients). One warm-up call makes every subsequent track
+/// allocation-free.
+#[derive(Debug, Clone, Default)]
+pub struct KltScratch {
+    template: Vec<f32>,
+    grad_x: Vec<f32>,
+    grad_y: Vec<f32>,
+    /// Extended `(w+2)²` sample grid of the template window (the DC
+    /// phase shares samples between the template and the central
+    /// differences instead of re-sampling five times per pixel).
+    samples: Vec<f32>,
+    /// Per-column proof that the gradient sample positions `tx ± 1.0`
+    /// equal the neighboring grid positions `px + (dx ± 1)` bit for bit
+    /// (f32 addition rounds, so this can fail near binade boundaries —
+    /// those columns fall back to direct sampling).
+    exact_x: Vec<(bool, bool)>,
+    /// f32 copies of the pyramid levels being tracked between. Every
+    /// `u8` is exact in `f32`, so sampling the planes is bit-identical
+    /// to sampling the `u8` levels — without the four integer→float
+    /// converts inside the innermost loop of the solve.
+    prev_planes: Vec<FloatImage>,
+    next_planes: Vec<FloatImage>,
+    /// Per-column sample x positions `px + dx` (identical computation to
+    /// the inline form, hoisted out of the iteration loops).
+    txs: Vec<f32>,
+}
+
+/// Bilinear sampling along one image row: the y-dependent terms
+/// (`y.floor()`, the fractional weight, the row offset) are computed once
+/// per row instead of per sample. `sample(x)` is bit-identical to
+/// `img.sample_bilinear(x, y)` — the hoisted values come from the same
+/// inputs through the same operations, and border samples fall back to
+/// the clamped path verbatim. The LK window loops sample hundreds of
+/// points per row-pair, which makes this the solve's hottest code.
+struct RowSampler<'a> {
+    img: &'a FloatImage,
+    raw: &'a [f32],
+    w: i64,
+    /// Flat index of `(0, y0)`; only valid when `y_interior`.
+    row0: usize,
+    fy: f32,
+    y: f32,
+    y_interior: bool,
+}
+
+impl<'a> RowSampler<'a> {
+    #[inline]
+    fn new(img: &'a FloatImage, y: f32) -> Self {
+        let y0f = y.floor();
+        let fy = y - y0f;
+        let y0 = y0f as i64;
+        let w = img.width() as i64;
+        // `y0 < h - 1`, not `y0 + 1 < h`: the saturated cast of a huge
+        // finite y (i64::MAX) must not overflow into a false positive.
+        let y_interior = y0 >= 0 && y0 < img.height() as i64 - 1;
+        RowSampler {
+            img,
+            raw: img.as_raw(),
+            w,
+            row0: if y_interior { (y0 * w) as usize } else { 0 },
+            fy,
+            y,
+            y_interior,
+        }
+    }
+
+    #[inline]
+    fn sample(&self, x: f32) -> f32 {
+        if self.y_interior {
+            let x0f = x.floor();
+            let fx = x - x0f;
+            let x0 = x0f as i64;
+            // `x0 < w - 1`, not `x0 + 1 < w` (saturated-cast overflow).
+            if x0 >= 0 && x0 < self.w - 1 {
+                // SAFETY: x0 and y0 (plus one) are inside the image.
+                return unsafe { self.tap(x0 as usize, fx) };
+            }
+        }
+        self.img.sample_bilinear(x, self.y)
+    }
+
+    /// Whether every sample in `[x_first, x_last]` (both on this row)
+    /// takes the interior path — `floor` is monotonic, so checking the
+    /// endpoints covers the run.
+    #[inline]
+    fn run_interior(&self, x_first: f32, x_last: f32) -> bool {
+        // `< w - 1`, not `+ 1 < w` (saturated-cast overflow).
+        self.y_interior
+            && x_first.floor() as i64 >= 0
+            && (x_last.floor() as i64) < self.w - 1
+    }
+
+    /// Interior sample without the bounds branch (callers prove the run
+    /// is interior via [`run_interior`](Self::run_interior)). Identical
+    /// arithmetic to [`sample`](Self::sample)'s interior path.
+    ///
+    /// # Safety
+    ///
+    /// `x.floor()` must be in `[0, width - 2]` and the sampler's row
+    /// must be interior.
+    #[inline]
+    unsafe fn sample_interior(&self, x: f32) -> f32 {
+        let x0f = x.floor();
+        let fx = x - x0f;
+        debug_assert!(x0f as i64 >= 0 && (x0f as i64) < self.w - 1 && self.y_interior);
+        self.tap(x0f as usize, fx)
+    }
+
+    /// # Safety
+    ///
+    /// `x0 + 1 < width` and the row must be interior.
+    #[inline]
+    unsafe fn tap(&self, x0: usize, fx: f32) -> f32 {
+        let idx = self.row0 + x0;
+        let (p00, p10, p01, p11) = (
+            *self.raw.get_unchecked(idx),
+            *self.raw.get_unchecked(idx + 1),
+            *self.raw.get_unchecked(idx + self.w as usize),
+            *self.raw.get_unchecked(idx + self.w as usize + 1),
+        );
+        let fy = self.fy;
+        p00 * (1.0 - fx) * (1.0 - fy)
+            + p10 * fx * (1.0 - fy)
+            + p01 * (1.0 - fx) * fy
+            + p11 * fx * fy
+    }
+}
+
+/// Copies pyramid levels into reusable f32 planes (allocation-free once
+/// the plane buffers are warm at the stream's image size).
+fn pyramid_to_planes(pyr: &Pyramid, planes: &mut Vec<FloatImage>) {
+    planes.truncate(pyr.levels());
+    while planes.len() < pyr.levels() {
+        planes.push(FloatImage::default());
+    }
+    for (plane, i) in planes.iter_mut().zip(0..pyr.levels()) {
+        plane.copy_from_gray(pyr.level(i));
+    }
+}
+
 /// Tracks one point on a single pyramid level; `(gx, gy)` is the initial
 /// displacement estimate. Returns `(dx, dy, residual)` on success.
 ///
@@ -79,13 +220,14 @@ impl TrackOutcome {
 /// likewise operates on windowed data (paper Fig. 12).
 #[allow(clippy::too_many_arguments)]
 fn track_level(
-    prev: &GrayImage,
-    next: &GrayImage,
+    prev: &FloatImage,
+    next: &FloatImage,
     px: f32,
     py: f32,
     mut gx: f32,
     mut gy: f32,
     cfg: &KltConfig,
+    scratch: &mut KltScratch,
 ) -> Option<(f32, f32, f32)> {
     let r = cfg.window_radius;
     let w = (2 * r + 1) as usize;
@@ -93,22 +235,78 @@ fn track_level(
 
     // DC phase: template values, window gradients and the 2×2 structure
     // tensor (constant across iterations: linearized at the template).
-    let mut template = vec![0.0f32; w * w];
-    let mut grad_x = vec![0.0f32; w * w];
-    let mut grad_y = vec![0.0f32; w * w];
+    scratch.template.clear();
+    scratch.template.resize(w * w, 0.0);
+    scratch.grad_x.clear();
+    scratch.grad_x.resize(w * w, 0.0);
+    scratch.grad_y.clear();
+    scratch.grad_y.resize(w * w, 0.0);
+    let template = &mut scratch.template;
+    let grad_x = &mut scratch.grad_x;
+    let grad_y = &mut scratch.grad_y;
+
+    // Sample the extended (w+2)² grid once: position (erow, ecol) is
+    // `(px + edx, py + edy)` for `edx, edy ∈ -(r+1)..=(r+1)` — the inner
+    // w×w block is exactly the template positions, the one-pixel ring
+    // holds the out-of-window central-difference taps.
+    let we = w + 2;
+    scratch.samples.clear();
+    scratch.samples.resize(we * we, 0.0);
+    for (erow, edy) in (-(r + 1)..=(r + 1)).enumerate() {
+        let s = RowSampler::new(prev, py + edy as f32);
+        let row_out = &mut scratch.samples[erow * we..][..we];
+        if s.run_interior(px + (-(r + 1)) as f32, px + (r + 1) as f32) {
+            for (slot, edx) in row_out.iter_mut().zip(-(r + 1)..=(r + 1)) {
+                // SAFETY: run_interior proved the whole run.
+                *slot = unsafe { s.sample_interior(px + edx as f32) };
+            }
+        } else {
+            for (slot, edx) in row_out.iter_mut().zip(-(r + 1)..=(r + 1)) {
+                *slot = s.sample(px + edx as f32);
+            }
+        }
+    }
+    // The direct form samples gradients at `tx ± 1.0`; the grid holds
+    // samples at `px + (dx ± 1)`. Equal positions give bit-equal samples,
+    // so prove the equality per column (and per row below) and resample
+    // directly when f32 rounding makes them differ.
+    scratch.exact_x.clear();
+    scratch.exact_x.extend((-r..=r).map(|dx| {
+        let tx = px + dx as f32;
+        (
+            tx + 1.0 == px + (dx + 1) as f32,
+            tx - 1.0 == px + (dx - 1) as f32,
+        )
+    }));
+    // Hoisted per-column x positions (`px + dx`, the same computation the
+    // inline form performs per pixel).
+    scratch.txs.clear();
+    scratch.txs.extend((-r..=r).map(|dx| px + dx as f32));
+    let samples = &scratch.samples;
     let mut a11 = 0.0f32;
     let mut a12 = 0.0f32;
     let mut a22 = 0.0f32;
     for (row, dy) in (-r..=r).enumerate() {
+        let ty = py + dy as f32;
+        let y_exact_dn = ty + 1.0 == py + (dy + 1) as f32;
+        let y_exact_up = ty - 1.0 == py + (dy - 1) as f32;
+        // Fallback samplers (only consulted when an exactness proof
+        // fails, i.e. almost never).
+        let s_mid = RowSampler::new(prev, ty);
+        let s_up = RowSampler::new(prev, ty - 1.0);
+        let s_dn = RowSampler::new(prev, ty + 1.0);
         for (col, dx) in (-r..=r).enumerate() {
             let tx = px + dx as f32;
-            let ty = py + dy as f32;
             let idx = row * w + col;
-            template[idx] = prev.sample_bilinear(tx, ty);
-            let ix = (prev.sample_bilinear(tx + 1.0, ty) - prev.sample_bilinear(tx - 1.0, ty))
-                * 0.5;
-            let iy = (prev.sample_bilinear(tx, ty + 1.0) - prev.sample_bilinear(tx, ty - 1.0))
-                * 0.5;
+            let e = (row + 1) * we + (col + 1);
+            template[idx] = samples[e];
+            let (x_exact_r, x_exact_l) = scratch.exact_x[col];
+            let right = if x_exact_r { samples[e + 1] } else { s_mid.sample(tx + 1.0) };
+            let left = if x_exact_l { samples[e - 1] } else { s_mid.sample(tx - 1.0) };
+            let ix = (right - left) * 0.5;
+            let down = if y_exact_dn { samples[e + we] } else { s_dn.sample(tx) };
+            let up = if y_exact_up { samples[e - we] } else { s_up.sample(tx) };
+            let iy = (down - up) * 0.5;
             grad_x[idx] = ix;
             grad_y[idx] = iy;
             a11 += ix * ix;
@@ -123,20 +321,38 @@ fn track_level(
     let inv = 1.0 / det;
 
     // LSS phase: iterate the 2×2 solve.
+    let txs = &scratch.txs;
     let mut residual = f32::MAX;
     for _ in 0..cfg.max_iterations {
         let mut b1 = 0.0f32;
         let mut b2 = 0.0f32;
         let mut res_acc = 0.0f32;
         for (row, dy) in (-r..=r).enumerate() {
-            for (col, dx) in (-r..=r).enumerate() {
-                let idx = row * w + col;
-                let tx = px + dx as f32;
-                let ty = py + dy as f32;
-                let it = next.sample_bilinear(tx + gx, ty + gy) - template[idx];
-                b1 += it * grad_x[idx];
-                b2 += it * grad_y[idx];
-                res_acc += it.abs();
+            let ty = py + dy as f32;
+            let s = RowSampler::new(next, ty + gy);
+            let base = row * w;
+            let trow = &template[base..][..w];
+            let grow = &grad_x[base..][..w];
+            let hrow = &grad_y[base..][..w];
+            let taps = txs.iter().zip(trow).zip(grow.iter().zip(hrow));
+            if s.run_interior(txs[0] + gx, txs[w - 1] + gx) {
+                // Whole row interior: no per-sample bounds branches.
+                for ((&tx, &t), (&gxv, &gyv)) in taps {
+                    // SAFETY: run_interior proved both endpoints (and by
+                    // monotonicity of floor, every column between) are
+                    // interior on this row.
+                    let it = unsafe { s.sample_interior(tx + gx) } - t;
+                    b1 += it * gxv;
+                    b2 += it * gyv;
+                    res_acc += it.abs();
+                }
+            } else {
+                for ((&tx, &t), (&gxv, &gyv)) in taps {
+                    let it = s.sample(tx + gx) - t;
+                    b1 += it * gxv;
+                    b2 += it * gyv;
+                    res_acc += it.abs();
+                }
             }
         }
         residual = res_acc / n_px;
@@ -155,6 +371,11 @@ fn track_level(
 ///
 /// `points` are positions in `prev`; the result has one [`TrackOutcome`]
 /// per input point, in order.
+///
+/// Thin wrapper over [`track_pyramidal_into`] that builds both pyramids
+/// and throwaway scratch per call. Steady-state callers should cache the
+/// pyramids (the previous frame's pyramid is reusable as-is) and hold a
+/// [`KltScratch`].
 pub fn track_pyramidal(
     prev: &GrayImage,
     next: &GrayImage,
@@ -163,10 +384,35 @@ pub fn track_pyramidal(
 ) -> Vec<TrackOutcome> {
     let prev_pyr = Pyramid::build(prev.clone(), cfg.levels);
     let next_pyr = Pyramid::build(next.clone(), cfg.levels);
-    points
-        .iter()
-        .map(|&(x, y)| track_one(&prev_pyr, &next_pyr, x, y, cfg))
-        .collect()
+    let mut scratch = KltScratch::default();
+    let mut out = Vec::new();
+    track_pyramidal_into(&prev_pyr, &next_pyr, points, cfg, &mut scratch, &mut out);
+    out
+}
+
+/// Tracks points between two pre-built pyramids into a reusable output
+/// vector. Bit-identical to [`track_pyramidal`] given the same pyramids;
+/// zero heap allocations once `scratch` and `out` are warm.
+pub fn track_pyramidal_into(
+    prev_pyr: &Pyramid,
+    next_pyr: &Pyramid,
+    points: &[(f32, f32)],
+    cfg: &KltConfig,
+    scratch: &mut KltScratch,
+    out: &mut Vec<TrackOutcome>,
+) {
+    out.clear();
+    let mut prev_planes = std::mem::take(&mut scratch.prev_planes);
+    let mut next_planes = std::mem::take(&mut scratch.next_planes);
+    pyramid_to_planes(prev_pyr, &mut prev_planes);
+    pyramid_to_planes(next_pyr, &mut next_planes);
+    out.extend(
+        points
+            .iter()
+            .map(|&(x, y)| track_one_planes(&prev_planes, &next_planes, x, y, cfg, scratch)),
+    );
+    scratch.prev_planes = prev_planes;
+    scratch.next_planes = next_planes;
 }
 
 /// Tracks a single point through the pyramid, coarse to fine.
@@ -177,15 +423,50 @@ pub fn track_one(
     y: f32,
     cfg: &KltConfig,
 ) -> TrackOutcome {
-    let levels = prev_pyr.levels().min(next_pyr.levels());
+    track_one_with(prev_pyr, next_pyr, x, y, cfg, &mut KltScratch::default())
+}
+
+/// [`track_one`] with caller-owned window buffers (allocation-free once
+/// `scratch` is warm). Converts both pyramids to f32 planes per call —
+/// when tracking many points between the same pyramids, use
+/// [`track_pyramidal_into`], which converts once.
+pub fn track_one_with(
+    prev_pyr: &Pyramid,
+    next_pyr: &Pyramid,
+    x: f32,
+    y: f32,
+    cfg: &KltConfig,
+    scratch: &mut KltScratch,
+) -> TrackOutcome {
+    let mut prev_planes = std::mem::take(&mut scratch.prev_planes);
+    let mut next_planes = std::mem::take(&mut scratch.next_planes);
+    pyramid_to_planes(prev_pyr, &mut prev_planes);
+    pyramid_to_planes(next_pyr, &mut next_planes);
+    let outcome = track_one_planes(&prev_planes, &next_planes, x, y, cfg, scratch);
+    scratch.prev_planes = prev_planes;
+    scratch.next_planes = next_planes;
+    outcome
+}
+
+/// Tracks one point between pre-converted f32 pyramid planes.
+fn track_one_planes(
+    prev: &[FloatImage],
+    next: &[FloatImage],
+    x: f32,
+    y: f32,
+    cfg: &KltConfig,
+    scratch: &mut KltScratch,
+) -> TrackOutcome {
+    let levels = prev.len().min(next.len());
     let mut gx = 0.0f32;
     let mut gy = 0.0f32;
     let mut residual = f32::MAX;
     let mut degenerate = false;
     for li in (0..levels).rev() {
-        let scale = prev_pyr.scale(li);
+        // Same scale law as `Pyramid::scale`.
+        let scale = (1u32 << li) as f32;
         let (lx, ly) = (x / scale, y / scale);
-        match track_level(prev_pyr.level(li), next_pyr.level(li), lx, ly, gx, gy, cfg) {
+        match track_level(&prev[li], &next[li], lx, ly, gx, gy, cfg, scratch) {
             Some((dx, dy, res)) => {
                 residual = res;
                 if li > 0 {
@@ -207,7 +488,7 @@ pub fn track_one(
     }
     let nx = x + gx;
     let ny = y + gy;
-    let base = next_pyr.level(0);
+    let base = &next[0];
     let m = cfg.window_radius as f32;
     if nx < m || ny < m || nx >= base.width() as f32 - m || ny >= base.height() as f32 - m {
         return TrackOutcome::OutOfBounds;
@@ -300,6 +581,55 @@ mod tests {
         let next = GrayImage::from_fn(96, 96, |x, y| (((x / 2) ^ (y / 3)) * 53 % 256) as u8);
         let out = track_pyramidal(&prev, &next, &[(48.0, 48.0)], &KltConfig::default());
         assert!(out[0].position().is_none(), "outcome {:?}", out[0]);
+    }
+
+    #[test]
+    fn cached_pyramids_and_scratch_are_bit_identical() {
+        // Tracking through pre-built pyramids with a reused scratch (the
+        // frontend's steady-state path) must equal the build-per-call
+        // wrapper exactly.
+        let prev = textured(0.0, 0.0);
+        let next = textured(1.7, -0.8);
+        let pts = [(40.0, 40.0), (55.0, 30.0), (30.0, 60.0), (32.0, 32.0)];
+        let cfg = KltConfig::default();
+        let reference = track_pyramidal(&prev, &next, &pts, &cfg);
+
+        let prev_pyr = Pyramid::build(prev.clone(), cfg.levels);
+        let next_pyr = Pyramid::build(next.clone(), cfg.levels);
+        let mut scratch = KltScratch::default();
+        let mut out = Vec::new();
+        // Twice: the second run exercises fully warm buffers.
+        for _ in 0..2 {
+            track_pyramidal_into(&prev_pyr, &next_pyr, &pts, &cfg, &mut scratch, &mut out);
+            assert_eq!(out.len(), reference.len());
+            for (a, b) in out.iter().zip(&reference) {
+                match (a, b) {
+                    (
+                        TrackOutcome::Tracked { x: ax, y: ay, residual: ar },
+                        TrackOutcome::Tracked { x: bx, y: by, residual: br },
+                    ) => {
+                        assert_eq!(ax.to_bits(), bx.to_bits());
+                        assert_eq!(ay.to_bits(), by.to_bits());
+                        assert_eq!(ar.to_bits(), br.to_bits());
+                    }
+                    _ => assert_eq!(a, b),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn absurd_coordinates_do_not_misbehave() {
+        // Far-out finite positions saturate the float→int casts inside
+        // the row samplers; they must take the clamped fallback (never
+        // the unchecked path) and report a failed track.
+        let prev = textured(0.0, 0.0);
+        let next = textured(1.0, 0.0);
+        let pts = [(1e19f32, 1e19f32), (-1e19, 48.0), (48.0, -1e19)];
+        let out = track_pyramidal(&prev, &next, &pts, &KltConfig::default());
+        for (p, o) in pts.iter().zip(&out) {
+            assert!(o.position().is_none(), "point {p:?} tracked: {o:?}");
+        }
     }
 
     #[test]

@@ -18,6 +18,32 @@
 //! accelerator task graph (FD, IF, FC, MO, DR, DC, LSS of paper Fig. 12) so
 //! the characterization experiments (Figs. 5–11) can attribute latency.
 //!
+//! # Performance: the scratch-reuse contract
+//!
+//! The per-frame kernels come in two forms. The plain functions
+//! ([`detect_fast`], [`track_pyramidal`], `eudoxus_image::gaussian_blur`)
+//! allocate their working memory per call — convenient for one-off use
+//! and tests. Each has an `*_into` twin ([`detect_fast_into`],
+//! [`track_pyramidal_into`], `eudoxus_image::gaussian_blur_into`) that
+//! takes a caller-owned scratch ([`FastScratch`], [`KltScratch`],
+//! `eudoxus_image::FilterScratch`) plus an output buffer, and is
+//! **bit-identical** to its twin while performing **zero heap
+//! allocations** once the buffers are warm (one call at the stream's
+//! image size).
+//!
+//! `*_into` is worth it exactly when the same kernel runs repeatedly at a
+//! fixed image size — the streaming steady state, where the allocator
+//! otherwise sits on the critical path of every frame. For a single call
+//! the wrappers cost the same (they *are* one cold `_into` call).
+//!
+//! [`Frontend`] owns a [`FrontendScratch`] and uses the `_into` forms
+//! throughout; it also caches the previous left-image pyramid, so each
+//! frame builds exactly one pyramid (the current left, into a recycled
+//! slot) instead of two from full-image clones. After warm-up,
+//! [`Frontend::process`] makes no allocations for response maps, blur
+//! buffers, or pyramids; remaining per-frame allocations are the returned
+//! observation list and the stereo matcher's internals.
+//!
 //! # Example
 //!
 //! ```
@@ -39,9 +65,15 @@ pub mod orb;
 pub mod pipeline;
 pub mod stereo;
 
-pub use fast::{detect_fast, FastConfig};
+pub use fast::{detect_fast, detect_fast_into, FastConfig, FastScratch};
 pub use feature::{Feature, KeyPoint, OrbDescriptor};
-pub use klt::{track_pyramidal, KltConfig, TrackOutcome};
+pub use klt::{
+    track_one, track_one_with, track_pyramidal, track_pyramidal_into, KltConfig, KltScratch,
+    TrackOutcome,
+};
 pub use orb::{compute_orb, OrbConfig};
-pub use pipeline::{FrameStats, Frontend, FrontendConfig, FrontendFrame, FrontendTiming, Observation, Tuning};
+pub use pipeline::{
+    FrameStats, Frontend, FrontendConfig, FrontendFrame, FrontendScratch, FrontendTiming,
+    Observation, Tuning,
+};
 pub use stereo::{match_stereo, StereoConfig, StereoMatch};

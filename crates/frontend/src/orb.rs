@@ -65,15 +65,33 @@ fn sampling_pattern() -> &'static [((f32, f32), (f32, f32)); 256] {
 }
 
 /// Orientation of the patch by intensity centroid: `θ = atan2(m01, m10)`.
+///
+/// [`compute_orb`] rejects key points within `PATCH_RADIUS + 1` of the
+/// border before calling this, so every tap is in bounds and reads the
+/// raw row directly (same pixels the clamped form would return).
 fn patch_orientation(img: &GrayImage, cx: i64, cy: i64) -> f32 {
+    let w = img.width() as i64;
+    debug_assert!(
+        cx > PATCH_RADIUS
+            && cy > PATCH_RADIUS
+            && cx + PATCH_RADIUS < w
+            && cy + PATCH_RADIUS < img.height() as i64,
+        "patch_orientation requires an interior patch"
+    );
+    let raw = img.as_raw();
     let mut m01 = 0.0f64;
     let mut m10 = 0.0f64;
     for dy in -PATCH_RADIUS..=PATCH_RADIUS {
-        for dx in -PATCH_RADIUS..=PATCH_RADIUS {
-            if dx * dx + dy * dy > PATCH_RADIUS * PATCH_RADIUS {
-                continue;
-            }
-            let v = img.get_clamped(cx + dx, cy + dy) as f64;
+        // The circular mask `dx² + dy² ≤ R²` is a contiguous dx range per
+        // row; iterating exactly that range visits the same pixels in the
+        // same order as testing every offset.
+        let span = ((PATCH_RADIUS * PATCH_RADIUS - dy * dy) as f64).sqrt() as i64;
+        let base = ((cy + dy) * w + cx) as usize;
+        for dx in -span..=span {
+            debug_assert!(dx * dx + dy * dy <= PATCH_RADIUS * PATCH_RADIUS);
+            // SAFETY: the interior margin asserted above keeps
+            // `(cx + dx, cy + dy)` inside the image.
+            let v = unsafe { *raw.get_unchecked((base as i64 + dx) as usize) } as f64;
             m10 += dx as f64 * v;
             m01 += dy as f64 * v;
         }

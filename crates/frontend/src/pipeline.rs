@@ -8,12 +8,12 @@
 //! identities*: a feature tracked across frames keeps a stable `track_id`,
 //! which is what the MSCKF and SLAM backends key their observations on.
 
-use crate::fast::{detect_fast, FastConfig};
+use crate::fast::{detect_fast_into, FastConfig, FastScratch};
 use crate::feature::{Feature, KeyPoint, OrbDescriptor};
-use crate::klt::{track_pyramidal, KltConfig};
+use crate::klt::{track_pyramidal_into, KltConfig, KltScratch, TrackOutcome};
 use crate::orb::{compute_orb, OrbConfig};
 use crate::stereo::{match_stereo, StereoConfig};
-use eudoxus_image::{gaussian_blur, GrayImage};
+use eudoxus_image::{gaussian_blur_into, FilterScratch, GrayImage, Pyramid};
 use std::time::{Duration, Instant};
 
 /// Frontend parameters.
@@ -136,6 +136,37 @@ struct Track {
     y: f32,
 }
 
+/// Per-frame workspaces owned by [`Frontend`], reused across frames so the
+/// steady-state hot path performs no heap allocations for the FAST
+/// response map, the blur intermediates, the KLT window buffers, or the
+/// image pyramids. Buffers grow to the high-water mark of the stream
+/// (first frame at each new image size) and stay warm from then on.
+///
+/// The contract each kernel-level scratch upholds: results are
+/// bit-identical to the allocating wrappers, regardless of what the
+/// buffers held before the call.
+#[derive(Debug, Default)]
+pub struct FrontendScratch {
+    filter: FilterScratch,
+    left_blur: GrayImage,
+    right_blur: GrayImage,
+    fast: FastScratch,
+    kps_left: Vec<KeyPoint>,
+    kps_right: Vec<KeyPoint>,
+    feats_left: Vec<Feature>,
+    feats_right: Vec<Feature>,
+    disparity_of: Vec<Option<f32>>,
+    klt: KltScratch,
+    points: Vec<(f32, f32)>,
+    tracked: Vec<TrackOutcome>,
+    claimed: Vec<Option<u64>>,
+    new_tracks: Vec<Track>,
+    /// Pyramid slot the *current* frame's left image is built into; after
+    /// the frame it swaps with `Frontend::prev_pyr`, so the two slots
+    /// alternate and no pyramid is ever rebuilt for the same image twice.
+    spare_pyr: Pyramid,
+}
+
 /// The stateful frontend.
 ///
 /// # Example
@@ -152,9 +183,13 @@ struct Track {
 #[derive(Debug)]
 pub struct Frontend {
     config: FrontendConfig,
-    prev_left: Option<GrayImage>,
+    /// Pyramid of the previous frame's left image — the temporal-matching
+    /// template. Cached so KLT builds one pyramid per frame (the current
+    /// left) instead of two plus a full-image clone.
+    prev_pyr: Option<Pyramid>,
     tracks: Vec<Track>,
     next_id: u64,
+    scratch: FrontendScratch,
 }
 
 impl Frontend {
@@ -162,9 +197,10 @@ impl Frontend {
     pub fn new(config: FrontendConfig) -> Self {
         Frontend {
             config,
-            prev_left: None,
+            prev_pyr: None,
             tracks: Vec::new(),
             next_id: 0,
+            scratch: FrontendScratch::default(),
         }
     }
 
@@ -178,14 +214,25 @@ impl Frontend {
         self.tracks.len()
     }
 
-    /// Resets all state (used at dataset segment boundaries).
+    /// Resets all state (used at dataset segment boundaries). Scratch
+    /// buffers stay warm — reuse across segments cannot affect results
+    /// (every buffer is fully rewritten or cleared per frame).
     pub fn reset(&mut self) {
-        self.prev_left = None;
+        // Park the cached pyramid for reuse rather than dropping it.
+        if let Some(pyr) = self.prev_pyr.take() {
+            self.scratch.spare_pyr = pyr;
+        }
         self.tracks.clear();
     }
 
     /// Processes one stereo frame, returning observations with persistent
     /// track identities plus timing and workload counters.
+    ///
+    /// Steady state (after the first frame at a given image size) this
+    /// performs no heap allocations for the FAST response maps, the blur
+    /// buffers, or the image pyramids: all of that lives in the owned
+    /// [`FrontendScratch`], and the previous left pyramid is carried over
+    /// from the last frame instead of being rebuilt from a clone.
     pub fn process(&mut self, left: &GrayImage, right: &GrayImage) -> FrontendFrame {
         let cfg = &self.config;
         let mut timing = FrontendTiming::default();
@@ -193,79 +240,105 @@ impl Frontend {
 
         // IF: smooth both images for descriptor sampling.
         let t = Instant::now();
-        let left_blur = gaussian_blur(left, cfg.tuning.blur_sigma);
-        let right_blur = gaussian_blur(right, cfg.tuning.blur_sigma);
+        gaussian_blur_into(
+            left,
+            cfg.tuning.blur_sigma,
+            &mut self.scratch.filter,
+            &mut self.scratch.left_blur,
+        );
+        gaussian_blur_into(
+            right,
+            cfg.tuning.blur_sigma,
+            &mut self.scratch.filter,
+            &mut self.scratch.right_blur,
+        );
         timing.filtering = t.elapsed();
 
         // FD: detect on both raw images.
         let t = Instant::now();
-        let kps_left = detect_fast(left, &cfg.fast);
-        let kps_right = detect_fast(right, &cfg.fast);
+        detect_fast_into(left, &cfg.fast, &mut self.scratch.fast, &mut self.scratch.kps_left);
+        detect_fast_into(right, &cfg.fast, &mut self.scratch.fast, &mut self.scratch.kps_right);
         timing.detection = t.elapsed();
-        stats.keypoints_left = kps_left.len();
-        stats.keypoints_right = kps_right.len();
+        stats.keypoints_left = self.scratch.kps_left.len();
+        stats.keypoints_right = self.scratch.kps_right.len();
 
         // FC: describe on the blurred images; drop border points.
         let t = Instant::now();
-        let feats_left: Vec<Feature> = kps_left
-            .iter()
-            .filter_map(|kp| {
-                compute_orb(&left_blur, kp, &cfg.orb).map(|descriptor| Feature {
-                    keypoint: *kp,
-                    descriptor,
-                })
+        self.scratch.feats_left.clear();
+        self.scratch.feats_left.extend(self.scratch.kps_left.iter().filter_map(|kp| {
+            compute_orb(&self.scratch.left_blur, kp, &cfg.orb).map(|descriptor| Feature {
+                keypoint: *kp,
+                descriptor,
             })
-            .collect();
-        let feats_right: Vec<Feature> = kps_right
-            .iter()
-            .filter_map(|kp| {
-                compute_orb(&right_blur, kp, &cfg.orb).map(|descriptor| Feature {
-                    keypoint: *kp,
-                    descriptor,
-                })
+        }));
+        self.scratch.feats_right.clear();
+        self.scratch.feats_right.extend(self.scratch.kps_right.iter().filter_map(|kp| {
+            compute_orb(&self.scratch.right_blur, kp, &cfg.orb).map(|descriptor| Feature {
+                keypoint: *kp,
+                descriptor,
             })
-            .collect();
+        }));
         timing.description = t.elapsed();
 
         // MO + DR: spatial correspondences.
         let t = Instant::now();
-        let stereo = match_stereo(&feats_left, &feats_right, left, right, &cfg.stereo);
+        let stereo = match_stereo(
+            &self.scratch.feats_left,
+            &self.scratch.feats_right,
+            left,
+            right,
+            &cfg.stereo,
+        );
         timing.stereo = t.elapsed();
         stats.stereo_matches = stereo.len();
-        let mut disparity_of: Vec<Option<f32>> = vec![None; feats_left.len()];
+        self.scratch.disparity_of.clear();
+        self.scratch.disparity_of.resize(self.scratch.feats_left.len(), None);
         for m in &stereo {
-            disparity_of[m.left_index] = Some(m.disparity);
+            self.scratch.disparity_of[m.left_index] = Some(m.disparity);
         }
 
-        // DC + LSS: temporal correspondences for live tracks.
+        // DC + LSS: temporal correspondences for live tracks. The current
+        // left pyramid is built once into the spare slot; the previous
+        // frame's pyramid (cached, not rebuilt) provides the template.
         let t = Instant::now();
-        let tracked: Vec<Option<(f32, f32)>> = match &self.prev_left {
-            Some(prev) if !self.tracks.is_empty() => {
-                let pts: Vec<(f32, f32)> = self.tracks.iter().map(|tr| (tr.x, tr.y)).collect();
-                track_pyramidal(prev, left, &pts, &cfg.klt)
-                    .into_iter()
-                    .map(|o| o.position())
-                    .collect()
+        let mut cur_pyr = std::mem::take(&mut self.scratch.spare_pyr);
+        cur_pyr.rebuild_from(left, cfg.klt.levels);
+        self.scratch.tracked.clear();
+        if let Some(prev_pyr) = &self.prev_pyr {
+            if !self.tracks.is_empty() {
+                self.scratch.points.clear();
+                self.scratch.points.extend(self.tracks.iter().map(|tr| (tr.x, tr.y)));
+                track_pyramidal_into(
+                    prev_pyr,
+                    &cur_pyr,
+                    &self.scratch.points,
+                    &cfg.klt,
+                    &mut self.scratch.klt,
+                    &mut self.scratch.tracked,
+                );
             }
-            _ => vec![None; self.tracks.len()],
-        };
+        }
         timing.temporal = t.elapsed();
 
         // Associate: snap each tracked point to the nearest detection.
         let snap2 = cfg.tuning.snap_radius * cfg.tuning.snap_radius;
-        let mut claimed: Vec<Option<u64>> = vec![None; feats_left.len()];
-        let mut new_tracks: Vec<Track> = Vec::new();
+        self.scratch.claimed.clear();
+        self.scratch.claimed.resize(self.scratch.feats_left.len(), None);
+        self.scratch.new_tracks.clear();
         let mut observations: Vec<Observation> = Vec::new();
-        for (track, pos) in self.tracks.iter().zip(&tracked) {
-            let Some((tx, ty)) = *pos else {
+        for (ti, track) in self.tracks.iter().enumerate() {
+            // `tracked` is empty (not length-matched) when temporal
+            // matching did not run; every track then counts as lost,
+            // matching the pre-scratch behavior.
+            let Some((tx, ty)) = self.scratch.tracked.get(ti).and_then(|o| o.position()) else {
                 stats.tracks_lost += 1;
                 continue;
             };
             // Nearest unclaimed detection within the snap radius.
             let probe = KeyPoint::new(tx, ty, 0.0);
             let mut best: Option<(usize, f32)> = None;
-            for (fi, f) in feats_left.iter().enumerate() {
-                if claimed[fi].is_some() {
+            for (fi, f) in self.scratch.feats_left.iter().enumerate() {
+                if self.scratch.claimed[fi].is_some() {
                     continue;
                 }
                 let d2 = f.keypoint.distance_squared(&probe);
@@ -275,16 +348,16 @@ impl Frontend {
             }
             match best {
                 Some((fi, _)) => {
-                    claimed[fi] = Some(track.id);
-                    let f = &feats_left[fi];
+                    self.scratch.claimed[fi] = Some(track.id);
+                    let f = &self.scratch.feats_left[fi];
                     observations.push(Observation {
                         track_id: track.id,
                         x: f.keypoint.x,
                         y: f.keypoint.y,
-                        disparity: disparity_of[fi],
+                        disparity: self.scratch.disparity_of[fi],
                         descriptor: f.descriptor,
                     });
-                    new_tracks.push(Track {
+                    self.scratch.new_tracks.push(Track {
                         id: track.id,
                         x: f.keypoint.x,
                         y: f.keypoint.y,
@@ -298,7 +371,7 @@ impl Frontend {
                     // detection only *replenishes* tracks, it does not
                     // gate them.
                     let kp = KeyPoint::new(tx, ty, 0.0);
-                    match compute_orb(&left_blur, &kp, &cfg.orb) {
+                    match compute_orb(&self.scratch.left_blur, &kp, &cfg.orb) {
                         Some(descriptor) => {
                             observations.push(Observation {
                                 track_id: track.id,
@@ -307,7 +380,7 @@ impl Frontend {
                                 disparity: None,
                                 descriptor,
                             });
-                            new_tracks.push(Track {
+                            self.scratch.new_tracks.push(Track {
                                 id: track.id,
                                 x: tx,
                                 y: ty,
@@ -322,24 +395,24 @@ impl Frontend {
 
         // Spawn tracks on unclaimed detections (strongest first — the
         // detection list is already response-ordered).
-        for (fi, f) in feats_left.iter().enumerate() {
-            if new_tracks.len() >= cfg.tuning.max_tracks {
+        for (fi, f) in self.scratch.feats_left.iter().enumerate() {
+            if self.scratch.new_tracks.len() >= cfg.tuning.max_tracks {
                 break;
             }
-            if claimed[fi].is_some() {
+            if self.scratch.claimed[fi].is_some() {
                 continue;
             }
             let id = self.next_id;
             self.next_id += 1;
-            claimed[fi] = Some(id);
+            self.scratch.claimed[fi] = Some(id);
             observations.push(Observation {
                 track_id: id,
                 x: f.keypoint.x,
                 y: f.keypoint.y,
-                disparity: disparity_of[fi],
+                disparity: self.scratch.disparity_of[fi],
                 descriptor: f.descriptor,
             });
-            new_tracks.push(Track {
+            self.scratch.new_tracks.push(Track {
                 id,
                 x: f.keypoint.x,
                 y: f.keypoint.y,
@@ -347,8 +420,11 @@ impl Frontend {
             stats.tracks_spawned += 1;
         }
 
-        self.tracks = new_tracks;
-        self.prev_left = Some(left.clone());
+        std::mem::swap(&mut self.tracks, &mut self.scratch.new_tracks);
+        // Rotate pyramid slots: the old template becomes next frame's
+        // spare buffer, the current left pyramid becomes the template.
+        self.scratch.spare_pyr = self.prev_pyr.take().unwrap_or_default();
+        self.prev_pyr = Some(cur_pyr);
 
         FrontendFrame {
             observations,

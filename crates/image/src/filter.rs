@@ -15,16 +15,25 @@ use crate::gray::{FloatImage, GrayImage};
 ///
 /// Panics if `sigma` is not positive.
 pub fn gaussian_kernel(sigma: f32) -> Vec<f32> {
+    let mut k = Vec::new();
+    gaussian_kernel_into(sigma, &mut k);
+    k
+}
+
+/// [`gaussian_kernel`] into a reusable buffer (allocation-free once warm).
+///
+/// # Panics
+///
+/// Panics if `sigma` is not positive.
+pub fn gaussian_kernel_into(sigma: f32, k: &mut Vec<f32>) {
     assert!(sigma > 0.0, "sigma must be positive");
     let radius = (3.0 * sigma).ceil() as i32;
-    let mut k: Vec<f32> = (-radius..=radius)
-        .map(|i| (-(i * i) as f32 / (2.0 * sigma * sigma)).exp())
-        .collect();
+    k.clear();
+    k.extend((-radius..=radius).map(|i| (-(i * i) as f32 / (2.0 * sigma * sigma)).exp()));
     let sum: f32 = k.iter().sum();
-    for v in &mut k {
+    for v in k.iter_mut() {
         *v /= sum;
     }
-    k
 }
 
 /// Applies a separable filter: `kernel_x` along rows then `kernel_y` along
@@ -34,35 +43,116 @@ pub fn gaussian_kernel(sigma: f32) -> Vec<f32> {
 ///
 /// Panics if either kernel has even length (no center tap).
 pub fn separable_filter(img: &GrayImage, kernel_x: &[f32], kernel_y: &[f32]) -> FloatImage {
+    let mut tmp = FloatImage::default();
+    let mut out = FloatImage::default();
+    separable_filter_into(img, kernel_x, kernel_y, &mut tmp, &mut out);
+    out
+}
+
+/// [`separable_filter`] into reusable buffers: `tmp` holds the horizontal
+/// pass, `out` the result. Allocation-free once both are warm, and
+/// bit-identical to [`separable_filter`] (taps accumulate in the same
+/// order; interior pixels skip the clamp, not the arithmetic).
+///
+/// # Panics
+///
+/// Panics if either kernel has even length (no center tap).
+pub fn separable_filter_into(
+    img: &GrayImage,
+    kernel_x: &[f32],
+    kernel_y: &[f32],
+    tmp: &mut FloatImage,
+    out: &mut FloatImage,
+) {
     assert!(kernel_x.len() % 2 == 1, "kernel_x needs a center tap");
     assert!(kernel_y.len() % 2 == 1, "kernel_y needs a center tap");
     let (w, h) = img.dimensions();
-    let rx = (kernel_x.len() / 2) as i64;
-    let ry = (kernel_y.len() / 2) as i64;
+    let rx = kernel_x.len() / 2;
+    let ry = kernel_y.len() / 2;
+    tmp.reshape(w, h);
+    out.reshape(w, h);
+    let (wu, hu) = (w as usize, h as usize);
 
-    // Horizontal pass.
-    let mut tmp = FloatImage::new(w, h);
-    for y in 0..h {
-        for x in 0..w {
+    // Both passes run tap-outer / pixel-inner over zero-initialized
+    // accumulators: each output element still accumulates its taps in
+    // kernel order (`0.0 + k₀·p₀ + k₁·p₁ + …`), so results are
+    // bit-identical to the naive pixel-outer form — but consecutive
+    // outputs are independent, which lets the compiler vectorize across
+    // pixels. Border pixels (clamped taps) take the scalar path.
+
+    // The horizontal pass reads the image as f32 once (via `out` as the
+    // conversion buffer — it is overwritten by the vertical pass last)
+    // instead of converting every tap.
+    let src = img.as_raw();
+    {
+        let srcf = out.as_raw_mut();
+        for (d, &p) in srcf.iter_mut().zip(src) {
+            *d = p as f32;
+        }
+    }
+    let srcf = out.as_raw();
+    let dst = tmp.as_raw_mut();
+    dst.fill(0.0);
+    if wu > 2 * rx {
+        for y in 0..hu {
+            let row = &srcf[y * wu..][..wu];
+            let drow = &mut dst[y * wu..][..wu];
+            for (k, &kv) in kernel_x.iter().enumerate() {
+                // Output x in rx..wu-rx reads tap k at x + k - rx.
+                let taps = &row[k..][..wu - 2 * rx];
+                for (d, &p) in drow[rx..wu - rx].iter_mut().zip(taps) {
+                    *d += kv * p;
+                }
+            }
+        }
+    }
+    for y in 0..hu {
+        let drow = &mut dst[y * wu..][..wu];
+        let edge_x = (0..wu.min(rx)).chain(wu.saturating_sub(rx).max(rx)..wu);
+        for x in edge_x {
             let mut acc = 0.0;
             for (k, &kv) in kernel_x.iter().enumerate() {
-                acc += kv * img.get_clamped(x as i64 + k as i64 - rx, y as i64) as f32;
+                acc += kv * img.get_clamped(x as i64 + k as i64 - rx as i64, y as i64) as f32;
             }
-            tmp.put(x, y, acc);
+            drow[x] = acc;
         }
     }
-    // Vertical pass.
-    let mut out = FloatImage::new(w, h);
-    for y in 0..h {
-        for x in 0..w {
-            let mut acc = 0.0;
+
+    // Vertical pass over the horizontal intermediate.
+    let srcf = tmp.as_raw();
+    let dstf = out.as_raw_mut();
+    dstf.fill(0.0);
+    for y in 0..hu {
+        let interior = y >= ry && y + ry < hu;
+        if interior {
             for (k, &kv) in kernel_y.iter().enumerate() {
-                acc += kv * tmp.get_clamped(x as i64, y as i64 + k as i64 - ry);
+                let taps = &srcf[(y - ry + k) * wu..][..wu];
+                let drow = &mut dstf[y * wu..][..wu];
+                for (d, &p) in drow.iter_mut().zip(taps) {
+                    *d += kv * p;
+                }
             }
-            out.put(x, y, acc);
+        } else {
+            let drow = &mut dstf[y * wu..][..wu];
+            for (x, d) in drow.iter_mut().enumerate() {
+                let mut acc = 0.0;
+                for (k, &kv) in kernel_y.iter().enumerate() {
+                    acc += kv * tmp.get_clamped(x as i64, y as i64 + k as i64 - ry as i64);
+                }
+                *d = acc;
+            }
         }
     }
-    out
+}
+
+/// Reusable workspaces for [`gaussian_blur_into`]: the kernel (cached per
+/// `sigma`) and the two float intermediates of the separable pass.
+#[derive(Debug, Clone, Default)]
+pub struct FilterScratch {
+    kernel: Vec<f32>,
+    kernel_sigma: f32,
+    tmp: FloatImage,
+    filtered: FloatImage,
 }
 
 /// Gaussian blur with standard deviation `sigma`, returned as 8-bit.
@@ -71,8 +161,38 @@ pub fn separable_filter(img: &GrayImage, kernel_x: &[f32], kernel_y: &[f32]) -> 
 ///
 /// Panics if `sigma` is not positive.
 pub fn gaussian_blur(img: &GrayImage, sigma: f32) -> GrayImage {
-    let k = gaussian_kernel(sigma);
-    separable_filter(img, &k, &k).to_gray()
+    let mut scratch = FilterScratch::default();
+    let mut out = GrayImage::default();
+    gaussian_blur_into(img, sigma, &mut scratch, &mut out);
+    out
+}
+
+/// [`gaussian_blur`] into a reusable output with reusable intermediates —
+/// zero heap allocations once `scratch` and `out` are warm for this image
+/// size, and bit-identical to [`gaussian_blur`].
+///
+/// # Panics
+///
+/// Panics if `sigma` is not positive.
+pub fn gaussian_blur_into(
+    img: &GrayImage,
+    sigma: f32,
+    scratch: &mut FilterScratch,
+    out: &mut GrayImage,
+) {
+    assert!(sigma > 0.0, "sigma must be positive");
+    if scratch.kernel.is_empty() || scratch.kernel_sigma != sigma {
+        gaussian_kernel_into(sigma, &mut scratch.kernel);
+        scratch.kernel_sigma = sigma;
+    }
+    separable_filter_into(
+        img,
+        &scratch.kernel,
+        &scratch.kernel,
+        &mut scratch.tmp,
+        &mut scratch.filtered,
+    );
+    scratch.filtered.to_gray_into(out);
 }
 
 /// Box filter (uniform average) with a `(2·radius+1)²` window.

@@ -109,6 +109,19 @@ impl GrayImage {
         self.get(cx, cy)
     }
 
+    /// Pixel value at `(x, y)` without a bounds check — the interior fast
+    /// path for stencil kernels whose loop bounds already guarantee the
+    /// access is in range (equal to [`GrayImage::get`] there).
+    ///
+    /// # Safety
+    ///
+    /// `x < width()` and `y < height()` must hold.
+    #[inline]
+    pub unsafe fn get_unchecked(&self, x: u32, y: u32) -> u8 {
+        debug_assert!(x < self.width && y < self.height);
+        *self.data.get_unchecked((y * self.width + x) as usize)
+    }
+
     /// Writes a pixel.
     ///
     /// # Panics
@@ -127,16 +140,55 @@ impl GrayImage {
     }
 
     /// Bilinear sample at fractional coordinates, clamped at borders.
+    ///
+    /// `#[inline]`: this is the innermost operation of the KLT solve
+    /// (hundreds of samples per tracked point per pyramid level); without
+    /// cross-crate inlining the call overhead dominates the four loads.
+    #[inline]
     pub fn sample_bilinear(&self, x: f32, y: f32) -> f32 {
         let x0 = x.floor();
         let y0 = y.floor();
         let fx = x - x0;
         let fy = y - y0;
         let (x0, y0) = (x0 as i64, y0 as i64);
+        // Interior fast path: all four taps are in bounds, so the per-tap
+        // clamp (4 branchy clamps per sample — the hottest operation of
+        // the KLT solve) reduces to two unchecked row reads. Produces the
+        // same taps, in the same order, as the clamped path.
+        //
+        // The bound is written `x0 < w - 1` rather than `x0 + 1 < w`:
+        // float→int `as` casts saturate, so a huge finite coordinate
+        // becomes i64::MAX and must not overflow the comparison into
+        // admitting an out-of-bounds unchecked read.
+        if x0 >= 0
+            && y0 >= 0
+            && x0 < self.width as i64 - 1
+            && y0 < self.height as i64 - 1
+        {
+            let idx = (y0 as u32 * self.width + x0 as u32) as usize;
+            // SAFETY: the bounds check above covers idx, idx+1 and the
+            // same pair one row down.
+            let (p00, p10, p01, p11) = unsafe {
+                (
+                    *self.data.get_unchecked(idx) as f32,
+                    *self.data.get_unchecked(idx + 1) as f32,
+                    *self.data.get_unchecked(idx + self.width as usize) as f32,
+                    *self.data.get_unchecked(idx + self.width as usize + 1) as f32,
+                )
+            };
+            return p00 * (1.0 - fx) * (1.0 - fy)
+                + p10 * fx * (1.0 - fy)
+                + p01 * (1.0 - fx) * fy
+                + p11 * fx * fy;
+        }
+        // Saturating neighbor steps: a huge finite coordinate saturates
+        // the float→int cast to i64::MAX, and `+ 1` must not overflow
+        // (everything clamps to the border regardless).
+        let (x1, y1) = (x0.saturating_add(1), y0.saturating_add(1));
         let p00 = self.get_clamped(x0, y0) as f32;
-        let p10 = self.get_clamped(x0 + 1, y0) as f32;
-        let p01 = self.get_clamped(x0, y0 + 1) as f32;
-        let p11 = self.get_clamped(x0 + 1, y0 + 1) as f32;
+        let p10 = self.get_clamped(x1, y0) as f32;
+        let p01 = self.get_clamped(x0, y1) as f32;
+        let p11 = self.get_clamped(x1, y1) as f32;
         p00 * (1.0 - fx) * (1.0 - fy) + p10 * fx * (1.0 - fy) + p01 * (1.0 - fx) * fy + p11 * fx * fy
     }
 
@@ -152,18 +204,52 @@ impl GrayImage {
         &mut self.data
     }
 
+    /// Reshapes to `width × height`, reusing the existing buffer when its
+    /// capacity suffices (no allocation in that case). Contents after the
+    /// call are unspecified — intended for scratch buffers that are fully
+    /// overwritten next.
+    pub fn reshape(&mut self, width: u32, height: u32) {
+        self.width = width;
+        self.height = height;
+        self.data.resize((width * height) as usize, 0);
+    }
+
+    /// Copies `src` into `self`, reshaping as needed. Allocation-free when
+    /// `self`'s buffer capacity already covers `src` (the steady state of
+    /// a reused pyramid level).
+    pub fn copy_from(&mut self, src: &GrayImage) {
+        self.width = src.width;
+        self.height = src.height;
+        self.data.clear();
+        self.data.extend_from_slice(&src.data);
+    }
+
     /// Half-resolution downsample by 2×2 averaging (pyramid level step).
     pub fn downsample_2x(&self) -> GrayImage {
+        let mut out = GrayImage::new(0, 0);
+        self.downsample_2x_into(&mut out);
+        out
+    }
+
+    /// [`downsample_2x`](Self::downsample_2x) into a reusable buffer
+    /// (allocation-free once `out` is warm). Bit-identical output.
+    pub fn downsample_2x_into(&self, out: &mut GrayImage) {
         let w = (self.width / 2).max(1);
         let h = (self.height / 2).max(1);
-        GrayImage::from_fn(w, h, |x, y| {
-            let (sx, sy) = (x * 2, y * 2);
-            let a = self.get_clamped(sx as i64, sy as i64) as u16;
-            let b = self.get_clamped(sx as i64 + 1, sy as i64) as u16;
-            let c = self.get_clamped(sx as i64, sy as i64 + 1) as u16;
-            let d = self.get_clamped(sx as i64 + 1, sy as i64 + 1) as u16;
-            ((a + b + c + d) / 4) as u8
-        })
+        out.reshape(w, h);
+        for y in 0..h {
+            let sy = 2 * y;
+            let sy1 = (sy + 1).min(self.height - 1);
+            for x in 0..w {
+                let sx = 2 * x;
+                let sx1 = (sx + 1).min(self.width - 1);
+                let a = self.get(sx, sy) as u16;
+                let b = self.get(sx1, sy) as u16;
+                let c = self.get(sx, sy1) as u16;
+                let d = self.get(sx1, sy1) as u16;
+                out.put(x, y, ((a + b + c + d) / 4) as u8);
+            }
+        }
     }
 
     /// Mean intensity.
@@ -172,6 +258,13 @@ impl GrayImage {
             return 0.0;
         }
         self.data.iter().map(|&v| v as f64).sum::<f64>() / self.data.len() as f64
+    }
+}
+
+impl Default for GrayImage {
+    /// An empty (0×0) image — the initial state of a scratch buffer.
+    fn default() -> Self {
+        GrayImage::new(0, 0)
     }
 }
 
@@ -207,11 +300,20 @@ impl FloatImage {
 
     /// Converts a grayscale image to float.
     pub fn from_gray(img: &GrayImage) -> Self {
-        FloatImage {
-            width: img.width(),
-            height: img.height(),
-            data: img.as_raw().iter().map(|&v| v as f32).collect(),
-        }
+        let mut out = FloatImage::default();
+        out.copy_from_gray(img);
+        out
+    }
+
+    /// [`from_gray`](Self::from_gray) into `self`, reusing the buffer
+    /// (allocation-free once warm). Every `u8` is exactly representable
+    /// in `f32`, so sampling the float plane is bit-identical to sampling
+    /// the source image.
+    pub fn copy_from_gray(&mut self, src: &GrayImage) {
+        self.width = src.width();
+        self.height = src.height();
+        self.data.clear();
+        self.data.extend(src.as_raw().iter().map(|&v| v as f32));
     }
 
     /// Image width in pixels.
@@ -255,35 +357,62 @@ impl FloatImage {
     }
 
     /// Bilinear sample at fractional coordinates, clamped at borders.
+    #[inline]
     pub fn sample_bilinear(&self, x: f32, y: f32) -> f32 {
         let x0 = x.floor();
         let y0 = y.floor();
         let fx = x - x0;
         let fy = y - y0;
         let (x0, y0) = (x0 as i64, y0 as i64);
+        let (x1, y1) = (x0.saturating_add(1), y0.saturating_add(1));
         let p00 = self.get_clamped(x0, y0);
-        let p10 = self.get_clamped(x0 + 1, y0);
-        let p01 = self.get_clamped(x0, y0 + 1);
-        let p11 = self.get_clamped(x0 + 1, y0 + 1);
+        let p10 = self.get_clamped(x1, y0);
+        let p01 = self.get_clamped(x0, y1);
+        let p11 = self.get_clamped(x1, y1);
         p00 * (1.0 - fx) * (1.0 - fy) + p10 * fx * (1.0 - fy) + p01 * (1.0 - fx) * fy + p11 * fx * fy
     }
 
     /// Converts back to 8-bit with clamping.
     pub fn to_gray(&self) -> GrayImage {
-        GrayImage::from_vec(
-            self.width,
-            self.height,
-            self.data
-                .iter()
-                .map(|&v| v.round().clamp(0.0, 255.0) as u8)
-                .collect(),
-        )
+        let mut out = GrayImage::new(0, 0);
+        self.to_gray_into(&mut out);
+        out
+    }
+
+    /// [`to_gray`](Self::to_gray) into a reusable buffer (allocation-free
+    /// once `out` is warm). Bit-identical output.
+    pub fn to_gray_into(&self, out: &mut GrayImage) {
+        out.reshape(self.width, self.height);
+        for (dst, &v) in out.as_raw_mut().iter_mut().zip(&self.data) {
+            *dst = v.round().clamp(0.0, 255.0) as u8;
+        }
+    }
+
+    /// Reshapes to `width × height`, reusing the existing buffer when its
+    /// capacity suffices. Contents after the call are unspecified.
+    pub fn reshape(&mut self, width: u32, height: u32) {
+        self.width = width;
+        self.height = height;
+        self.data.resize((width * height) as usize, 0.0);
     }
 
     /// Raw buffer.
     #[inline]
     pub fn as_raw(&self) -> &[f32] {
         &self.data
+    }
+
+    /// Mutable raw buffer.
+    #[inline]
+    pub fn as_raw_mut(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+}
+
+impl Default for FloatImage {
+    /// An empty (0×0) image — the initial state of a scratch buffer.
+    fn default() -> Self {
+        FloatImage::new(0, 0)
     }
 }
 
@@ -321,6 +450,22 @@ mod tests {
         img.put(1, 0, 100);
         assert!((img.sample_bilinear(0.5, 0.0) - 50.0).abs() < 1e-5);
         assert!((img.sample_bilinear(0.0, 0.0) - 0.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn bilinear_huge_coordinates_clamp_to_border() {
+        // Far-out finite coordinates saturate the float→int casts; the
+        // interior fast path must reject them (not overflow into an
+        // unchecked read) and fall back to border clamping.
+        let img = GrayImage::from_fn(8, 8, |x, y| (x * 10 + y) as u8);
+        for (x, y, want) in [
+            (1e19f32, 1e19f32, img.get(7, 7)),
+            (-1e19, -1e19, img.get(0, 0)),
+            (1e19, 0.0, img.get(7, 0)),
+            (0.0, -1e19, img.get(0, 0)),
+        ] {
+            assert_eq!(img.sample_bilinear(x, y), want as f32, "at ({x}, {y})");
+        }
     }
 
     #[test]

@@ -6,6 +6,13 @@
 //! block matching. This crate provides those primitives on simple owned
 //! buffers — `GrayImage` (u8) and `FloatImage` (f32).
 //!
+//! Every per-frame primitive has an `*_into` variant that writes into
+//! caller-owned buffers ([`gaussian_blur_into`], [`separable_filter_into`],
+//! [`GrayImage::downsample_2x_into`], [`Pyramid::rebuild_from`]): after one
+//! warm-up call at a given image size they perform **zero heap
+//! allocations**, and their output is bit-identical to the allocating
+//! wrappers. The frontend's steady-state hot path is built on these.
+//!
 //! # Example
 //!
 //! ```
@@ -22,7 +29,10 @@ pub mod gray;
 pub mod integral;
 pub mod pyramid;
 
-pub use filter::{box_filter, gaussian_blur, gaussian_kernel, separable_filter};
+pub use filter::{
+    box_filter, gaussian_blur, gaussian_blur_into, gaussian_kernel, gaussian_kernel_into,
+    separable_filter, separable_filter_into, FilterScratch,
+};
 pub use gradient::{scharr_gradients, Gradients};
 pub use gray::{FloatImage, GrayImage};
 pub use integral::IntegralImage;

@@ -14,7 +14,7 @@ use crate::gray::GrayImage;
 /// assert_eq!(pyr.levels(), 3);
 /// assert_eq!(pyr.level(2).dimensions(), (16, 12));
 /// ```
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Default)]
 pub struct Pyramid {
     levels: Vec<GrayImage>,
 }
@@ -37,6 +37,48 @@ impl Pyramid {
             levels.push(prev.downsample_2x());
         }
         Pyramid { levels }
+    }
+
+    /// A pyramid with no levels — the initial state of a reusable slot
+    /// that [`rebuild_from`](Self::rebuild_from) fills each frame.
+    pub fn empty() -> Self {
+        Pyramid { levels: Vec::new() }
+    }
+
+    /// True when the pyramid holds no levels yet.
+    pub fn is_empty(&self) -> bool {
+        self.levels.is_empty()
+    }
+
+    /// Rebuilds the pyramid from `base` in place, reusing every level
+    /// buffer whose capacity still fits (zero heap allocations in the
+    /// steady state of same-sized frames). The result is bit-identical to
+    /// `Pyramid::build(base.clone(), max_levels)` — same level count, same
+    /// pixels — without the base clone or the per-level allocations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_levels == 0`.
+    pub fn rebuild_from(&mut self, base: &GrayImage, max_levels: usize) {
+        assert!(max_levels > 0, "a pyramid needs at least one level");
+        if self.levels.is_empty() {
+            self.levels.push(GrayImage::default());
+        }
+        self.levels[0].copy_from(base);
+        let mut built = 1;
+        while built < max_levels {
+            let (w, h) = self.levels[built - 1].dimensions();
+            if w < 16 || h < 16 {
+                break;
+            }
+            if self.levels.len() == built {
+                self.levels.push(GrayImage::default());
+            }
+            let (finer, coarser) = self.levels.split_at_mut(built);
+            finer[built - 1].downsample_2x_into(&mut coarser[0]);
+            built += 1;
+        }
+        self.levels.truncate(built);
     }
 
     /// Number of levels actually built.
@@ -90,6 +132,31 @@ mod tests {
         let pyr = Pyramid::build(GrayImage::new(64, 64), 3);
         let order: Vec<usize> = pyr.coarse_to_fine().map(|(i, _)| i).collect();
         assert_eq!(order, vec![2, 1, 0]);
+    }
+
+    #[test]
+    fn rebuild_matches_build_and_reuses_buffers() {
+        let img_a = GrayImage::from_fn(96, 64, |x, y| ((x * 7) ^ (y * 13)) as u8);
+        let img_b = GrayImage::from_fn(96, 64, |x, y| (x * 3 + y * 29) as u8);
+        let mut reused = Pyramid::empty();
+        assert!(reused.is_empty());
+        for img in [&img_a, &img_b, &img_a] {
+            reused.rebuild_from(img, 3);
+            let fresh = Pyramid::build(img.clone(), 3);
+            assert_eq!(reused.levels(), fresh.levels());
+            for i in 0..fresh.levels() {
+                assert_eq!(reused.level(i), fresh.level(i), "level {i} differs");
+            }
+        }
+    }
+
+    #[test]
+    fn rebuild_shrinks_level_count_when_base_shrinks() {
+        let mut pyr = Pyramid::empty();
+        pyr.rebuild_from(&GrayImage::new(128, 128), 4);
+        assert_eq!(pyr.levels(), 4);
+        pyr.rebuild_from(&GrayImage::new(32, 32), 4);
+        assert_eq!(pyr.levels(), 3);
     }
 
     #[test]

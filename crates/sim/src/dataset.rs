@@ -5,8 +5,13 @@ use crate::gps::GpsSample;
 use crate::imu::ImuSample;
 use eudoxus_geometry::{Pose, PoseAnchor, StereoRig, Vec3};
 use eudoxus_image::GrayImage;
+use std::sync::Arc;
 
 /// One synchronized stereo frame with its environment label.
+///
+/// Images are shared (`Arc`) so replaying a dataset as an event stream —
+/// or fanning one dataset out to many agents — never copies pixel data:
+/// an [`ImageEvent`] borrows the same allocation the dataset owns.
 #[derive(Debug, Clone)]
 pub struct FrameData {
     /// Frame index within the dataset.
@@ -15,10 +20,10 @@ pub struct FrameData {
     pub t: f64,
     /// Environment the machine is operating in at this instant.
     pub environment: Environment,
-    /// Left camera image.
-    pub left: GrayImage,
-    /// Right camera image.
-    pub right: GrayImage,
+    /// Left camera image (shared, immutable once captured).
+    pub left: Arc<GrayImage>,
+    /// Right camera image (shared, immutable once captured).
+    pub right: Arc<GrayImage>,
 }
 
 /// A contiguous run of frames sharing an environment (mode switches happen
@@ -60,6 +65,10 @@ pub enum SensorEvent {
 
 /// Payload of [`SensorEvent::Image`]: one stereo frame plus the capture
 /// calibration, self-describing so a consumer needs no side channel.
+///
+/// Images are `Arc`-shared with the producer: cloning the event (or
+/// fanning it out to several sessions) bumps a reference count instead of
+/// copying megapixels.
 #[derive(Debug, Clone)]
 pub struct ImageEvent {
     /// Capture timestamp (seconds).
@@ -67,10 +76,10 @@ pub struct ImageEvent {
     /// Environment the machine is operating in at this instant (drives
     /// backend mode selection).
     pub environment: Environment,
-    /// Left camera image.
-    pub left: GrayImage,
-    /// Right camera image.
-    pub right: GrayImage,
+    /// Left camera image (shared, immutable once captured).
+    pub left: Arc<GrayImage>,
+    /// Right camera image (shared, immutable once captured).
+    pub right: Arc<GrayImage>,
     /// Stereo rig that captured the frame (intrinsics + baseline).
     pub rig: StereoRig,
     /// Reference pose for evaluation, when the producer knows it (replayed
@@ -176,10 +185,9 @@ impl Dataset {
     /// Sensor samples timestamped after the last frame are not emitted
     /// (the batch pipeline never consumes them either).
     ///
-    /// Each `Image` event owns clones of the stereo pair (events are
-    /// self-contained, as a live stream's would be); the copy is ~0.2 %
-    /// of per-frame processing time. Sharing frames via `Arc` is the
-    /// upgrade path if replay throughput ever matters.
+    /// Each `Image` event shares the stereo pair with the dataset via
+    /// `Arc` — the event is still self-contained (it keeps the pixels
+    /// alive on its own), but replay copies no image data.
     pub fn events(&self) -> impl Iterator<Item = SensorEvent> + '_ {
         self.frames.iter().enumerate().flat_map(move |(i, frame)| {
             let mut out: Vec<SensorEvent> = Vec::new();
@@ -202,8 +210,8 @@ impl Dataset {
             out.push(SensorEvent::Image(ImageEvent {
                 t: frame.t,
                 environment: frame.environment,
-                left: frame.left.clone(),
-                right: frame.right.clone(),
+                left: Arc::clone(&frame.left),
+                right: Arc::clone(&frame.right),
                 rig: self.rig,
                 ground_truth: Some(self.ground_truth[i]),
             }));

@@ -260,8 +260,8 @@ fn build_segment(
             index: i,
             t,
             environment: env,
-            left,
-            right,
+            left: std::sync::Arc::new(left),
+            right: std::sync::Arc::new(right),
         });
         ground_truth.push(pose);
     }

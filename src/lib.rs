@@ -62,6 +62,36 @@
 //! estimator fields — backends are registered behind the
 //! [`Backend`](eudoxus_backend::Backend) trait (see the `eudoxus_core`
 //! module docs for the migration notes).
+//!
+//! # Performance
+//!
+//! The steady-state frame path is allocation-free and multi-core:
+//!
+//! * **Scratch-reused kernels** — the frontend hot path (Gaussian blur,
+//!   FAST detection, pyramid construction, KLT tracking) runs through
+//!   `*_into` kernels writing into buffers owned by the `Frontend`; after
+//!   one warm-up frame it performs zero heap allocations for response
+//!   maps, blur buffers, and pyramids. Results are bit-identical to the
+//!   allocating wrappers (and to the seed implementations preserved in
+//!   `eudoxus_bench::baseline`) — proven by the golden tests in
+//!   `crates/bench/tests/bit_identity.rs` and the counting-allocator test
+//!   in `crates/bench/tests/alloc_free.rs`. See the `eudoxus_frontend`
+//!   crate docs for the scratch contract and when `*_into` is worth it.
+//! * **Frame and pyramid reuse** — datasets share stereo frames with
+//!   their event streams via `Arc<GrayImage>` (replay copies no pixels),
+//!   and the frontend carries the previous left-image pyramid across
+//!   frames instead of cloning and rebuilding it.
+//! * **Parallel ingest** — `SessionManager::poll_parallel(n_workers)`
+//!   shards agents across scoped threads and merges the records back
+//!   into exactly the sequential round-robin order (bit-identical to
+//!   `poll`; see `tests/streaming_session.rs`). Sessions are CPU-bound:
+//!   use `n_workers ≈ min(agent_count, physical cores)`; extra workers
+//!   idle, and `n_workers = 1` degenerates to the sequential path.
+//!
+//! `cargo run --release -p eudoxus-bench --bin throughput` regenerates
+//! `BENCH_throughput.json` — frames/sec per scenario for the seed
+//! baseline vs the current frontend, per-kernel microseconds, manager
+//! scaling, and (with `--features count-alloc`) allocations per frame.
 
 pub use eudoxus_accel as accel;
 pub use eudoxus_backend as backend;

@@ -38,8 +38,8 @@ fn featureless_frames_do_not_crash_the_pipeline() {
     // Blind the camera for two mid-sequence frames (uniform gray).
     let (w, h) = data.frames[0].left.dimensions();
     for i in 3..5 {
-        data.frames[i].left = GrayImage::filled(w, h, 120);
-        data.frames[i].right = GrayImage::filled(w, h, 120);
+        data.frames[i].left = std::sync::Arc::new(GrayImage::filled(w, h, 120));
+        data.frames[i].right = std::sync::Arc::new(GrayImage::filled(w, h, 120));
     }
     let mut system = Eudoxus::new(PipelineConfig::anchored());
     let log = system.process_dataset(&data);

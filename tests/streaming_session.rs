@@ -3,8 +3,15 @@
 //! batch adapter (`Eudoxus::process_dataset`) produces — same modes, same
 //! poses, bit for bit. This is the contract that lets every recorded-data
 //! experiment stand in for the live streaming deployment.
+//!
+//! The same bar applies to the performance work: the scratch-reused
+//! frontend kernels feed every path below (their kernel-level golden
+//! tests against the seed implementations live in
+//! `crates/bench/tests/bit_identity.rs`), and `poll_parallel` — the
+//! multi-core drain of `SessionManager` — must reproduce the sequential
+//! round-robin record stream bit for bit across every scenario kind.
 
-use eudoxus_core::{Eudoxus, FrameRecord, LocalizationSession, PipelineConfig};
+use eudoxus_core::{Eudoxus, FrameRecord, LocalizationSession, PipelineConfig, SessionManager};
 use eudoxus_sim::{Dataset, Platform, ScenarioBuilder, ScenarioKind};
 
 /// Exact bit pattern of a pose (bit-identical comparison, immune to the
@@ -85,6 +92,65 @@ fn mixed_stream_matches_batch() {
     // Mixed datasets exercise segment boundaries mid-stream: estimator
     // resets and re-anchoring must line up exactly with the batch path.
     assert_equivalent(ScenarioKind::Mixed, 12, 3);
+}
+
+/// `poll_parallel` must equal sequential polling — same agents, same
+/// order, same `RunLog`-bound record fields, poses bit for bit — for
+/// every scenario kind.
+fn assert_parallel_matches_sequential(kind: ScenarioKind, frames: usize, seed: u64) {
+    let fill = |manager: &mut SessionManager| {
+        for (i, agent_seed) in [seed, seed + 1].iter().enumerate() {
+            let id = format!("agent-{i}");
+            manager.add_agent(&id, LocalizationSession::new(PipelineConfig::anchored()));
+            for event in dataset(kind, frames, *agent_seed).events() {
+                manager.enqueue(&id, event);
+            }
+        }
+    };
+
+    let mut sequential = SessionManager::new();
+    fill(&mut sequential);
+    let expected = sequential.run_until_idle();
+    assert_eq!(expected.len(), 2 * frames, "{kind:?}: sequential count");
+
+    let mut parallel = SessionManager::new();
+    fill(&mut parallel);
+    let got = parallel.poll_parallel(4);
+
+    assert_eq!(expected.len(), got.len(), "{kind:?}: record count");
+    for ((eid, e), (gid, g)) in expected.iter().zip(&got) {
+        assert_eq!(eid, gid, "{kind:?}: agent order at frame {}", e.index);
+        assert_eq!(e.index, g.index, "{kind:?}: index");
+        assert_eq!(e.mode, g.mode, "{kind:?}: mode at frame {}", e.index);
+        assert_eq!(
+            pose_bits(&e.pose),
+            pose_bits(&g.pose),
+            "{kind:?}: pose bits at frame {}",
+            e.index
+        );
+        assert_eq!(e.tracking, g.tracking, "{kind:?}: tracking");
+        assert_eq!(e.environment, g.environment, "{kind:?}: environment");
+    }
+}
+
+#[test]
+fn poll_parallel_matches_poll_outdoor() {
+    assert_parallel_matches_sequential(ScenarioKind::OutdoorUnknown, 4, 21);
+}
+
+#[test]
+fn poll_parallel_matches_poll_indoor_unknown() {
+    assert_parallel_matches_sequential(ScenarioKind::IndoorUnknown, 4, 23);
+}
+
+#[test]
+fn poll_parallel_matches_poll_indoor_known() {
+    assert_parallel_matches_sequential(ScenarioKind::IndoorKnown, 4, 25);
+}
+
+#[test]
+fn poll_parallel_matches_poll_mixed() {
+    assert_parallel_matches_sequential(ScenarioKind::Mixed, 8, 27);
 }
 
 #[test]
