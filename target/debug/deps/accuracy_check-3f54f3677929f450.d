@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/accuracy_check-3f54f3677929f450.d: crates/bench/src/bin/accuracy_check.rs
+
+/root/repo/target/debug/deps/accuracy_check-3f54f3677929f450: crates/bench/src/bin/accuracy_check.rs
+
+crates/bench/src/bin/accuracy_check.rs:

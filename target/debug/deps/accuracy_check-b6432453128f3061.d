@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/accuracy_check-b6432453128f3061.d: crates/bench/src/bin/accuracy_check.rs
+
+/root/repo/target/debug/deps/accuracy_check-b6432453128f3061: crates/bench/src/bin/accuracy_check.rs
+
+crates/bench/src/bin/accuracy_check.rs:

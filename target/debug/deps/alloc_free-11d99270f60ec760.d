@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/alloc_free-11d99270f60ec760.d: crates/bench/tests/alloc_free.rs
+
+/root/repo/target/debug/deps/alloc_free-11d99270f60ec760: crates/bench/tests/alloc_free.rs
+
+crates/bench/tests/alloc_free.rs:

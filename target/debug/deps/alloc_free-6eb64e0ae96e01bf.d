@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/alloc_free-6eb64e0ae96e01bf.d: crates/bench/tests/alloc_free.rs Cargo.toml
+
+/root/repo/target/debug/deps/liballoc_free-6eb64e0ae96e01bf.rmeta: crates/bench/tests/alloc_free.rs Cargo.toml
+
+crates/bench/tests/alloc_free.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

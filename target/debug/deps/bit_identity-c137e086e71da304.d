@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bit_identity-c137e086e71da304.d: crates/bench/tests/bit_identity.rs
+
+/root/repo/target/debug/deps/bit_identity-c137e086e71da304: crates/bench/tests/bit_identity.rs
+
+crates/bench/tests/bit_identity.rs:

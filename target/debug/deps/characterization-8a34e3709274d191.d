@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/characterization-8a34e3709274d191.d: crates/bench/src/bin/characterization.rs
+
+/root/repo/target/debug/deps/characterization-8a34e3709274d191: crates/bench/src/bin/characterization.rs
+
+crates/bench/src/bin/characterization.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/characterization-9d9120f2b8c1b84b.d: crates/bench/src/bin/characterization.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcharacterization-9d9120f2b8c1b84b.rmeta: crates/bench/src/bin/characterization.rs Cargo.toml
+
+crates/bench/src/bin/characterization.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

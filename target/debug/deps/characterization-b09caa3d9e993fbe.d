@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/characterization-b09caa3d9e993fbe.d: crates/bench/src/bin/characterization.rs
+
+/root/repo/target/debug/deps/characterization-b09caa3d9e993fbe: crates/bench/src/bin/characterization.rs
+
+crates/bench/src/bin/characterization.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/characterization-cfe327d11cb97fdb.d: crates/bench/src/bin/characterization.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcharacterization-cfe327d11cb97fdb.rmeta: crates/bench/src/bin/characterization.rs Cargo.toml
+
+crates/bench/src/bin/characterization.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/eudoxus_bench-02a67d6797bb33d8.d: crates/bench/src/lib.rs crates/bench/src/alloc_track.rs crates/bench/src/baseline.rs
+
+/root/repo/target/debug/deps/libeudoxus_bench-02a67d6797bb33d8.rlib: crates/bench/src/lib.rs crates/bench/src/alloc_track.rs crates/bench/src/baseline.rs
+
+/root/repo/target/debug/deps/libeudoxus_bench-02a67d6797bb33d8.rmeta: crates/bench/src/lib.rs crates/bench/src/alloc_track.rs crates/bench/src/baseline.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/alloc_track.rs:
+crates/bench/src/baseline.rs:

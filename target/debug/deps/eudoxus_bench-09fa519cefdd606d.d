@@ -1,5 +1,7 @@
-/root/repo/target/debug/deps/eudoxus_bench-09fa519cefdd606d.d: crates/bench/src/lib.rs
+/root/repo/target/debug/deps/eudoxus_bench-09fa519cefdd606d.d: crates/bench/src/lib.rs crates/bench/src/alloc_track.rs crates/bench/src/baseline.rs
 
-/root/repo/target/debug/deps/eudoxus_bench-09fa519cefdd606d: crates/bench/src/lib.rs
+/root/repo/target/debug/deps/eudoxus_bench-09fa519cefdd606d: crates/bench/src/lib.rs crates/bench/src/alloc_track.rs crates/bench/src/baseline.rs
 
 crates/bench/src/lib.rs:
+crates/bench/src/alloc_track.rs:
+crates/bench/src/baseline.rs:

@@ -1,9 +1,11 @@
-/root/repo/target/debug/deps/eudoxus_bench-fd1b93f268e787a3.d: crates/bench/src/lib.rs Cargo.toml
+/root/repo/target/debug/deps/eudoxus_bench-fd1b93f268e787a3.d: crates/bench/src/lib.rs crates/bench/src/alloc_track.rs crates/bench/src/baseline.rs Cargo.toml
 
-/root/repo/target/debug/deps/libeudoxus_bench-fd1b93f268e787a3.rmeta: crates/bench/src/lib.rs Cargo.toml
+/root/repo/target/debug/deps/libeudoxus_bench-fd1b93f268e787a3.rmeta: crates/bench/src/lib.rs crates/bench/src/alloc_track.rs crates/bench/src/baseline.rs Cargo.toml
 
 crates/bench/src/lib.rs:
+crates/bench/src/alloc_track.rs:
+crates/bench/src/baseline.rs:
 Cargo.toml:
 
-# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
 # env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/evaluation-26a8654ef4578a82.d: crates/bench/src/bin/evaluation.rs
+
+/root/repo/target/debug/deps/evaluation-26a8654ef4578a82: crates/bench/src/bin/evaluation.rs
+
+crates/bench/src/bin/evaluation.rs:

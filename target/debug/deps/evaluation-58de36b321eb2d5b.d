@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/evaluation-58de36b321eb2d5b.d: crates/bench/src/bin/evaluation.rs
+
+/root/repo/target/debug/deps/evaluation-58de36b321eb2d5b: crates/bench/src/bin/evaluation.rs
+
+crates/bench/src/bin/evaluation.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/evaluation-ebd38a9f00aedeca.d: crates/bench/src/bin/evaluation.rs Cargo.toml
+
+/root/repo/target/debug/deps/libevaluation-ebd38a9f00aedeca.rmeta: crates/bench/src/bin/evaluation.rs Cargo.toml
+
+crates/bench/src/bin/evaluation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig03_accuracy-5c9babbe4076f29b.d: crates/bench/src/bin/fig03_accuracy.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig03_accuracy-5c9babbe4076f29b.rmeta: crates/bench/src/bin/fig03_accuracy.rs Cargo.toml
+
+crates/bench/src/bin/fig03_accuracy.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

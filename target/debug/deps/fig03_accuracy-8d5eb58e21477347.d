@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig03_accuracy-8d5eb58e21477347.d: crates/bench/src/bin/fig03_accuracy.rs
+
+/root/repo/target/debug/deps/fig03_accuracy-8d5eb58e21477347: crates/bench/src/bin/fig03_accuracy.rs
+
+crates/bench/src/bin/fig03_accuracy.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig03_accuracy-d11ca3d34d602ecd.d: crates/bench/src/bin/fig03_accuracy.rs
+
+/root/repo/target/debug/deps/fig03_accuracy-d11ca3d34d602ecd: crates/bench/src/bin/fig03_accuracy.rs
+
+crates/bench/src/bin/fig03_accuracy.rs:

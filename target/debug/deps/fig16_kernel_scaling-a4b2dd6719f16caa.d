@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig16_kernel_scaling-a4b2dd6719f16caa.d: crates/bench/src/bin/fig16_kernel_scaling.rs
+
+/root/repo/target/debug/deps/fig16_kernel_scaling-a4b2dd6719f16caa: crates/bench/src/bin/fig16_kernel_scaling.rs
+
+crates/bench/src/bin/fig16_kernel_scaling.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig16_kernel_scaling-f9b713596e91e656.d: crates/bench/src/bin/fig16_kernel_scaling.rs
+
+/root/repo/target/debug/deps/fig16_kernel_scaling-f9b713596e91e656: crates/bench/src/bin/fig16_kernel_scaling.rs
+
+crates/bench/src/bin/fig16_kernel_scaling.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/matrix_primitives-6e838b2c3afda09b.d: crates/bench/benches/matrix_primitives.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmatrix_primitives-6e838b2c3afda09b.rmeta: crates/bench/benches/matrix_primitives.rs Cargo.toml
+
+crates/bench/benches/matrix_primitives.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sched_eval-791aff6dbc081d91.d: crates/bench/src/bin/sched_eval.rs
+
+/root/repo/target/debug/deps/sched_eval-791aff6dbc081d91: crates/bench/src/bin/sched_eval.rs
+
+crates/bench/src/bin/sched_eval.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sched_eval-b60f7db114a32e8a.d: crates/bench/src/bin/sched_eval.rs
+
+/root/repo/target/debug/deps/sched_eval-b60f7db114a32e8a: crates/bench/src/bin/sched_eval.rs
+
+crates/bench/src/bin/sched_eval.rs:

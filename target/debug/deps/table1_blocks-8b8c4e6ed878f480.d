@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1_blocks-8b8c4e6ed878f480.d: crates/bench/src/bin/table1_blocks.rs
+
+/root/repo/target/debug/deps/table1_blocks-8b8c4e6ed878f480: crates/bench/src/bin/table1_blocks.rs
+
+crates/bench/src/bin/table1_blocks.rs:

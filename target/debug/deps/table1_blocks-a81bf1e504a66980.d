@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1_blocks-a81bf1e504a66980.d: crates/bench/src/bin/table1_blocks.rs
+
+/root/repo/target/debug/deps/table1_blocks-a81bf1e504a66980: crates/bench/src/bin/table1_blocks.rs
+
+crates/bench/src/bin/table1_blocks.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table2_resources-256ec612cf9d71d2.d: crates/bench/src/bin/table2_resources.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable2_resources-256ec612cf9d71d2.rmeta: crates/bench/src/bin/table2_resources.rs Cargo.toml
+
+crates/bench/src/bin/table2_resources.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

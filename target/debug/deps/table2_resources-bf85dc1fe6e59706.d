@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2_resources-bf85dc1fe6e59706.d: crates/bench/src/bin/table2_resources.rs
+
+/root/repo/target/debug/deps/table2_resources-bf85dc1fe6e59706: crates/bench/src/bin/table2_resources.rs
+
+crates/bench/src/bin/table2_resources.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2_resources-de5602b73b46487e.d: crates/bench/src/bin/table2_resources.rs
+
+/root/repo/target/debug/deps/table2_resources-de5602b73b46487e: crates/bench/src/bin/table2_resources.rs
+
+crates/bench/src/bin/table2_resources.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table3_baselines-024555ce543fc12b.d: crates/bench/src/bin/table3_baselines.rs
+
+/root/repo/target/debug/deps/table3_baselines-024555ce543fc12b: crates/bench/src/bin/table3_baselines.rs
+
+crates/bench/src/bin/table3_baselines.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table3_baselines-a44d41c6ecb5d4d8.d: crates/bench/src/bin/table3_baselines.rs
+
+/root/repo/target/debug/deps/table3_baselines-a44d41c6ecb5d4d8: crates/bench/src/bin/table3_baselines.rs
+
+crates/bench/src/bin/table3_baselines.rs:

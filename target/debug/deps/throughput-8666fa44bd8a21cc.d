@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/throughput-8666fa44bd8a21cc.d: crates/bench/src/bin/throughput.rs
+
+/root/repo/target/debug/deps/throughput-8666fa44bd8a21cc: crates/bench/src/bin/throughput.rs
+
+crates/bench/src/bin/throughput.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/throughput-9d835054b710a7e3.d: crates/bench/src/bin/throughput.rs
+
+/root/repo/target/debug/deps/throughput-9d835054b710a7e3: crates/bench/src/bin/throughput.rs
+
+crates/bench/src/bin/throughput.rs:

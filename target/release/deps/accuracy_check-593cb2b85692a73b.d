@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/accuracy_check-593cb2b85692a73b.d: crates/bench/src/bin/accuracy_check.rs
+
+/root/repo/target/release/deps/accuracy_check-593cb2b85692a73b: crates/bench/src/bin/accuracy_check.rs
+
+crates/bench/src/bin/accuracy_check.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/accuracy_check-d53e6b488564ac24.d: crates/bench/src/bin/accuracy_check.rs
+
+/root/repo/target/release/deps/accuracy_check-d53e6b488564ac24: crates/bench/src/bin/accuracy_check.rs
+
+crates/bench/src/bin/accuracy_check.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/backend_kernels-c0bdd1556232e18d.d: crates/bench/benches/backend_kernels.rs
+
+/root/repo/target/release/deps/backend_kernels-c0bdd1556232e18d: crates/bench/benches/backend_kernels.rs
+
+crates/bench/benches/backend_kernels.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/characterization-03ff1f3c95157ff4.d: crates/bench/src/bin/characterization.rs
+
+/root/repo/target/release/deps/characterization-03ff1f3c95157ff4: crates/bench/src/bin/characterization.rs
+
+crates/bench/src/bin/characterization.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/characterization-b2a9503aba3eaadf.d: crates/bench/src/bin/characterization.rs
+
+/root/repo/target/release/deps/characterization-b2a9503aba3eaadf: crates/bench/src/bin/characterization.rs
+
+crates/bench/src/bin/characterization.rs:

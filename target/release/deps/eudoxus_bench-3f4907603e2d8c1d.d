@@ -1,5 +1,7 @@
-/root/repo/target/release/deps/eudoxus_bench-3f4907603e2d8c1d.d: crates/bench/src/lib.rs
+/root/repo/target/release/deps/eudoxus_bench-3f4907603e2d8c1d.d: crates/bench/src/lib.rs crates/bench/src/alloc_track.rs crates/bench/src/baseline.rs
 
-/root/repo/target/release/deps/eudoxus_bench-3f4907603e2d8c1d: crates/bench/src/lib.rs
+/root/repo/target/release/deps/eudoxus_bench-3f4907603e2d8c1d: crates/bench/src/lib.rs crates/bench/src/alloc_track.rs crates/bench/src/baseline.rs
 
 crates/bench/src/lib.rs:
+crates/bench/src/alloc_track.rs:
+crates/bench/src/baseline.rs:

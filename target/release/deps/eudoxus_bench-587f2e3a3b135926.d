@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/eudoxus_bench-587f2e3a3b135926.d: crates/bench/src/lib.rs crates/bench/src/alloc_track.rs crates/bench/src/baseline.rs
+
+/root/repo/target/release/deps/libeudoxus_bench-587f2e3a3b135926.rlib: crates/bench/src/lib.rs crates/bench/src/alloc_track.rs crates/bench/src/baseline.rs
+
+/root/repo/target/release/deps/libeudoxus_bench-587f2e3a3b135926.rmeta: crates/bench/src/lib.rs crates/bench/src/alloc_track.rs crates/bench/src/baseline.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/alloc_track.rs:
+crates/bench/src/baseline.rs:

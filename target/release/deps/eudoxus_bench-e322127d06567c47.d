@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/eudoxus_bench-e322127d06567c47.d: crates/bench/src/lib.rs crates/bench/src/alloc_track.rs crates/bench/src/baseline.rs
+
+/root/repo/target/release/deps/libeudoxus_bench-e322127d06567c47.rlib: crates/bench/src/lib.rs crates/bench/src/alloc_track.rs crates/bench/src/baseline.rs
+
+/root/repo/target/release/deps/libeudoxus_bench-e322127d06567c47.rmeta: crates/bench/src/lib.rs crates/bench/src/alloc_track.rs crates/bench/src/baseline.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/alloc_track.rs:
+crates/bench/src/baseline.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/evaluation-17ca355a7cefd054.d: crates/bench/src/bin/evaluation.rs
+
+/root/repo/target/release/deps/evaluation-17ca355a7cefd054: crates/bench/src/bin/evaluation.rs
+
+crates/bench/src/bin/evaluation.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/evaluation-f6881469eba8db73.d: crates/bench/src/bin/evaluation.rs
+
+/root/repo/target/release/deps/evaluation-f6881469eba8db73: crates/bench/src/bin/evaluation.rs
+
+crates/bench/src/bin/evaluation.rs:

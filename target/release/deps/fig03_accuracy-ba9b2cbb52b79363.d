@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig03_accuracy-ba9b2cbb52b79363.d: crates/bench/src/bin/fig03_accuracy.rs
+
+/root/repo/target/release/deps/fig03_accuracy-ba9b2cbb52b79363: crates/bench/src/bin/fig03_accuracy.rs
+
+crates/bench/src/bin/fig03_accuracy.rs:

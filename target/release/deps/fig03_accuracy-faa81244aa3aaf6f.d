@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig03_accuracy-faa81244aa3aaf6f.d: crates/bench/src/bin/fig03_accuracy.rs
+
+/root/repo/target/release/deps/fig03_accuracy-faa81244aa3aaf6f: crates/bench/src/bin/fig03_accuracy.rs
+
+crates/bench/src/bin/fig03_accuracy.rs:

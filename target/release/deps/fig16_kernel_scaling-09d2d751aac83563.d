@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig16_kernel_scaling-09d2d751aac83563.d: crates/bench/src/bin/fig16_kernel_scaling.rs
+
+/root/repo/target/release/deps/fig16_kernel_scaling-09d2d751aac83563: crates/bench/src/bin/fig16_kernel_scaling.rs
+
+crates/bench/src/bin/fig16_kernel_scaling.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig16_kernel_scaling-ec0a5c468d1d5efd.d: crates/bench/src/bin/fig16_kernel_scaling.rs
+
+/root/repo/target/release/deps/fig16_kernel_scaling-ec0a5c468d1d5efd: crates/bench/src/bin/fig16_kernel_scaling.rs
+
+crates/bench/src/bin/fig16_kernel_scaling.rs:

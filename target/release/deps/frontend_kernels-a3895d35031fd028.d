@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/frontend_kernels-a3895d35031fd028.d: crates/bench/benches/frontend_kernels.rs
+
+/root/repo/target/release/deps/frontend_kernels-a3895d35031fd028: crates/bench/benches/frontend_kernels.rs
+
+crates/bench/benches/frontend_kernels.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/matrix_primitives-316409148c707495.d: crates/bench/benches/matrix_primitives.rs
+
+/root/repo/target/release/deps/matrix_primitives-316409148c707495: crates/bench/benches/matrix_primitives.rs
+
+crates/bench/benches/matrix_primitives.rs:

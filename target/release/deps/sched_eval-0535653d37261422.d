@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/sched_eval-0535653d37261422.d: crates/bench/src/bin/sched_eval.rs
+
+/root/repo/target/release/deps/sched_eval-0535653d37261422: crates/bench/src/bin/sched_eval.rs
+
+crates/bench/src/bin/sched_eval.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/sched_eval-b498fc113d0c5d01.d: crates/bench/src/bin/sched_eval.rs
+
+/root/repo/target/release/deps/sched_eval-b498fc113d0c5d01: crates/bench/src/bin/sched_eval.rs
+
+crates/bench/src/bin/sched_eval.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table1_blocks-0270ab3605239a66.d: crates/bench/src/bin/table1_blocks.rs
+
+/root/repo/target/release/deps/table1_blocks-0270ab3605239a66: crates/bench/src/bin/table1_blocks.rs
+
+crates/bench/src/bin/table1_blocks.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table1_blocks-2ce79203673d18ff.d: crates/bench/src/bin/table1_blocks.rs
+
+/root/repo/target/release/deps/table1_blocks-2ce79203673d18ff: crates/bench/src/bin/table1_blocks.rs
+
+crates/bench/src/bin/table1_blocks.rs:

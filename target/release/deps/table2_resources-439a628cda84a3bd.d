@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table2_resources-439a628cda84a3bd.d: crates/bench/src/bin/table2_resources.rs
+
+/root/repo/target/release/deps/table2_resources-439a628cda84a3bd: crates/bench/src/bin/table2_resources.rs
+
+crates/bench/src/bin/table2_resources.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table2_resources-b81f483085e1721d.d: crates/bench/src/bin/table2_resources.rs
+
+/root/repo/target/release/deps/table2_resources-b81f483085e1721d: crates/bench/src/bin/table2_resources.rs
+
+crates/bench/src/bin/table2_resources.rs:

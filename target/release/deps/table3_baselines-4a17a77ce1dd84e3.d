@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table3_baselines-4a17a77ce1dd84e3.d: crates/bench/src/bin/table3_baselines.rs
+
+/root/repo/target/release/deps/table3_baselines-4a17a77ce1dd84e3: crates/bench/src/bin/table3_baselines.rs
+
+crates/bench/src/bin/table3_baselines.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table3_baselines-d634429012eadf5e.d: crates/bench/src/bin/table3_baselines.rs
+
+/root/repo/target/release/deps/table3_baselines-d634429012eadf5e: crates/bench/src/bin/table3_baselines.rs
+
+crates/bench/src/bin/table3_baselines.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/throughput-47bd0d484852717b.d: crates/bench/src/bin/throughput.rs
+
+/root/repo/target/release/deps/throughput-47bd0d484852717b: crates/bench/src/bin/throughput.rs
+
+crates/bench/src/bin/throughput.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/throughput-5670b54d218b0304.d: crates/bench/src/bin/throughput.rs
+
+/root/repo/target/release/deps/throughput-5670b54d218b0304: crates/bench/src/bin/throughput.rs
+
+crates/bench/src/bin/throughput.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/throughput-568084164a61affe.d: crates/bench/src/bin/throughput.rs
+
+/root/repo/target/release/deps/throughput-568084164a61affe: crates/bench/src/bin/throughput.rs
+
+crates/bench/src/bin/throughput.rs:
