@@ -27,8 +27,28 @@ pub struct FrontendCosts {
     /// parallelism).
     pub dr_per_step: f64,
     /// Cycles per track per pyramid iteration of DC+LSS.
+    ///
+    /// Calibration note (PR 3): the CPU reference this models against is
+    /// now the *batched* SoA solve (lane-parallel LSS micro-kernel, see
+    /// `eudoxus_frontend::klt`), which measures ≈35 µs per track for a
+    /// full 3-level pyramidal solve on 640×480 frames — roughly
+    /// [`MEASURED_CPU_US_PER_TRACK_ITERATION`] per track-iteration
+    /// (`BENCH_throughput.json`, `frontend_kernels` bench). At EDX-CAR's
+    /// 200 MHz fabric, 900 cycles ≈ 4.5 µs per track-iteration: the
+    /// modeled DC+LSS block no longer races the optimized CPU on raw
+    /// latency (it is within ~2× of it) — consistent with the paper's
+    /// Sec. V design point that TM merely needs to hide under SM on the
+    /// pipelined critical path, where the accelerator's win is
+    /// energy-per-frame, not TM speed.
     pub tm_per_track: f64,
 }
+
+/// Measured per-track-iteration cost (µs) of the batched CPU DC+LSS
+/// solve: ≈35 µs per 3-level track ÷ ~12 LSS iterations across levels,
+/// measured on the desktop reference (`frontend_kernels::klt_track_300_
+/// points_cached_pyramids`, PR 3). Pins the [`FrontendCosts::tm_per_track`]
+/// calibration to the CPU implementation it is compared against.
+pub const MEASURED_CPU_US_PER_TRACK_ITERATION: f64 = 3.0;
 
 impl Default for FrontendCosts {
     fn default() -> Self {
@@ -207,6 +227,37 @@ mod tests {
         light.stereo_matches = 30;
         let heavy = FrameWorkload::typical(1280, 720);
         assert!(engine.latency(&light).total() < engine.latency(&heavy).total());
+    }
+
+    #[test]
+    fn tm_calibration_tracks_the_measured_cpu_solve() {
+        // `tm_per_track` models cycles per track-iteration; after the
+        // batched CPU solve (PR 3) the measured CPU cost is ~3 µs per
+        // track-iteration. The model must stay the same order of
+        // magnitude — within [0.5×, 5×] — or its commentary (and the
+        // paper-alignment claims built on it) has drifted from the
+        // implementation it is calibrated against.
+        let costs = FrontendCosts::default();
+        let car = Platform::edx_car();
+        let modeled_us = costs.tm_per_track * car.cycle_time() * 1e6;
+        let ratio = modeled_us / MEASURED_CPU_US_PER_TRACK_ITERATION;
+        assert!(
+            (0.5..5.0).contains(&ratio),
+            "modeled {modeled_us:.2} us/track-iteration vs measured \
+             {MEASURED_CPU_US_PER_TRACK_ITERATION:.2} (ratio {ratio:.2})"
+        );
+        // And TM must still hide under SM at the frontend's track cap
+        // (420 live tracks, `FrontendConfig::tuning.max_tracks`).
+        let engine = FrontendEngine::new(car);
+        let mut w = FrameWorkload::typical(1280, 720);
+        w.tracks = 420;
+        let l = engine.latency(&w);
+        assert!(
+            l.temporal_matching < l.stereo_matching,
+            "TM {} s exceeds SM {} s at 420 tracks",
+            l.temporal_matching,
+            l.stereo_matching
+        );
     }
 
     #[test]

@@ -37,7 +37,9 @@ pub mod workload;
 pub use backend_engine::{BackendEngine, BackendKernelKind, KernelDims, MatrixOp};
 pub use baselines::{Baseline, BaselineModel};
 pub use energy::{EnergyModel, FrameEnergy};
-pub use frontend_engine::{FrontendEngine, FrontendLatency};
+pub use frontend_engine::{
+    FrontendEngine, FrontendLatency, MEASURED_CPU_US_PER_TRACK_ITERATION,
+};
 pub use memory::MemoryReport;
 pub use platform::{Platform, PlatformKind};
 pub use resources::{ResourceReport, ResourceVector};

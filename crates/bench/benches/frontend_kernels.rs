@@ -128,10 +128,30 @@ fn bench_frontend(c: &mut Criterion) {
         let next_pyr = Pyramid::build((**next_left).clone(), cfg.levels);
         let mut scratch = KltScratch::default();
         let mut out = Vec::new();
+        // The batched lane-parallel solve (the steady-state path).
         c.bench_function("klt_track_300_points_cached_pyramids", |b| {
             b.iter(|| {
                 track_pyramidal_into(&prev_pyr, &next_pyr, &points, &cfg, &mut scratch, &mut out);
                 black_box(out.len())
+            })
+        });
+        // Same points through the scalar one-track-at-a-time API. Note
+        // `track_one_with` re-converts both pyramids to f32 planes per
+        // call, so this measures the full cost of *not* batching (the
+        // reason steady-state callers use `track_pyramidal_into`), not
+        // the solve arithmetic alone.
+        c.bench_function("klt_track_300_points_scalar_fallback", |b| {
+            b.iter(|| {
+                let n = points
+                    .iter()
+                    .map(|&(x, y)| {
+                        eudoxus_frontend::track_one_with(
+                            &prev_pyr, &next_pyr, x, y, &cfg, &mut scratch,
+                        )
+                    })
+                    .filter(|o| o.position().is_some())
+                    .count();
+                black_box(n)
             })
         });
     }

@@ -1,16 +1,21 @@
 //! Replay-throughput benchmark: seeds the performance trajectory.
 //!
-//! Replays the four scenario kinds through the seed-equivalent
+//! Replays all five scenario kinds (the `Mixed` 50/25/25 evaluation set
+//! included) through the seed-equivalent
 //! [`BaselineFrontend`](eudoxus_bench::baseline::BaselineFrontend), the
-//! optimized scratch-reusing `Frontend`, and a full streaming
+//! optimized batched-KLT `Frontend`, and a full streaming
 //! `LocalizationSession`, then drives a multi-agent `SessionManager`
 //! sequentially and with `poll_parallel`. Writes `BENCH_throughput.json`
 //! with frames/sec, per-kernel microseconds, and (when built with
 //! `--features count-alloc`) allocations-per-frame.
 //!
+//! `--min-speedup X` turns the run into a regression gate: the process
+//! exits non-zero when the mean frontend speedup vs the in-run seed
+//! baseline falls below `X` (CI smokes with `--min-speedup 2.0`).
+//!
 //! ```text
 //! cargo run --release -p eudoxus-bench --bin throughput -- \
-//!     [--frames N] [--workers W] [--out PATH]
+//!     [--frames N] [--workers W] [--out PATH] [--min-speedup X]
 //! ```
 
 use eudoxus_bench::baseline::BaselineFrontend;
@@ -20,8 +25,9 @@ use eudoxus_frontend::{Frontend, FrontendConfig};
 use eudoxus_sim::{Dataset, Platform, ScenarioKind};
 use std::time::Instant;
 
-const KINDS: [(ScenarioKind, &str); 4] = [
+const KINDS: [(ScenarioKind, &str); 5] = [
     (ScenarioKind::OutdoorUnknown, "outdoor_unknown"),
+    (ScenarioKind::OutdoorKnown, "outdoor_known"),
     (ScenarioKind::IndoorUnknown, "indoor_unknown"),
     (ScenarioKind::IndoorKnown, "indoor_known"),
     (ScenarioKind::Mixed, "mixed"),
@@ -31,6 +37,7 @@ struct Args {
     frames: usize,
     workers: usize,
     out: String,
+    min_speedup: Option<f64>,
 }
 
 fn parse_args() -> Args {
@@ -41,6 +48,7 @@ fn parse_args() -> Args {
             .unwrap_or(2)
             .min(KINDS.len()),
         out: "BENCH_throughput.json".to_string(),
+        min_speedup: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -52,7 +60,13 @@ fn parse_args() -> Args {
             "--frames" => args.frames = value("--frames").parse().expect("--frames: integer"),
             "--workers" => args.workers = value("--workers").parse().expect("--workers: integer"),
             "--out" => args.out = value("--out"),
-            other => panic!("unknown flag {other} (supported: --frames --workers --out)"),
+            "--min-speedup" => {
+                args.min_speedup =
+                    Some(value("--min-speedup").parse().expect("--min-speedup: float"))
+            }
+            other => panic!(
+                "unknown flag {other} (supported: --frames --workers --out --min-speedup)"
+            ),
         }
     }
     args.frames = args.frames.max(2);
@@ -309,4 +323,15 @@ fn main() {
     println!(
         "mean single-session frontend speedup vs seed baseline: {mean_speedup:.2}x"
     );
+
+    if let Some(min) = args.min_speedup {
+        if mean_speedup < min {
+            eprintln!(
+                "FAIL: mean frontend speedup {mean_speedup:.2}x is below the \
+                 --min-speedup gate of {min:.2}x"
+            );
+            std::process::exit(1);
+        }
+        println!("speedup gate passed (>= {min:.2}x)");
+    }
 }

@@ -52,6 +52,37 @@ pub fn run_pipeline_with_map(data: &Dataset) -> RunLog {
     system.process_dataset(data)
 }
 
+/// Asserts two [`TrackOutcome`](eudoxus_frontend::TrackOutcome) slices
+/// are **bit-identical**: `Tracked` positions and residuals are compared
+/// at the bit level (`f32::to_bits`), every other variant by equality.
+/// The one definition of "same output" every KLT bit-identity harness
+/// (golden, property, unit) compares against.
+///
+/// # Panics
+///
+/// Panics with `what` and the point index on the first mismatch.
+pub fn assert_outcomes_bit_identical(
+    a: &[eudoxus_frontend::TrackOutcome],
+    b: &[eudoxus_frontend::TrackOutcome],
+    what: &str,
+) {
+    use eudoxus_frontend::TrackOutcome;
+    assert_eq!(a.len(), b.len(), "{what}: outcome count");
+    for (i, (oa, ob)) in a.iter().zip(b).enumerate() {
+        match (oa, ob) {
+            (
+                TrackOutcome::Tracked { x: ax, y: ay, residual: ar },
+                TrackOutcome::Tracked { x: bx, y: by, residual: br },
+            ) => {
+                assert_eq!(ax.to_bits(), bx.to_bits(), "{what}: point {i} x");
+                assert_eq!(ay.to_bits(), by.to_bits(), "{what}: point {i} y");
+                assert_eq!(ar.to_bits(), br.to_bits(), "{what}: point {i} residual");
+            }
+            _ => assert_eq!(oa, ob, "{what}: point {i}"),
+        }
+    }
+}
+
 /// Prints a fixed-width table row.
 pub fn row(cells: &[String]) {
     let line: Vec<String> = cells.iter().map(|c| format!("{c:>14}")).collect();

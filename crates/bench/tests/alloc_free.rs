@@ -10,7 +10,7 @@
 use eudoxus_bench::alloc_track::{allocations, CountingAllocator};
 use eudoxus_frontend::{
     detect_fast_into, track_pyramidal_into, FastConfig, FastScratch, Frontend, FrontendConfig,
-    KltConfig, KltScratch,
+    KltConfig, KltScratch, KLT_LANES,
 };
 use eudoxus_image::{gaussian_blur_into, FilterScratch, GrayImage, Pyramid};
 use eudoxus_sim::{Platform, ScenarioBuilder, ScenarioKind};
@@ -58,10 +58,14 @@ fn steady_state_kernels_are_allocation_free() {
     let d = alloc_delta(|| pyr.rebuild_from(next_left, klt_cfg.levels));
     assert_eq!(d, 0, "warm Pyramid::rebuild_from allocated {d} times");
 
-    // KLT tracking between cached pyramids (the DC + LSS tasks).
+    // Batched KLT tracking between cached pyramids (the DC + LSS tasks):
+    // the `TrackBatch` SoA state — lane position/tensor/mask arrays plus
+    // the lane-interleaved window buffers — lives in `KltScratch`, so one
+    // warm-up call covers every subsequent batch.
     let prev_pyr = Pyramid::build((**left).clone(), klt_cfg.levels);
     let next_pyr = Pyramid::build((**next_left).clone(), klt_cfg.levels);
     let points: Vec<(f32, f32)> = kps.iter().take(100).map(|k| (k.x, k.y)).collect();
+    assert!(points.len() > 2 * KLT_LANES, "need several full batches");
     let mut klt = KltScratch::default();
     let mut outcomes = Vec::new();
     track_pyramidal_into(&prev_pyr, &next_pyr, &points, &klt_cfg, &mut klt, &mut outcomes);
@@ -69,6 +73,15 @@ fn steady_state_kernels_are_allocation_free() {
         track_pyramidal_into(&prev_pyr, &next_pyr, &points, &klt_cfg, &mut klt, &mut outcomes)
     });
     assert_eq!(d, 0, "warm track_pyramidal_into allocated {d} times");
+    // Remainder batches (a masked tail, a partial batch, a lone lane)
+    // reuse the same SoA arrays — still zero allocations.
+    for count in [points.len() - 3, KLT_LANES + 1, KLT_LANES - 1, 1] {
+        let pts = &points[..count];
+        let d = alloc_delta(|| {
+            track_pyramidal_into(&prev_pyr, &next_pyr, pts, &klt_cfg, &mut klt, &mut outcomes)
+        });
+        assert_eq!(d, 0, "warm batched KLT with {count} tracks allocated {d} times");
+    }
 
     // Full frontend: response maps, blur buffers and pyramids no longer
     // allocate, so a warm frame must cost a small fraction of the cold

@@ -8,18 +8,21 @@
 //! stream vs `poll_parallel` RunLog equivalence), this pins the whole
 //! optimization down: same poses, faster clock.
 
+use eudoxus_bench::assert_outcomes_bit_identical;
 use eudoxus_bench::baseline::{
     detect_fast_baseline, gaussian_blur_baseline, track_pyramidal_baseline, BaselineFrontend,
 };
 use eudoxus_frontend::{
     detect_fast_into, track_pyramidal_into, FastConfig, FastScratch, Frontend, FrontendConfig,
-    KltConfig, KltScratch, TrackOutcome,
+    KltConfig, KltScratch, KLT_LANES,
 };
 use eudoxus_image::{gaussian_blur_into, FilterScratch, GrayImage, Pyramid};
 use eudoxus_sim::{Dataset, Platform, ScenarioBuilder, ScenarioKind};
 
-const KINDS: [ScenarioKind; 4] = [
+/// Every scenario kind, the `Mixed` 50/25/25 evaluation set included.
+const KINDS: [ScenarioKind; 5] = [
     ScenarioKind::OutdoorUnknown,
+    ScenarioKind::OutdoorKnown,
     ScenarioKind::IndoorUnknown,
     ScenarioKind::IndoorKnown,
     ScenarioKind::Mixed,
@@ -68,38 +71,34 @@ fn fast_kernel_matches_seed_bitwise() {
 }
 
 #[test]
-fn klt_kernel_matches_seed_bitwise() {
-    let data = dataset(ScenarioKind::IndoorUnknown, 3);
-    let klt_cfg = KltConfig::default();
-    let prev = &data.frames[0].left;
-    let next = &data.frames[1].left;
-    let kps = detect_fast_baseline(prev, &FastConfig::default());
-    let points: Vec<(f32, f32)> = kps.iter().take(150).map(|k| (k.x, k.y)).collect();
-    assert!(!points.is_empty());
+fn klt_kernel_matches_seed_bitwise_across_all_scenario_kinds() {
+    // The batched lane-parallel solve must reproduce the seed scalar
+    // solve bit for bit on real rendered frames of every scenario kind,
+    // and for track counts exercising the lane remainders: a lone lane,
+    // a partial batch, exactly one full batch, and full-batches-plus-tail.
+    for kind in KINDS {
+        let data = dataset(kind, 3);
+        let klt_cfg = KltConfig::default();
+        let prev = &data.frames[0].left;
+        let next = &data.frames[1].left;
+        let kps = detect_fast_baseline(prev, &FastConfig::default());
+        let points: Vec<(f32, f32)> = kps.iter().take(150).map(|k| (k.x, k.y)).collect();
+        assert!(points.len() > 2 * KLT_LANES, "{kind:?}: too few corners");
 
-    let seed = track_pyramidal_baseline(prev, next, &points, &klt_cfg);
+        // Optimized path: cached/rebuilt pyramids + reused scratch.
+        let mut prev_pyr = Pyramid::empty();
+        prev_pyr.rebuild_from(prev, klt_cfg.levels);
+        let mut next_pyr = Pyramid::empty();
+        next_pyr.rebuild_from(next, klt_cfg.levels);
+        let mut scratch = KltScratch::default();
+        let mut out = Vec::new();
 
-    // Optimized path: cached/rebuilt pyramids + reused scratch.
-    let mut prev_pyr = Pyramid::empty();
-    prev_pyr.rebuild_from(prev, klt_cfg.levels);
-    let mut next_pyr = Pyramid::empty();
-    next_pyr.rebuild_from(next, klt_cfg.levels);
-    let mut scratch = KltScratch::default();
-    let mut out = Vec::new();
-    track_pyramidal_into(&prev_pyr, &next_pyr, &points, &klt_cfg, &mut scratch, &mut out);
-
-    assert_eq!(seed.len(), out.len());
-    for (a, b) in seed.iter().zip(&out) {
-        match (a, b) {
-            (
-                TrackOutcome::Tracked { x: ax, y: ay, residual: ar },
-                TrackOutcome::Tracked { x: bx, y: by, residual: br },
-            ) => {
-                assert_eq!(ax.to_bits(), bx.to_bits());
-                assert_eq!(ay.to_bits(), by.to_bits());
-                assert_eq!(ar.to_bits(), br.to_bits());
-            }
-            _ => assert_eq!(a, b),
+        for count in [1, KLT_LANES - 1, KLT_LANES, KLT_LANES + 1, points.len()] {
+            let pts = &points[..count];
+            let seed = track_pyramidal_baseline(prev, next, pts, &klt_cfg);
+            track_pyramidal_into(&prev_pyr, &next_pyr, pts, &klt_cfg, &mut scratch, &mut out);
+            assert_eq!(scratch.iteration_counts().len(), out.len());
+            assert_outcomes_bit_identical(&out, &seed, &format!("{kind:?} n={count}"));
         }
     }
 }

@@ -6,8 +6,48 @@
 //! solve (LSS); the CPU implementation below has the same two phases per
 //! iteration: template gradients once per level, then iterative 2×2 normal
 //! equation solves.
+//!
+//! # The batched solve
+//!
+//! The paper's DC→LSS pipeline is a *regular per-track* computation — the
+//! accelerator exploits that by streaming tracks through fixed hardware
+//! lanes (Sec. V, `tm_per_track` cycles each). The CPU hot path mirrors
+//! the structure: [`track_pyramidal_into`] solves tracks in batches of
+//! [`KLT_LANES`], holding per-track state (positions, 2×2 normal matrices,
+//! residuals, convergence masks) as parallel SoA arrays in a `TrackBatch`
+//! inside [`KltScratch`]. Each LSS iteration gathers the search windows of
+//! all lanes from the shared f32 plane with a row-hoisted bilinear gather
+//! (`eudoxus_image::RowGather`) and updates the lane accumulators in a
+//! fixed-width unrolled inner loop. Per-lane arithmetic is exactly the
+//! scalar sequence, so the batch is **bit-identical** to solving each
+//! track alone — lanes only add independent instruction-level
+//! parallelism where the scalar solve serializes on its `f32` accumulator
+//! chains.
+//!
+//! **Masking contract**: a lane that converges (update norm below
+//! `epsilon`) or goes degenerate (determinant test) stops updating its
+//! state but *stays in the batch* — it is not compacted out; the
+//! per-lane mask simply skips its gather and its update, so a batch
+//! performs exactly the scalar solve's total sample count (not
+//! `lanes × max(iterations)`). The mask is loop-invariant within one
+//! iteration, so the skip branch predicts perfectly. The iteration loop
+//! ends when every lane is masked or `max_iterations` is reached.
+//!
+//! **Scalar fallback**: [`track_one`]/[`track_one_with`] run the original
+//! scalar solve (one track, no lanes); inside the batch, any window row
+//! whose lanes are not all interior falls back to the per-lane clamped
+//! sampler for that row (bit-identical by construction). The seed solve
+//! itself is preserved verbatim in `eudoxus_bench::baseline` as the
+//! golden reference.
 
-use eudoxus_image::{FloatImage, GrayImage, Pyramid};
+use eudoxus_image::{FloatImage, GrayImage, Pyramid, RowGather, RowSampler};
+
+/// Lane width of the batched KLT solve: tracks are solved
+/// [`KLT_LANES`] at a time with SoA state. Eight `f32` lanes fill one
+/// 256-bit vector register and, more importantly on scalar targets, give
+/// the out-of-order core eight independent accumulator chains where the
+/// per-track solve has one.
+pub const KLT_LANES: usize = 8;
 
 /// LK tracker parameters.
 #[derive(Debug, Clone, Copy)]
@@ -70,8 +110,50 @@ impl TrackOutcome {
     }
 }
 
-/// Reusable window buffers for the LK solve (template values and
-/// gradients). One warm-up call makes every subsequent track
+/// SoA state of one batch of up to [`KLT_LANES`] tracks: parallel arrays
+/// indexed by lane. The window buffers are lane-interleaved
+/// (`buf[pixel * KLT_LANES + lane]`) so the LSS inner loop reads each
+/// pixel's lane vector from contiguous memory.
+#[derive(Debug, Clone, Default)]
+struct TrackBatch {
+    /// Full-resolution input positions.
+    x: [f32; KLT_LANES],
+    y: [f32; KLT_LANES],
+    /// Level-scaled positions.
+    px: [f32; KLT_LANES],
+    py: [f32; KLT_LANES],
+    /// Accumulated displacement estimate at the current level.
+    gx: [f32; KLT_LANES],
+    gy: [f32; KLT_LANES],
+    /// 2×2 structure tensor and its inverse determinant (DC output).
+    a11: [f32; KLT_LANES],
+    a12: [f32; KLT_LANES],
+    a22: [f32; KLT_LANES],
+    inv: [f32; KLT_LANES],
+    /// Mean absolute residual of the last executed iteration.
+    residual: [f32; KLT_LANES],
+    /// Lane holds a real, non-degenerate track (padding lanes and
+    /// degenerate lanes are dead: they stay resident but are masked out
+    /// of every gather and update).
+    live: [bool; KLT_LANES],
+    /// Lane failed the determinant test at some level.
+    degenerate: [bool; KLT_LANES],
+    /// Lane is still iterating at the current level (convergence mask).
+    iterating: [bool; KLT_LANES],
+    /// LSS iterations executed per lane, summed over levels.
+    iters: [u32; KLT_LANES],
+    /// Lane-interleaved template window values, `(2r+1)² × KLT_LANES`.
+    template: Vec<f32>,
+    /// Lane-interleaved template gradients.
+    grad_x: Vec<f32>,
+    grad_y: Vec<f32>,
+    /// Lane-interleaved per-column sample x positions (`px + dx`).
+    txs: Vec<f32>,
+}
+
+/// Reusable state for the LK solve: per-track window buffers (scalar
+/// path), the SoA `TrackBatch` (batched path), and the f32 plane copies
+/// of the pyramids. One warm-up call makes every subsequent track
 /// allocation-free.
 #[derive(Debug, Clone, Default)]
 pub struct KltScratch {
@@ -96,106 +178,22 @@ pub struct KltScratch {
     /// Per-column sample x positions `px + dx` (identical computation to
     /// the inline form, hoisted out of the iteration loops).
     txs: Vec<f32>,
+    /// SoA state of the batched solve.
+    batch: TrackBatch,
+    /// Per-point LSS iteration counts of the most recent call (see
+    /// [`iteration_counts`](Self::iteration_counts)).
+    iterations: Vec<u32>,
 }
 
-/// Bilinear sampling along one image row: the y-dependent terms
-/// (`y.floor()`, the fractional weight, the row offset) are computed once
-/// per row instead of per sample. `sample(x)` is bit-identical to
-/// `img.sample_bilinear(x, y)` — the hoisted values come from the same
-/// inputs through the same operations, and border samples fall back to
-/// the clamped path verbatim. The LK window loops sample hundreds of
-/// points per row-pair, which makes this the solve's hottest code.
-struct RowSampler<'a> {
-    img: &'a FloatImage,
-    raw: &'a [f32],
-    w: i64,
-    /// Flat index of `(0, y0)`; only valid when `y_interior`.
-    row0: usize,
-    fy: f32,
-    y: f32,
-    y_interior: bool,
-}
-
-impl<'a> RowSampler<'a> {
-    #[inline]
-    fn new(img: &'a FloatImage, y: f32) -> Self {
-        let y0f = y.floor();
-        let fy = y - y0f;
-        let y0 = y0f as i64;
-        let w = img.width() as i64;
-        // `y0 < h - 1`, not `y0 + 1 < h`: the saturated cast of a huge
-        // finite y (i64::MAX) must not overflow into a false positive.
-        let y_interior = y0 >= 0 && y0 < img.height() as i64 - 1;
-        RowSampler {
-            img,
-            raw: img.as_raw(),
-            w,
-            row0: if y_interior { (y0 * w) as usize } else { 0 },
-            fy,
-            y,
-            y_interior,
-        }
-    }
-
-    #[inline]
-    fn sample(&self, x: f32) -> f32 {
-        if self.y_interior {
-            let x0f = x.floor();
-            let fx = x - x0f;
-            let x0 = x0f as i64;
-            // `x0 < w - 1`, not `x0 + 1 < w` (saturated-cast overflow).
-            if x0 >= 0 && x0 < self.w - 1 {
-                // SAFETY: x0 and y0 (plus one) are inside the image.
-                return unsafe { self.tap(x0 as usize, fx) };
-            }
-        }
-        self.img.sample_bilinear(x, self.y)
-    }
-
-    /// Whether every sample in `[x_first, x_last]` (both on this row)
-    /// takes the interior path — `floor` is monotonic, so checking the
-    /// endpoints covers the run.
-    #[inline]
-    fn run_interior(&self, x_first: f32, x_last: f32) -> bool {
-        // `< w - 1`, not `+ 1 < w` (saturated-cast overflow).
-        self.y_interior
-            && x_first.floor() as i64 >= 0
-            && (x_last.floor() as i64) < self.w - 1
-    }
-
-    /// Interior sample without the bounds branch (callers prove the run
-    /// is interior via [`run_interior`](Self::run_interior)). Identical
-    /// arithmetic to [`sample`](Self::sample)'s interior path.
-    ///
-    /// # Safety
-    ///
-    /// `x.floor()` must be in `[0, width - 2]` and the sampler's row
-    /// must be interior.
-    #[inline]
-    unsafe fn sample_interior(&self, x: f32) -> f32 {
-        let x0f = x.floor();
-        let fx = x - x0f;
-        debug_assert!(x0f as i64 >= 0 && (x0f as i64) < self.w - 1 && self.y_interior);
-        self.tap(x0f as usize, fx)
-    }
-
-    /// # Safety
-    ///
-    /// `x0 + 1 < width` and the row must be interior.
-    #[inline]
-    unsafe fn tap(&self, x0: usize, fx: f32) -> f32 {
-        let idx = self.row0 + x0;
-        let (p00, p10, p01, p11) = (
-            *self.raw.get_unchecked(idx),
-            *self.raw.get_unchecked(idx + 1),
-            *self.raw.get_unchecked(idx + self.w as usize),
-            *self.raw.get_unchecked(idx + self.w as usize + 1),
-        );
-        let fy = self.fy;
-        p00 * (1.0 - fx) * (1.0 - fy)
-            + p10 * fx * (1.0 - fy)
-            + p01 * (1.0 - fx) * fy
-            + p11 * fx * fy
+impl KltScratch {
+    /// LSS iteration counts of the most recent [`track_pyramidal_into`]
+    /// (one entry per input point, in order) or [`track_one_with`] (one
+    /// entry) call, summed over pyramid levels. Diagnostic surface for
+    /// the bit-identity harness: the batched and scalar solves must
+    /// execute exactly the same number of iterations per track, not just
+    /// land on the same positions.
+    pub fn iteration_counts(&self) -> &[u32] {
+        &self.iterations
     }
 }
 
@@ -211,8 +209,99 @@ fn pyramid_to_planes(pyr: &Pyramid, planes: &mut Vec<FloatImage>) {
     }
 }
 
+/// DC micro-kernel: samples the extended `(w+2)²` grid around `(px, py)`
+/// on `prev` once (the inner `w×w` block is the template, the one-pixel
+/// ring holds the out-of-window central-difference taps), proves per
+/// column/row that the gradient positions `tx ± 1.0` equal the grid
+/// positions bit for bit (falling back to direct sampling where f32
+/// rounding breaks the equality), and writes the template, gradients and
+/// per-column x positions at `stride`-spaced slots starting at `offset`.
+/// `stride = 1` is the scalar layout; the batch passes
+/// `stride = KLT_LANES, offset = lane`. Returns the structure tensor
+/// `(a11, a12, a22)`; every slot value and the tensor are bit-identical
+/// to the seed DC phase regardless of layout.
+#[allow(clippy::too_many_arguments)]
+fn dc_window(
+    prev: &FloatImage,
+    px: f32,
+    py: f32,
+    r: i64,
+    samples: &mut Vec<f32>,
+    exact_x: &mut Vec<(bool, bool)>,
+    template: &mut [f32],
+    grad_x: &mut [f32],
+    grad_y: &mut [f32],
+    txs: &mut [f32],
+    stride: usize,
+    offset: usize,
+) -> (f32, f32, f32) {
+    let w = (2 * r + 1) as usize;
+    let we = w + 2;
+    samples.clear();
+    samples.resize(we * we, 0.0);
+    for (erow, edy) in (-(r + 1)..=(r + 1)).enumerate() {
+        let s = RowSampler::new(prev, py + edy as f32);
+        let row_out = &mut samples[erow * we..][..we];
+        if s.run_interior(px + (-(r + 1)) as f32, px + (r + 1) as f32) {
+            for (slot, edx) in row_out.iter_mut().zip(-(r + 1)..=(r + 1)) {
+                // SAFETY: run_interior proved the whole run.
+                *slot = unsafe { s.sample_interior(px + edx as f32) };
+            }
+        } else {
+            for (slot, edx) in row_out.iter_mut().zip(-(r + 1)..=(r + 1)) {
+                *slot = s.sample(px + edx as f32);
+            }
+        }
+    }
+    exact_x.clear();
+    exact_x.extend((-r..=r).map(|dx| {
+        let tx = px + dx as f32;
+        (
+            tx + 1.0 == px + (dx + 1) as f32,
+            tx - 1.0 == px + (dx - 1) as f32,
+        )
+    }));
+    for (col, dx) in (-r..=r).enumerate() {
+        txs[col * stride + offset] = px + dx as f32;
+    }
+    let mut a11 = 0.0f32;
+    let mut a12 = 0.0f32;
+    let mut a22 = 0.0f32;
+    for (row, dy) in (-r..=r).enumerate() {
+        let ty = py + dy as f32;
+        let y_exact_dn = ty + 1.0 == py + (dy + 1) as f32;
+        let y_exact_up = ty - 1.0 == py + (dy - 1) as f32;
+        // Fallback samplers (only consulted when an exactness proof
+        // fails, i.e. almost never).
+        let s_mid = RowSampler::new(prev, ty);
+        let s_up = RowSampler::new(prev, ty - 1.0);
+        let s_dn = RowSampler::new(prev, ty + 1.0);
+        for (col, dx) in (-r..=r).enumerate() {
+            let tx = px + dx as f32;
+            let idx = (row * w + col) * stride + offset;
+            let e = (row + 1) * we + (col + 1);
+            template[idx] = samples[e];
+            let (x_exact_r, x_exact_l) = exact_x[col];
+            let right = if x_exact_r { samples[e + 1] } else { s_mid.sample(tx + 1.0) };
+            let left = if x_exact_l { samples[e - 1] } else { s_mid.sample(tx - 1.0) };
+            let ix = (right - left) * 0.5;
+            let down = if y_exact_dn { samples[e + we] } else { s_dn.sample(tx) };
+            let up = if y_exact_up { samples[e - we] } else { s_up.sample(tx) };
+            let iy = (down - up) * 0.5;
+            grad_x[idx] = ix;
+            grad_y[idx] = iy;
+            a11 += ix * ix;
+            a12 += ix * iy;
+            a22 += iy * iy;
+        }
+    }
+    (a11, a12, a22)
+}
+
 /// Tracks one point on a single pyramid level; `(gx, gy)` is the initial
-/// displacement estimate. Returns `(dx, dy, residual)` on success.
+/// displacement estimate. Returns `(dx, dy, residual, iterations)` on
+/// success. This is the scalar fallback path — the batched solve in
+/// [`track_pyramidal_into`] executes the identical per-lane arithmetic.
 ///
 /// The DC phase samples template values and central-difference gradients
 /// *within the window only* — computing full-image gradient maps per
@@ -228,7 +317,7 @@ fn track_level(
     mut gy: f32,
     cfg: &KltConfig,
     scratch: &mut KltScratch,
-) -> Option<(f32, f32, f32)> {
+) -> Option<(f32, f32, f32, u32)> {
     let r = cfg.window_radius;
     let w = (2 * r + 1) as usize;
     let n_px = (w * w) as f32;
@@ -241,89 +330,38 @@ fn track_level(
     scratch.grad_x.resize(w * w, 0.0);
     scratch.grad_y.clear();
     scratch.grad_y.resize(w * w, 0.0);
-    let template = &mut scratch.template;
-    let grad_x = &mut scratch.grad_x;
-    let grad_y = &mut scratch.grad_y;
-
-    // Sample the extended (w+2)² grid once: position (erow, ecol) is
-    // `(px + edx, py + edy)` for `edx, edy ∈ -(r+1)..=(r+1)` — the inner
-    // w×w block is exactly the template positions, the one-pixel ring
-    // holds the out-of-window central-difference taps.
-    let we = w + 2;
-    scratch.samples.clear();
-    scratch.samples.resize(we * we, 0.0);
-    for (erow, edy) in (-(r + 1)..=(r + 1)).enumerate() {
-        let s = RowSampler::new(prev, py + edy as f32);
-        let row_out = &mut scratch.samples[erow * we..][..we];
-        if s.run_interior(px + (-(r + 1)) as f32, px + (r + 1) as f32) {
-            for (slot, edx) in row_out.iter_mut().zip(-(r + 1)..=(r + 1)) {
-                // SAFETY: run_interior proved the whole run.
-                *slot = unsafe { s.sample_interior(px + edx as f32) };
-            }
-        } else {
-            for (slot, edx) in row_out.iter_mut().zip(-(r + 1)..=(r + 1)) {
-                *slot = s.sample(px + edx as f32);
-            }
-        }
-    }
-    // The direct form samples gradients at `tx ± 1.0`; the grid holds
-    // samples at `px + (dx ± 1)`. Equal positions give bit-equal samples,
-    // so prove the equality per column (and per row below) and resample
-    // directly when f32 rounding makes them differ.
-    scratch.exact_x.clear();
-    scratch.exact_x.extend((-r..=r).map(|dx| {
-        let tx = px + dx as f32;
-        (
-            tx + 1.0 == px + (dx + 1) as f32,
-            tx - 1.0 == px + (dx - 1) as f32,
-        )
-    }));
-    // Hoisted per-column x positions (`px + dx`, the same computation the
-    // inline form performs per pixel).
     scratch.txs.clear();
-    scratch.txs.extend((-r..=r).map(|dx| px + dx as f32));
-    let samples = &scratch.samples;
-    let mut a11 = 0.0f32;
-    let mut a12 = 0.0f32;
-    let mut a22 = 0.0f32;
-    for (row, dy) in (-r..=r).enumerate() {
-        let ty = py + dy as f32;
-        let y_exact_dn = ty + 1.0 == py + (dy + 1) as f32;
-        let y_exact_up = ty - 1.0 == py + (dy - 1) as f32;
-        // Fallback samplers (only consulted when an exactness proof
-        // fails, i.e. almost never).
-        let s_mid = RowSampler::new(prev, ty);
-        let s_up = RowSampler::new(prev, ty - 1.0);
-        let s_dn = RowSampler::new(prev, ty + 1.0);
-        for (col, dx) in (-r..=r).enumerate() {
-            let tx = px + dx as f32;
-            let idx = row * w + col;
-            let e = (row + 1) * we + (col + 1);
-            template[idx] = samples[e];
-            let (x_exact_r, x_exact_l) = scratch.exact_x[col];
-            let right = if x_exact_r { samples[e + 1] } else { s_mid.sample(tx + 1.0) };
-            let left = if x_exact_l { samples[e - 1] } else { s_mid.sample(tx - 1.0) };
-            let ix = (right - left) * 0.5;
-            let down = if y_exact_dn { samples[e + we] } else { s_dn.sample(tx) };
-            let up = if y_exact_up { samples[e - we] } else { s_up.sample(tx) };
-            let iy = (down - up) * 0.5;
-            grad_x[idx] = ix;
-            grad_y[idx] = iy;
-            a11 += ix * ix;
-            a12 += ix * iy;
-            a22 += iy * iy;
-        }
-    }
+    scratch.txs.resize(w, 0.0);
+    let (a11, a12, a22) = dc_window(
+        prev,
+        px,
+        py,
+        r,
+        &mut scratch.samples,
+        &mut scratch.exact_x,
+        &mut scratch.template,
+        &mut scratch.grad_x,
+        &mut scratch.grad_y,
+        &mut scratch.txs,
+        1,
+        0,
+    );
     let det = a11 * a22 - a12 * a12;
     if det < cfg.min_determinant * n_px * n_px {
         return None;
     }
     let inv = 1.0 / det;
 
+    let template = &scratch.template;
+    let grad_x = &scratch.grad_x;
+    let grad_y = &scratch.grad_y;
+
     // LSS phase: iterate the 2×2 solve.
     let txs = &scratch.txs;
     let mut residual = f32::MAX;
+    let mut iters = 0u32;
     for _ in 0..cfg.max_iterations {
+        iters += 1;
         let mut b1 = 0.0f32;
         let mut b2 = 0.0f32;
         let mut res_acc = 0.0f32;
@@ -364,7 +402,302 @@ fn track_level(
             break;
         }
     }
-    Some((gx, gy, residual))
+    Some((gx, gy, residual, iters))
+}
+
+/// One LSS iteration of the batched solve: accumulates the 2×2 normal
+/// equation right-hand sides and the absolute-residual sums for every
+/// lane still iterating. Each active lane's accumulation visits the
+/// window in the same row-major order as the scalar solve with the same
+/// arithmetic, so per-lane results are bit-identical to
+/// [`track_level`]'s iteration.
+///
+/// Masked lanes (converged, degenerate, padding) stay resident in the
+/// batch but are skipped by the gather — their accumulators would be
+/// discarded anyway, and skipping keeps the batch's total sample count
+/// equal to the scalar solve's instead of `lanes × max(iterations)`.
+/// The fast path requires every *active* lane's sample run on the
+/// current window row to be interior; rows that fail fall back to the
+/// per-lane clamped sampler — the scalar row structure, verbatim.
+fn lss_batch_iteration(
+    next: &FloatImage,
+    b: &TrackBatch,
+    w: usize,
+    r: i64,
+) -> ([f32; KLT_LANES], [f32; KLT_LANES], [f32; KLT_LANES]) {
+    let mut b1 = [0.0f32; KLT_LANES];
+    let mut b2 = [0.0f32; KLT_LANES];
+    let mut res = [0.0f32; KLT_LANES];
+    let active = b.iterating;
+    let full = active == [true; KLT_LANES];
+    // Hoisted lane state and window buffers (read-only for the whole
+    // iteration; local copies free the optimizer from aliasing doubts).
+    let gx = b.gx;
+    let gy = b.gy;
+    let py = b.py;
+    let tmpl: &[f32] = &b.template;
+    let gradx: &[f32] = &b.grad_x;
+    let grady: &[f32] = &b.grad_y;
+    let txs: &[f32] = &b.txs;
+    debug_assert!(tmpl.len() >= w * w * KLT_LANES);
+    debug_assert!(gradx.len() >= w * w * KLT_LANES && grady.len() >= w * w * KLT_LANES);
+    debug_assert!(txs.len() >= w * KLT_LANES);
+    for (row, dy) in (-r..=r).enumerate() {
+        let mut ys = [0.0f32; KLT_LANES];
+        for l in 0..KLT_LANES {
+            // Same association as the scalar path: `(py + dy) + gy`.
+            ys[l] = py[l] + dy as f32 + gy[l];
+        }
+        let gather = RowGather::<KLT_LANES>::new_masked(next, &ys, &active);
+        let mut all_interior = true;
+        for l in 0..KLT_LANES {
+            all_interior &= !active[l]
+                || gather.lane_run_interior(
+                    l,
+                    txs[l] + gx[l],
+                    txs[(w - 1) * KLT_LANES + l] + gx[l],
+                );
+        }
+        let base = row * w;
+        if all_interior && full {
+            // Branch-free lane-parallel micro-kernel: per pixel column,
+            // gather one sample per lane and update the eight
+            // independent accumulator chains where the scalar solve
+            // serializes on one.
+            for col in 0..w {
+                let pix = (base + col) * KLT_LANES;
+                let txc = col * KLT_LANES;
+                for l in 0..KLT_LANES {
+                    // SAFETY: lane_run_interior proved every lane's whole
+                    // run on this row (floor is monotone over the run);
+                    // buffer indices are below `w²·KLT_LANES`, the
+                    // resize length (debug-asserted above).
+                    let (sv, t, gxv, gyv) = unsafe {
+                        let xv = *txs.get_unchecked(txc + l) + gx[l];
+                        (
+                            gather.gather_unchecked(l, xv),
+                            *tmpl.get_unchecked(pix + l),
+                            *gradx.get_unchecked(pix + l),
+                            *grady.get_unchecked(pix + l),
+                        )
+                    };
+                    let it = sv - t;
+                    b1[l] += it * gxv;
+                    b2[l] += it * gyv;
+                    res[l] += it.abs();
+                }
+            }
+        } else if all_interior {
+            // Same micro-kernel with the convergence mask applied: the
+            // mask is loop-invariant for the whole iteration, so the
+            // skip branch predicts perfectly and masked lanes cost
+            // nothing but the test.
+            for col in 0..w {
+                let pix = (base + col) * KLT_LANES;
+                let txc = col * KLT_LANES;
+                for l in 0..KLT_LANES {
+                    if !active[l] {
+                        continue;
+                    }
+                    // SAFETY: as in the branch-free loop above.
+                    let (sv, t, gxv, gyv) = unsafe {
+                        let xv = *txs.get_unchecked(txc + l) + gx[l];
+                        (
+                            gather.gather_unchecked(l, xv),
+                            *tmpl.get_unchecked(pix + l),
+                            *gradx.get_unchecked(pix + l),
+                            *grady.get_unchecked(pix + l),
+                        )
+                    };
+                    let it = sv - t;
+                    b1[l] += it * gxv;
+                    b2[l] += it * gyv;
+                    res[l] += it.abs();
+                }
+            }
+        } else {
+            // Per-lane scalar fallback row, identical to the seed row
+            // structure (interior runs unchecked, borders clamped).
+            for l in 0..KLT_LANES {
+                if !active[l] {
+                    continue;
+                }
+                let s = RowSampler::new(next, ys[l]);
+                let x_first = txs[l] + gx[l];
+                let x_last = txs[(w - 1) * KLT_LANES + l] + gx[l];
+                if s.run_interior(x_first, x_last) {
+                    for col in 0..w {
+                        let pix = (base + col) * KLT_LANES + l;
+                        let xv = txs[col * KLT_LANES + l] + gx[l];
+                        // SAFETY: run_interior proved the whole run.
+                        let it = unsafe { s.sample_interior(xv) } - tmpl[pix];
+                        b1[l] += it * gradx[pix];
+                        b2[l] += it * grady[pix];
+                        res[l] += it.abs();
+                    }
+                } else {
+                    for col in 0..w {
+                        let pix = (base + col) * KLT_LANES + l;
+                        let xv = txs[col * KLT_LANES + l] + gx[l];
+                        let it = s.sample(xv) - tmpl[pix];
+                        b1[l] += it * gradx[pix];
+                        b2[l] += it * grady[pix];
+                        res[l] += it.abs();
+                    }
+                }
+            }
+        }
+    }
+    (b1, b2, res)
+}
+
+/// Solves one batch of up to [`KLT_LANES`] tracks through the pyramid,
+/// coarse to fine, and appends one [`TrackOutcome`] per input point to
+/// `out` (and its iteration count to the scratch diagnostics).
+///
+/// Per-lane state follows exactly the scalar recurrence of
+/// [`track_one_planes`]; lanes beyond `pts.len()` are padding (dead from
+/// the start) and lanes that fail the determinant test die in place.
+/// Dead and converged lanes stay resident in the batch but are masked
+/// out of every gather and update.
+fn track_batch_planes(
+    prev: &[FloatImage],
+    next: &[FloatImage],
+    pts: &[(f32, f32)],
+    cfg: &KltConfig,
+    scratch: &mut KltScratch,
+    out: &mut Vec<TrackOutcome>,
+) {
+    debug_assert!(!pts.is_empty() && pts.len() <= KLT_LANES);
+    let n = pts.len();
+    let r = cfg.window_radius;
+    let w = (2 * r + 1) as usize;
+    let n_px = (w * w) as f32;
+    let levels = prev.len().min(next.len());
+
+    let scratch = &mut *scratch;
+    let b = &mut scratch.batch;
+    b.template.resize(w * w * KLT_LANES, 0.0);
+    b.grad_x.resize(w * w * KLT_LANES, 0.0);
+    b.grad_y.resize(w * w * KLT_LANES, 0.0);
+    b.txs.resize(w * KLT_LANES, 0.0);
+    for l in 0..KLT_LANES {
+        let (x, y) = if l < n { pts[l] } else { (0.0, 0.0) };
+        b.x[l] = x;
+        b.y[l] = y;
+        b.gx[l] = 0.0;
+        b.gy[l] = 0.0;
+        b.residual[l] = f32::MAX;
+        b.live[l] = l < n;
+        b.degenerate[l] = false;
+        b.iters[l] = 0;
+    }
+
+    for li in (0..levels).rev() {
+        // Same scale law as `Pyramid::scale`.
+        let scale = (1u32 << li) as f32;
+        let prev_p = &prev[li];
+        let next_p = &next[li];
+        for l in 0..KLT_LANES {
+            if b.live[l] {
+                b.px[l] = b.x[l] / scale;
+                b.py[l] = b.y[l] / scale;
+            }
+            // Dead lanes (padding, degenerate) keep stale positions —
+            // they are masked out of every gather, so the values are
+            // never sampled.
+        }
+
+        // DC micro-kernel per live lane.
+        for l in 0..KLT_LANES {
+            if !b.live[l] {
+                continue;
+            }
+            let (a11, a12, a22) = dc_window(
+                prev_p,
+                b.px[l],
+                b.py[l],
+                r,
+                &mut scratch.samples,
+                &mut scratch.exact_x,
+                &mut b.template,
+                &mut b.grad_x,
+                &mut b.grad_y,
+                &mut b.txs,
+                KLT_LANES,
+                l,
+            );
+            let det = a11 * a22 - a12 * a12;
+            if det < cfg.min_determinant * n_px * n_px {
+                // Scalar path stops this track at the first degenerate
+                // level; the lane dies in place.
+                b.live[l] = false;
+                b.degenerate[l] = true;
+                continue;
+            }
+            b.a11[l] = a11;
+            b.a12[l] = a12;
+            b.a22[l] = a22;
+            b.inv[l] = 1.0 / det;
+        }
+
+        // LSS phase: lane-masked Gauss–Newton iterations.
+        b.iterating = b.live;
+        for _ in 0..cfg.max_iterations {
+            if !b.iterating.contains(&true) {
+                break;
+            }
+            let (b1, b2, res) = lss_batch_iteration(next_p, b, w, r);
+            for l in 0..KLT_LANES {
+                if !b.iterating[l] {
+                    continue;
+                }
+                b.iters[l] += 1;
+                b.residual[l] = res[l] / n_px;
+                let ux = (b.a22[l] * b1[l] - b.a12[l] * b2[l]) * b.inv[l];
+                let uy = (b.a11[l] * b2[l] - b.a12[l] * b1[l]) * b.inv[l];
+                b.gx[l] -= ux;
+                b.gy[l] -= uy;
+                if (ux * ux + uy * uy).sqrt() < cfg.epsilon {
+                    b.iterating[l] = false;
+                }
+            }
+        }
+
+        if li > 0 {
+            for l in 0..KLT_LANES {
+                if b.live[l] {
+                    b.gx[l] *= 2.0;
+                    b.gy[l] *= 2.0;
+                }
+            }
+        }
+    }
+
+    let base = &next[0];
+    let m = cfg.window_radius as f32;
+    for l in 0..n {
+        let outcome = if b.degenerate[l] {
+            TrackOutcome::Degenerate
+        } else {
+            let nx = b.x[l] + b.gx[l];
+            let ny = b.y[l] + b.gy[l];
+            if nx < m || ny < m || nx >= base.width() as f32 - m || ny >= base.height() as f32 - m
+            {
+                TrackOutcome::OutOfBounds
+            } else if b.residual[l] > cfg.max_residual {
+                TrackOutcome::Lost
+            } else {
+                TrackOutcome::Tracked {
+                    x: nx,
+                    y: ny,
+                    residual: b.residual[l],
+                }
+            }
+        };
+        out.push(outcome);
+        scratch.iterations.push(b.iters[l]);
+    }
 }
 
 /// Tracks points from `prev` to `next` using pyramids built internally.
@@ -391,8 +724,11 @@ pub fn track_pyramidal(
 }
 
 /// Tracks points between two pre-built pyramids into a reusable output
-/// vector. Bit-identical to [`track_pyramidal`] given the same pyramids;
-/// zero heap allocations once `scratch` and `out` are warm.
+/// vector, solving the points in lane-parallel batches of [`KLT_LANES`]
+/// (the final batch may be a masked remainder). Bit-identical to
+/// [`track_pyramidal`] and to tracking each point alone with
+/// [`track_one_with`]; zero heap allocations once `scratch` and `out`
+/// are warm.
 pub fn track_pyramidal_into(
     prev_pyr: &Pyramid,
     next_pyr: &Pyramid,
@@ -402,15 +738,14 @@ pub fn track_pyramidal_into(
     out: &mut Vec<TrackOutcome>,
 ) {
     out.clear();
+    scratch.iterations.clear();
     let mut prev_planes = std::mem::take(&mut scratch.prev_planes);
     let mut next_planes = std::mem::take(&mut scratch.next_planes);
     pyramid_to_planes(prev_pyr, &mut prev_planes);
     pyramid_to_planes(next_pyr, &mut next_planes);
-    out.extend(
-        points
-            .iter()
-            .map(|&(x, y)| track_one_planes(&prev_planes, &next_planes, x, y, cfg, scratch)),
-    );
+    for chunk in points.chunks(KLT_LANES) {
+        track_batch_planes(&prev_planes, &next_planes, chunk, cfg, scratch, out);
+    }
     scratch.prev_planes = prev_planes;
     scratch.next_planes = next_planes;
 }
@@ -427,9 +762,11 @@ pub fn track_one(
 }
 
 /// [`track_one`] with caller-owned window buffers (allocation-free once
-/// `scratch` is warm). Converts both pyramids to f32 planes per call —
+/// `scratch` is warm). This is the scalar fallback path: one track, no
+/// lane batching — bit-identical to the lane the batched solve would
+/// give the same point. Converts both pyramids to f32 planes per call —
 /// when tracking many points between the same pyramids, use
-/// [`track_pyramidal_into`], which converts once.
+/// [`track_pyramidal_into`], which converts once and batches the solve.
 pub fn track_one_with(
     prev_pyr: &Pyramid,
     next_pyr: &Pyramid,
@@ -438,6 +775,7 @@ pub fn track_one_with(
     cfg: &KltConfig,
     scratch: &mut KltScratch,
 ) -> TrackOutcome {
+    scratch.iterations.clear();
     let mut prev_planes = std::mem::take(&mut scratch.prev_planes);
     let mut next_planes = std::mem::take(&mut scratch.next_planes);
     pyramid_to_planes(prev_pyr, &mut prev_planes);
@@ -448,7 +786,8 @@ pub fn track_one_with(
     outcome
 }
 
-/// Tracks one point between pre-converted f32 pyramid planes.
+/// Tracks one point between pre-converted f32 pyramid planes (the scalar
+/// solve).
 fn track_one_planes(
     prev: &[FloatImage],
     next: &[FloatImage],
@@ -462,13 +801,15 @@ fn track_one_planes(
     let mut gy = 0.0f32;
     let mut residual = f32::MAX;
     let mut degenerate = false;
+    let mut iters_total = 0u32;
     for li in (0..levels).rev() {
         // Same scale law as `Pyramid::scale`.
         let scale = (1u32 << li) as f32;
         let (lx, ly) = (x / scale, y / scale);
         match track_level(&prev[li], &next[li], lx, ly, gx, gy, cfg, scratch) {
-            Some((dx, dy, res)) => {
+            Some((dx, dy, res, iters)) => {
                 residual = res;
+                iters_total += iters;
                 if li > 0 {
                     gx = dx * 2.0;
                     gy = dy * 2.0;
@@ -483,6 +824,7 @@ fn track_one_planes(
             }
         }
     }
+    scratch.iterations.push(iters_total);
     if degenerate {
         return TrackOutcome::Degenerate;
     }
@@ -518,6 +860,43 @@ mod tests {
                 + 30.0 * ((u * 0.11 + v * 0.17).sin());
             val.clamp(0.0, 255.0) as u8
         })
+    }
+
+    /// Asserts two outcome slices are bit-identical (positions and
+    /// residuals compared at the bit level).
+    fn assert_bit_identical(a: &[TrackOutcome], b: &[TrackOutcome]) {
+        assert_eq!(a.len(), b.len());
+        for (i, (oa, ob)) in a.iter().zip(b).enumerate() {
+            match (oa, ob) {
+                (
+                    TrackOutcome::Tracked { x: ax, y: ay, residual: ar },
+                    TrackOutcome::Tracked { x: bx, y: by, residual: br },
+                ) => {
+                    assert_eq!(ax.to_bits(), bx.to_bits(), "point {i}: x");
+                    assert_eq!(ay.to_bits(), by.to_bits(), "point {i}: y");
+                    assert_eq!(ar.to_bits(), br.to_bits(), "point {i}: residual");
+                }
+                _ => assert_eq!(oa, ob, "point {i}"),
+            }
+        }
+    }
+
+    /// Scalar reference: tracks every point alone through
+    /// [`track_one_with`] and collects outcomes + iteration counts.
+    fn scalar_reference(
+        prev_pyr: &Pyramid,
+        next_pyr: &Pyramid,
+        pts: &[(f32, f32)],
+        cfg: &KltConfig,
+    ) -> (Vec<TrackOutcome>, Vec<u32>) {
+        let mut scratch = KltScratch::default();
+        let mut outcomes = Vec::new();
+        let mut iters = Vec::new();
+        for &(x, y) in pts {
+            outcomes.push(track_one_with(prev_pyr, next_pyr, x, y, cfg, &mut scratch));
+            iters.push(scratch.iteration_counts()[0]);
+        }
+        (outcomes, iters)
     }
 
     #[test]
@@ -601,20 +980,7 @@ mod tests {
         // Twice: the second run exercises fully warm buffers.
         for _ in 0..2 {
             track_pyramidal_into(&prev_pyr, &next_pyr, &pts, &cfg, &mut scratch, &mut out);
-            assert_eq!(out.len(), reference.len());
-            for (a, b) in out.iter().zip(&reference) {
-                match (a, b) {
-                    (
-                        TrackOutcome::Tracked { x: ax, y: ay, residual: ar },
-                        TrackOutcome::Tracked { x: bx, y: by, residual: br },
-                    ) => {
-                        assert_eq!(ax.to_bits(), bx.to_bits());
-                        assert_eq!(ay.to_bits(), by.to_bits());
-                        assert_eq!(ar.to_bits(), br.to_bits());
-                    }
-                    _ => assert_eq!(a, b),
-                }
-            }
+            assert_bit_identical(&out, &reference);
         }
     }
 
@@ -639,5 +1005,124 @@ mod tests {
         let (nx, ny) = out[0].position().expect("tracked");
         assert!((nx - 50.0).abs() < 0.05);
         assert!((ny - 50.0).abs() < 0.05);
+    }
+
+    #[test]
+    fn batch_matches_scalar_for_every_remainder_width() {
+        // Track counts 1..=2·LANES+1 cover a lone lane, partial batches,
+        // exactly one full batch, and full-batch-plus-tail — positions,
+        // outcomes and iteration counts must all match the scalar solve.
+        let prev = textured(0.0, 0.0);
+        let next = textured(1.7, -0.8);
+        let cfg = KltConfig::default();
+        let prev_pyr = Pyramid::build(prev.clone(), cfg.levels);
+        let next_pyr = Pyramid::build(next.clone(), cfg.levels);
+        let all_pts: Vec<(f32, f32)> = (0..(2 * KLT_LANES + 1))
+            .map(|i| {
+                let fi = i as f32;
+                (12.0 + fi * 4.1, 80.0 - fi * 3.3)
+            })
+            .collect();
+        let mut scratch = KltScratch::default();
+        let mut out = Vec::new();
+        for n in 1..=all_pts.len() {
+            let pts = &all_pts[..n];
+            let (reference, ref_iters) = scalar_reference(&prev_pyr, &next_pyr, pts, &cfg);
+            track_pyramidal_into(&prev_pyr, &next_pyr, pts, &cfg, &mut scratch, &mut out);
+            assert_bit_identical(&out, &reference);
+            assert_eq!(scratch.iteration_counts(), &ref_iters[..], "iterations, n={n}");
+        }
+    }
+
+    #[test]
+    fn mixed_batch_with_degenerate_and_border_lanes_matches_scalar() {
+        // One batch mixing healthy lanes, low-texture (degenerate) lanes
+        // inside a flat patch, and lanes whose window leaves the border:
+        // masking one lane must not perturb its neighbors.
+        let prev = GrayImage::from_fn(96, 96, |x, y| {
+            if (30..60).contains(&x) && (30..60).contains(&y) {
+                120 // flat patch: degenerate windows
+            } else {
+                let u = x as f32;
+                let v = y as f32;
+                (128.0 + 60.0 * ((u * 0.37).sin() * (v * 0.23).cos())).clamp(0.0, 255.0) as u8
+            }
+        });
+        let next = prev.clone();
+        let cfg = KltConfig::default();
+        let prev_pyr = Pyramid::build(prev.clone(), cfg.levels);
+        let next_pyr = Pyramid::build(next.clone(), cfg.levels);
+        let pts = [
+            (12.0, 12.0),  // healthy
+            (45.0, 45.0),  // flat → degenerate
+            (2.0, 48.0),   // window over the left border → out of bounds
+            (80.0, 80.0),  // healthy
+            (44.0, 46.0),  // flat → degenerate
+            (93.0, 5.0),   // window over the corner → out of bounds
+            (20.0, 70.0),  // healthy
+        ];
+        let (reference, ref_iters) = scalar_reference(&prev_pyr, &next_pyr, &pts, &cfg);
+        assert!(
+            reference.contains(&TrackOutcome::Degenerate),
+            "fixture must exercise degenerate lanes: {reference:?}"
+        );
+        assert!(
+            reference.contains(&TrackOutcome::OutOfBounds),
+            "fixture must exercise border lanes: {reference:?}"
+        );
+        assert!(
+            reference.iter().any(|o| o.position().is_some()),
+            "fixture must keep healthy lanes: {reference:?}"
+        );
+        let mut scratch = KltScratch::default();
+        let mut out = Vec::new();
+        track_pyramidal_into(&prev_pyr, &next_pyr, &pts, &cfg, &mut scratch, &mut out);
+        assert_bit_identical(&out, &reference);
+        assert_eq!(scratch.iteration_counts(), &ref_iters[..]);
+    }
+
+    #[test]
+    fn full_batch_converging_on_first_iteration() {
+        // Zero motion: the first LSS update is exactly zero, so every
+        // lane of a full batch converges on iteration 1 of every level.
+        let prev = textured(0.0, 0.0);
+        let cfg = KltConfig::default();
+        let pyr = Pyramid::build(prev.clone(), cfg.levels);
+        let pts: Vec<(f32, f32)> = (0..KLT_LANES)
+            .map(|i| (30.0 + 5.0 * i as f32, 40.0 + 3.0 * i as f32))
+            .collect();
+        let mut scratch = KltScratch::default();
+        let mut out = Vec::new();
+        track_pyramidal_into(&pyr, &pyr, &pts, &cfg, &mut scratch, &mut out);
+        let (reference, ref_iters) = scalar_reference(&pyr, &pyr, &pts, &cfg);
+        assert_bit_identical(&out, &reference);
+        assert_eq!(scratch.iteration_counts(), &ref_iters[..]);
+        for (o, &it) in out.iter().zip(scratch.iteration_counts()) {
+            assert!(o.position().is_some(), "outcome {o:?}");
+            // One iteration per pyramid level.
+            assert_eq!(it, cfg.levels as u32, "iterations {it}");
+        }
+    }
+
+    #[test]
+    fn zero_iteration_budget_matches_scalar() {
+        // max_iterations = 0 leaves the residual at MAX (→ Lost) on both
+        // paths; the batch must not diverge on the empty LSS loop.
+        let prev = textured(0.0, 0.0);
+        let next = textured(1.0, 0.5);
+        let cfg = KltConfig {
+            max_iterations: 0,
+            ..KltConfig::default()
+        };
+        let prev_pyr = Pyramid::build(prev.clone(), cfg.levels);
+        let next_pyr = Pyramid::build(next.clone(), cfg.levels);
+        let pts = [(40.0, 40.0), (50.0, 50.0), (60.0, 30.0)];
+        let (reference, ref_iters) = scalar_reference(&prev_pyr, &next_pyr, &pts, &cfg);
+        let mut scratch = KltScratch::default();
+        let mut out = Vec::new();
+        track_pyramidal_into(&prev_pyr, &next_pyr, &pts, &cfg, &mut scratch, &mut out);
+        assert_bit_identical(&out, &reference);
+        assert_eq!(scratch.iteration_counts(), &ref_iters[..]);
+        assert!(ref_iters.iter().all(|&i| i == 0));
     }
 }

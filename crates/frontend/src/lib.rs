@@ -44,6 +44,31 @@
 //! buffers, or pyramids; remaining per-frame allocations are the returned
 //! observation list and the stereo matcher's internals.
 //!
+//! # Performance: the batched KLT solve
+//!
+//! The dominant frontend kernel after the scratch work is the KLT solve
+//! (the paper's DC + LSS "temporal" tasks, ~60 % of frame time).
+//! [`track_pyramidal_into`] therefore solves tracks in lane-parallel
+//! batches of [`KLT_LANES`] (= 8): per-track positions, 2×2 normal
+//! matrices, residuals and convergence masks live as SoA arrays in
+//! [`KltScratch`], the search windows of all lanes are gathered from a
+//! shared f32 plane by a row-hoisted bilinear gather
+//! (`eudoxus_image::RowGather`), and each LSS iteration runs as a
+//! fixed-width unrolled micro-kernel over the lanes. Eight lanes give
+//! the core eight independent `f32` accumulator chains where the scalar
+//! solve serializes on one — and the interior gather replaces the
+//! per-sample `floorf` libcall with a truncating cast (bit-equal for the
+//! proven `x ≥ 0` domain). Converged/degenerate lanes are masked, not
+//! compacted: they stay resident but skip their gathers and updates, so
+//! a batch performs exactly the scalar solve's total sample count. The
+//! scalar path survives as [`track_one`]/[`track_one_with`] and as the
+//! per-row border fallback inside the batch; everything is
+//! **bit-identical** to the seed solve (golden + property tests in
+//! `eudoxus-bench`, all five scenario kinds). See
+//! `crates/frontend/src/README.md` for the design notes and
+//! `BENCH_throughput.json` for the trajectory (mean frontend speedup
+//! ~2.2× vs the in-run seed baseline, temporal share down to ~55 %).
+//!
 //! # Example
 //!
 //! ```
@@ -69,7 +94,7 @@ pub use fast::{detect_fast, detect_fast_into, FastConfig, FastScratch};
 pub use feature::{Feature, KeyPoint, OrbDescriptor};
 pub use klt::{
     track_one, track_one_with, track_pyramidal, track_pyramidal_into, KltConfig, KltScratch,
-    TrackOutcome,
+    TrackOutcome, KLT_LANES,
 };
 pub use orb::{compute_orb, OrbConfig};
 pub use pipeline::{

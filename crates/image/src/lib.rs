@@ -11,7 +11,9 @@
 //! [`GrayImage::downsample_2x_into`], [`Pyramid::rebuild_from`]): after one
 //! warm-up call at a given image size they perform **zero heap
 //! allocations**, and their output is bit-identical to the allocating
-//! wrappers. The frontend's steady-state hot path is built on these.
+//! wrappers. The frontend's steady-state hot path is built on these,
+//! plus the row-hoisted bilinear gathers in [`sample`] ([`RowSampler`]
+//! for one window row, [`RowGather`] for the lane-batched KLT solve).
 //!
 //! # Example
 //!
@@ -28,6 +30,7 @@ pub mod gradient;
 pub mod gray;
 pub mod integral;
 pub mod pyramid;
+pub mod sample;
 
 pub use filter::{
     box_filter, gaussian_blur, gaussian_blur_into, gaussian_kernel, gaussian_kernel_into,
@@ -37,3 +40,4 @@ pub use gradient::{scharr_gradients, Gradients};
 pub use gray::{FloatImage, GrayImage};
 pub use integral::IntegralImage;
 pub use pyramid::Pyramid;
+pub use sample::{RowGather, RowSampler};

@@ -85,9 +85,27 @@ impl SampleUniform for f64 {
         assert!(lo < hi, "cannot sample empty range");
         let unit = f64::draw(rng);
         let v = lo + (hi - lo) * unit;
-        // Floating rounding can land exactly on `hi`; clamp back inside.
+        // Floating rounding can land exactly on `hi`; clamp to the
+        // largest value below it (a relative-epsilon step can round
+        // straight back to `hi` when `lo >= hi/2`).
         if v >= hi {
-            lo.max(hi - (hi - lo) * f64::EPSILON)
+            lo.max(hi.next_down())
+        } else {
+            v
+        }
+    }
+}
+
+impl SampleUniform for f32 {
+    fn sample(lo: Self, hi: Self, rng: &mut dyn RngCore) -> Self {
+        assert!(lo < hi, "cannot sample empty range");
+        let unit = f64::draw(rng) as f32;
+        let v = lo + (hi - lo) * unit;
+        // Floating rounding can land exactly on `hi`; clamp to the
+        // largest value below it (a relative-epsilon step can round
+        // straight back to `hi` when `lo >= hi/2`).
+        if v >= hi {
+            lo.max(hi.next_down())
         } else {
             v
         }

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/accelerated_replay-b3476bce8029b044.d: tests/accelerated_replay.rs
+
+/root/repo/target/debug/deps/libaccelerated_replay-b3476bce8029b044.rmeta: tests/accelerated_replay.rs
+
+tests/accelerated_replay.rs:

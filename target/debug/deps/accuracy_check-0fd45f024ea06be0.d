@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/accuracy_check-0fd45f024ea06be0.d: crates/bench/src/bin/accuracy_check.rs Cargo.toml
+
+/root/repo/target/debug/deps/libaccuracy_check-0fd45f024ea06be0.rmeta: crates/bench/src/bin/accuracy_check.rs Cargo.toml
+
+crates/bench/src/bin/accuracy_check.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/accuracy_check-10a59ccaba791432.d: crates/bench/src/bin/accuracy_check.rs
+
+/root/repo/target/debug/deps/libaccuracy_check-10a59ccaba791432.rmeta: crates/bench/src/bin/accuracy_check.rs
+
+crates/bench/src/bin/accuracy_check.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/accuracy_check-c9db21bb684547de.d: crates/bench/src/bin/accuracy_check.rs
+
+/root/repo/target/debug/deps/libaccuracy_check-c9db21bb684547de.rmeta: crates/bench/src/bin/accuracy_check.rs
+
+crates/bench/src/bin/accuracy_check.rs:

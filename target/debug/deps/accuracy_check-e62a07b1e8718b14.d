@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/accuracy_check-e62a07b1e8718b14.d: crates/bench/src/bin/accuracy_check.rs
+
+/root/repo/target/debug/deps/accuracy_check-e62a07b1e8718b14: crates/bench/src/bin/accuracy_check.rs
+
+crates/bench/src/bin/accuracy_check.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/alloc_free-8dfa6ba568f711f9.d: crates/bench/tests/alloc_free.rs Cargo.toml
+
+/root/repo/target/debug/deps/liballoc_free-8dfa6ba568f711f9.rmeta: crates/bench/tests/alloc_free.rs Cargo.toml
+
+crates/bench/tests/alloc_free.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/alloc_free-a168a74ed5e17bcd.d: crates/bench/tests/alloc_free.rs
+
+/root/repo/target/debug/deps/alloc_free-a168a74ed5e17bcd: crates/bench/tests/alloc_free.rs
+
+crates/bench/tests/alloc_free.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/alloc_free-a17e4627855caba5.d: crates/bench/tests/alloc_free.rs
+
+/root/repo/target/debug/deps/liballoc_free-a17e4627855caba5.rmeta: crates/bench/tests/alloc_free.rs
+
+crates/bench/tests/alloc_free.rs:

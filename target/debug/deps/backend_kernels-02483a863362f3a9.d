@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/backend_kernels-02483a863362f3a9.d: crates/bench/benches/backend_kernels.rs
+
+/root/repo/target/debug/deps/libbackend_kernels-02483a863362f3a9.rmeta: crates/bench/benches/backend_kernels.rs
+
+crates/bench/benches/backend_kernels.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/backend_kernels-6871a542f6c18426.d: crates/bench/benches/backend_kernels.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbackend_kernels-6871a542f6c18426.rmeta: crates/bench/benches/backend_kernels.rs Cargo.toml
+
+crates/bench/benches/backend_kernels.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bit_identity-01b359dcdcf5bbc6.d: crates/bench/tests/bit_identity.rs
+
+/root/repo/target/debug/deps/bit_identity-01b359dcdcf5bbc6: crates/bench/tests/bit_identity.rs
+
+crates/bench/tests/bit_identity.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/bit_identity-1776217cf9094b0d.d: crates/bench/tests/bit_identity.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbit_identity-1776217cf9094b0d.rmeta: crates/bench/tests/bit_identity.rs Cargo.toml
+
+crates/bench/tests/bit_identity.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

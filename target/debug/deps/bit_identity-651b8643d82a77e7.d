@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bit_identity-651b8643d82a77e7.d: crates/bench/tests/bit_identity.rs
+
+/root/repo/target/debug/deps/libbit_identity-651b8643d82a77e7.rmeta: crates/bench/tests/bit_identity.rs
+
+crates/bench/tests/bit_identity.rs:

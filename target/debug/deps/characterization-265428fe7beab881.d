@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/characterization-265428fe7beab881.d: crates/bench/src/bin/characterization.rs
+
+/root/repo/target/debug/deps/libcharacterization-265428fe7beab881.rmeta: crates/bench/src/bin/characterization.rs
+
+crates/bench/src/bin/characterization.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/characterization-3b4e4abea0121ec3.d: crates/bench/src/bin/characterization.rs
+
+/root/repo/target/debug/deps/libcharacterization-3b4e4abea0121ec3.rmeta: crates/bench/src/bin/characterization.rs
+
+crates/bench/src/bin/characterization.rs:

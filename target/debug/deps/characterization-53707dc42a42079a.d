@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/characterization-53707dc42a42079a.d: crates/bench/src/bin/characterization.rs
+
+/root/repo/target/debug/deps/characterization-53707dc42a42079a: crates/bench/src/bin/characterization.rs
+
+crates/bench/src/bin/characterization.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/characterization-dd9df27c23f7df79.d: crates/bench/src/bin/characterization.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcharacterization-dd9df27c23f7df79.rmeta: crates/bench/src/bin/characterization.rs Cargo.toml
+
+crates/bench/src/bin/characterization.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/eudoxus-d49aafe6d7ba94c9.d: src/lib.rs
+
+/root/repo/target/debug/deps/libeudoxus-d49aafe6d7ba94c9.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/eudoxus_accel-256daefe855ca96a.d: crates/accel/src/lib.rs crates/accel/src/backend_engine.rs crates/accel/src/baselines.rs crates/accel/src/energy.rs crates/accel/src/frontend_engine.rs crates/accel/src/memory.rs crates/accel/src/platform.rs crates/accel/src/resources.rs crates/accel/src/scheduler.rs crates/accel/src/stencil.rs crates/accel/src/workload.rs
+
+/root/repo/target/debug/deps/libeudoxus_accel-256daefe855ca96a.rmeta: crates/accel/src/lib.rs crates/accel/src/backend_engine.rs crates/accel/src/baselines.rs crates/accel/src/energy.rs crates/accel/src/frontend_engine.rs crates/accel/src/memory.rs crates/accel/src/platform.rs crates/accel/src/resources.rs crates/accel/src/scheduler.rs crates/accel/src/stencil.rs crates/accel/src/workload.rs
+
+crates/accel/src/lib.rs:
+crates/accel/src/backend_engine.rs:
+crates/accel/src/baselines.rs:
+crates/accel/src/energy.rs:
+crates/accel/src/frontend_engine.rs:
+crates/accel/src/memory.rs:
+crates/accel/src/platform.rs:
+crates/accel/src/resources.rs:
+crates/accel/src/scheduler.rs:
+crates/accel/src/stencil.rs:
+crates/accel/src/workload.rs:

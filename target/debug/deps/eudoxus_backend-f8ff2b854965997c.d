@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/eudoxus_backend-f8ff2b854965997c.d: crates/backend/src/lib.rs crates/backend/src/fusion.rs crates/backend/src/kernels.rs crates/backend/src/map.rs crates/backend/src/msckf.rs crates/backend/src/pose_opt.rs crates/backend/src/registration.rs crates/backend/src/slam/mod.rs crates/backend/src/slam/ba.rs crates/backend/src/slam/loopclose.rs crates/backend/src/types.rs crates/backend/src/vio.rs
+
+/root/repo/target/debug/deps/libeudoxus_backend-f8ff2b854965997c.rmeta: crates/backend/src/lib.rs crates/backend/src/fusion.rs crates/backend/src/kernels.rs crates/backend/src/map.rs crates/backend/src/msckf.rs crates/backend/src/pose_opt.rs crates/backend/src/registration.rs crates/backend/src/slam/mod.rs crates/backend/src/slam/ba.rs crates/backend/src/slam/loopclose.rs crates/backend/src/types.rs crates/backend/src/vio.rs
+
+crates/backend/src/lib.rs:
+crates/backend/src/fusion.rs:
+crates/backend/src/kernels.rs:
+crates/backend/src/map.rs:
+crates/backend/src/msckf.rs:
+crates/backend/src/pose_opt.rs:
+crates/backend/src/registration.rs:
+crates/backend/src/slam/mod.rs:
+crates/backend/src/slam/ba.rs:
+crates/backend/src/slam/loopclose.rs:
+crates/backend/src/types.rs:
+crates/backend/src/vio.rs:

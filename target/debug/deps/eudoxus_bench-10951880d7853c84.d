@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/eudoxus_bench-10951880d7853c84.d: crates/bench/src/lib.rs crates/bench/src/alloc_track.rs crates/bench/src/baseline.rs
+
+/root/repo/target/debug/deps/libeudoxus_bench-10951880d7853c84.rmeta: crates/bench/src/lib.rs crates/bench/src/alloc_track.rs crates/bench/src/baseline.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/alloc_track.rs:
+crates/bench/src/baseline.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/eudoxus_bench-568722b3c991fca0.d: crates/bench/src/lib.rs crates/bench/src/alloc_track.rs crates/bench/src/baseline.rs Cargo.toml
+
+/root/repo/target/debug/deps/libeudoxus_bench-568722b3c991fca0.rmeta: crates/bench/src/lib.rs crates/bench/src/alloc_track.rs crates/bench/src/baseline.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+crates/bench/src/alloc_track.rs:
+crates/bench/src/baseline.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

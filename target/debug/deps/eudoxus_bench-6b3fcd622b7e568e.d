@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/eudoxus_bench-6b3fcd622b7e568e.d: crates/bench/src/lib.rs crates/bench/src/alloc_track.rs crates/bench/src/baseline.rs
+
+/root/repo/target/debug/deps/libeudoxus_bench-6b3fcd622b7e568e.rmeta: crates/bench/src/lib.rs crates/bench/src/alloc_track.rs crates/bench/src/baseline.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/alloc_track.rs:
+crates/bench/src/baseline.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/eudoxus_bench-d839179e3e66457e.d: crates/bench/src/lib.rs crates/bench/src/alloc_track.rs crates/bench/src/baseline.rs
+
+/root/repo/target/debug/deps/eudoxus_bench-d839179e3e66457e: crates/bench/src/lib.rs crates/bench/src/alloc_track.rs crates/bench/src/baseline.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/alloc_track.rs:
+crates/bench/src/baseline.rs:

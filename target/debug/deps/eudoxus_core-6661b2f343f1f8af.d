@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/eudoxus_core-6661b2f343f1f8af.d: crates/core/src/lib.rs crates/core/src/executor.rs crates/core/src/instrument.rs crates/core/src/mapping.rs crates/core/src/metrics.rs crates/core/src/mode.rs crates/core/src/pipeline.rs crates/core/src/session.rs crates/core/src/stats.rs
+
+/root/repo/target/debug/deps/libeudoxus_core-6661b2f343f1f8af.rmeta: crates/core/src/lib.rs crates/core/src/executor.rs crates/core/src/instrument.rs crates/core/src/mapping.rs crates/core/src/metrics.rs crates/core/src/mode.rs crates/core/src/pipeline.rs crates/core/src/session.rs crates/core/src/stats.rs
+
+crates/core/src/lib.rs:
+crates/core/src/executor.rs:
+crates/core/src/instrument.rs:
+crates/core/src/mapping.rs:
+crates/core/src/metrics.rs:
+crates/core/src/mode.rs:
+crates/core/src/pipeline.rs:
+crates/core/src/session.rs:
+crates/core/src/stats.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/eudoxus_frontend-b388fc3b4af9d793.d: crates/frontend/src/lib.rs crates/frontend/src/fast.rs crates/frontend/src/feature.rs crates/frontend/src/klt.rs crates/frontend/src/orb.rs crates/frontend/src/pipeline.rs crates/frontend/src/stereo.rs
+
+/root/repo/target/debug/deps/libeudoxus_frontend-b388fc3b4af9d793.rmeta: crates/frontend/src/lib.rs crates/frontend/src/fast.rs crates/frontend/src/feature.rs crates/frontend/src/klt.rs crates/frontend/src/orb.rs crates/frontend/src/pipeline.rs crates/frontend/src/stereo.rs
+
+crates/frontend/src/lib.rs:
+crates/frontend/src/fast.rs:
+crates/frontend/src/feature.rs:
+crates/frontend/src/klt.rs:
+crates/frontend/src/orb.rs:
+crates/frontend/src/pipeline.rs:
+crates/frontend/src/stereo.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/eudoxus_geometry-1793b81e8d675ed0.d: crates/geometry/src/lib.rs crates/geometry/src/camera.rs crates/geometry/src/mat3.rs crates/geometry/src/pose.rs crates/geometry/src/quaternion.rs crates/geometry/src/so3.rs crates/geometry/src/triangulate.rs crates/geometry/src/vec.rs
+
+/root/repo/target/debug/deps/libeudoxus_geometry-1793b81e8d675ed0.rmeta: crates/geometry/src/lib.rs crates/geometry/src/camera.rs crates/geometry/src/mat3.rs crates/geometry/src/pose.rs crates/geometry/src/quaternion.rs crates/geometry/src/so3.rs crates/geometry/src/triangulate.rs crates/geometry/src/vec.rs
+
+crates/geometry/src/lib.rs:
+crates/geometry/src/camera.rs:
+crates/geometry/src/mat3.rs:
+crates/geometry/src/pose.rs:
+crates/geometry/src/quaternion.rs:
+crates/geometry/src/so3.rs:
+crates/geometry/src/triangulate.rs:
+crates/geometry/src/vec.rs:

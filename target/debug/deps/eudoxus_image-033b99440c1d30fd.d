@@ -1,6 +1,6 @@
-/root/repo/target/debug/deps/eudoxus_image-033b99440c1d30fd.d: crates/image/src/lib.rs crates/image/src/filter.rs crates/image/src/gradient.rs crates/image/src/gray.rs crates/image/src/integral.rs crates/image/src/pyramid.rs Cargo.toml
+/root/repo/target/debug/deps/eudoxus_image-033b99440c1d30fd.d: crates/image/src/lib.rs crates/image/src/filter.rs crates/image/src/gradient.rs crates/image/src/gray.rs crates/image/src/integral.rs crates/image/src/pyramid.rs crates/image/src/sample.rs Cargo.toml
 
-/root/repo/target/debug/deps/libeudoxus_image-033b99440c1d30fd.rmeta: crates/image/src/lib.rs crates/image/src/filter.rs crates/image/src/gradient.rs crates/image/src/gray.rs crates/image/src/integral.rs crates/image/src/pyramid.rs Cargo.toml
+/root/repo/target/debug/deps/libeudoxus_image-033b99440c1d30fd.rmeta: crates/image/src/lib.rs crates/image/src/filter.rs crates/image/src/gradient.rs crates/image/src/gray.rs crates/image/src/integral.rs crates/image/src/pyramid.rs crates/image/src/sample.rs Cargo.toml
 
 crates/image/src/lib.rs:
 crates/image/src/filter.rs:
@@ -8,6 +8,7 @@ crates/image/src/gradient.rs:
 crates/image/src/gray.rs:
 crates/image/src/integral.rs:
 crates/image/src/pyramid.rs:
+crates/image/src/sample.rs:
 Cargo.toml:
 
 # env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__

@@ -1,6 +1,6 @@
-/root/repo/target/debug/deps/eudoxus_image-5b1bfc884559cb0c.d: crates/image/src/lib.rs crates/image/src/filter.rs crates/image/src/gradient.rs crates/image/src/gray.rs crates/image/src/integral.rs crates/image/src/pyramid.rs
+/root/repo/target/debug/deps/eudoxus_image-5b1bfc884559cb0c.d: crates/image/src/lib.rs crates/image/src/filter.rs crates/image/src/gradient.rs crates/image/src/gray.rs crates/image/src/integral.rs crates/image/src/pyramid.rs crates/image/src/sample.rs
 
-/root/repo/target/debug/deps/eudoxus_image-5b1bfc884559cb0c: crates/image/src/lib.rs crates/image/src/filter.rs crates/image/src/gradient.rs crates/image/src/gray.rs crates/image/src/integral.rs crates/image/src/pyramid.rs
+/root/repo/target/debug/deps/eudoxus_image-5b1bfc884559cb0c: crates/image/src/lib.rs crates/image/src/filter.rs crates/image/src/gradient.rs crates/image/src/gray.rs crates/image/src/integral.rs crates/image/src/pyramid.rs crates/image/src/sample.rs
 
 crates/image/src/lib.rs:
 crates/image/src/filter.rs:
@@ -8,3 +8,4 @@ crates/image/src/gradient.rs:
 crates/image/src/gray.rs:
 crates/image/src/integral.rs:
 crates/image/src/pyramid.rs:
+crates/image/src/sample.rs:

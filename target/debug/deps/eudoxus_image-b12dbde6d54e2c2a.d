@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/eudoxus_image-b12dbde6d54e2c2a.d: crates/image/src/lib.rs crates/image/src/filter.rs crates/image/src/gradient.rs crates/image/src/gray.rs crates/image/src/integral.rs crates/image/src/pyramid.rs crates/image/src/sample.rs
+
+/root/repo/target/debug/deps/libeudoxus_image-b12dbde6d54e2c2a.rmeta: crates/image/src/lib.rs crates/image/src/filter.rs crates/image/src/gradient.rs crates/image/src/gray.rs crates/image/src/integral.rs crates/image/src/pyramid.rs crates/image/src/sample.rs
+
+crates/image/src/lib.rs:
+crates/image/src/filter.rs:
+crates/image/src/gradient.rs:
+crates/image/src/gray.rs:
+crates/image/src/integral.rs:
+crates/image/src/pyramid.rs:
+crates/image/src/sample.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/eudoxus_math-2ad09c4f8a63a09b.d: crates/math/src/lib.rs crates/math/src/block.rs crates/math/src/cholesky.rs crates/math/src/error.rs crates/math/src/lu.rs crates/math/src/matrix.rs crates/math/src/qr.rs crates/math/src/regression.rs crates/math/src/solve.rs crates/math/src/vector.rs
+
+/root/repo/target/debug/deps/libeudoxus_math-2ad09c4f8a63a09b.rmeta: crates/math/src/lib.rs crates/math/src/block.rs crates/math/src/cholesky.rs crates/math/src/error.rs crates/math/src/lu.rs crates/math/src/matrix.rs crates/math/src/qr.rs crates/math/src/regression.rs crates/math/src/solve.rs crates/math/src/vector.rs
+
+crates/math/src/lib.rs:
+crates/math/src/block.rs:
+crates/math/src/cholesky.rs:
+crates/math/src/error.rs:
+crates/math/src/lu.rs:
+crates/math/src/matrix.rs:
+crates/math/src/qr.rs:
+crates/math/src/regression.rs:
+crates/math/src/solve.rs:
+crates/math/src/vector.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/eudoxus_sim-640af12aaf7650dc.d: crates/sim/src/lib.rs crates/sim/src/dataset.rs crates/sim/src/environment.rs crates/sim/src/gps.rs crates/sim/src/imu.rs crates/sim/src/render.rs crates/sim/src/rng.rs crates/sim/src/scenario.rs crates/sim/src/trajectory.rs crates/sim/src/world.rs
+
+/root/repo/target/debug/deps/libeudoxus_sim-640af12aaf7650dc.rmeta: crates/sim/src/lib.rs crates/sim/src/dataset.rs crates/sim/src/environment.rs crates/sim/src/gps.rs crates/sim/src/imu.rs crates/sim/src/render.rs crates/sim/src/rng.rs crates/sim/src/scenario.rs crates/sim/src/trajectory.rs crates/sim/src/world.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/dataset.rs:
+crates/sim/src/environment.rs:
+crates/sim/src/gps.rs:
+crates/sim/src/imu.rs:
+crates/sim/src/render.rs:
+crates/sim/src/rng.rs:
+crates/sim/src/scenario.rs:
+crates/sim/src/trajectory.rs:
+crates/sim/src/world.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/eudoxus_vocab-2f527feb4cedb5c7.d: crates/vocab/src/lib.rs crates/vocab/src/bow.rs crates/vocab/src/database.rs crates/vocab/src/kmajority.rs crates/vocab/src/tree.rs
+
+/root/repo/target/debug/deps/libeudoxus_vocab-2f527feb4cedb5c7.rmeta: crates/vocab/src/lib.rs crates/vocab/src/bow.rs crates/vocab/src/database.rs crates/vocab/src/kmajority.rs crates/vocab/src/tree.rs
+
+crates/vocab/src/lib.rs:
+crates/vocab/src/bow.rs:
+crates/vocab/src/database.rs:
+crates/vocab/src/kmajority.rs:
+crates/vocab/src/tree.rs:

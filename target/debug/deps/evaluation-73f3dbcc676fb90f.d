@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/evaluation-73f3dbcc676fb90f.d: crates/bench/src/bin/evaluation.rs
+
+/root/repo/target/debug/deps/libevaluation-73f3dbcc676fb90f.rmeta: crates/bench/src/bin/evaluation.rs
+
+crates/bench/src/bin/evaluation.rs:

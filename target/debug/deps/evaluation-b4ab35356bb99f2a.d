@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/evaluation-b4ab35356bb99f2a.d: crates/bench/src/bin/evaluation.rs
+
+/root/repo/target/debug/deps/evaluation-b4ab35356bb99f2a: crates/bench/src/bin/evaluation.rs
+
+crates/bench/src/bin/evaluation.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/evaluation-b9d0e82abdaa42a5.d: crates/bench/src/bin/evaluation.rs Cargo.toml
+
+/root/repo/target/debug/deps/libevaluation-b9d0e82abdaa42a5.rmeta: crates/bench/src/bin/evaluation.rs Cargo.toml
+
+crates/bench/src/bin/evaluation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/evaluation-c003ecdfc0146719.d: crates/bench/src/bin/evaluation.rs
+
+/root/repo/target/debug/deps/libevaluation-c003ecdfc0146719.rmeta: crates/bench/src/bin/evaluation.rs
+
+crates/bench/src/bin/evaluation.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/failure_injection-174496153b75bbcb.d: tests/failure_injection.rs
+
+/root/repo/target/debug/deps/libfailure_injection-174496153b75bbcb.rmeta: tests/failure_injection.rs
+
+tests/failure_injection.rs:

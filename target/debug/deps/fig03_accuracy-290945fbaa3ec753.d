@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig03_accuracy-290945fbaa3ec753.d: crates/bench/src/bin/fig03_accuracy.rs
+
+/root/repo/target/debug/deps/libfig03_accuracy-290945fbaa3ec753.rmeta: crates/bench/src/bin/fig03_accuracy.rs
+
+crates/bench/src/bin/fig03_accuracy.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig03_accuracy-30d6aae8dedf0a64.d: crates/bench/src/bin/fig03_accuracy.rs
+
+/root/repo/target/debug/deps/fig03_accuracy-30d6aae8dedf0a64: crates/bench/src/bin/fig03_accuracy.rs
+
+crates/bench/src/bin/fig03_accuracy.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig03_accuracy-9c4cf00d6f697a71.d: crates/bench/src/bin/fig03_accuracy.rs
+
+/root/repo/target/debug/deps/libfig03_accuracy-9c4cf00d6f697a71.rmeta: crates/bench/src/bin/fig03_accuracy.rs
+
+crates/bench/src/bin/fig03_accuracy.rs:

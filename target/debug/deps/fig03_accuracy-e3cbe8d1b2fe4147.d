@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig03_accuracy-e3cbe8d1b2fe4147.d: crates/bench/src/bin/fig03_accuracy.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig03_accuracy-e3cbe8d1b2fe4147.rmeta: crates/bench/src/bin/fig03_accuracy.rs Cargo.toml
+
+crates/bench/src/bin/fig03_accuracy.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig16_kernel_scaling-8804f7f03de4804a.d: crates/bench/src/bin/fig16_kernel_scaling.rs
+
+/root/repo/target/debug/deps/fig16_kernel_scaling-8804f7f03de4804a: crates/bench/src/bin/fig16_kernel_scaling.rs
+
+crates/bench/src/bin/fig16_kernel_scaling.rs:

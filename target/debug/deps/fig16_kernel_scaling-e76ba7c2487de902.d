@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig16_kernel_scaling-e76ba7c2487de902.d: crates/bench/src/bin/fig16_kernel_scaling.rs
+
+/root/repo/target/debug/deps/libfig16_kernel_scaling-e76ba7c2487de902.rmeta: crates/bench/src/bin/fig16_kernel_scaling.rs
+
+crates/bench/src/bin/fig16_kernel_scaling.rs:

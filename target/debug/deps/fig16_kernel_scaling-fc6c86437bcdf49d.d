@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig16_kernel_scaling-fc6c86437bcdf49d.d: crates/bench/src/bin/fig16_kernel_scaling.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig16_kernel_scaling-fc6c86437bcdf49d.rmeta: crates/bench/src/bin/fig16_kernel_scaling.rs Cargo.toml
+
+crates/bench/src/bin/fig16_kernel_scaling.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

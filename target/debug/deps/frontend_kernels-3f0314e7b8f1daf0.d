@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/frontend_kernels-3f0314e7b8f1daf0.d: crates/bench/benches/frontend_kernels.rs
+
+/root/repo/target/debug/deps/libfrontend_kernels-3f0314e7b8f1daf0.rmeta: crates/bench/benches/frontend_kernels.rs
+
+crates/bench/benches/frontend_kernels.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/frontend_kernels-afeb40d5ac14ae91.d: crates/bench/benches/frontend_kernels.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfrontend_kernels-afeb40d5ac14ae91.rmeta: crates/bench/benches/frontend_kernels.rs Cargo.toml
+
+crates/bench/benches/frontend_kernels.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/frontend_on_sim-26cd819fb5ad67ad.d: crates/frontend/tests/frontend_on_sim.rs
+
+/root/repo/target/debug/deps/libfrontend_on_sim-26cd819fb5ad67ad.rmeta: crates/frontend/tests/frontend_on_sim.rs
+
+crates/frontend/tests/frontend_on_sim.rs:

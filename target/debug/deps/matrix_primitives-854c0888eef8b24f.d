@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/matrix_primitives-854c0888eef8b24f.d: crates/bench/benches/matrix_primitives.rs
+
+/root/repo/target/debug/deps/libmatrix_primitives-854c0888eef8b24f.rmeta: crates/bench/benches/matrix_primitives.rs
+
+crates/bench/benches/matrix_primitives.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/matrix_primitives-c9c64bbd33ac18ac.d: crates/bench/benches/matrix_primitives.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmatrix_primitives-c9c64bbd33ac18ac.rmeta: crates/bench/benches/matrix_primitives.rs Cargo.toml
+
+crates/bench/benches/matrix_primitives.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pipeline_end_to_end-9eeda3fa191a8b72.d: tests/pipeline_end_to_end.rs
+
+/root/repo/target/debug/deps/libpipeline_end_to_end-9eeda3fa191a8b72.rmeta: tests/pipeline_end_to_end.rs
+
+tests/pipeline_end_to_end.rs:

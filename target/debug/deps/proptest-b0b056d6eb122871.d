@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest-b0b056d6eb122871.d: shims/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-b0b056d6eb122871.rmeta: shims/proptest/src/lib.rs
+
+shims/proptest/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest_accel-b5f32833d56cb0e4.d: crates/accel/tests/proptest_accel.rs
+
+/root/repo/target/debug/deps/libproptest_accel-b5f32833d56cb0e4.rmeta: crates/accel/tests/proptest_accel.rs
+
+crates/accel/tests/proptest_accel.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest_geometry-3fa0fd200ea560b1.d: crates/geometry/tests/proptest_geometry.rs
+
+/root/repo/target/debug/deps/libproptest_geometry-3fa0fd200ea560b1.rmeta: crates/geometry/tests/proptest_geometry.rs
+
+crates/geometry/tests/proptest_geometry.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptest_klt-2b4f6cde4ff9b85c.d: crates/bench/tests/proptest_klt.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptest_klt-2b4f6cde4ff9b85c.rmeta: crates/bench/tests/proptest_klt.rs Cargo.toml
+
+crates/bench/tests/proptest_klt.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

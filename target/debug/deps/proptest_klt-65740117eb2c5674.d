@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest_klt-65740117eb2c5674.d: crates/bench/tests/proptest_klt.rs
+
+/root/repo/target/debug/deps/libproptest_klt-65740117eb2c5674.rmeta: crates/bench/tests/proptest_klt.rs
+
+crates/bench/tests/proptest_klt.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest_klt-7ded1545a6d5eeb5.d: crates/bench/tests/proptest_klt.rs
+
+/root/repo/target/debug/deps/proptest_klt-7ded1545a6d5eeb5: crates/bench/tests/proptest_klt.rs
+
+crates/bench/tests/proptest_klt.rs:

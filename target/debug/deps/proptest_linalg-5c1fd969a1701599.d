@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest_linalg-5c1fd969a1701599.d: crates/math/tests/proptest_linalg.rs
+
+/root/repo/target/debug/deps/libproptest_linalg-5c1fd969a1701599.rmeta: crates/math/tests/proptest_linalg.rs
+
+crates/math/tests/proptest_linalg.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest_sim-93443da647f9cd84.d: crates/sim/tests/proptest_sim.rs
+
+/root/repo/target/debug/deps/libproptest_sim-93443da647f9cd84.rmeta: crates/sim/tests/proptest_sim.rs
+
+crates/sim/tests/proptest_sim.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest_vocab-de1d87aa942ac065.d: crates/vocab/tests/proptest_vocab.rs
+
+/root/repo/target/debug/deps/libproptest_vocab-de1d87aa942ac065.rmeta: crates/vocab/tests/proptest_vocab.rs
+
+crates/vocab/tests/proptest_vocab.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rand-805e323b3c7b5c27.d: shims/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-805e323b3c7b5c27.rmeta: shims/rand/src/lib.rs
+
+shims/rand/src/lib.rs:

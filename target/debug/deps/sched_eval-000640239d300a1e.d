@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sched_eval-000640239d300a1e.d: crates/bench/src/bin/sched_eval.rs
+
+/root/repo/target/debug/deps/libsched_eval-000640239d300a1e.rmeta: crates/bench/src/bin/sched_eval.rs
+
+crates/bench/src/bin/sched_eval.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/sched_eval-4fa7b397f9b3158c.d: crates/bench/src/bin/sched_eval.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsched_eval-4fa7b397f9b3158c.rmeta: crates/bench/src/bin/sched_eval.rs Cargo.toml
+
+crates/bench/src/bin/sched_eval.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

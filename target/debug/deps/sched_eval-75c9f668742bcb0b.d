@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sched_eval-75c9f668742bcb0b.d: crates/bench/src/bin/sched_eval.rs
+
+/root/repo/target/debug/deps/libsched_eval-75c9f668742bcb0b.rmeta: crates/bench/src/bin/sched_eval.rs
+
+crates/bench/src/bin/sched_eval.rs:

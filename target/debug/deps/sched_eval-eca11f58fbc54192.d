@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sched_eval-eca11f58fbc54192.d: crates/bench/src/bin/sched_eval.rs
+
+/root/repo/target/debug/deps/sched_eval-eca11f58fbc54192: crates/bench/src/bin/sched_eval.rs
+
+crates/bench/src/bin/sched_eval.rs:

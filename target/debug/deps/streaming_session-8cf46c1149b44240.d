@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/streaming_session-8cf46c1149b44240.d: tests/streaming_session.rs
+
+/root/repo/target/debug/deps/libstreaming_session-8cf46c1149b44240.rmeta: tests/streaming_session.rs
+
+tests/streaming_session.rs:

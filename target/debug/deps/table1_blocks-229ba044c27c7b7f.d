@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1_blocks-229ba044c27c7b7f.d: crates/bench/src/bin/table1_blocks.rs
+
+/root/repo/target/debug/deps/table1_blocks-229ba044c27c7b7f: crates/bench/src/bin/table1_blocks.rs
+
+crates/bench/src/bin/table1_blocks.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1_blocks-4808761d7cbe48b9.d: crates/bench/src/bin/table1_blocks.rs
+
+/root/repo/target/debug/deps/libtable1_blocks-4808761d7cbe48b9.rmeta: crates/bench/src/bin/table1_blocks.rs
+
+crates/bench/src/bin/table1_blocks.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table1_blocks-756b4eaa5e1fd385.d: crates/bench/src/bin/table1_blocks.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable1_blocks-756b4eaa5e1fd385.rmeta: crates/bench/src/bin/table1_blocks.rs Cargo.toml
+
+crates/bench/src/bin/table1_blocks.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1_blocks-8705be4c3f3c92ab.d: crates/bench/src/bin/table1_blocks.rs
+
+/root/repo/target/debug/deps/libtable1_blocks-8705be4c3f3c92ab.rmeta: crates/bench/src/bin/table1_blocks.rs
+
+crates/bench/src/bin/table1_blocks.rs:

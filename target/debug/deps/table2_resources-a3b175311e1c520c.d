@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2_resources-a3b175311e1c520c.d: crates/bench/src/bin/table2_resources.rs
+
+/root/repo/target/debug/deps/libtable2_resources-a3b175311e1c520c.rmeta: crates/bench/src/bin/table2_resources.rs
+
+crates/bench/src/bin/table2_resources.rs:

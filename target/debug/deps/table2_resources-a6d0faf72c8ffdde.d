@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table2_resources-a6d0faf72c8ffdde.d: crates/bench/src/bin/table2_resources.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable2_resources-a6d0faf72c8ffdde.rmeta: crates/bench/src/bin/table2_resources.rs Cargo.toml
+
+crates/bench/src/bin/table2_resources.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2_resources-b952e67b4fe170ab.d: crates/bench/src/bin/table2_resources.rs
+
+/root/repo/target/debug/deps/libtable2_resources-b952e67b4fe170ab.rmeta: crates/bench/src/bin/table2_resources.rs
+
+crates/bench/src/bin/table2_resources.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2_resources-d83983f213ae9847.d: crates/bench/src/bin/table2_resources.rs
+
+/root/repo/target/debug/deps/table2_resources-d83983f213ae9847: crates/bench/src/bin/table2_resources.rs
+
+crates/bench/src/bin/table2_resources.rs:

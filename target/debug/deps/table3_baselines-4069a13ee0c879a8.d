@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table3_baselines-4069a13ee0c879a8.d: crates/bench/src/bin/table3_baselines.rs
+
+/root/repo/target/debug/deps/libtable3_baselines-4069a13ee0c879a8.rmeta: crates/bench/src/bin/table3_baselines.rs
+
+crates/bench/src/bin/table3_baselines.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table3_baselines-4288dc8ba311cd93.d: crates/bench/src/bin/table3_baselines.rs
+
+/root/repo/target/debug/deps/table3_baselines-4288dc8ba311cd93: crates/bench/src/bin/table3_baselines.rs
+
+crates/bench/src/bin/table3_baselines.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table3_baselines-9c0e7d2a526f962b.d: crates/bench/src/bin/table3_baselines.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable3_baselines-9c0e7d2a526f962b.rmeta: crates/bench/src/bin/table3_baselines.rs Cargo.toml
+
+crates/bench/src/bin/table3_baselines.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

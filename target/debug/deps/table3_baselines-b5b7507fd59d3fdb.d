@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table3_baselines-b5b7507fd59d3fdb.d: crates/bench/src/bin/table3_baselines.rs
+
+/root/repo/target/debug/deps/libtable3_baselines-b5b7507fd59d3fdb.rmeta: crates/bench/src/bin/table3_baselines.rs
+
+crates/bench/src/bin/table3_baselines.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/throughput-1dd984d8442a5460.d: crates/bench/src/bin/throughput.rs
+
+/root/repo/target/debug/deps/throughput-1dd984d8442a5460: crates/bench/src/bin/throughput.rs
+
+crates/bench/src/bin/throughput.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/throughput-98b59ef99fcd0c8b.d: crates/bench/src/bin/throughput.rs
+
+/root/repo/target/debug/deps/libthroughput-98b59ef99fcd0c8b.rmeta: crates/bench/src/bin/throughput.rs
+
+crates/bench/src/bin/throughput.rs:

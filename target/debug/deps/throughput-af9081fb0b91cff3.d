@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/throughput-af9081fb0b91cff3.d: crates/bench/src/bin/throughput.rs
+
+/root/repo/target/debug/deps/libthroughput-af9081fb0b91cff3.rmeta: crates/bench/src/bin/throughput.rs
+
+crates/bench/src/bin/throughput.rs:

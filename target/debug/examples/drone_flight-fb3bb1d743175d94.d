@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/drone_flight-fb3bb1d743175d94.d: examples/drone_flight.rs
+
+/root/repo/target/debug/examples/libdrone_flight-fb3bb1d743175d94.rmeta: examples/drone_flight.rs
+
+examples/drone_flight.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/mode_adaptation-dcc046667e7cf30e.d: examples/mode_adaptation.rs
+
+/root/repo/target/debug/examples/libmode_adaptation-dcc046667e7cf30e.rmeta: examples/mode_adaptation.rs
+
+examples/mode_adaptation.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/multi_agent-f64a4850d0c30adc.d: examples/multi_agent.rs
+
+/root/repo/target/debug/examples/libmulti_agent-f64a4850d0c30adc.rmeta: examples/multi_agent.rs
+
+examples/multi_agent.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-9360256f88547e49.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/libquickstart-9360256f88547e49.rmeta: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/warehouse_robot-a554a083ceea43d3.d: examples/warehouse_robot.rs
+
+/root/repo/target/debug/examples/libwarehouse_robot-a554a083ceea43d3.rmeta: examples/warehouse_robot.rs
+
+examples/warehouse_robot.rs:

@@ -1,8 +1,8 @@
-/root/repo/target/release/deps/eudoxus_image-75a6ee83069bb915.d: crates/image/src/lib.rs crates/image/src/filter.rs crates/image/src/gradient.rs crates/image/src/gray.rs crates/image/src/integral.rs crates/image/src/pyramid.rs
+/root/repo/target/release/deps/eudoxus_image-75a6ee83069bb915.d: crates/image/src/lib.rs crates/image/src/filter.rs crates/image/src/gradient.rs crates/image/src/gray.rs crates/image/src/integral.rs crates/image/src/pyramid.rs crates/image/src/sample.rs
 
-/root/repo/target/release/deps/libeudoxus_image-75a6ee83069bb915.rlib: crates/image/src/lib.rs crates/image/src/filter.rs crates/image/src/gradient.rs crates/image/src/gray.rs crates/image/src/integral.rs crates/image/src/pyramid.rs
+/root/repo/target/release/deps/libeudoxus_image-75a6ee83069bb915.rlib: crates/image/src/lib.rs crates/image/src/filter.rs crates/image/src/gradient.rs crates/image/src/gray.rs crates/image/src/integral.rs crates/image/src/pyramid.rs crates/image/src/sample.rs
 
-/root/repo/target/release/deps/libeudoxus_image-75a6ee83069bb915.rmeta: crates/image/src/lib.rs crates/image/src/filter.rs crates/image/src/gradient.rs crates/image/src/gray.rs crates/image/src/integral.rs crates/image/src/pyramid.rs
+/root/repo/target/release/deps/libeudoxus_image-75a6ee83069bb915.rmeta: crates/image/src/lib.rs crates/image/src/filter.rs crates/image/src/gradient.rs crates/image/src/gray.rs crates/image/src/integral.rs crates/image/src/pyramid.rs crates/image/src/sample.rs
 
 crates/image/src/lib.rs:
 crates/image/src/filter.rs:
@@ -10,3 +10,4 @@ crates/image/src/gradient.rs:
 crates/image/src/gray.rs:
 crates/image/src/integral.rs:
 crates/image/src/pyramid.rs:
+crates/image/src/sample.rs:

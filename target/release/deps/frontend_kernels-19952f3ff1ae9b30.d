@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/frontend_kernels-19952f3ff1ae9b30.d: crates/bench/benches/frontend_kernels.rs
+
+/root/repo/target/release/deps/frontend_kernels-19952f3ff1ae9b30: crates/bench/benches/frontend_kernels.rs
+
+crates/bench/benches/frontend_kernels.rs:
