@@ -294,7 +294,7 @@ mod tests {
     use eudoxus_backend::KernelSample;
     use eudoxus_frontend::{FrameStats, FrontendTiming};
     use eudoxus_geometry::Pose;
-    use eudoxus_sim::Environment;
+    use eudoxus_stream::Environment;
     use std::time::Duration;
 
     /// A synthetic measured log: heavy frontend, sizable Kalman gains.

@@ -7,7 +7,46 @@ use crate::stats::Summary;
 use eudoxus_backend::{Kernel, KernelSample};
 use eudoxus_frontend::{FrameStats, FrontendTiming};
 use eudoxus_geometry::Pose;
-use eudoxus_sim::Environment;
+use eudoxus_stream::{Environment, IngestCounters};
+
+/// Ingestion health of one agent at a point in time: queue depth against
+/// its bound, plus the cumulative backpressure counters. Produced by
+/// `SessionManager::ingest_stats`; a serving layer alarms on growing
+/// depth (consumer too slow) or growing drop/defer counts (producer too
+/// fast for the configured bound).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IngestSnapshot {
+    /// Agent id the queue belongs to.
+    pub agent: String,
+    /// Events currently queued.
+    pub queued: usize,
+    /// Queue bound (`usize::MAX` when unbounded).
+    pub capacity: usize,
+    /// Cumulative admission accounting (accepted, frames/events dropped,
+    /// deferred, high watermark).
+    pub counters: IngestCounters,
+}
+
+impl std::fmt::Display for IngestSnapshot {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}: {}/{} queued (peak {}), {} accepted, {} dropped ({} frames), {} deferred",
+            self.agent,
+            self.queued,
+            if self.capacity == usize::MAX {
+                "∞".to_string()
+            } else {
+                self.capacity.to_string()
+            },
+            self.counters.high_watermark,
+            self.counters.accepted,
+            self.counters.dropped(),
+            self.counters.frames_dropped,
+            self.counters.deferred,
+        )
+    }
+}
 
 /// Everything recorded for one processed frame.
 #[derive(Debug, Clone)]

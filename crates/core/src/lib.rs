@@ -8,11 +8,14 @@
 //! * [`session`] — the streaming API: a [`LocalizationSession`] fed one
 //!   `SensorEvent` at a time through a registry of pluggable
 //!   `Backend` estimators, and a [`SessionManager`] that round-robins
-//!   many concurrent agents;
+//!   many concurrent agents, ingests `eudoxus_stream::StreamMux`-merged
+//!   event sources with bounded, backpressure-counted per-agent queues,
+//!   and drains them across worker threads;
 //! * [`mode`] — mode selection from the environment;
-//! * [`pipeline`] — the batch adapter: [`Eudoxus::process_dataset`]
+//! * [`pipeline`] — the batch adapter: `Eudoxus::process_dataset`
 //!   replays a recorded dataset through a session, with full per-kernel
-//!   instrumentation;
+//!   instrumentation (needs the default `sim` feature — the streaming
+//!   surface does not);
 //! * [`instrument`] — the run log every experiment consumes;
 //! * [`executor`] — replay of a measured CPU run through the accelerator
 //!   models, producing the accelerated latency/energy numbers of
@@ -27,6 +30,7 @@
 //! internally):
 //!
 //! ```no_run
+//! # #[cfg(feature = "sim")] {
 //! use eudoxus_core::{Eudoxus, PipelineConfig};
 //! use eudoxus_sim::{ScenarioBuilder, ScenarioKind};
 //!
@@ -36,6 +40,7 @@
 //! let mut system = Eudoxus::new(PipelineConfig::default());
 //! let log = system.process_dataset(&dataset);
 //! println!("RMSE: {:.3} m", log.translation_rmse());
+//! # }
 //! ```
 //!
 //! # Streaming example
@@ -72,9 +77,28 @@
 //! (`begin_segment`/`step`/`reset`/`mode`), `BackendMode` is now the
 //! estimator-family *enum*, and `BackendReport` was renamed
 //! `BackendEstimate`.
+//!
+//! # Migrating to `eudoxus-stream` ingestion
+//!
+//! The event model (`SensorEvent`, `ImageEvent`, `Environment`, …) moved
+//! from `eudoxus-sim` to the leaf `eudoxus-stream` crate; `eudoxus_sim`
+//! re-exports the same types, so existing imports keep compiling. This
+//! crate's simulator dependency is now the optional default feature
+//! `sim`, which gates only the batch surface ([`Eudoxus`]'s
+//! `process_dataset` and [`mapping`]'s `build_map`): build with
+//! `default-features = false` for a serving node that feeds sessions
+//! from live `eudoxus_stream::EventSource`s and never links the
+//! scenario generator. For many-agent serving, prefer the ingestion
+//! path: register one `EventSource` per agent in a
+//! `eudoxus_stream::StreamMux`, bound each agent's queue with
+//! [`SessionManager::set_ingest_limit`], and drive everything with
+//! [`SessionManager::pump`] (or `ingest` + `poll`/`poll_parallel` for
+//! manual control); backpressure counters surface through
+//! [`SessionManager::ingest_stats`].
 
 pub mod executor;
 pub mod instrument;
+#[cfg(feature = "sim")]
 pub mod mapping;
 pub mod metrics;
 pub mod mode;
@@ -83,14 +107,16 @@ pub mod session;
 pub mod stats;
 
 pub use executor::{AcceleratedFrame, AcceleratedRun, Executor};
-pub use instrument::{FrameRecord, RunLog};
+pub use instrument::{FrameRecord, IngestSnapshot, RunLog};
+#[cfg(feature = "sim")]
 pub use mapping::build_map;
 pub use metrics::{relative_error_percent, translation_rmse};
 pub use mode::Mode;
 pub use pipeline::{Eudoxus, PipelineConfig};
-pub use session::{LocalizationSession, SessionManager};
+pub use session::{Enqueue, IngestReport, LocalizationSession, SessionManager};
 pub use stats::Summary;
 
 // The streaming event types, re-exported so session consumers need only
-// this crate.
-pub use eudoxus_sim::{ImageEvent, SensorEvent};
+// this crate. (They live in the leaf `eudoxus-stream` crate; the
+// historical `eudoxus_sim` paths re-export the same types.)
+pub use eudoxus_stream::{ImageEvent, SensorEvent};

@@ -1,6 +1,6 @@
 //! Backend mode selection (paper Fig. 2).
 
-use eudoxus_sim::Environment;
+use eudoxus_stream::Environment;
 use std::fmt;
 
 /// The three backend modes of the unified algorithm (paper Fig. 4).
@@ -31,12 +31,13 @@ impl Mode {
     }
 }
 
-// `Mode` (the environment-selection vocabulary, tied to `eudoxus_sim`)
-// and `eudoxus_backend::BackendMode` (the estimator-registry vocabulary)
-// intentionally stay separate enums: the backend crate cannot name the
-// simulator's `Environment`, and keeping the serving-side type free of
-// selection policy lets third-party backends depend on `eudoxus-backend`
-// alone. These conversions are the only coupling point.
+// `Mode` (the environment-selection vocabulary, tied to
+// `eudoxus_stream::Environment`) and `eudoxus_backend::BackendMode` (the
+// estimator-registry vocabulary) intentionally stay separate enums: the
+// backend crate cannot name the streaming `Environment`, and keeping the
+// serving-side type free of selection policy lets third-party backends
+// depend on `eudoxus-backend` alone. These conversions are the only
+// coupling point.
 impl From<eudoxus_backend::BackendMode> for Mode {
     fn from(mode: eudoxus_backend::BackendMode) -> Mode {
         match mode {

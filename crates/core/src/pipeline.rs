@@ -2,20 +2,27 @@
 //! batch adapter over the streaming API.
 //!
 //! [`Eudoxus`] owns a single [`LocalizationSession`] and replays a
-//! recorded [`Dataset`] into it via [`Dataset::events`]: per frame, the
+//! recorded `Dataset` into it via `Dataset::events`: per frame, the
 //! shared frontend extracts and matches features, the environment selects
 //! the backend mode through the session's estimator registry, and the
 //! chosen backend consumes the correspondences plus the IMU/GPS windows.
 //! Estimators reset at dataset segment boundaries (mixed datasets are
 //! concatenations of independent traversals — see
 //! `eudoxus_sim::Dataset::concat`), which arrive as
-//! [`SensorEvent::SegmentBoundary`](eudoxus_sim::SensorEvent) events.
+//! [`SensorEvent::SegmentBoundary`](eudoxus_stream::SensorEvent) events.
+//!
+//! The dataset-replay surface ([`Eudoxus::process_dataset`], available
+//! with the default `sim` feature) is the only part of this crate that
+//! needs the simulator; everything else consumes `eudoxus_stream` events
+//! from any producer.
 
+#[cfg(feature = "sim")]
 use crate::instrument::RunLog;
 use crate::mode::Mode;
 use crate::session::LocalizationSession;
 use eudoxus_backend::{RegistrationConfig, SlamConfig, VioConfig, WorldMap};
 use eudoxus_frontend::FrontendConfig;
+#[cfg(feature = "sim")]
 use eudoxus_sim::Dataset;
 
 /// Configuration of the full pipeline.
@@ -98,7 +105,7 @@ impl Eudoxus {
 
     /// The mode that will run for a frame in `env`, given the registered
     /// backends (e.g. map availability).
-    pub fn effective_mode(&self, env: eudoxus_sim::Environment) -> Mode {
+    pub fn effective_mode(&self, env: eudoxus_stream::Environment) -> Mode {
         self.session.effective_mode(env)
     }
 
@@ -108,7 +115,10 @@ impl Eudoxus {
     }
 
     /// Processes a whole dataset by replaying it as an event stream,
-    /// producing the run log.
+    /// producing the run log. Needs the `sim` feature (on by default) —
+    /// a simulator-free serving build drives the session through
+    /// `eudoxus_stream` sources instead.
+    #[cfg(feature = "sim")]
     pub fn process_dataset(&mut self, dataset: &Dataset) -> RunLog {
         // Each replay's records are indexed from 0, like the dataset's
         // frames (a session fed live events instead counts monotonically).
@@ -123,7 +133,10 @@ impl Eudoxus {
     }
 }
 
-#[cfg(test)]
+// The tests replay datasets, so they need the (default) `sim` feature;
+// dev-deps make `eudoxus_sim` itself available either way, but not the
+// feature-gated `process_dataset`/`build_map` items they drive.
+#[cfg(all(test, feature = "sim"))]
 mod tests {
     use super::*;
     use eudoxus_sim::{Environment, Platform, ScenarioBuilder, ScenarioKind};

@@ -1,91 +1,23 @@
 //! Assembled sensor datasets (frames + IMU + GPS + ground truth).
+//!
+//! The event *model* ([`SensorEvent`], [`ImageEvent`], [`FrameData`],
+//! [`Segment`]) lives in `eudoxus-stream`; this module re-exports it as a
+//! deprecation shim (see the `eudoxus_stream` migration notes) and owns
+//! what is genuinely simulator-side: the [`Dataset`] container and its
+//! replay adapters ([`Dataset::events`] for a flat iterator,
+//! [`Dataset::source`] for a backpressure-aware
+//! [`EventSource`](eudoxus_stream::EventSource)).
 
-use crate::environment::Environment;
 use crate::gps::GpsSample;
 use crate::imu::ImuSample;
 use eudoxus_geometry::{Pose, PoseAnchor, StereoRig, Vec3};
-use eudoxus_image::GrayImage;
+use eudoxus_stream::source::{EventSource, IterSource, SourcePoll};
 use std::sync::Arc;
 
-/// One synchronized stereo frame with its environment label.
-///
-/// Images are shared (`Arc`) so replaying a dataset as an event stream —
-/// or fanning one dataset out to many agents — never copies pixel data:
-/// an [`ImageEvent`] borrows the same allocation the dataset owns.
-#[derive(Debug, Clone)]
-pub struct FrameData {
-    /// Frame index within the dataset.
-    pub index: usize,
-    /// Capture timestamp (seconds).
-    pub t: f64,
-    /// Environment the machine is operating in at this instant.
-    pub environment: Environment,
-    /// Left camera image (shared, immutable once captured).
-    pub left: Arc<GrayImage>,
-    /// Right camera image (shared, immutable once captured).
-    pub right: Arc<GrayImage>,
-}
-
-/// A contiguous run of frames sharing an environment (mode switches happen
-/// at segment boundaries; estimators reset there because mixed datasets are
-/// concatenations of independently generated traversals).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct Segment {
-    /// Index of the first frame in the segment.
-    pub start_frame: usize,
-    /// Environment of every frame in the segment.
-    pub environment: Environment,
-}
-
-/// One item of a live sensor stream, in arrival order.
-///
-/// This is the wire format of the streaming localization API: a producer
-/// (live sensors, a replayed dataset via [`Dataset::events`], a network
-/// ingest layer) emits events one at a time and a consumer (e.g.
-/// `eudoxus_core::LocalizationSession`) folds them into pose estimates.
-/// Inter-frame sensor data ([`Imu`](SensorEvent::Imu) /
-/// [`Gps`](SensorEvent::Gps)) must be pushed before the
-/// [`Image`](SensorEvent::Image) frame that closes its window.
-#[derive(Debug, Clone)]
-pub enum SensorEvent {
-    /// A stereo camera frame — the event that triggers an estimate.
-    Image(ImageEvent),
-    /// One inertial reading since the previous frame.
-    Imu(ImuSample),
-    /// One GPS fix since the previous frame.
-    Gps(GpsSample),
-    /// The trajectory enters a new independent segment: estimators reset,
-    /// optionally re-anchoring to a known state (e.g. the surveyed start
-    /// of an evaluation run).
-    SegmentBoundary {
-        /// Known kinematic state at the segment start, when available.
-        anchor: Option<PoseAnchor>,
-    },
-}
-
-/// Payload of [`SensorEvent::Image`]: one stereo frame plus the capture
-/// calibration, self-describing so a consumer needs no side channel.
-///
-/// Images are `Arc`-shared with the producer: cloning the event (or
-/// fanning it out to several sessions) bumps a reference count instead of
-/// copying megapixels.
-#[derive(Debug, Clone)]
-pub struct ImageEvent {
-    /// Capture timestamp (seconds).
-    pub t: f64,
-    /// Environment the machine is operating in at this instant (drives
-    /// backend mode selection).
-    pub environment: Environment,
-    /// Left camera image (shared, immutable once captured).
-    pub left: Arc<GrayImage>,
-    /// Right camera image (shared, immutable once captured).
-    pub right: Arc<GrayImage>,
-    /// Stereo rig that captured the frame (intrinsics + baseline).
-    pub rig: StereoRig,
-    /// Reference pose for evaluation, when the producer knows it (replayed
-    /// datasets do; live streams usually do not).
-    pub ground_truth: Option<Pose>,
-}
+// Deprecation shim: these types moved to `eudoxus-stream` so producers
+// need not link the simulator. The re-exports keep historical
+// `eudoxus_sim::dataset::*` paths resolving to the same types.
+pub use eudoxus_stream::event::{FrameData, ImageEvent, Segment, SensorEvent};
 
 /// A complete synthetic dataset: the substitution for KITTI / EuRoC /
 /// the in-house recordings (see DESIGN.md §1).
@@ -219,6 +151,18 @@ impl Dataset {
         })
     }
 
+    /// The dataset as a pull-based [`EventSource`]: the always-ready
+    /// replay producer the streaming ingestion layer (`StreamMux` +
+    /// `SessionManager::ingest`) consumes. Emits exactly the
+    /// [`events`](Dataset::events) stream, then
+    /// [`Closed`](SourcePoll::Closed).
+    pub fn source(&self) -> DatasetSource<'_> {
+        let events: Box<dyn Iterator<Item = SensorEvent> + '_> = Box::new(self.events());
+        DatasetSource {
+            inner: IterSource::new(events),
+        }
+    }
+
     /// Concatenates datasets recorded with the same rig, shifting times and
     /// indices so the result is monotonic. Used to build the paper's mixed
     /// evaluation set (50 % outdoor / 25 % indoor-unknown / 25 %
@@ -278,10 +222,33 @@ impl Dataset {
     }
 }
 
+/// A [`Dataset`] replayed as an [`EventSource`]: always ready, never
+/// [`Pending`](SourcePoll::Pending). Borrows the dataset, so frames are
+/// `Arc`-shared rather than copied — fanning one dataset out to several
+/// sources costs reference counts, not pixels.
+pub struct DatasetSource<'a> {
+    // Delegates to the stream crate's iterator adapter so the
+    // Ready/Closed poll semantics live in exactly one place.
+    inner: IterSource<Box<dyn Iterator<Item = SensorEvent> + 'a>>,
+}
+
+impl std::fmt::Debug for DatasetSource<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("DatasetSource(..)")
+    }
+}
+
+impl EventSource for DatasetSource<'_> {
+    fn poll_event(&mut self) -> SourcePoll {
+        self.inner.poll_event()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::scenario::{Platform, ScenarioBuilder, ScenarioKind};
+    use crate::Environment;
 
     fn tiny(kind: ScenarioKind) -> Dataset {
         ScenarioBuilder::new(kind)
@@ -366,6 +333,28 @@ mod tests {
             panic!("stream must open with an anchored segment boundary");
         };
         assert!(a0.pose.translation_distance(d.ground_truth[0]) < 1e-12);
+    }
+
+    #[test]
+    fn source_replays_the_event_stream_then_closes() {
+        let d = tiny(ScenarioKind::OutdoorUnknown);
+        let expected: Vec<SensorEvent> = d.events().collect();
+        let mut source = d.source();
+        let mut got = Vec::new();
+        loop {
+            match source.poll_event() {
+                SourcePoll::Ready(e) => got.push(e),
+                SourcePoll::Pending => panic!("dataset sources are always ready"),
+                SourcePoll::Closed => break,
+            }
+        }
+        assert_eq!(got.len(), expected.len());
+        for (g, e) in got.iter().zip(&expected) {
+            assert_eq!(g.timestamp(), e.timestamp());
+            assert_eq!(g.is_image(), e.is_image());
+        }
+        // Closed is sticky.
+        assert!(matches!(source.poll_event(), SourcePoll::Closed));
     }
 
     #[test]

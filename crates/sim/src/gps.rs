@@ -11,16 +11,10 @@ use crate::rng::SimRng;
 use crate::trajectory::Trajectory;
 use eudoxus_geometry::Vec3;
 
-/// One GPS fix.
-#[derive(Debug, Clone, Copy, PartialEq)]
-pub struct GpsSample {
-    /// Timestamp (seconds).
-    pub t: f64,
-    /// Measured position in the world frame (meters).
-    pub position: Vec3,
-    /// Reported 1-σ horizontal accuracy (meters).
-    pub sigma: f64,
-}
+// Deprecation shim: the sample type moved to `eudoxus-stream` (it is part
+// of the wire format live producers speak); the *availability/noise
+// model* below is simulator-side and stays here.
+pub use eudoxus_stream::event::GpsSample;
 
 /// GPS availability/noise model.
 #[derive(Debug, Clone, Copy)]

@@ -13,16 +13,10 @@ use eudoxus_geometry::Vec3;
 /// Standard gravity (m/s²), world `-z`.
 pub const GRAVITY: f64 = 9.80665;
 
-/// One IMU reading.
-#[derive(Debug, Clone, Copy, PartialEq)]
-pub struct ImuSample {
-    /// Timestamp (seconds).
-    pub t: f64,
-    /// Angular rate in the body frame (rad/s), bias + noise included.
-    pub gyro: Vec3,
-    /// Specific force in the body frame (m/s²), bias + noise included.
-    pub accel: Vec3,
-}
+// Deprecation shim: the sample type moved to `eudoxus-stream` (it is part
+// of the wire format live producers speak); the *noise model* below is
+// simulator-side and stays here.
+pub use eudoxus_stream::event::ImuSample;
 
 /// IMU noise/bias model and sampling rate.
 ///

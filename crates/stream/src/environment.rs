@@ -1,0 +1,103 @@
+//! The real-world environment taxonomy of paper Fig. 2.
+
+use std::fmt;
+
+/// Operating environment, classified along the two axes the paper
+/// identifies: GPS availability (indoor vs outdoor) and map availability
+/// (previously visited vs unknown).
+///
+/// Each environment prefers a particular localization algorithm
+/// (paper Sec. III): SLAM indoors without a map, registration indoors with
+/// one, and VIO (+GPS) outdoors.
+///
+/// # Example
+///
+/// ```
+/// use eudoxus_stream::Environment;
+///
+/// assert!(Environment::OutdoorUnknown.has_gps());
+/// assert!(!Environment::OutdoorUnknown.has_map());
+/// assert!(Environment::IndoorKnown.has_map());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Environment {
+    /// `<No GPS, No Map>` — e.g. an unmapped warehouse interior.
+    IndoorUnknown,
+    /// `<No GPS, With Map>` — a pre-mapped interior.
+    IndoorKnown,
+    /// `<With GPS, No Map>` — open sky, new territory.
+    OutdoorUnknown,
+    /// `<With GPS, With Map>` — open sky over mapped territory.
+    OutdoorKnown,
+}
+
+impl Environment {
+    /// All four taxonomy cells, in paper order.
+    pub const ALL: [Environment; 4] = [
+        Environment::IndoorUnknown,
+        Environment::IndoorKnown,
+        Environment::OutdoorUnknown,
+        Environment::OutdoorKnown,
+    ];
+
+    /// Whether stable GPS reception is available.
+    pub fn has_gps(self) -> bool {
+        matches!(
+            self,
+            Environment::OutdoorUnknown | Environment::OutdoorKnown
+        )
+    }
+
+    /// Whether a pre-constructed map of the area exists.
+    pub fn has_map(self) -> bool {
+        matches!(self, Environment::IndoorKnown | Environment::OutdoorKnown)
+    }
+
+    /// True for the two indoor cells.
+    pub fn is_indoor(self) -> bool {
+        !self.has_gps()
+    }
+}
+
+impl fmt::Display for Environment {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Environment::IndoorUnknown => "indoor-unknown",
+            Environment::IndoorKnown => "indoor-known",
+            Environment::OutdoorUnknown => "outdoor-unknown",
+            Environment::OutdoorKnown => "outdoor-known",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn taxonomy_axes() {
+        assert!(!Environment::IndoorUnknown.has_gps());
+        assert!(!Environment::IndoorUnknown.has_map());
+        assert!(!Environment::IndoorKnown.has_gps());
+        assert!(Environment::IndoorKnown.has_map());
+        assert!(Environment::OutdoorUnknown.has_gps());
+        assert!(!Environment::OutdoorUnknown.has_map());
+        assert!(Environment::OutdoorKnown.has_gps());
+        assert!(Environment::OutdoorKnown.has_map());
+    }
+
+    #[test]
+    fn all_lists_four_distinct_cells() {
+        let mut set = std::collections::HashSet::new();
+        for e in Environment::ALL {
+            set.insert(e);
+        }
+        assert_eq!(set.len(), 4);
+    }
+
+    #[test]
+    fn display_is_kebab_case() {
+        assert_eq!(Environment::OutdoorKnown.to_string(), "outdoor-known");
+    }
+}

@@ -1,0 +1,175 @@
+//! The sensor event model: the wire format every producer speaks.
+//!
+//! These types are deliberately *source-agnostic* — nothing here knows
+//! whether an event came from a replayed dataset, a live sensor rig, or a
+//! network ingest layer. The only dependencies are the geometry
+//! vocabulary (poses, rigs, vectors) and shared grayscale images.
+
+use crate::environment::Environment;
+use eudoxus_geometry::{Pose, PoseAnchor, StereoRig, Vec3};
+use eudoxus_image::GrayImage;
+use std::sync::Arc;
+
+/// One IMU reading.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ImuSample {
+    /// Timestamp (seconds).
+    pub t: f64,
+    /// Angular rate in the body frame (rad/s), bias + noise included.
+    pub gyro: Vec3,
+    /// Specific force in the body frame (m/s²), bias + noise included.
+    pub accel: Vec3,
+}
+
+/// One GPS fix.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GpsSample {
+    /// Timestamp (seconds).
+    pub t: f64,
+    /// Measured position in the world frame (meters).
+    pub position: Vec3,
+    /// Reported 1-σ horizontal accuracy (meters).
+    pub sigma: f64,
+}
+
+/// One synchronized stereo frame with its environment label.
+///
+/// Images are shared (`Arc`) so replaying a recording as an event stream —
+/// or fanning one frame out to many consumers — never copies pixel data:
+/// an [`ImageEvent`] borrows the same allocation the producer owns.
+#[derive(Debug, Clone)]
+pub struct FrameData {
+    /// Frame index within the recording.
+    pub index: usize,
+    /// Capture timestamp (seconds).
+    pub t: f64,
+    /// Environment the machine is operating in at this instant.
+    pub environment: Environment,
+    /// Left camera image (shared, immutable once captured).
+    pub left: Arc<GrayImage>,
+    /// Right camera image (shared, immutable once captured).
+    pub right: Arc<GrayImage>,
+}
+
+/// A contiguous run of frames sharing an environment (mode switches happen
+/// at segment boundaries; estimators reset there because mixed recordings
+/// are concatenations of independently generated traversals).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Segment {
+    /// Index of the first frame in the segment.
+    pub start_frame: usize,
+    /// Environment of every frame in the segment.
+    pub environment: Environment,
+}
+
+/// One item of a live sensor stream, in arrival order.
+///
+/// This is the wire format of the streaming localization API: a producer
+/// (live sensors, a replayed dataset via `eudoxus_sim::Dataset::events`, a
+/// network ingest layer) emits events one at a time and a consumer (e.g.
+/// `eudoxus_core::LocalizationSession`) folds them into pose estimates.
+/// Inter-frame sensor data ([`Imu`](SensorEvent::Imu) /
+/// [`Gps`](SensorEvent::Gps)) must be pushed before the
+/// [`Image`](SensorEvent::Image) frame that closes its window.
+#[derive(Debug, Clone)]
+pub enum SensorEvent {
+    /// A stereo camera frame — the event that triggers an estimate.
+    Image(ImageEvent),
+    /// One inertial reading since the previous frame.
+    Imu(ImuSample),
+    /// One GPS fix since the previous frame.
+    Gps(GpsSample),
+    /// The trajectory enters a new independent segment: estimators reset,
+    /// optionally re-anchoring to a known state (e.g. the surveyed start
+    /// of an evaluation run).
+    SegmentBoundary {
+        /// Known kinematic state at the segment start, when available.
+        anchor: Option<PoseAnchor>,
+    },
+}
+
+impl SensorEvent {
+    /// The event's capture timestamp, when it carries one. Segment
+    /// boundaries are markers *between* instants and have no timestamp
+    /// of their own; a [`StreamMux`](crate::StreamMux) merge keeps them
+    /// in place within their source's substream by keying them to the
+    /// preceding event.
+    pub fn timestamp(&self) -> Option<f64> {
+        match self {
+            SensorEvent::Image(img) => Some(img.t),
+            SensorEvent::Imu(s) => Some(s.t),
+            SensorEvent::Gps(g) => Some(g.t),
+            SensorEvent::SegmentBoundary { .. } => None,
+        }
+    }
+
+    /// Whether this event completes a frame (consumers produce an
+    /// estimate exactly for image events).
+    pub fn is_image(&self) -> bool {
+        matches!(self, SensorEvent::Image(_))
+    }
+}
+
+/// Payload of [`SensorEvent::Image`]: one stereo frame plus the capture
+/// calibration, self-describing so a consumer needs no side channel.
+///
+/// Images are `Arc`-shared with the producer: cloning the event (or
+/// fanning it out to several sessions) bumps a reference count instead of
+/// copying megapixels.
+#[derive(Debug, Clone)]
+pub struct ImageEvent {
+    /// Capture timestamp (seconds).
+    pub t: f64,
+    /// Environment the machine is operating in at this instant (drives
+    /// backend mode selection).
+    pub environment: Environment,
+    /// Left camera image (shared, immutable once captured).
+    pub left: Arc<GrayImage>,
+    /// Right camera image (shared, immutable once captured).
+    pub right: Arc<GrayImage>,
+    /// Stereo rig that captured the frame (intrinsics + baseline).
+    pub rig: StereoRig,
+    /// Reference pose for evaluation, when the producer knows it (replayed
+    /// datasets do; live streams usually do not).
+    pub ground_truth: Option<Pose>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eudoxus_geometry::PinholeCamera;
+
+    pub(crate) fn test_image_event(t: f64) -> ImageEvent {
+        let img = Arc::new(GrayImage::new(8, 8));
+        ImageEvent {
+            t,
+            environment: Environment::IndoorUnknown,
+            left: Arc::clone(&img),
+            right: img,
+            rig: StereoRig::new(PinholeCamera::centered(100.0, 8, 8), 0.1),
+            ground_truth: None,
+        }
+    }
+
+    #[test]
+    fn timestamps_come_from_the_payload() {
+        let ev = SensorEvent::Image(test_image_event(1.5));
+        assert_eq!(ev.timestamp(), Some(1.5));
+        assert!(ev.is_image());
+        let ev = SensorEvent::Imu(ImuSample {
+            t: 0.25,
+            gyro: Vec3::zero(),
+            accel: Vec3::zero(),
+        });
+        assert_eq!(ev.timestamp(), Some(0.25));
+        let ev = SensorEvent::SegmentBoundary { anchor: None };
+        assert_eq!(ev.timestamp(), None);
+        assert!(!ev.is_image());
+    }
+
+    #[test]
+    fn image_events_share_pixels() {
+        let ev = test_image_event(0.0);
+        assert!(Arc::ptr_eq(&ev.left, &ev.clone().left));
+    }
+}

@@ -1,0 +1,479 @@
+//! Deterministic k-way multiplexing of per-agent event streams.
+//!
+//! A serving node ingests many agents' sensor streams at once. The
+//! [`StreamMux`] merges them into one tagged stream ordered by capture
+//! timestamp, with three properties a production ingest layer needs:
+//!
+//! 1. **Per-source order is exact.** Events of one source are never
+//!    reordered, whatever their timestamps — the mux interleaves *across*
+//!    sources only. A single-source mux is the identity.
+//! 2. **The merge is deterministic and chunking-insensitive.** The merged
+//!    order is a pure function of the source contents: ties break by
+//!    source registration order, and an event is emitted only when no
+//!    still-[`Pending`](SourcePoll::Pending) source could later produce
+//!    an event that the omniscient merge would have placed earlier
+//!    (each source's *watermark* — a monotone lower bound on its future
+//!    merge keys — proves this). Delivering the same streams in
+//!    different bursts therefore yields the same merged sequence.
+//! 3. **Backpressure composes.** A consumer that cannot accept an event
+//!    hands it back ([`unpop`](StreamMux::unpop)) and
+//!    [`gate`](StreamMux::gate)s the source; the mux holds the event as
+//!    that source's head, keeps serving sources whose events provably
+//!    precede it, and re-offers it after
+//!    [`clear_gates`](StreamMux::clear_gates).
+//!
+//! Segment boundaries carry no timestamp of their own; they inherit
+//! their source's current watermark (the key of the event emitted just
+//! before them). Within their own source's substream they therefore
+//! stay exactly where the producer put them — but *globally* other
+//! sources' events with intermediate timestamps may be emitted between
+//! a boundary and its successor. Consumers demultiplex per agent, so
+//! only the per-source adjacency matters.
+
+use crate::event::SensorEvent;
+use crate::source::{EventSource, SourcePoll};
+
+/// Outcome of polling a [`StreamMux`].
+#[derive(Debug)]
+pub enum MuxPoll {
+    /// The next merged event, tagged with the index of the source that
+    /// produced it (see [`StreamMux::agent`] for its name).
+    Ready {
+        /// Index of the producing source (registration order).
+        source: usize,
+        /// The event.
+        event: SensorEvent,
+    },
+    /// No event can be emitted yet: every candidate might still be
+    /// preceded by an event from a pending or gated source. Poll again
+    /// once producers advance (or gates clear).
+    Pending,
+    /// Every source is closed and drained.
+    Closed,
+}
+
+struct Slot<'a> {
+    agent: String,
+    source: Box<dyn EventSource + 'a>,
+    /// Buffered next event with its merge key.
+    head: Option<(f64, SensorEvent)>,
+    /// Monotone lower bound on the merge key of every future event from
+    /// this source. Starts at `-inf` (an unpolled source could produce
+    /// arbitrarily early events).
+    watermark: f64,
+    closed: bool,
+    gated: bool,
+}
+
+impl Slot<'_> {
+    /// Merge key of an event from this source: its timestamp clamped to
+    /// the watermark (keys are monotone per source, so intra-source order
+    /// is preserved even when raw timestamps interleave — e.g. a GPS
+    /// window emitted after the IMU window it overlaps). Boundary events
+    /// have no timestamp and inherit the watermark.
+    fn key_for(&self, event: &SensorEvent) -> f64 {
+        match event.timestamp() {
+            Some(t) => t.max(self.watermark),
+            None => self.watermark,
+        }
+    }
+
+    /// Lower bound on this slot's next emission key, `None` when nothing
+    /// more can come.
+    fn future_bound(&self) -> Option<f64> {
+        match &self.head {
+            Some((key, _)) => Some(*key),
+            None if self.closed => None,
+            None => Some(self.watermark),
+        }
+    }
+}
+
+/// Merges k per-agent [`EventSource`]s into one deterministic stream
+/// tagged by source (see the module docs for the merge contract).
+///
+/// # Example
+///
+/// ```
+/// use eudoxus_stream::{IterSource, MuxPoll, SensorEvent, StreamMux, ImuSample};
+/// use eudoxus_geometry::Vec3;
+///
+/// let imu = |t: f64| SensorEvent::Imu(ImuSample {
+///     t, gyro: Vec3::zero(), accel: Vec3::zero(),
+/// });
+/// let mut mux = StreamMux::new();
+/// mux.add_source("agent-a", IterSource::from_vec(vec![imu(0.0), imu(2.0)]));
+/// mux.add_source("agent-b", IterSource::from_vec(vec![imu(1.0)]));
+/// let mut order = Vec::new();
+/// while let MuxPoll::Ready { source, .. } = mux.poll() {
+///     order.push(mux.agent(source).to_string());
+/// }
+/// assert_eq!(order, ["agent-a", "agent-b", "agent-a"]);
+/// ```
+#[derive(Default)]
+pub struct StreamMux<'a> {
+    slots: Vec<Slot<'a>>,
+}
+
+impl std::fmt::Debug for StreamMux<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let open = self.slots.iter().filter(|s| !s.closed).count();
+        write!(f, "StreamMux({} sources, {open} open)", self.slots.len())
+    }
+}
+
+impl<'a> StreamMux<'a> {
+    /// An empty mux (polls as [`Closed`](MuxPoll::Closed)).
+    pub fn new() -> Self {
+        StreamMux::default()
+    }
+
+    /// Registers a source under an agent name and returns its index.
+    /// Registration order is the tie-break order for simultaneous
+    /// events.
+    pub fn add_source(
+        &mut self,
+        agent: impl Into<String>,
+        source: impl EventSource + 'a,
+    ) -> usize {
+        self.slots.push(Slot {
+            agent: agent.into(),
+            source: Box::new(source),
+            head: None,
+            watermark: f64::NEG_INFINITY,
+            closed: false,
+            gated: false,
+        });
+        self.slots.len() - 1
+    }
+
+    /// Number of registered sources.
+    pub fn source_count(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Whether no sources are registered.
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// The agent name a source was registered under.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an out-of-range index.
+    pub fn agent(&self, source: usize) -> &str {
+        &self.slots[source].agent
+    }
+
+    /// Whether every source is closed and every buffered head emitted.
+    pub fn is_finished(&self) -> bool {
+        self.slots.iter().all(|s| s.closed && s.head.is_none())
+    }
+
+    /// Holds a source back: its buffered head (and everything after it)
+    /// is not offered until [`clear_gates`](Self::clear_gates). Other
+    /// sources keep flowing as far as the merge order allows.
+    pub fn gate(&mut self, source: usize) {
+        self.slots[source].gated = true;
+    }
+
+    /// Reopens every gated source.
+    pub fn clear_gates(&mut self) {
+        for slot in &mut self.slots {
+            slot.gated = false;
+        }
+    }
+
+    /// Returns an event the consumer could not accept. It becomes the
+    /// source's head again and will be re-emitted (in the same merge
+    /// position) by a later poll.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the source already has a buffered head (only the most
+    /// recently emitted event of a source can be returned, before any
+    /// further poll pulls from that source).
+    pub fn unpop(&mut self, source: usize, event: SensorEvent) {
+        let slot = &mut self.slots[source];
+        assert!(
+            slot.head.is_none(),
+            "unpop: source {source} already holds a buffered head"
+        );
+        // The emission that produced `event` set the watermark to its
+        // key, so re-keying against the watermark reproduces it exactly.
+        let key = slot.key_for(&event);
+        slot.head = Some((key, event));
+    }
+
+    /// Pulls the next merged event.
+    ///
+    /// [`Pending`](MuxPoll::Pending) means *no provably-next event is
+    /// available right now* — because a source with an earlier watermark
+    /// reported pending, or because the next event belongs to a gated
+    /// source. [`Closed`](MuxPoll::Closed) is terminal.
+    pub fn poll(&mut self) -> MuxPoll {
+        // Refill heads: one poll attempt per empty open slot.
+        for slot in &mut self.slots {
+            if slot.closed || slot.head.is_some() {
+                continue;
+            }
+            match slot.source.poll_event() {
+                SourcePoll::Ready(event) => {
+                    let key = slot.key_for(&event);
+                    slot.head = Some((key, event));
+                }
+                SourcePoll::Pending => {}
+                SourcePoll::Closed => slot.closed = true,
+            }
+        }
+
+        // Candidate: the smallest (key, index) among un-gated heads.
+        let candidate = self
+            .slots
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| !s.gated)
+            .filter_map(|(i, s)| s.head.as_ref().map(|(key, _)| (*key, i)))
+            .min_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+
+        let Some((key, index)) = candidate else {
+            return if self.slots.iter().any(|s| s.future_bound().is_some()) {
+                MuxPoll::Pending
+            } else {
+                MuxPoll::Closed
+            };
+        };
+
+        // Emit only if no other slot could later produce an event the
+        // omniscient merge would place first: every live slot's bound
+        // must be strictly later, or equal with a losing tie-break.
+        for (i, slot) in self.slots.iter().enumerate() {
+            if i == index {
+                continue;
+            }
+            // Un-gated heads are already beaten (candidate is minimal);
+            // only pending futures and gated heads can preempt.
+            if slot.head.is_some() && !slot.gated {
+                continue;
+            }
+            if let Some(bound) = slot.future_bound() {
+                if bound < key || (bound == key && i < index) {
+                    return MuxPoll::Pending;
+                }
+            }
+        }
+
+        let slot = &mut self.slots[index];
+        let (key, event) = slot.head.take().expect("candidate slot has a head");
+        slot.watermark = key;
+        MuxPoll::Ready {
+            source: index,
+            event,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{GpsSample, ImuSample};
+    use crate::source::{ChunkedSource, IterSource};
+    use eudoxus_geometry::Vec3;
+
+    fn imu(t: f64) -> SensorEvent {
+        SensorEvent::Imu(ImuSample {
+            t,
+            gyro: Vec3::zero(),
+            accel: Vec3::zero(),
+        })
+    }
+
+    fn gps(t: f64) -> SensorEvent {
+        SensorEvent::Gps(GpsSample {
+            t,
+            position: Vec3::zero(),
+            sigma: 1.0,
+        })
+    }
+
+    fn boundary() -> SensorEvent {
+        SensorEvent::SegmentBoundary { anchor: None }
+    }
+
+    fn drain(mux: &mut StreamMux<'_>) -> Vec<(usize, SensorEvent)> {
+        let mut out = Vec::new();
+        loop {
+            match mux.poll() {
+                MuxPoll::Ready { source, event } => out.push((source, event)),
+                // Pending can only come from chunked test sources here;
+                // polling again advances them.
+                MuxPoll::Pending => continue,
+                MuxPoll::Closed => break,
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn empty_mux_is_closed() {
+        let mut mux = StreamMux::new();
+        assert!(matches!(mux.poll(), MuxPoll::Closed));
+        assert!(mux.is_finished());
+    }
+
+    #[test]
+    fn single_source_is_identity_even_with_nonmonotone_timestamps() {
+        // A GPS window emitted after the IMU window it overlaps: raw timestamps
+        // go 0.1, 0.2, 0.15 — the mux must NOT resort them.
+        let events = vec![boundary(), imu(0.1), imu(0.2), gps(0.15), imu(0.3)];
+        let mut mux = StreamMux::new();
+        mux.add_source("only", IterSource::from_vec(events.clone()));
+        let merged = drain(&mut mux);
+        assert_eq!(merged.len(), events.len());
+        for ((src, got), want) in merged.iter().zip(&events) {
+            assert_eq!(*src, 0);
+            assert_eq!(got.timestamp(), want.timestamp());
+            assert_eq!(got.is_image(), want.is_image());
+        }
+    }
+
+    #[test]
+    fn merge_orders_by_timestamp_with_index_tiebreak() {
+        let mut mux = StreamMux::new();
+        mux.add_source("a", IterSource::from_vec(vec![imu(0.0), imu(1.0), imu(2.0)]));
+        mux.add_source("b", IterSource::from_vec(vec![imu(0.5), imu(1.0)]));
+        let merged = drain(&mut mux);
+        let order: Vec<(usize, f64)> = merged
+            .iter()
+            .map(|(s, e)| (*s, e.timestamp().unwrap()))
+            .collect();
+        // At t=1.0 both sources tie; source 0 (registered first) wins.
+        assert_eq!(
+            order,
+            vec![(0, 0.0), (1, 0.5), (0, 1.0), (1, 1.0), (0, 2.0)]
+        );
+    }
+
+    #[test]
+    fn boundaries_inherit_their_predecessor_key() {
+        let mut mux = StreamMux::new();
+        mux.add_source("a", IterSource::from_vec(vec![imu(0.0), boundary(), imu(5.0)]));
+        mux.add_source("b", IterSource::from_vec(vec![imu(1.0), imu(2.0)]));
+        let merged = drain(&mut mux);
+        // The boundary has key 0.0 (a's watermark when it surfaces), so it
+        // is emitted right after a's first event — before b's 1.0/2.0 —
+        // while a's next imu(5.0) correctly waits for b to finish. Note
+        // the boundary's *global* successor is b's event: gluing holds
+        // within source a's substream, not across the merge.
+        let shape: Vec<(usize, Option<f64>)> = merged
+            .iter()
+            .map(|(s, e)| (*s, e.timestamp()))
+            .collect();
+        assert_eq!(
+            shape,
+            vec![
+                (0, Some(0.0)),
+                (0, None),
+                (1, Some(1.0)),
+                (1, Some(2.0)),
+                (0, Some(5.0)),
+            ]
+        );
+    }
+
+    #[test]
+    fn chunking_does_not_change_the_merge() {
+        let a = vec![boundary(), imu(0.0), gps(0.05), imu(1.0), imu(3.0)];
+        let b = vec![boundary(), imu(0.5), imu(1.0), imu(2.5)];
+
+        let reference = {
+            let mut mux = StreamMux::new();
+            mux.add_source("a", IterSource::from_vec(a.clone()));
+            mux.add_source("b", IterSource::from_vec(b.clone()));
+            drain(&mut mux)
+        };
+
+        for (ca, cb) in [(vec![1], vec![3]), (vec![2, 0, 1], vec![1, 1]), (vec![4], vec![2])] {
+            let mut mux = StreamMux::new();
+            mux.add_source("a", ChunkedSource::new(IterSource::from_vec(a.clone()), ca));
+            mux.add_source("b", ChunkedSource::new(IterSource::from_vec(b.clone()), cb));
+            let merged = drain(&mut mux);
+            assert_eq!(merged.len(), reference.len());
+            for ((s1, e1), (s2, e2)) in merged.iter().zip(&reference) {
+                assert_eq!(s1, s2, "source order must be chunking-invariant");
+                assert_eq!(e1.timestamp(), e2.timestamp());
+            }
+        }
+    }
+
+    #[test]
+    fn pending_source_with_earlier_watermark_stalls_the_merge() {
+        // Source b pends before its first event: its watermark is -inf,
+        // so nothing can be emitted until b produces or closes.
+        let mut mux = StreamMux::new();
+        mux.add_source("a", IterSource::from_vec(vec![imu(0.0)]));
+        mux.add_source(
+            "b",
+            ChunkedSource::new(IterSource::from_vec(vec![imu(10.0)]), vec![0, 5]),
+        );
+        assert!(matches!(mux.poll(), MuxPoll::Pending));
+        // Next poll: b yields imu(10.0) into its head; a's 0.0 now wins.
+        let MuxPoll::Ready { source, event } = mux.poll() else {
+            panic!("a's event is provably first once b has a head");
+        };
+        assert_eq!(source, 0);
+        assert_eq!(event.timestamp(), Some(0.0));
+    }
+
+    #[test]
+    fn gate_and_unpop_preserve_merge_position() {
+        let mut mux = StreamMux::new();
+        mux.add_source("a", IterSource::from_vec(vec![imu(0.0), imu(2.0)]));
+        mux.add_source("b", IterSource::from_vec(vec![imu(1.0)]));
+
+        // Consumer refuses a's first event: put it back and gate a.
+        let MuxPoll::Ready { source: 0, event } = mux.poll() else {
+            panic!("a first");
+        };
+        mux.unpop(0, event);
+        mux.gate(0);
+
+        // b's imu(1.0) must NOT jump the queue: a's held head (key 0.0)
+        // still precedes it, so the mux pends.
+        assert!(matches!(mux.poll(), MuxPoll::Pending));
+
+        // After the gate clears, the original order resumes.
+        mux.clear_gates();
+        let order: Vec<(usize, f64)> = drain(&mut mux)
+            .iter()
+            .map(|(s, e)| (*s, e.timestamp().unwrap()))
+            .collect();
+        assert_eq!(order, vec![(0, 0.0), (1, 1.0), (0, 2.0)]);
+    }
+
+    #[test]
+    fn gated_source_lets_provably_earlier_events_flow() {
+        let mut mux = StreamMux::new();
+        mux.add_source("slow", IterSource::from_vec(vec![imu(5.0), imu(6.0)]));
+        mux.add_source("fast", IterSource::from_vec(vec![imu(0.0), imu(1.0)]));
+
+        // slow's head (5.0) is refused and gated; fast's earlier events
+        // still flow.
+        assert!(matches!(mux.poll(), MuxPoll::Ready { source: 1, .. }));
+        assert!(matches!(mux.poll(), MuxPoll::Ready { source: 1, .. }));
+        let MuxPoll::Ready { source: 0, event } = mux.poll() else {
+            panic!("slow's head after fast drains");
+        };
+        mux.unpop(0, event);
+        mux.gate(0);
+        // Everything ready is behind the gate now.
+        assert!(matches!(mux.poll(), MuxPoll::Pending));
+        assert!(!mux.is_finished());
+        mux.clear_gates();
+        assert!(matches!(mux.poll(), MuxPoll::Ready { source: 0, .. }));
+        assert!(matches!(mux.poll(), MuxPoll::Ready { source: 0, .. }));
+        assert!(matches!(mux.poll(), MuxPoll::Closed));
+        assert!(mux.is_finished());
+    }
+}

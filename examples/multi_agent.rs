@@ -2,9 +2,13 @@
 //! agents, each operating in a different scenario.
 //!
 //! This is the serving shape of the production goal — many independent
-//! sensor streams multiplexed onto one worker, each agent's estimator
-//! state isolated in its own `LocalizationSession`, the manager
-//! round-robining their event queues so no agent starves the others.
+//! sensor streams multiplexed onto one worker. Each agent's estimator
+//! state is isolated in its own `LocalizationSession`; each agent's
+//! *stream* is an `EventSource` (here a dataset replay, in production a
+//! live producer) merged by a deterministic `StreamMux` into bounded
+//! per-agent ingest queues, so no agent can starve — or flood — the
+//! others. The backpressure counters printed at the end are the numbers
+//! a serving layer alarms on.
 //!
 //! Run with: `cargo run --release --example multi_agent`
 
@@ -26,45 +30,38 @@ fn main() {
         ("mixed-commute", ScenarioKind::Mixed, 24),
     ];
 
-    let mut manager = SessionManager::new();
-    let mut datasets = Vec::new();
-    for (id, kind, seed) in agents {
-        let dataset = ScenarioBuilder::new(kind)
-            .frames(12)
-            .fps(10.0)
-            .seed(seed)
-            .build();
-        manager.add_agent(id, LocalizationSession::new(PipelineConfig::anchored()));
-        datasets.push((id, dataset));
-    }
-
-    // Ingest: interleave the four streams frame by frame, the arrival
-    // pattern a live fleet produces (here each dataset replays as its
-    // agent's event stream).
-    let mut streams: Vec<(&str, Vec<SensorEvent>)> = datasets
+    let datasets: Vec<(&str, Dataset)> = agents
         .iter()
-        .map(|(id, d)| (*id, d.events().collect()))
+        .map(|(id, kind, seed)| {
+            let dataset = ScenarioBuilder::new(*kind)
+                .frames(12)
+                .fps(10.0)
+                .seed(*seed)
+                .build();
+            (*id, dataset)
+        })
         .collect();
-    while streams.iter().any(|(_, evs)| !evs.is_empty()) {
-        for (id, evs) in &mut streams {
-            // Feed events up to and including this agent's next frame.
-            let cut = evs
-                .iter()
-                .position(|e| matches!(e, SensorEvent::Image(_)))
-                .map_or(evs.len(), |i| i + 1);
-            for event in evs.drain(..cut) {
-                manager.enqueue(id, event);
-            }
-        }
+
+    // Ingestion: one EventSource per agent, merged by capture timestamp.
+    // Tight lossless (Defer) queue bounds so the backpressure machinery
+    // visibly engages; a latency-first deployment would pick DropNewest
+    // and shed stale frames instead.
+    let mut manager = SessionManager::new();
+    let mut mux = StreamMux::new();
+    for (id, dataset) in &datasets {
+        manager.add_agent(*id, LocalizationSession::new(PipelineConfig::anchored()));
+        manager.set_ingest_limit(id, 32, OverflowPolicy::Defer);
+        mux.add_source(*id, dataset.source());
     }
     println!(
-        "{} events queued across {} agents",
-        manager.pending_events(),
+        "{} sources muxed into {} agents (per-agent queue bound: 32 events, defer on overflow)",
+        mux.source_count(),
         manager.agent_count()
     );
 
-    // Serve: round-robin until every queue drains.
-    let records = manager.run_until_idle();
+    // Serve: pump alternately ingests what the mux can prove deliverable
+    // and drains the queues round-robin until every source closes.
+    let records = manager.pump(&mut mux);
     println!("{} frames localized\n", records.len());
 
     // Per-agent accuracy report.
@@ -72,7 +69,10 @@ fn main() {
     for (id, record) in records {
         logs.entry(id).or_default().records.push(record);
     }
-    println!("{:<30} {:>6} {:>10} {:>18}", "agent", "frames", "RMSE (m)", "modes used");
+    println!(
+        "{:<30} {:>6} {:>10} {:>18}",
+        "agent", "frames", "RMSE (m)", "modes used"
+    );
     for (id, kind, _) in agents {
         let log = &logs[id];
         let mut modes: Vec<String> = log.records.iter().map(|r| r.mode.to_string()).collect();
@@ -84,5 +84,13 @@ fn main() {
             log.translation_rmse(),
             modes.join("+")
         );
+    }
+
+    // Ingestion health: what the queues saw. With Defer queues nothing
+    // is lost — "deferred" counts how often the mux had to hold a source
+    // back until its agent's queue drained.
+    println!("\nbackpressure counters:");
+    for snapshot in manager.ingest_stats() {
+        println!("  {snapshot}");
     }
 }

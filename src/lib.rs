@@ -16,6 +16,7 @@
 //! | [`math`] | `eudoxus-math` | dense linear algebra (QR/Cholesky/LU, Schur) |
 //! | [`geometry`] | `eudoxus-geometry` | SO(3)/SE(3), cameras, triangulation |
 //! | [`image`] | `eudoxus-image` | filtering, gradients, pyramids |
+//! | [`stream`] | `eudoxus-stream` | sensor event model, environment taxonomy, sources/queues/mux |
 //! | [`sim`] | `eudoxus-sim` | synthetic worlds, sensors, datasets |
 //! | [`frontend`] | `eudoxus-frontend` | FAST, ORB, stereo, Lucas–Kanade |
 //! | [`vocab`] | `eudoxus-vocab` | bag-of-binary-words place recognition |
@@ -63,6 +64,36 @@
 //! [`Backend`](eudoxus_backend::Backend) trait (see the `eudoxus_core`
 //! module docs for the migration notes).
 //!
+//! Many-agent ingestion goes through `eudoxus_stream`: one
+//! [`EventSource`](eudoxus_stream::EventSource) per agent (live producer
+//! or `Dataset::source()` replay), merged deterministically by a
+//! [`StreamMux`](eudoxus_stream::StreamMux), flowing into bounded
+//! per-agent queues inside the `SessionManager`:
+//!
+//! ```no_run
+//! use eudoxus::prelude::*;
+//!
+//! let a = ScenarioBuilder::new(ScenarioKind::OutdoorUnknown).frames(10).seed(1).build();
+//! let b = ScenarioBuilder::new(ScenarioKind::IndoorUnknown).frames(10).seed(2).build();
+//! let mut manager = SessionManager::new();
+//! let mut mux = StreamMux::new();
+//! for (id, data) in [("car", &a), ("drone", &b)] {
+//!     manager.add_agent(id, LocalizationSession::new(PipelineConfig::anchored()));
+//!     manager.set_ingest_limit(id, 64, OverflowPolicy::Defer); // bounded, lossless
+//!     mux.add_source(id, data.source());
+//! }
+//! let records = manager.pump(&mut mux);
+//! for snapshot in manager.ingest_stats() {
+//!     println!("{snapshot}");
+//! }
+//! println!("{} frames from {} agents", records.len(), manager.agent_count());
+//! ```
+//!
+//! The event model itself (`SensorEvent`, `Environment`, …) lives in the
+//! leaf `eudoxus-stream` crate — producers link it without pulling in
+//! the simulator; `eudoxus_sim` re-exports the same types as a
+//! migration shim.
+//!
 //! # Performance
 //!
 //! The steady-state frame path is allocation-free and multi-core:
@@ -101,6 +132,7 @@ pub use eudoxus_geometry as geometry;
 pub use eudoxus_image as image;
 pub use eudoxus_math as math;
 pub use eudoxus_sim as sim;
+pub use eudoxus_stream as stream;
 pub use eudoxus_vocab as vocab;
 
 /// The most common imports, in one place.
@@ -109,13 +141,14 @@ pub mod prelude {
     pub use eudoxus_backend::{Backend, BackendMode, WorldMap};
     pub use eudoxus_core::executor::{Executor, OffloadPolicy};
     pub use eudoxus_core::{
-        build_map, Eudoxus, LocalizationSession, Mode, PipelineConfig, RunLog, SessionManager,
-        Summary,
+        build_map, Eudoxus, IngestReport, LocalizationSession, Mode, PipelineConfig, RunLog,
+        SessionManager, Summary,
     };
     pub use eudoxus_frontend::{Frontend, FrontendConfig};
     pub use eudoxus_geometry::{Pose, PoseAnchor, Vec3};
-    pub use eudoxus_sim::{
-        Dataset, Environment, ScenarioBuilder, ScenarioKind, SensorEvent,
+    pub use eudoxus_sim::{Dataset, ScenarioBuilder, ScenarioKind};
+    pub use eudoxus_stream::{
+        Environment, EventSource, IngestQueue, OverflowPolicy, SensorEvent, SourcePoll, StreamMux,
     };
 }
 
