@@ -22,6 +22,22 @@
 //! * [`energy`] — per-frame energy (Fig. 19);
 //! * [`baselines`] — the CPU/GPU/DSP comparison models behind Table III;
 //! * [`platform`] — the EDX-CAR and EDX-DRONE configurations.
+//!
+//! # An executable in-loop model
+//!
+//! These models are not replay-only artifacts: `eudoxus-core` makes
+//! them *executable per frame, in the serving loop*. Its
+//! `ExecutionEngine` seam (see `eudoxus_core::engine`) wraps this
+//! crate's [`FrontendEngine`], [`BackendEngine`], [`EnergyModel`] and
+//! [`Platform`] into engines a `LocalizationSession` consults on every
+//! pushed frame — `ModeledAccelEngine` for a live EDX-CAR/EDX-DRONE
+//! latency + energy estimate, and `ScheduledEngine` for the paper's
+//! per-kernel offload decision ([`RuntimeScheduler`] + the offload
+//! policy) made inside `push`. The post-hoc replay executor
+//! (`eudoxus_core::Executor::replay`) delegates to the same per-frame
+//! code path, so in-loop reports and replayed runs of the same log are
+//! exactly equal; `cargo run --release --example offload_decision`
+//! shows the scheduler deciding live, frame by frame.
 
 pub mod backend_engine;
 pub mod baselines;

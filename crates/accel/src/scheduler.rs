@@ -7,6 +7,12 @@
 //! models fit offline — linear for projection, quadratic for Kalman gain
 //! and marginalization — and offloads only when the accelerator (compute +
 //! DMA) would be faster.
+//!
+//! A trained scheduler runs *in the serving loop*: install it into a
+//! live session via `eudoxus_core`'s `ScheduledEngine`
+//! (`SessionBuilder::engine(ScheduledEngine::new(platform, scheduler))`)
+//! and [`decide`](RuntimeScheduler::decide) places every offloadable
+//! kernel of every pushed frame.
 
 use crate::backend_engine::{BackendEngine, BackendKernelKind, KernelDims};
 use eudoxus_math::{PolyFit, PolyModel};

@@ -6,7 +6,7 @@
 //! (3c/3d), with registration clearly worse than VIO outdoors.
 
 use eudoxus_bench::{row, section};
-use eudoxus_core::{build_map, Eudoxus, PipelineConfig};
+use eudoxus_core::{build_map, PipelineConfig, SessionBuilder};
 use eudoxus_sim::{Dataset, Environment, Platform, ScenarioBuilder, ScenarioKind};
 
 /// Relabels every frame/segment so the mode selector runs one algorithm.
@@ -25,14 +25,14 @@ fn relabeled(dataset: &Dataset, env: Environment, keep_gps: bool) -> Dataset {
 }
 
 fn rmse_of(data: &Dataset) -> (f64, f64) {
-    let mut system = Eudoxus::new(PipelineConfig::anchored());
+    let mut system = SessionBuilder::new(PipelineConfig::anchored()).build_batch();
     let log = system.process_dataset(data);
     (log.translation_rmse(), log.fps())
 }
 
 fn rmse_registration(data: &Dataset) -> (f64, f64) {
     let map = build_map(data, &PipelineConfig::anchored());
-    let mut system = Eudoxus::new(PipelineConfig::anchored()).with_map(map);
+    let mut system = SessionBuilder::new(PipelineConfig::anchored()).map(map).build_batch();
     let log = system.process_dataset(data);
     (log.translation_rmse(), log.fps())
 }

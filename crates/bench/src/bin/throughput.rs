@@ -13,14 +13,28 @@
 //! exits non-zero when the mean frontend speedup vs the in-run seed
 //! baseline falls below `X` (CI smokes with `--min-speedup 2.0`).
 //!
+//! `--engine {cpu,edx-car,edx-drone,scheduled}` selects the in-loop
+//! `ExecutionEngine` for an additional live pass per scenario: `cpu`
+//! skips it, `edx-car`/`edx-drone` attach a `ModeledAccelEngine`
+//! (always-offload estimate on that platform), and `scheduled` (the
+//! default) trains the paper's offload scheduler on the measured CPU
+//! pass and runs it inside `push` on EDX-DRONE (the rig the datasets
+//! simulate). The modeled accelerated fps (pipelined/unpipelined),
+//! energy and offload rate land in the per-scenario `accel` block of
+//! `BENCH_throughput.json`.
+//!
 //! ```text
 //! cargo run --release -p eudoxus-bench --bin throughput -- \
-//!     [--frames N] [--workers W] [--out PATH] [--min-speedup X]
+//!     [--frames N] [--workers W] [--out PATH] [--min-speedup X] [--engine E]
 //! ```
 
+use eudoxus_accel::Platform as AccelPlatform;
 use eudoxus_bench::baseline::BaselineFrontend;
 use eudoxus_bench::{alloc_track, dataset, row, section};
-use eudoxus_core::{FrameRecord, LocalizationSession, PipelineConfig, SessionManager};
+use eudoxus_core::{
+    AcceleratedRun, Enqueue, Executor, ExecutionEngine, FrameRecord, ModeledAccelEngine,
+    OffloadPolicy, PipelineConfig, RunLog, ScheduledEngine, SessionBuilder, SessionManager,
+};
 use eudoxus_frontend::{Frontend, FrontendConfig};
 use eudoxus_sim::{Dataset, Platform, ScenarioKind};
 use std::time::Instant;
@@ -33,11 +47,32 @@ const KINDS: [(ScenarioKind, &str); 5] = [
     (ScenarioKind::Mixed, "mixed"),
 ];
 
+/// Which in-loop engine the engine pass attaches.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum EngineChoice {
+    Cpu,
+    EdxCar,
+    EdxDrone,
+    Scheduled,
+}
+
+impl EngineChoice {
+    fn name(self) -> &'static str {
+        match self {
+            EngineChoice::Cpu => "cpu",
+            EngineChoice::EdxCar => "edx-car",
+            EngineChoice::EdxDrone => "edx-drone",
+            EngineChoice::Scheduled => "scheduled",
+        }
+    }
+}
+
 struct Args {
     frames: usize,
     workers: usize,
     out: String,
     min_speedup: Option<f64>,
+    engine: EngineChoice,
 }
 
 fn parse_args() -> Args {
@@ -49,6 +84,7 @@ fn parse_args() -> Args {
             .min(KINDS.len()),
         out: "BENCH_throughput.json".to_string(),
         min_speedup: None,
+        engine: EngineChoice::Scheduled,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -64,8 +100,19 @@ fn parse_args() -> Args {
                 args.min_speedup =
                     Some(value("--min-speedup").parse().expect("--min-speedup: float"))
             }
+            "--engine" => {
+                args.engine = match value("--engine").as_str() {
+                    "cpu" => EngineChoice::Cpu,
+                    "edx-car" => EngineChoice::EdxCar,
+                    "edx-drone" => EngineChoice::EdxDrone,
+                    "scheduled" => EngineChoice::Scheduled,
+                    other => panic!(
+                        "--engine {other}: expected cpu, edx-car, edx-drone or scheduled"
+                    ),
+                }
+            }
             other => panic!(
-                "unknown flag {other} (supported: --frames --workers --out --min-speedup)"
+                "unknown flag {other} (supported: --frames --workers --out --min-speedup --engine)"
             ),
         }
     }
@@ -82,6 +129,17 @@ fn mean_us(records: &[FrameRecord], f: impl Fn(&FrameRecord) -> std::time::Durat
     records.iter().map(|r| f(r).as_secs_f64() * 1e6).sum::<f64>() / records.len() as f64
 }
 
+/// Modeled accelerated numbers from the in-loop engine pass.
+struct AccelResult {
+    engine: &'static str,
+    mean_latency_ms: f64,
+    fps_unpipelined: f64,
+    fps_pipelined: f64,
+    mean_energy_j: f64,
+    baseline_energy_j: f64,
+    offload_rate: f64,
+}
+
 struct ScenarioResult {
     name: &'static str,
     baseline_frontend_fps: f64,
@@ -92,9 +150,64 @@ struct ScenarioResult {
     session_speedup_est: f64,
     kernel_us: [(&'static str, f64); 5],
     allocations_per_frame: Option<f64>,
+    accel: Option<AccelResult>,
 }
 
-fn run_scenario(data: &Dataset, name: &'static str) -> ScenarioResult {
+/// Builds the selected in-loop engine; `Scheduled` trains the offload
+/// scheduler on the measured CPU records first (the paper's 25 %
+/// profiling fraction) and falls back to always-offload when the run is
+/// too short to fit the regressions.
+fn build_engine(choice: EngineChoice, cpu_log: &RunLog) -> Option<Box<dyn ExecutionEngine>> {
+    match choice {
+        EngineChoice::Cpu => None,
+        EngineChoice::EdxCar => Some(Box::new(ModeledAccelEngine::edx_car())),
+        EngineChoice::EdxDrone => Some(Box::new(ModeledAccelEngine::edx_drone())),
+        EngineChoice::Scheduled => {
+            let platform = AccelPlatform::edx_drone();
+            let policy = match Executor::new(platform).train_scheduler(cpu_log, 0.25) {
+                Some(sched) => OffloadPolicy::Scheduled(sched),
+                None => OffloadPolicy::Always,
+            };
+            Some(Box::new(ScheduledEngine::with_policy(platform, policy)))
+        }
+    }
+}
+
+/// Drives a second live session with the engine attached and summarizes
+/// its per-frame `ExecutionReport`s.
+fn run_engine_pass(
+    data: &Dataset,
+    cpu_log: &RunLog,
+    choice: EngineChoice,
+) -> Option<AccelResult> {
+    let engine = build_engine(choice, cpu_log)?;
+    let engine_name = engine.name();
+    let mut session = SessionBuilder::new(PipelineConfig::anchored()).build();
+    session.set_engine(engine);
+    let log = RunLog {
+        records: data.events().filter_map(|e| session.push(e)).collect(),
+    };
+    let run: AcceleratedRun = log
+        .execution_run()
+        .expect("an attached accel engine reports every frame");
+    // Baseline energy on the platform the engine models, from the same
+    // live pass the reports came from.
+    let platform = match choice {
+        EngineChoice::EdxCar => AccelPlatform::edx_car(),
+        _ => AccelPlatform::edx_drone(),
+    };
+    Some(AccelResult {
+        engine: engine_name,
+        mean_latency_ms: run.summary().mean,
+        fps_unpipelined: run.fps_unpipelined(),
+        fps_pipelined: run.fps_pipelined(),
+        mean_energy_j: run.mean_energy(),
+        baseline_energy_j: Executor::new(platform).baseline_energy(&log),
+        offload_rate: run.offload_rate(),
+    })
+}
+
+fn run_scenario(data: &Dataset, name: &'static str, engine: EngineChoice) -> ScenarioResult {
     // Pre-PR baseline: the seed frontend, allocating per frame.
     let mut baseline = BaselineFrontend::new(FrontendConfig::default());
     let t = Instant::now();
@@ -111,14 +224,17 @@ fn run_scenario(data: &Dataset, name: &'static str) -> ScenarioResult {
     }
     let frontend_s = t.elapsed().as_secs_f64();
 
-    // Full streaming session (frontend + backend + event plumbing).
-    let mut session = LocalizationSession::new(PipelineConfig::anchored());
+    // Full streaming session (frontend + backend + event plumbing),
+    // timed with the default passthrough engine so session_fps stays
+    // comparable across engine choices.
+    let mut session = SessionBuilder::new(PipelineConfig::anchored()).build();
     let alloc_before = alloc_track::allocations();
     let t = Instant::now();
     let records: Vec<FrameRecord> = data.events().filter_map(|e| session.push(e)).collect();
     let session_s = t.elapsed().as_secs_f64();
     let alloc_after = alloc_track::allocations();
     assert_eq!(records.len(), data.frames.len(), "every frame yields a record");
+    let cpu_log = RunLog { records };
 
     let n = data.frames.len() as f64;
     let frontend_share = frontend_s / n;
@@ -126,6 +242,10 @@ fn run_scenario(data: &Dataset, name: &'static str) -> ScenarioResult {
     // Estimated seed-era session time: swap the measured optimized
     // frontend share for the measured baseline share.
     let session_baseline_s_est = session_s - frontend_s + baseline_frontend_s;
+
+    // In-loop engine pass: the same stream through a session with the
+    // selected accelerator engine deciding per frame.
+    let accel = run_engine_pass(data, &cpu_log, engine);
 
     ScenarioResult {
         name,
@@ -136,14 +256,15 @@ fn run_scenario(data: &Dataset, name: &'static str) -> ScenarioResult {
         session_fps_baseline_est: n / session_baseline_s_est,
         session_speedup_est: session_baseline_s_est / session_s,
         kernel_us: [
-            ("filtering", mean_us(&records, |r| r.frontend_timing.filtering)),
-            ("detection", mean_us(&records, |r| r.frontend_timing.detection)),
-            ("description", mean_us(&records, |r| r.frontend_timing.description)),
-            ("stereo", mean_us(&records, |r| r.frontend_timing.stereo)),
-            ("temporal", mean_us(&records, |r| r.frontend_timing.temporal)),
+            ("filtering", mean_us(&cpu_log.records, |r| r.frontend_timing.filtering)),
+            ("detection", mean_us(&cpu_log.records, |r| r.frontend_timing.detection)),
+            ("description", mean_us(&cpu_log.records, |r| r.frontend_timing.description)),
+            ("stereo", mean_us(&cpu_log.records, |r| r.frontend_timing.stereo)),
+            ("temporal", mean_us(&cpu_log.records, |r| r.frontend_timing.temporal)),
         ],
         allocations_per_frame: alloc_track::counting_enabled()
             .then(|| (alloc_after - alloc_before) as f64 / n),
+        accel,
     }
 }
 
@@ -159,9 +280,12 @@ fn run_manager(datasets: &[Dataset], workers: usize) -> ManagerResult {
     let fill = |manager: &mut SessionManager| {
         for (i, data) in datasets.iter().enumerate() {
             let id = format!("agent-{i}");
-            manager.add_agent(&id, LocalizationSession::new(PipelineConfig::anchored()));
+            manager.add_agent(&id, SessionBuilder::new(PipelineConfig::anchored()).build());
             for event in data.events() {
-                manager.enqueue(&id, event);
+                assert!(matches!(
+                    manager.try_enqueue(&id, event),
+                    Enqueue::Accepted
+                ));
             }
         }
     };
@@ -198,12 +322,19 @@ fn json_f(v: f64) -> String {
     }
 }
 
-fn write_json(path: &str, frames: usize, scenarios: &[ScenarioResult], manager: &ManagerResult) {
+fn write_json(
+    path: &str,
+    frames: usize,
+    engine: EngineChoice,
+    scenarios: &[ScenarioResult],
+    manager: &ManagerResult,
+) {
     let mean_speedup =
         scenarios.iter().map(|s| s.frontend_speedup).sum::<f64>() / scenarios.len().max(1) as f64;
     let mut s = String::new();
     s.push_str("{\n");
     s.push_str(&format!("  \"frames_per_scenario\": {frames},\n"));
+    s.push_str(&format!("  \"engine\": \"{}\",\n", engine.name()));
     s.push_str(&format!(
         "  \"mean_frontend_speedup_vs_seed_baseline\": {},\n",
         json_f(mean_speedup)
@@ -243,9 +374,41 @@ fn write_json(path: &str, frames: usize, scenarios: &[ScenarioResult], manager: 
         }
         s.push_str("},\n");
         s.push_str(&format!(
-            "      \"allocations_per_frame\": {}\n",
+            "      \"allocations_per_frame\": {},\n",
             sc.allocations_per_frame.map_or("null".to_string(), json_f)
         ));
+        match &sc.accel {
+            Some(a) => {
+                s.push_str("      \"accel\": {\n");
+                s.push_str(&format!("        \"engine\": \"{}\",\n", a.engine));
+                s.push_str(&format!(
+                    "        \"mean_latency_ms\": {},\n",
+                    json_f(a.mean_latency_ms)
+                ));
+                s.push_str(&format!(
+                    "        \"fps_unpipelined\": {},\n",
+                    json_f(a.fps_unpipelined)
+                ));
+                s.push_str(&format!(
+                    "        \"fps_pipelined\": {},\n",
+                    json_f(a.fps_pipelined)
+                ));
+                s.push_str(&format!(
+                    "        \"mean_energy_j\": {},\n",
+                    json_f(a.mean_energy_j)
+                ));
+                s.push_str(&format!(
+                    "        \"baseline_energy_j\": {},\n",
+                    json_f(a.baseline_energy_j)
+                ));
+                s.push_str(&format!(
+                    "        \"offload_rate\": {}\n",
+                    json_f(a.offload_rate)
+                ));
+                s.push_str("      }\n");
+            }
+            None => s.push_str("      \"accel\": null\n"),
+        }
         s.push_str(if i + 1 < scenarios.len() { "    },\n" } else { "    }\n" });
     }
     s.push_str("  ],\n");
@@ -281,17 +444,22 @@ fn main() {
         "opt fps".into(),
         "speedup".into(),
         "session fps".into(),
+        "accel fps(p)".into(),
         "alloc/frame".into(),
     ]);
     for (kind, name) in KINDS {
         let data = dataset(kind, Platform::Drone, args.frames, 7);
-        let result = run_scenario(&data, name);
+        let result = run_scenario(&data, name, args.engine);
         row(&[
             name.into(),
             format!("{:.2}", result.baseline_frontend_fps),
             format!("{:.2}", result.frontend_fps),
             format!("{:.2}x", result.frontend_speedup),
             format!("{:.2}", result.session_fps),
+            result
+                .accel
+                .as_ref()
+                .map_or("n/a".into(), |a| format!("{:.1}", a.fps_pipelined)),
             result
                 .allocations_per_frame
                 .map_or("n/a".into(), |a| format!("{a:.0}")),
@@ -315,7 +483,7 @@ fn main() {
         format!("{:.2}x", manager.parallel_speedup),
     ]);
 
-    write_json(&args.out, args.frames, &scenarios, &manager);
+    write_json(&args.out, args.frames, args.engine, &scenarios, &manager);
     println!("\nwrote {}", args.out);
 
     let mean_speedup: f64 =

@@ -26,7 +26,7 @@
 pub mod alloc_track;
 pub mod baseline;
 
-use eudoxus_core::{Eudoxus, PipelineConfig, RunLog};
+use eudoxus_core::{PipelineConfig, RunLog, SessionBuilder};
 use eudoxus_sim::{Dataset, Platform, ScenarioBuilder, ScenarioKind};
 
 /// Builds a dataset with the harness defaults.
@@ -41,14 +41,14 @@ pub fn dataset(kind: ScenarioKind, platform: Platform, frames: usize, seed: u64)
 
 /// Runs the unified pipeline over a dataset, ground-truth anchored.
 pub fn run_pipeline(data: &Dataset) -> RunLog {
-    let mut system = Eudoxus::new(PipelineConfig::anchored());
+    let mut system = SessionBuilder::new(PipelineConfig::anchored()).build_batch();
     system.process_dataset(data)
 }
 
 /// Runs the pipeline with a map (registration enabled), surveying first.
 pub fn run_pipeline_with_map(data: &Dataset) -> RunLog {
     let map = eudoxus_core::build_map(data, &PipelineConfig::anchored());
-    let mut system = Eudoxus::new(PipelineConfig::anchored()).with_map(map);
+    let mut system = SessionBuilder::new(PipelineConfig::anchored()).map(map).build_batch();
     system.process_dataset(data)
 }
 

@@ -1,0 +1,280 @@
+//! One construction surface for sessions, managers and batch systems.
+//!
+//! [`SessionBuilder`] replaces the sprawl of
+//! `LocalizationSession::new`/`with_registry`/`with_map`/`register`,
+//! `Eudoxus::new`/`with_map` and
+//! `SessionManager::add_agent`+`set_ingest_limit` with one fluent API:
+//! configure once — pipeline config, in-loop
+//! [`ExecutionEngine`](crate::engine::ExecutionEngine), persisted map,
+//! custom backends, agents, ingest bounds — then [`build`] a single
+//! session, [`build_manager`] a many-agent manager, or [`build_batch`] a
+//! dataset-replay [`Eudoxus`].
+//!
+//! ```no_run
+//! use eudoxus_core::{ModeledAccelEngine, PipelineConfig, SessionBuilder};
+//! use eudoxus_stream::OverflowPolicy;
+//!
+//! // One serving blueprint, stamped out for four agents with bounded
+//! // lossless queues and a live EDX-DRONE estimate on every frame.
+//! let manager = SessionBuilder::new(PipelineConfig::anchored())
+//!     .engine(ModeledAccelEngine::edx_drone())
+//!     .ingest_limit(32, OverflowPolicy::Defer)
+//!     .agent("car")
+//!     .agent("drone")
+//!     .build_manager();
+//! assert_eq!(manager.agent_count(), 2);
+//! ```
+//!
+//! [`build`]: SessionBuilder::build
+//! [`build_manager`]: SessionBuilder::build_manager
+//! [`build_batch`]: SessionBuilder::build_batch
+
+use crate::engine::{CpuEngine, ExecutionEngine};
+use crate::pipeline::{Eudoxus, PipelineConfig};
+use crate::session::{LocalizationSession, SessionManager};
+use eudoxus_backend::{Backend, Registration, Slam, Vio, WorldMap};
+use eudoxus_stream::OverflowPolicy;
+
+/// Fluent constructor for [`LocalizationSession`]s (and everything built
+/// from them). See the [module docs](self) for the construction surface
+/// it unifies.
+///
+/// Custom backends are supplied as *factories* (`.backend(|| ..)`) and
+/// the engine is [`fork`](ExecutionEngine::fork)ed per session, because
+/// one builder can stamp out many sessions ([`build_manager`] creates one
+/// per declared [`agent`]); everything else (`config`, `map`) is cloned.
+///
+/// [`build_manager`]: Self::build_manager
+/// [`agent`]: Self::agent
+pub struct SessionBuilder {
+    config: PipelineConfig,
+    engine: Box<dyn ExecutionEngine>,
+    map: Option<WorldMap>,
+    backends: Vec<Box<dyn Fn() -> Box<dyn Backend>>>,
+    default_registry: bool,
+    agents: Vec<String>,
+    ingest_limit: Option<(usize, OverflowPolicy)>,
+}
+
+impl std::fmt::Debug for SessionBuilder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "SessionBuilder(engine: {}, map: {}, custom backends: {}, agents: {:?})",
+            self.engine.name(),
+            self.map.is_some(),
+            self.backends.len(),
+            self.agents
+        )
+    }
+}
+
+impl SessionBuilder {
+    /// Starts a builder with the defaults every legacy constructor
+    /// implied: the VIO + SLAM estimator registry, no map, and the
+    /// passthrough [`CpuEngine`] (no per-frame accelerator reports).
+    pub fn new(config: PipelineConfig) -> Self {
+        SessionBuilder {
+            config,
+            engine: Box::new(CpuEngine),
+            map: None,
+            backends: Vec::new(),
+            default_registry: true,
+            agents: Vec::new(),
+            ingest_limit: None,
+        }
+    }
+
+    /// Selects the in-loop execution engine consulted after every frame
+    /// (default: the passthrough [`CpuEngine`]). Attach a
+    /// [`ModeledAccelEngine`](crate::engine::ModeledAccelEngine) for live
+    /// EDX-CAR/EDX-DRONE estimates or a
+    /// [`ScheduledEngine`](crate::engine::ScheduledEngine) to run the
+    /// paper's offload scheduler inside
+    /// [`push`](LocalizationSession::push).
+    pub fn engine(mut self, engine: impl ExecutionEngine + 'static) -> Self {
+        self.engine = Box::new(engine);
+        self
+    }
+
+    /// Installs a persisted map: each built session gets a registration
+    /// backend over (a clone of) it, enabling registration mode.
+    pub fn map(mut self, map: WorldMap) -> Self {
+        self.map = Some(map);
+        self
+    }
+
+    /// Registers a custom estimator. The factory runs once per built
+    /// session; its backend replaces any registered backend of the same
+    /// mode (defaults included), so e.g.
+    /// `.backend(|| MyVio::new())` swaps the stock VIO out.
+    pub fn backend<B, F>(mut self, make: F) -> Self
+    where
+        B: Backend + 'static,
+        F: Fn() -> B + 'static,
+    {
+        self.backends.push(Box::new(move || Box::new(make())));
+        self
+    }
+
+    /// Drops the default VIO + SLAM registry: sessions carry only the
+    /// backends added via [`backend`](Self::backend) /
+    /// [`map`](Self::map). The registry must still cover every frame the
+    /// stream will carry ([`push`](LocalizationSession::push) panics
+    /// otherwise).
+    pub fn without_default_backends(mut self) -> Self {
+        self.default_registry = false;
+        self
+    }
+
+    /// Declares an agent for [`build_manager`](Self::build_manager); one
+    /// session is stamped from this blueprint per declared agent. Call
+    /// repeatedly, in round-robin priority order.
+    pub fn agent(mut self, id: impl Into<String>) -> Self {
+        self.agents.push(id.into());
+        self
+    }
+
+    /// Bounds every manager-built agent's ingest queue (capacity +
+    /// overflow policy). Unset means unbounded — the legacy
+    /// `add_agent` default.
+    pub fn ingest_limit(mut self, capacity: usize, policy: OverflowPolicy) -> Self {
+        self.ingest_limit = Some((capacity, policy));
+        self
+    }
+
+    /// Stamps one session from the blueprint.
+    fn assemble(&self, engine: Box<dyn ExecutionEngine>) -> LocalizationSession {
+        let mut session =
+            LocalizationSession::from_parts(self.config.clone(), Vec::new(), engine);
+        if self.default_registry {
+            session.register(Box::new(Vio::new(self.config.vio)));
+            session.register(Box::new(Slam::new(self.config.slam)));
+        }
+        if let Some(map) = &self.map {
+            session.register(Box::new(Registration::new(
+                map.clone(),
+                self.config.registration,
+            )));
+        }
+        for make in &self.backends {
+            session.register(make());
+        }
+        session
+    }
+
+    /// Builds a single streaming session.
+    pub fn build(self) -> LocalizationSession {
+        let engine = self.engine.fork();
+        self.assemble(engine)
+    }
+
+    /// Builds a [`SessionManager`] with one session per declared
+    /// [`agent`](Self::agent) (none declared → an empty manager; agents
+    /// can still join later via
+    /// [`add_agent`](SessionManager::add_agent)), each with a
+    /// [`fork`](ExecutionEngine::fork) of the engine and the configured
+    /// [`ingest_limit`](Self::ingest_limit) applied.
+    pub fn build_manager(self) -> SessionManager {
+        let mut manager = SessionManager::new();
+        for id in &self.agents {
+            let session = self.assemble(self.engine.fork());
+            manager.add_agent(id.clone(), session);
+            if let Some((capacity, policy)) = self.ingest_limit {
+                manager.set_ingest_limit(id, capacity, policy);
+            }
+        }
+        manager
+    }
+
+    /// Builds the batch adapter: a [`Eudoxus`] replaying recorded
+    /// datasets through a session stamped from this blueprint.
+    pub fn build_batch(self) -> Eudoxus {
+        Eudoxus::from_session(self.build())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::ModeledAccelEngine;
+    use crate::mode::Mode;
+    use eudoxus_backend::BackendMode;
+    use eudoxus_stream::Environment;
+
+    #[test]
+    fn default_build_carries_default_registry_and_cpu_engine() {
+        let session = SessionBuilder::new(PipelineConfig::anchored()).build();
+        assert_eq!(session.registered_modes().len(), 2);
+        assert_eq!(session.engine().name(), "cpu");
+        assert_eq!(
+            session.effective_mode(Environment::OutdoorUnknown),
+            Mode::Vio
+        );
+    }
+
+    #[test]
+    fn map_enables_registration() {
+        let session = SessionBuilder::new(PipelineConfig::anchored())
+            .map(WorldMap::default())
+            .build();
+        assert!(session.backend(BackendMode::Registration).is_some());
+        assert_eq!(
+            session.effective_mode(Environment::IndoorKnown),
+            Mode::Registration
+        );
+    }
+
+    #[test]
+    fn without_default_backends_leaves_only_customs() {
+        let config = PipelineConfig::anchored();
+        let vio = config.vio;
+        let session = SessionBuilder::new(config)
+            .without_default_backends()
+            .backend(move || Vio::new(vio))
+            .build();
+        assert_eq!(session.registered_modes(), vec![BackendMode::Vio]);
+        // Indoor frames degrade all the way to odometry.
+        assert_eq!(
+            session.effective_mode(Environment::IndoorUnknown),
+            Mode::Vio
+        );
+    }
+
+    #[test]
+    fn custom_backend_replaces_same_mode_default() {
+        let config = PipelineConfig::anchored();
+        let vio = config.vio;
+        let session = SessionBuilder::new(config)
+            .backend(move || Vio::new(vio))
+            .build();
+        assert_eq!(session.registered_modes().len(), 2, "no duplicate modes");
+    }
+
+    #[test]
+    fn build_manager_stamps_all_agents_with_limits_and_engine() {
+        let manager = SessionBuilder::new(PipelineConfig::anchored())
+            .engine(ModeledAccelEngine::edx_drone())
+            .ingest_limit(16, OverflowPolicy::Defer)
+            .agent("a")
+            .agent("b")
+            .agent("c")
+            .build_manager();
+        assert_eq!(manager.agent_count(), 3);
+        let ids: Vec<&str> = manager.agent_ids().collect();
+        assert_eq!(ids, vec!["a", "b", "c"], "round-robin order preserved");
+        for stats in manager.ingest_stats() {
+            assert_eq!(stats.capacity, 16);
+        }
+        assert_eq!(
+            manager.session("b").unwrap().engine().name(),
+            "edx-drone"
+        );
+    }
+
+    #[test]
+    fn build_manager_without_agents_is_empty() {
+        let manager = SessionBuilder::new(PipelineConfig::anchored()).build_manager();
+        assert_eq!(manager.agent_count(), 0);
+    }
+}

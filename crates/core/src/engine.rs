@@ -1,0 +1,686 @@
+//! In-loop execution engines: the accelerator model as a live per-frame
+//! decision.
+//!
+//! The paper's runtime (Sec. VI-B) decides *per frame* whether the
+//! localization kernels run on the host CPU or the Eudoxus accelerator.
+//! This module makes that decision part of the streaming session itself:
+//! an [`ExecutionEngine`] is consulted by
+//! [`LocalizationSession::push`](crate::session::LocalizationSession::push)
+//! after every processed frame — it sees the frame's workload counters,
+//! measured stage timings and backend kernel samples, and returns an
+//! [`ExecutionReport`] (chosen target, modeled latency, energy) that
+//! rides on the [`FrameRecord`](crate::instrument::FrameRecord). The
+//! accelerated fps/energy numbers thereby become part of the live
+//! instrumentation stream instead of a separate replay artifact.
+//!
+//! Three engines ship:
+//!
+//! * [`CpuEngine`] — the default: a pure passthrough that attaches no
+//!   report. Sessions built with it are bit-identical to sessions that
+//!   predate the engine seam.
+//! * [`ModeledAccelEngine`] — wraps `eudoxus_accel`'s
+//!   `FrontendEngine`/`BackendEngine`/`Platform` so every pushed frame
+//!   gets a live EDX-CAR / EDX-DRONE latency + energy estimate with all
+//!   offloadable kernels on the fabric ([`OffloadPolicy::Always`]).
+//! * [`ScheduledEngine`] — wraps a trained
+//!   [`RuntimeScheduler`] behind an [`OffloadPolicy`], making the
+//!   regression-based offload decision *inside* `push`, not in replay.
+//!
+//! [`Executor::replay`](crate::executor::Executor::replay) delegates to
+//! the same [`AccelModel::model_frame`] code path, so an in-loop report
+//! and a post-hoc replay of the same [`RunLog`](crate::instrument::RunLog)
+//! are exactly equal — decisions, latencies and energy, bit for bit
+//! (proven by `tests/engine_equivalence.rs`).
+
+use crate::stats::Summary;
+use eudoxus_accel::{
+    BackendEngine, BackendKernelKind, EnergyModel, FrameEnergy, FrameWorkload, FrontendEngine,
+    KernelDims, Platform, PlatformKind, RuntimeScheduler,
+};
+use eudoxus_backend::{Kernel, KernelSample};
+use eudoxus_frontend::{FrameStats, FrontendTiming};
+
+/// Offload policy for the backend kernels.
+#[derive(Debug, Clone)]
+pub enum OffloadPolicy {
+    /// Never offload (backend stays on the host CPU).
+    Never,
+    /// Always offload the three accelerator kernels.
+    Always,
+    /// Use the trained runtime scheduler (paper Sec. VI-B).
+    Scheduled(RuntimeScheduler),
+}
+
+impl OffloadPolicy {
+    /// Short policy name for reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            OffloadPolicy::Never => "never",
+            OffloadPolicy::Always => "always",
+            OffloadPolicy::Scheduled(_) => "scheduled",
+        }
+    }
+}
+
+/// Maps a measured backend kernel onto the accelerator's offloadable kind.
+pub fn offloadable_kind(kernel: Kernel) -> Option<BackendKernelKind> {
+    match kernel {
+        Kernel::KalmanGain => Some(BackendKernelKind::KalmanGain),
+        Kernel::Projection => Some(BackendKernelKind::Projection),
+        Kernel::Marginalization => Some(BackendKernelKind::Marginalization),
+        _ => None,
+    }
+}
+
+/// One frame's measured inputs, as the session hands them to an
+/// [`ExecutionEngine`]: the frontend workload counters (from which the
+/// engine derives its [`FrameWorkload`]), the measured per-stage CPU
+/// timings, and the backend kernel samples with their workload sizes.
+#[derive(Debug, Clone, Copy)]
+pub struct FrameContext<'a> {
+    /// Frontend workload counters of the frame.
+    pub stats: &'a FrameStats,
+    /// Measured per-stage frontend wall-clock times.
+    pub timing: &'a FrontendTiming,
+    /// Measured backend kernel samples (kernel, ms, workload size).
+    pub backend_kernels: &'a [KernelSample],
+}
+
+/// Where a frame's offloadable backend kernels ran.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExecutionTarget {
+    /// Every offloadable kernel stayed on the host CPU (or the frame had
+    /// none).
+    Cpu,
+    /// Every offloadable kernel ran on the accelerator.
+    Accelerator,
+    /// Some kernels offloaded, some stayed — the per-kernel decision the
+    /// runtime scheduler makes.
+    Mixed,
+}
+
+impl std::fmt::Display for ExecutionTarget {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            ExecutionTarget::Cpu => "cpu",
+            ExecutionTarget::Accelerator => "accel",
+            ExecutionTarget::Mixed => "mixed",
+        })
+    }
+}
+
+/// One offloadable kernel invocation's in-loop decision.
+#[derive(Debug, Clone, Copy)]
+pub struct KernelDecision {
+    /// Which accelerator kernel.
+    pub kind: BackendKernelKind,
+    /// Workload size (the scheduler's regressor).
+    pub size: usize,
+    /// Whether the engine chose to offload it.
+    pub offloaded: bool,
+    /// Measured CPU milliseconds of the invocation.
+    pub cpu_ms: f64,
+    /// Modeled accelerator milliseconds (compute + DMA).
+    pub accel_ms: f64,
+}
+
+/// An [`ExecutionEngine`]'s verdict for one frame: where the work ran
+/// (or would run) and what the accelerator model predicts it costs.
+#[derive(Debug, Clone)]
+pub struct ExecutionReport {
+    /// Name of the engine (or policy) that produced the report.
+    pub engine: &'static str,
+    /// Where the offloadable backend kernels were placed.
+    pub target: ExecutionTarget,
+    /// Modeled accelerated frontend latency (ms).
+    pub frontend_ms: f64,
+    /// Backend latency after the offload decisions (ms): modeled time
+    /// for offloaded kernels, measured CPU time for the rest.
+    pub backend_ms: f64,
+    /// Offloadable kernel invocations this frame.
+    pub offloadable: usize,
+    /// How many were actually offloaded.
+    pub offloaded: usize,
+    /// The per-kernel decisions behind the counts.
+    pub decisions: Vec<KernelDecision>,
+    /// Modeled per-frame energy.
+    pub energy: FrameEnergy,
+}
+
+impl ExecutionReport {
+    /// End-to-end (non-pipelined) modeled frame latency (ms).
+    pub fn total_ms(&self) -> f64 {
+        self.frontend_ms + self.backend_ms
+    }
+
+    /// The replay-vocabulary view of this report (drops the per-kernel
+    /// decisions). [`Executor::replay`](crate::executor::Executor::replay)
+    /// produces exactly this for every frame.
+    pub fn accelerated_frame(&self) -> AcceleratedFrame {
+        AcceleratedFrame {
+            frontend_ms: self.frontend_ms,
+            backend_ms: self.backend_ms,
+            offloadable: self.offloadable,
+            offloaded: self.offloaded,
+            energy: self.energy,
+        }
+    }
+}
+
+/// One frame through the accelerator model.
+#[derive(Debug, Clone, Copy)]
+pub struct AcceleratedFrame {
+    /// Modeled frontend latency (ms).
+    pub frontend_ms: f64,
+    /// Backend latency after offload decisions (ms).
+    pub backend_ms: f64,
+    /// Offloadable kernel invocations this frame.
+    pub offloadable: usize,
+    /// How many were actually offloaded.
+    pub offloaded: usize,
+    /// Per-frame energy.
+    pub energy: FrameEnergy,
+}
+
+impl AcceleratedFrame {
+    /// End-to-end (non-pipelined) frame latency (ms).
+    pub fn total_ms(&self) -> f64 {
+        self.frontend_ms + self.backend_ms
+    }
+}
+
+/// A run through the accelerator model — collected from an in-loop
+/// engine's reports
+/// ([`RunLog::execution_run`](crate::instrument::RunLog::execution_run))
+/// or produced by [`Executor::replay`](crate::executor::Executor::replay).
+#[derive(Debug, Clone)]
+pub struct AcceleratedRun {
+    /// Per-frame results, in order.
+    pub frames: Vec<AcceleratedFrame>,
+}
+
+impl AcceleratedRun {
+    /// Total latencies (ms).
+    pub fn total_ms(&self) -> Vec<f64> {
+        self.frames.iter().map(|f| f.total_ms()).collect()
+    }
+
+    /// Latency summary.
+    pub fn summary(&self) -> Summary {
+        Summary::of(&self.total_ms())
+    }
+
+    /// Throughput without frontend↔backend pipelining.
+    pub fn fps_unpipelined(&self) -> f64 {
+        let s = self.summary();
+        if s.mean <= 0.0 {
+            0.0
+        } else {
+            1000.0 / s.mean
+        }
+    }
+
+    /// Throughput with the frontend of frame `i+1` overlapping the backend
+    /// of frame `i` (paper Fig. 18 "w/ Pipelining"): the frame period is
+    /// the slower of the two stages.
+    pub fn fps_pipelined(&self) -> f64 {
+        let periods: Vec<f64> = self
+            .frames
+            .iter()
+            .map(|f| f.frontend_ms.max(f.backend_ms))
+            .collect();
+        let s = Summary::of(&periods);
+        if s.mean <= 0.0 {
+            0.0
+        } else {
+            1000.0 / s.mean
+        }
+    }
+
+    /// Mean energy per frame (joules).
+    pub fn mean_energy(&self) -> f64 {
+        if self.frames.is_empty() {
+            return 0.0;
+        }
+        self.frames.iter().map(|f| f.energy.total()).sum::<f64>() / self.frames.len() as f64
+    }
+
+    /// Fraction of offloadable kernels actually offloaded.
+    pub fn offload_rate(&self) -> f64 {
+        let total: usize = self.frames.iter().map(|f| f.offloadable).sum();
+        let off: usize = self.frames.iter().map(|f| f.offloaded).sum();
+        if total == 0 {
+            0.0
+        } else {
+            off as f64 / total as f64
+        }
+    }
+}
+
+/// The per-frame decision hook a [`LocalizationSession`] consults.
+///
+/// `execute_frame` runs inside
+/// [`push`](crate::session::LocalizationSession::push) for every image
+/// frame, *after* the CPU pipeline has produced its estimate — engines
+/// model and decide, they never change the numerical result, so any
+/// engine-built session stays bit-identical in poses to the default
+/// [`CpuEngine`] one. Returning `None` attaches no report (the CPU
+/// passthrough); returning `Some` puts the report on the frame's
+/// [`FrameRecord`](crate::instrument::FrameRecord).
+///
+/// `fork` produces an independent engine for another session —
+/// [`SessionBuilder::build_manager`](crate::builder::SessionBuilder::build_manager)
+/// uses it to stamp one engine per agent.
+///
+/// [`LocalizationSession`]: crate::session::LocalizationSession
+pub trait ExecutionEngine: Send {
+    /// Short engine name for reports and diagnostics.
+    fn name(&self) -> &'static str;
+
+    /// Models (and, for deciding engines, places) one processed frame.
+    fn execute_frame(&mut self, ctx: &FrameContext<'_>) -> Option<ExecutionReport>;
+
+    /// A fresh, independent engine with the same configuration (for
+    /// another agent's session).
+    fn fork(&self) -> Box<dyn ExecutionEngine>;
+}
+
+/// The shared analytical core every accelerator-backed engine (and the
+/// replay [`Executor`](crate::executor::Executor)) evaluates: workload
+/// construction from the frontend counters, the frontend task-pipeline
+/// latency, per-kernel offload arithmetic, and the energy model. One
+/// implementation — so an in-loop report and a replay of the same log
+/// cannot drift apart.
+#[derive(Debug, Clone)]
+pub struct AccelModel {
+    platform: Platform,
+    frontend: FrontendEngine,
+    backend: BackendEngine,
+    energy: EnergyModel,
+    /// MSCKF error-state dimension used to size Kalman-gain offloads.
+    msckf_state_dim: usize,
+}
+
+impl AccelModel {
+    /// Creates the model for a platform.
+    pub fn new(platform: Platform) -> Self {
+        AccelModel {
+            platform,
+            frontend: FrontendEngine::new(platform),
+            backend: BackendEngine::new(platform),
+            energy: EnergyModel::new(platform),
+            msckf_state_dim: 15 + 6 * 30,
+        }
+    }
+
+    /// The platform being modeled.
+    pub fn platform(&self) -> &Platform {
+        &self.platform
+    }
+
+    /// The backend engine (scheduler experiments need direct access).
+    pub fn backend_engine(&self) -> &BackendEngine {
+        &self.backend
+    }
+
+    /// The accelerator workload implied by one frame's counters, at this
+    /// platform's resolution.
+    pub fn workload(&self, stats: &FrameStats) -> FrameWorkload {
+        FrameWorkload {
+            pixels: self.platform.pixels(),
+            keypoints_left: stats.keypoints_left,
+            keypoints_right: stats.keypoints_right,
+            stereo_matches: stats.stereo_matches,
+            tracks: stats.tracks_continued + stats.tracks_lost,
+            disparity_range: if self.platform.resolution.0 >= 1280 {
+                200
+            } else {
+                100
+            },
+        }
+    }
+
+    /// Accelerator dimensions for one measured kernel sample.
+    pub fn dims_for(&self, kind: BackendKernelKind, size: usize) -> KernelDims {
+        match kind {
+            BackendKernelKind::Projection => KernelDims::Projection { map_points: size },
+            BackendKernelKind::KalmanGain => KernelDims::KalmanGain {
+                rows: size,
+                state: self.msckf_state_dim,
+            },
+            BackendKernelKind::Marginalization => KernelDims::Marginalization {
+                // The recorded size is the marginalized block dimension
+                // 3k + 6.
+                landmarks: size.saturating_sub(6) / 3,
+                remaining: 6 * 5,
+            },
+        }
+    }
+
+    /// Energy of a CPU-only (baseline) frame of the given latency.
+    pub fn baseline_frame_energy(&self, frame_seconds: f64) -> FrameEnergy {
+        self.energy.baseline_frame(frame_seconds)
+    }
+
+    /// Evaluates one frame under an offload policy — the single code
+    /// path behind every engine report and every replayed frame.
+    pub fn model_frame(&self, ctx: &FrameContext<'_>, policy: &OffloadPolicy) -> ExecutionReport {
+        // Frontend through the accelerator.
+        let workload = self.workload(ctx.stats);
+        let fe = self.frontend.latency(&workload);
+        let frontend_ms = fe.total() * 1e3;
+
+        // Backend: offload decisions per kernel sample.
+        let mut backend_ms = 0.0;
+        let mut fpga_backend_s = 0.0;
+        let mut host_backend_s = 0.0;
+        let mut offloadable = 0usize;
+        let mut offloaded = 0usize;
+        let mut decisions = Vec::new();
+        for k in ctx.backend_kernels {
+            match offloadable_kind(k.kernel) {
+                Some(kind) => {
+                    offloadable += 1;
+                    let dims = self.dims_for(kind, k.size);
+                    let accel_ms = self.backend.offload_time(&dims) * 1e3;
+                    let do_offload = match policy {
+                        OffloadPolicy::Never => false,
+                        OffloadPolicy::Always => true,
+                        OffloadPolicy::Scheduled(s) => {
+                            s.decide(&self.backend, &dims).is_offload()
+                        }
+                    };
+                    if do_offload {
+                        offloaded += 1;
+                        backend_ms += accel_ms;
+                        fpga_backend_s += accel_ms * 1e-3;
+                    } else {
+                        backend_ms += k.millis;
+                        host_backend_s += k.millis * 1e-3;
+                    }
+                    decisions.push(KernelDecision {
+                        kind,
+                        size: k.size,
+                        offloaded: do_offload,
+                        cpu_ms: k.millis,
+                        accel_ms,
+                    });
+                }
+                None => {
+                    backend_ms += k.millis;
+                    host_backend_s += k.millis * 1e-3;
+                }
+            }
+        }
+
+        let frame_s = (frontend_ms + backend_ms) * 1e-3;
+        let fpga_s = fe.total() + fpga_backend_s;
+        let energy = self
+            .energy
+            .accelerated_frame(frame_s, fpga_s, host_backend_s);
+        let target = if offloaded == 0 {
+            ExecutionTarget::Cpu
+        } else if offloaded == offloadable {
+            ExecutionTarget::Accelerator
+        } else {
+            ExecutionTarget::Mixed
+        };
+        ExecutionReport {
+            engine: policy.name(),
+            target,
+            frontend_ms,
+            backend_ms,
+            offloadable,
+            offloaded,
+            decisions,
+            energy,
+        }
+    }
+}
+
+/// The default engine: a pure passthrough. No modeling, no report —
+/// sessions built with it are bit-identical to pre-engine sessions.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CpuEngine;
+
+impl ExecutionEngine for CpuEngine {
+    fn name(&self) -> &'static str {
+        "cpu"
+    }
+
+    fn execute_frame(&mut self, _ctx: &FrameContext<'_>) -> Option<ExecutionReport> {
+        None
+    }
+
+    fn fork(&self) -> Box<dyn ExecutionEngine> {
+        Box::new(CpuEngine)
+    }
+}
+
+/// Live EDX-CAR / EDX-DRONE estimate for every pushed frame, with all
+/// offloadable backend kernels placed on the fabric
+/// ([`OffloadPolicy::Always`]) — the "what would the accelerator do with
+/// this exact frame" instrument.
+#[derive(Debug, Clone)]
+pub struct ModeledAccelEngine {
+    model: AccelModel,
+}
+
+impl ModeledAccelEngine {
+    /// Creates the engine for a platform.
+    pub fn new(platform: Platform) -> Self {
+        ModeledAccelEngine {
+            model: AccelModel::new(platform),
+        }
+    }
+
+    /// The self-driving-car instance.
+    pub fn edx_car() -> Self {
+        ModeledAccelEngine::new(Platform::edx_car())
+    }
+
+    /// The drone instance.
+    pub fn edx_drone() -> Self {
+        ModeledAccelEngine::new(Platform::edx_drone())
+    }
+
+    /// The underlying model.
+    pub fn model(&self) -> &AccelModel {
+        &self.model
+    }
+}
+
+impl ExecutionEngine for ModeledAccelEngine {
+    fn name(&self) -> &'static str {
+        match self.model.platform().kind {
+            PlatformKind::EdxCar => "edx-car",
+            PlatformKind::EdxDrone => "edx-drone",
+        }
+    }
+
+    fn execute_frame(&mut self, ctx: &FrameContext<'_>) -> Option<ExecutionReport> {
+        let mut report = self.model.model_frame(ctx, &OffloadPolicy::Always);
+        report.engine = self.name();
+        Some(report)
+    }
+
+    fn fork(&self) -> Box<dyn ExecutionEngine> {
+        Box::new(self.clone())
+    }
+}
+
+/// The paper's runtime offload scheduler, in the loop: every pushed
+/// frame's offloadable kernels are individually placed by the trained
+/// regression models (or a fixed [`OffloadPolicy`]), and the resulting
+/// report rides on the frame record —
+/// [`Executor::replay`](crate::executor::Executor::replay) of the same
+/// log reproduces it exactly.
+#[derive(Debug, Clone)]
+pub struct ScheduledEngine {
+    model: AccelModel,
+    policy: OffloadPolicy,
+}
+
+impl ScheduledEngine {
+    /// An engine driving a trained scheduler on a platform.
+    pub fn new(platform: Platform, scheduler: RuntimeScheduler) -> Self {
+        ScheduledEngine::with_policy(platform, OffloadPolicy::Scheduled(scheduler))
+    }
+
+    /// An engine with an explicit policy (e.g. [`OffloadPolicy::Always`]
+    /// as the untrained fallback).
+    pub fn with_policy(platform: Platform, policy: OffloadPolicy) -> Self {
+        ScheduledEngine {
+            model: AccelModel::new(platform),
+            policy,
+        }
+    }
+
+    /// Shares an existing model (the replay executor's delegation path).
+    pub(crate) fn from_model(model: AccelModel, policy: OffloadPolicy) -> Self {
+        ScheduledEngine { model, policy }
+    }
+
+    /// The offload policy in force.
+    pub fn policy(&self) -> &OffloadPolicy {
+        &self.policy
+    }
+
+    /// The underlying model.
+    pub fn model(&self) -> &AccelModel {
+        &self.model
+    }
+}
+
+impl ExecutionEngine for ScheduledEngine {
+    fn name(&self) -> &'static str {
+        self.policy.name()
+    }
+
+    fn execute_frame(&mut self, ctx: &FrameContext<'_>) -> Option<ExecutionReport> {
+        Some(self.model.model_frame(ctx, &self.policy))
+    }
+
+    fn fork(&self) -> Box<dyn ExecutionEngine> {
+        Box::new(self.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ctx_inputs() -> (FrameStats, FrontendTiming, Vec<KernelSample>) {
+        let stats = FrameStats {
+            keypoints_left: 350,
+            keypoints_right: 350,
+            stereo_matches: 260,
+            tracks_continued: 280,
+            tracks_spawned: 40,
+            tracks_lost: 30,
+        };
+        let kernels = vec![
+            KernelSample {
+                kernel: Kernel::ImuIntegration,
+                millis: 2.0,
+                size: 20,
+            },
+            KernelSample {
+                kernel: Kernel::KalmanGain,
+                millis: 25.0,
+                size: 200,
+            },
+        ];
+        (stats, FrontendTiming::default(), kernels)
+    }
+
+    #[test]
+    fn cpu_engine_is_a_passthrough() {
+        let (stats, timing, kernels) = ctx_inputs();
+        let mut engine = CpuEngine;
+        assert_eq!(engine.name(), "cpu");
+        assert!(engine
+            .execute_frame(&FrameContext {
+                stats: &stats,
+                timing: &timing,
+                backend_kernels: &kernels,
+            })
+            .is_none());
+    }
+
+    #[test]
+    fn modeled_engine_reports_always_offload() {
+        let (stats, timing, kernels) = ctx_inputs();
+        let mut engine = ModeledAccelEngine::edx_car();
+        assert_eq!(engine.name(), "edx-car");
+        let report = engine
+            .execute_frame(&FrameContext {
+                stats: &stats,
+                timing: &timing,
+                backend_kernels: &kernels,
+            })
+            .expect("modeled engine always reports");
+        assert_eq!(report.offloadable, 1);
+        assert_eq!(report.offloaded, 1);
+        assert_eq!(report.target, ExecutionTarget::Accelerator);
+        assert_eq!(report.decisions.len(), 1);
+        assert!(report.decisions[0].offloaded);
+        assert!(report.frontend_ms > 0.0);
+        assert!(report.energy.total() > 0.0);
+        // The non-offloadable IMU integration stays at its measured cost.
+        assert!(report.backend_ms >= 2.0);
+    }
+
+    #[test]
+    fn never_policy_keeps_measured_backend_cost() {
+        let (stats, timing, kernels) = ctx_inputs();
+        let mut engine =
+            ScheduledEngine::with_policy(Platform::edx_drone(), OffloadPolicy::Never);
+        assert_eq!(engine.name(), "never");
+        let report = engine
+            .execute_frame(&FrameContext {
+                stats: &stats,
+                timing: &timing,
+                backend_kernels: &kernels,
+            })
+            .unwrap();
+        assert_eq!(report.offloaded, 0);
+        assert_eq!(report.target, ExecutionTarget::Cpu);
+        assert!((report.backend_ms - 27.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn forked_engines_report_identically() {
+        let (stats, timing, kernels) = ctx_inputs();
+        let ctx = FrameContext {
+            stats: &stats,
+            timing: &timing,
+            backend_kernels: &kernels,
+        };
+        let mut original = ModeledAccelEngine::edx_drone();
+        let mut fork = original.fork();
+        let a = original.execute_frame(&ctx).unwrap();
+        let b = fork.execute_frame(&ctx).unwrap();
+        assert_eq!(a.frontend_ms.to_bits(), b.frontend_ms.to_bits());
+        assert_eq!(a.backend_ms.to_bits(), b.backend_ms.to_bits());
+        assert_eq!(a.energy.total().to_bits(), b.energy.total().to_bits());
+    }
+
+    #[test]
+    fn report_converts_to_accelerated_frame() {
+        let (stats, timing, kernels) = ctx_inputs();
+        let report = AccelModel::new(Platform::edx_car()).model_frame(
+            &FrameContext {
+                stats: &stats,
+                timing: &timing,
+                backend_kernels: &kernels,
+            },
+            &OffloadPolicy::Always,
+        );
+        let frame = report.accelerated_frame();
+        assert_eq!(frame.frontend_ms.to_bits(), report.frontend_ms.to_bits());
+        assert_eq!(frame.backend_ms.to_bits(), report.backend_ms.to_bits());
+        assert_eq!(frame.offloaded, report.offloaded);
+        assert_eq!(frame.total_ms().to_bits(), report.total_ms().to_bits());
+    }
+}

@@ -1,5 +1,5 @@
-//! Accelerated execution: replaying a measured CPU run through the
-//! accelerator models.
+//! Accelerated execution, replay flavor: re-scoring a measured CPU run
+//! through the accelerator models.
 //!
 //! The evaluation methodology mirrors the paper's: the *baseline* numbers
 //! are real measurements of the software pipeline; the *accelerated*
@@ -7,154 +7,51 @@
 //! — frontend task pipeline, backend matrix engine, runtime offload
 //! scheduler, and the energy model. This module produces the data behind
 //! Figs. 17–21 and the scheduler study of Sec. VII-F.
+//!
+//! Since the in-loop redesign the per-frame modeling itself lives in
+//! [`crate::engine`]: [`Executor::replay`] builds a [`ScheduledEngine`]
+//! over its platform model and feeds it the log's records — exactly the
+//! code path a live session with that engine runs — so replayed numbers
+//! and in-loop [`ExecutionReport`](crate::engine::ExecutionReport)s can
+//! never drift apart. Prefer attaching an engine via
+//! [`SessionBuilder::engine`](crate::builder::SessionBuilder::engine)
+//! when the stream is live; use the replay executor to re-score recorded
+//! logs under different policies or platforms, and to train the
+//! scheduler.
 
+use crate::engine::{offloadable_kind, AccelModel, FrameContext, ScheduledEngine};
 use crate::instrument::RunLog;
-use crate::stats::Summary;
-use eudoxus_accel::{
-    BackendEngine, BackendKernelKind, EnergyModel, FrameEnergy, FrameWorkload, FrontendEngine,
-    KernelDims, Platform, RuntimeScheduler, TrainingSample,
-};
-use eudoxus_backend::Kernel;
+use eudoxus_accel::{BackendEngine, Platform, RuntimeScheduler, TrainingSample};
 
-/// Offload policy for the backend kernels.
-#[derive(Debug, Clone)]
-pub enum OffloadPolicy {
-    /// Never offload (backend stays on the host CPU).
-    Never,
-    /// Always offload the three accelerator kernels.
-    Always,
-    /// Use the trained runtime scheduler (paper Sec. VI-B).
-    Scheduled(RuntimeScheduler),
-}
-
-/// One frame replayed through the accelerator.
-#[derive(Debug, Clone, Copy)]
-pub struct AcceleratedFrame {
-    /// Modeled frontend latency (ms).
-    pub frontend_ms: f64,
-    /// Backend latency after offload decisions (ms).
-    pub backend_ms: f64,
-    /// Offloadable kernel invocations this frame.
-    pub offloadable: usize,
-    /// How many were actually offloaded.
-    pub offloaded: usize,
-    /// Per-frame energy.
-    pub energy: FrameEnergy,
-}
-
-impl AcceleratedFrame {
-    /// End-to-end (non-pipelined) frame latency (ms).
-    pub fn total_ms(&self) -> f64 {
-        self.frontend_ms + self.backend_ms
-    }
-}
-
-/// A replayed run.
-#[derive(Debug, Clone)]
-pub struct AcceleratedRun {
-    /// Per-frame results, in order.
-    pub frames: Vec<AcceleratedFrame>,
-}
-
-impl AcceleratedRun {
-    /// Total latencies (ms).
-    pub fn total_ms(&self) -> Vec<f64> {
-        self.frames.iter().map(|f| f.total_ms()).collect()
-    }
-
-    /// Latency summary.
-    pub fn summary(&self) -> Summary {
-        Summary::of(&self.total_ms())
-    }
-
-    /// Throughput without frontend↔backend pipelining.
-    pub fn fps_unpipelined(&self) -> f64 {
-        let s = self.summary();
-        if s.mean <= 0.0 {
-            0.0
-        } else {
-            1000.0 / s.mean
-        }
-    }
-
-    /// Throughput with the frontend of frame `i+1` overlapping the backend
-    /// of frame `i` (paper Fig. 18 "w/ Pipelining"): the frame period is
-    /// the slower of the two stages.
-    pub fn fps_pipelined(&self) -> f64 {
-        let periods: Vec<f64> = self
-            .frames
-            .iter()
-            .map(|f| f.frontend_ms.max(f.backend_ms))
-            .collect();
-        let s = Summary::of(&periods);
-        if s.mean <= 0.0 {
-            0.0
-        } else {
-            1000.0 / s.mean
-        }
-    }
-
-    /// Mean energy per frame (joules).
-    pub fn mean_energy(&self) -> f64 {
-        if self.frames.is_empty() {
-            return 0.0;
-        }
-        self.frames.iter().map(|f| f.energy.total()).sum::<f64>() / self.frames.len() as f64
-    }
-
-    /// Fraction of offloadable kernels actually offloaded.
-    pub fn offload_rate(&self) -> f64 {
-        let total: usize = self.frames.iter().map(|f| f.offloadable).sum();
-        let off: usize = self.frames.iter().map(|f| f.offloaded).sum();
-        if total == 0 {
-            0.0
-        } else {
-            off as f64 / total as f64
-        }
-    }
-}
-
-/// Maps a measured backend kernel onto the accelerator's offloadable kind.
-fn offloadable_kind(kernel: Kernel) -> Option<BackendKernelKind> {
-    match kernel {
-        Kernel::KalmanGain => Some(BackendKernelKind::KalmanGain),
-        Kernel::Projection => Some(BackendKernelKind::Projection),
-        Kernel::Marginalization => Some(BackendKernelKind::Marginalization),
-        _ => None,
-    }
-}
+pub use crate::engine::{AcceleratedFrame, AcceleratedRun, ExecutionEngine, OffloadPolicy};
 
 /// The accelerated executor for one platform.
 #[derive(Debug, Clone)]
 pub struct Executor {
-    platform: Platform,
-    frontend: FrontendEngine,
-    backend: BackendEngine,
-    energy: EnergyModel,
-    /// MSCKF error-state dimension used to size Kalman-gain offloads.
-    msckf_state_dim: usize,
+    model: AccelModel,
 }
 
 impl Executor {
     /// Creates an executor for a platform.
     pub fn new(platform: Platform) -> Self {
         Executor {
-            platform,
-            frontend: FrontendEngine::new(platform),
-            backend: BackendEngine::new(platform),
-            energy: EnergyModel::new(platform),
-            msckf_state_dim: 15 + 6 * 30,
+            model: AccelModel::new(platform),
         }
     }
 
     /// The platform being modeled.
     pub fn platform(&self) -> &Platform {
-        &self.platform
+        self.model.platform()
     }
 
     /// The backend engine (scheduler experiments need direct access).
     pub fn backend_engine(&self) -> &BackendEngine {
-        &self.backend
+        self.model.backend_engine()
+    }
+
+    /// The shared per-frame accelerator model.
+    pub fn model(&self) -> &AccelModel {
+        &self.model
     }
 
     /// Builds scheduler training samples from the first
@@ -182,92 +79,30 @@ impl Executor {
         RuntimeScheduler::train(&self.training_samples(log, train_fraction))
     }
 
-    /// Accelerator dimensions for one measured kernel sample.
-    fn dims_for(&self, kind: BackendKernelKind, size: usize) -> KernelDims {
-        match kind {
-            BackendKernelKind::Projection => KernelDims::Projection { map_points: size },
-            BackendKernelKind::KalmanGain => KernelDims::KalmanGain {
-                rows: size,
-                state: self.msckf_state_dim,
-            },
-            BackendKernelKind::Marginalization => KernelDims::Marginalization {
-                // The recorded size is the marginalized block dimension
-                // 3k + 6.
-                landmarks: size.saturating_sub(6) / 3,
-                remaining: 6 * 5,
-            },
-        }
+    /// An in-loop engine sharing this executor's platform model: attach
+    /// it to a [`SessionBuilder`](crate::builder::SessionBuilder) and
+    /// every live frame gets the decision `replay` would make post hoc.
+    pub fn in_loop_engine(&self, policy: OffloadPolicy) -> ScheduledEngine {
+        ScheduledEngine::from_model(self.model.clone(), policy)
     }
 
-    /// Replays a measured run under an offload policy.
+    /// Replays a measured run under an offload policy, by feeding each
+    /// record through the same [`ScheduledEngine`] code path a live
+    /// session runs.
     pub fn replay(&self, log: &RunLog, policy: &OffloadPolicy) -> AcceleratedRun {
+        let mut engine = self.in_loop_engine(policy.clone());
         let frames = log
             .records
             .iter()
             .map(|r| {
-                // Frontend through the accelerator.
-                let workload = FrameWorkload {
-                    pixels: self.platform.pixels(),
-                    keypoints_left: r.frontend_stats.keypoints_left,
-                    keypoints_right: r.frontend_stats.keypoints_right,
-                    stereo_matches: r.frontend_stats.stereo_matches,
-                    tracks: r.frontend_stats.tracks_continued + r.frontend_stats.tracks_lost,
-                    disparity_range: if self.platform.resolution.0 >= 1280 {
-                        200
-                    } else {
-                        100
-                    },
-                };
-                let fe = self.frontend.latency(&workload);
-                let frontend_ms = fe.total() * 1e3;
-
-                // Backend: offload decisions per kernel sample.
-                let mut backend_ms = 0.0;
-                let mut fpga_backend_s = 0.0;
-                let mut host_backend_s = 0.0;
-                let mut offloadable = 0usize;
-                let mut offloaded = 0usize;
-                for k in &r.backend_kernels {
-                    match offloadable_kind(k.kernel) {
-                        Some(kind) => {
-                            offloadable += 1;
-                            let dims = self.dims_for(kind, k.size);
-                            let accel_ms = self.backend.offload_time(&dims) * 1e3;
-                            let do_offload = match policy {
-                                OffloadPolicy::Never => false,
-                                OffloadPolicy::Always => true,
-                                OffloadPolicy::Scheduled(s) => {
-                                    s.decide(&self.backend, &dims).is_offload()
-                                }
-                            };
-                            if do_offload {
-                                offloaded += 1;
-                                backend_ms += accel_ms;
-                                fpga_backend_s += accel_ms * 1e-3;
-                            } else {
-                                backend_ms += k.millis;
-                                host_backend_s += k.millis * 1e-3;
-                            }
-                        }
-                        None => {
-                            backend_ms += k.millis;
-                            host_backend_s += k.millis * 1e-3;
-                        }
-                    }
-                }
-
-                let frame_s = (frontend_ms + backend_ms) * 1e-3;
-                let fpga_s = fe.total() + fpga_backend_s;
-                let energy = self
-                    .energy
-                    .accelerated_frame(frame_s, fpga_s, host_backend_s);
-                AcceleratedFrame {
-                    frontend_ms,
-                    backend_ms,
-                    offloadable,
-                    offloaded,
-                    energy,
-                }
+                engine
+                    .execute_frame(&FrameContext {
+                        stats: &r.frontend_stats,
+                        timing: &r.frontend_timing,
+                        backend_kernels: &r.backend_kernels,
+                    })
+                    .expect("a scheduled engine reports every frame")
+                    .accelerated_frame()
             })
             .collect();
         AcceleratedRun { frames }
@@ -280,7 +115,7 @@ impl Executor {
         }
         log.records
             .iter()
-            .map(|r| self.energy.baseline_frame(r.total_ms() * 1e-3).total())
+            .map(|r| self.model.baseline_frame_energy(r.total_ms() * 1e-3).total())
             .sum::<f64>()
             / log.len() as f64
     }
@@ -291,7 +126,7 @@ mod tests {
     use super::*;
     use crate::instrument::FrameRecord;
     use crate::mode::Mode;
-    use eudoxus_backend::KernelSample;
+    use eudoxus_backend::{Kernel, KernelSample};
     use eudoxus_frontend::{FrameStats, FrontendTiming};
     use eudoxus_geometry::Pose;
     use eudoxus_stream::Environment;
@@ -339,6 +174,7 @@ mod tests {
                 ground_truth: Pose::identity(),
                 has_ground_truth: true,
                 tracking: true,
+                execution: None,
             });
         }
         log
@@ -405,6 +241,36 @@ mod tests {
         // Backend times must equal the measured CPU times.
         for (f, r) in run.frames.iter().zip(&log.records) {
             assert!((f.backend_ms - r.backend_ms()).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn replay_equals_in_loop_engine_on_the_same_log() {
+        // The delegation contract: replay(log) is literally the engine
+        // run over the log's records — every modeled number matches at
+        // the bit level.
+        let log = synthetic_log(25);
+        let exec = Executor::new(Platform::edx_drone());
+        let sched = exec.train_scheduler(&log, 0.25).expect("trainable");
+        let policy = OffloadPolicy::Scheduled(sched);
+        let replayed = exec.replay(&log, &policy);
+        let mut engine = exec.in_loop_engine(policy);
+        for (frame, record) in replayed.frames.iter().zip(&log.records) {
+            let report = engine
+                .execute_frame(&FrameContext {
+                    stats: &record.frontend_stats,
+                    timing: &record.frontend_timing,
+                    backend_kernels: &record.backend_kernels,
+                })
+                .unwrap();
+            assert_eq!(report.frontend_ms.to_bits(), frame.frontend_ms.to_bits());
+            assert_eq!(report.backend_ms.to_bits(), frame.backend_ms.to_bits());
+            assert_eq!(report.offloaded, frame.offloaded);
+            assert_eq!(report.offloadable, frame.offloadable);
+            assert_eq!(
+                report.energy.total().to_bits(),
+                frame.energy.total().to_bits()
+            );
         }
     }
 }

@@ -1,6 +1,7 @@
 //! Per-frame instrumentation records — the raw material of every
 //! characterization figure.
 
+use crate::engine::{AcceleratedRun, ExecutionReport};
 use crate::metrics;
 use crate::mode::Mode;
 use crate::stats::Summary;
@@ -65,6 +66,13 @@ pub struct FrameRecord {
     pub frontend_stats: FrameStats,
     /// Backend kernel samples (kernel, ms, workload size).
     pub backend_kernels: Vec<KernelSample>,
+    /// The in-loop execution engine's verdict for this frame (chosen
+    /// target, modeled accelerated latency, energy). `None` under the
+    /// default passthrough [`CpuEngine`](crate::engine::CpuEngine);
+    /// attach a modeled engine via
+    /// [`SessionBuilder::engine`](crate::builder::SessionBuilder::engine)
+    /// to populate it.
+    pub execution: Option<ExecutionReport>,
     /// Estimated pose.
     pub pose: Pose,
     /// Ground-truth pose. Only meaningful when
@@ -223,6 +231,28 @@ impl RunLog {
         metrics::relative_error_percent(&est, &gt)
     }
 
+    /// Collects the in-loop [`ExecutionReport`]s carried by this log's
+    /// records into an [`AcceleratedRun`] — the live counterpart of
+    /// [`Executor::replay`](crate::executor::Executor::replay), giving
+    /// modeled accelerated fps (pipelined/unpipelined), energy and
+    /// offload rate straight from the instrumentation stream. `None`
+    /// when no record carries a report (the default [`CpuEngine`]
+    /// passthrough); frames without a report are skipped otherwise.
+    ///
+    /// [`CpuEngine`]: crate::engine::CpuEngine
+    pub fn execution_run(&self) -> Option<AcceleratedRun> {
+        let frames: Vec<_> = self
+            .records
+            .iter()
+            .filter_map(|r| r.execution.as_ref().map(ExecutionReport::accelerated_frame))
+            .collect();
+        if frames.is_empty() {
+            None
+        } else {
+            Some(AcceleratedRun { frames })
+        }
+    }
+
     /// Latency summary (total ms) over all frames or one mode.
     pub fn latency_summary(&self, mode: Option<Mode>) -> Summary {
         Summary::of(&self.total_ms(mode))
@@ -257,6 +287,7 @@ mod tests {
             },
             frontend_stats: FrameStats::default(),
             backend_kernels: kernels,
+            execution: None,
             pose: Pose::identity(),
             ground_truth: Pose::identity(),
             has_ground_truth: true,

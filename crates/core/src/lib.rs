@@ -11,6 +11,13 @@
 //!   many concurrent agents, ingests `eudoxus_stream::StreamMux`-merged
 //!   event sources with bounded, backpressure-counted per-agent queues,
 //!   and drains them across worker threads;
+//! * [`builder`] — the one construction surface: a [`SessionBuilder`]
+//!   that assembles sessions, managers and batch systems (engine, map,
+//!   backends, agents, ingest bounds) in one fluent chain;
+//! * [`engine`] — in-loop execution: the [`ExecutionEngine`] consulted
+//!   by `push` for every frame, with the passthrough [`CpuEngine`], the
+//!   always-offload [`ModeledAccelEngine`] and the paper's
+//!   regression-scheduled [`ScheduledEngine`];
 //! * [`mode`] — mode selection from the environment;
 //! * [`pipeline`] — the batch adapter: `Eudoxus::process_dataset`
 //!   replays a recorded dataset through a session, with full per-kernel
@@ -31,13 +38,13 @@
 //!
 //! ```no_run
 //! # #[cfg(feature = "sim")] {
-//! use eudoxus_core::{Eudoxus, PipelineConfig};
+//! use eudoxus_core::{PipelineConfig, SessionBuilder};
 //! use eudoxus_sim::{ScenarioBuilder, ScenarioKind};
 //!
 //! let dataset = ScenarioBuilder::new(ScenarioKind::OutdoorUnknown)
 //!     .frames(30)
 //!     .build();
-//! let mut system = Eudoxus::new(PipelineConfig::default());
+//! let mut system = SessionBuilder::new(PipelineConfig::default()).build_batch();
 //! let log = system.process_dataset(&dataset);
 //! println!("RMSE: {:.3} m", log.translation_rmse());
 //! # }
@@ -46,22 +53,57 @@
 //! # Streaming example
 //!
 //! Feed sensor events one at a time — the shape a live deployment uses
-//! (here the events come from a replayed dataset):
+//! (here the events come from a replayed dataset). Attaching a modeled
+//! engine makes every record carry a live accelerator estimate:
 //!
 //! ```no_run
-//! use eudoxus_core::{LocalizationSession, PipelineConfig};
+//! use eudoxus_core::{ModeledAccelEngine, PipelineConfig, SessionBuilder};
 //! use eudoxus_sim::{ScenarioBuilder, ScenarioKind};
 //!
 //! let dataset = ScenarioBuilder::new(ScenarioKind::OutdoorUnknown)
 //!     .frames(30)
 //!     .build();
-//! let mut session = LocalizationSession::new(PipelineConfig::default());
+//! let mut session = SessionBuilder::new(PipelineConfig::default())
+//!     .engine(ModeledAccelEngine::edx_drone())
+//!     .build();
 //! for event in dataset.events() {
 //!     if let Some(record) = session.push(event) {
-//!         println!("frame {} via {}: {:?}", record.index, record.mode, record.pose);
+//!         let accel = record.execution.as_ref().expect("modeled engine reports");
+//!         println!(
+//!             "frame {} via {}: measured {:.1} ms, modeled {:.1} ms on {}",
+//!             record.index,
+//!             record.mode,
+//!             record.total_ms(),
+//!             accel.total_ms(),
+//!             accel.engine,
+//!         );
 //!     }
 //! }
 //! ```
+//!
+//! # Migrating to `SessionBuilder` (the in-loop offload redesign)
+//!
+//! Construction is now one fluent surface; the old constructors remain
+//! as deprecated shims that forward to it:
+//!
+//! | Before | After |
+//! |---|---|
+//! | `LocalizationSession::new(cfg)` | `SessionBuilder::new(cfg).build()` |
+//! | `LocalizationSession::new(cfg).with_map(map)` | `SessionBuilder::new(cfg).map(map).build()` |
+//! | `LocalizationSession::with_registry(cfg, vec![Box::new(MyVio::new(v))])` | `SessionBuilder::new(cfg).without_default_backends().backend(move \|\| MyVio::new(v)).build()` |
+//! | `Eudoxus::new(cfg)` | `SessionBuilder::new(cfg).build_batch()` |
+//! | `Eudoxus::new(cfg).with_map(map)` | `SessionBuilder::new(cfg).map(map).build_batch()` |
+//! | `manager.add_agent(id, session)` + `manager.set_ingest_limit(id, n, p)` | `SessionBuilder::new(cfg).ingest_limit(n, p).agent(id).build_manager()` |
+//! | `manager.enqueue(id, event)` (lossy bool) | `manager.try_enqueue(id, event)` (reports, hands refusals back) |
+//!
+//! `register`, `add_agent` and `set_ingest_limit` stay un-deprecated:
+//! they are *runtime mutation* (hot-swapping an estimator, an agent
+//! joining a running manager), which the construction-time builder does
+//! not replace. New with the redesign: `.engine(..)` selects the
+//! in-loop [`ExecutionEngine`] (default [`CpuEngine`], a passthrough
+//! that keeps sessions bit-identical to the pre-engine API), and
+//! `RunLog::execution_run()` turns the engine's per-frame reports into
+//! the same `AcceleratedRun` the replay executor produces.
 //!
 //! # Migrating from the pre-streaming API
 //!
@@ -96,6 +138,8 @@
 //! manual control); backpressure counters surface through
 //! [`SessionManager::ingest_stats`].
 
+pub mod builder;
+pub mod engine;
 pub mod executor;
 pub mod instrument;
 #[cfg(feature = "sim")]
@@ -106,7 +150,13 @@ pub mod pipeline;
 pub mod session;
 pub mod stats;
 
-pub use executor::{AcceleratedFrame, AcceleratedRun, Executor};
+pub use builder::SessionBuilder;
+pub use engine::{
+    AccelModel, AcceleratedFrame, AcceleratedRun, CpuEngine, ExecutionEngine, ExecutionReport,
+    ExecutionTarget, FrameContext, KernelDecision, ModeledAccelEngine, OffloadPolicy,
+    ScheduledEngine,
+};
+pub use executor::Executor;
 pub use instrument::{FrameRecord, IngestSnapshot, RunLog};
 #[cfg(feature = "sim")]
 pub use mapping::build_map;

@@ -5,7 +5,8 @@
 //! helper performs that survey pass: run the pipeline in SLAM mode over a
 //! dataset and persist the resulting map.
 
-use crate::pipeline::{Eudoxus, PipelineConfig};
+use crate::builder::SessionBuilder;
+use crate::pipeline::PipelineConfig;
 use eudoxus_backend::WorldMap;
 use eudoxus_sim::{Dataset, Environment};
 
@@ -22,7 +23,7 @@ pub fn build_map(dataset: &Dataset, config: &PipelineConfig) -> WorldMap {
     for s in &mut survey.segments {
         s.environment = Environment::IndoorUnknown;
     }
-    let mut system = Eudoxus::new(config.clone());
+    let mut system = SessionBuilder::new(config.clone()).build_batch();
     let _ = system.process_dataset(&survey);
     system
         .persisted_map()

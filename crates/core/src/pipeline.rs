@@ -20,7 +20,7 @@
 use crate::instrument::RunLog;
 use crate::mode::Mode;
 use crate::session::LocalizationSession;
-use eudoxus_backend::{RegistrationConfig, SlamConfig, VioConfig, WorldMap};
+use eudoxus_backend::{Registration, RegistrationConfig, SlamConfig, VioConfig, WorldMap};
 use eudoxus_frontend::FrontendConfig;
 #[cfg(feature = "sim")]
 use eudoxus_sim::Dataset;
@@ -58,7 +58,10 @@ impl PipelineConfig {
 /// The unified localization system, batch flavor: a thin adapter that
 /// replays datasets through a [`LocalizationSession`].
 ///
-/// Prefer driving a [`LocalizationSession`] directly (or a
+/// Construct it from a built session —
+/// `SessionBuilder::new(config).build_batch()` or
+/// [`Eudoxus::from_session`] — so engine, map and backends are chosen in
+/// one place. Prefer driving a [`LocalizationSession`] directly (or a
 /// [`SessionManager`](crate::session::SessionManager) for many agents)
 /// when the input is a live stream rather than a recorded dataset.
 pub struct Eudoxus {
@@ -72,17 +75,33 @@ impl std::fmt::Debug for Eudoxus {
 }
 
 impl Eudoxus {
+    /// Wraps an already-built streaming session — the construction path
+    /// [`SessionBuilder::build_batch`](crate::builder::SessionBuilder::build_batch)
+    /// uses.
+    pub fn from_session(session: LocalizationSession) -> Self {
+        Eudoxus { session }
+    }
+
     /// Creates a system without a map (registration mode unavailable; the
     /// mode selector then falls back to SLAM for indoor-known segments).
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `SessionBuilder::new(config).build_batch()` — the builder \
+                also selects the in-loop execution engine and a persisted map"
+    )]
     pub fn new(config: PipelineConfig) -> Self {
-        Eudoxus {
-            session: LocalizationSession::new(config),
-        }
+        crate::builder::SessionBuilder::new(config).build_batch()
     }
 
     /// Installs a persisted map, enabling registration mode.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `SessionBuilder::new(config).map(map).build_batch()`"
+    )]
     pub fn with_map(mut self, map: WorldMap) -> Self {
-        self.session = self.session.with_map(map);
+        let cfg = self.session.config().registration;
+        self.session
+            .register(Box::new(Registration::new(map, cfg)));
         self
     }
 
@@ -139,6 +158,7 @@ impl Eudoxus {
 #[cfg(all(test, feature = "sim"))]
 mod tests {
     use super::*;
+    use crate::builder::SessionBuilder;
     use eudoxus_sim::{Environment, Platform, ScenarioBuilder, ScenarioKind};
 
     fn dataset(kind: ScenarioKind, frames: usize) -> Dataset {
@@ -152,7 +172,7 @@ mod tests {
     #[test]
     fn outdoor_runs_vio_and_stays_accurate() {
         let data = dataset(ScenarioKind::OutdoorUnknown, 6);
-        let mut system = Eudoxus::new(PipelineConfig::anchored());
+        let mut system = SessionBuilder::new(PipelineConfig::anchored()).build_batch();
         let log = system.process_dataset(&data);
         assert_eq!(log.len(), 6);
         assert!(log.records.iter().all(|r| r.mode == Mode::Vio));
@@ -163,7 +183,7 @@ mod tests {
     #[test]
     fn indoor_unknown_runs_slam() {
         let data = dataset(ScenarioKind::IndoorUnknown, 5);
-        let mut system = Eudoxus::new(PipelineConfig::anchored());
+        let mut system = SessionBuilder::new(PipelineConfig::anchored()).build_batch();
         let log = system.process_dataset(&data);
         assert!(log.records.iter().all(|r| r.mode == Mode::Slam));
         let rmse = log.translation_rmse();
@@ -173,7 +193,7 @@ mod tests {
     #[test]
     fn indoor_known_without_map_degrades_to_slam() {
         let data = dataset(ScenarioKind::IndoorKnown, 2);
-        let mut system = Eudoxus::new(PipelineConfig::anchored());
+        let mut system = SessionBuilder::new(PipelineConfig::anchored()).build_batch();
         let log = system.process_dataset(&data);
         assert!(log.records.iter().all(|r| r.mode == Mode::Slam));
     }
@@ -184,7 +204,7 @@ mod tests {
         // Mapping pass (SLAM over the same traversal), then registration.
         let map = crate::mapping::build_map(&data, &PipelineConfig::anchored());
         assert!(!map.points.is_empty());
-        let mut system = Eudoxus::new(PipelineConfig::anchored()).with_map(map);
+        let mut system = SessionBuilder::new(PipelineConfig::anchored()).map(map).build_batch();
         let log = system.process_dataset(&data);
         assert!(log.records.iter().all(|r| r.mode == Mode::Registration));
         let tracked = log.records.iter().filter(|r| r.tracking).count();
@@ -198,7 +218,7 @@ mod tests {
             .seed(3)
             .platform(Platform::Drone)
             .build();
-        let mut system = Eudoxus::new(PipelineConfig::anchored());
+        let mut system = SessionBuilder::new(PipelineConfig::anchored()).build_batch();
         let log = system.process_dataset(&data);
         let modes: Vec<Mode> = log.records.iter().map(|r| r.mode).collect();
         assert!(modes.contains(&Mode::Vio));
@@ -214,7 +234,7 @@ mod tests {
     #[test]
     fn kernels_recorded_per_mode() {
         let data = dataset(ScenarioKind::OutdoorUnknown, 4);
-        let mut system = Eudoxus::new(PipelineConfig::anchored());
+        let mut system = SessionBuilder::new(PipelineConfig::anchored()).build_batch();
         let log = system.process_dataset(&data);
         // Every VIO frame must at least run IMU integration.
         for r in &log.records {
@@ -230,7 +250,7 @@ mod tests {
     #[test]
     fn repeated_replays_restart_frame_indices() {
         let data = dataset(ScenarioKind::OutdoorUnknown, 3);
-        let mut system = Eudoxus::new(PipelineConfig::anchored());
+        let mut system = SessionBuilder::new(PipelineConfig::anchored()).build_batch();
         let first = system.process_dataset(&data);
         let second = system.process_dataset(&data);
         assert_eq!(first.records[0].index, 0);

@@ -24,6 +24,7 @@
 //!
 //! [`EventSource`]: eudoxus_stream::EventSource
 
+use crate::engine::{CpuEngine, ExecutionEngine, FrameContext};
 use crate::instrument::{FrameRecord, IngestSnapshot};
 use crate::mode::Mode;
 use crate::pipeline::PipelineConfig;
@@ -42,18 +43,22 @@ use std::collections::VecDeque;
 ///
 /// Push sensor events in arrival order; every [`SensorEvent::Image`]
 /// produces a [`FrameRecord`], other events buffer until the frame that
-/// consumes them.
+/// consumes them. Sessions are assembled by the
+/// [`SessionBuilder`](crate::builder::SessionBuilder) — estimator
+/// registry, persisted map, and the in-loop
+/// [`ExecutionEngine`](crate::engine::ExecutionEngine) are all chosen at
+/// construction time.
 ///
 /// # Example
 ///
 /// ```no_run
-/// use eudoxus_core::{LocalizationSession, PipelineConfig};
+/// use eudoxus_core::{PipelineConfig, SessionBuilder};
 /// use eudoxus_sim::{ScenarioBuilder, ScenarioKind};
 ///
 /// let dataset = ScenarioBuilder::new(ScenarioKind::OutdoorUnknown)
 ///     .frames(10)
 ///     .build();
-/// let mut session = LocalizationSession::new(PipelineConfig::anchored());
+/// let mut session = SessionBuilder::new(PipelineConfig::anchored()).build();
 /// for event in dataset.events() {
 ///     if let Some(record) = session.push(event) {
 ///         println!("frame {}: {} @ {:?}", record.index, record.mode, record.pose);
@@ -64,6 +69,7 @@ pub struct LocalizationSession {
     config: PipelineConfig,
     frontend: Frontend,
     backends: Vec<Box<dyn Backend>>,
+    engine: Box<dyn ExecutionEngine>,
     pending_imu: Vec<ImuReading>,
     pending_gps: Vec<GpsFix>,
     /// `Some(anchor)` when a segment boundary arrived and the next frame
@@ -77,8 +83,9 @@ impl std::fmt::Debug for LocalizationSession {
         let modes: Vec<&str> = self.backends.iter().map(|b| b.name()).collect();
         write!(
             f,
-            "LocalizationSession(backends: [{}], frames: {})",
+            "LocalizationSession(backends: [{}], engine: {}, frames: {})",
             modes.join(", "),
+            self.engine.name(),
             self.next_index
         )
     }
@@ -86,24 +93,47 @@ impl std::fmt::Debug for LocalizationSession {
 
 impl LocalizationSession {
     /// Creates a session with the default estimator registry: VIO and
-    /// SLAM. Registration joins via [`with_map`](Self::with_map); custom
-    /// estimators via [`register`](Self::register).
+    /// SLAM.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `SessionBuilder::new(config).build()` — the builder also \
+                selects the in-loop execution engine, a persisted map, and \
+                custom backends"
+    )]
     pub fn new(config: PipelineConfig) -> Self {
-        let mut session = LocalizationSession::with_registry(config.clone(), Vec::new());
+        let mut session =
+            LocalizationSession::from_parts(config.clone(), Vec::new(), Box::new(CpuEngine));
         session.register(Box::new(Vio::new(config.vio)));
         session.register(Box::new(Slam::new(config.slam)));
         session
     }
 
     /// Creates a session over an explicit estimator registry (no defaults
-    /// added). Backends must cover the frames the stream will carry
-    /// before images arrive: [`push`](Self::push) panics on an image
-    /// frame no registered backend (nor its fallbacks) can serve.
+    /// added).
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `SessionBuilder::new(config).without_default_backends()\
+                .backend(..)` — see the crate-level migration notes"
+    )]
     pub fn with_registry(config: PipelineConfig, backends: Vec<Box<dyn Backend>>) -> Self {
+        LocalizationSession::from_parts(config, backends, Box::new(CpuEngine))
+    }
+
+    /// The primitive constructor every public construction path funnels
+    /// into: explicit registry (no defaults added), explicit engine.
+    /// Backends must cover the frames the stream will carry before
+    /// images arrive: [`push`](Self::push) panics on an image frame no
+    /// registered backend (nor its fallbacks) can serve.
+    pub(crate) fn from_parts(
+        config: PipelineConfig,
+        backends: Vec<Box<dyn Backend>>,
+        engine: Box<dyn ExecutionEngine>,
+    ) -> Self {
         LocalizationSession {
             frontend: Frontend::new(config.frontend),
             config,
             backends,
+            engine,
             pending_imu: Vec::new(),
             pending_gps: Vec::new(),
             // The first frame of a stream starts the first segment.
@@ -113,6 +143,10 @@ impl LocalizationSession {
     }
 
     /// Installs a persisted map, registering a registration backend.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `SessionBuilder::new(config).map(map).build()`"
+    )]
     pub fn with_map(mut self, map: WorldMap) -> Self {
         let cfg = self.config.registration;
         self.register(Box::new(Registration::new(map, cfg)));
@@ -125,6 +159,20 @@ impl LocalizationSession {
         let mode = backend.mode();
         self.backends.retain(|b| b.mode() != mode);
         self.backends.push(backend);
+        self
+    }
+
+    /// The in-loop execution engine consulted after every frame.
+    pub fn engine(&self) -> &dyn ExecutionEngine {
+        self.engine.as_ref()
+    }
+
+    /// Swaps the in-loop execution engine — e.g. to attach a freshly
+    /// trained [`ScheduledEngine`](crate::engine::ScheduledEngine) once
+    /// enough profiling frames have streamed through. Takes effect from
+    /// the next pushed frame; past records keep their reports.
+    pub fn set_engine(&mut self, engine: Box<dyn ExecutionEngine>) -> &mut Self {
+        self.engine = engine;
         self
     }
 
@@ -274,6 +322,17 @@ impl LocalizationSession {
             .unwrap_or_else(|| panic!("no backend registered for mode {mode} or its fallbacks"));
         let estimate = backend.step(&input);
 
+        // The in-loop offload decision: the engine sees this frame's
+        // workload and measured costs and reports where the kernels
+        // ran (or would run) on the modeled accelerator. Engines only
+        // observe — the estimate above is already final — so every
+        // engine choice is pose-bit-identical to the CPU passthrough.
+        let execution = self.engine.execute_frame(&FrameContext {
+            stats: &fe.stats,
+            timing: &fe.timing,
+            backend_kernels: &estimate.kernels,
+        });
+
         let index = self.next_index;
         self.next_index += 1;
         FrameRecord {
@@ -284,6 +343,7 @@ impl LocalizationSession {
             frontend_timing: fe.timing,
             frontend_stats: fe.stats,
             backend_kernels: estimate.kernels,
+            execution,
             // Streams without a reference (live sensors) store the
             // estimate here, and the flag excludes the frame from error
             // metrics — "no reference" must not masquerade as accuracy.
@@ -489,6 +549,12 @@ impl SessionManager {
     /// refusal here is a real loss and is accounted as one). Use
     /// [`try_enqueue`](Self::try_enqueue) to get refused events back
     /// and retry losslessly.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `try_enqueue`, which reports exactly what became of the \
+                event and hands refused events back instead of silently \
+                dropping them"
+    )]
     pub fn enqueue(&mut self, id: &str, event: SensorEvent) -> bool {
         match self.agents.iter_mut().find(|a| a.id == id) {
             Some(slot) => slot.inbox.push_or_drop(event),
@@ -720,7 +786,20 @@ impl SessionManager {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::builder::SessionBuilder;
     use eudoxus_sim::{Platform, ScenarioBuilder, ScenarioKind};
+
+    fn make_session() -> LocalizationSession {
+        SessionBuilder::new(PipelineConfig::anchored()).build()
+    }
+
+    /// Test shorthand: queue an event that must be accepted.
+    fn enq(manager: &mut SessionManager, id: &str, event: SensorEvent) {
+        assert!(
+            matches!(manager.try_enqueue(id, event), Enqueue::Accepted),
+            "event for {id} must be accepted"
+        );
+    }
 
     fn dataset(kind: ScenarioKind, frames: usize, seed: u64) -> eudoxus_sim::Dataset {
         ScenarioBuilder::new(kind)
@@ -732,7 +811,7 @@ mod tests {
 
     #[test]
     fn default_registry_serves_vio_and_slam() {
-        let session = LocalizationSession::new(PipelineConfig::anchored());
+        let session = make_session();
         assert_eq!(
             session.effective_mode(Environment::OutdoorUnknown),
             Mode::Vio
@@ -748,7 +827,7 @@ mod tests {
         // The satellite property: with no Registration backend
         // registered, IndoorKnown segments fall back to SLAM (the
         // pre-registry `effective_mode` behavior).
-        let session = LocalizationSession::new(PipelineConfig::anchored());
+        let session = make_session();
         assert!(session.backend(BackendMode::Registration).is_none());
         assert_eq!(
             session.effective_mode(Environment::IndoorKnown),
@@ -757,7 +836,7 @@ mod tests {
 
         // End-to-end: every frame of an indoor-known stream runs SLAM.
         let data = dataset(ScenarioKind::IndoorKnown, 3, 7);
-        let mut session = LocalizationSession::new(PipelineConfig::anchored());
+        let mut session = make_session();
         let records: Vec<FrameRecord> =
             data.events().filter_map(|e| session.push(e)).collect();
         assert_eq!(records.len(), 3);
@@ -769,7 +848,7 @@ mod tests {
     fn registry_with_map_serves_registration() {
         let data = dataset(ScenarioKind::IndoorKnown, 4, 7);
         let map = crate::mapping::build_map(&data, &PipelineConfig::anchored());
-        let session = LocalizationSession::new(PipelineConfig::anchored()).with_map(map);
+        let session = SessionBuilder::new(PipelineConfig::anchored()).map(map).build();
         assert!(session.backend(BackendMode::Registration).is_some());
         assert_eq!(
             session.effective_mode(Environment::IndoorKnown),
@@ -782,10 +861,11 @@ mod tests {
         // Custom registry with only VIO: even indoor-unknown frames
         // degrade all the way to odometry.
         let config = PipelineConfig::anchored();
-        let session = LocalizationSession::with_registry(
-            config.clone(),
-            vec![Box::new(eudoxus_backend::Vio::new(config.vio))],
-        );
+        let vio = config.vio;
+        let session = SessionBuilder::new(config)
+            .without_default_backends()
+            .backend(move || eudoxus_backend::Vio::new(vio))
+            .build();
         assert_eq!(
             session.effective_mode(Environment::IndoorUnknown),
             Mode::Vio
@@ -796,7 +876,7 @@ mod tests {
     #[test]
     fn register_replaces_same_mode_backend() {
         let config = PipelineConfig::anchored();
-        let mut session = LocalizationSession::new(config.clone());
+        let mut session = SessionBuilder::new(config.clone()).build();
         assert_eq!(session.registered_modes().len(), 2);
         session.register(Box::new(eudoxus_backend::Vio::new(config.vio)));
         assert_eq!(session.registered_modes().len(), 2, "no duplicate modes");
@@ -818,7 +898,7 @@ mod tests {
         let anchor = eudoxus_geometry::PoseAnchor::stationary(
             eudoxus_geometry::Pose::identity(),
         );
-        let mut session = LocalizationSession::new(PipelineConfig::anchored());
+        let mut session = make_session();
         // Violent stale IMU from the "previous segment".
         for i in 0..20 {
             session.push(SensorEvent::Imu(eudoxus_sim::ImuSample {
@@ -835,7 +915,7 @@ mod tests {
             .expect("image yields a record");
 
         // Reference: the same frame with no stale data.
-        let mut clean = LocalizationSession::new(PipelineConfig::anchored());
+        let mut clean = make_session();
         clean.push(SensorEvent::SegmentBoundary {
             anchor: Some(anchor),
         });
@@ -859,12 +939,12 @@ mod tests {
         // "b" has a complete frame. poll() must hand the turn past "a"
         // and return "b"'s record rather than None.
         let mut manager = SessionManager::new();
-        manager.add_agent("a", LocalizationSession::new(PipelineConfig::anchored()));
-        manager.add_agent("b", LocalizationSession::new(PipelineConfig::anchored()));
+        manager.add_agent("a", make_session());
+        manager.add_agent("b", make_session());
         let db = dataset(ScenarioKind::OutdoorUnknown, 1, 4);
-        manager.enqueue("a", SensorEvent::SegmentBoundary { anchor: None });
+        enq(&mut manager, "a", SensorEvent::SegmentBoundary { anchor: None });
         for e in db.events() {
-            manager.enqueue("b", e);
+            enq(&mut manager, "b", e);
         }
         let (id, _) = manager.poll().expect("b's frame must be served");
         assert_eq!(id, "b");
@@ -881,7 +961,7 @@ mod tests {
         let build = || {
             let mut manager = SessionManager::new();
             for id in ["a", "b", "c"] {
-                manager.add_agent(id, LocalizationSession::new(PipelineConfig::anchored()));
+                manager.add_agent(id, make_session());
             }
             for (id, kind, seed) in [
                 ("a", ScenarioKind::OutdoorUnknown, 1),
@@ -889,11 +969,11 @@ mod tests {
                 ("c", ScenarioKind::Mixed, 3),
             ] {
                 for e in dataset(kind, 3, seed).events() {
-                    manager.enqueue(id, e);
+                    enq(&mut manager, id, e);
                 }
             }
             // Trailing partial frame for "b": consumed, yields no record.
-            manager.enqueue("b", SensorEvent::SegmentBoundary { anchor: None });
+            enq(&mut manager, "b", SensorEvent::SegmentBoundary { anchor: None });
             manager
         };
 
@@ -921,7 +1001,7 @@ mod tests {
             // session buffers) on both paths.
             for m in [&mut sequential, &mut parallel] {
                 for e in dataset(ScenarioKind::OutdoorUnknown, 1, 9).events() {
-                    m.enqueue("a", e);
+                    enq(m, "a", e);
                 }
             }
             let s2 = sequential.run_until_idle();
@@ -940,7 +1020,7 @@ mod tests {
     fn poll_parallel_on_empty_manager_is_empty() {
         let mut manager = SessionManager::new();
         assert!(manager.poll_parallel(4).is_empty());
-        manager.add_agent("a", LocalizationSession::new(PipelineConfig::anchored()));
+        manager.add_agent("a", make_session());
         assert!(manager.poll_parallel(4).is_empty());
     }
 
@@ -948,17 +1028,20 @@ mod tests {
     fn manager_round_robins_agents() {
         let mut manager = SessionManager::new();
         for id in ["a", "b"] {
-            manager.add_agent(id, LocalizationSession::new(PipelineConfig::anchored()));
+            manager.add_agent(id, make_session());
         }
         let da = dataset(ScenarioKind::OutdoorUnknown, 2, 1);
         let db = dataset(ScenarioKind::IndoorUnknown, 2, 2);
         for e in da.events() {
-            assert!(manager.enqueue("a", e));
+            enq(&mut manager, "a", e);
         }
         for e in db.events() {
-            assert!(manager.enqueue("b", e));
+            enq(&mut manager, "b", e);
         }
-        assert!(!manager.enqueue("nobody", SensorEvent::SegmentBoundary { anchor: None }));
+        assert!(matches!(
+            manager.try_enqueue("nobody", SensorEvent::SegmentBoundary { anchor: None }),
+            Enqueue::UnknownAgent(_)
+        ));
 
         let records = manager.run_until_idle();
         assert_eq!(records.len(), 4);
@@ -980,7 +1063,7 @@ mod tests {
     #[test]
     fn bounded_drop_queue_sheds_load_and_counts_it() {
         let mut manager = SessionManager::new();
-        manager.add_agent("a", LocalizationSession::new(PipelineConfig::anchored()));
+        manager.add_agent("a", make_session());
         // A queue far too small for the stream: overflow drops events.
         assert!(manager.set_ingest_limit("a", 3, OverflowPolicy::DropNewest));
         assert!(!manager.set_ingest_limit("nobody", 3, OverflowPolicy::DropNewest));
@@ -989,7 +1072,7 @@ mod tests {
         let total = data.events().count();
         let mut accepted = 0;
         for e in data.events() {
-            if manager.enqueue("a", e) {
+            if matches!(manager.try_enqueue("a", e), Enqueue::Accepted) {
                 accepted += 1;
             }
         }
@@ -1007,7 +1090,7 @@ mod tests {
     #[test]
     fn try_enqueue_hands_refusals_back() {
         let mut manager = SessionManager::new();
-        manager.add_agent("a", LocalizationSession::new(PipelineConfig::anchored()));
+        manager.add_agent("a", make_session());
         manager.set_ingest_limit("a", 1, OverflowPolicy::Defer);
 
         let boundary = || SensorEvent::SegmentBoundary { anchor: None };
@@ -1019,9 +1102,13 @@ mod tests {
         let Enqueue::UnknownAgent(_) = manager.try_enqueue("ghost", back) else {
             panic!("unknown agent must hand the event back");
         };
-        // Fire-and-forget enqueue on the same full Defer queue is a real
-        // loss and must be counted as a drop, not a deferral.
-        assert!(!manager.enqueue("a", boundary()));
+        // Fire-and-forget enqueue (the deprecated bool shim) on the same
+        // full Defer queue is a real loss and must be counted as a drop,
+        // not a deferral.
+        #[allow(deprecated)]
+        {
+            assert!(!manager.enqueue("a", boundary()));
+        }
         let c = manager.ingest_counters("a").unwrap();
         assert_eq!(c.deferred, 1, "only the try_enqueue refusal defers");
         assert_eq!(c.events_dropped, 1, "the enqueue refusal is a drop");
@@ -1047,9 +1134,9 @@ mod tests {
 
         let mut reference = SessionManager::new();
         for (id, data) in &datasets {
-            reference.add_agent(*id, LocalizationSession::new(PipelineConfig::anchored()));
+            reference.add_agent(*id, make_session());
             for e in data.events() {
-                reference.enqueue(id, e);
+                enq(&mut reference, id, e);
             }
         }
         let expected = reference.run_until_idle();
@@ -1060,7 +1147,7 @@ mod tests {
         let mut manager = SessionManager::new();
         let mut mux = StreamMux::new();
         for (id, data) in &datasets {
-            manager.add_agent(*id, LocalizationSession::new(PipelineConfig::anchored()));
+            manager.add_agent(*id, make_session());
             manager.set_ingest_limit(id, 4, OverflowPolicy::Defer);
             mux.add_source(*id, data.source());
         }
@@ -1103,7 +1190,7 @@ mod tests {
     #[test]
     fn ingest_counts_unknown_agents() {
         let mut manager = SessionManager::new();
-        manager.add_agent("known", LocalizationSession::new(PipelineConfig::anchored()));
+        manager.add_agent("known", make_session());
         let data = dataset(ScenarioKind::OutdoorUnknown, 1, 8);
         let mut mux = StreamMux::new();
         mux.add_source("known", data.source());

@@ -1,0 +1,328 @@
+//! Engine equivalence: the two contracts the in-loop offload redesign
+//! must keep, across every construction path.
+//!
+//! 1. **Builder == legacy constructors.** A default
+//!    (`CpuEngine`-backed) `SessionBuilder` session is bit-identical to
+//!    the deprecated `LocalizationSession::new`/`with_map` (and
+//!    `Eudoxus::new`) paths across all five `ScenarioKind`s — the shims
+//!    are pure forwarding, and the engine seam observes without touching
+//!    the estimate.
+//! 2. **In-loop == replay.** A `ScheduledEngine` deciding inside
+//!    `push` produces, frame for frame, exactly the `AcceleratedRun`
+//!    that `Executor::replay` computes post hoc from the same `RunLog`
+//!    — same decisions, same modeled latencies, same energy, bit for
+//!    bit — because both run one shared `AccelModel::model_frame` code
+//!    path.
+//!
+//! CI runs this suite by name (`cargo test -p eudoxus-core engine_`);
+//! a drift between the deprecated constructors and the builder, or
+//! between live and replayed offload decisions, fails the gate.
+
+// Comparing the deprecated constructors against the builder is the
+// point of this suite.
+#![allow(deprecated)]
+
+use eudoxus_core::{
+    CpuEngine, Eudoxus, Executor, FrameRecord, LocalizationSession, ModeledAccelEngine,
+    OffloadPolicy, PipelineConfig, RunLog, ScheduledEngine, SessionBuilder,
+};
+use eudoxus_accel::Platform as AccelPlatform;
+use eudoxus_sim::{Dataset, Platform, ScenarioBuilder, ScenarioKind};
+
+const ALL_KINDS: [ScenarioKind; 5] = [
+    ScenarioKind::OutdoorUnknown,
+    ScenarioKind::OutdoorKnown,
+    ScenarioKind::IndoorUnknown,
+    ScenarioKind::IndoorKnown,
+    ScenarioKind::Mixed,
+];
+
+fn dataset(kind: ScenarioKind, frames: usize, seed: u64) -> Dataset {
+    ScenarioBuilder::new(kind)
+        .frames(frames)
+        .seed(seed)
+        .platform(Platform::Drone)
+        .build()
+}
+
+fn stream(session: &mut LocalizationSession, data: &Dataset) -> Vec<FrameRecord> {
+    data.events().filter_map(|e| session.push(e)).collect()
+}
+
+/// Exact bit pattern of a pose.
+fn pose_bits(pose: &eudoxus_geometry::Pose) -> [u64; 7] {
+    [
+        pose.translation.x.to_bits(),
+        pose.translation.y.to_bits(),
+        pose.translation.z.to_bits(),
+        pose.rotation.w.to_bits(),
+        pose.rotation.x.to_bits(),
+        pose.rotation.y.to_bits(),
+        pose.rotation.z.to_bits(),
+    ]
+}
+
+/// The deterministic (non-wall-clock) record fields must match bitwise.
+fn assert_records_bit_identical(legacy: &[FrameRecord], built: &[FrameRecord], what: &str) {
+    assert_eq!(legacy.len(), built.len(), "{what}: record count");
+    for (l, b) in legacy.iter().zip(built) {
+        assert_eq!(l.index, b.index, "{what}: index");
+        assert_eq!(l.mode, b.mode, "{what}: mode");
+        assert_eq!(l.environment, b.environment, "{what}: environment");
+        assert_eq!(pose_bits(&l.pose), pose_bits(&b.pose), "{what}: pose bits");
+        assert_eq!(
+            pose_bits(&l.ground_truth),
+            pose_bits(&b.ground_truth),
+            "{what}: ground-truth bits"
+        );
+        assert_eq!(l.tracking, b.tracking, "{what}: tracking");
+        assert_eq!(
+            l.backend_kernels.len(),
+            b.backend_kernels.len(),
+            "{what}: kernel count"
+        );
+        for (lk, bk) in l.backend_kernels.iter().zip(&b.backend_kernels) {
+            assert_eq!(lk.kernel, bk.kernel, "{what}: kernel kind");
+            assert_eq!(lk.size, bk.size, "{what}: kernel size");
+        }
+    }
+}
+
+#[test]
+fn engine_cpu_builder_is_bit_identical_to_legacy_constructor() {
+    for (i, kind) in ALL_KINDS.into_iter().enumerate() {
+        let data = dataset(kind, 4, 40 + i as u64);
+
+        let mut legacy = LocalizationSession::new(PipelineConfig::anchored());
+        let legacy_records = stream(&mut legacy, &data);
+
+        let mut built = SessionBuilder::new(PipelineConfig::anchored()).build();
+        let built_records = stream(&mut built, &data);
+
+        assert_records_bit_identical(&legacy_records, &built_records, &format!("{kind:?}"));
+        // The default engine is the passthrough: no reports attached,
+        // exactly like the pre-engine records.
+        assert!(built_records.iter().all(|r| r.execution.is_none()));
+        assert_eq!(built.engine().name(), "cpu");
+    }
+}
+
+#[test]
+fn engine_batch_builder_matches_legacy_eudoxus() {
+    let data = dataset(ScenarioKind::Mixed, 6, 3);
+    let mut legacy = Eudoxus::new(PipelineConfig::anchored());
+    let mut built = SessionBuilder::new(PipelineConfig::anchored()).build_batch();
+    assert_records_bit_identical(
+        &legacy.process_dataset(&data).records,
+        &built.process_dataset(&data).records,
+        "batch",
+    );
+}
+
+#[cfg(feature = "sim")]
+#[test]
+fn engine_map_builder_matches_legacy_with_map() {
+    let data = dataset(ScenarioKind::IndoorKnown, 4, 7);
+    let map = eudoxus_core::build_map(&data, &PipelineConfig::anchored());
+
+    let mut legacy = LocalizationSession::new(PipelineConfig::anchored()).with_map(map.clone());
+    let legacy_records = stream(&mut legacy, &data);
+
+    let mut built = SessionBuilder::new(PipelineConfig::anchored())
+        .map(map)
+        .build();
+    let built_records = stream(&mut built, &data);
+
+    assert!(legacy_records
+        .iter()
+        .all(|r| r.mode == eudoxus_core::Mode::Registration));
+    assert_records_bit_identical(&legacy_records, &built_records, "with_map");
+}
+
+#[test]
+fn engine_attached_session_keeps_poses_bit_identical() {
+    // Engines observe, never steer: a modeled-engine session's poses
+    // must equal the passthrough session's, with reports attached.
+    let data = dataset(ScenarioKind::OutdoorUnknown, 5, 17);
+    let mut plain = SessionBuilder::new(PipelineConfig::anchored()).build();
+    let plain_records = stream(&mut plain, &data);
+
+    let mut modeled = SessionBuilder::new(PipelineConfig::anchored())
+        .engine(ModeledAccelEngine::edx_drone())
+        .build();
+    let modeled_records = stream(&mut modeled, &data);
+
+    assert_records_bit_identical(&plain_records, &modeled_records, "modeled engine");
+    assert!(modeled_records.iter().all(|r| r.execution.is_some()));
+}
+
+/// In-loop reports vs `Executor::replay` of the very log those reports
+/// rode in on: every modeled quantity must agree at the bit level.
+fn assert_in_loop_matches_replay(policy: OffloadPolicy) {
+    let platform = AccelPlatform::edx_drone();
+    let data = dataset(ScenarioKind::OutdoorUnknown, 8, 8);
+    let mut session = SessionBuilder::new(PipelineConfig::anchored())
+        .engine(ScheduledEngine::with_policy(platform, policy.clone()))
+        .build();
+    let log = RunLog {
+        records: stream(&mut session, &data),
+    };
+
+    let replayed = Executor::new(platform).replay(&log, &policy);
+    assert_eq!(replayed.frames.len(), log.len());
+    for (record, frame) in log.records.iter().zip(&replayed.frames) {
+        let report = record
+            .execution
+            .as_ref()
+            .expect("scheduled engine reports every frame");
+        assert_eq!(
+            report.frontend_ms.to_bits(),
+            frame.frontend_ms.to_bits(),
+            "frontend latency"
+        );
+        assert_eq!(
+            report.backend_ms.to_bits(),
+            frame.backend_ms.to_bits(),
+            "backend latency"
+        );
+        assert_eq!(report.offloadable, frame.offloadable, "offloadable count");
+        assert_eq!(report.offloaded, frame.offloaded, "offload decisions");
+        assert_eq!(
+            report.energy.host_j.to_bits(),
+            frame.energy.host_j.to_bits(),
+            "host energy"
+        );
+        assert_eq!(
+            report.energy.fpga_static_j.to_bits(),
+            frame.energy.fpga_static_j.to_bits(),
+            "static energy"
+        );
+        assert_eq!(
+            report.energy.fpga_dynamic_j.to_bits(),
+            frame.energy.fpga_dynamic_j.to_bits(),
+            "dynamic energy"
+        );
+    }
+
+    // The aggregated views agree too: execution_run() over the live
+    // records is the replayed AcceleratedRun.
+    let live_run = log.execution_run().expect("reports present");
+    assert_eq!(
+        live_run.summary().mean.to_bits(),
+        replayed.summary().mean.to_bits()
+    );
+    assert_eq!(
+        live_run.fps_pipelined().to_bits(),
+        replayed.fps_pipelined().to_bits()
+    );
+    assert_eq!(
+        live_run.mean_energy().to_bits(),
+        replayed.mean_energy().to_bits()
+    );
+    assert_eq!(live_run.offload_rate(), replayed.offload_rate());
+}
+
+#[test]
+fn engine_scheduled_in_loop_matches_replay_exactly() {
+    // Train the scheduler the way the paper does: an offline CPU
+    // profiling pass over the head of the stream.
+    let data = dataset(ScenarioKind::OutdoorUnknown, 8, 8);
+    let mut profiler = SessionBuilder::new(PipelineConfig::anchored()).build();
+    let profile_log = RunLog {
+        records: stream(&mut profiler, &data),
+    };
+    let exec = Executor::new(AccelPlatform::edx_drone());
+    let policy = match exec.train_scheduler(&profile_log, 0.25) {
+        Some(sched) => OffloadPolicy::Scheduled(sched),
+        None => OffloadPolicy::Always,
+    };
+    assert_in_loop_matches_replay(policy);
+}
+
+#[test]
+fn engine_fixed_policies_in_loop_match_replay_exactly() {
+    assert_in_loop_matches_replay(OffloadPolicy::Always);
+    assert_in_loop_matches_replay(OffloadPolicy::Never);
+}
+
+#[test]
+fn engine_decisions_are_reproducible_across_runs() {
+    // The offload decision depends only on deterministic inputs (kernel
+    // sizes, workload counters) — never on this run's wall-clock — so
+    // two independent live passes over the same stream must place every
+    // kernel identically.
+    let platform = AccelPlatform::edx_drone();
+    let data = dataset(ScenarioKind::OutdoorUnknown, 6, 21);
+    let mut profiler = SessionBuilder::new(PipelineConfig::anchored()).build();
+    let profile_log = RunLog {
+        records: stream(&mut profiler, &data),
+    };
+    let policy = match Executor::new(platform).train_scheduler(&profile_log, 0.25) {
+        Some(sched) => OffloadPolicy::Scheduled(sched),
+        None => OffloadPolicy::Always,
+    };
+
+    let run = |policy: &OffloadPolicy| {
+        let mut session = SessionBuilder::new(PipelineConfig::anchored())
+            .engine(ScheduledEngine::with_policy(platform, policy.clone()))
+            .build();
+        stream(&mut session, &data)
+    };
+    let first = run(&policy);
+    let second = run(&policy);
+    for (a, b) in first.iter().zip(&second) {
+        let (ra, rb) = (a.execution.as_ref().unwrap(), b.execution.as_ref().unwrap());
+        assert_eq!(ra.offloaded, rb.offloaded);
+        assert_eq!(ra.target, rb.target);
+        assert_eq!(ra.frontend_ms.to_bits(), rb.frontend_ms.to_bits());
+        for (da, db) in ra.decisions.iter().zip(&rb.decisions) {
+            assert_eq!(da.kind, db.kind);
+            assert_eq!(da.size, db.size);
+            assert_eq!(da.offloaded, db.offloaded);
+            assert_eq!(da.accel_ms.to_bits(), db.accel_ms.to_bits());
+        }
+    }
+}
+
+#[test]
+fn engine_fork_gives_manager_agents_independent_engines() {
+    // build_manager forks the blueprint engine per agent; a CpuEngine
+    // default manager must keep records report-free, a modeled one must
+    // attach reports for every agent.
+    let data = dataset(ScenarioKind::OutdoorUnknown, 2, 5);
+    let mut manager = SessionBuilder::new(PipelineConfig::anchored())
+        .engine(CpuEngine)
+        .agent("a")
+        .agent("b")
+        .build_manager();
+    for id in ["a", "b"] {
+        for e in data.events() {
+            assert!(matches!(
+                manager.try_enqueue(id, e),
+                eudoxus_core::Enqueue::Accepted
+            ));
+        }
+    }
+    let records = manager.run_until_idle();
+    assert_eq!(records.len(), 4);
+    assert!(records.iter().all(|(_, r)| r.execution.is_none()));
+
+    let mut modeled = SessionBuilder::new(PipelineConfig::anchored())
+        .engine(ModeledAccelEngine::edx_drone())
+        .agent("a")
+        .agent("b")
+        .build_manager();
+    for id in ["a", "b"] {
+        for e in data.events() {
+            assert!(matches!(
+                modeled.try_enqueue(id, e),
+                eudoxus_core::Enqueue::Accepted
+            ));
+        }
+    }
+    let records = modeled.run_until_idle();
+    assert_eq!(records.len(), 4);
+    assert!(records
+        .iter()
+        .all(|(_, r)| r.execution.as_ref().is_some_and(|x| x.engine == "edx-drone")));
+}

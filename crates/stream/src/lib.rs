@@ -43,7 +43,7 @@
 //! builds `eudoxus-core` with its simulator feature disabled):
 //!
 //! ```
-//! use eudoxus_core::{LocalizationSession, PipelineConfig};
+//! use eudoxus_core::{PipelineConfig, SessionBuilder};
 //! use eudoxus_geometry::{PinholeCamera, StereoRig};
 //! use eudoxus_image::GrayImage;
 //! use eudoxus_stream::{
@@ -93,7 +93,7 @@
 //!     rig: StereoRig::new(PinholeCamera::centered(80.0, 64, 48), 0.1),
 //!     next: 0,
 //! };
-//! let mut session = LocalizationSession::new(PipelineConfig::default());
+//! let mut session = SessionBuilder::new(PipelineConfig::default()).build();
 //! let mut frames = 0;
 //! loop {
 //!     match producer.poll_event() {

@@ -18,7 +18,7 @@ fn main() {
         .build();
     println!("figure-8 flight, {} frames at 640x480", dataset.frames.len());
 
-    let mut system = Eudoxus::new(PipelineConfig::anchored());
+    let mut system = SessionBuilder::new(PipelineConfig::anchored()).build_batch();
     let log = system.process_dataset(&dataset);
     let baseline = log.latency_summary(None);
 

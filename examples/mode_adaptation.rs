@@ -55,13 +55,13 @@ fn main() {
             }
             d
         };
-        let mut vio = Eudoxus::new(PipelineConfig::anchored());
+        let mut vio = SessionBuilder::new(PipelineConfig::anchored()).build_batch();
         let vio_rmse = vio.process_dataset(&vio_data).translation_rmse();
         row.push_str(&format!("  VIO {vio_rmse:>6.3} m"));
 
         // SLAM.
         let slam_data = relabeled(&dataset, Environment::IndoorUnknown);
-        let mut slam = Eudoxus::new(PipelineConfig::anchored());
+        let mut slam = SessionBuilder::new(PipelineConfig::anchored()).build_batch();
         let slam_rmse = slam.process_dataset(&slam_data).translation_rmse();
         row.push_str(&format!("  | SLAM {slam_rmse:>6.3} m"));
 
@@ -69,7 +69,7 @@ fn main() {
         if has_map {
             let map = build_map(&dataset, &PipelineConfig::anchored());
             let reg_data = relabeled(&dataset, Environment::IndoorKnown);
-            let mut reg = Eudoxus::new(PipelineConfig::anchored()).with_map(map);
+            let mut reg = SessionBuilder::new(PipelineConfig::anchored()).map(map).build_batch();
             let reg_rmse = reg.process_dataset(&reg_data).translation_rmse();
             row.push_str(&format!("  | Reg. {reg_rmse:>6.3} m"));
         } else {

@@ -45,12 +45,17 @@ fn main() {
     // Ingestion: one EventSource per agent, merged by capture timestamp.
     // Tight lossless (Defer) queue bounds so the backpressure machinery
     // visibly engages; a latency-first deployment would pick DropNewest
-    // and shed stale frames instead.
-    let mut manager = SessionManager::new();
+    // and shed stale frames instead. One SessionBuilder blueprint stamps
+    // out every agent's session (same config, same queue bound); agents
+    // joining a *running* manager would still use `add_agent`.
+    let mut blueprint = SessionBuilder::new(PipelineConfig::anchored())
+        .ingest_limit(32, OverflowPolicy::Defer);
+    for (id, _) in &datasets {
+        blueprint = blueprint.agent(*id);
+    }
+    let mut manager = blueprint.build_manager();
     let mut mux = StreamMux::new();
     for (id, dataset) in &datasets {
-        manager.add_agent(*id, LocalizationSession::new(PipelineConfig::anchored()));
-        manager.set_ingest_limit(id, 32, OverflowPolicy::Defer);
         mux.add_source(*id, dataset.source());
     }
     println!(

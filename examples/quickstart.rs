@@ -24,7 +24,7 @@ fn main() {
     );
 
     println!("running the unified localization pipeline…");
-    let mut system = Eudoxus::new(PipelineConfig::anchored());
+    let mut system = SessionBuilder::new(PipelineConfig::anchored()).build_batch();
     let log = system.process_dataset(&dataset);
 
     let summary = log.latency_summary(None);
@@ -43,6 +43,9 @@ fn main() {
     );
 
     // Replay the measured run through the EDX-CAR accelerator model.
+    // (To get the same numbers live, per pushed frame, attach the model
+    // at construction time instead — see examples/offload_decision.rs:
+    // `SessionBuilder::new(cfg).engine(ScheduledEngine::new(..))`.)
     println!("\nreplaying through the EDX-CAR accelerator model…");
     let exec = Executor::new(Platform::edx_car());
     let policy = match exec.train_scheduler(&log, 0.25) {

@@ -49,7 +49,7 @@ fn main() {
 
     // --- Mission pass with the map installed. ---
     let map = WorldMap::load(&map_path).expect("map loads");
-    let mut system = Eudoxus::new(PipelineConfig::anchored()).with_map(map);
+    let mut system = SessionBuilder::new(PipelineConfig::anchored()).map(map).build_batch();
     let log = system.process_dataset(&dataset);
 
     println!("\nper-mode breakdown:");

@@ -27,7 +27,8 @@
 //! # Quickstart
 //!
 //! Batch: replay a recorded dataset through the unified pipeline (a thin
-//! adapter over the streaming session).
+//! adapter over the streaming session). Every construction path starts
+//! at a [`SessionBuilder`](eudoxus_core::SessionBuilder).
 //!
 //! ```no_run
 //! use eudoxus::prelude::*;
@@ -37,49 +38,65 @@
 //!     .frames(50)
 //!     .build();
 //! // Run the unified pipeline: the environment selects VIO+GPS.
-//! let mut system = Eudoxus::new(PipelineConfig::anchored());
+//! let mut system = SessionBuilder::new(PipelineConfig::anchored()).build_batch();
 //! let log = system.process_dataset(&dataset);
 //! println!("RMSE {:.3} m at {:.1} FPS", log.translation_rmse(), log.fps());
 //! ```
 //!
-//! Streaming: feed sensor events one at a time into a
+//! Streaming, with the accelerator model in the loop: feed sensor
+//! events one at a time into a
 //! [`LocalizationSession`](eudoxus_core::LocalizationSession) — the shape
-//! a live deployment uses. `Dataset::events()` replays a dataset as such
-//! a stream; a `SessionManager` serves many agents concurrently.
+//! a live deployment uses. Attaching an
+//! [`ExecutionEngine`](eudoxus_core::ExecutionEngine) makes the
+//! EDX-CAR/EDX-DRONE offload decision per pushed frame; every record
+//! then carries an `ExecutionReport` (target, modeled latency, energy):
 //!
 //! ```no_run
 //! use eudoxus::prelude::*;
 //!
 //! let dataset = ScenarioBuilder::new(ScenarioKind::Mixed).frames(20).build();
-//! let mut session = LocalizationSession::new(PipelineConfig::anchored());
+//! let mut session = SessionBuilder::new(PipelineConfig::anchored())
+//!     .engine(ModeledAccelEngine::edx_drone())
+//!     .build();
 //! for event in dataset.events() {
 //!     if let Some(record) = session.push(event) {
-//!         println!("frame {} ran {}", record.index, record.mode);
+//!         let accel = record.execution.as_ref().unwrap();
+//!         println!(
+//!             "frame {} ran {}: modeled {:.1} ms on {}",
+//!             record.index, record.mode, accel.total_ms(), accel.engine
+//!         );
 //!     }
 //! }
 //! ```
 //!
 //! Since the streaming redesign, `Eudoxus` no longer exposes concrete
 //! estimator fields — backends are registered behind the
-//! [`Backend`](eudoxus_backend::Backend) trait (see the `eudoxus_core`
-//! module docs for the migration notes).
+//! [`Backend`](eudoxus_backend::Backend) trait; and since the in-loop
+//! offload redesign the old constructors
+//! (`LocalizationSession::new`/`with_registry`/`with_map`,
+//! `Eudoxus::new`/`with_map`, the lossy `SessionManager::enqueue`) are
+//! deprecated shims over the builder (see the `eudoxus_core` module
+//! docs for the migration table).
 //!
 //! Many-agent ingestion goes through `eudoxus_stream`: one
 //! [`EventSource`](eudoxus_stream::EventSource) per agent (live producer
 //! or `Dataset::source()` replay), merged deterministically by a
 //! [`StreamMux`](eudoxus_stream::StreamMux), flowing into bounded
-//! per-agent queues inside the `SessionManager`:
+//! per-agent queues inside a `SessionManager` stamped out by the same
+//! builder:
 //!
 //! ```no_run
 //! use eudoxus::prelude::*;
 //!
 //! let a = ScenarioBuilder::new(ScenarioKind::OutdoorUnknown).frames(10).seed(1).build();
 //! let b = ScenarioBuilder::new(ScenarioKind::IndoorUnknown).frames(10).seed(2).build();
-//! let mut manager = SessionManager::new();
+//! let mut manager = SessionBuilder::new(PipelineConfig::anchored())
+//!     .ingest_limit(64, OverflowPolicy::Defer) // bounded, lossless
+//!     .agent("car")
+//!     .agent("drone")
+//!     .build_manager();
 //! let mut mux = StreamMux::new();
 //! for (id, data) in [("car", &a), ("drone", &b)] {
-//!     manager.add_agent(id, LocalizationSession::new(PipelineConfig::anchored()));
-//!     manager.set_ingest_limit(id, 64, OverflowPolicy::Defer); // bounded, lossless
 //!     mux.add_source(id, data.source());
 //! }
 //! let records = manager.pump(&mut mux);
@@ -122,7 +139,10 @@
 //! `cargo run --release -p eudoxus-bench --bin throughput` regenerates
 //! `BENCH_throughput.json` — frames/sec per scenario for the seed
 //! baseline vs the current frontend, per-kernel microseconds, manager
-//! scaling, and (with `--features count-alloc`) allocations per frame.
+//! scaling, (with `--features count-alloc`) allocations per frame, and
+//! the in-loop engine's modeled accelerated fps + energy per scenario
+//! (`--engine {cpu,edx-car,edx-drone,scheduled}`; default: the trained
+//! scheduler on EDX-DRONE).
 
 pub use eudoxus_accel as accel;
 pub use eudoxus_backend as backend;
@@ -141,8 +161,9 @@ pub mod prelude {
     pub use eudoxus_backend::{Backend, BackendMode, WorldMap};
     pub use eudoxus_core::executor::{Executor, OffloadPolicy};
     pub use eudoxus_core::{
-        build_map, Eudoxus, IngestReport, LocalizationSession, Mode, PipelineConfig, RunLog,
-        SessionManager, Summary,
+        build_map, CpuEngine, Enqueue, Eudoxus, ExecutionEngine, ExecutionReport, IngestReport,
+        LocalizationSession, Mode, ModeledAccelEngine, PipelineConfig, RunLog, ScheduledEngine,
+        SessionBuilder, SessionManager, Summary,
     };
     pub use eudoxus_frontend::{Frontend, FrontendConfig};
     pub use eudoxus_geometry::{Pose, PoseAnchor, Vec3};

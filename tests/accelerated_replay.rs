@@ -13,7 +13,7 @@ fn measured_log(frames: usize) -> RunLog {
         .seed(8)
         .platform(SimPlatform::Drone)
         .build();
-    let mut system = Eudoxus::new(PipelineConfig::anchored());
+    let mut system = SessionBuilder::new(PipelineConfig::anchored()).build_batch();
     system.process_dataset(&data)
 }
 

@@ -17,10 +17,10 @@ fn dataset(kind: ScenarioKind, frames: usize, seed: u64) -> Dataset {
 fn gps_dropout_degrades_gracefully() {
     let mut data = dataset(ScenarioKind::OutdoorUnknown, 10, 31);
     // Run once with GPS, once with a total dropout.
-    let mut with_gps = Eudoxus::new(PipelineConfig::anchored());
+    let mut with_gps = SessionBuilder::new(PipelineConfig::anchored()).build_batch();
     let log_gps = with_gps.process_dataset(&data);
     data.gps.clear();
-    let mut without = Eudoxus::new(PipelineConfig::anchored());
+    let mut without = SessionBuilder::new(PipelineConfig::anchored()).build_batch();
     let log_dead = without.process_dataset(&data);
     // Both complete; pure VIO drifts more (or at least not less) but
     // stays bounded over this short run.
@@ -41,7 +41,7 @@ fn featureless_frames_do_not_crash_the_pipeline() {
         data.frames[i].left = std::sync::Arc::new(GrayImage::filled(w, h, 120));
         data.frames[i].right = std::sync::Arc::new(GrayImage::filled(w, h, 120));
     }
-    let mut system = Eudoxus::new(PipelineConfig::anchored());
+    let mut system = SessionBuilder::new(PipelineConfig::anchored()).build_batch();
     let log = system.process_dataset(&data);
     assert_eq!(log.len(), 8);
     // Blind frames produce no observations but still a pose estimate.
@@ -58,7 +58,7 @@ fn registration_survives_wrong_map() {
     let survey = dataset(ScenarioKind::IndoorKnown, 6, 33);
     let map = build_map(&survey, &PipelineConfig::anchored());
     let other_world = dataset(ScenarioKind::IndoorKnown, 6, 999);
-    let mut system = Eudoxus::new(PipelineConfig::anchored()).with_map(map);
+    let mut system = SessionBuilder::new(PipelineConfig::anchored()).map(map).build_batch();
     let log = system.process_dataset(&other_world);
     let tracked = log.records.iter().filter(|r| r.tracking).count();
     assert!(
@@ -72,7 +72,7 @@ fn registration_survives_wrong_map() {
 fn empty_imu_window_is_tolerated() {
     let mut data = dataset(ScenarioKind::OutdoorUnknown, 5, 34);
     data.imu.clear();
-    let mut system = Eudoxus::new(PipelineConfig::anchored());
+    let mut system = SessionBuilder::new(PipelineConfig::anchored()).build_batch();
     let log = system.process_dataset(&data);
     assert_eq!(log.len(), 5);
     // Vision + GPS still constrain the estimate loosely.

@@ -17,7 +17,7 @@ fn drone_dataset(kind: ScenarioKind, frames: usize, seed: u64) -> Dataset {
 #[test]
 fn vio_tracks_outdoor_trajectory_within_bounds() {
     let data = drone_dataset(ScenarioKind::OutdoorUnknown, 10, 1);
-    let mut system = Eudoxus::new(PipelineConfig::anchored());
+    let mut system = SessionBuilder::new(PipelineConfig::anchored()).build_batch();
     let log = system.process_dataset(&data);
     assert_eq!(log.len(), 10);
     assert!(log.records.iter().all(|r| r.mode == Mode::Vio));
@@ -34,7 +34,7 @@ fn vio_tracks_outdoor_trajectory_within_bounds() {
 #[test]
 fn slam_bounds_drift_indoors() {
     let data = drone_dataset(ScenarioKind::IndoorUnknown, 10, 2);
-    let mut system = Eudoxus::new(PipelineConfig::anchored());
+    let mut system = SessionBuilder::new(PipelineConfig::anchored()).build_batch();
     let log = system.process_dataset(&data);
     assert!(log.records.iter().all(|r| r.mode == Mode::Slam));
     let rmse = log.translation_rmse();
@@ -61,7 +61,7 @@ fn map_roundtrip_enables_registration() {
     assert_eq!(reloaded.points.len(), map.points.len());
     std::fs::remove_file(&path).ok();
 
-    let mut system = Eudoxus::new(PipelineConfig::anchored()).with_map(reloaded);
+    let mut system = SessionBuilder::new(PipelineConfig::anchored()).map(reloaded).build_batch();
     let log = system.process_dataset(&data);
     assert!(log.records.iter().all(|r| r.mode == Mode::Registration));
     let tracked = log.records.iter().filter(|r| r.tracking).count();
@@ -86,7 +86,7 @@ fn mixed_mission_switches_modes_and_recovers() {
         .seed(4)
         .platform(SimPlatform::Drone)
         .build();
-    let mut system = Eudoxus::new(PipelineConfig::anchored());
+    let mut system = SessionBuilder::new(PipelineConfig::anchored()).build_batch();
     let log = system.process_dataset(&data);
     let modes: std::collections::HashSet<Mode> =
         log.records.iter().map(|r| r.mode).collect();
@@ -108,7 +108,7 @@ fn mixed_mission_switches_modes_and_recovers() {
 #[test]
 fn frontend_workload_counters_are_recorded() {
     let data = drone_dataset(ScenarioKind::IndoorUnknown, 3, 5);
-    let mut system = Eudoxus::new(PipelineConfig::anchored());
+    let mut system = SessionBuilder::new(PipelineConfig::anchored()).build_batch();
     let log = system.process_dataset(&data);
     for r in &log.records {
         assert!(r.frontend_stats.keypoints_left > 20, "frame {}", r.index);

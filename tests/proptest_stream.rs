@@ -85,11 +85,11 @@ proptest! {
     ) {
         let data = dataset_for(kind_sel, 3, seed);
 
-        let mut session = LocalizationSession::new(PipelineConfig::anchored());
+        let mut session = SessionBuilder::new(PipelineConfig::anchored()).build();
         let direct: Vec<_> = data.events().filter_map(|e| session.push(e)).collect();
 
         let mut manager = SessionManager::new();
-        manager.add_agent("solo", LocalizationSession::new(PipelineConfig::anchored()));
+        manager.add_agent("solo", SessionBuilder::new(PipelineConfig::anchored()).build());
         manager.set_ingest_limit("solo", capacity, OverflowPolicy::Defer);
         let mut mux = StreamMux::new();
         mux.add_source("solo", ChunkedSource::new(data.source(), chunks));

@@ -11,7 +11,9 @@
 //! multi-core drain of `SessionManager` — must reproduce the sequential
 //! round-robin record stream bit for bit across every scenario kind.
 
-use eudoxus_core::{Eudoxus, FrameRecord, LocalizationSession, PipelineConfig, SessionManager};
+use eudoxus_core::{
+    Enqueue, FrameRecord, LocalizationSession, PipelineConfig, SessionBuilder, SessionManager,
+};
 use eudoxus_sim::{Dataset, Platform, ScenarioBuilder, ScenarioKind};
 
 /// Exact bit pattern of a pose (bit-identical comparison, immune to the
@@ -52,10 +54,10 @@ fn stream_records(session: &mut LocalizationSession, data: &Dataset) -> Vec<Fram
 fn assert_equivalent(kind: ScenarioKind, frames: usize, seed: u64) {
     let data = dataset(kind, frames, seed);
 
-    let mut batch = Eudoxus::new(PipelineConfig::anchored());
+    let mut batch = SessionBuilder::new(PipelineConfig::anchored()).build_batch();
     let batch_log = batch.process_dataset(&data);
 
-    let mut session = LocalizationSession::new(PipelineConfig::anchored());
+    let mut session = SessionBuilder::new(PipelineConfig::anchored()).build();
     let streamed = stream_records(&mut session, &data);
 
     assert_eq!(batch_log.len(), streamed.len(), "{kind:?}: frame count");
@@ -101,9 +103,12 @@ fn assert_parallel_matches_sequential(kind: ScenarioKind, frames: usize, seed: u
     let fill = |manager: &mut SessionManager| {
         for (i, agent_seed) in [seed, seed + 1].iter().enumerate() {
             let id = format!("agent-{i}");
-            manager.add_agent(&id, LocalizationSession::new(PipelineConfig::anchored()));
+            manager.add_agent(&id, SessionBuilder::new(PipelineConfig::anchored()).build());
             for event in dataset(kind, frames, *agent_seed).events() {
-                manager.enqueue(&id, event);
+                assert!(matches!(
+                    manager.try_enqueue(&id, event),
+                    Enqueue::Accepted
+                ));
             }
         }
     };
@@ -163,12 +168,12 @@ fn poll_parallel_matches_poll_mixed() {
 fn assert_mux_ingest_matches_direct_replay(kind: ScenarioKind, frames: usize, seed: u64) {
     let data = dataset(kind, frames, seed);
 
-    let mut session = LocalizationSession::new(PipelineConfig::anchored());
+    let mut session = SessionBuilder::new(PipelineConfig::anchored()).build();
     let direct = stream_records(&mut session, &data);
     assert_eq!(direct.len(), frames, "{kind:?}: direct frame count");
 
     let mut manager = SessionManager::new();
-    manager.add_agent("solo", LocalizationSession::new(PipelineConfig::anchored()));
+    manager.add_agent("solo", SessionBuilder::new(PipelineConfig::anchored()).build());
     // A tight lossless bound so the defer/gate machinery actually runs
     // mid-replay rather than degenerating to an unbounded copy.
     manager.set_ingest_limit("solo", 8, eudoxus_stream::OverflowPolicy::Defer);
@@ -246,9 +251,9 @@ fn multi_agent_mux_matches_prefilled_queues() {
 
     let mut reference = SessionManager::new();
     for (id, data) in &datasets {
-        reference.add_agent(*id, LocalizationSession::new(PipelineConfig::anchored()));
+        reference.add_agent(*id, SessionBuilder::new(PipelineConfig::anchored()).build());
         for event in data.events() {
-            assert!(reference.enqueue(id, event));
+            assert!(matches!(reference.try_enqueue(id, event), Enqueue::Accepted));
         }
     }
     let expected = reference.run_until_idle();
@@ -256,7 +261,7 @@ fn multi_agent_mux_matches_prefilled_queues() {
     let mut manager = SessionManager::new();
     let mut mux = eudoxus_stream::StreamMux::new();
     for (id, data) in &datasets {
-        manager.add_agent(*id, LocalizationSession::new(PipelineConfig::anchored()));
+        manager.add_agent(*id, SessionBuilder::new(PipelineConfig::anchored()).build());
         manager.set_ingest_limit(id, 16, eudoxus_stream::OverflowPolicy::Defer);
         mux.add_source(*id, data.source());
     }
@@ -297,10 +302,10 @@ fn registration_stream_matches_batch() {
     let data = dataset(ScenarioKind::IndoorKnown, 6, 7);
     let map = eudoxus_core::build_map(&data, &PipelineConfig::anchored());
 
-    let mut batch = Eudoxus::new(PipelineConfig::anchored()).with_map(map.clone());
+    let mut batch = SessionBuilder::new(PipelineConfig::anchored()).map(map.clone()).build_batch();
     let batch_log = batch.process_dataset(&data);
 
-    let mut session = LocalizationSession::new(PipelineConfig::anchored()).with_map(map);
+    let mut session = SessionBuilder::new(PipelineConfig::anchored()).map(map).build();
     let streamed = stream_records(&mut session, &data);
 
     assert_eq!(batch_log.len(), streamed.len());
