@@ -305,9 +305,19 @@ impl BackendEngine {
     /// End-to-end offload latency: host→FPGA DMA + compute + FPGA→host DMA
     /// (the paper's three-transfers-per-frame protocol, Sec. VII-A).
     pub fn offload_time(&self, dims: &KernelDims) -> f64 {
-        self.platform.offload_overhead_s
-            + self.platform.bus.transfer_time(dims.transfer_bytes())
-            + self.compute_time(dims)
+        self.offload_time_via(dims, self.platform.bus.transfer_time(dims.transfer_bytes()))
+    }
+
+    /// Offload latency with the data movement priced over an arbitrary
+    /// channel: `transfer_s` replaces the on-board bus's transfer time
+    /// (e.g. a wireless link's `LinkState::transfer_time`). The
+    /// summation order is identical to [`offload_time`], so pricing over
+    /// a link that mirrors the platform bus is bit-equal to the direct
+    /// path.
+    ///
+    /// [`offload_time`]: BackendEngine::offload_time
+    pub fn offload_time_via(&self, dims: &KernelDims, transfer_s: f64) -> f64 {
+        self.platform.offload_overhead_s + transfer_s + self.compute_time(dims)
     }
 }
 

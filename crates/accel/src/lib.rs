@@ -38,6 +38,23 @@
 //! code path, so in-loop reports and replayed runs of the same log are
 //! exactly equal; `cargo run --release --example offload_decision`
 //! shows the scheduler deciding live, frame by frame.
+//!
+//! # The bus is just a link
+//!
+//! Since the communication-adaptive offload work, the host↔accelerator
+//! interconnect is one instance of the general channel model in
+//! `eudoxus-link`: [`platform::BusModel::transfer_time`] delegates to
+//! the equivalent `StaticLink` (`BusModel::as_link()`), pricing a
+//! transfer with the identical `latency + bytes / bandwidth` arithmetic
+//! bit for bit — the pinned `bus_and_static_link_price_bit_equal` test
+//! keeps EDX-CAR/EDX-DRONE modeling unchanged. For engines that move
+//! kernel data over some *other* channel (a wireless uplink to an edge
+//! server), [`BackendEngine::offload_time_via`] prices the same
+//! three-round-trip protocol over an externally supplied transfer time,
+//! and [`RuntimeScheduler::decide_with_accel_ms`] makes the offload
+//! call against it (`f64::INFINITY` forces CPU — a lost frame).
+//! `eudoxus_core::ScheduledEngine::with_link` wires both to a live
+//! `LinkModel` and adds the deadline fallback.
 
 pub mod backend_engine;
 pub mod baselines;

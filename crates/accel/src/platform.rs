@@ -1,5 +1,7 @@
 //! Platform configurations for the two FPGA prototypes.
 
+use eudoxus_link::StaticLink;
+
 /// Which prototype (paper Sec. VII-A).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum PlatformKind {
@@ -20,9 +22,19 @@ pub struct BusModel {
 }
 
 impl BusModel {
-    /// Time to move `bytes` across the bus.
+    /// Time to move `bytes` across the bus. Delegates to the
+    /// equivalent [`StaticLink`]: the on-board bus is the degenerate
+    /// communication channel (constant, lossless), and both price a
+    /// transfer with the identical `latency + bytes / bandwidth`
+    /// expression — bit for bit.
     pub fn transfer_time(&self, bytes: usize) -> f64 {
-        self.latency + bytes as f64 / self.bandwidth
+        self.as_link().transfer_time_s(bytes)
+    }
+
+    /// This bus viewed as a communication link (for engines that treat
+    /// PCIe/AXI as just another channel).
+    pub fn as_link(&self) -> StaticLink {
+        StaticLink::new(self.bandwidth, self.latency)
     }
 }
 
@@ -109,6 +121,7 @@ impl Platform {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use eudoxus_link::LinkModel;
 
     #[test]
     fn car_outmuscles_drone() {
@@ -128,6 +141,23 @@ mod tests {
         assert!(big > small);
         // 1 MiB over 7.9 GB/s ≈ 0.13 ms.
         assert!((big - 8e-6 - 1048576.0 / 7.9e9).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bus_and_static_link_price_bit_equal() {
+        // The dedupe contract: `BusModel::transfer_time` and the
+        // `StaticLink` it converts into must agree to the last bit on
+        // both prototypes' buses, for any payload size.
+        for platform in [Platform::edx_car(), Platform::edx_drone()] {
+            let bus = platform.bus;
+            let link = bus.as_link();
+            for bytes in [0usize, 1, 8, 465, 1024, 93_600, 1 << 20, (1 << 27) + 3] {
+                let direct = (bus.latency + bytes as f64 / bus.bandwidth).to_bits();
+                assert_eq!(bus.transfer_time(bytes).to_bits(), direct);
+                assert_eq!(link.transfer_time_s(bytes).to_bits(), direct);
+                assert_eq!(link.transfer_time(bytes).unwrap().to_bits(), direct);
+            }
+        }
     }
 
     #[test]

@@ -168,8 +168,21 @@ impl RuntimeScheduler {
     /// Decides where to run one invocation: offload iff the accelerator's
     /// offload time beats the predicted CPU time.
     pub fn decide(&self, engine: &BackendEngine, dims: &KernelDims) -> OffloadDecision {
-        let accel_ms = engine.offload_time(dims) * 1e3;
-        match self.predict_cpu_ms(dims.kind(), dims.size()) {
+        self.decide_with_accel_ms(dims.kind(), dims.size(), engine.offload_time(dims) * 1e3)
+    }
+
+    /// The same comparison with the accelerator side priced externally:
+    /// callers that move kernel data over a modeled link (rather than the
+    /// platform bus) compute `accel_ms` themselves and only need the
+    /// CPU-prediction half of the decision. Pass `f64::INFINITY` to force
+    /// CPU (e.g. the link dropped the frame).
+    pub fn decide_with_accel_ms(
+        &self,
+        kind: BackendKernelKind,
+        size: usize,
+        accel_ms: f64,
+    ) -> OffloadDecision {
+        match self.predict_cpu_ms(kind, size) {
             Some(predicted_cpu_ms) if accel_ms < predicted_cpu_ms => {
                 OffloadDecision::Accelerator {
                     predicted_cpu_ms,

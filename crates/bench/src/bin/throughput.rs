@@ -23,17 +23,29 @@
 //! energy and offload rate land in the per-scenario `accel` block of
 //! `BENCH_throughput.json`.
 //!
+//! `--link {stable,congested,canyon}` puts the engine pass behind a
+//! seeded `StochasticLink` (`lan_stable` / `congested_uplink` /
+//! `urban_canyon_dropout`): the scheduler then re-prices every kernel
+//! against the live channel, and the per-scenario `accel` block gains a
+//! `link` sub-block with the shedding counters. Independently of the
+//! flag, every non-`cpu` engine run appends a top-level `link_sweep`
+//! block: each scenario's measured CPU records replayed through a
+//! trained scheduler behind each canned profile, showing the offload
+//! rate decaying (and fallbacks rising) as the channel degrades from
+//! `lan_stable` to `urban_canyon_dropout`.
+//!
 //! ```text
 //! cargo run --release -p eudoxus-bench --bin throughput -- \
-//!     [--frames N] [--workers W] [--out PATH] [--min-speedup X] [--engine E]
+//!     [--frames N] [--workers W] [--out PATH] [--min-speedup X] [--engine E] [--link L]
 //! ```
 
 use eudoxus_accel::Platform as AccelPlatform;
 use eudoxus_bench::baseline::BaselineFrontend;
 use eudoxus_bench::{alloc_track, dataset, row, section};
 use eudoxus_core::{
-    AcceleratedRun, Enqueue, Executor, ExecutionEngine, FrameRecord, ModeledAccelEngine,
-    OffloadPolicy, PipelineConfig, RunLog, ScheduledEngine, SessionBuilder, SessionManager,
+    AcceleratedRun, Enqueue, Executor, ExecutionEngine, FrameContext, FrameRecord, LinkProfile,
+    LinkStats, ModeledAccelEngine, OffloadPolicy, PipelineConfig, RunLog, ScheduledEngine,
+    SessionBuilder, SessionManager, StochasticLink,
 };
 use eudoxus_frontend::{Frontend, FrontendConfig};
 use eudoxus_sim::{Dataset, Platform, ScenarioKind};
@@ -67,12 +79,18 @@ impl EngineChoice {
     }
 }
 
+/// Seed for every stochastic link the bench instantiates: the traces
+/// (and therefore the decisions and counters) replay bit-identically
+/// from run to run.
+const LINK_SEED: u64 = 9;
+
 struct Args {
     frames: usize,
     workers: usize,
     out: String,
     min_speedup: Option<f64>,
     engine: EngineChoice,
+    link: Option<LinkProfile>,
 }
 
 fn parse_args() -> Args {
@@ -85,6 +103,7 @@ fn parse_args() -> Args {
         out: "BENCH_throughput.json".to_string(),
         min_speedup: None,
         engine: EngineChoice::Scheduled,
+        link: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -111,8 +130,17 @@ fn parse_args() -> Args {
                     ),
                 }
             }
+            "--link" => {
+                args.link = Some(match value("--link").as_str() {
+                    "stable" => LinkProfile::lan_stable(),
+                    "congested" => LinkProfile::congested_uplink(),
+                    "canyon" => LinkProfile::urban_canyon_dropout(),
+                    other => panic!("--link {other}: expected stable, congested or canyon"),
+                })
+            }
             other => panic!(
-                "unknown flag {other} (supported: --frames --workers --out --min-speedup --engine)"
+                "unknown flag {other} (supported: --frames --workers --out --min-speedup \
+                 --engine --link)"
             ),
         }
     }
@@ -138,6 +166,18 @@ struct AccelResult {
     mean_energy_j: f64,
     baseline_energy_j: f64,
     offload_rate: f64,
+    /// Present when `--link` put the engine pass behind a channel (and
+    /// the engine accepted it — the modeled always-offload engines
+    /// price transfers on their fixed bus and decline links).
+    link: Option<LinkResult>,
+}
+
+/// Shedding counters from a link-backed pass.
+struct LinkResult {
+    profile: &'static str,
+    stats: LinkStats,
+    fallback_rate: f64,
+    frames_lost: usize,
 }
 
 struct ScenarioResult {
@@ -179,9 +219,15 @@ fn run_engine_pass(
     data: &Dataset,
     cpu_log: &RunLog,
     choice: EngineChoice,
+    link: Option<LinkProfile>,
 ) -> Option<AccelResult> {
-    let engine = build_engine(choice, cpu_log)?;
+    let mut engine = build_engine(choice, cpu_log)?;
     let engine_name = engine.name();
+    let attached_profile = link.and_then(|profile| {
+        engine
+            .attach_link(Box::new(StochasticLink::new(profile, LINK_SEED)), None)
+            .then_some(profile.name)
+    });
     let mut session = SessionBuilder::new(PipelineConfig::anchored()).build();
     session.set_engine(engine);
     let log = RunLog {
@@ -190,6 +236,12 @@ fn run_engine_pass(
     let run: AcceleratedRun = log
         .execution_run()
         .expect("an attached accel engine reports every frame");
+    let link_result = attached_profile.map(|profile| LinkResult {
+        profile,
+        stats: session.engine().link_stats().expect("link attached"),
+        fallback_rate: run.fallback_rate(),
+        frames_lost: run.frames_lost(),
+    });
     // Baseline energy on the platform the engine models, from the same
     // live pass the reports came from.
     let platform = match choice {
@@ -204,10 +256,74 @@ fn run_engine_pass(
         mean_energy_j: run.mean_energy(),
         baseline_energy_j: Executor::new(platform).baseline_energy(&log),
         offload_rate: run.offload_rate(),
+        link: link_result,
     })
 }
 
-fn run_scenario(data: &Dataset, name: &'static str, engine: EngineChoice) -> ScenarioResult {
+/// One row of the link sweep: a trained scheduler replaying a measured
+/// CPU log behind one canned profile.
+struct LinkSweepRow {
+    profile: &'static str,
+    offload_rate: f64,
+    fallback_rate: f64,
+    stats: LinkStats,
+}
+
+/// Replays every scenario's measured CPU records through a
+/// link-backed trained scheduler, once per canned profile (best channel
+/// first). Replay (not a second live pass): the scheduler prices the
+/// *measured* kernels against each link state, so the three rows differ
+/// only in the channel — which is exactly the comparison the sweep is
+/// after.
+fn run_link_sweep(cpu_logs: &[RunLog], choice: EngineChoice) -> Option<Vec<LinkSweepRow>> {
+    if choice == EngineChoice::Cpu {
+        return None;
+    }
+    let rows = LinkProfile::canned()
+        .into_iter()
+        .map(|profile| {
+            let mut frames = Vec::new();
+            let mut stats = LinkStats::default();
+            for cpu_log in cpu_logs {
+                // A fresh engine (and link) per scenario: every scenario
+                // sees the same seeded channel trace.
+                let mut engine = build_engine(EngineChoice::Scheduled, cpu_log)
+                    .expect("scheduled choice always builds");
+                assert!(engine
+                    .attach_link(Box::new(StochasticLink::new(profile, LINK_SEED)), None));
+                for r in &cpu_log.records {
+                    let report = engine
+                        .execute_frame(&FrameContext {
+                            stats: &r.frontend_stats,
+                            timing: &r.frontend_timing,
+                            backend_kernels: &r.backend_kernels,
+                        })
+                        .expect("a scheduled engine reports every frame");
+                    frames.push(report.accelerated_frame());
+                }
+                let s = engine.link_stats().expect("link attached");
+                stats.frames += s.frames;
+                stats.frames_lost += s.frames_lost;
+                stats.link_fallbacks += s.link_fallbacks;
+            }
+            let run = AcceleratedRun { frames };
+            LinkSweepRow {
+                profile: profile.name,
+                offload_rate: run.offload_rate(),
+                fallback_rate: run.fallback_rate(),
+                stats,
+            }
+        })
+        .collect();
+    Some(rows)
+}
+
+fn run_scenario(
+    data: &Dataset,
+    name: &'static str,
+    engine: EngineChoice,
+    link: Option<LinkProfile>,
+) -> (ScenarioResult, RunLog) {
     // Pre-PR baseline: the seed frontend, allocating per frame.
     let mut baseline = BaselineFrontend::new(FrontendConfig::default());
     let t = Instant::now();
@@ -245,9 +361,9 @@ fn run_scenario(data: &Dataset, name: &'static str, engine: EngineChoice) -> Sce
 
     // In-loop engine pass: the same stream through a session with the
     // selected accelerator engine deciding per frame.
-    let accel = run_engine_pass(data, &cpu_log, engine);
+    let accel = run_engine_pass(data, &cpu_log, engine, link);
 
-    ScenarioResult {
+    let result = ScenarioResult {
         name,
         baseline_frontend_fps: n / baseline_frontend_s,
         frontend_fps: n / frontend_s,
@@ -265,7 +381,8 @@ fn run_scenario(data: &Dataset, name: &'static str, engine: EngineChoice) -> Sce
         allocations_per_frame: alloc_track::counting_enabled()
             .then(|| (alloc_after - alloc_before) as f64 / n),
         accel,
-    }
+    };
+    (result, cpu_log)
 }
 
 struct ManagerResult {
@@ -328,6 +445,7 @@ fn write_json(
     engine: EngineChoice,
     scenarios: &[ScenarioResult],
     manager: &ManagerResult,
+    link_sweep: Option<&[LinkSweepRow]>,
 ) {
     let mean_speedup =
         scenarios.iter().map(|s| s.frontend_speedup).sum::<f64>() / scenarios.len().max(1) as f64;
@@ -402,9 +520,34 @@ fn write_json(
                     json_f(a.baseline_energy_j)
                 ));
                 s.push_str(&format!(
-                    "        \"offload_rate\": {}\n",
+                    "        \"offload_rate\": {},\n",
                     json_f(a.offload_rate)
                 ));
+                match &a.link {
+                    Some(l) => {
+                        s.push_str("        \"link\": {\n");
+                        s.push_str(&format!("          \"profile\": \"{}\",\n", l.profile));
+                        s.push_str(&format!("          \"frames\": {},\n", l.stats.frames));
+                        s.push_str(&format!(
+                            "          \"frames_lost\": {},\n",
+                            l.stats.frames_lost
+                        ));
+                        s.push_str(&format!(
+                            "          \"link_fallbacks\": {},\n",
+                            l.stats.link_fallbacks
+                        ));
+                        s.push_str(&format!(
+                            "          \"fallback_rate\": {},\n",
+                            json_f(l.fallback_rate)
+                        ));
+                        s.push_str(&format!(
+                            "          \"frames_lost_with_work\": {}\n",
+                            l.frames_lost
+                        ));
+                        s.push_str("        }\n");
+                    }
+                    None => s.push_str("        \"link\": null\n"),
+                }
                 s.push_str("      }\n");
             }
             None => s.push_str("      \"accel\": null\n"),
@@ -412,6 +555,32 @@ fn write_json(
         s.push_str(if i + 1 < scenarios.len() { "    },\n" } else { "    }\n" });
     }
     s.push_str("  ],\n");
+    match link_sweep {
+        Some(rows) => {
+            s.push_str("  \"link_sweep\": [\n");
+            for (i, r) in rows.iter().enumerate() {
+                s.push_str("    {\n");
+                s.push_str(&format!("      \"profile\": \"{}\",\n", r.profile));
+                s.push_str(&format!(
+                    "      \"offload_rate\": {},\n",
+                    json_f(r.offload_rate)
+                ));
+                s.push_str(&format!(
+                    "      \"fallback_rate\": {},\n",
+                    json_f(r.fallback_rate)
+                ));
+                s.push_str(&format!("      \"frames\": {},\n", r.stats.frames));
+                s.push_str(&format!("      \"frames_lost\": {},\n", r.stats.frames_lost));
+                s.push_str(&format!(
+                    "      \"link_fallbacks\": {}\n",
+                    r.stats.link_fallbacks
+                ));
+                s.push_str(if i + 1 < rows.len() { "    },\n" } else { "    }\n" });
+            }
+            s.push_str("  ],\n");
+        }
+        None => s.push_str("  \"link_sweep\": null,\n"),
+    }
     s.push_str("  \"manager\": {\n");
     s.push_str(&format!("    \"agents\": {},\n", manager.agents));
     s.push_str(&format!("    \"workers\": {},\n", manager.workers));
@@ -438,6 +607,7 @@ fn main() {
     ));
     let mut scenarios = Vec::new();
     let mut datasets = Vec::new();
+    let mut cpu_logs = Vec::new();
     row(&[
         "scenario".into(),
         "seed fps".into(),
@@ -449,7 +619,7 @@ fn main() {
     ]);
     for (kind, name) in KINDS {
         let data = dataset(kind, Platform::Drone, args.frames, 7);
-        let result = run_scenario(&data, name, args.engine);
+        let (result, cpu_log) = run_scenario(&data, name, args.engine, args.link);
         row(&[
             name.into(),
             format!("{:.2}", result.baseline_frontend_fps),
@@ -466,6 +636,28 @@ fn main() {
         ]);
         scenarios.push(result);
         datasets.push(data);
+        cpu_logs.push(cpu_log);
+    }
+
+    let link_sweep = run_link_sweep(&cpu_logs, args.engine);
+    if let Some(rows) = &link_sweep {
+        section("Link sweep: trained scheduler behind each canned profile");
+        row(&[
+            "profile".into(),
+            "offload".into(),
+            "fallback".into(),
+            "lost".into(),
+            "frames".into(),
+        ]);
+        for r in rows {
+            row(&[
+                r.profile.into(),
+                format!("{:.0}%", r.offload_rate * 100.0),
+                format!("{:.0}%", r.fallback_rate * 100.0),
+                format!("{}", r.stats.frames_lost),
+                format!("{}", r.stats.frames),
+            ]);
+        }
     }
 
     section(&format!(
@@ -483,7 +675,14 @@ fn main() {
         format!("{:.2}x", manager.parallel_speedup),
     ]);
 
-    write_json(&args.out, args.frames, args.engine, &scenarios, &manager);
+    write_json(
+        &args.out,
+        args.frames,
+        args.engine,
+        &scenarios,
+        &manager,
+        link_sweep.as_deref(),
+    );
     println!("\nwrote {}", args.out);
 
     let mean_speedup: f64 =

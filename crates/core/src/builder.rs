@@ -33,6 +33,7 @@ use crate::engine::{CpuEngine, ExecutionEngine};
 use crate::pipeline::{Eudoxus, PipelineConfig};
 use crate::session::{LocalizationSession, SessionManager};
 use eudoxus_backend::{Backend, Registration, Slam, Vio, WorldMap};
+use eudoxus_link::LinkModel;
 use eudoxus_stream::OverflowPolicy;
 
 /// Fluent constructor for [`LocalizationSession`]s (and everything built
@@ -54,14 +55,17 @@ pub struct SessionBuilder {
     default_registry: bool,
     agents: Vec<String>,
     ingest_limit: Option<(usize, OverflowPolicy)>,
+    link: Option<Box<dyn LinkModel>>,
+    deadline_ms: Option<f64>,
 }
 
 impl std::fmt::Debug for SessionBuilder {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "SessionBuilder(engine: {}, map: {}, custom backends: {}, agents: {:?})",
+            "SessionBuilder(engine: {}, link: {}, map: {}, custom backends: {}, agents: {:?})",
             self.engine.name(),
+            self.link.as_ref().map_or("none", |l| l.name()),
             self.map.is_some(),
             self.backends.len(),
             self.agents
@@ -82,6 +86,8 @@ impl SessionBuilder {
             default_registry: true,
             agents: Vec::new(),
             ingest_limit: None,
+            link: None,
+            deadline_ms: None,
         }
     }
 
@@ -94,6 +100,29 @@ impl SessionBuilder {
     /// [`push`](LocalizationSession::push).
     pub fn engine(mut self, engine: impl ExecutionEngine + 'static) -> Self {
         self.engine = Box::new(engine);
+        self
+    }
+
+    /// Puts the accelerator behind a modeled communication channel:
+    /// every built session's engine gets a
+    /// [`fork`](LinkModel::fork) of `link` (independent channel per
+    /// agent, restarted at frame 0) and re-prices offloads against its
+    /// per-frame state — see the
+    /// [crate docs](crate#communication-adaptive-offload-sessionbuilderlink).
+    /// Engines that do not price transfers ([`CpuEngine`],
+    /// [`ModeledAccelEngine`](crate::engine::ModeledAccelEngine))
+    /// ignore the link.
+    pub fn link(mut self, link: impl LinkModel + 'static) -> Self {
+        self.link = Some(Box::new(link));
+        self
+    }
+
+    /// Sets the per-frame latency budget (ms) for link-backed engines:
+    /// frames whose modeled total with offloads would exceed it are
+    /// kept fully local
+    /// ([`FallbackCause::DeadlineExceeded`](crate::engine::FallbackCause)).
+    pub fn deadline_ms(mut self, deadline_ms: f64) -> Self {
+        self.deadline_ms = Some(deadline_ms);
         self
     }
 
@@ -144,7 +173,10 @@ impl SessionBuilder {
     }
 
     /// Stamps one session from the blueprint.
-    fn assemble(&self, engine: Box<dyn ExecutionEngine>) -> LocalizationSession {
+    fn assemble(&self, mut engine: Box<dyn ExecutionEngine>) -> LocalizationSession {
+        if let Some(link) = &self.link {
+            engine.attach_link(link.fork(), self.deadline_ms);
+        }
         let mut session =
             LocalizationSession::from_parts(self.config.clone(), Vec::new(), engine);
         if self.default_registry {
@@ -276,5 +308,35 @@ mod tests {
     fn build_manager_without_agents_is_empty() {
         let manager = SessionBuilder::new(PipelineConfig::anchored()).build_manager();
         assert_eq!(manager.agent_count(), 0);
+    }
+
+    #[test]
+    fn link_attaches_to_scheduled_engines_per_agent() {
+        use crate::engine::{LinkStats, OffloadPolicy, ScheduledEngine};
+        use eudoxus_accel::Platform;
+        use eudoxus_link::StaticLink;
+
+        // Each agent's engine gets its own fork of the link, with fresh
+        // counters.
+        let manager = SessionBuilder::new(PipelineConfig::anchored())
+            .engine(ScheduledEngine::with_policy(
+                Platform::edx_drone(),
+                OffloadPolicy::Always,
+            ))
+            .link(StaticLink::new(1e8, 2e-3))
+            .deadline_ms(40.0)
+            .agent("a")
+            .agent("b")
+            .build_manager();
+        for id in ["a", "b"] {
+            let engine = manager.session(id).unwrap().engine();
+            assert_eq!(engine.link_stats(), Some(LinkStats::default()));
+        }
+
+        // Engines that don't price transfers simply ignore the link.
+        let session = SessionBuilder::new(PipelineConfig::anchored())
+            .link(StaticLink::new(1e8, 2e-3))
+            .build();
+        assert!(session.engine().link_stats().is_none());
     }
 }

@@ -31,6 +31,31 @@
 //! and a post-hoc replay of the same [`RunLog`](crate::instrument::RunLog)
 //! are exactly equal — decisions, latencies and energy, bit for bit
 //! (proven by `tests/engine_equivalence.rs`).
+//!
+//! # Communication-adaptive offload
+//!
+//! The accelerator does not have to sit on the host bus: attaching a
+//! [`LinkModel`](eudoxus_link::LinkModel) (via
+//! [`ScheduledEngine::with_link`] or
+//! [`SessionBuilder::link`](crate::builder::SessionBuilder::link)) makes
+//! the engine treat it as a *remote* resource behind a modeled channel.
+//! Each pushed frame advances the link one step and re-prices every
+//! offloadable kernel against the current [`LinkState`] — same
+//! three-round-trip protocol, but the DMA term is the link's
+//! `transfer_time(bytes)` instead of the bus's. Two fallbacks force the
+//! frame's kernels back onto the host CPU:
+//!
+//! * [`FallbackCause::FrameLost`] — the link dropped the frame (a
+//!   dropout burst); nothing can be offloaded.
+//! * [`FallbackCause::DeadlineExceeded`] — the kernels *could* offload,
+//!   but the modeled frame latency would blow the agent's deadline, so
+//!   the engine refuses to depend on the remote side.
+//!
+//! The [`ExecutionReport`] records the link state and fallback cause,
+//! [`LinkStats`] counts shed frames
+//! ([`ExecutionEngine::link_stats`]), and a `StaticLink` mirroring the
+//! platform bus reproduces the linkless engine bit for bit (PCIe is
+//! just another link).
 
 use crate::stats::Summary;
 use eudoxus_accel::{
@@ -39,6 +64,7 @@ use eudoxus_accel::{
 };
 use eudoxus_backend::{Kernel, KernelSample};
 use eudoxus_frontend::{FrameStats, FrontendTiming};
+use eudoxus_link::{LinkModel, LinkState};
 
 /// Offload policy for the backend kernels.
 #[derive(Debug, Clone)]
@@ -59,6 +85,84 @@ impl OffloadPolicy {
             OffloadPolicy::Always => "always",
             OffloadPolicy::Scheduled(_) => "scheduled",
         }
+    }
+}
+
+/// Why a frame's offloadable kernels were forced back onto the host CPU
+/// despite the engine wanting (or being allowed) to offload them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FallbackCause {
+    /// The link dropped the frame (dropout burst / timeout): transfers
+    /// were impossible, every kernel ran locally.
+    FrameLost,
+    /// Offloading was possible but the modeled frame latency over the
+    /// current link would exceed the agent's deadline, so the engine
+    /// kept the frame local rather than gamble on the remote side.
+    DeadlineExceeded,
+}
+
+impl FallbackCause {
+    /// Short cause name for reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            FallbackCause::FrameLost => "frame-lost",
+            FallbackCause::DeadlineExceeded => "deadline",
+        }
+    }
+}
+
+impl std::fmt::Display for FallbackCause {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Link-shedding counters for an engine with a channel attached — the
+/// engine-side analogue of the ingest
+/// [`IngestSnapshot`](crate::instrument::IngestSnapshot): how often the
+/// modeled channel degraded the frame placement.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LinkStats {
+    /// Frames the link was advanced for (every executed frame).
+    pub frames: u64,
+    /// Frames the link dropped outright (state was `lost`).
+    pub frames_lost: u64,
+    /// Frames forced to pure-CPU by the link — lost frames with
+    /// offloadable work pending, plus deadline fallbacks.
+    pub link_fallbacks: u64,
+}
+
+impl LinkStats {
+    /// Fraction of frames the link dropped.
+    pub fn loss_rate(&self) -> f64 {
+        if self.frames == 0 {
+            0.0
+        } else {
+            self.frames_lost as f64 / self.frames as f64
+        }
+    }
+
+    /// Fraction of frames shed to pure-CPU because of the link.
+    pub fn fallback_rate(&self) -> f64 {
+        if self.frames == 0 {
+            0.0
+        } else {
+            self.link_fallbacks as f64 / self.frames as f64
+        }
+    }
+}
+
+impl std::fmt::Display for LinkStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "link: {} frames, {} lost ({:.1}%), {} cpu fallbacks ({:.1}%)",
+            self.frames,
+            self.frames_lost,
+            100.0 * self.loss_rate(),
+            self.link_fallbacks,
+            100.0 * self.fallback_rate(),
+        )
     }
 }
 
@@ -145,6 +249,11 @@ pub struct ExecutionReport {
     pub decisions: Vec<KernelDecision>,
     /// Modeled per-frame energy.
     pub energy: FrameEnergy,
+    /// Channel state the frame's transfers were priced against; `None`
+    /// for linkless engines (the on-board bus).
+    pub link: Option<LinkState>,
+    /// Why the frame was forced to pure CPU, when it was.
+    pub fallback: Option<FallbackCause>,
 }
 
 impl ExecutionReport {
@@ -163,6 +272,7 @@ impl ExecutionReport {
             offloadable: self.offloadable,
             offloaded: self.offloaded,
             energy: self.energy,
+            fallback: self.fallback,
         }
     }
 }
@@ -180,6 +290,9 @@ pub struct AcceleratedFrame {
     pub offloaded: usize,
     /// Per-frame energy.
     pub energy: FrameEnergy,
+    /// Why the frame was forced to pure CPU, when it was (link-backed
+    /// engines only; always `None` on the bus).
+    pub fallback: Option<FallbackCause>,
 }
 
 impl AcceleratedFrame {
@@ -255,6 +368,24 @@ impl AcceleratedRun {
             off as f64 / total as f64
         }
     }
+
+    /// Fraction of frames forced to pure CPU by the link (lost frames
+    /// with pending work, or deadline fallbacks).
+    pub fn fallback_rate(&self) -> f64 {
+        if self.frames.is_empty() {
+            return 0.0;
+        }
+        let fb = self.frames.iter().filter(|f| f.fallback.is_some()).count();
+        fb as f64 / self.frames.len() as f64
+    }
+
+    /// Frames the link dropped outright.
+    pub fn frames_lost(&self) -> usize {
+        self.frames
+            .iter()
+            .filter(|f| f.fallback == Some(FallbackCause::FrameLost))
+            .count()
+    }
 }
 
 /// The per-frame decision hook a [`LocalizationSession`] consults.
@@ -283,6 +414,26 @@ pub trait ExecutionEngine: Send {
     /// A fresh, independent engine with the same configuration (for
     /// another agent's session).
     fn fork(&self) -> Box<dyn ExecutionEngine>;
+
+    /// Attaches a communication channel (and an optional per-frame
+    /// deadline in milliseconds) between the host and the accelerator:
+    /// the engine advances the link every frame and re-prices offloads
+    /// against its state. Returns `false` when the engine does not
+    /// price transfers and ignored the link ([`CpuEngine`] models
+    /// nothing; [`ModeledAccelEngine`] is the fixed on-board-bus
+    /// instrument — use
+    /// [`ScheduledEngine::with_policy`]`(platform, OffloadPolicy::Always)`
+    /// for an always-offload engine behind a link).
+    fn attach_link(&mut self, link: Box<dyn LinkModel>, deadline_ms: Option<f64>) -> bool {
+        let _ = (link, deadline_ms);
+        false
+    }
+
+    /// Link-shedding counters, for engines with a channel attached
+    /// (`None` otherwise).
+    fn link_stats(&self) -> Option<LinkStats> {
+        None
+    }
 }
 
 /// The shared analytical core every accelerator-backed engine (and the
@@ -364,7 +515,54 @@ impl AccelModel {
 
     /// Evaluates one frame under an offload policy — the single code
     /// path behind every engine report and every replayed frame.
+    /// Equivalent to [`model_frame_linked`](Self::model_frame_linked)
+    /// with no link and no deadline (the on-board bus).
     pub fn model_frame(&self, ctx: &FrameContext<'_>, policy: &OffloadPolicy) -> ExecutionReport {
+        self.model_frame_linked(ctx, policy, None, None)
+    }
+
+    /// Evaluates one frame with the accelerator behind a communication
+    /// channel. `link` is the channel state in force for this frame
+    /// (`None` = the platform bus, reproducing [`model_frame`] bit for
+    /// bit); `deadline_ms` is the agent's per-frame latency budget.
+    ///
+    /// The link governs only the backend kernels' DMA round trips — the
+    /// frontend pipeline streams from the on-board sensors and keeps its
+    /// accelerator latency in all cases. A lost frame prices every
+    /// kernel at `accel_ms = ∞` (forced local,
+    /// [`FallbackCause::FrameLost`]); a frame whose modeled total,
+    /// offloads included, would exceed the deadline is re-evaluated
+    /// all-local ([`FallbackCause::DeadlineExceeded`]).
+    ///
+    /// [`model_frame`]: Self::model_frame
+    pub fn model_frame_linked(
+        &self,
+        ctx: &FrameContext<'_>,
+        policy: &OffloadPolicy,
+        link: Option<&LinkState>,
+        deadline_ms: Option<f64>,
+    ) -> ExecutionReport {
+        let mut report = self.model_frame_over(ctx, policy, link);
+        if let Some(deadline) = deadline_ms {
+            if report.offloaded > 0 && report.total_ms() > deadline {
+                // The offloaded plan blows the budget: refuse to depend
+                // on the remote side and keep the whole frame local.
+                report = self.model_frame_over(ctx, &OffloadPolicy::Never, link);
+                report.engine = policy.name();
+                report.fallback = Some(FallbackCause::DeadlineExceeded);
+            }
+        }
+        report
+    }
+
+    /// The shared frame loop: prices every offloadable kernel over the
+    /// given channel state (or the platform bus) and applies the policy.
+    fn model_frame_over(
+        &self,
+        ctx: &FrameContext<'_>,
+        policy: &OffloadPolicy,
+        link: Option<&LinkState>,
+    ) -> ExecutionReport {
         // Frontend through the accelerator.
         let workload = self.workload(ctx.stats);
         let fe = self.frontend.latency(&workload);
@@ -382,12 +580,21 @@ impl AccelModel {
                 Some(kind) => {
                     offloadable += 1;
                     let dims = self.dims_for(kind, k.size);
-                    let accel_ms = self.backend.offload_time(&dims) * 1e3;
+                    let accel_ms = match link {
+                        // No link: the platform bus, summed in the exact
+                        // order the pre-link engine used.
+                        None => self.backend.offload_time(&dims) * 1e3,
+                        Some(state) => match state.transfer_time(dims.transfer_bytes()) {
+                            Some(t) => self.backend.offload_time_via(&dims, t) * 1e3,
+                            // Frame lost: offloading is impossible.
+                            None => f64::INFINITY,
+                        },
+                    };
                     let do_offload = match policy {
                         OffloadPolicy::Never => false,
-                        OffloadPolicy::Always => true,
+                        OffloadPolicy::Always => accel_ms.is_finite(),
                         OffloadPolicy::Scheduled(s) => {
-                            s.decide(&self.backend, &dims).is_offload()
+                            s.decide_with_accel_ms(kind, k.size, accel_ms).is_offload()
                         }
                     };
                     if do_offload {
@@ -425,6 +632,7 @@ impl AccelModel {
         } else {
             ExecutionTarget::Mixed
         };
+        let lost = link.is_some_and(|s| s.lost);
         ExecutionReport {
             engine: policy.name(),
             target,
@@ -434,6 +642,12 @@ impl AccelModel {
             offloaded,
             decisions,
             energy,
+            link: link.copied(),
+            fallback: if lost && offloadable > 0 {
+                Some(FallbackCause::FrameLost)
+            } else {
+                None
+            },
         }
     }
 }
@@ -515,10 +729,45 @@ impl ExecutionEngine for ModeledAccelEngine {
 /// report rides on the frame record —
 /// [`Executor::replay`](crate::executor::Executor::replay) of the same
 /// log reproduces it exactly.
-#[derive(Debug, Clone)]
+///
+/// With a channel attached ([`with_link`](Self::with_link) /
+/// [`attach_link`](ExecutionEngine::attach_link)), the engine advances
+/// the link once per frame, re-prices every kernel against its state,
+/// and sheds the frame to pure CPU on loss or deadline risk (see the
+/// [module docs](self)). [`Clone`] and
+/// [`fork`](ExecutionEngine::fork) restart the link at frame 0 and
+/// zero the [`LinkStats`] — a clone is a fresh engine with the same
+/// configuration, not a snapshot of channel position.
 pub struct ScheduledEngine {
     model: AccelModel,
     policy: OffloadPolicy,
+    link: Option<Box<dyn LinkModel>>,
+    deadline_ms: Option<f64>,
+    stats: LinkStats,
+}
+
+impl std::fmt::Debug for ScheduledEngine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "ScheduledEngine(policy: {}, link: {}, deadline_ms: {:?})",
+            self.policy.name(),
+            self.link.as_ref().map_or("none", |l| l.name()),
+            self.deadline_ms,
+        )
+    }
+}
+
+impl Clone for ScheduledEngine {
+    fn clone(&self) -> Self {
+        ScheduledEngine {
+            model: self.model.clone(),
+            policy: self.policy.clone(),
+            link: self.link.as_ref().map(|l| l.fork()),
+            deadline_ms: self.deadline_ms,
+            stats: LinkStats::default(),
+        }
+    }
 }
 
 impl ScheduledEngine {
@@ -533,12 +782,38 @@ impl ScheduledEngine {
         ScheduledEngine {
             model: AccelModel::new(platform),
             policy,
+            link: None,
+            deadline_ms: None,
+            stats: LinkStats::default(),
         }
     }
 
     /// Shares an existing model (the replay executor's delegation path).
     pub(crate) fn from_model(model: AccelModel, policy: OffloadPolicy) -> Self {
-        ScheduledEngine { model, policy }
+        ScheduledEngine {
+            model,
+            policy,
+            link: None,
+            deadline_ms: None,
+            stats: LinkStats::default(),
+        }
+    }
+
+    /// Puts the accelerator behind a modeled channel: every frame
+    /// advances `link` and prices offloads against its state. A
+    /// `StaticLink` mirroring the platform bus reproduces the linkless
+    /// engine bit for bit.
+    pub fn with_link(mut self, link: impl LinkModel + 'static) -> Self {
+        self.link = Some(Box::new(link));
+        self
+    }
+
+    /// Sets the agent's per-frame latency budget (ms): frames whose
+    /// modeled total with offloads would exceed it are kept fully local
+    /// ([`FallbackCause::DeadlineExceeded`]).
+    pub fn with_deadline_ms(mut self, deadline_ms: f64) -> Self {
+        self.deadline_ms = Some(deadline_ms);
+        self
     }
 
     /// The offload policy in force.
@@ -550,6 +825,11 @@ impl ScheduledEngine {
     pub fn model(&self) -> &AccelModel {
         &self.model
     }
+
+    /// The attached channel, if any.
+    pub fn link(&self) -> Option<&dyn LinkModel> {
+        self.link.as_deref()
+    }
 }
 
 impl ExecutionEngine for ScheduledEngine {
@@ -558,11 +838,43 @@ impl ExecutionEngine for ScheduledEngine {
     }
 
     fn execute_frame(&mut self, ctx: &FrameContext<'_>) -> Option<ExecutionReport> {
-        Some(self.model.model_frame(ctx, &self.policy))
+        let report = match self.link.as_mut() {
+            None => self
+                .model
+                .model_frame_linked(ctx, &self.policy, None, self.deadline_ms),
+            Some(link) => {
+                let state = link.advance_frame();
+                let report =
+                    self.model
+                        .model_frame_linked(ctx, &self.policy, Some(&state), self.deadline_ms);
+                self.stats.frames += 1;
+                if state.lost {
+                    self.stats.frames_lost += 1;
+                }
+                if report.fallback.is_some() {
+                    self.stats.link_fallbacks += 1;
+                }
+                report
+            }
+        };
+        Some(report)
     }
 
     fn fork(&self) -> Box<dyn ExecutionEngine> {
         Box::new(self.clone())
+    }
+
+    fn attach_link(&mut self, link: Box<dyn LinkModel>, deadline_ms: Option<f64>) -> bool {
+        self.link = Some(link);
+        if deadline_ms.is_some() {
+            self.deadline_ms = deadline_ms;
+        }
+        self.stats = LinkStats::default();
+        true
+    }
+
+    fn link_stats(&self) -> Option<LinkStats> {
+        self.link.as_ref().map(|_| self.stats)
     }
 }
 
@@ -664,6 +976,100 @@ mod tests {
         assert_eq!(a.frontend_ms.to_bits(), b.frontend_ms.to_bits());
         assert_eq!(a.backend_ms.to_bits(), b.backend_ms.to_bits());
         assert_eq!(a.energy.total().to_bits(), b.energy.total().to_bits());
+    }
+
+    #[test]
+    fn static_link_matches_bus_bitwise() {
+        // PCIe as "just another link": a StaticLink mirroring the
+        // platform bus must reproduce the linkless report bit for bit.
+        let (stats, timing, kernels) = ctx_inputs();
+        let ctx = FrameContext {
+            stats: &stats,
+            timing: &timing,
+            backend_kernels: &kernels,
+        };
+        for platform in [Platform::edx_car(), Platform::edx_drone()] {
+            let mut plain = ScheduledEngine::with_policy(platform, OffloadPolicy::Always);
+            let mut linked = ScheduledEngine::with_policy(platform, OffloadPolicy::Always)
+                .with_link(platform.bus.as_link());
+            let a = plain.execute_frame(&ctx).unwrap();
+            let b = linked.execute_frame(&ctx).unwrap();
+            assert_eq!(a.frontend_ms.to_bits(), b.frontend_ms.to_bits());
+            assert_eq!(a.backend_ms.to_bits(), b.backend_ms.to_bits());
+            assert_eq!(a.energy.total().to_bits(), b.energy.total().to_bits());
+            assert_eq!(a.offloaded, b.offloaded);
+            assert_eq!(b.fallback, None);
+            assert!(b.link.is_some() && a.link.is_none());
+            for (da, db) in a.decisions.iter().zip(&b.decisions) {
+                assert_eq!(da.accel_ms.to_bits(), db.accel_ms.to_bits());
+                assert_eq!(da.offloaded, db.offloaded);
+            }
+        }
+    }
+
+    #[test]
+    fn forced_loss_profile_counts_fallbacks_and_losses() {
+        // A link that is down every frame: every frame with offloadable
+        // work must shed to CPU and the counters must say so.
+        let (stats, timing, kernels) = ctx_inputs();
+        let ctx = FrameContext {
+            stats: &stats,
+            timing: &timing,
+            backend_kernels: &kernels,
+        };
+        let dead = eudoxus_link::TraceLink::new(vec![LinkState::down()]);
+        let mut engine = ScheduledEngine::with_policy(Platform::edx_drone(), OffloadPolicy::Always)
+            .with_link(dead);
+        for _ in 0..8 {
+            let report = engine.execute_frame(&ctx).unwrap();
+            assert_eq!(report.offloaded, 0);
+            assert_eq!(report.target, ExecutionTarget::Cpu);
+            assert_eq!(report.fallback, Some(FallbackCause::FrameLost));
+            assert!(report.link.unwrap().lost);
+            // Lost frames price offload at infinity.
+            assert!(report.decisions[0].accel_ms.is_infinite());
+        }
+        let stats = engine.link_stats().expect("link attached");
+        assert_eq!(stats.frames, 8);
+        assert_eq!(stats.frames_lost, 8);
+        assert_eq!(stats.link_fallbacks, 8);
+        assert_eq!(stats.loss_rate(), 1.0);
+        assert_eq!(stats.fallback_rate(), 1.0);
+        // Fork restarts the channel and zeroes the counters.
+        assert_eq!(engine.fork().link_stats(), Some(LinkStats::default()));
+    }
+
+    #[test]
+    fn deadline_blows_fall_back_to_local() {
+        let (stats, timing, kernels) = ctx_inputs();
+        let ctx = FrameContext {
+            stats: &stats,
+            timing: &timing,
+            backend_kernels: &kernels,
+        };
+        // A painfully slow (but up) link: offloading the Kalman gain
+        // would add hundreds of ms, blowing a 50 ms budget.
+        let slow = eudoxus_link::StaticLink::new(1e5, 0.2);
+        let mut engine = ScheduledEngine::with_policy(Platform::edx_drone(), OffloadPolicy::Always)
+            .with_link(slow)
+            .with_deadline_ms(50.0);
+        let report = engine.execute_frame(&ctx).unwrap();
+        assert_eq!(report.fallback, Some(FallbackCause::DeadlineExceeded));
+        assert_eq!(report.offloaded, 0);
+        // The local plan keeps the measured backend cost.
+        assert!((report.backend_ms - 27.0).abs() < 1e-9);
+        assert_eq!(engine.link_stats().unwrap().link_fallbacks, 1);
+        assert_eq!(engine.link_stats().unwrap().frames_lost, 0);
+    }
+
+    #[test]
+    fn passthrough_engines_ignore_links() {
+        let mut cpu = CpuEngine;
+        assert!(!cpu.attach_link(Box::new(eudoxus_link::StaticLink::new(1e9, 1e-3)), None));
+        assert!(cpu.link_stats().is_none());
+        let mut modeled = ModeledAccelEngine::edx_car();
+        assert!(!modeled.attach_link(Box::new(eudoxus_link::StaticLink::new(1e9, 1e-3)), None));
+        assert!(modeled.link_stats().is_none());
     }
 
     #[test]

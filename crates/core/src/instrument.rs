@@ -235,7 +235,11 @@ impl RunLog {
     /// records into an [`AcceleratedRun`] — the live counterpart of
     /// [`Executor::replay`](crate::executor::Executor::replay), giving
     /// modeled accelerated fps (pipelined/unpipelined), energy and
-    /// offload rate straight from the instrumentation stream. `None`
+    /// offload rate straight from the instrumentation stream. For
+    /// link-backed engines the run also carries the link-quality view:
+    /// [`AcceleratedRun::fallback_rate`] and
+    /// [`AcceleratedRun::frames_lost`] report how the channel degraded
+    /// placement (offload rate vs link quality). `None`
     /// when no record carries a report (the default [`CpuEngine`]
     /// passthrough); frames without a report are skipped otherwise.
     ///

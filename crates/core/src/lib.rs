@@ -105,6 +105,52 @@
 //! `RunLog::execution_run()` turns the engine's per-frame reports into
 //! the same `AcceleratedRun` the replay executor produces.
 //!
+//! # Communication-adaptive offload (`SessionBuilder::link`)
+//!
+//! Since the link redesign, the accelerator can sit behind a modeled
+//! communication channel instead of the on-board bus:
+//! [`SessionBuilder::link`](builder::SessionBuilder::link) attaches any
+//! `eudoxus_link::LinkModel` (with an optional per-frame deadline via
+//! [`deadline_ms`](builder::SessionBuilder::deadline_ms)) to the
+//! session's engine, and [`ScheduledEngine`] then advances the link
+//! once per pushed frame and re-prices every offloadable kernel
+//! against the current bandwidth/latency/loss state:
+//!
+//! ```no_run
+//! use eudoxus_core::{
+//!     LinkProfile, OffloadPolicy, PipelineConfig, ScheduledEngine, SessionBuilder,
+//!     StochasticLink,
+//! };
+//! use eudoxus_accel::Platform;
+//!
+//! let mut session = SessionBuilder::new(PipelineConfig::anchored())
+//!     .engine(ScheduledEngine::with_policy(
+//!         Platform::edx_drone(),
+//!         OffloadPolicy::Always,
+//!     ))
+//!     .link(StochasticLink::new(LinkProfile::urban_canyon_dropout(), 42))
+//!     .deadline_ms(50.0)
+//!     .build();
+//! // ... push events; then inspect the shedding counters:
+//! if let Some(stats) = session.engine().link_stats() {
+//!     println!("{stats}");
+//! }
+//! ```
+//!
+//! Offload falls back to pure CPU in exactly two cases, recorded as the
+//! report's [`FallbackCause`]: the link dropped the frame
+//! (`FrameLost` — a dropout burst made transfers impossible), or the
+//! modeled frame latency with offloads would blow the configured
+//! deadline (`DeadlineExceeded` — the engine refuses to gamble on the
+//! remote side). Everything stays deterministic: profiles
+//! (`LinkProfile::{lan_stable, congested_uplink,
+//! urban_canyon_dropout}`) drive seeded processes that replay bit
+//! for bit, and a `StaticLink` mirroring the platform bus reproduces
+//! the linkless engine exactly. The passthrough [`CpuEngine`] and the
+//! fixed-bus [`ModeledAccelEngine`] ignore attached links (their
+//! `attach_link` returns `false`); no-link sessions are bit-identical
+//! to the pre-link API.
+//!
 //! # Migrating from the pre-streaming API
 //!
 //! [`Eudoxus`] no longer exposes its concrete estimators (the old direct
@@ -153,8 +199,8 @@ pub mod stats;
 pub use builder::SessionBuilder;
 pub use engine::{
     AccelModel, AcceleratedFrame, AcceleratedRun, CpuEngine, ExecutionEngine, ExecutionReport,
-    ExecutionTarget, FrameContext, KernelDecision, ModeledAccelEngine, OffloadPolicy,
-    ScheduledEngine,
+    ExecutionTarget, FallbackCause, FrameContext, KernelDecision, LinkStats, ModeledAccelEngine,
+    OffloadPolicy, ScheduledEngine,
 };
 pub use executor::Executor;
 pub use instrument::{FrameRecord, IngestSnapshot, RunLog};
@@ -170,3 +216,7 @@ pub use stats::Summary;
 // this crate. (They live in the leaf `eudoxus-stream` crate; the
 // historical `eudoxus_sim` paths re-export the same types.)
 pub use eudoxus_stream::{ImageEvent, SensorEvent};
+
+// The channel model, re-exported so link-aware sessions need only this
+// crate (the types live in the leaf `eudoxus-link` crate).
+pub use eudoxus_link::{LinkModel, LinkProfile, LinkState, StaticLink, StochasticLink, TraceLink};

@@ -23,8 +23,9 @@
 #![allow(deprecated)]
 
 use eudoxus_core::{
-    CpuEngine, Eudoxus, Executor, FrameRecord, LocalizationSession, ModeledAccelEngine,
-    OffloadPolicy, PipelineConfig, RunLog, ScheduledEngine, SessionBuilder,
+    CpuEngine, Eudoxus, Executor, FrameRecord, LinkProfile, LocalizationSession,
+    ModeledAccelEngine, OffloadPolicy, PipelineConfig, RunLog, ScheduledEngine, SessionBuilder,
+    StochasticLink,
 };
 use eudoxus_accel::Platform as AccelPlatform;
 use eudoxus_sim::{Dataset, Platform, ScenarioBuilder, ScenarioKind};
@@ -278,6 +279,96 @@ fn engine_decisions_are_reproducible_across_runs() {
         for (da, db) in ra.decisions.iter().zip(&rb.decisions) {
             assert_eq!(da.kind, db.kind);
             assert_eq!(da.size, db.size);
+            assert_eq!(da.offloaded, db.offloaded);
+            assert_eq!(da.accel_ms.to_bits(), db.accel_ms.to_bits());
+        }
+    }
+}
+
+#[test]
+fn engine_static_link_matches_linkless_engine_bitwise_across_kinds() {
+    // PCIe as just another link: putting the platform's own bus behind
+    // the link seam must change nothing — poses, reports, decisions and
+    // energy stay bit-identical to the linkless PR 5 engine on every
+    // scenario kind, and the no-link session itself stays bit-identical
+    // to the CpuEngine baseline in poses.
+    let platform = AccelPlatform::edx_drone();
+    for (i, kind) in ALL_KINDS.into_iter().enumerate() {
+        let data = dataset(kind, 4, 60 + i as u64);
+
+        let mut plain = SessionBuilder::new(PipelineConfig::anchored())
+            .engine(ScheduledEngine::with_policy(platform, OffloadPolicy::Always))
+            .build();
+        let plain_records = stream(&mut plain, &data);
+
+        let mut linked = SessionBuilder::new(PipelineConfig::anchored())
+            .engine(ScheduledEngine::with_policy(platform, OffloadPolicy::Always))
+            .link(platform.bus.as_link())
+            .build();
+        let linked_records = stream(&mut linked, &data);
+
+        assert_records_bit_identical(&plain_records, &linked_records, &format!("{kind:?} link"));
+        // Only the *modeled* quantities are comparable across two live
+        // runs (measured kernel millis are wall-clock): frontend
+        // latency, placements and the link-priced accel_ms must agree
+        // bit for bit.
+        for (p, l) in plain_records.iter().zip(&linked_records) {
+            let (rp, rl) = (p.execution.as_ref().unwrap(), l.execution.as_ref().unwrap());
+            assert_eq!(rp.frontend_ms.to_bits(), rl.frontend_ms.to_bits());
+            assert_eq!(rp.offloadable, rl.offloadable);
+            assert_eq!(rp.offloaded, rl.offloaded);
+            assert_eq!(rl.fallback, None, "a static bus never sheds");
+            for (dp, dl) in rp.decisions.iter().zip(&rl.decisions) {
+                assert_eq!(dp.offloaded, dl.offloaded);
+                assert_eq!(dp.accel_ms.to_bits(), dl.accel_ms.to_bits());
+            }
+        }
+        // The link-backed engine exposes counters; the static bus never
+        // drops or sheds anything.
+        let stats = linked.engine().link_stats().expect("link attached");
+        assert_eq!(stats.frames as usize, linked_records.len());
+        assert_eq!(stats.frames_lost, 0);
+        assert_eq!(stats.link_fallbacks, 0);
+
+        // And the CpuEngine session of the same stream keeps identical
+        // poses (no-link sessions unchanged by the link redesign).
+        let mut cpu = SessionBuilder::new(PipelineConfig::anchored()).build();
+        let cpu_records = stream(&mut cpu, &data);
+        assert_records_bit_identical(&cpu_records, &plain_records, &format!("{kind:?} cpu"));
+        assert!(cpu.engine().link_stats().is_none());
+    }
+}
+
+#[test]
+fn engine_seeded_link_replays_identical_decision_trace() {
+    // Same (profile, seed) in two fully independent sessions: the whole
+    // decision trace — link states, per-kernel placements, fallback
+    // causes, link-priced latencies — must replay bit for bit. (No
+    // deadline here: deadline shedding keys off *measured* frame
+    // latency, which is wall-clock by design.)
+    let platform = AccelPlatform::edx_drone();
+    let data = dataset(ScenarioKind::Mixed, 8, 33);
+    let run = || {
+        let mut session = SessionBuilder::new(PipelineConfig::anchored())
+            .engine(ScheduledEngine::with_policy(platform, OffloadPolicy::Always))
+            .link(StochasticLink::new(LinkProfile::urban_canyon_dropout(), 77))
+            .build();
+        let records = stream(&mut session, &data);
+        let stats = session.engine().link_stats().expect("link attached");
+        (records, stats)
+    };
+    let (first, stats_a) = run();
+    let (second, stats_b) = run();
+    assert_eq!(stats_a, stats_b, "shedding counters replay");
+    for (a, b) in first.iter().zip(&second) {
+        let (ra, rb) = (a.execution.as_ref().unwrap(), b.execution.as_ref().unwrap());
+        assert_eq!(ra.fallback, rb.fallback);
+        assert_eq!(ra.offloaded, rb.offloaded);
+        let (la, lb) = (ra.link.unwrap(), rb.link.unwrap());
+        assert_eq!(la.bandwidth_bps.to_bits(), lb.bandwidth_bps.to_bits());
+        assert_eq!(la.latency_s.to_bits(), lb.latency_s.to_bits());
+        assert_eq!(la.lost, lb.lost);
+        for (da, db) in ra.decisions.iter().zip(&rb.decisions) {
             assert_eq!(da.offloaded, db.offloaded);
             assert_eq!(da.accel_ms.to_bits(), db.accel_ms.to_bits());
         }

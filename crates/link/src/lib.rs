@@ -1,0 +1,61 @@
+//! # eudoxus-link
+//!
+//! Modeled communication channels for Eudoxus offload: the link between
+//! an agent and its accelerator (on-board PCIe/AXI, a bench tether, or
+//! a wireless uplink to an edge server) as a **deterministic per-frame
+//! process**.
+//!
+//! The paper prices offload over a fixed bus (EDX-CAR PCIe 3.0 at
+//! 7.9 GB/s, EDX-DRONE AXI4 at 1.2 GB/s). The EdgeLoc direction makes
+//! the channel itself the variable: bandwidth ramps, latency spikes,
+//! jitter and dropout bursts change the per-kernel local-vs-remote
+//! answer frame by frame. This leaf crate (deps: the offline `rand`
+//! shim only) supplies that channel model; `eudoxus-core` threads it
+//! through the execution-engine seam.
+//!
+//! ## The model
+//!
+//! * [`LinkState`] — the condition in force for one frame
+//!   (bandwidth, latency, lost?), with
+//!   [`transfer_time(bytes)`](LinkState::transfer_time) returning
+//!   `None` when the frame is lost and otherwise the exact
+//!   `latency + bytes / bandwidth` the accelerator bus model uses.
+//! * [`LinkModel`] — the channel as a process: `advance_frame()` fixes
+//!   the state for the next frame; `fork()` restarts an identical
+//!   channel (per-agent stamping). All implementations are
+//!   deterministic: same construction + same advances ⇒ the same state
+//!   trace, bit for bit.
+//! * [`StaticLink`] — constant channel; reproduces `BusModel`
+//!   arithmetic exactly, so PCIe is just another link.
+//! * [`TraceLink`] — replays a recorded per-frame state trace, cycling.
+//! * [`StochasticLink`] — a seeded random process parameterized by a
+//!   [`LinkProfile`]: triangle-wave congestion ramps, bandwidth/latency
+//!   jitter, latency spikes, and Gilbert–Elliott loss bursts on a fixed
+//!   four-draws-per-frame schedule.
+//!
+//! ## Canned profiles
+//!
+//! [`LinkProfile::lan_stable`] (wired tether, no loss) →
+//! [`LinkProfile::congested_uplink`] (shared cellular, ramps + jitter,
+//! rare loss) → [`LinkProfile::urban_canyon_dropout`] (weak, spiky,
+//! ~25% bursty loss), ordered best → worst; offload rates degrade
+//! monotonically across them (pinned by `BENCH_throughput.json`).
+//!
+//! ```
+//! use eudoxus_link::{LinkModel, LinkProfile, StochasticLink};
+//!
+//! let mut link = StochasticLink::new(LinkProfile::congested_uplink(), 42);
+//! for frame in 0..5 {
+//!     let state = link.advance_frame();
+//!     match state.transfer_time(256 * 1024) {
+//!         Some(t) => println!("frame {frame}: 256 KiB in {:.2} ms", t * 1e3),
+//!         None => println!("frame {frame}: link down"),
+//!     }
+//! }
+//! ```
+
+mod model;
+mod stochastic;
+
+pub use model::{LinkModel, LinkState, StaticLink, TraceLink};
+pub use stochastic::{LinkProfile, StochasticLink};

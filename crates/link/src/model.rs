@@ -1,0 +1,252 @@
+//! The channel abstraction: per-frame link state and the [`LinkModel`]
+//! trait, plus the two deterministic implementations ([`StaticLink`],
+//! [`TraceLink`]).
+
+/// The channel condition in force for one frame: what the offload
+/// runtime sees when it prices a transfer.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinkState {
+    /// Sustained bandwidth (bytes/second).
+    pub bandwidth_bps: f64,
+    /// Per-transfer latency (seconds) — propagation + protocol overhead
+    /// paid once per transfer regardless of size.
+    pub latency_s: f64,
+    /// Whether the channel is out for this frame: a transfer started now
+    /// is lost or times out (dropout burst, handover blackout).
+    pub lost: bool,
+}
+
+impl LinkState {
+    /// A healthy state with the given bandwidth and latency.
+    pub fn up(bandwidth_bps: f64, latency_s: f64) -> LinkState {
+        LinkState {
+            bandwidth_bps,
+            latency_s,
+            lost: false,
+        }
+    }
+
+    /// The channel-out state (transfers fail regardless of size).
+    pub fn down() -> LinkState {
+        LinkState {
+            bandwidth_bps: 0.0,
+            latency_s: 0.0,
+            lost: true,
+        }
+    }
+
+    /// Time to move `bytes` across the channel in this state; `None`
+    /// when the frame is lost/timed out. The arithmetic is exactly the
+    /// PCIe bus model's (`latency + bytes / bandwidth`), so a state
+    /// mirroring a `BusModel` prices transfers bit-identically.
+    pub fn transfer_time(&self, bytes: usize) -> Option<f64> {
+        if self.lost {
+            None
+        } else {
+            Some(self.latency_s + bytes as f64 / self.bandwidth_bps)
+        }
+    }
+}
+
+/// A communication channel modeled as a deterministic per-frame process.
+///
+/// The offload runtime drives it one frame at a time: [`advance_frame`]
+/// evolves the channel process and fixes the [`LinkState`] every
+/// transfer of that frame is priced against; [`transfer_time`] prices
+/// one payload under that state (`None` = the frame is lost). Every
+/// implementation is deterministic — same construction + same number of
+/// `advance_frame` calls ⇒ the same state sequence, bit for bit — so
+/// offload decision traces replay exactly.
+///
+/// [`advance_frame`]: LinkModel::advance_frame
+/// [`transfer_time`]: LinkModel::transfer_time
+pub trait LinkModel: Send {
+    /// Short channel name for reports and diagnostics.
+    fn name(&self) -> &'static str;
+
+    /// Advances the channel process by one frame and returns the state
+    /// in force for it.
+    fn advance_frame(&mut self) -> LinkState;
+
+    /// The state currently in force (the last [`advance_frame`] result;
+    /// the process's initial state before the first call).
+    ///
+    /// [`advance_frame`]: LinkModel::advance_frame
+    fn state(&self) -> LinkState;
+
+    /// Time (seconds) to move `bytes` under the current state; `None`
+    /// when the frame is lost/timed out.
+    fn transfer_time(&self, bytes: usize) -> Option<f64> {
+        self.state().transfer_time(bytes)
+    }
+
+    /// A fresh, independent channel with the same configuration,
+    /// restarted at frame 0 (for stamping one link per agent; seeded
+    /// processes replay the identical state sequence).
+    fn fork(&self) -> Box<dyn LinkModel>;
+}
+
+/// The degenerate channel: constant bandwidth and latency, never lost.
+///
+/// This is the PCIe/AXI host↔accelerator bus as "just another link" —
+/// `transfer_time` reproduces the accelerator platform's bus arithmetic
+/// exactly (`eudoxus_accel::platform::BusModel` delegates here), so an
+/// engine priced over a `StaticLink` mirroring its platform bus is
+/// bit-identical to one priced over the bus directly.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StaticLink {
+    state: LinkState,
+}
+
+impl StaticLink {
+    /// A constant link with the given bandwidth (bytes/second) and
+    /// per-transfer latency (seconds).
+    pub fn new(bandwidth_bps: f64, latency_s: f64) -> StaticLink {
+        StaticLink {
+            state: LinkState::up(bandwidth_bps, latency_s),
+        }
+    }
+
+    /// Time to move `bytes` — infallible (a static link never drops).
+    pub fn transfer_time_s(&self, bytes: usize) -> f64 {
+        self.state.latency_s + bytes as f64 / self.state.bandwidth_bps
+    }
+}
+
+impl LinkModel for StaticLink {
+    fn name(&self) -> &'static str {
+        "static"
+    }
+
+    fn advance_frame(&mut self) -> LinkState {
+        self.state
+    }
+
+    fn state(&self) -> LinkState {
+        self.state
+    }
+
+    fn fork(&self) -> Box<dyn LinkModel> {
+        Box::new(*self)
+    }
+}
+
+/// A channel replaying a recorded trace of per-frame states, cycling
+/// back to the start when the trace runs out — for captured field
+/// traces and for tests that need exact, hand-written link schedules.
+#[derive(Debug, Clone)]
+pub struct TraceLink {
+    trace: Vec<LinkState>,
+    /// Index of the state currently in force.
+    cursor: usize,
+    /// Whether `advance_frame` has been called at least once.
+    started: bool,
+}
+
+impl TraceLink {
+    /// A link replaying `trace` (one entry per frame, cycling).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `trace` is empty.
+    pub fn new(trace: Vec<LinkState>) -> TraceLink {
+        assert!(!trace.is_empty(), "a TraceLink needs at least one state");
+        TraceLink {
+            trace,
+            cursor: 0,
+            started: false,
+        }
+    }
+
+    /// Number of states before the trace cycles.
+    pub fn len(&self) -> usize {
+        self.trace.len()
+    }
+
+    /// Always false (the constructor rejects empty traces); present for
+    /// the conventional `len`/`is_empty` pair.
+    pub fn is_empty(&self) -> bool {
+        self.trace.is_empty()
+    }
+}
+
+impl LinkModel for TraceLink {
+    fn name(&self) -> &'static str {
+        "trace"
+    }
+
+    fn advance_frame(&mut self) -> LinkState {
+        if self.started {
+            self.cursor = (self.cursor + 1) % self.trace.len();
+        } else {
+            self.started = true;
+        }
+        self.trace[self.cursor]
+    }
+
+    fn state(&self) -> LinkState {
+        self.trace[self.cursor]
+    }
+
+    fn fork(&self) -> Box<dyn LinkModel> {
+        Box::new(TraceLink::new(self.trace.clone()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn static_link_reproduces_bus_arithmetic() {
+        // The EDX-CAR PCIe numbers: the link must price transfers with
+        // the identical latency + bytes/bandwidth expression.
+        let link = StaticLink::new(7.9e9, 8e-6);
+        let bytes = 1024 * 1024;
+        let expected = 8e-6 + bytes as f64 / 7.9e9;
+        assert_eq!(link.transfer_time_s(bytes).to_bits(), expected.to_bits());
+        assert_eq!(
+            link.transfer_time(bytes).unwrap().to_bits(),
+            expected.to_bits()
+        );
+    }
+
+    #[test]
+    fn static_link_never_drops_and_forks_identically() {
+        let mut link = StaticLink::new(1e9, 1e-3);
+        let mut forked = link.fork();
+        for _ in 0..10 {
+            let a = link.advance_frame();
+            let b = forked.advance_frame();
+            assert!(!a.lost);
+            assert_eq!(a.transfer_time(4096), b.transfer_time(4096));
+        }
+    }
+
+    #[test]
+    fn lost_state_prices_to_none() {
+        assert_eq!(LinkState::down().transfer_time(1), None);
+        assert!(LinkState::up(1e9, 0.0).transfer_time(1).is_some());
+    }
+
+    #[test]
+    fn trace_link_cycles_and_fork_restarts() {
+        let up = LinkState::up(1e9, 1e-3);
+        let mut link = TraceLink::new(vec![up, LinkState::down(), up]);
+        assert_eq!(link.len(), 3);
+        // Before the first advance, the head state is in force.
+        assert!(!link.state().lost);
+        let seq: Vec<bool> = (0..6).map(|_| link.advance_frame().lost).collect();
+        assert_eq!(seq, vec![false, true, false, false, true, false]);
+        // fork() restarts at the trace head.
+        let mut forked = link.fork();
+        assert!(!forked.advance_frame().lost);
+        assert!(forked.advance_frame().lost);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one state")]
+    fn empty_trace_is_rejected() {
+        let _ = TraceLink::new(Vec::new());
+    }
+}

@@ -1,0 +1,331 @@
+//! Seeded stochastic channel processes: [`LinkProfile`] parameter sets
+//! and the [`StochasticLink`] that evolves them one frame at a time.
+//!
+//! Every random effect is driven by a single seeded [`StdRng`]
+//! (SplitMix64 in the offline shim) with a **fixed draw schedule**: each
+//! frame consumes exactly four draws (bandwidth jitter, latency jitter,
+//! spike trigger, loss transition) regardless of which effects the
+//! profile enables. That keeps the state sequence a pure function of
+//! `(profile, seed, frame count)` — two links built alike replay the
+//! identical trace bit for bit, which is what makes offload decision
+//! logs reproducible.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use crate::model::{LinkModel, LinkState};
+
+/// Parameter set for a [`StochasticLink`]: a named channel personality.
+///
+/// All processes are per-frame. Bandwidth composes a deterministic
+/// triangle-wave ramp (period/depth) with uniform downward jitter;
+/// latency composes uniform upward jitter with occasional multiplicative
+/// spikes; loss is a two-state Gilbert–Elliott burst process
+/// (good→bad with `loss_enter`, bad→good with `loss_exit`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinkProfile {
+    /// Profile name, reported through `LinkModel::name`.
+    pub name: &'static str,
+    /// Nominal sustained bandwidth (bytes/second).
+    pub base_bandwidth_bps: f64,
+    /// Nominal per-transfer latency (seconds).
+    pub base_latency_s: f64,
+    /// Fraction of bandwidth shaved off by per-frame jitter: each frame
+    /// draws u ∈ [0,1) and scales bandwidth by `1 - bandwidth_jitter*u`.
+    pub bandwidth_jitter: f64,
+    /// Period (frames) of the deterministic congestion ramp; 0 disables
+    /// the ramp.
+    pub ramp_period: u32,
+    /// Bandwidth floor of the ramp trough, as a fraction of nominal
+    /// (e.g. 0.4 ⇒ mid-ramp bandwidth dips to 40%).
+    pub ramp_depth: f64,
+    /// Per-frame probability of a latency spike.
+    pub spike_prob: f64,
+    /// Multiplier applied to latency on a spike frame.
+    pub spike_scale: f64,
+    /// Fraction of latency added by per-frame jitter: latency scales by
+    /// `1 + latency_jitter*u` with u ∈ [0,1).
+    pub latency_jitter: f64,
+    /// Gilbert–Elliott good→bad transition probability (entering a loss
+    /// burst); 0 disables loss entirely.
+    pub loss_enter: f64,
+    /// Gilbert–Elliott bad→good transition probability (a burst ends
+    /// each frame with this probability; expected burst length is
+    /// `1/loss_exit` frames).
+    pub loss_exit: f64,
+}
+
+impl LinkProfile {
+    /// Wired LAN / bench-top tether: ~10 GbE with sub-millisecond
+    /// latency, mild jitter, no congestion ramps, no loss. Offload
+    /// pricing under this profile is close to the on-board bus.
+    pub fn lan_stable() -> LinkProfile {
+        LinkProfile {
+            name: "lan_stable",
+            base_bandwidth_bps: 1.25e9,
+            base_latency_s: 2e-4,
+            bandwidth_jitter: 0.05,
+            ramp_period: 0,
+            ramp_depth: 1.0,
+            spike_prob: 0.0,
+            spike_scale: 1.0,
+            latency_jitter: 0.1,
+            loss_enter: 0.0,
+            loss_exit: 1.0,
+        }
+    }
+
+    /// Shared cellular uplink under congestion: ~1 Gbps nominal but
+    /// ramping down to 40% on a slow cycle, heavy jitter, multi-ms
+    /// latency with occasional spikes, rare brief losses.
+    pub fn congested_uplink() -> LinkProfile {
+        LinkProfile {
+            name: "congested_uplink",
+            base_bandwidth_bps: 1.2e8,
+            base_latency_s: 3e-3,
+            bandwidth_jitter: 0.35,
+            ramp_period: 32,
+            ramp_depth: 0.4,
+            spike_prob: 0.08,
+            spike_scale: 3.0,
+            latency_jitter: 0.6,
+            loss_enter: 0.005,
+            loss_exit: 0.6,
+        }
+    }
+
+    /// Urban-canyon wireless: weaker and noisier than the congested
+    /// uplink, with long Gilbert–Elliott dropout bursts (expected ~3
+    /// frames, ~25% of frames lost) from multipath and handovers.
+    pub fn urban_canyon_dropout() -> LinkProfile {
+        LinkProfile {
+            name: "urban_canyon_dropout",
+            base_bandwidth_bps: 8e7,
+            base_latency_s: 5e-3,
+            bandwidth_jitter: 0.5,
+            ramp_period: 24,
+            ramp_depth: 0.25,
+            spike_prob: 0.15,
+            spike_scale: 5.0,
+            latency_jitter: 1.0,
+            loss_enter: 0.12,
+            loss_exit: 0.35,
+        }
+    }
+
+    /// The three canned profiles, ordered best → worst channel quality
+    /// (`lan_stable`, `congested_uplink`, `urban_canyon_dropout`).
+    pub fn canned() -> [LinkProfile; 3] {
+        [
+            LinkProfile::lan_stable(),
+            LinkProfile::congested_uplink(),
+            LinkProfile::urban_canyon_dropout(),
+        ]
+    }
+
+    /// Looks a canned profile up by name (the exact `name` field).
+    pub fn by_name(name: &str) -> Option<LinkProfile> {
+        LinkProfile::canned().into_iter().find(|p| p.name == name)
+    }
+
+    /// The state the process starts in before the first frame advance:
+    /// nominal bandwidth/latency, channel up.
+    pub fn initial_state(&self) -> LinkState {
+        LinkState::up(self.base_bandwidth_bps, self.base_latency_s)
+    }
+}
+
+/// A channel whose per-frame state is drawn from a seeded random
+/// process parameterized by a [`LinkProfile`].
+///
+/// Deterministic: the state trace is a pure function of the profile,
+/// the seed, and the number of [`advance_frame`] calls, so two links
+/// built with the same `(profile, seed)` produce bit-identical traces
+/// and [`fork`] replays the sequence from frame 0.
+///
+/// [`advance_frame`]: LinkModel::advance_frame
+/// [`fork`]: LinkModel::fork
+#[derive(Debug, Clone)]
+pub struct StochasticLink {
+    profile: LinkProfile,
+    seed: u64,
+    rng: StdRng,
+    frame: u32,
+    in_loss_burst: bool,
+    state: LinkState,
+}
+
+impl StochasticLink {
+    /// A link evolving `profile` under the given seed.
+    pub fn new(profile: LinkProfile, seed: u64) -> StochasticLink {
+        StochasticLink {
+            profile,
+            seed,
+            rng: StdRng::seed_from_u64(seed),
+            frame: 0,
+            in_loss_burst: false,
+            state: profile.initial_state(),
+        }
+    }
+
+    /// The profile this link evolves.
+    pub fn profile(&self) -> &LinkProfile {
+        &self.profile
+    }
+
+    /// Deterministic triangle-wave congestion ramp in
+    /// `[ramp_depth, 1.0]`: pure integer/f64 arithmetic (no libm), so
+    /// the factor is bit-portable across platforms.
+    fn ramp_factor(&self) -> f64 {
+        let p = &self.profile;
+        if p.ramp_period == 0 {
+            return 1.0;
+        }
+        let phase = f64::from(self.frame % p.ramp_period) / f64::from(p.ramp_period);
+        // 1 → depth → 1 over one period.
+        let tri = if phase < 0.5 {
+            1.0 - 2.0 * phase
+        } else {
+            2.0 * phase - 1.0
+        };
+        p.ramp_depth + (1.0 - p.ramp_depth) * tri
+    }
+}
+
+impl LinkModel for StochasticLink {
+    fn name(&self) -> &'static str {
+        self.profile.name
+    }
+
+    fn advance_frame(&mut self) -> LinkState {
+        let p = self.profile;
+        // Fixed draw schedule: exactly four draws per frame, in this
+        // order, whatever the profile enables — see the module docs.
+        let u_bw: f64 = self.rng.random();
+        let u_lat: f64 = self.rng.random();
+        let spike = self.rng.random_bool(p.spike_prob);
+        let u_loss: f64 = self.rng.random();
+
+        let bandwidth =
+            p.base_bandwidth_bps * self.ramp_factor() * (1.0 - p.bandwidth_jitter * u_bw);
+        let mut latency = p.base_latency_s * (1.0 + p.latency_jitter * u_lat);
+        if spike {
+            latency *= p.spike_scale;
+        }
+        self.in_loss_burst = if self.in_loss_burst {
+            u_loss >= p.loss_exit
+        } else {
+            u_loss < p.loss_enter
+        };
+
+        self.frame = self.frame.wrapping_add(1);
+        self.state = LinkState {
+            bandwidth_bps: bandwidth,
+            latency_s: latency,
+            lost: self.in_loss_burst,
+        };
+        self.state
+    }
+
+    fn state(&self) -> LinkState {
+        self.state
+    }
+
+    fn fork(&self) -> Box<dyn LinkModel> {
+        Box::new(StochasticLink::new(self.profile, self.seed))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_replays_identical_trace() {
+        for profile in LinkProfile::canned() {
+            let mut a = StochasticLink::new(profile, 99);
+            let mut b = StochasticLink::new(profile, 99);
+            for _ in 0..256 {
+                let sa = a.advance_frame();
+                let sb = b.advance_frame();
+                assert_eq!(sa.bandwidth_bps.to_bits(), sb.bandwidth_bps.to_bits());
+                assert_eq!(sa.latency_s.to_bits(), sb.latency_s.to_bits());
+                assert_eq!(sa.lost, sb.lost);
+            }
+        }
+    }
+
+    #[test]
+    fn fork_restarts_the_sequence() {
+        let mut link = StochasticLink::new(LinkProfile::urban_canyon_dropout(), 7);
+        let first: Vec<LinkState> = (0..32).map(|_| link.advance_frame()).collect();
+        // Forking after 32 frames restarts at frame 0, not frame 32.
+        let mut forked = link.fork();
+        for want in &first {
+            let got = forked.advance_frame();
+            assert_eq!(got.bandwidth_bps.to_bits(), want.bandwidth_bps.to_bits());
+            assert_eq!(got.latency_s.to_bits(), want.latency_s.to_bits());
+            assert_eq!(got.lost, want.lost);
+        }
+    }
+
+    #[test]
+    fn lan_stable_never_loses_frames() {
+        let mut link = StochasticLink::new(LinkProfile::lan_stable(), 1234);
+        for _ in 0..2048 {
+            assert!(!link.advance_frame().lost);
+        }
+    }
+
+    #[test]
+    fn canyon_loses_a_bursty_fraction_of_frames() {
+        let mut link = StochasticLink::new(LinkProfile::urban_canyon_dropout(), 5);
+        let mut lost = 0u32;
+        let mut bursts = 0u32;
+        let mut prev = false;
+        for _ in 0..4096 {
+            let s = link.advance_frame();
+            if s.lost {
+                lost += 1;
+                if !prev {
+                    bursts += 1;
+                }
+            }
+            prev = s.lost;
+        }
+        let rate = f64::from(lost) / 4096.0;
+        // Stationary loss ≈ enter/(enter+exit) = 0.12/0.47 ≈ 0.255.
+        assert!((0.15..0.40).contains(&rate), "loss rate {rate}");
+        // Bursty, not i.i.d.: mean burst length well above 1 frame.
+        assert!(f64::from(lost) / f64::from(bursts) > 1.5);
+    }
+
+    #[test]
+    fn profiles_order_by_modeled_transfer_time() {
+        // Mean transfer cost of a representative backend payload must
+        // rank lan < congested < canyon (lost frames priced as misses).
+        let bytes = 256 * 1024;
+        let mut means = Vec::new();
+        for profile in LinkProfile::canned() {
+            let mut link = StochasticLink::new(profile, 11);
+            let mut total = 0.0;
+            let mut n = 0u32;
+            for _ in 0..1024 {
+                if let Some(t) = link.advance_frame().transfer_time(bytes) {
+                    total += t;
+                    n += 1;
+                }
+            }
+            means.push(total / f64::from(n));
+        }
+        assert!(means[0] < means[1] && means[1] < means[2], "{means:?}");
+    }
+
+    #[test]
+    fn by_name_round_trips() {
+        for profile in LinkProfile::canned() {
+            assert_eq!(LinkProfile::by_name(profile.name), Some(profile));
+        }
+        assert_eq!(LinkProfile::by_name("nope"), None);
+    }
+}

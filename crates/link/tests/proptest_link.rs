@@ -1,0 +1,106 @@
+//! Property tests for link determinism: a seeded link is a pure
+//! function of `(profile, seed, frame count)`, so two independently
+//! constructed links replay bit-identical state traces — the guarantee
+//! offload decision logs rest on.
+
+use eudoxus_link::{LinkModel, LinkProfile, LinkState, StaticLink, StochasticLink, TraceLink};
+use proptest::prelude::*;
+
+/// Bit-exact fingerprint of one state (f64 payloads compared by bits).
+fn state_bits(s: LinkState) -> (u64, u64, bool) {
+    (s.bandwidth_bps.to_bits(), s.latency_s.to_bits(), s.lost)
+}
+
+/// Drives a fresh link for `frames` frames, pricing `bytes` each frame,
+/// and returns the full decision-relevant trace.
+fn trace_of(link: &mut dyn LinkModel, frames: usize, bytes: usize) -> Vec<(u64, u64, bool, u64)> {
+    (0..frames)
+        .map(|_| {
+            let s = link.advance_frame();
+            let (bw, lat, lost) = state_bits(s);
+            // Lost frames price to None; encode as the NaN payload bits
+            // no real transfer time produces.
+            let t = s.transfer_time(bytes).map_or(u64::MAX, f64::to_bits);
+            (bw, lat, lost, t)
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn same_seed_and_profile_replays_identical_trace(
+        seed in any::<u64>(),
+        which in 0usize..3,
+        frames in 1usize..256,
+        bytes in 1usize..1_000_000,
+    ) {
+        let profile = LinkProfile::canned()[which];
+        // Two fully independent runs: separate constructions, separate
+        // RNG states, same (profile, seed).
+        let mut a = StochasticLink::new(profile, seed);
+        let mut b = StochasticLink::new(profile, seed);
+        prop_assert_eq!(
+            trace_of(&mut a, frames, bytes),
+            trace_of(&mut b, frames, bytes)
+        );
+    }
+
+    #[test]
+    fn fork_replays_the_original_trace_from_frame_zero(
+        seed in any::<u64>(),
+        which in 0usize..3,
+        advanced in 0usize..64,
+        frames in 1usize..128,
+    ) {
+        let profile = LinkProfile::canned()[which];
+        let mut link = StochasticLink::new(profile, seed);
+        // Burn some frames, then fork: the fork must restart at frame 0
+        // and reproduce what a fresh link produces.
+        for _ in 0..advanced {
+            link.advance_frame();
+        }
+        let mut fresh = StochasticLink::new(profile, seed);
+        let mut forked = link.fork();
+        prop_assert_eq!(
+            trace_of(forked.as_mut(), frames, 4096),
+            trace_of(&mut fresh, frames, 4096)
+        );
+    }
+
+    #[test]
+    fn static_link_prices_like_the_bus_formula(
+        bytes in 1usize..100_000_000,
+        frames in 1usize..32,
+    ) {
+        // EDX-CAR PCIe and EDX-DRONE AXI numbers: the static link must
+        // reproduce `latency + bytes / bandwidth` bit-for-bit at every
+        // frame (the state never drifts).
+        for (bw, lat) in [(7.9e9, 8e-6), (1.2e9, 2e-5)] {
+            let mut link = StaticLink::new(bw, lat);
+            let expected = (lat + bytes as f64 / bw).to_bits();
+            for _ in 0..frames {
+                link.advance_frame();
+                prop_assert_eq!(link.transfer_time(bytes).unwrap().to_bits(), expected);
+            }
+        }
+    }
+
+    #[test]
+    fn trace_link_replays_its_schedule_cyclically(
+        len in 1usize..16,
+        frames in 1usize..64,
+        seed in any::<u64>(),
+    ) {
+        // Build an arbitrary schedule from a stochastic link, then
+        // check the TraceLink replays it modulo its length.
+        let mut source = StochasticLink::new(LinkProfile::urban_canyon_dropout(), seed);
+        let schedule: Vec<LinkState> = (0..len).map(|_| source.advance_frame()).collect();
+        let mut link = TraceLink::new(schedule.clone());
+        for i in 0..frames {
+            let got = link.advance_frame();
+            prop_assert_eq!(state_bits(got), state_bits(schedule[i % len]));
+        }
+    }
+}

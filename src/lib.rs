@@ -22,6 +22,7 @@
 //! | [`vocab`] | `eudoxus-vocab` | bag-of-binary-words place recognition |
 //! | [`backend`] | `eudoxus-backend` | MSCKF, GPS fusion, SLAM, registration |
 //! | [`accel`] | `eudoxus-accel` | FPGA accelerator models |
+//! | [`link`] | `eudoxus-link` | deterministic communication-channel models |
 //! | [`core`] | `eudoxus-core` | the unified pipeline + instrumentation |
 //!
 //! # Quickstart
@@ -111,6 +112,43 @@
 //! the simulator; `eudoxus_sim` re-exports the same types as a
 //! migration shim.
 //!
+//! # Edge offload over a modeled link
+//!
+//! The paper's accelerator talks to the CPU over a fixed on-board bus
+//! (PCIe 3.0 on EDX-CAR, AXI4 on EDX-DRONE). The leaf `eudoxus-link`
+//! crate generalizes that bus into a [`LinkModel`](eudoxus_link::LinkModel):
+//! a deterministic per-frame process pricing each transfer from the
+//! current bandwidth/latency/loss state. `StaticLink` reproduces the
+//! bus arithmetic bit for bit, while seeded `StochasticLink` profiles
+//! (`lan_stable`, `congested_uplink`, `urban_canyon_dropout`) model a
+//! *remote* accelerator behind a degrading channel. Attach one with
+//! `SessionBuilder::link(..)` and the [`ScheduledEngine`] re-prices
+//! every offloadable kernel against live link state each frame, falling
+//! back to pure CPU when the link drops the frame or the modeled round
+//! trip would blow `SessionBuilder::deadline_ms(..)`:
+//!
+//! ```no_run
+//! use eudoxus::prelude::*;
+//!
+//! let mut session = SessionBuilder::new(PipelineConfig::anchored())
+//!     .engine(ScheduledEngine::with_policy(
+//!         Platform::edx_drone(),
+//!         OffloadPolicy::Always,
+//!     ))
+//!     .link(StochasticLink::new(LinkProfile::congested_uplink(), 7))
+//!     .deadline_ms(50.0)
+//!     .build();
+//! // ... push events, then:
+//! if let Some(stats) = session.engine().link_stats() {
+//!     println!("{stats}"); // frames seen / lost / cpu fallbacks
+//! }
+//! ```
+//!
+//! `cargo run --release --example edge_offload` sweeps all three
+//! profiles over the same scenario; the throughput bench's `link_sweep`
+//! block in `BENCH_throughput.json` records how the offload rate decays
+//! as the channel degrades.
+//!
 //! # Performance
 //!
 //! The steady-state frame path is allocation-free and multi-core:
@@ -150,6 +188,7 @@ pub use eudoxus_core as core;
 pub use eudoxus_frontend as frontend;
 pub use eudoxus_geometry as geometry;
 pub use eudoxus_image as image;
+pub use eudoxus_link as link;
 pub use eudoxus_math as math;
 pub use eudoxus_sim as sim;
 pub use eudoxus_stream as stream;
@@ -161,12 +200,13 @@ pub mod prelude {
     pub use eudoxus_backend::{Backend, BackendMode, WorldMap};
     pub use eudoxus_core::executor::{Executor, OffloadPolicy};
     pub use eudoxus_core::{
-        build_map, CpuEngine, Enqueue, Eudoxus, ExecutionEngine, ExecutionReport, IngestReport,
-        LocalizationSession, Mode, ModeledAccelEngine, PipelineConfig, RunLog, ScheduledEngine,
-        SessionBuilder, SessionManager, Summary,
+        build_map, CpuEngine, Enqueue, Eudoxus, ExecutionEngine, ExecutionReport, FallbackCause,
+        IngestReport, LinkStats, LocalizationSession, Mode, ModeledAccelEngine, PipelineConfig,
+        RunLog, ScheduledEngine, SessionBuilder, SessionManager, Summary,
     };
     pub use eudoxus_frontend::{Frontend, FrontendConfig};
     pub use eudoxus_geometry::{Pose, PoseAnchor, Vec3};
+    pub use eudoxus_link::{LinkModel, LinkProfile, LinkState, StaticLink, StochasticLink, TraceLink};
     pub use eudoxus_sim::{Dataset, ScenarioBuilder, ScenarioKind};
     pub use eudoxus_stream::{
         Environment, EventSource, IngestQueue, OverflowPolicy, SensorEvent, SourcePoll, StreamMux,
@@ -182,5 +222,7 @@ mod tests {
         let _ = Platform::edx_car();
         let _ = Mode::ALL;
         let _ = Vec3::zero();
+        let _ = LinkProfile::canned();
+        let _ = StaticLink::new(1e9, 1e-5);
     }
 }
