@@ -151,6 +151,22 @@ pub trait Backend: Send {
     fn persist_map(&self) -> Option<WorldMap> {
         None
     }
+
+    /// Propagates the pose from **internal sensors only** (IMU,
+    /// odometry) — no feature observations, no GPS. The session calls
+    /// this instead of [`step`](Backend::step) when vision is starved
+    /// and the health monitor has switched to dead-reckoning; `from` is
+    /// the last trusted state (pose + velocity) to propagate from.
+    ///
+    /// Returns `None` (the default) for backends that cannot propagate
+    /// blind — the session then holds `from.pose` instead.
+    fn dead_reckon(
+        &mut self,
+        _input: &BackendInput<'_>,
+        _from: PoseAnchor,
+    ) -> Option<BackendEstimate> {
+        None
+    }
 }
 
 #[cfg(test)]

@@ -121,6 +121,33 @@ impl Backend for Vio {
     fn reset(&mut self) {
         self.filter.reset();
     }
+
+    /// Blind propagation: integrate the IMU window through the filter
+    /// and report the propagated pose — no feature observations, no
+    /// clone augmentation, no GPS. This is the dead-reckoning the
+    /// session runs on when vision starves; if the filter has never
+    /// initialized (starvation from frame zero) it starts from the
+    /// trusted state `from`.
+    fn dead_reckon(
+        &mut self,
+        input: &BackendInput<'_>,
+        from: PoseAnchor,
+    ) -> Option<BackendEstimate> {
+        let mut timer = KernelTimer::new();
+        if !self.filter.is_initialized() {
+            let t0 = input.imu.first().map_or(input.t, |s| s.t - 1e-3);
+            self.filter.initialize(from.pose, from.velocity, t0);
+        }
+        timer.time(Kernel::ImuIntegration, input.imu.len(), || {
+            self.filter.propagate(input.imu);
+        });
+        Some(BackendEstimate {
+            pose: self.filter.pose().unwrap_or(from.pose),
+            kernels: timer.into_samples(),
+            // Propagation without correction is never "tracking".
+            tracking: false,
+        })
+    }
 }
 
 #[cfg(test)]

@@ -30,9 +30,11 @@
 //! [`build_batch`]: SessionBuilder::build_batch
 
 use crate::engine::{CpuEngine, ExecutionEngine};
+use crate::health::HealthConfig;
 use crate::pipeline::{Eudoxus, PipelineConfig};
 use crate::session::{LocalizationSession, SessionManager};
 use eudoxus_backend::{Backend, Registration, Slam, Vio, WorldMap};
+use eudoxus_faults::{FaultPlan, FaultProcess};
 use eudoxus_link::LinkModel;
 use eudoxus_stream::OverflowPolicy;
 
@@ -57,6 +59,8 @@ pub struct SessionBuilder {
     ingest_limit: Option<(usize, OverflowPolicy)>,
     link: Option<Box<dyn LinkModel>>,
     deadline_ms: Option<f64>,
+    faults: Option<FaultProcess>,
+    health: Option<HealthConfig>,
 }
 
 impl std::fmt::Debug for SessionBuilder {
@@ -88,6 +92,8 @@ impl SessionBuilder {
             ingest_limit: None,
             link: None,
             deadline_ms: None,
+            faults: None,
+            health: None,
         }
     }
 
@@ -133,6 +139,29 @@ impl SessionBuilder {
         self
     }
 
+    /// Attaches deterministic fault injection: every built session gets
+    /// a [`fork`](FaultProcess::fork) of the seeded process (independent
+    /// identical degradation per agent, restarted at event 0), applied
+    /// to every pushed event before it reaches the estimators. Also
+    /// enables health monitoring (default thresholds unless
+    /// [`health`](Self::health) set others) — the graceful-degradation
+    /// reflex the faults exercise.
+    pub fn faults(mut self, plan: FaultPlan, seed: u64) -> Self {
+        self.faults = Some(FaultProcess::new(plan, seed));
+        self
+    }
+
+    /// Enables health monitoring + graceful degradation with explicit
+    /// thresholds (see
+    /// [`HealthMonitor`](crate::health::HealthMonitor)). Without this
+    /// (or [`faults`](Self::faults)) sessions keep the historical
+    /// serving behavior bit for bit and their records carry
+    /// `health: None`.
+    pub fn health(mut self, config: HealthConfig) -> Self {
+        self.health = Some(config);
+        self
+    }
+
     /// Registers a custom estimator. The factory runs once per built
     /// session; its backend replaces any registered backend of the same
     /// mode (defaults included), so e.g.
@@ -148,9 +177,9 @@ impl SessionBuilder {
 
     /// Drops the default VIO + SLAM registry: sessions carry only the
     /// backends added via [`backend`](Self::backend) /
-    /// [`map`](Self::map). The registry must still cover every frame the
-    /// stream will carry ([`push`](LocalizationSession::push) panics
-    /// otherwise).
+    /// [`map`](Self::map). The registry should still cover every frame
+    /// the stream will carry — frames it cannot serve come back as
+    /// unserved records (held pose, `tracking: false`).
     pub fn without_default_backends(mut self) -> Self {
         self.default_registry = false;
         self
@@ -191,6 +220,12 @@ impl SessionBuilder {
         }
         for make in &self.backends {
             session.register(make());
+        }
+        if let Some(config) = self.health {
+            session.enable_health(config);
+        }
+        if let Some(process) = &self.faults {
+            session.attach_faults(process.fork());
         }
         session
     }

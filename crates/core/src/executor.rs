@@ -175,6 +175,7 @@ mod tests {
                 has_ground_truth: true,
                 tracking: true,
                 execution: None,
+                health: None,
             });
         }
         log

@@ -1,0 +1,355 @@
+//! In-session health monitoring and graceful degradation.
+//!
+//! A clean stream keeps the estimators fed; a degraded one (dropped
+//! frames, dust blackouts, drifting IMU — see `eudoxus_faults`) starves
+//! them. This module is the session's survival reflex: a
+//! [`HealthMonitor`] folds per-frame vitals (tracked features, frame
+//! gaps, pose innovation) through a [`DegradationState`] machine, and
+//! `LocalizationSession` acts on the verdict — when vision starves it
+//! stops trusting the visual backend and **dead-reckons** on internal
+//! sensors only (IMU via `Backend::dead_reckon`), and when vision
+//! returns it re-anchors the estimators at the dead-reckoned pose and
+//! re-enters through the registry fallback chain instead of resuming
+//! stale tracks. The production pattern is the bulldozer
+//! self-localization result: when exteroception is useless, survive on
+//! internal sensors and re-anchor on recovery.
+//!
+//! Monitoring is **opt-in** (`SessionBuilder::health` /
+//! `SessionBuilder::faults`): sessions without it behave — bit for
+//! bit — as before.
+//!
+//! The state machine:
+//!
+//! ```text
+//!              unhealthy                 starved
+//!   Nominal ←──────────→ Degraded ─────────────────┐
+//!      ↑        healthy      │ starved              ↓
+//!      │                     └─────────────→ DeadReckoning ←┐
+//!      │ recovery_frames                            │       │ starved
+//!      │ healthy in a row                   vision  │       │ (relapse)
+//!      └──────────── Recovering ←───────── returns ─┘       │
+//!                        └──────────────────────────────────┘
+//! ```
+
+use std::fmt;
+
+/// Where the session sits on the degradation ladder.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DegradationState {
+    /// Vitals healthy; estimates fully trusted.
+    Nominal,
+    /// Vitals below par (thin tracking, frame gaps, jumpy innovation)
+    /// but vision still usable. A label, not a behavior change: the
+    /// normal backend keeps serving.
+    Degraded,
+    /// Vision starved: the session propagates pose from internal
+    /// sensors only (`Backend::dead_reckon`) and ignores the visual
+    /// estimators.
+    DeadReckoning,
+    /// Vision returned after dead-reckoning; the estimators were
+    /// re-anchored and must prove themselves healthy for
+    /// [`HealthConfig::recovery_frames`] consecutive frames before the
+    /// session reads [`Nominal`](DegradationState::Nominal) again.
+    Recovering,
+}
+
+impl fmt::Display for DegradationState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            DegradationState::Nominal => "nominal",
+            DegradationState::Degraded => "degraded",
+            DegradationState::DeadReckoning => "dead-reckoning",
+            DegradationState::Recovering => "recovering",
+        })
+    }
+}
+
+/// Thresholds the [`HealthMonitor`] judges vitals against.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HealthConfig {
+    /// Below this many tracked features the frame counts as *starved*
+    /// (vision unusable → dead-reckon).
+    pub starve_tracks: usize,
+    /// Below this many tracked features the frame counts as *degraded*
+    /// (vision thin but usable).
+    pub degraded_tracks: usize,
+    /// An inter-frame gap (seconds) above this is unhealthy — frames
+    /// are being dropped upstream.
+    pub max_frame_gap: f64,
+    /// A frame-to-frame pose jump (meters) above this is unhealthy —
+    /// the estimator is not to be trusted blindly.
+    pub max_innovation: f64,
+    /// Consecutive healthy frames required to leave
+    /// [`Recovering`](DegradationState::Recovering).
+    pub recovery_frames: u32,
+}
+
+impl Default for HealthConfig {
+    fn default() -> Self {
+        HealthConfig {
+            starve_tracks: 4,
+            degraded_tracks: 24,
+            // Clean streams run ~10 Hz; several consecutive drops show
+            // up as a gap well past this.
+            max_frame_gap: 0.5,
+            max_innovation: 1.0,
+            recovery_frames: 3,
+        }
+    }
+}
+
+/// Per-frame vitals the monitor judges (all derived from event
+/// timestamps and estimator outputs — deterministic, never wall-clock).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FrameVitals {
+    /// Features the frontend delivered this frame.
+    pub tracked: usize,
+    /// Tracks continued from the previous frame (temporal inliers).
+    pub inliers: usize,
+    /// Seconds since the previous served frame (0 on the first frame of
+    /// a segment).
+    pub frame_gap: f64,
+    /// The *previous* frame's pose jump (meters) — a lag-one residual:
+    /// this frame's own estimate does not exist yet when the monitor
+    /// runs.
+    pub innovation: f64,
+}
+
+/// The health verdict attached to a frame record.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HealthReport {
+    /// State after folding this frame's vitals.
+    pub state: DegradationState,
+    /// The vitals that produced it.
+    pub vitals: FrameVitals,
+    /// Whether the pose came from internal-sensor dead-reckoning rather
+    /// than the visual backend.
+    pub dead_reckoned: bool,
+    /// Whether any estimator served the frame at all (`false` when the
+    /// registry had no backend for the mode — the pose is held, not
+    /// estimated).
+    pub served: bool,
+}
+
+/// The per-frame state machine: fold vitals in, read the
+/// [`DegradationState`] out. Pure and deterministic — the state
+/// trajectory is a function of the vitals sequence alone.
+#[derive(Debug, Clone)]
+pub struct HealthMonitor {
+    config: HealthConfig,
+    state: DegradationState,
+    healthy_streak: u32,
+}
+
+impl HealthMonitor {
+    /// A monitor in [`Nominal`](DegradationState::Nominal) state.
+    pub fn new(config: HealthConfig) -> Self {
+        HealthMonitor {
+            config,
+            state: DegradationState::Nominal,
+            healthy_streak: 0,
+        }
+    }
+
+    /// The thresholds in force.
+    pub fn config(&self) -> &HealthConfig {
+        &self.config
+    }
+
+    /// The current state.
+    pub fn state(&self) -> DegradationState {
+        self.state
+    }
+
+    /// Back to [`Nominal`](DegradationState::Nominal) (new segment: the
+    /// estimators were re-initialized anyway).
+    pub fn reset(&mut self) {
+        self.state = DegradationState::Nominal;
+        self.healthy_streak = 0;
+    }
+
+    /// Folds one frame's vitals; returns the state now in force (the
+    /// state that governs *this* frame's serving).
+    pub fn observe(&mut self, vitals: &FrameVitals) -> DegradationState {
+        let c = &self.config;
+        let starved = vitals.tracked < c.starve_tracks;
+        let unhealthy = starved
+            || vitals.tracked < c.degraded_tracks
+            || vitals.frame_gap > c.max_frame_gap
+            || vitals.innovation > c.max_innovation;
+        self.state = match self.state {
+            DegradationState::Nominal | DegradationState::Degraded => {
+                if starved {
+                    DegradationState::DeadReckoning
+                } else if unhealthy {
+                    DegradationState::Degraded
+                } else {
+                    DegradationState::Nominal
+                }
+            }
+            DegradationState::DeadReckoning | DegradationState::Recovering => {
+                if starved {
+                    // Still (or again) blind: a Recovering → DeadReckoning
+                    // transition is a relapse.
+                    self.healthy_streak = 0;
+                    DegradationState::DeadReckoning
+                } else if unhealthy {
+                    // Vision is back but thin/jumpy: keep probation going,
+                    // restart the streak.
+                    self.healthy_streak = 0;
+                    DegradationState::Recovering
+                } else {
+                    self.healthy_streak += 1;
+                    if self.healthy_streak >= c.recovery_frames {
+                        self.healthy_streak = 0;
+                        DegradationState::Nominal
+                    } else {
+                        DegradationState::Recovering
+                    }
+                }
+            }
+        };
+        self.state
+    }
+}
+
+/// Cumulative degradation accounting for one session — the
+/// serving-layer view of how rough a stream has been (surfaced per
+/// agent through `SessionManager::ingest_stats`).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SessionHealthStats {
+    /// Image frames processed (served or not).
+    pub frames: u64,
+    /// Frames judged [`Degraded`](DegradationState::Degraded).
+    pub degraded_frames: u64,
+    /// Frames served by internal-sensor dead-reckoning.
+    pub dead_reckoned_frames: u64,
+    /// Frames spent in recovery probation.
+    pub recovering_frames: u64,
+    /// Frames no registered backend could serve (pose held, counted —
+    /// not a panic).
+    pub unserved_frames: u64,
+    /// Events swallowed by an attached fault process (never reached the
+    /// estimators).
+    pub faulted_drops: u64,
+    /// DeadReckoning → Recovering transitions (vision came back).
+    pub recoveries: u64,
+    /// Recovering → DeadReckoning transitions (vision went away again
+    /// before probation completed).
+    pub relapses: u64,
+    /// Frames served by a mode other than the one the session would
+    /// normally use for their environment (degradation walked the
+    /// registry fallback chain past the effective preferred mode).
+    pub fallback_frames: u64,
+}
+
+impl fmt::Display for SessionHealthStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} frames: {} degraded, {} dead-reckoned, {} recovering, \
+             {} unserved, {} fallback; {} recoveries, {} relapses, \
+             {} events faulted away",
+            self.frames,
+            self.degraded_frames,
+            self.dead_reckoned_frames,
+            self.recovering_frames,
+            self.unserved_frames,
+            self.fallback_frames,
+            self.recoveries,
+            self.relapses,
+            self.faulted_drops,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn vitals(tracked: usize) -> FrameVitals {
+        FrameVitals {
+            tracked,
+            inliers: tracked,
+            frame_gap: 0.1,
+            innovation: 0.01,
+        }
+    }
+
+    #[test]
+    fn nominal_stays_nominal_on_healthy_vitals() {
+        let mut m = HealthMonitor::new(HealthConfig::default());
+        for _ in 0..10 {
+            assert_eq!(m.observe(&vitals(100)), DegradationState::Nominal);
+        }
+    }
+
+    #[test]
+    fn thin_tracking_degrades_without_dead_reckoning() {
+        let mut m = HealthMonitor::new(HealthConfig::default());
+        assert_eq!(m.observe(&vitals(10)), DegradationState::Degraded);
+        assert_eq!(m.observe(&vitals(100)), DegradationState::Nominal);
+    }
+
+    #[test]
+    fn starvation_dead_reckons_then_recovers_after_streak() {
+        let mut m = HealthMonitor::new(HealthConfig::default());
+        assert_eq!(m.observe(&vitals(0)), DegradationState::DeadReckoning);
+        assert_eq!(m.observe(&vitals(0)), DegradationState::DeadReckoning);
+        // Vision returns: probation, then nominal after 3 healthy frames.
+        assert_eq!(m.observe(&vitals(100)), DegradationState::Recovering);
+        assert_eq!(m.observe(&vitals(100)), DegradationState::Recovering);
+        assert_eq!(m.observe(&vitals(100)), DegradationState::Nominal);
+    }
+
+    #[test]
+    fn relapse_returns_to_dead_reckoning_and_restarts_probation() {
+        let mut m = HealthMonitor::new(HealthConfig::default());
+        m.observe(&vitals(0));
+        assert_eq!(m.observe(&vitals(100)), DegradationState::Recovering);
+        // Blind again mid-probation: relapse.
+        assert_eq!(m.observe(&vitals(0)), DegradationState::DeadReckoning);
+        // The streak restarted: three more healthy frames needed.
+        assert_eq!(m.observe(&vitals(100)), DegradationState::Recovering);
+        assert_eq!(m.observe(&vitals(100)), DegradationState::Recovering);
+        assert_eq!(m.observe(&vitals(100)), DegradationState::Nominal);
+    }
+
+    #[test]
+    fn unhealthy_probation_frames_do_not_count_toward_the_streak() {
+        let mut m = HealthMonitor::new(HealthConfig::default());
+        m.observe(&vitals(0));
+        m.observe(&vitals(100));
+        m.observe(&vitals(100));
+        // A thin frame resets the streak without relapsing.
+        assert_eq!(m.observe(&vitals(10)), DegradationState::Recovering);
+        m.observe(&vitals(100));
+        m.observe(&vitals(100));
+        assert_eq!(m.observe(&vitals(100)), DegradationState::Nominal);
+    }
+
+    #[test]
+    fn gaps_and_innovation_degrade_but_do_not_starve() {
+        let mut m = HealthMonitor::new(HealthConfig::default());
+        let gap = FrameVitals {
+            frame_gap: 2.0,
+            ..vitals(100)
+        };
+        assert_eq!(m.observe(&gap), DegradationState::Degraded);
+        let jump = FrameVitals {
+            innovation: 5.0,
+            ..vitals(100)
+        };
+        assert_eq!(m.observe(&jump), DegradationState::Degraded);
+        assert_eq!(m.observe(&vitals(100)), DegradationState::Nominal);
+    }
+
+    #[test]
+    fn reset_returns_to_nominal() {
+        let mut m = HealthMonitor::new(HealthConfig::default());
+        m.observe(&vitals(0));
+        assert_eq!(m.state(), DegradationState::DeadReckoning);
+        m.reset();
+        assert_eq!(m.state(), DegradationState::Nominal);
+    }
+}

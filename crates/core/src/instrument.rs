@@ -2,6 +2,7 @@
 //! characterization figure.
 
 use crate::engine::{AcceleratedRun, ExecutionReport};
+use crate::health::{HealthReport, SessionHealthStats};
 use crate::metrics;
 use crate::mode::Mode;
 use crate::stats::Summary;
@@ -26,6 +27,9 @@ pub struct IngestSnapshot {
     /// Cumulative admission accounting (accepted, frames/events dropped,
     /// deferred, high watermark).
     pub counters: IngestCounters,
+    /// The session's degradation accounting (all zeros when health
+    /// monitoring is not enabled for the agent).
+    pub health: SessionHealthStats,
 }
 
 impl std::fmt::Display for IngestSnapshot {
@@ -84,6 +88,10 @@ pub struct FrameRecord {
     pub has_ground_truth: bool,
     /// Whether the backend reported itself tracking.
     pub tracking: bool,
+    /// The health monitor's verdict for this frame (degradation state,
+    /// vitals, whether the pose was dead-reckoned). `None` when health
+    /// monitoring is not enabled — the default.
+    pub health: Option<HealthReport>,
 }
 
 impl FrameRecord {
@@ -296,6 +304,7 @@ mod tests {
             ground_truth: Pose::identity(),
             has_ground_truth: true,
             tracking: true,
+            health: None,
         }
     }
 

@@ -151,6 +151,49 @@
 //! `attach_link` returns `false`); no-link sessions are bit-identical
 //! to the pre-link API.
 //!
+//! # Surviving degraded sensors (`SessionBuilder::faults` / `::health`)
+//!
+//! Real deployments do not get the simulator's clean streams: cameras
+//! drop frames in bursts, dust blacks out vision for seconds, IMUs
+//! drift, GPS cuts out. Since the robustness redesign the session owns
+//! both sides of that problem:
+//!
+//! * [`SessionBuilder::faults`](builder::SessionBuilder::faults)
+//!   attaches a seeded `eudoxus_faults::FaultPlan` (canned
+//!   `FaultProfile`s: `imu_drift` → `flaky_camera` → `dusty_site` →
+//!   `sensor_storm`, mildest to worst) that degrades every pushed event
+//!   deterministically — each built agent gets an independent identical
+//!   fork, and the same `(plan, seed)` replays bit for bit.
+//! * [`SessionBuilder::health`](builder::SessionBuilder::health) (also
+//!   auto-enabled by `.faults(..)`) arms the [`HealthMonitor`]: per
+//!   frame it folds vitals (tracked features, inter-frame gaps, pose
+//!   innovation) through the `Nominal → Degraded → DeadReckoning →
+//!   Recovering` [`DegradationState`] machine. While vision is starved
+//!   the session serves poses by **dead-reckoning** on internal sensors
+//!   (`Backend::dead_reckon`, IMU propagation only); when vision
+//!   returns it re-anchors every estimator at the dead-reckoned pose
+//!   and re-enters through the registry fallback chain. Each record
+//!   then carries a [`HealthReport`], and
+//!   [`LocalizationSession::health_stats`] /
+//!   [`SessionManager::ingest_stats`] expose the cumulative
+//!   [`SessionHealthStats`].
+//!
+//! Sessions without faults or health monitoring keep the historical
+//! behavior bit for bit (`health: None` on every record). Frames whose
+//! mode has no registered backend no longer panic: they come back as
+//! unserved records (held pose, `tracking: false`).
+//!
+//! ```no_run
+//! use eudoxus_core::{FaultProfile, PipelineConfig, SessionBuilder};
+//!
+//! let mut session = SessionBuilder::new(PipelineConfig::anchored())
+//!     .faults(FaultProfile::dusty_site().plan, 42)
+//!     .build();
+//! // ... push events; every record now carries a health verdict:
+//! // record.health.unwrap().state, .dead_reckoned, .served
+//! println!("{}", session.health_stats());
+//! ```
+//!
 //! # Migrating from the pre-streaming API
 //!
 //! [`Eudoxus`] no longer exposes its concrete estimators (the old direct
@@ -187,6 +230,7 @@
 pub mod builder;
 pub mod engine;
 pub mod executor;
+pub mod health;
 pub mod instrument;
 #[cfg(feature = "sim")]
 pub mod mapping;
@@ -203,6 +247,9 @@ pub use engine::{
     OffloadPolicy, ScheduledEngine,
 };
 pub use executor::Executor;
+pub use health::{
+    DegradationState, FrameVitals, HealthConfig, HealthMonitor, HealthReport, SessionHealthStats,
+};
 pub use instrument::{FrameRecord, IngestSnapshot, RunLog};
 #[cfg(feature = "sim")]
 pub use mapping::build_map;
@@ -220,3 +267,7 @@ pub use eudoxus_stream::{ImageEvent, SensorEvent};
 // The channel model, re-exported so link-aware sessions need only this
 // crate (the types live in the leaf `eudoxus-link` crate).
 pub use eudoxus_link::{LinkModel, LinkProfile, LinkState, StaticLink, StochasticLink, TraceLink};
+
+// The fault model, re-exported so degradation experiments need only this
+// crate (the types live in the leaf `eudoxus-faults` crate).
+pub use eudoxus_faults::{FaultCounters, FaultInjector, FaultPlan, FaultProcess, FaultProfile};

@@ -25,14 +25,19 @@
 //! [`EventSource`]: eudoxus_stream::EventSource
 
 use crate::engine::{CpuEngine, ExecutionEngine, FrameContext};
+use crate::health::{
+    DegradationState, FrameVitals, HealthConfig, HealthMonitor, HealthReport, SessionHealthStats,
+};
 use crate::instrument::{FrameRecord, IngestSnapshot};
 use crate::mode::Mode;
 use crate::pipeline::PipelineConfig;
 use eudoxus_backend::{
-    Backend, BackendInput, BackendMode, GpsFix, ImuReading, Registration, Slam, Vio, WorldMap,
+    Backend, BackendEstimate, BackendInput, BackendMode, GpsFix, ImuReading, Registration, Slam,
+    Vio, WorldMap,
 };
+use eudoxus_faults::{FaultCounters, FaultProcess};
 use eudoxus_frontend::Frontend;
-use eudoxus_geometry::PoseAnchor;
+use eudoxus_geometry::{Pose, PoseAnchor, Vec3};
 use eudoxus_stream::{
     Admission, Environment, ImageEvent, IngestCounters, IngestQueue, MuxPoll, OverflowPolicy,
     SensorEvent, StreamMux,
@@ -76,6 +81,25 @@ pub struct LocalizationSession {
     /// must re-initialize the estimators.
     pending_boundary: Option<Option<PoseAnchor>>,
     next_index: usize,
+    /// In-session fault injection, applied to every pushed event before
+    /// it reaches the estimators. `None` (the default) is a passthrough.
+    faults: Option<FaultProcess>,
+    /// Health monitoring + graceful degradation. `None` (the default)
+    /// keeps the session's historical behavior exactly.
+    health: Option<HealthMonitor>,
+    health_stats: SessionHealthStats,
+    /// Timestamp of the last served frame in the current segment.
+    last_frame_t: Option<f64>,
+    /// Last trusted pose (dead-reckoning starts from here).
+    last_pose: Option<Pose>,
+    /// Finite-difference world-frame velocity from the last two served
+    /// poses — the velocity the recovery re-anchor hands the estimators
+    /// (a stationary re-anchor mid-motion would make them drift).
+    last_velocity: Vec3,
+    /// The previous frame's pose jump — the lag-one innovation fed to
+    /// the health monitor (this frame's estimate doesn't exist yet when
+    /// the monitor runs).
+    last_innovation: f64,
 }
 
 impl std::fmt::Debug for LocalizationSession {
@@ -121,9 +145,10 @@ impl LocalizationSession {
 
     /// The primitive constructor every public construction path funnels
     /// into: explicit registry (no defaults added), explicit engine.
-    /// Backends must cover the frames the stream will carry before
-    /// images arrive: [`push`](Self::push) panics on an image frame no
-    /// registered backend (nor its fallbacks) can serve.
+    /// Backends should cover the frames the stream will carry; an image
+    /// frame no registered backend (nor its fallbacks) can serve is
+    /// returned as an unserved record (held pose, `tracking: false`)
+    /// rather than panicking.
     pub(crate) fn from_parts(
         config: PipelineConfig,
         backends: Vec<Box<dyn Backend>>,
@@ -139,7 +164,58 @@ impl LocalizationSession {
             // The first frame of a stream starts the first segment.
             pending_boundary: Some(None),
             next_index: 0,
+            faults: None,
+            health: None,
+            health_stats: SessionHealthStats::default(),
+            last_frame_t: None,
+            last_pose: None,
+            last_velocity: Vec3::zero(),
+            last_innovation: 0.0,
         }
+    }
+
+    /// Attaches a fault process: every subsequently pushed event passes
+    /// through it before reaching the estimators (dropped events are
+    /// swallowed and counted). Also enables health monitoring with
+    /// default thresholds unless [`enable_health`](Self::enable_health)
+    /// already configured it — a faulted session without its survival
+    /// reflex would be pointless.
+    pub fn attach_faults(&mut self, process: FaultProcess) -> &mut Self {
+        self.faults = Some(process);
+        if self.health.is_none() {
+            self.enable_health(HealthConfig::default());
+        }
+        self
+    }
+
+    /// Enables health monitoring + graceful degradation with the given
+    /// thresholds (see [`HealthMonitor`]). Sessions without it keep the
+    /// historical serving behavior bit for bit.
+    pub fn enable_health(&mut self, config: HealthConfig) -> &mut Self {
+        self.health = Some(HealthMonitor::new(config));
+        self
+    }
+
+    /// Whether a fault process is attached.
+    pub fn has_faults(&self) -> bool {
+        self.faults.is_some()
+    }
+
+    /// The attached fault process's counters, if any.
+    pub fn fault_counters(&self) -> Option<FaultCounters> {
+        self.faults.as_ref().map(FaultProcess::counters)
+    }
+
+    /// The current degradation state; `None` when health monitoring is
+    /// not enabled.
+    pub fn degradation_state(&self) -> Option<DegradationState> {
+        self.health.as_ref().map(HealthMonitor::state)
+    }
+
+    /// Cumulative degradation accounting (all zeros when health
+    /// monitoring is not enabled).
+    pub fn health_stats(&self) -> SessionHealthStats {
+        self.health_stats
     }
 
     /// Installs a persisted map, registering a registration backend.
@@ -223,7 +299,8 @@ impl LocalizationSession {
             match mode.fallback() {
                 Some(f) => mode = f,
                 // Nothing registered along the chain; report the last
-                // (floor) mode — step() will panic with a clear message.
+                // (floor) mode — such frames are served gracefully as
+                // unserved (held pose, `tracking: false`).
                 None => return Mode::from(mode),
             }
         }
@@ -245,18 +322,37 @@ impl LocalizationSession {
         self.pending_imu.clear();
         self.pending_gps.clear();
         self.pending_boundary = Some(None);
+        if let Some(monitor) = &mut self.health {
+            monitor.reset();
+        }
+        self.last_frame_t = None;
+        self.last_pose = None;
+        self.last_velocity = Vec3::zero();
+        self.last_innovation = 0.0;
     }
 
     /// Feeds one sensor event. Returns the frame record when the event
     /// was an [`Image`](SensorEvent::Image); sensor and boundary events
-    /// buffer and return `None`.
+    /// buffer and return `None` — as do events an attached fault process
+    /// dropped (counted in
+    /// [`faulted_drops`](SessionHealthStats::faulted_drops)).
     ///
-    /// # Panics
-    ///
-    /// Panics on an image frame whose mode (after walking the fallback
-    /// chain) has no registered backend — a registry misconfiguration,
-    /// impossible with the [`new`](Self::new) default registry.
+    /// An image frame whose mode (after walking the fallback chain) has
+    /// no registered backend — a registry misconfiguration — still
+    /// returns a record: the last trusted pose is held, `tracking` is
+    /// `false`, and with health monitoring enabled the attached
+    /// [`HealthReport`] reports `served: false`.
     pub fn push(&mut self, event: SensorEvent) -> Option<FrameRecord> {
+        let event = match &mut self.faults {
+            Some(process) => match process.apply(event) {
+                Some(event) => event,
+                None => {
+                    self.health_stats.faulted_drops += 1;
+                    return None;
+                }
+            },
+            None => event,
+        };
         match event {
             SensorEvent::Imu(s) => {
                 self.pending_imu.push(ImuReading {
@@ -299,6 +395,15 @@ impl LocalizationSession {
             for b in &mut self.backends {
                 b.begin_segment(applied);
             }
+            // A fresh segment starts with fresh vitals: no inter-frame
+            // gap, no innovation carried over from the old trajectory.
+            if let Some(monitor) = &mut self.health {
+                monitor.reset();
+            }
+            self.last_frame_t = None;
+            self.last_pose = None;
+            self.last_velocity = Vec3::zero();
+            self.last_innovation = 0.0;
         }
 
         // Shared frontend.
@@ -316,11 +421,125 @@ impl LocalizationSession {
             rig: image.rig,
         };
 
-        let mode = self.effective_mode(image.environment);
-        let backend = self
-            .backend_mut(mode.into())
-            .unwrap_or_else(|| panic!("no backend registered for mode {mode} or its fallbacks"));
-        let estimate = backend.step(&input);
+        let preferred = self.effective_mode(image.environment);
+
+        // Health verdict (when enabled) runs *before* the backend: the
+        // state in force decides how this frame is served.
+        let health = self.health.as_mut().map(|monitor| {
+            let vitals = FrameVitals {
+                tracked: fe.observations.len(),
+                inliers: fe.stats.tracks_continued,
+                frame_gap: self.last_frame_t.map_or(0.0, |t0| image.t - t0),
+                innovation: self.last_innovation,
+            };
+            let previous = monitor.state();
+            let state = monitor.observe(&vitals);
+            (previous, state, vitals)
+        });
+
+        let last_pose = self.last_pose.unwrap_or_else(Pose::identity);
+        let mut mode = preferred;
+        let mut served = true;
+        let mut dead_reckoned = false;
+        let estimate = match health {
+            Some((previous, DegradationState::DeadReckoning, _)) => {
+                self.health_stats.dead_reckoned_frames += 1;
+                if previous == DegradationState::Recovering {
+                    self.health_stats.relapses += 1;
+                }
+                // Vision is useless: drop the stale tracks so recovery
+                // re-detects from scratch instead of matching garbage.
+                self.frontend.reset();
+                dead_reckoned = true;
+                let from = PoseAnchor::new(last_pose, self.last_velocity);
+                match self.dead_reckon_along_chain(preferred, &input, from) {
+                    Some((served_mode, estimate)) => {
+                        mode = served_mode;
+                        estimate
+                    }
+                    None => {
+                        // No backend can propagate blind: hold the last
+                        // trusted pose.
+                        served = false;
+                        BackendEstimate {
+                            pose: last_pose,
+                            kernels: Vec::new(),
+                            tracking: false,
+                        }
+                    }
+                }
+            }
+            other => {
+                if let Some((previous, state, _)) = &other {
+                    match state {
+                        DegradationState::Degraded => self.health_stats.degraded_frames += 1,
+                        DegradationState::Recovering => {
+                            self.health_stats.recovering_frames += 1;
+                            if *previous == DegradationState::DeadReckoning {
+                                // Vision is back: re-anchor every
+                                // estimator at the dead-reckoned pose —
+                                // a self-anchor, independent of
+                                // `anchor_to_ground_truth` (which gates
+                                // *external* truth, not the session's
+                                // own estimate).
+                                self.health_stats.recoveries += 1;
+                                let anchor = PoseAnchor::new(last_pose, self.last_velocity);
+                                for b in &mut self.backends {
+                                    b.begin_segment(Some(anchor));
+                                }
+                            }
+                        }
+                        _ => {}
+                    }
+                }
+                match self.backend_mut(preferred.into()) {
+                    Some(backend) => backend.step(&input),
+                    // An empty registry is a misconfiguration, but a
+                    // serving node must not die for it: hold the last
+                    // trusted pose (identity on a fresh segment) and
+                    // report the frame as not tracking.
+                    None => {
+                        served = false;
+                        BackendEstimate {
+                            pose: last_pose,
+                            kernels: Vec::new(),
+                            tracking: false,
+                        }
+                    }
+                }
+            }
+        };
+
+        if health.is_some() {
+            self.health_stats.frames += 1;
+            if !served {
+                self.health_stats.unserved_frames += 1;
+            }
+            // Fallback means *degradation* moved the frame off the mode
+            // this session would otherwise serve it with (`preferred`
+            // already folds in registry availability, e.g. a mapless
+            // session preferring SLAM indoors) — not a configuration
+            // quirk.
+            if mode != preferred {
+                self.health_stats.fallback_frames += 1;
+            }
+            // Lag-one innovation for the *next* frame's vitals. Only
+            // meaningful once a real previous pose exists — on the first
+            // frame of a segment the jump from the identity placeholder
+            // to an anchored start would read as a spurious fault.
+            self.last_innovation = self
+                .last_pose
+                .map_or(0.0, |p0| estimate.pose.translation_distance(p0));
+            if let (Some(t0), Some(p0)) = (self.last_frame_t, self.last_pose) {
+                let dt = image.t - t0;
+                if dt > 1e-9 {
+                    self.last_velocity =
+                        (estimate.pose.translation - p0.translation) * (1.0 / dt);
+                }
+            }
+            self.last_pose = Some(estimate.pose);
+            self.last_frame_t = Some(image.t);
+        }
 
         // The in-loop offload decision: the engine sees this frame's
         // workload and measured costs and reports where the kernels
@@ -351,7 +570,34 @@ impl LocalizationSession {
             ground_truth: image.ground_truth.unwrap_or(estimate.pose),
             pose: estimate.pose,
             tracking: estimate.tracking,
+            health: health.map(|(_, state, vitals)| HealthReport {
+                state,
+                vitals,
+                dead_reckoned,
+                served,
+            }),
         }
+    }
+
+    /// Walks the fallback chain from `preferred` asking each registered
+    /// backend to dead-reckon; returns the first taker and the mode that
+    /// served.
+    fn dead_reckon_along_chain(
+        &mut self,
+        preferred: Mode,
+        input: &BackendInput<'_>,
+        from: PoseAnchor,
+    ) -> Option<(Mode, BackendEstimate)> {
+        let mut mode = Some(BackendMode::from(preferred));
+        while let Some(m) = mode {
+            if let Some(backend) = self.backend_mut(m) {
+                if let Some(estimate) = backend.dead_reckon(input, from) {
+                    return Some((Mode::from(m), estimate));
+                }
+            }
+            mode = m.fallback();
+        }
+        None
     }
 }
 
@@ -522,6 +768,7 @@ impl SessionManager {
                 queued: a.inbox.len(),
                 capacity: a.inbox.capacity(),
                 counters: a.inbox.counters(),
+                health: a.session.health_stats(),
             })
             .collect()
     }
@@ -691,6 +938,15 @@ impl SessionManager {
         let n = self.agents.len();
         if n == 0 {
             return Vec::new();
+        }
+
+        // The skeleton simulation below predicts one record per image
+        // event — but a session with an attached fault process may drop
+        // image events at push time, so its output cannot be predicted
+        // from the queue alone. Degrade to the (identical-output)
+        // sequential path whenever any agent is faulted.
+        if self.agents.iter().any(|a| a.session.has_faults()) {
+            return self.run_until_idle();
         }
 
         // Simulate the sequential round-robin schedule on the queue

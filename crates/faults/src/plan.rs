@@ -1,0 +1,288 @@
+//! Fault parameter sets: [`FaultPlan`] (the knobs) and [`FaultProfile`]
+//! (named canned plans, ordered by severity).
+
+/// Parameter set for a [`FaultProcess`](crate::FaultProcess): every
+/// degradation the injector can apply, with zero/identity defaults so an
+/// empty plan is an exact passthrough.
+///
+/// All stochastic processes are per-event and seeded. Camera drops and
+/// GPS outages are two-state Gilbert–Elliott burst processes
+/// (good→bad with `*_enter`, bad→good with `*_exit`; stationary loss is
+/// `enter/(enter+exit)`, expected burst length `1/exit` frames).
+/// Exposure ramps are deterministic triangle waves over the frame
+/// counter; vision blackouts are deterministic frame windows.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultPlan {
+    /// Gilbert–Elliott good→bad transition probability for camera frame
+    /// drops; 0 disables drops entirely.
+    pub drop_enter: f64,
+    /// Gilbert–Elliott bad→good transition probability (a drop burst
+    /// ends each frame with this probability).
+    pub drop_exit: f64,
+    /// Period (frames) of the deterministic exposure ramp; 0 disables
+    /// the ramp.
+    pub exposure_period: u32,
+    /// Peak fraction of brightness lost mid-ramp: pixel values scale by
+    /// `1 - exposure_gain·r` with ramp intensity r ∈ [0, 1].
+    pub exposure_gain: f64,
+    /// Peak additive offset (gray levels) at full ramp intensity —
+    /// models glare/washout when positive.
+    pub exposure_bias: f64,
+    /// Uniform per-pixel noise amplitude (gray levels): each pixel gets
+    /// an independent seeded draw in `[-pixel_noise, pixel_noise)`;
+    /// 0 disables pixel noise.
+    pub pixel_noise: f64,
+    /// Per-sample gyro bias random-walk step (rad/s per axis): each IMU
+    /// event steps the bias by a uniform draw in `[-step, step)` and
+    /// adds the accumulated bias to the reading; 0 disables.
+    pub gyro_bias_walk: f64,
+    /// Per-sample accelerometer bias random-walk step (m/s² per axis).
+    pub accel_bias_walk: f64,
+    /// Gilbert–Elliott good→bad transition probability for GPS outages
+    /// (fixes inside an outage are dropped); 0 disables outages.
+    pub gps_outage_enter: f64,
+    /// Gilbert–Elliott bad→good transition probability for GPS outages.
+    pub gps_outage_exit: f64,
+    /// Multipath position error amplitude (meters): every surviving fix
+    /// is offset per-axis by a uniform draw in `[-m, m)`; 0 disables.
+    pub gps_multipath_m: f64,
+    /// First frame (by source frame index, counting dropped frames) of
+    /// the vision-blackout window.
+    pub blackout_start: u32,
+    /// Blackout window length in frames; 0 disables blackouts.
+    pub blackout_len: u32,
+    /// Blackout recurrence period in frames; 0 makes the window at
+    /// `blackout_start` one-shot.
+    pub blackout_period: u32,
+}
+
+impl Default for FaultPlan {
+    /// The empty plan: no faults. Exit probabilities default to 1 so a
+    /// (disabled) burst process that somehow entered the bad state
+    /// would leave it immediately.
+    fn default() -> Self {
+        FaultPlan {
+            drop_enter: 0.0,
+            drop_exit: 1.0,
+            exposure_period: 0,
+            exposure_gain: 0.0,
+            exposure_bias: 0.0,
+            pixel_noise: 0.0,
+            gyro_bias_walk: 0.0,
+            accel_bias_walk: 0.0,
+            gps_outage_enter: 0.0,
+            gps_outage_exit: 1.0,
+            gps_multipath_m: 0.0,
+            blackout_start: 0,
+            blackout_len: 0,
+            blackout_period: 0,
+        }
+    }
+}
+
+impl FaultPlan {
+    /// Whether this plan is the exact passthrough: no process enabled,
+    /// every event emitted unmodified (and byte-identical — the injector
+    /// short-circuits without touching payloads).
+    pub fn is_empty(&self) -> bool {
+        self.drop_enter == 0.0
+            && (self.exposure_period == 0
+                || (self.exposure_gain == 0.0 && self.exposure_bias == 0.0))
+            && self.pixel_noise == 0.0
+            && self.gyro_bias_walk == 0.0
+            && self.accel_bias_walk == 0.0
+            && self.gps_outage_enter == 0.0
+            && self.gps_multipath_m == 0.0
+            && self.blackout_len == 0
+    }
+}
+
+/// A named [`FaultPlan`]: one canned degradation personality.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultProfile {
+    /// Profile name, used for lookup and reporting.
+    pub name: &'static str,
+    /// The parameter set.
+    pub plan: FaultPlan,
+}
+
+impl FaultProfile {
+    /// Slow IMU bias drift with clean vision: the failure mode where
+    /// dead-reckoning quality itself erodes. Mildest canned profile.
+    pub fn imu_drift() -> FaultProfile {
+        FaultProfile {
+            name: "imu_drift",
+            plan: FaultPlan {
+                gyro_bias_walk: 1.5e-4,
+                accel_bias_walk: 1.5e-3,
+                ..FaultPlan::default()
+            },
+        }
+    }
+
+    /// Bursty camera frame drops (Gilbert–Elliott, ~6% stationary
+    /// loss, expected bursts ≈ 2 frames) plus mild sensor noise.
+    /// Outright drops are disproportionately costly — the consumer
+    /// holds a stale pose with no dead-reckoning to bridge it — so the
+    /// rate is kept low to sit below `dusty_site` on the measured
+    /// degradation curve as well as the analytic one.
+    pub fn flaky_camera() -> FaultProfile {
+        FaultProfile {
+            name: "flaky_camera",
+            plan: FaultPlan {
+                drop_enter: 0.03,
+                drop_exit: 0.5,
+                pixel_noise: 5.0,
+                ..FaultPlan::default()
+            },
+        }
+    }
+
+    /// Construction-site dust: recurring multi-frame vision blackouts
+    /// (8 of every 30 frames fully occluded), strong exposure swings,
+    /// pixel noise, and mild IMU drift underneath.
+    pub fn dusty_site() -> FaultProfile {
+        FaultProfile {
+            name: "dusty_site",
+            plan: FaultPlan {
+                exposure_period: 30,
+                exposure_gain: 0.45,
+                exposure_bias: 36.0,
+                pixel_noise: 6.0,
+                gyro_bias_walk: 5e-5,
+                accel_bias_walk: 5e-4,
+                blackout_start: 12,
+                blackout_len: 8,
+                blackout_period: 30,
+                ..FaultPlan::default()
+            },
+        }
+    }
+
+    /// Everything at once: camera drop bursts, recurring blackouts,
+    /// heavy exposure swings and noise, fast IMU drift (fast enough
+    /// that blind propagation through the blackouts erodes too — the
+    /// dead-reckoning fallback cannot launder this profile), GPS
+    /// outages with heavy multipath. The worst canned profile.
+    pub fn sensor_storm() -> FaultProfile {
+        FaultProfile {
+            name: "sensor_storm",
+            plan: FaultPlan {
+                drop_enter: 0.08,
+                drop_exit: 0.4,
+                exposure_period: 22,
+                exposure_gain: 0.6,
+                exposure_bias: 48.0,
+                pixel_noise: 10.0,
+                gyro_bias_walk: 1e-3,
+                accel_bias_walk: 1e-2,
+                gps_outage_enter: 0.1,
+                gps_outage_exit: 0.3,
+                gps_multipath_m: 6.0,
+                blackout_start: 10,
+                blackout_len: 8,
+                blackout_period: 26,
+            },
+        }
+    }
+
+    /// The four canned profiles, ordered mildest → most severe
+    /// (`imu_drift`, `flaky_camera`, `dusty_site`, `sensor_storm`) —
+    /// the order the severity pin test and the robustness bench sweep.
+    pub fn canned() -> [FaultProfile; 4] {
+        [
+            FaultProfile::imu_drift(),
+            FaultProfile::flaky_camera(),
+            FaultProfile::dusty_site(),
+            FaultProfile::sensor_storm(),
+        ]
+    }
+
+    /// Looks a canned profile up by name (the exact `name` field).
+    pub fn by_name(name: &str) -> Option<FaultProfile> {
+        FaultProfile::canned().into_iter().find(|p| p.name == name)
+    }
+
+    /// Analytic severity score: a dimensionless heuristic combining the
+    /// stationary duty cycles of the burst/blackout processes with the
+    /// corruption amplitudes, weighted by how hard each fault class
+    /// hits localization (losing vision outright outweighs noise).
+    /// One-shot blackout windows (`blackout_period == 0`) are transient
+    /// and contribute nothing to this stationary score. Used only to
+    /// pin the canned ordering and label bench output.
+    pub fn severity(&self) -> f64 {
+        let p = &self.plan;
+        let duty = |enter: f64, exit: f64| {
+            if enter > 0.0 {
+                enter / (enter + exit)
+            } else {
+                0.0
+            }
+        };
+        let blackout_duty = if p.blackout_len > 0 && p.blackout_period > 0 {
+            f64::from(p.blackout_len) / f64::from(p.blackout_period)
+        } else {
+            0.0
+        };
+        let exposure = if p.exposure_period > 0 {
+            p.exposure_gain + p.exposure_bias / 255.0
+        } else {
+            0.0
+        };
+        3.0 * blackout_duty
+            + 2.0 * duty(p.drop_enter, p.drop_exit)
+            + exposure
+            + p.pixel_noise / 32.0
+            + p.gyro_bias_walk * 500.0
+            + p.accel_bias_walk * 50.0
+            + duty(p.gps_outage_enter, p.gps_outage_exit)
+            + p.gps_multipath_m / 10.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn canned_profiles_order_by_severity() {
+        // The canned array is the severity axis the robustness bench
+        // sweeps; any retuning must preserve a strict ordering.
+        let canned = FaultProfile::canned();
+        for pair in canned.windows(2) {
+            assert!(
+                pair[0].severity() < pair[1].severity(),
+                "{} ({:.3}) must be milder than {} ({:.3})",
+                pair[0].name,
+                pair[0].severity(),
+                pair[1].name,
+                pair[1].severity(),
+            );
+        }
+        // And every canned profile actually does something.
+        for profile in canned {
+            assert!(!profile.plan.is_empty(), "{} is a no-op", profile.name);
+            assert!(profile.severity() > 0.0);
+        }
+    }
+
+    #[test]
+    fn by_name_round_trips() {
+        for profile in FaultProfile::canned() {
+            assert_eq!(FaultProfile::by_name(profile.name), Some(profile));
+        }
+        assert_eq!(FaultProfile::by_name("nope"), None);
+    }
+
+    #[test]
+    fn default_plan_is_empty() {
+        assert!(FaultPlan::default().is_empty());
+        assert!(!FaultProfile::imu_drift().plan.is_empty());
+        // A plan whose only nonzero knob is gated off is still empty.
+        let gated = FaultPlan {
+            exposure_period: 10,
+            ..FaultPlan::default()
+        };
+        assert!(gated.is_empty());
+    }
+}

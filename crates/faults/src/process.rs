@@ -1,0 +1,536 @@
+//! The seeded fault process and the [`EventSource`] adapter that applies
+//! it to a stream.
+//!
+//! Every random effect is driven by a single seeded [`StdRng`]
+//! (SplitMix64 in the offline shim) with a **fixed draw schedule**: each
+//! event kind consumes an exact number of draws regardless of which
+//! effects the plan enables — image events two (drop transition, pixel
+//! noise sub-seed), IMU events six (three gyro + three accel walk
+//! steps), GPS events four (outage transition, three multipath axes),
+//! segment boundaries zero. Per-pixel noise runs on a *sub*-generator
+//! seeded from the schedule, so its draw count (which varies with image
+//! size) never shifts the main stream. The faulted stream is therefore
+//! a pure function of `(plan, seed, event sequence)` — two processes
+//! built alike replay bit-identical traces, which is what makes
+//! degradation experiments reproducible.
+
+use std::sync::Arc;
+
+use eudoxus_geometry::Vec3;
+use eudoxus_image::GrayImage;
+use eudoxus_stream::{EventSource, SensorEvent, SourcePoll};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use crate::plan::FaultPlan;
+
+/// Gray level vision-blackout frames are filled with: featureless
+/// mid-gray, the worst case for a corner detector.
+pub const BLACKOUT_GRAY: u8 = 127;
+
+/// Running tally of what a [`FaultProcess`] has done to its stream.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultCounters {
+    /// Image events swallowed by a drop burst.
+    pub images_dropped: u64,
+    /// Image events replaced with featureless blackout frames.
+    pub images_blacked_out: u64,
+    /// Image events with pixels altered (exposure ramp / pixel noise).
+    pub images_corrupted: u64,
+    /// GPS fixes swallowed by an outage burst.
+    pub gps_dropped: u64,
+}
+
+impl std::fmt::Display for FaultCounters {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "dropped {} frames, blacked out {}, corrupted {}, dropped {} GPS fixes",
+            self.images_dropped, self.images_blacked_out, self.images_corrupted, self.gps_dropped
+        )
+    }
+}
+
+/// A seeded, deterministic sensor-degradation process: feeds every
+/// [`SensorEvent`] through the faults a [`FaultPlan`] enables.
+///
+/// Stateless transport-wise — it owns no source; [`apply`] maps one
+/// event to its faulted form (`None` when the event is dropped). Wrap a
+/// source with [`FaultInjector`] to fault a whole stream, or hand the
+/// process to a session for ingest-side injection.
+///
+/// Deterministic: the output trace is a pure function of
+/// `(plan, seed, input events)`, and [`fork`] restarts the process from
+/// event zero so per-agent copies replay the identical schedule.
+///
+/// [`apply`]: FaultProcess::apply
+/// [`fork`]: FaultProcess::fork
+#[derive(Debug, Clone)]
+pub struct FaultProcess {
+    plan: FaultPlan,
+    seed: u64,
+    rng: StdRng,
+    /// Source frame index (counts every image event seen, including
+    /// dropped ones) — the clock blackout windows and exposure ramps
+    /// run on.
+    frame: u32,
+    dropping: bool,
+    gps_out: bool,
+    gyro_bias: Vec3,
+    accel_bias: Vec3,
+    counters: FaultCounters,
+}
+
+impl FaultProcess {
+    /// A process applying `plan` under the given seed.
+    pub fn new(plan: FaultPlan, seed: u64) -> FaultProcess {
+        FaultProcess {
+            plan,
+            seed,
+            rng: StdRng::seed_from_u64(seed),
+            frame: 0,
+            dropping: false,
+            gps_out: false,
+            gyro_bias: Vec3::zero(),
+            accel_bias: Vec3::zero(),
+            counters: FaultCounters::default(),
+        }
+    }
+
+    /// The plan this process applies.
+    pub fn plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+
+    /// The seed the process was built with.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// What the process has done so far.
+    pub fn counters(&self) -> FaultCounters {
+        self.counters
+    }
+
+    /// A fresh process with the same `(plan, seed)`, restarted at event
+    /// zero — per-agent copies replay the identical fault schedule, the
+    /// same discipline as `LinkModel::fork`.
+    pub fn fork(&self) -> FaultProcess {
+        FaultProcess::new(self.plan, self.seed)
+    }
+
+    /// One uniform draw in `[-1, 1)`.
+    fn draw_sym(&mut self) -> f64 {
+        self.rng.random::<f64>() * 2.0 - 1.0
+    }
+
+    /// Whether source frame `frame` falls in a vision-blackout window.
+    /// Deterministic — consumes no draws.
+    fn in_blackout(&self, frame: u32) -> bool {
+        let p = &self.plan;
+        if p.blackout_len == 0 || frame < p.blackout_start {
+            return false;
+        }
+        let off = frame - p.blackout_start;
+        if p.blackout_period == 0 {
+            off < p.blackout_len
+        } else {
+            off % p.blackout_period < p.blackout_len
+        }
+    }
+
+    /// Exposure-ramp intensity in `[0, 1]` for source frame `frame`:
+    /// a deterministic triangle wave that is 0 at each period start and
+    /// peaks at 1 mid-period (pure integer/f64 arithmetic, no libm, so
+    /// the factor is bit-portable — same discipline as the link ramp).
+    fn ramp_intensity(&self, frame: u32) -> f64 {
+        let p = &self.plan;
+        if p.exposure_period == 0 {
+            return 0.0;
+        }
+        let phase = f64::from(frame % p.exposure_period) / f64::from(p.exposure_period);
+        let tri = if phase < 0.5 {
+            1.0 - 2.0 * phase
+        } else {
+            2.0 * phase - 1.0
+        };
+        1.0 - tri
+    }
+
+    /// Applies the plan to one event: the faulted event, or `None` when
+    /// a burst process swallowed it. Events the plan does not touch are
+    /// returned unmodified — byte-identical, image `Arc`s included — so
+    /// an empty plan is an exact passthrough.
+    pub fn apply(&mut self, event: SensorEvent) -> Option<SensorEvent> {
+        match event {
+            // Boundaries are markers, not sensor data: zero draws, pure
+            // passthrough. The frame clock keeps running across them —
+            // blackout windows are indexed on the source's absolute
+            // frame count, not per segment.
+            SensorEvent::SegmentBoundary { .. } => Some(event),
+            SensorEvent::Imu(mut sample) => {
+                // Fixed schedule: six draws (three per sensor), even
+                // when both walks are disabled.
+                let g = [self.draw_sym(), self.draw_sym(), self.draw_sym()];
+                let a = [self.draw_sym(), self.draw_sym(), self.draw_sym()];
+                let p = &self.plan;
+                // Gate the additions on a live walk so a disabled axis
+                // stays byte-identical (`x + 0.0` can flip `-0.0`).
+                if p.gyro_bias_walk != 0.0 {
+                    let s = p.gyro_bias_walk;
+                    self.gyro_bias += Vec3::new(s * g[0], s * g[1], s * g[2]);
+                    sample.gyro += self.gyro_bias;
+                }
+                if p.accel_bias_walk != 0.0 {
+                    let s = p.accel_bias_walk;
+                    self.accel_bias += Vec3::new(s * a[0], s * a[1], s * a[2]);
+                    sample.accel += self.accel_bias;
+                }
+                Some(SensorEvent::Imu(sample))
+            }
+            SensorEvent::Gps(mut fix) => {
+                // Fixed schedule: four draws (outage transition, three
+                // multipath axes), drawn before the outage verdict.
+                let u_out: f64 = self.rng.random();
+                let m = [self.draw_sym(), self.draw_sym(), self.draw_sym()];
+                let p = &self.plan;
+                self.gps_out = if self.gps_out {
+                    u_out >= p.gps_outage_exit
+                } else {
+                    u_out < p.gps_outage_enter
+                };
+                if self.gps_out {
+                    self.counters.gps_dropped += 1;
+                    return None;
+                }
+                if p.gps_multipath_m != 0.0 {
+                    let s = p.gps_multipath_m;
+                    fix.position += Vec3::new(s * m[0], s * m[1], s * m[2]);
+                }
+                Some(SensorEvent::Gps(fix))
+            }
+            SensorEvent::Image(mut image) => {
+                // Fixed schedule: two draws (drop transition, noise
+                // sub-seed), drawn before any verdict so dropped and
+                // delivered frames cost the same.
+                let u_drop: f64 = self.rng.random();
+                let noise_seed: u64 = self.rng.random();
+                let frame = self.frame;
+                self.frame = self.frame.wrapping_add(1);
+                let p = self.plan;
+                self.dropping = if self.dropping {
+                    u_drop >= p.drop_exit
+                } else {
+                    u_drop < p.drop_enter
+                };
+                if self.dropping {
+                    self.counters.images_dropped += 1;
+                    return None;
+                }
+                if self.in_blackout(frame) {
+                    let (lw, lh) = image.left.dimensions();
+                    let (rw, rh) = image.right.dimensions();
+                    image.left = Arc::new(GrayImage::filled(lw, lh, BLACKOUT_GRAY));
+                    image.right = Arc::new(GrayImage::filled(rw, rh, BLACKOUT_GRAY));
+                    self.counters.images_blacked_out += 1;
+                    return Some(SensorEvent::Image(image));
+                }
+                let r = self.ramp_intensity(frame);
+                let exposing =
+                    r > 0.0 && (p.exposure_gain != 0.0 || p.exposure_bias != 0.0);
+                let noisy = p.pixel_noise != 0.0;
+                if !exposing && !noisy {
+                    // Untouched: the original `Arc`s pass through.
+                    return Some(SensorEvent::Image(image));
+                }
+                let gain = if exposing { 1.0 - p.exposure_gain * r } else { 1.0 };
+                let bias = if exposing { p.exposure_bias * r } else { 0.0 };
+                let noise = if noisy { p.pixel_noise } else { 0.0 };
+                let mut pixel_rng = StdRng::seed_from_u64(noise_seed);
+                image.left = Arc::new(corrupt_image(&image.left, gain, bias, noise, &mut pixel_rng));
+                image.right =
+                    Arc::new(corrupt_image(&image.right, gain, bias, noise, &mut pixel_rng));
+                self.counters.images_corrupted += 1;
+                Some(SensorEvent::Image(image))
+            }
+        }
+    }
+}
+
+/// One corrupted copy of `img`: `v ↦ clamp(v·gain + bias + n)` with
+/// per-pixel uniform noise `n ∈ [-noise, noise)` from `rng`.
+fn corrupt_image(
+    img: &GrayImage,
+    gain: f64,
+    bias: f64,
+    noise: f64,
+    rng: &mut StdRng,
+) -> GrayImage {
+    let (w, h) = img.dimensions();
+    let data = img
+        .as_raw()
+        .iter()
+        .map(|&v| {
+            let n = if noise != 0.0 {
+                noise * (rng.random::<f64>() * 2.0 - 1.0)
+            } else {
+                0.0
+            };
+            (f64::from(v) * gain + bias + n).clamp(0.0, 255.0) as u8
+        })
+        .collect();
+    GrayImage::from_vec(w, h, data)
+}
+
+/// An [`EventSource`] adapter applying a [`FaultProcess`] to everything
+/// an inner source produces: the stream-side way to degrade a replay or
+/// a live producer without the consumer knowing.
+///
+/// Dropped events are absorbed transparently — the injector keeps
+/// polling the inner source until it has a deliverable event, a
+/// [`Pending`](SourcePoll::Pending), or [`Closed`](SourcePoll::Closed),
+/// so consumers never observe a hole in the poll protocol, only in the
+/// data.
+#[derive(Debug, Clone)]
+pub struct FaultInjector<S> {
+    inner: S,
+    process: FaultProcess,
+}
+
+impl<S: EventSource> FaultInjector<S> {
+    /// Wraps `inner`, degrading it per `plan` under `seed`.
+    pub fn new(inner: S, plan: FaultPlan, seed: u64) -> FaultInjector<S> {
+        FaultInjector {
+            inner,
+            process: FaultProcess::new(plan, seed),
+        }
+    }
+
+    /// Wraps `inner` with an existing process (mid-stream state and
+    /// counters included).
+    pub fn from_process(inner: S, process: FaultProcess) -> FaultInjector<S> {
+        FaultInjector { inner, process }
+    }
+
+    /// The underlying fault process.
+    pub fn process(&self) -> &FaultProcess {
+        &self.process
+    }
+
+    /// What the injector has done so far.
+    pub fn counters(&self) -> FaultCounters {
+        self.process.counters()
+    }
+
+    /// Unwraps the inner source, discarding the process.
+    pub fn into_inner(self) -> S {
+        self.inner
+    }
+}
+
+impl<S: EventSource> EventSource for FaultInjector<S> {
+    fn poll_event(&mut self) -> SourcePoll {
+        loop {
+            match self.inner.poll_event() {
+                SourcePoll::Ready(ev) => match self.process.apply(ev) {
+                    Some(out) => return SourcePoll::Ready(out),
+                    None => continue,
+                },
+                other => return other,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::FaultProfile;
+    use eudoxus_geometry::{PinholeCamera, Pose, StereoRig};
+    use eudoxus_stream::{Environment, GpsSample, ImageEvent, ImuSample, IterSource};
+
+    fn image_event(t: f64, seed: u8) -> SensorEvent {
+        let img = Arc::new(GrayImage::from_fn(16, 12, |x, y| {
+            (x * 13 + y * 7) as u8 ^ seed
+        }));
+        SensorEvent::Image(ImageEvent {
+            t,
+            environment: Environment::IndoorUnknown,
+            left: Arc::clone(&img),
+            right: img,
+            rig: StereoRig::new(PinholeCamera::centered(100.0, 16, 12), 0.1),
+            ground_truth: Some(Pose::identity()),
+        })
+    }
+
+    fn synthetic_stream(frames: u32) -> Vec<SensorEvent> {
+        let mut events = vec![SensorEvent::SegmentBoundary { anchor: None }];
+        for i in 0..frames {
+            let t = f64::from(i) * 0.1;
+            for k in 0..3 {
+                events.push(SensorEvent::Imu(ImuSample {
+                    t: t - 0.05 + f64::from(k) * 0.02,
+                    gyro: Vec3::new(0.01, -0.02, 0.005),
+                    accel: Vec3::new(0.1, 9.81, -0.2),
+                }));
+            }
+            events.push(SensorEvent::Gps(GpsSample {
+                t: t - 0.01,
+                position: Vec3::new(f64::from(i), 0.0, 1.0),
+                sigma: 1.5,
+            }));
+            events.push(image_event(t, i as u8));
+        }
+        events
+    }
+
+    #[test]
+    fn blackout_window_is_deterministic_and_recurs() {
+        let plan = FaultPlan {
+            blackout_start: 4,
+            blackout_len: 2,
+            blackout_period: 8,
+            ..FaultPlan::default()
+        };
+        let mut process = FaultProcess::new(plan, 3);
+        let mut blacked = Vec::new();
+        for (i, ev) in synthetic_stream(20).into_iter().enumerate() {
+            let before = process.counters().images_blacked_out;
+            let out = process.apply(ev);
+            assert!(out.is_some(), "nothing drops under a pure blackout plan");
+            if process.counters().images_blacked_out > before {
+                blacked.push(i);
+            }
+        }
+        // Window recurs every 8 frames from frame 4: frames 4, 5, 12,
+        // 13 of the 20-frame stream. Each frame is 5 events after the
+        // boundary; the image closes it at stream index 5·f + 5.
+        assert_eq!(blacked, vec![25, 30, 65, 70]);
+        assert_eq!(process.counters().images_blacked_out, 4);
+        // One-shot variant: period 0 fires the window once.
+        let plan = FaultPlan {
+            blackout_period: 0,
+            ..plan
+        };
+        let mut process = FaultProcess::new(plan, 3);
+        for ev in synthetic_stream(20) {
+            process.apply(ev);
+        }
+        assert_eq!(process.counters().images_blacked_out, 2);
+    }
+
+    #[test]
+    fn blackout_frames_are_featureless() {
+        let plan = FaultPlan {
+            blackout_start: 0,
+            blackout_len: 1,
+            ..FaultPlan::default()
+        };
+        let mut process = FaultProcess::new(plan, 1);
+        let Some(SensorEvent::Image(ev)) = process.apply(image_event(0.0, 9)) else {
+            panic!("blackout delivers the frame");
+        };
+        assert!(ev.left.as_raw().iter().all(|&v| v == BLACKOUT_GRAY));
+        assert!(ev.right.as_raw().iter().all(|&v| v == BLACKOUT_GRAY));
+        // Timestamp and ground truth survive the blackout.
+        assert_eq!(ev.t, 0.0);
+        assert!(ev.ground_truth.is_some());
+    }
+
+    #[test]
+    fn drop_bursts_hit_a_bursty_fraction() {
+        let plan = FaultPlan {
+            drop_enter: 0.06,
+            drop_exit: 0.45,
+            ..FaultPlan::default()
+        };
+        let mut process = FaultProcess::new(plan, 5);
+        let mut delivered = 0u32;
+        for i in 0..4096 {
+            if process.apply(image_event(f64::from(i) * 0.1, i as u8)).is_some() {
+                delivered += 1;
+            }
+        }
+        let dropped = process.counters().images_dropped;
+        assert_eq!(u64::from(delivered) + dropped, 4096);
+        // Stationary loss ≈ enter/(enter+exit) = 0.06/0.51 ≈ 0.118.
+        let rate = dropped as f64 / 4096.0;
+        assert!((0.06..0.20).contains(&rate), "drop rate {rate}");
+    }
+
+    #[test]
+    fn imu_bias_walk_accumulates() {
+        let plan = FaultProfile::imu_drift().plan;
+        let mut process = FaultProcess::new(plan, 11);
+        let clean = ImuSample {
+            t: 0.0,
+            gyro: Vec3::zero(),
+            accel: Vec3::zero(),
+        };
+        let mut last = 0.0;
+        for _ in 0..200 {
+            let Some(SensorEvent::Imu(s)) = process.apply(SensorEvent::Imu(clean)) else {
+                panic!("IMU events never drop");
+            };
+            last = s.gyro.norm();
+        }
+        // A random walk wanders away from zero; 200 steps of 1.5e-4
+        // amplitude land far above one step.
+        assert!(last > 1.5e-4, "bias walk stuck at {last}");
+    }
+
+    #[test]
+    fn gps_outage_drops_and_multipath_offsets() {
+        let plan = FaultPlan {
+            gps_outage_enter: 0.2,
+            gps_outage_exit: 0.3,
+            gps_multipath_m: 2.0,
+            ..FaultPlan::default()
+        };
+        let mut process = FaultProcess::new(plan, 21);
+        let mut offsets = 0u32;
+        for i in 0..512 {
+            let fix = GpsSample {
+                t: f64::from(i) * 0.1,
+                position: Vec3::zero(),
+                sigma: 1.0,
+            };
+            if let Some(SensorEvent::Gps(out)) = process.apply(SensorEvent::Gps(fix)) {
+                let d = out.position.norm();
+                assert!(d < 2.0 * 3.0f64.sqrt() + 1e-9);
+                if d > 0.0 {
+                    offsets += 1;
+                }
+            }
+        }
+        let dropped = process.counters().gps_dropped;
+        assert!(dropped > 50, "outage dropped only {dropped} fixes");
+        assert!(offsets > 100, "multipath offset only {offsets} fixes");
+    }
+
+    #[test]
+    fn injector_absorbs_drops_transparently() {
+        let plan = FaultPlan {
+            drop_enter: 0.5,
+            drop_exit: 0.2,
+            ..FaultPlan::default()
+        };
+        let events = synthetic_stream(64);
+        let total_images = events.iter().filter(|e| e.is_image()).count() as u64;
+        let mut injector = FaultInjector::new(IterSource::from_vec(events), plan, 77);
+        let mut seen = 0u64;
+        loop {
+            match injector.poll_event() {
+                SourcePoll::Ready(ev) => {
+                    if ev.is_image() {
+                        seen += 1;
+                    }
+                }
+                SourcePoll::Pending => {}
+                SourcePoll::Closed => break,
+            }
+        }
+        assert_eq!(seen + injector.counters().images_dropped, total_images);
+        assert!(injector.counters().images_dropped > 10);
+    }
+}

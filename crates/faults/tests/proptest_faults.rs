@@ -1,0 +1,241 @@
+//! Property tests for injector determinism and transparency: a faulted
+//! stream is a pure function of `(plan, seed, input events)`, an empty
+//! plan is a byte-identical passthrough, and no profile ever reorders
+//! events or breaks per-source timestamp monotonicity — the guarantees
+//! degradation experiments and no-fault bit-identity rest on.
+
+use std::sync::Arc;
+
+use eudoxus_faults::{FaultInjector, FaultPlan, FaultProfile};
+use eudoxus_geometry::{PinholeCamera, Pose, StereoRig, Vec3};
+use eudoxus_image::GrayImage;
+use eudoxus_stream::{
+    Environment, EventSource, GpsSample, ImageEvent, ImuSample, IterSource, SensorEvent,
+    SourcePoll,
+};
+use proptest::prelude::*;
+
+/// A synthetic clean stream: boundary, then per frame a handful of IMU
+/// samples, a GPS fix, and the image — the Dataset event order.
+fn synthetic_stream(frames: u32, texture: u64) -> Vec<SensorEvent> {
+    let mut events = vec![SensorEvent::SegmentBoundary { anchor: None }];
+    for i in 0..frames {
+        let t = f64::from(i) * 0.1;
+        for k in 0..3u32 {
+            events.push(SensorEvent::Imu(ImuSample {
+                // Offsets chosen so the stream is strictly monotone in
+                // f64 (0.02-steps from t−0.05 can land above t−0.01).
+                t: t - 0.08 + f64::from(k) * 0.02,
+                gyro: Vec3::new(0.01, -0.02, 0.005),
+                accel: Vec3::new(0.1, 9.81, -0.2),
+            }));
+        }
+        events.push(SensorEvent::Gps(GpsSample {
+            t: t - 0.01,
+            position: Vec3::new(f64::from(i), 0.5, 1.0),
+            sigma: 1.5,
+        }));
+        let img = Arc::new(GrayImage::from_fn(24, 16, |x, y| {
+            (u64::from(x * 31 + y * 17) ^ texture ^ u64::from(i)) as u8
+        }));
+        events.push(SensorEvent::Image(ImageEvent {
+            t,
+            environment: Environment::IndoorUnknown,
+            left: Arc::clone(&img),
+            right: img,
+            rig: StereoRig::new(PinholeCamera::centered(120.0, 24, 16), 0.1),
+            ground_truth: Some(Pose::identity()),
+        }));
+    }
+    events
+}
+
+/// Bit-exact fingerprint of one event: every f64 by bits, every pixel
+/// byte included. Two equal fingerprints mean byte-identical events.
+fn fingerprint(event: &SensorEvent) -> Vec<u64> {
+    match event {
+        SensorEvent::SegmentBoundary { anchor } => {
+            let mut v = vec![0];
+            if let Some(a) = anchor {
+                for f in [
+                    a.pose.translation.x,
+                    a.pose.translation.y,
+                    a.pose.translation.z,
+                    a.velocity.x,
+                    a.velocity.y,
+                    a.velocity.z,
+                ] {
+                    v.push(f.to_bits());
+                }
+            }
+            v
+        }
+        SensorEvent::Imu(s) => vec![
+            1,
+            s.t.to_bits(),
+            s.gyro.x.to_bits(),
+            s.gyro.y.to_bits(),
+            s.gyro.z.to_bits(),
+            s.accel.x.to_bits(),
+            s.accel.y.to_bits(),
+            s.accel.z.to_bits(),
+        ],
+        SensorEvent::Gps(g) => vec![
+            2,
+            g.t.to_bits(),
+            g.position.x.to_bits(),
+            g.position.y.to_bits(),
+            g.position.z.to_bits(),
+            g.sigma.to_bits(),
+        ],
+        SensorEvent::Image(img) => {
+            let mut v = vec![3, img.t.to_bits()];
+            for raw in [img.left.as_raw(), img.right.as_raw()] {
+                v.push(raw.len() as u64);
+                v.extend(raw.iter().map(|&b| u64::from(b)));
+            }
+            v
+        }
+    }
+}
+
+/// Drains an injector over `events`, returning the delivered stream.
+fn faulted(events: Vec<SensorEvent>, plan: FaultPlan, seed: u64) -> Vec<SensorEvent> {
+    let mut injector = FaultInjector::new(IterSource::from_vec(events), plan, seed);
+    let mut out = Vec::new();
+    loop {
+        match injector.poll_event() {
+            SourcePoll::Ready(ev) => out.push(ev),
+            SourcePoll::Pending => {}
+            SourcePoll::Closed => break,
+        }
+    }
+    out
+}
+
+/// All plans a proptest case can pick: the four canned profiles plus
+/// the empty plan.
+fn plan_for(which: usize) -> FaultPlan {
+    if which < 4 {
+        FaultProfile::canned()[which].plan
+    } else {
+        FaultPlan::default()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn same_plan_and_seed_replays_identical_stream(
+        seed in any::<u64>(),
+        which in 0usize..5,
+        frames in 1u32..48,
+        texture in any::<u64>(),
+    ) {
+        // Two fully independent injectors over clones of the same
+        // input: the faulted streams must be bit-identical.
+        let plan = plan_for(which);
+        let events = synthetic_stream(frames, texture);
+        let a = faulted(events.clone(), plan, seed);
+        let b = faulted(events, plan, seed);
+        prop_assert_eq!(a.len(), b.len());
+        for (ea, eb) in a.iter().zip(&b) {
+            prop_assert_eq!(fingerprint(ea), fingerprint(eb));
+        }
+    }
+
+    #[test]
+    fn empty_plan_is_byte_identical_passthrough(
+        seed in any::<u64>(),
+        frames in 1u32..48,
+        texture in any::<u64>(),
+    ) {
+        // An empty plan must not merely be value-equal: pixel Arcs pass
+        // through untouched (no copies) and every payload bit survives.
+        let events = synthetic_stream(frames, texture);
+        let out = faulted(events.clone(), FaultPlan::default(), seed);
+        prop_assert_eq!(out.len(), events.len());
+        for (clean, faulted) in events.iter().zip(&out) {
+            prop_assert_eq!(fingerprint(clean), fingerprint(faulted));
+            if let (SensorEvent::Image(c), SensorEvent::Image(f)) = (clean, faulted) {
+                prop_assert!(Arc::ptr_eq(&c.left, &f.left), "left pixels copied");
+                prop_assert!(Arc::ptr_eq(&c.right, &f.right), "right pixels copied");
+            }
+        }
+    }
+
+    #[test]
+    fn every_profile_preserves_order_and_monotonic_timestamps(
+        seed in any::<u64>(),
+        which in 0usize..5,
+        frames in 1u32..48,
+        texture in any::<u64>(),
+    ) {
+        // The injector may drop or alter events but never reorder them:
+        // the delivered stream is a subsequence of the input (by kind
+        // and timestamp) and timestamps stay non-decreasing.
+        let plan = plan_for(which);
+        let events = synthetic_stream(frames, texture);
+        let input: Vec<(u8, Option<u64>)> = events
+            .iter()
+            .map(|e| (kind_of(e), e.timestamp().map(f64::to_bits)))
+            .collect();
+        let out = faulted(events, plan, seed);
+        let mut cursor = 0usize;
+        let mut last_t = f64::NEG_INFINITY;
+        for ev in &out {
+            let key = (kind_of(ev), ev.timestamp().map(f64::to_bits));
+            // Timestamps are untouched by every fault class, so keying
+            // on (kind, t-bits) matches each output to its source slot.
+            while cursor < input.len() && input[cursor] != key {
+                cursor += 1;
+            }
+            prop_assert!(cursor < input.len(), "event not found in order: {key:?}");
+            cursor += 1;
+            if let Some(t) = ev.timestamp() {
+                prop_assert!(t >= last_t, "timestamp regressed: {t} < {last_t}");
+                last_t = t;
+            }
+        }
+    }
+
+    #[test]
+    fn fork_restarts_the_schedule_from_event_zero(
+        seed in any::<u64>(),
+        which in 0usize..4,
+        burn in 0usize..40,
+        frames in 1u32..32,
+        texture in any::<u64>(),
+    ) {
+        // Burn part of a stream through one process, fork it, and the
+        // fork must behave exactly like a fresh injector.
+        let plan = plan_for(which);
+        let burn_events = synthetic_stream(8, texture);
+        let mut burner = eudoxus_faults::FaultProcess::new(plan, seed);
+        for ev in burn_events.into_iter().take(burn) {
+            let _ = burner.apply(ev);
+        }
+        let events = synthetic_stream(frames, texture.wrapping_add(1));
+        let mut forked = burner.fork();
+        let mut fresh = eudoxus_faults::FaultProcess::new(plan, seed);
+        for ev in events {
+            let a = forked.apply(ev.clone());
+            let b = fresh.apply(ev);
+            match (&a, &b) {
+                (Some(ea), Some(eb)) => prop_assert_eq!(fingerprint(ea), fingerprint(eb)),
+                (None, None) => {}
+                _ => prop_assert!(false, "fork diverged from fresh process"),
+            }
+        }
+    }
+}
+
+fn kind_of(event: &SensorEvent) -> u8 {
+    match event {
+        SensorEvent::SegmentBoundary { .. } => 0,
+        SensorEvent::Imu(_) => 1,
+        SensorEvent::Gps(_) => 2,
+        SensorEvent::Image(_) => 3,
+    }
+}

@@ -28,13 +28,18 @@
 //! eudoxus-math ─ eudoxus-geometry ─ eudoxus-image          (numerics)
 //!                        │                │
 //!                        └── eudoxus-stream ──┐            (this crate)
+//!                              │        │     │
+//!                              │  eudoxus-faults           (event corruption)
 //!                              │              │
 //!                        eudoxus-sim    eudoxus-core       (producers / consumers)
 //! ```
 //!
 //! `eudoxus-sim` (one producer among many) and `eudoxus-core` (the
 //! consumer) both depend on this crate; neither is needed to *speak* the
-//! protocol.
+//! protocol. `eudoxus-faults` sits between them: a deterministic
+//! [`SensorEvent`]-in / [`SensorEvent`]-out corruption layer (and an
+//! [`EventSource`] adapter) that degrades any producer's stream without
+//! either side knowing.
 //!
 //! # A producer without the simulator
 //!

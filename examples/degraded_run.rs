@@ -1,0 +1,90 @@
+//! Surviving a degraded sensor stream: the dusty construction site.
+//!
+//! Replays an outdoor mission through two sessions over the *same*
+//! dataset — one clean, one behind the `dusty_site` fault profile
+//! (recurring multi-frame vision blackouts, exposure swings, pixel
+//! noise, mild IMU drift) — and prints the health monitor's per-frame
+//! verdicts: watch the session degrade, switch to IMU dead-reckoning
+//! when the dust blinds it, and re-anchor + recover when vision
+//! returns. Everything is seeded, so the run replays identically.
+//!
+//! Run with: `cargo run --release --example degraded_run`
+
+use eudoxus::prelude::*;
+
+fn main() {
+    println!("=== degraded run: dusty construction site ===");
+    let dataset = ScenarioBuilder::new(ScenarioKind::OutdoorUnknown)
+        .frames(40)
+        .fps(10.0)
+        .seed(7)
+        .build();
+    let profile = FaultProfile::dusty_site();
+    println!(
+        "{} frames; fault profile \"{}\" (severity {:.2})\n",
+        dataset.frames.len(),
+        profile.name,
+        profile.severity()
+    );
+
+    // Clean reference pass.
+    let mut clean = SessionBuilder::new(PipelineConfig::anchored()).build();
+    let clean_log = RunLog {
+        records: dataset.events().filter_map(|e| clean.push(e)).collect(),
+    };
+
+    // Faulted pass: same stream, seeded degradation, health monitor
+    // armed (`.faults` arms it automatically).
+    let mut session = SessionBuilder::new(PipelineConfig::anchored())
+        .faults(profile.plan, 42)
+        .build();
+    let mut records = Vec::new();
+    for event in dataset.events() {
+        if let Some(record) = session.push(event) {
+            let health = record.health.expect("faulted sessions report health");
+            let verdict = if health.dead_reckoned {
+                "DEAD-RECKONING (IMU only)"
+            } else if !health.served {
+                "UNSERVED (pose held)"
+            } else {
+                match health.state {
+                    DegradationState::Nominal => "nominal",
+                    DegradationState::Degraded => "degraded (thin vision)",
+                    DegradationState::Recovering => "recovering (probation)",
+                    DegradationState::DeadReckoning => unreachable!("covered above"),
+                }
+            };
+            println!(
+                "frame {:>2} [{}] {:>4} tracks | err {:.3} m | {}",
+                record.index,
+                record.mode,
+                health.vitals.tracked,
+                record.translation_error(),
+                verdict
+            );
+            records.push(record);
+        }
+    }
+
+    let stats = session.health_stats();
+    let counters = session.fault_counters().expect("faults attached");
+    let faulted_log = RunLog { records };
+    println!("\n--- mission report ---");
+    println!("injector: {counters}");
+    println!("health:   {stats}");
+    println!(
+        "pose RMSE: clean {:.3} m, faulted {:.3} m ({} of {} frames served)",
+        clean_log.translation_rmse(),
+        faulted_log.translation_rmse(),
+        faulted_log.len(),
+        dataset.frames.len()
+    );
+    assert!(
+        stats.dead_reckoned_frames > 0 && stats.recoveries > 0,
+        "dusty_site must force at least one dead-reckoning episode and recovery"
+    );
+    println!(
+        "survived {} blackout frames with {} recoveries",
+        stats.dead_reckoned_frames, stats.recoveries
+    );
+}

@@ -23,6 +23,7 @@
 //! | [`backend`] | `eudoxus-backend` | MSCKF, GPS fusion, SLAM, registration |
 //! | [`accel`] | `eudoxus-accel` | FPGA accelerator models |
 //! | [`link`] | `eudoxus-link` | deterministic communication-channel models |
+//! | [`faults`] | `eudoxus-faults` | deterministic sensor fault injection |
 //! | [`core`] | `eudoxus-core` | the unified pipeline + instrumentation |
 //!
 //! # Quickstart
@@ -149,6 +150,47 @@
 //! block in `BENCH_throughput.json` records how the offload rate decays
 //! as the channel degrades.
 //!
+//! # Surviving degraded sensors
+//!
+//! Real streams are not the simulator's clean ones: cameras drop frames
+//! in bursts, dust blacks out vision, IMUs drift, GPS cuts out. The
+//! leaf `eudoxus-faults` crate models those failure classes as a seeded
+//! deterministic [`FaultPlan`](eudoxus_faults::FaultPlan) (canned
+//! [`FaultProfile`](eudoxus_faults::FaultProfile)s, mildest to worst:
+//! `imu_drift` → `flaky_camera` → `dusty_site` → `sensor_storm`), and
+//! the session owns the survival reflex:
+//! `SessionBuilder::faults(plan, seed)` degrades every pushed event and
+//! arms the health monitor, which walks each frame's vitals through the
+//! `Nominal → Degraded → DeadReckoning → Recovering` state machine.
+//! While vision is starved the session dead-reckons on internal sensors
+//! (`Backend::dead_reckon`); when vision returns it re-anchors the
+//! estimators at the dead-reckoned pose. Each record then carries a
+//! `HealthReport`, sessions expose cumulative `SessionHealthStats`, and
+//! frames whose mode has no registered backend come back as unserved
+//! records instead of panicking:
+//!
+//! ```no_run
+//! use eudoxus::prelude::*;
+//!
+//! let dataset = ScenarioBuilder::new(ScenarioKind::OutdoorUnknown).frames(30).build();
+//! let mut session = SessionBuilder::new(PipelineConfig::anchored())
+//!     .faults(FaultProfile::dusty_site().plan, 42)
+//!     .build();
+//! for event in dataset.events() {
+//!     if let Some(record) = session.push(event) {
+//!         let health = record.health.expect("faulted sessions report health");
+//!         println!("frame {}: {}", record.index, health.state);
+//!     }
+//! }
+//! println!("{}", session.health_stats());
+//! ```
+//!
+//! `cargo run --release --example degraded_run` walks a dusty-site
+//! mission frame by frame; `cargo run --release -p eudoxus-bench --bin
+//! robustness` regenerates `BENCH_robustness.json` — pose RMSE vs the
+//! clean run, dead-reckoned frames and recovery counts per fault
+//! profile × scenario, monotone in profile severity.
+//!
 //! # Performance
 //!
 //! The steady-state frame path is allocation-free and multi-core:
@@ -185,6 +227,7 @@
 pub use eudoxus_accel as accel;
 pub use eudoxus_backend as backend;
 pub use eudoxus_core as core;
+pub use eudoxus_faults as faults;
 pub use eudoxus_frontend as frontend;
 pub use eudoxus_geometry as geometry;
 pub use eudoxus_image as image;
@@ -200,10 +243,12 @@ pub mod prelude {
     pub use eudoxus_backend::{Backend, BackendMode, WorldMap};
     pub use eudoxus_core::executor::{Executor, OffloadPolicy};
     pub use eudoxus_core::{
-        build_map, CpuEngine, Enqueue, Eudoxus, ExecutionEngine, ExecutionReport, FallbackCause,
-        IngestReport, LinkStats, LocalizationSession, Mode, ModeledAccelEngine, PipelineConfig,
-        RunLog, ScheduledEngine, SessionBuilder, SessionManager, Summary,
+        build_map, CpuEngine, DegradationState, Enqueue, Eudoxus, ExecutionEngine,
+        ExecutionReport, FallbackCause, HealthConfig, HealthReport, IngestReport, LinkStats,
+        LocalizationSession, Mode, ModeledAccelEngine, PipelineConfig, RunLog, ScheduledEngine,
+        SessionBuilder, SessionHealthStats, SessionManager, Summary,
     };
+    pub use eudoxus_faults::{FaultInjector, FaultPlan, FaultProfile};
     pub use eudoxus_frontend::{Frontend, FrontendConfig};
     pub use eudoxus_geometry::{Pose, PoseAnchor, Vec3};
     pub use eudoxus_link::{LinkModel, LinkProfile, LinkState, StaticLink, StochasticLink, TraceLink};
@@ -224,5 +269,8 @@ mod tests {
         let _ = Vec3::zero();
         let _ = LinkProfile::canned();
         let _ = StaticLink::new(1e9, 1e-5);
+        let _ = FaultProfile::canned();
+        let _ = HealthConfig::default();
+        assert!(FaultPlan::default().is_empty());
     }
 }
