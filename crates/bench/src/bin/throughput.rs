@@ -34,18 +34,28 @@
 //! rate decaying (and fallbacks rising) as the channel degrades from
 //! `lan_stable` to `urban_canyon_dropout`.
 //!
+//! `--deadline-ms D` adds a closed-loop pass: per scenario a session
+//! with the frame-deadline throttle armed (engine verdicts steering the
+//! next frame's feature budget) next to an unthrottled twin, plus an
+//! admission-controlled `SessionManager` shedding agents whose modeled
+//! rate cannot meet `D`. The throttle rate, shed counters, and the
+//! modeled-vs-unthrottled frame period land in the top-level
+//! `control_loop` block of `BENCH_throughput.json`.
+//!
 //! ```text
 //! cargo run --release -p eudoxus-bench --bin throughput -- \
-//!     [--frames N] [--workers W] [--out PATH] [--min-speedup X] [--engine E] [--link L]
+//!     [--frames N] [--workers W] [--out PATH] [--min-speedup X] [--engine E] [--link L] \
+//!     [--deadline-ms D]
 //! ```
 
 use eudoxus_accel::Platform as AccelPlatform;
 use eudoxus_bench::baseline::BaselineFrontend;
 use eudoxus_bench::{alloc_track, dataset, row, section};
 use eudoxus_core::{
-    AcceleratedRun, Enqueue, Executor, ExecutionEngine, FrameContext, FrameRecord, LinkProfile,
-    LinkStats, ModeledAccelEngine, OffloadPolicy, PipelineConfig, RunLog, ScheduledEngine,
-    SessionBuilder, SessionManager, StochasticLink,
+    AcceleratedRun, AdmissionConfig, AdmissionStats, Enqueue, Executor, ExecutionEngine,
+    FrameContext, FrameRecord, LinkProfile, LinkStats, ModeledAccelEngine, OffloadPolicy,
+    PipelineConfig, RunLog, ScheduledEngine, SessionBuilder, SessionManager, StochasticLink,
+    ThrottleConfig, ThrottleStats,
 };
 use eudoxus_frontend::{Frontend, FrontendConfig};
 use eudoxus_sim::{Dataset, Platform, ScenarioKind};
@@ -91,6 +101,7 @@ struct Args {
     min_speedup: Option<f64>,
     engine: EngineChoice,
     link: Option<LinkProfile>,
+    deadline_ms: Option<f64>,
 }
 
 fn parse_args() -> Args {
@@ -104,6 +115,7 @@ fn parse_args() -> Args {
         min_speedup: None,
         engine: EngineChoice::Scheduled,
         link: None,
+        deadline_ms: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
@@ -138,9 +150,16 @@ fn parse_args() -> Args {
                     other => panic!("--link {other}: expected stable, congested or canyon"),
                 })
             }
+            "--deadline-ms" => {
+                args.deadline_ms = Some(
+                    value("--deadline-ms")
+                        .parse()
+                        .expect("--deadline-ms: float"),
+                )
+            }
             other => panic!(
                 "unknown flag {other} (supported: --frames --workers --out --min-speedup \
-                 --engine --link)"
+                 --engine --link --deadline-ms)"
             ),
         }
     }
@@ -297,6 +316,7 @@ fn run_link_sweep(cpu_logs: &[RunLog], choice: EngineChoice) -> Option<Vec<LinkS
                             stats: &r.frontend_stats,
                             timing: &r.frontend_timing,
                             backend_kernels: &r.backend_kernels,
+                            health: None,
                         })
                         .expect("a scheduled engine reports every frame");
                     frames.push(report.accelerated_frame());
@@ -305,6 +325,7 @@ fn run_link_sweep(cpu_logs: &[RunLog], choice: EngineChoice) -> Option<Vec<LinkS
                 stats.frames += s.frames;
                 stats.frames_lost += s.frames_lost;
                 stats.link_fallbacks += s.link_fallbacks;
+                stats.deadline_missed += s.deadline_missed;
             }
             let run = AcceleratedRun { frames };
             LinkSweepRow {
@@ -316,6 +337,114 @@ fn run_link_sweep(cpu_logs: &[RunLog], choice: EngineChoice) -> Option<Vec<LinkS
         })
         .collect();
     Some(rows)
+}
+
+/// Closed-loop numbers from the `--deadline-ms` pass: throttle-armed
+/// sessions (one per scenario) plus an admission-controlled fleet.
+struct ControlLoopResult {
+    deadline_ms: f64,
+    frames: u64,
+    throttled_frames: u64,
+    throttle_entries: u64,
+    throttle_rate: f64,
+    /// Mean converged modeled frame period across throttled sessions.
+    modeled_period_ms: f64,
+    /// Same sessions without the throttle, for the modeled-vs-achieved
+    /// comparison.
+    unthrottled_period_ms: f64,
+    offered: u64,
+    admitted: u64,
+    degraded: u64,
+    shed: u64,
+    shed_rate: f64,
+}
+
+/// Drives the control loop closed: per scenario, one scheduled session
+/// with the frame-deadline throttle armed (the engine verdict steering
+/// the next frame's feature budget) next to an unthrottled twin; then an
+/// admission-controlled manager over the same fleet, enqueueing and
+/// draining in lockstep so the modeled rate the gate consults stays
+/// current.
+fn run_control_loop(
+    datasets: &[Dataset],
+    cpu_logs: &[RunLog],
+    choice: EngineChoice,
+    deadline_ms: f64,
+) -> Option<ControlLoopResult> {
+    if choice == EngineChoice::Cpu {
+        return None;
+    }
+    let mut throttle = ThrottleStats::default();
+    let mut modeled = 0.0;
+    let mut unthrottled = 0.0;
+    for (data, cpu_log) in datasets.iter().zip(cpu_logs) {
+        let mut baseline = SessionBuilder::new(PipelineConfig::anchored()).build();
+        baseline.set_engine(build_engine(choice, cpu_log).expect("non-cpu choice"));
+        for event in data.events() {
+            std::hint::black_box(baseline.push(event));
+        }
+        let mut throttled = SessionBuilder::new(PipelineConfig::anchored()).build();
+        throttled.set_engine(build_engine(choice, cpu_log).expect("non-cpu choice"));
+        throttled.enable_throttle(ThrottleConfig::new(deadline_ms));
+        for event in data.events() {
+            std::hint::black_box(throttled.push(event));
+        }
+        let stats = throttled.throttle_stats();
+        throttle.frames += stats.frames;
+        throttle.throttled_frames += stats.throttled_frames;
+        throttle.entries += stats.entries;
+        throttle.exits += stats.exits;
+        modeled += throttled.modeled_period_ms().unwrap_or(0.0);
+        unthrottled += baseline.modeled_period_ms().unwrap_or(0.0);
+    }
+    let passes = datasets.len().max(1) as f64;
+
+    let mut manager = SessionManager::new();
+    manager.set_admission_control(AdmissionConfig::new(deadline_ms));
+    for (i, cpu_log) in cpu_logs.iter().enumerate() {
+        let mut session = SessionBuilder::new(PipelineConfig::anchored()).build();
+        session.set_engine(build_engine(choice, cpu_log).expect("non-cpu choice"));
+        manager.add_agent(format!("agent-{i}"), session);
+    }
+    let mut streams: Vec<_> = datasets.iter().map(|d| d.events()).collect();
+    loop {
+        let mut any = false;
+        for (i, stream) in streams.iter_mut().enumerate() {
+            if let Some(event) = stream.next() {
+                any = true;
+                let id = format!("agent-{i}");
+                std::hint::black_box(manager.try_enqueue(&id, event));
+            }
+        }
+        if !any {
+            break;
+        }
+        while manager.poll().is_some() {}
+    }
+    let mut admission = AdmissionStats::default();
+    for i in 0..cpu_logs.len() {
+        let a = manager
+            .admission_stats(&format!("agent-{i}"))
+            .expect("agent exists");
+        admission.offered += a.offered;
+        admission.admitted += a.admitted;
+        admission.degraded += a.degraded;
+        admission.shed += a.shed;
+    }
+    Some(ControlLoopResult {
+        deadline_ms,
+        frames: throttle.frames,
+        throttled_frames: throttle.throttled_frames,
+        throttle_entries: throttle.entries,
+        throttle_rate: throttle.throttle_rate(),
+        modeled_period_ms: modeled / passes,
+        unthrottled_period_ms: unthrottled / passes,
+        offered: admission.offered,
+        admitted: admission.admitted,
+        degraded: admission.degraded,
+        shed: admission.shed,
+        shed_rate: admission.shed_rate(),
+    })
 }
 
 fn run_scenario(
@@ -446,6 +575,7 @@ fn write_json(
     scenarios: &[ScenarioResult],
     manager: &ManagerResult,
     link_sweep: Option<&[LinkSweepRow]>,
+    control_loop: Option<&ControlLoopResult>,
 ) {
     let mean_speedup =
         scenarios.iter().map(|s| s.frontend_speedup).sum::<f64>() / scenarios.len().max(1) as f64;
@@ -537,6 +667,10 @@ fn write_json(
                             l.stats.link_fallbacks
                         ));
                         s.push_str(&format!(
+                            "          \"deadline_missed\": {},\n",
+                            l.stats.deadline_missed
+                        ));
+                        s.push_str(&format!(
                             "          \"fallback_rate\": {},\n",
                             json_f(l.fallback_rate)
                         ));
@@ -572,14 +706,52 @@ fn write_json(
                 s.push_str(&format!("      \"frames\": {},\n", r.stats.frames));
                 s.push_str(&format!("      \"frames_lost\": {},\n", r.stats.frames_lost));
                 s.push_str(&format!(
-                    "      \"link_fallbacks\": {}\n",
+                    "      \"link_fallbacks\": {},\n",
                     r.stats.link_fallbacks
+                ));
+                s.push_str(&format!(
+                    "      \"deadline_missed\": {}\n",
+                    r.stats.deadline_missed
                 ));
                 s.push_str(if i + 1 < rows.len() { "    },\n" } else { "    }\n" });
             }
             s.push_str("  ],\n");
         }
         None => s.push_str("  \"link_sweep\": null,\n"),
+    }
+    match control_loop {
+        Some(c) => {
+            s.push_str("  \"control_loop\": {\n");
+            s.push_str(&format!("    \"deadline_ms\": {},\n", json_f(c.deadline_ms)));
+            s.push_str(&format!("    \"frames\": {},\n", c.frames));
+            s.push_str(&format!(
+                "    \"throttled_frames\": {},\n",
+                c.throttled_frames
+            ));
+            s.push_str(&format!(
+                "    \"throttle_entries\": {},\n",
+                c.throttle_entries
+            ));
+            s.push_str(&format!(
+                "    \"throttle_rate\": {},\n",
+                json_f(c.throttle_rate)
+            ));
+            s.push_str(&format!(
+                "    \"modeled_period_ms\": {},\n",
+                json_f(c.modeled_period_ms)
+            ));
+            s.push_str(&format!(
+                "    \"unthrottled_period_ms\": {},\n",
+                json_f(c.unthrottled_period_ms)
+            ));
+            s.push_str(&format!("    \"offered\": {},\n", c.offered));
+            s.push_str(&format!("    \"admitted\": {},\n", c.admitted));
+            s.push_str(&format!("    \"degraded\": {},\n", c.degraded));
+            s.push_str(&format!("    \"shed\": {},\n", c.shed));
+            s.push_str(&format!("    \"shed_rate\": {}\n", json_f(c.shed_rate)));
+            s.push_str("  },\n");
+        }
+        None => s.push_str("  \"control_loop\": null,\n"),
     }
     s.push_str("  \"manager\": {\n");
     s.push_str(&format!("    \"agents\": {},\n", manager.agents));
@@ -660,6 +832,24 @@ fn main() {
         }
     }
 
+    let control_loop = args
+        .deadline_ms
+        .and_then(|deadline| run_control_loop(&datasets, &cpu_logs, args.engine, deadline));
+    if let Some(c) = &control_loop {
+        section(&format!(
+            "Control loop: deadline {:.2} ms (throttle + admission)",
+            c.deadline_ms
+        ));
+        row(&[
+            "throttle rate".into(),
+            format!("{:.0}%", c.throttle_rate * 100.0),
+            "period".into(),
+            format!("{:.2} ms (was {:.2})", c.modeled_period_ms, c.unthrottled_period_ms),
+            "shed".into(),
+            format!("{}/{} ({:.0}%)", c.shed, c.offered, c.shed_rate * 100.0),
+        ]);
+    }
+
     section(&format!(
         "SessionManager: {} agents, {} workers",
         datasets.len(),
@@ -682,6 +872,7 @@ fn main() {
         &scenarios,
         &manager,
         link_sweep.as_deref(),
+        control_loop.as_ref(),
     );
     println!("\nwrote {}", args.out);
 

@@ -29,6 +29,7 @@
 //! [`build_manager`]: SessionBuilder::build_manager
 //! [`build_batch`]: SessionBuilder::build_batch
 
+use crate::control::{AdmissionConfig, ThrottleConfig};
 use crate::engine::{CpuEngine, ExecutionEngine};
 use crate::health::HealthConfig;
 use crate::pipeline::{Eudoxus, PipelineConfig};
@@ -61,6 +62,8 @@ pub struct SessionBuilder {
     deadline_ms: Option<f64>,
     faults: Option<FaultProcess>,
     health: Option<HealthConfig>,
+    throttle: Option<ThrottleConfig>,
+    admission: Option<AdmissionConfig>,
 }
 
 impl std::fmt::Debug for SessionBuilder {
@@ -94,6 +97,8 @@ impl SessionBuilder {
             deadline_ms: None,
             faults: None,
             health: None,
+            throttle: None,
+            admission: None,
         }
     }
 
@@ -123,12 +128,38 @@ impl SessionBuilder {
         self
     }
 
-    /// Sets the per-frame latency budget (ms) for link-backed engines:
-    /// frames whose modeled total with offloads would exceed it are
-    /// kept fully local
-    /// ([`FallbackCause::DeadlineExceeded`](crate::engine::FallbackCause)).
+    /// Sets the per-frame latency budget (ms) for modeled engines (with
+    /// or without a link): frames whose modeled total with offloads
+    /// would exceed it are kept fully local
+    /// ([`FallbackCause::DeadlineExceeded`](crate::engine::FallbackCause)),
+    /// and frames still late under the all-local plan are counted as
+    /// deadline misses.
     pub fn deadline_ms(mut self, deadline_ms: f64) -> Self {
         self.deadline_ms = Some(deadline_ms);
+        self
+    }
+
+    /// Arms the closed-loop frame throttle on every built session: the
+    /// engine's modeled frame period is compared against the config's
+    /// deadline and, hysteretically, a
+    /// [`FrameDirective`](eudoxus_frontend::FrameDirective) steers the
+    /// next frame's frontend budget (see
+    /// [`ThrottleController`](crate::control::ThrottleController)).
+    /// Needs a reporting engine — under the passthrough [`CpuEngine`]
+    /// the controller never observes a period and stays idle.
+    pub fn throttle(mut self, config: ThrottleConfig) -> Self {
+        self.throttle = Some(config);
+        self
+    }
+
+    /// Arms deadline-aware admission control on managers built with
+    /// [`build_manager`](Self::build_manager): image events for agents
+    /// whose modeled frame period cannot meet the config's deadline are
+    /// degraded or shed at the ingest gate (see
+    /// [`AdmissionConfig`](crate::control::AdmissionConfig)). Ignored
+    /// by [`build`](Self::build) — single sessions have no ingest gate.
+    pub fn admission(mut self, config: AdmissionConfig) -> Self {
+        self.admission = Some(config);
         self
     }
 
@@ -205,6 +236,10 @@ impl SessionBuilder {
     fn assemble(&self, mut engine: Box<dyn ExecutionEngine>) -> LocalizationSession {
         if let Some(link) = &self.link {
             engine.attach_link(link.fork(), self.deadline_ms);
+        } else if let Some(deadline) = self.deadline_ms {
+            // A deadline without a link used to be silently ignored;
+            // now it arms deadline shedding on the bus-backed engine.
+            engine.set_deadline_ms(deadline);
         }
         let mut session =
             LocalizationSession::from_parts(self.config.clone(), Vec::new(), engine);
@@ -227,6 +262,9 @@ impl SessionBuilder {
         if let Some(process) = &self.faults {
             session.attach_faults(process.fork());
         }
+        if let Some(config) = self.throttle {
+            session.enable_throttle(config);
+        }
         session
     }
 
@@ -244,6 +282,9 @@ impl SessionBuilder {
     /// [`ingest_limit`](Self::ingest_limit) applied.
     pub fn build_manager(self) -> SessionManager {
         let mut manager = SessionManager::new();
+        if let Some(config) = self.admission {
+            manager.set_admission_control(config);
+        }
         for id in &self.agents {
             let session = self.assemble(self.engine.fork());
             manager.add_agent(id.clone(), session);

@@ -1,0 +1,321 @@
+//! The closed control loop: hysteretic frame throttling and
+//! deadline-aware admission control.
+//!
+//! PR 5's engines *observe and price* each frame; this module is where
+//! the verdict steers execution. Two controllers live here:
+//!
+//! - [`ThrottleController`] — a per-session hysteresis loop fed the
+//!   modeled frame period after every engine report. When the period
+//!   exceeds the deadline for `enter_frames` consecutive frames, it
+//!   issues a [`FrameDirective`] that the session applies to the
+//!   frontend on the *next* frame (shrunken feature budget, shallower
+//!   pyramid, optionally the scalar KLT datapath). The directive stays
+//!   in force until the *raw* modeled period drops below
+//!   `exit_margin × min(throttled baseline, deadline)` for
+//!   `exit_frames` consecutive frames — on constant load the throttled
+//!   period equals its own baseline and never clears the margin, so
+//!   the loop cannot oscillate.
+//! - [`AdmissionConfig`] — policy for `SessionManager::try_enqueue`:
+//!   an agent whose (health-weighted) modeled frame period exceeds its
+//!   deadline has image frames decimated (admit one in
+//!   `degrade_keep`), and one whose period exceeds
+//!   `shed_factor × deadline` is shed outright. Counters in
+//!   [`AdmissionStats`] conserve: `offered == admitted + degraded + shed`.
+//!
+//! Both controllers are deterministic functions of the modeled load —
+//! no wall-clock reads — so throttled runs replay bit-identically.
+
+use eudoxus_frontend::FrameDirective;
+
+/// Configuration for the per-session throttle loop.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ThrottleConfig {
+    /// Deadline on the modeled frame period (milliseconds).
+    pub deadline_ms: f64,
+    /// Consecutive modeled overruns required to *enter* throttling.
+    pub enter_frames: u32,
+    /// Consecutive under-threshold frames required to *exit*.
+    pub exit_frames: u32,
+    /// Exit threshold as a fraction of `min(throttled baseline,
+    /// deadline)`. Must be `< 1.0` for the no-oscillation guarantee.
+    pub exit_margin: f64,
+    /// EWMA smoothing factor for the reported modeled period
+    /// (`0 < smoothing <= 1`; 1 = no smoothing).
+    pub smoothing: f64,
+    /// The directive issued while throttled.
+    pub directive: FrameDirective,
+}
+
+impl ThrottleConfig {
+    /// A conservative default policy for the given deadline.
+    pub fn new(deadline_ms: f64) -> Self {
+        ThrottleConfig {
+            deadline_ms,
+            enter_frames: 2,
+            exit_frames: 4,
+            exit_margin: 0.8,
+            smoothing: 0.3,
+            directive: FrameDirective::throttled(),
+        }
+    }
+
+    /// Replaces the directive issued while throttled.
+    pub fn with_directive(mut self, directive: FrameDirective) -> Self {
+        self.directive = directive;
+        self
+    }
+}
+
+/// Counters describing one session's throttle history.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ThrottleStats {
+    /// Frames observed by the controller.
+    pub frames: u64,
+    /// Frames processed while a directive was in force.
+    pub throttled_frames: u64,
+    /// Times the loop entered throttling.
+    pub entries: u64,
+    /// Times the loop exited throttling.
+    pub exits: u64,
+}
+
+impl ThrottleStats {
+    /// Fraction of observed frames spent throttled.
+    pub fn throttle_rate(&self) -> f64 {
+        if self.frames == 0 {
+            0.0
+        } else {
+            self.throttled_frames as f64 / self.frames as f64
+        }
+    }
+}
+
+/// Frames the controller waits after entering throttling before it
+/// samples the throttled baseline (lets the shrunken budget take
+/// effect — the directive applies to the *next* frame).
+const SETTLE_FRAMES: u32 = 2;
+
+/// Deterministic hysteresis loop turning modeled frame periods into
+/// [`FrameDirective`]s. See the module docs for the contract.
+#[derive(Debug, Clone)]
+pub struct ThrottleController {
+    config: ThrottleConfig,
+    throttled: bool,
+    overrun_streak: u32,
+    calm_streak: u32,
+    settle_left: u32,
+    /// Raw modeled period sampled once the throttled budget has taken
+    /// effect; the exit threshold is relative to this.
+    baseline: Option<f64>,
+    /// EWMA of the modeled period (reporting only; decisions use raw).
+    period: Option<f64>,
+    stats: ThrottleStats,
+}
+
+impl ThrottleController {
+    /// Creates an idle (unthrottled) controller.
+    pub fn new(config: ThrottleConfig) -> Self {
+        ThrottleController {
+            config,
+            throttled: false,
+            overrun_streak: 0,
+            calm_streak: 0,
+            settle_left: 0,
+            baseline: None,
+            period: None,
+            stats: ThrottleStats::default(),
+        }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &ThrottleConfig {
+        &self.config
+    }
+
+    /// Whether a directive is currently in force.
+    pub fn is_throttled(&self) -> bool {
+        self.throttled
+    }
+
+    /// Smoothed modeled frame period (ms), if any frame was observed.
+    pub fn modeled_period_ms(&self) -> Option<f64> {
+        self.period
+    }
+
+    /// Counters accumulated so far.
+    pub fn stats(&self) -> ThrottleStats {
+        self.stats
+    }
+
+    /// The directive to apply to the next frame, if throttled.
+    pub fn directive(&self) -> Option<FrameDirective> {
+        self.throttled.then_some(self.config.directive)
+    }
+
+    /// Feeds one modeled frame period (ms) and returns the directive
+    /// for the *next* frame.
+    pub fn observe(&mut self, modeled_period_ms: f64) -> Option<FrameDirective> {
+        self.stats.frames += 1;
+        let alpha = self.config.smoothing.clamp(f64::EPSILON, 1.0);
+        self.period = Some(match self.period {
+            Some(p) => p + alpha * (modeled_period_ms - p),
+            None => modeled_period_ms,
+        });
+        if self.throttled {
+            self.stats.throttled_frames += 1;
+            if self.settle_left > 0 {
+                // The directive issued on entry steers the *next*
+                // frame; skip the frames still priced at full budget.
+                self.settle_left -= 1;
+                if self.settle_left == 0 {
+                    self.baseline = Some(modeled_period_ms);
+                }
+            } else {
+                let baseline = self.baseline.unwrap_or(self.config.deadline_ms);
+                let threshold = self.config.exit_margin * baseline.min(self.config.deadline_ms);
+                if modeled_period_ms < threshold {
+                    self.calm_streak += 1;
+                    if self.calm_streak >= self.config.exit_frames {
+                        self.throttled = false;
+                        self.calm_streak = 0;
+                        self.baseline = None;
+                        self.stats.exits += 1;
+                    }
+                } else {
+                    self.calm_streak = 0;
+                }
+            }
+        } else if modeled_period_ms > self.config.deadline_ms {
+            self.overrun_streak += 1;
+            if self.overrun_streak >= self.config.enter_frames {
+                self.throttled = true;
+                self.overrun_streak = 0;
+                self.settle_left = SETTLE_FRAMES;
+                self.baseline = None;
+                self.stats.entries += 1;
+            }
+        } else {
+            self.overrun_streak = 0;
+        }
+        self.directive()
+    }
+}
+
+/// Policy for deadline-aware admission control in `SessionManager`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AdmissionConfig {
+    /// Deadline on the agent's modeled frame period (milliseconds).
+    pub deadline_ms: f64,
+    /// Shed outright when the effective period exceeds
+    /// `shed_factor × deadline_ms`.
+    pub shed_factor: f64,
+    /// While degrading (deadline < period ≤ shed threshold), admit one
+    /// image frame in every `degrade_keep`.
+    pub degrade_keep: u32,
+    /// Multiplier on the modeled period for agents stuck below
+    /// `Nominal` health — deprioritizes degraded agents first.
+    pub health_penalty: f64,
+}
+
+impl AdmissionConfig {
+    /// A conservative default policy for the given deadline.
+    pub fn new(deadline_ms: f64) -> Self {
+        AdmissionConfig {
+            deadline_ms,
+            shed_factor: 2.0,
+            degrade_keep: 2,
+            health_penalty: 1.5,
+        }
+    }
+}
+
+/// Per-agent admission counters. Invariant:
+/// `offered == admitted + degraded + shed`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AdmissionStats {
+    /// Image frames offered to the gate.
+    pub offered: u64,
+    /// Frames admitted to the agent's inbox gate.
+    pub admitted: u64,
+    /// Frames dropped by degrade-mode decimation.
+    pub degraded: u64,
+    /// Frames shed because the agent cannot meet its deadline.
+    pub shed: u64,
+}
+
+impl AdmissionStats {
+    /// Fraction of offered frames shed outright.
+    pub fn shed_rate(&self) -> f64 {
+        if self.offered == 0 {
+            0.0
+        } else {
+            self.shed as f64 / self.offered as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn control_throttle_enters_after_consecutive_overruns() {
+        let mut tc = ThrottleController::new(ThrottleConfig::new(10.0));
+        assert!(tc.observe(20.0).is_none(), "one overrun must not trigger");
+        assert!(tc.observe(20.0).is_some(), "second consecutive overrun triggers");
+        assert_eq!(tc.stats().entries, 1);
+    }
+
+    #[test]
+    fn control_throttle_single_overruns_never_trigger() {
+        let mut tc = ThrottleController::new(ThrottleConfig::new(10.0));
+        for _ in 0..50 {
+            assert!(tc.observe(20.0).is_none());
+            assert!(tc.observe(5.0).is_none());
+        }
+        assert_eq!(tc.stats().entries, 0);
+    }
+
+    #[test]
+    fn control_throttle_exits_when_load_falls_away() {
+        let mut tc = ThrottleController::new(ThrottleConfig::new(10.0));
+        tc.observe(20.0);
+        tc.observe(20.0);
+        assert!(tc.is_throttled());
+        // Settle frames still reflect the unthrottled budget.
+        tc.observe(20.0);
+        tc.observe(6.0); // baseline sampled: 6.0
+        // Load collapses well below margin × baseline.
+        for _ in 0..tc.config().exit_frames {
+            tc.observe(1.0);
+        }
+        assert!(!tc.is_throttled());
+        assert_eq!(tc.stats().exits, 1);
+    }
+
+    #[test]
+    fn control_throttle_constant_load_does_not_oscillate() {
+        let mut tc = ThrottleController::new(ThrottleConfig::new(10.0));
+        // Constant overload: throttled period equals its own baseline,
+        // which never clears the exit margin.
+        for _ in 0..200 {
+            tc.observe(15.0);
+        }
+        assert_eq!(tc.stats().entries, 1);
+        assert_eq!(tc.stats().exits, 0);
+        assert!(tc.is_throttled());
+    }
+
+    #[test]
+    fn control_admission_stats_rates() {
+        let s = AdmissionStats {
+            offered: 10,
+            admitted: 5,
+            degraded: 3,
+            shed: 2,
+        };
+        assert_eq!(s.offered, s.admitted + s.degraded + s.shed);
+        assert!((s.shed_rate() - 0.2).abs() < 1e-12);
+        assert_eq!(AdmissionStats::default().shed_rate(), 0.0);
+    }
+}

@@ -57,13 +57,14 @@
 //! platform bus reproduces the linkless engine bit for bit (PCIe is
 //! just another link).
 
+use crate::health::{DegradationState, HealthReport};
 use crate::stats::Summary;
 use eudoxus_accel::{
     BackendEngine, BackendKernelKind, EnergyModel, FrameEnergy, FrameWorkload, FrontendEngine,
     KernelDims, Platform, PlatformKind, RuntimeScheduler,
 };
 use eudoxus_backend::{Kernel, KernelSample};
-use eudoxus_frontend::{FrameStats, FrontendTiming};
+use eudoxus_frontend::{FrameDirective, FrameStats, FrontendTiming};
 use eudoxus_link::{LinkModel, LinkState};
 
 /// Offload policy for the backend kernels.
@@ -130,6 +131,10 @@ pub struct LinkStats {
     /// Frames forced to pure-CPU by the link — lost frames with
     /// offloadable work pending, plus deadline fallbacks.
     pub link_fallbacks: u64,
+    /// Frames whose modeled total still exceeded the deadline *after*
+    /// the offload decision (including the all-local fallback plan):
+    /// "shed and still late", as opposed to "shed and safe".
+    pub deadline_missed: u64,
 }
 
 impl LinkStats {
@@ -150,18 +155,28 @@ impl LinkStats {
             self.link_fallbacks as f64 / self.frames as f64
         }
     }
+
+    /// Fraction of frames still over the deadline after the final plan.
+    pub fn deadline_miss_rate(&self) -> f64 {
+        if self.frames == 0 {
+            0.0
+        } else {
+            self.deadline_missed as f64 / self.frames as f64
+        }
+    }
 }
 
 impl std::fmt::Display for LinkStats {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "link: {} frames, {} lost ({:.1}%), {} cpu fallbacks ({:.1}%)",
+            "link: {} frames, {} lost ({:.1}%), {} cpu fallbacks ({:.1}%), {} deadline misses",
             self.frames,
             self.frames_lost,
             100.0 * self.loss_rate(),
             self.link_fallbacks,
             100.0 * self.fallback_rate(),
+            self.deadline_missed,
         )
     }
 }
@@ -188,6 +203,13 @@ pub struct FrameContext<'a> {
     pub timing: &'a FrontendTiming,
     /// Measured backend kernel samples (kernel, ms, workload size).
     pub backend_kernels: &'a [KernelSample],
+    /// The frame's health verdict, when the session has a
+    /// [`HealthMonitor`](crate::health::HealthMonitor) armed. Feeds
+    /// fault-aware pricing: dead-reckoned / unserved frames are priced
+    /// as IMU-only work and frames in the `DeadReckoning` state skip
+    /// accelerator offload entirely. `None` (health off) prices the
+    /// frame exactly as before the health seam existed.
+    pub health: Option<HealthReport>,
 }
 
 /// Where a frame's offloadable backend kernels ran.
@@ -254,6 +276,14 @@ pub struct ExecutionReport {
     pub link: Option<LinkState>,
     /// Why the frame was forced to pure CPU, when it was.
     pub fallback: Option<FallbackCause>,
+    /// Whether the final plan (offloads *or* the all-local fallback)
+    /// still exceeds the deadline — distinguishes "shed and safe" from
+    /// "shed and still late". Always `false` without a deadline.
+    pub deadline_missed: bool,
+    /// The throttle directive the session's control loop issued for the
+    /// *next* frame in response to this report (`None` when the loop is
+    /// unarmed or unthrottled). Stamped by the session, not the model.
+    pub directive: Option<FrameDirective>,
 }
 
 impl ExecutionReport {
@@ -429,8 +459,19 @@ pub trait ExecutionEngine: Send {
         false
     }
 
+    /// Sets the agent's per-frame latency budget (ms) without touching
+    /// the link: frames whose modeled total with offloads would exceed
+    /// it are kept fully local, and misses are counted in
+    /// [`LinkStats::deadline_missed`]. Returns `false` when the engine
+    /// does not model latency and ignored the deadline.
+    fn set_deadline_ms(&mut self, deadline_ms: f64) -> bool {
+        let _ = deadline_ms;
+        false
+    }
+
     /// Link-shedding counters, for engines with a channel attached
-    /// (`None` otherwise).
+    /// (`None` otherwise). Engines with a deadline but no link also
+    /// report: deadline shedding is accounted the same way.
     fn link_stats(&self) -> Option<LinkStats> {
         None
     }
@@ -542,7 +583,23 @@ impl AccelModel {
         link: Option<&LinkState>,
         deadline_ms: Option<f64>,
     ) -> ExecutionReport {
-        let mut report = self.model_frame_over(ctx, policy, link);
+        // Fault-aware pricing: the health verdict reshapes what the
+        // frame *is* before any offload arithmetic runs.
+        let mut report = match ctx.health {
+            // A dead-reckoned or unserved frame runs no vision kernels
+            // at all — it is IMU-only work, with no offload decisions
+            // to make.
+            Some(h) if h.dead_reckoned || !h.served => self.imu_only_frame(ctx, policy, link),
+            // A starved frame (DeadReckoning state) that still produced
+            // vision output skips accelerator offload entirely: the
+            // pipeline is about to lose vision, don't gamble on it.
+            Some(h) if h.state == DegradationState::DeadReckoning => {
+                let mut r = self.model_frame_over(ctx, &OffloadPolicy::Never, link);
+                r.engine = policy.name();
+                r
+            }
+            _ => self.model_frame_over(ctx, policy, link),
+        };
         if let Some(deadline) = deadline_ms {
             if report.offloaded > 0 && report.total_ms() > deadline {
                 // The offloaded plan blows the budget: refuse to depend
@@ -551,8 +608,39 @@ impl AccelModel {
                 report.engine = policy.name();
                 report.fallback = Some(FallbackCause::DeadlineExceeded);
             }
+            // The all-local plan can *also* blow the deadline — record
+            // it so consumers can tell "shed and safe" from "shed and
+            // still late".
+            report.deadline_missed = report.total_ms() > deadline;
         }
         report
+    }
+
+    /// Prices a frame that ran no vision kernels (dead reckoning or an
+    /// unserved starve): the measured backend samples — IMU integration
+    /// and friends — at their CPU cost, zero modeled frontend, zero
+    /// offload decisions, baseline (host-only) energy.
+    fn imu_only_frame(
+        &self,
+        ctx: &FrameContext<'_>,
+        policy: &OffloadPolicy,
+        link: Option<&LinkState>,
+    ) -> ExecutionReport {
+        let backend_ms: f64 = ctx.backend_kernels.iter().map(|k| k.millis).sum();
+        ExecutionReport {
+            engine: policy.name(),
+            target: ExecutionTarget::Cpu,
+            frontend_ms: 0.0,
+            backend_ms,
+            offloadable: 0,
+            offloaded: 0,
+            decisions: Vec::new(),
+            energy: self.baseline_frame_energy(backend_ms * 1e-3),
+            link: link.copied(),
+            fallback: None,
+            deadline_missed: false,
+            directive: None,
+        }
     }
 
     /// The shared frame loop: prices every offloadable kernel over the
@@ -648,6 +736,8 @@ impl AccelModel {
             } else {
                 None
             },
+            deadline_missed: false,
+            directive: None,
         }
     }
 }
@@ -838,25 +928,24 @@ impl ExecutionEngine for ScheduledEngine {
     }
 
     fn execute_frame(&mut self, ctx: &FrameContext<'_>) -> Option<ExecutionReport> {
-        let report = match self.link.as_mut() {
-            None => self
-                .model
-                .model_frame_linked(ctx, &self.policy, None, self.deadline_ms),
-            Some(link) => {
-                let state = link.advance_frame();
-                let report =
-                    self.model
-                        .model_frame_linked(ctx, &self.policy, Some(&state), self.deadline_ms);
-                self.stats.frames += 1;
-                if state.lost {
-                    self.stats.frames_lost += 1;
-                }
-                if report.fallback.is_some() {
-                    self.stats.link_fallbacks += 1;
-                }
-                report
+        let state = self.link.as_mut().map(|link| link.advance_frame());
+        let report =
+            self.model
+                .model_frame_linked(ctx, &self.policy, state.as_ref(), self.deadline_ms);
+        // Shedding is accounted whenever something can shed: a link, a
+        // deadline, or both.
+        if state.is_some() || self.deadline_ms.is_some() {
+            self.stats.frames += 1;
+            if state.as_ref().is_some_and(|s| s.lost) {
+                self.stats.frames_lost += 1;
             }
-        };
+            if report.fallback.is_some() {
+                self.stats.link_fallbacks += 1;
+            }
+            if report.deadline_missed {
+                self.stats.deadline_missed += 1;
+            }
+        }
         Some(report)
     }
 
@@ -873,8 +962,13 @@ impl ExecutionEngine for ScheduledEngine {
         true
     }
 
+    fn set_deadline_ms(&mut self, deadline_ms: f64) -> bool {
+        self.deadline_ms = Some(deadline_ms);
+        true
+    }
+
     fn link_stats(&self) -> Option<LinkStats> {
-        self.link.as_ref().map(|_| self.stats)
+        (self.link.is_some() || self.deadline_ms.is_some()).then_some(self.stats)
     }
 }
 
@@ -916,6 +1010,7 @@ mod tests {
                 stats: &stats,
                 timing: &timing,
                 backend_kernels: &kernels,
+                health: None,
             })
             .is_none());
     }
@@ -930,6 +1025,7 @@ mod tests {
                 stats: &stats,
                 timing: &timing,
                 backend_kernels: &kernels,
+                health: None,
             })
             .expect("modeled engine always reports");
         assert_eq!(report.offloadable, 1);
@@ -954,6 +1050,7 @@ mod tests {
                 stats: &stats,
                 timing: &timing,
                 backend_kernels: &kernels,
+                health: None,
             })
             .unwrap();
         assert_eq!(report.offloaded, 0);
@@ -968,6 +1065,7 @@ mod tests {
             stats: &stats,
             timing: &timing,
             backend_kernels: &kernels,
+            health: None,
         };
         let mut original = ModeledAccelEngine::edx_drone();
         let mut fork = original.fork();
@@ -987,6 +1085,7 @@ mod tests {
             stats: &stats,
             timing: &timing,
             backend_kernels: &kernels,
+            health: None,
         };
         for platform in [Platform::edx_car(), Platform::edx_drone()] {
             let mut plain = ScheduledEngine::with_policy(platform, OffloadPolicy::Always);
@@ -1016,6 +1115,7 @@ mod tests {
             stats: &stats,
             timing: &timing,
             backend_kernels: &kernels,
+            health: None,
         };
         let dead = eudoxus_link::TraceLink::new(vec![LinkState::down()]);
         let mut engine = ScheduledEngine::with_policy(Platform::edx_drone(), OffloadPolicy::Always)
@@ -1046,6 +1146,7 @@ mod tests {
             stats: &stats,
             timing: &timing,
             backend_kernels: &kernels,
+            health: None,
         };
         // A painfully slow (but up) link: offloading the Kalman gain
         // would add hundreds of ms, blowing a 50 ms budget.
@@ -1080,6 +1181,7 @@ mod tests {
                 stats: &stats,
                 timing: &timing,
                 backend_kernels: &kernels,
+                health: None,
             },
             &OffloadPolicy::Always,
         );

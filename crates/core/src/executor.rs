@@ -100,6 +100,9 @@ impl Executor {
                         stats: &r.frontend_stats,
                         timing: &r.frontend_timing,
                         backend_kernels: &r.backend_kernels,
+                        // Health-armed logs replay with the same fault-
+                        // aware pricing the live session applied.
+                        health: r.health,
                     })
                     .expect("a scheduled engine reports every frame")
                     .accelerated_frame()
@@ -175,6 +178,7 @@ mod tests {
                 has_ground_truth: true,
                 tracking: true,
                 execution: None,
+                directive: None,
                 health: None,
             });
         }
@@ -262,6 +266,7 @@ mod tests {
                     stats: &record.frontend_stats,
                     timing: &record.frontend_timing,
                     backend_kernels: &record.backend_kernels,
+                    health: record.health,
                 })
                 .unwrap();
             assert_eq!(report.frontend_ms.to_bits(), frame.frontend_ms.to_bits());

@@ -1,13 +1,14 @@
 //! Per-frame instrumentation records — the raw material of every
 //! characterization figure.
 
+use crate::control::{AdmissionStats, ThrottleStats};
 use crate::engine::{AcceleratedRun, ExecutionReport};
 use crate::health::{HealthReport, SessionHealthStats};
 use crate::metrics;
 use crate::mode::Mode;
 use crate::stats::Summary;
 use eudoxus_backend::{Kernel, KernelSample};
-use eudoxus_frontend::{FrameStats, FrontendTiming};
+use eudoxus_frontend::{FrameDirective, FrameStats, FrontendTiming};
 use eudoxus_geometry::Pose;
 use eudoxus_stream::{Environment, IngestCounters};
 
@@ -30,6 +31,19 @@ pub struct IngestSnapshot {
     /// The session's degradation accounting (all zeros when health
     /// monitoring is not enabled for the agent).
     pub health: SessionHealthStats,
+    /// Admission-control accounting: image frames offered, admitted,
+    /// dropped by degrade-mode decimation, and shed outright (all
+    /// zeros while admission control is unarmed). The counters
+    /// conserve: `offered == admitted + degraded + shed`.
+    pub admission: AdmissionStats,
+    /// The session's throttle-loop accounting (all zeros while the
+    /// loop is unarmed).
+    pub throttle: ThrottleStats,
+    /// Times the agent's queue was drained on the polling thread
+    /// instead of a parallel worker (`poll_parallel` keeps faulted
+    /// agents sequential) — nonzero means this agent cost the fleet
+    /// parallelism.
+    pub sequential_drains: u64,
 }
 
 impl std::fmt::Display for IngestSnapshot {
@@ -77,6 +91,11 @@ pub struct FrameRecord {
     /// [`SessionBuilder::engine`](crate::builder::SessionBuilder::engine)
     /// to populate it.
     pub execution: Option<ExecutionReport>,
+    /// The throttle directive in force for *this* frame's frontend
+    /// work (issued by the control loop off the previous frame's
+    /// report). `None` when the loop is unarmed or unthrottled — the
+    /// frontend then ran at its configured budgets.
+    pub directive: Option<FrameDirective>,
     /// Estimated pose.
     pub pose: Pose,
     /// Ground-truth pose. Only meaningful when
@@ -300,6 +319,7 @@ mod tests {
             frontend_stats: FrameStats::default(),
             backend_kernels: kernels,
             execution: None,
+            directive: None,
             pose: Pose::identity(),
             ground_truth: Pose::identity(),
             has_ground_truth: true,

@@ -194,6 +194,58 @@
 //! println!("{}", session.health_stats());
 //! ```
 //!
+//! # Closing the control loop (`SessionBuilder::throttle` / `::admission`)
+//!
+//! Engines *observe and price* each frame; since the control-loop PR
+//! the verdict also **steers**. Three opt-in mechanisms close the loop
+//! (default sessions remain bit-identical to the observe-only API):
+//!
+//! * **Kernel steering.** [`SessionBuilder::throttle`] arms a
+//!   hysteretic [`ThrottleController`]: after every engine report the
+//!   session feeds it the modeled frame period, and when the period
+//!   exceeds `deadline_ms` for `enter_frames` consecutive frames it
+//!   issues a [`FrameDirective`] that the frontend applies on the
+//!   *next* frame — a shrunken feature budget (`max_keypoints`,
+//!   `max_tracks`), a shallower pyramid, optionally the scalar KLT
+//!   datapath. Directive caps only ever *shrink* the configured
+//!   budget. The directive stays in force until the raw modeled period
+//!   drops below `exit_margin × min(throttled baseline, deadline)` for
+//!   `exit_frames` consecutive frames; on constant load the throttled
+//!   period equals its own baseline and never clears that margin, so
+//!   **the loop cannot oscillate**. Every throttled [`FrameRecord`]
+//!   carries the applied directive, and
+//!   [`LocalizationSession::throttle_stats`] exposes the
+//!   entries/exits/throttled-frame counters.
+//!
+//! * **Admission control.** [`SessionBuilder::admission`] (or
+//!   [`SessionManager::set_admission_control`]) gates image events at
+//!   `try_enqueue`/`ingest` time against each agent's modeled frame
+//!   period `P` (health-inflated by `health_penalty` for agents below
+//!   `Nominal`):
+//!
+//!   | Evidence | Verdict |
+//!   |---|---|
+//!   | no modeled period yet | admit (the gate only acts on evidence) |
+//!   | `P ≤ deadline` | admit |
+//!   | `deadline < P ≤ shed_factor × deadline` | degrade: keep 1 image in `degrade_keep` |
+//!   | `P > shed_factor × deadline` | shed ([`Enqueue::Shed`]) |
+//!
+//!   Sensor windows are never gated — starving them would corrupt the
+//!   frames that *are* admitted. Counters conserve
+//!   (`offered == admitted + degraded + shed`) and surface per agent in
+//!   [`IngestSnapshot`].
+//!
+//! * **Fault-aware pricing.** The health verdict feeds the engine seam
+//!   ([`FrameContext`]`::health`): dead-reckoned or unserved frames are
+//!   priced as IMU-only work (no vision kernels, no offload
+//!   decisions), frames still in the `DeadReckoning` state skip
+//!   accelerator offload entirely, and a `ScheduledEngine` with a
+//!   deadline (now armed with or without a link) re-plans overruns
+//!   all-local and counts `deadline_missed` in its [`LinkStats`].
+//!
+//! [`SessionBuilder::throttle`]: builder::SessionBuilder::throttle
+//! [`SessionBuilder::admission`]: builder::SessionBuilder::admission
+//!
 //! # Migrating from the pre-streaming API
 //!
 //! [`Eudoxus`] no longer exposes its concrete estimators (the old direct
@@ -228,6 +280,7 @@
 //! [`SessionManager::ingest_stats`].
 
 pub mod builder;
+pub mod control;
 pub mod engine;
 pub mod executor;
 pub mod health;
@@ -241,6 +294,9 @@ pub mod session;
 pub mod stats;
 
 pub use builder::SessionBuilder;
+pub use control::{
+    AdmissionConfig, AdmissionStats, ThrottleConfig, ThrottleController, ThrottleStats,
+};
 pub use engine::{
     AccelModel, AcceleratedFrame, AcceleratedRun, CpuEngine, ExecutionEngine, ExecutionReport,
     ExecutionTarget, FallbackCause, FrameContext, KernelDecision, LinkStats, ModeledAccelEngine,
@@ -258,6 +314,11 @@ pub use mode::Mode;
 pub use pipeline::{Eudoxus, PipelineConfig};
 pub use session::{Enqueue, IngestReport, LocalizationSession, SessionManager};
 pub use stats::Summary;
+
+// The per-frame feature-budget directive, re-exported so control-loop
+// consumers need only this crate (the type lives in `eudoxus-frontend`,
+// where the pipeline applies it).
+pub use eudoxus_frontend::FrameDirective;
 
 // The streaming event types, re-exported so session consumers need only
 // this crate. (They live in the leaf `eudoxus-stream` crate; the

@@ -24,6 +24,9 @@
 //!
 //! [`EventSource`]: eudoxus_stream::EventSource
 
+use crate::control::{
+    AdmissionConfig, AdmissionStats, ThrottleConfig, ThrottleController, ThrottleStats,
+};
 use crate::engine::{CpuEngine, ExecutionEngine, FrameContext};
 use crate::health::{
     DegradationState, FrameVitals, HealthConfig, HealthMonitor, HealthReport, SessionHealthStats,
@@ -36,7 +39,7 @@ use eudoxus_backend::{
     Vio, WorldMap,
 };
 use eudoxus_faults::{FaultCounters, FaultProcess};
-use eudoxus_frontend::Frontend;
+use eudoxus_frontend::{FrameDirective, Frontend};
 use eudoxus_geometry::{Pose, PoseAnchor, Vec3};
 use eudoxus_stream::{
     Admission, Environment, ImageEvent, IngestCounters, IngestQueue, MuxPoll, OverflowPolicy,
@@ -100,7 +103,21 @@ pub struct LocalizationSession {
     /// the health monitor (this frame's estimate doesn't exist yet when
     /// the monitor runs).
     last_innovation: f64,
+    /// The closed-loop throttle controller. `None` (the default) keeps
+    /// the frontend untouched by engine verdicts — bit-identical to
+    /// sessions that predate the control loop.
+    throttle: Option<ThrottleController>,
+    /// The directive the frontend applies on the next processed frame.
+    next_directive: Option<FrameDirective>,
+    /// EWMA of the engine's modeled frame period (ms) — the admission
+    /// signal, updated on every engine report whether or not the
+    /// throttle is armed. `None` for passthrough engines.
+    modeled_period_ms: Option<f64>,
 }
+
+/// Smoothing factor of the session-level modeled-period EWMA (the
+/// admission-control signal).
+const MODELED_PERIOD_ALPHA: f64 = 0.25;
 
 impl std::fmt::Debug for LocalizationSession {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
@@ -171,6 +188,9 @@ impl LocalizationSession {
             last_pose: None,
             last_velocity: Vec3::zero(),
             last_innovation: 0.0,
+            throttle: None,
+            next_directive: None,
+            modeled_period_ms: None,
         }
     }
 
@@ -216,6 +236,40 @@ impl LocalizationSession {
     /// monitoring is not enabled).
     pub fn health_stats(&self) -> SessionHealthStats {
         self.health_stats
+    }
+
+    /// Arms the closed-loop throttle: after every engine report the
+    /// controller compares the modeled frame period against
+    /// `config.deadline_ms` and — hysteretically — issues a
+    /// [`FrameDirective`] the *next* frame's frontend applies (see
+    /// [`ThrottleController`]). Requires a reporting engine; with the
+    /// [`CpuEngine`] passthrough the controller never observes a
+    /// period and stays idle.
+    pub fn enable_throttle(&mut self, config: ThrottleConfig) -> &mut Self {
+        self.throttle = Some(ThrottleController::new(config));
+        self
+    }
+
+    /// Throttle counters (all zeros when the loop is unarmed).
+    pub fn throttle_stats(&self) -> ThrottleStats {
+        self.throttle
+            .as_ref()
+            .map(ThrottleController::stats)
+            .unwrap_or_default()
+    }
+
+    /// Whether a throttle directive is currently in force.
+    pub fn is_throttled(&self) -> bool {
+        self.throttle
+            .as_ref()
+            .is_some_and(ThrottleController::is_throttled)
+    }
+
+    /// EWMA of the engine's modeled frame period (ms); `None` until a
+    /// reporting engine has observed a frame. This is the signal
+    /// [`SessionManager`] admission control prices agents by.
+    pub fn modeled_period_ms(&self) -> Option<f64> {
+        self.modeled_period_ms
     }
 
     /// Installs a persisted map, registering a registration backend.
@@ -329,6 +383,9 @@ impl LocalizationSession {
         self.last_pose = None;
         self.last_velocity = Vec3::zero();
         self.last_innovation = 0.0;
+        // Throttle state and the modeled-period EWMA deliberately
+        // survive: they describe the modeled *load*, not the
+        // trajectory, and the load does not reset with the segment.
     }
 
     /// Feeds one sensor event. Returns the frame record when the event
@@ -405,6 +462,10 @@ impl LocalizationSession {
             self.last_velocity = Vec3::zero();
             self.last_innovation = 0.0;
         }
+
+        // Close the loop: the directive the controller issued off the
+        // previous frame's report steers this frame's frontend budget.
+        self.frontend.set_directive(self.next_directive);
 
         // Shared frontend.
         let fe = self.frontend.process(&image.left, &image.right);
@@ -541,16 +602,41 @@ impl LocalizationSession {
             self.last_frame_t = Some(image.t);
         }
 
+        // The frame's health verdict, shared by the engine seam (fault-
+        // aware pricing) and the record.
+        let health_report = health.map(|(_, state, vitals)| HealthReport {
+            state,
+            vitals,
+            dead_reckoned,
+            served,
+        });
+
         // The in-loop offload decision: the engine sees this frame's
-        // workload and measured costs and reports where the kernels
-        // ran (or would run) on the modeled accelerator. Engines only
-        // observe — the estimate above is already final — so every
-        // engine choice is pose-bit-identical to the CPU passthrough.
-        let execution = self.engine.execute_frame(&FrameContext {
+        // workload, measured costs and health verdict, and reports
+        // where the kernels ran (or would run) on the modeled
+        // accelerator. Engines only observe — the estimate above is
+        // already final — so every engine choice is pose-bit-identical
+        // to the CPU passthrough.
+        let mut execution = self.engine.execute_frame(&FrameContext {
             stats: &fe.stats,
             timing: &fe.timing,
             backend_kernels: &estimate.kernels,
+            health: health_report,
         });
+
+        // The verdict steers the *next* frame: feed the modeled frame
+        // period to the admission EWMA and the throttle hysteresis.
+        if let Some(report) = &mut execution {
+            let total = report.total_ms();
+            self.modeled_period_ms = Some(match self.modeled_period_ms {
+                Some(p) => p + MODELED_PERIOD_ALPHA * (total - p),
+                None => total,
+            });
+            if let Some(controller) = &mut self.throttle {
+                self.next_directive = controller.observe(total);
+                report.directive = self.next_directive;
+            }
+        }
 
         let index = self.next_index;
         self.next_index += 1;
@@ -563,6 +649,9 @@ impl LocalizationSession {
             frontend_stats: fe.stats,
             backend_kernels: estimate.kernels,
             execution,
+            // The directive that was in force for *this* frame's
+            // frontend work (issued off the previous frame's report).
+            directive: self.frontend.directive(),
             // Streams without a reference (live sensors) store the
             // estimate here, and the flag excludes the frame from error
             // metrics — "no reference" must not masquerade as accuracy.
@@ -570,12 +659,7 @@ impl LocalizationSession {
             ground_truth: image.ground_truth.unwrap_or(estimate.pose),
             pose: estimate.pose,
             tracking: estimate.tracking,
-            health: health.map(|(_, state, vitals)| HealthReport {
-                state,
-                vitals,
-                dead_reckoned,
-                served,
-            }),
+            health: health_report,
         }
     }
 
@@ -606,6 +690,16 @@ struct AgentSlot {
     id: String,
     session: LocalizationSession,
     inbox: IngestQueue,
+    /// Admission-control counters (all zeros while unarmed).
+    admission: AdmissionStats,
+    /// Degrade-mode decimation phase (which frame of the keep cycle
+    /// this agent is on).
+    degrade_phase: u32,
+    /// Times this agent's queue was drained on the polling thread
+    /// instead of a parallel worker (faulted agents in
+    /// [`SessionManager::poll_parallel`]) — the once-silent loss of
+    /// parallelism, surfaced.
+    sequential_drains: u64,
 }
 
 /// Outcome of [`SessionManager::try_enqueue`]: what became of the
@@ -621,6 +715,13 @@ pub enum Enqueue {
     /// The agent's queue was full with [`OverflowPolicy::Defer`]; the
     /// event is handed back for a later retry.
     Deferred(SensorEvent),
+    /// Admission control refused the image frame: the agent's modeled
+    /// frame period cannot meet its deadline, so the frame was shed
+    /// outright (or dropped by degrade-mode decimation) *before*
+    /// reaching the queue. The event is intentionally discarded and
+    /// counted in the agent's
+    /// [`AdmissionStats`](crate::control::AdmissionStats).
+    Shed,
     /// No agent with that id is registered; the event is handed back.
     UnknownAgent(SensorEvent),
 }
@@ -639,6 +740,9 @@ pub struct IngestReport {
     /// Events whose mux source names an agent this manager does not
     /// know; they are discarded.
     pub unknown_agent: u64,
+    /// Image events refused by admission control (shed outright or
+    /// dropped by degrade-mode decimation) before reaching a queue.
+    pub shed: u64,
     /// Whether the mux finished (every source closed and drained). When
     /// false, more events may arrive: either a source reported pending
     /// or deferred events are waiting behind a gate.
@@ -659,6 +763,54 @@ pub struct IngestReport {
 pub struct SessionManager {
     agents: Vec<AgentSlot>,
     cursor: usize,
+    /// Deadline-aware admission control; `None` (the default) admits
+    /// every offered event, as before the control loop existed.
+    admission: Option<AdmissionConfig>,
+}
+
+/// Admission verdict for one image event offered to an agent: `true`
+/// admits it toward the queue, `false` refuses it (counted in the
+/// slot's [`AdmissionStats`]). Non-image events are never gated —
+/// sensor windows are cheap, and starving them would corrupt the
+/// frames that *are* admitted.
+fn admit_image(config: &AdmissionConfig, slot: &mut AgentSlot) -> bool {
+    slot.admission.offered += 1;
+    let Some(period) = slot.session.modeled_period_ms() else {
+        // No modeled signal yet (cold start, or a passthrough engine):
+        // the gate only acts on evidence.
+        slot.admission.admitted += 1;
+        return true;
+    };
+    // An agent stuck below Nominal is deprioritized: its modeled
+    // period is inflated before the deadline comparison, so it
+    // degrades and sheds earlier than a healthy agent at equal load.
+    let below_nominal = slot
+        .session
+        .degradation_state()
+        .is_some_and(|s| s != DegradationState::Nominal);
+    let effective = if below_nominal {
+        period * config.health_penalty
+    } else {
+        period
+    };
+    if effective > config.deadline_ms * config.shed_factor {
+        slot.admission.shed += 1;
+        return false;
+    }
+    if effective > config.deadline_ms {
+        // Degrade mode: keep one image frame in every `degrade_keep`.
+        let phase = slot.degrade_phase;
+        slot.degrade_phase = slot.degrade_phase.wrapping_add(1);
+        if phase.is_multiple_of(config.degrade_keep.max(1)) {
+            slot.admission.admitted += 1;
+            return true;
+        }
+        slot.admission.degraded += 1;
+        return false;
+    }
+    slot.degrade_phase = 0;
+    slot.admission.admitted += 1;
+    true
 }
 
 impl std::fmt::Debug for SessionManager {
@@ -688,11 +840,17 @@ impl SessionManager {
         if let Some(slot) = self.agents.iter_mut().find(|a| a.id == id) {
             slot.session = session;
             slot.inbox = IngestQueue::unbounded();
+            slot.admission = AdmissionStats::default();
+            slot.degrade_phase = 0;
+            slot.sequential_drains = 0;
         } else {
             self.agents.push(AgentSlot {
                 id,
                 session,
                 inbox: IngestQueue::unbounded(),
+                admission: AdmissionStats::default(),
+                degrade_phase: 0,
+                sequential_drains: 0,
             });
         }
     }
@@ -757,6 +915,29 @@ impl SessionManager {
             .map(|a| a.inbox.counters())
     }
 
+    /// Arms deadline-aware admission control: image events offered via
+    /// [`try_enqueue`](Self::try_enqueue) or [`ingest`](Self::ingest)
+    /// for an agent whose modeled frame period cannot meet
+    /// `config.deadline_ms` are degraded (decimated) or shed before
+    /// they reach the queue, with per-agent counters in
+    /// [`IngestSnapshot`]. Unarmed managers admit everything, as
+    /// before.
+    pub fn set_admission_control(&mut self, config: AdmissionConfig) -> &mut Self {
+        self.admission = Some(config);
+        self
+    }
+
+    /// The admission-control policy in force, if armed.
+    pub fn admission_control(&self) -> Option<&AdmissionConfig> {
+        self.admission.as_ref()
+    }
+
+    /// One agent's admission counters (all zeros while admission
+    /// control is unarmed). `None` when the agent is unknown.
+    pub fn admission_stats(&self, id: &str) -> Option<AdmissionStats> {
+        self.agents.iter().find(|a| a.id == id).map(|a| a.admission)
+    }
+
     /// A per-agent snapshot of queue depth and backpressure counters, in
     /// round-robin order — the ingestion health the serving layer
     /// monitors (see [`IngestSnapshot`]).
@@ -769,6 +950,9 @@ impl SessionManager {
                 capacity: a.inbox.capacity(),
                 counters: a.inbox.counters(),
                 health: a.session.health_stats(),
+                admission: a.admission,
+                throttle: a.session.throttle_stats(),
+                sequential_drains: a.sequential_drains,
             })
             .collect()
     }
@@ -778,12 +962,20 @@ impl SessionManager {
     /// [`Enqueue::UnknownAgent`]) are handed back for the caller to
     /// retry or drop.
     pub fn try_enqueue(&mut self, id: &str, event: SensorEvent) -> Enqueue {
+        let admission = self.admission;
         match self.agents.iter_mut().find(|a| a.id == id) {
-            Some(slot) => match slot.inbox.offer(event) {
-                Admission::Accepted => Enqueue::Accepted,
-                Admission::Dropped => Enqueue::Dropped,
-                Admission::Deferred(event) => Enqueue::Deferred(event),
-            },
+            Some(slot) => {
+                if let Some(config) = &admission {
+                    if matches!(event, SensorEvent::Image(_)) && !admit_image(config, slot) {
+                        return Enqueue::Shed;
+                    }
+                }
+                match slot.inbox.offer(event) {
+                    Admission::Accepted => Enqueue::Accepted,
+                    Admission::Dropped => Enqueue::Dropped,
+                    Admission::Deferred(event) => Enqueue::Deferred(event),
+                }
+            }
             None => Enqueue::UnknownAgent(event),
         }
     }
@@ -831,6 +1023,16 @@ impl SessionManager {
         loop {
             match mux.poll() {
                 MuxPoll::Ready { source, event } => {
+                    // Admission control gates image frames before the
+                    // queue sees them (same policy as `try_enqueue`).
+                    if let (Some(config), Some(i)) = (&self.admission, slot_of[source]) {
+                        if matches!(event, SensorEvent::Image(_))
+                            && !admit_image(config, &mut self.agents[i])
+                        {
+                            report.shed += 1;
+                            continue;
+                        }
+                    }
                     match slot_of[source].map(|i| self.agents[i].inbox.offer(event)) {
                         Some(Admission::Accepted) => report.enqueued += 1,
                         Some(Admission::Dropped) => report.dropped += 1,
@@ -943,27 +1145,42 @@ impl SessionManager {
         // The skeleton simulation below predicts one record per image
         // event — but a session with an attached fault process may drop
         // image events at push time, so its output cannot be predicted
-        // from the queue alone. Degrade to the (identical-output)
-        // sequential path whenever any agent is faulted.
-        if self.agents.iter().any(|a| a.session.has_faults()) {
-            return self.run_until_idle();
+        // from the queue alone. Partition: faulted agents are drained
+        // *now*, on this thread, recording which of their events really
+        // produced records (their exact skeleton); clean agents keep
+        // the image-flag prediction and still shard across the workers.
+        // Sessions are independent, so draining a faulted agent ahead
+        // of its round-robin turns changes no record — only the merge
+        // below decides the interleave.
+        let mut eager_records: Vec<VecDeque<FrameRecord>> =
+            (0..n).map(|_| VecDeque::new()).collect();
+        let mut remaining: Vec<VecDeque<bool>> = Vec::with_capacity(n);
+        for (idx, slot) in self.agents.iter_mut().enumerate() {
+            if slot.session.has_faults() {
+                if !slot.inbox.is_empty() {
+                    // Surface the lost parallelism (see IngestSnapshot).
+                    slot.sequential_drains += 1;
+                }
+                let mut flags = VecDeque::with_capacity(slot.inbox.len());
+                while let Some(event) = slot.inbox.pop() {
+                    match slot.session.push(event) {
+                        Some(record) => {
+                            flags.push_back(true);
+                            eager_records[idx].push_back(record);
+                        }
+                        None => flags.push_back(false),
+                    }
+                }
+                remaining.push(flags);
+            } else {
+                remaining.push(
+                    slot.inbox
+                        .iter()
+                        .map(|e| matches!(e, SensorEvent::Image(_)))
+                        .collect(),
+                );
+            }
         }
-
-        // Simulate the sequential round-robin schedule on the queue
-        // *skeleton* (only whether each event is an image matters): which
-        // agent produces each successive record, and where the cursor
-        // ends. `push` returns a record exactly for image events, so the
-        // skeleton predicts the sessions' outputs without running them.
-        let mut remaining: Vec<VecDeque<bool>> = self
-            .agents
-            .iter()
-            .map(|a| {
-                a.inbox
-                    .iter()
-                    .map(|e| matches!(e, SensorEvent::Image(_)))
-                    .collect()
-            })
-            .collect();
         let mut merge_order: Vec<usize> = Vec::new();
         let mut cursor = self.cursor;
         'polls: loop {
@@ -989,51 +1206,61 @@ impl SessionManager {
             break;
         }
 
-        // Fan the agents out: each worker drains whole sessions, so all
-        // per-session work stays single-threaded and bit-identical.
-        let n_workers = n_workers.clamp(1, n);
-        let chunk = n.div_ceil(n_workers);
-        let mut per_agent: Vec<Vec<FrameRecord>> = Vec::with_capacity(n);
-        std::thread::scope(|scope| {
-            let handles: Vec<_> = self
-                .agents
-                .chunks_mut(chunk)
-                .map(|slots| {
-                    scope.spawn(move || {
-                        slots
-                            .iter_mut()
-                            .map(|slot| {
-                                let mut records = Vec::new();
-                                while let Some(event) = slot.inbox.pop() {
-                                    if let Some(record) = slot.session.push(event) {
-                                        records.push(record);
+        // Fan the *clean* agents out: each worker drains whole
+        // sessions, so all per-session work stays single-threaded and
+        // bit-identical. Faulted agents were already drained above.
+        let mut per_agent = eager_records;
+        let mut clean: Vec<(usize, &mut AgentSlot)> = self
+            .agents
+            .iter_mut()
+            .enumerate()
+            .filter(|(_, slot)| !slot.session.has_faults())
+            .collect();
+        if !clean.is_empty() {
+            let n_workers = n_workers.clamp(1, clean.len());
+            let chunk = clean.len().div_ceil(n_workers);
+            let mut results: Vec<(usize, Vec<FrameRecord>)> = Vec::with_capacity(clean.len());
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = clean
+                    .chunks_mut(chunk)
+                    .map(|slots| {
+                        scope.spawn(move || {
+                            slots
+                                .iter_mut()
+                                .map(|(idx, slot)| {
+                                    let mut records = Vec::new();
+                                    while let Some(event) = slot.inbox.pop() {
+                                        if let Some(record) = slot.session.push(event) {
+                                            records.push(record);
+                                        }
                                     }
-                                }
-                                records
-                            })
-                            .collect::<Vec<Vec<FrameRecord>>>()
+                                    (*idx, records)
+                                })
+                                .collect::<Vec<(usize, Vec<FrameRecord>)>>()
+                        })
                     })
-                })
-                .collect();
-            for handle in handles {
-                per_agent.extend(handle.join().expect("session worker panicked"));
+                    .collect();
+                for handle in handles {
+                    results.extend(handle.join().expect("session worker panicked"));
+                }
+            });
+            for (idx, records) in results {
+                per_agent[idx] = records.into();
             }
-        });
+        }
 
         // Deterministic merge: interleave the per-agent streams in the
         // simulated round-robin order.
-        let mut streams: Vec<std::vec::IntoIter<FrameRecord>> =
-            per_agent.into_iter().map(Vec::into_iter).collect();
         let out: Vec<(String, FrameRecord)> = merge_order
             .into_iter()
             .map(|idx| {
-                let record = streams[idx]
-                    .next()
+                let record = per_agent[idx]
+                    .pop_front()
                     .expect("skeleton schedule matches session output");
                 (self.agents[idx].id.clone(), record)
             })
             .collect();
-        debug_assert!(streams.iter_mut().all(|s| s.next().is_none()));
+        debug_assert!(per_agent.iter().all(|s| s.is_empty()));
         self.cursor = cursor;
         out
     }

@@ -750,6 +750,34 @@ pub fn track_pyramidal_into(
     scratch.next_planes = next_planes;
 }
 
+/// [`track_pyramidal_into`] on the lane-sequential (scalar) datapath:
+/// every point is solved alone by the scalar per-point solve instead of
+/// in batches of [`KLT_LANES`]. Bit-identical to the batched path (the
+/// batch is proven equal to the scalar solve lane by lane) — the
+/// control loop uses this to model a platform without the SIMD
+/// micro-kernels, not to change results.
+pub fn track_pyramidal_scalar_into(
+    prev_pyr: &Pyramid,
+    next_pyr: &Pyramid,
+    points: &[(f32, f32)],
+    cfg: &KltConfig,
+    scratch: &mut KltScratch,
+    out: &mut Vec<TrackOutcome>,
+) {
+    out.clear();
+    scratch.iterations.clear();
+    let mut prev_planes = std::mem::take(&mut scratch.prev_planes);
+    let mut next_planes = std::mem::take(&mut scratch.next_planes);
+    pyramid_to_planes(prev_pyr, &mut prev_planes);
+    pyramid_to_planes(next_pyr, &mut next_planes);
+    for &(x, y) in points {
+        let outcome = track_one_planes(&prev_planes, &next_planes, x, y, cfg, scratch);
+        out.push(outcome);
+    }
+    scratch.prev_planes = prev_planes;
+    scratch.next_planes = next_planes;
+}
+
 /// Tracks a single point through the pyramid, coarse to fine.
 pub fn track_one(
     prev_pyr: &Pyramid,

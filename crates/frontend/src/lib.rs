@@ -93,12 +93,12 @@ pub mod stereo;
 pub use fast::{detect_fast, detect_fast_into, FastConfig, FastScratch};
 pub use feature::{Feature, KeyPoint, OrbDescriptor};
 pub use klt::{
-    track_one, track_one_with, track_pyramidal, track_pyramidal_into, KltConfig, KltScratch,
-    TrackOutcome, KLT_LANES,
+    track_one, track_one_with, track_pyramidal, track_pyramidal_into,
+    track_pyramidal_scalar_into, KltConfig, KltScratch, TrackOutcome, KLT_LANES,
 };
 pub use orb::{compute_orb, OrbConfig};
 pub use pipeline::{
-    FrameStats, Frontend, FrontendConfig, FrontendFrame, FrontendScratch, FrontendTiming,
-    Observation, Tuning,
+    FrameDirective, FrameStats, Frontend, FrontendConfig, FrontendFrame, FrontendScratch,
+    FrontendTiming, Observation, Tuning,
 };
 pub use stereo::{match_stereo, StereoConfig, StereoMatch};

@@ -10,7 +10,9 @@
 
 use crate::fast::{detect_fast_into, FastConfig, FastScratch};
 use crate::feature::{Feature, KeyPoint, OrbDescriptor};
-use crate::klt::{track_pyramidal_into, KltConfig, KltScratch, TrackOutcome};
+use crate::klt::{
+    track_pyramidal_into, track_pyramidal_scalar_into, KltConfig, KltScratch, TrackOutcome,
+};
 use crate::orb::{compute_orb, OrbConfig};
 use crate::stereo::{match_stereo, StereoConfig};
 use eudoxus_image::{gaussian_blur_into, FilterScratch, GrayImage, Pyramid};
@@ -48,6 +50,40 @@ impl Default for Tuning {
             blur_sigma: 1.2,
             snap_radius: 3.0,
             max_tracks: 420,
+        }
+    }
+}
+
+/// A per-frame throttling directive issued by the execution engine's
+/// control loop and applied by [`Frontend::process`] on the *next* frame.
+///
+/// Each field caps (never raises) the corresponding [`FrontendConfig`]
+/// knob, so a directive can only shrink the workload: the effective
+/// budget is `min(config, directive)`. `scalar_klt` selects the
+/// lane-sequential KLT solve, which is bit-identical to the batched
+/// path (proven by the scalar/batch property tests) but models the
+/// scalar datapath an accelerator-less platform would run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FrameDirective {
+    /// Cap on FAST detections per image (clamps `FastConfig::max_keypoints`).
+    pub max_keypoints: usize,
+    /// Cap on simultaneously live tracks (clamps `Tuning::max_tracks`).
+    pub max_tracks: usize,
+    /// Cap on KLT pyramid levels (clamps `KltConfig::levels`, min 1).
+    pub max_pyramid_levels: usize,
+    /// Route temporal matching through the scalar KLT solve.
+    pub scalar_klt: bool,
+}
+
+impl FrameDirective {
+    /// The default throttled operating point: roughly half the default
+    /// feature budget and one fewer pyramid level, on the SIMD path.
+    pub fn throttled() -> Self {
+        FrameDirective {
+            max_keypoints: 400,
+            max_tracks: 210,
+            max_pyramid_levels: 2,
+            scalar_klt: false,
         }
     }
 }
@@ -190,6 +226,10 @@ pub struct Frontend {
     tracks: Vec<Track>,
     next_id: u64,
     scratch: FrontendScratch,
+    /// Throttle directive in force for the next processed frame; `None`
+    /// leaves every budget at its configured value (the untouched path
+    /// is bit-identical to a frontend that has never seen a directive).
+    directive: Option<FrameDirective>,
 }
 
 impl Frontend {
@@ -201,12 +241,23 @@ impl Frontend {
             tracks: Vec::new(),
             next_id: 0,
             scratch: FrontendScratch::default(),
+            directive: None,
         }
     }
 
     /// The active configuration.
     pub fn config(&self) -> &FrontendConfig {
         &self.config
+    }
+
+    /// Sets (or clears) the throttle directive applied to the next frame.
+    pub fn set_directive(&mut self, directive: Option<FrameDirective>) {
+        self.directive = directive;
+    }
+
+    /// The directive currently in force, if any.
+    pub fn directive(&self) -> Option<FrameDirective> {
+        self.directive
     }
 
     /// Number of currently live tracks.
@@ -235,6 +286,24 @@ impl Frontend {
     /// from the last frame instead of being rebuilt from a clone.
     pub fn process(&mut self, left: &GrayImage, right: &GrayImage) -> FrontendFrame {
         let cfg = &self.config;
+        let directive = self.directive;
+        // Effective budgets: a directive can only shrink the configured
+        // ones, never raise them.
+        let fast_cfg = match directive {
+            Some(d) => FastConfig {
+                max_keypoints: cfg.fast.max_keypoints.min(d.max_keypoints),
+                ..cfg.fast
+            },
+            None => cfg.fast,
+        };
+        let klt_levels = match directive {
+            Some(d) => cfg.klt.levels.min(d.max_pyramid_levels.max(1)),
+            None => cfg.klt.levels,
+        };
+        let max_tracks = match directive {
+            Some(d) => cfg.tuning.max_tracks.min(d.max_tracks),
+            None => cfg.tuning.max_tracks,
+        };
         let mut timing = FrontendTiming::default();
         let mut stats = FrameStats::default();
 
@@ -256,8 +325,8 @@ impl Frontend {
 
         // FD: detect on both raw images.
         let t = Instant::now();
-        detect_fast_into(left, &cfg.fast, &mut self.scratch.fast, &mut self.scratch.kps_left);
-        detect_fast_into(right, &cfg.fast, &mut self.scratch.fast, &mut self.scratch.kps_right);
+        detect_fast_into(left, &fast_cfg, &mut self.scratch.fast, &mut self.scratch.kps_left);
+        detect_fast_into(right, &fast_cfg, &mut self.scratch.fast, &mut self.scratch.kps_right);
         timing.detection = t.elapsed();
         stats.keypoints_left = self.scratch.kps_left.len();
         stats.keypoints_right = self.scratch.kps_right.len();
@@ -302,20 +371,33 @@ impl Frontend {
         // frame's pyramid (cached, not rebuilt) provides the template.
         let t = Instant::now();
         let mut cur_pyr = std::mem::take(&mut self.scratch.spare_pyr);
-        cur_pyr.rebuild_from(left, cfg.klt.levels);
+        cur_pyr.rebuild_from(left, klt_levels);
         self.scratch.tracked.clear();
         if let Some(prev_pyr) = &self.prev_pyr {
             if !self.tracks.is_empty() {
                 self.scratch.points.clear();
                 self.scratch.points.extend(self.tracks.iter().map(|tr| (tr.x, tr.y)));
-                track_pyramidal_into(
-                    prev_pyr,
-                    &cur_pyr,
-                    &self.scratch.points,
-                    &cfg.klt,
-                    &mut self.scratch.klt,
-                    &mut self.scratch.tracked,
-                );
+                // The scalar and batched solves are bit-identical; the
+                // directive chooses which datapath is modeled/executed.
+                if directive.is_some_and(|d| d.scalar_klt) {
+                    track_pyramidal_scalar_into(
+                        prev_pyr,
+                        &cur_pyr,
+                        &self.scratch.points,
+                        &cfg.klt,
+                        &mut self.scratch.klt,
+                        &mut self.scratch.tracked,
+                    );
+                } else {
+                    track_pyramidal_into(
+                        prev_pyr,
+                        &cur_pyr,
+                        &self.scratch.points,
+                        &cfg.klt,
+                        &mut self.scratch.klt,
+                        &mut self.scratch.tracked,
+                    );
+                }
             }
         }
         timing.temporal = t.elapsed();
@@ -396,7 +478,7 @@ impl Frontend {
         // Spawn tracks on unclaimed detections (strongest first — the
         // detection list is already response-ordered).
         for (fi, f) in self.scratch.feats_left.iter().enumerate() {
-            if self.scratch.new_tracks.len() >= cfg.tuning.max_tracks {
+            if self.scratch.new_tracks.len() >= max_tracks {
                 break;
             }
             if self.scratch.claimed[fi].is_some() {
@@ -539,6 +621,48 @@ mod tests {
         let out = fe.process(&l, &r);
         assert!(out.timing.total() > Duration::ZERO);
         assert!(out.timing.feature_extraction() >= out.timing.detection);
+    }
+
+    #[test]
+    fn directive_caps_the_feature_budget() {
+        let mut fe = Frontend::new(FrontendConfig::default());
+        fe.set_directive(Some(FrameDirective {
+            max_keypoints: 6,
+            max_tracks: 4,
+            max_pyramid_levels: 1,
+            scalar_klt: false,
+        }));
+        let (l, r) = stereo_pair(0.0, 6.0);
+        let out = fe.process(&l, &r);
+        assert!(out.stats.keypoints_left <= 6, "kp {}", out.stats.keypoints_left);
+        assert!(out.observations.len() <= 4, "obs {}", out.observations.len());
+        // Clearing the directive restores the configured budgets.
+        fe.set_directive(None);
+        let out = fe.process(&l, &r);
+        assert!(out.stats.keypoints_left > 6);
+    }
+
+    #[test]
+    fn scalar_klt_directive_is_bit_identical() {
+        let mut batched = Frontend::new(FrontendConfig::default());
+        let mut scalar = Frontend::new(FrontendConfig::default());
+        scalar.set_directive(Some(FrameDirective {
+            max_keypoints: usize::MAX,
+            max_tracks: usize::MAX,
+            max_pyramid_levels: usize::MAX,
+            scalar_klt: true,
+        }));
+        for shift in [0.0f32, 2.0, 4.0] {
+            let (l, r) = stereo_pair(shift, 6.0);
+            let a = batched.process(&l, &r);
+            let b = scalar.process(&l, &r);
+            assert_eq!(a.observations.len(), b.observations.len());
+            for (oa, ob) in a.observations.iter().zip(&b.observations) {
+                assert_eq!(oa.track_id, ob.track_id);
+                assert_eq!(oa.x.to_bits(), ob.x.to_bits());
+                assert_eq!(oa.y.to_bits(), ob.y.to_bits());
+            }
+        }
     }
 
     #[test]

@@ -191,6 +191,54 @@
 //! clean run, dead-reckoned frames and recovery counts per fault
 //! profile × scenario, monotone in profile severity.
 //!
+//! # Closing the control loop
+//!
+//! Engine verdicts can also *steer*. Three opt-in mechanisms (default
+//! sessions stay bit-identical to the observe-only API):
+//!
+//! * **Kernel steering** — `SessionBuilder::throttle(ThrottleConfig)`
+//!   arms a deterministic hysteresis loop on the modeled frame period:
+//!   `enter_frames` consecutive deadline overruns issue a
+//!   `FrameDirective` the frontend applies next frame (caps on
+//!   keypoints/tracks, a shallower pyramid, optionally the scalar KLT
+//!   path — caps only ever shrink the configured budget), held until
+//!   the raw period clears `exit_margin × min(throttled baseline,
+//!   deadline)` for `exit_frames` frames. Constant load never clears
+//!   its own baseline, so the loop cannot oscillate.
+//! * **Admission control** —
+//!   `SessionManager::set_admission_control(AdmissionConfig)` (or
+//!   `SessionBuilder::admission` through `build_manager`) gates image
+//!   events per agent: admit while the modeled period meets the
+//!   deadline, decimate (keep 1 in `degrade_keep`) up to
+//!   `shed_factor × deadline`, shed (`Enqueue::Shed`) beyond — with
+//!   agents below `Nominal` health deprioritized first, and counters
+//!   that conserve (`offered == admitted + degraded + shed`) in
+//!   `IngestSnapshot`.
+//! * **Fault-aware pricing** — health verdicts feed the engine seam:
+//!   dead-reckoned frames are priced as IMU-only work (zero
+//!   vision-kernel offload decisions), `DeadReckoning`-state frames
+//!   skip offload, and deadlines now arm a `ScheduledEngine` even
+//!   without a link (`deadline_missed` counted in `LinkStats`).
+//!
+//! ```no_run
+//! use eudoxus::prelude::*;
+//!
+//! let mut session = SessionBuilder::new(PipelineConfig::anchored())
+//!     .engine(ScheduledEngine::with_policy(
+//!         Platform::edx_drone(),
+//!         OffloadPolicy::Always,
+//!     ))
+//!     .throttle(ThrottleConfig::new(33.0)) // hold a 30 fps frame budget
+//!     .build();
+//! // ... push events; throttled records carry record.directive, and:
+//! println!("throttle rate: {:.0}%", session.throttle_stats().throttle_rate() * 100.0);
+//! ```
+//!
+//! `cargo run --release -p eudoxus-bench --bin throughput --
+//! --deadline-ms 15` adds the closed-loop pass and fills the
+//! `control_loop` block of `BENCH_throughput.json` (throttle rate, shed
+//! counters, modeled-vs-unthrottled frame period).
+//!
 //! # Performance
 //!
 //! The steady-state frame path is allocation-free and multi-core:
@@ -243,10 +291,11 @@ pub mod prelude {
     pub use eudoxus_backend::{Backend, BackendMode, WorldMap};
     pub use eudoxus_core::executor::{Executor, OffloadPolicy};
     pub use eudoxus_core::{
-        build_map, CpuEngine, DegradationState, Enqueue, Eudoxus, ExecutionEngine,
-        ExecutionReport, FallbackCause, HealthConfig, HealthReport, IngestReport, LinkStats,
-        LocalizationSession, Mode, ModeledAccelEngine, PipelineConfig, RunLog, ScheduledEngine,
-        SessionBuilder, SessionHealthStats, SessionManager, Summary,
+        build_map, AdmissionConfig, AdmissionStats, CpuEngine, DegradationState, Enqueue, Eudoxus,
+        ExecutionEngine, ExecutionReport, FallbackCause, FrameDirective, HealthConfig,
+        HealthReport, IngestReport, LinkStats, LocalizationSession, Mode, ModeledAccelEngine,
+        PipelineConfig, RunLog, ScheduledEngine, SessionBuilder, SessionHealthStats,
+        SessionManager, Summary, ThrottleConfig, ThrottleStats,
     };
     pub use eudoxus_faults::{FaultInjector, FaultPlan, FaultProfile};
     pub use eudoxus_frontend::{Frontend, FrontendConfig};
@@ -271,6 +320,9 @@ mod tests {
         let _ = StaticLink::new(1e9, 1e-5);
         let _ = FaultProfile::canned();
         let _ = HealthConfig::default();
+        let _ = ThrottleConfig::new(33.0);
+        let _ = AdmissionConfig::new(33.0);
+        let _ = FrameDirective::throttled();
         assert!(FaultPlan::default().is_empty());
     }
 }
