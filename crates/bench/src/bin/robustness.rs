@@ -29,6 +29,7 @@
 use eudoxus_bench::{dataset, row, section};
 use eudoxus_core::{FaultProfile, FrameRecord, PipelineConfig, SessionBuilder, SessionHealthStats};
 use eudoxus_sim::{Platform, ScenarioKind};
+use eudoxus_telemetry::{Histogram, TelemetryConfig};
 
 const KINDS: [(ScenarioKind, &str); 5] = [
     (ScenarioKind::OutdoorUnknown, "outdoor_unknown"),
@@ -101,6 +102,9 @@ struct CellResult {
     images_dropped: u64,
     images_blacked_out: u64,
     gps_dropped: u64,
+    /// Per-frame latency histogram from the armed session's frame
+    /// spans (wall clock — measurement, not a reproducible quantity).
+    frame_hist: Histogram,
 }
 
 /// One profile row: its five scenario cells plus the cross-scenario
@@ -159,12 +163,20 @@ fn run_cell(
     clean: f64,
 ) -> CellResult {
     let data = dataset(kind, Platform::Drone, frames, DATASET_SEED);
+    // Telemetry armed: frame latency percentiles come off the span
+    // histogram instead of ad-hoc timers (and arming is free — the
+    // faulted trajectory is bit-identical either way).
     let mut session = SessionBuilder::new(PipelineConfig::anchored())
         .faults(profile.plan, FAULT_SEED)
+        .telemetry(TelemetryConfig::new())
         .build();
     let records: Vec<FrameRecord> = data.events().filter_map(|e| session.push(e)).collect();
     let health = session.health_stats();
     let counters = session.fault_counters().expect("faults attached");
+    let frame_hist = session
+        .telemetry()
+        .expect("telemetry armed")
+        .frame_histogram();
     let rmse = held_pose_rmse(&data, &records);
     CellResult {
         kind: name,
@@ -180,6 +192,7 @@ fn run_cell(
         images_dropped: counters.images_dropped,
         images_blacked_out: counters.images_blacked_out,
         gps_dropped: counters.gps_dropped,
+        frame_hist,
     }
 }
 
@@ -244,7 +257,12 @@ fn write_json(path: &str, frames: usize, clean: &[(&'static str, f64)], profiles
                 "          \"images_blacked_out\": {},\n",
                 c.images_blacked_out
             ));
-            s.push_str(&format!("          \"gps_dropped\": {}\n", c.gps_dropped));
+            s.push_str(&format!("          \"gps_dropped\": {},\n", c.gps_dropped));
+            s.push_str(&format!(
+                "          \"frame_latency_ms\": {{\"p50\": {}, \"p99\": {}}}\n",
+                json_f(c.frame_hist.p50_ms()),
+                json_f(c.frame_hist.p99_ms())
+            ));
             s.push_str(if j + 1 < p.cells.len() {
                 "        },\n"
             } else {
@@ -254,7 +272,20 @@ fn write_json(path: &str, frames: usize, clean: &[(&'static str, f64)], profiles
         s.push_str("      ]\n");
         s.push_str(if i + 1 < profiles.len() { "    },\n" } else { "    }\n" });
     }
-    s.push_str("  ]\n");
+    s.push_str("  ],\n");
+    // Cross-sweep frame latency: every faulted cell's histogram merged.
+    let mut merged = Histogram::new();
+    for p in profiles {
+        for c in &p.cells {
+            merged.merge(&c.frame_hist);
+        }
+    }
+    s.push_str(&format!(
+        "  \"frame_latency_ms\": {{\"p50\": {}, \"p90\": {}, \"p99\": {}}}\n",
+        json_f(merged.p50_ms()),
+        json_f(merged.p90_ms()),
+        json_f(merged.p99_ms())
+    ));
     s.push_str("}\n");
     std::fs::write(path, s).expect("write BENCH json");
 }

@@ -6,7 +6,9 @@
 //! optimized batched-KLT `Frontend`, and a full streaming
 //! `LocalizationSession`, then drives a multi-agent `SessionManager`
 //! sequentially and with `poll_parallel`. Writes `BENCH_throughput.json`
-//! with frames/sec, per-kernel microseconds, and (when built with
+//! with frames/sec, per-kernel microseconds, per-frame latency
+//! percentiles (p50/p90/p99) and per-kernel p50/p99 — both sourced from
+//! the telemetry span rings, not ad-hoc timers — and (when built with
 //! `--features count-alloc`) allocations-per-frame.
 //!
 //! `--min-speedup X` turns the run into a regression gate: the process
@@ -59,6 +61,7 @@ use eudoxus_core::{
 };
 use eudoxus_frontend::{Frontend, FrontendConfig};
 use eudoxus_sim::{Dataset, Platform, ScenarioKind};
+use eudoxus_telemetry::{SpanScope, TelemetryConfig, TelemetryHub};
 use std::time::Instant;
 
 const KINDS: [(ScenarioKind, &str); 5] = [
@@ -208,6 +211,15 @@ struct ScenarioResult {
     session_fps_baseline_est: f64,
     session_speedup_est: f64,
     kernel_us: [(&'static str, f64); 5],
+    /// Per-frame session latency percentiles (ms), from the armed
+    /// session's frame spans.
+    frame_latency_ms: (f64, f64, f64),
+    /// Per-kernel (p50 µs, p99 µs) from the armed session's kernel
+    /// spans, in first-seen order.
+    kernel_percentiles_us: Vec<(&'static str, f64, f64)>,
+    /// Spans the session pass recorded / dropped (ring overflow).
+    spans_recorded: u64,
+    spans_dropped: u64,
     allocations_per_frame: Option<f64>,
     accel: Option<AccelResult>,
 }
@@ -346,6 +358,9 @@ struct ControlLoopResult {
     frames: u64,
     throttled_frames: u64,
     throttle_entries: u64,
+    /// Severity-ladder steps up (repeated deadline misses) across the
+    /// throttled sessions.
+    throttle_escalations: u64,
     throttle_rate: f64,
     /// Mean converged modeled frame period across throttled sessions.
     modeled_period_ms: f64,
@@ -394,6 +409,8 @@ fn run_control_loop(
         throttle.throttled_frames += stats.throttled_frames;
         throttle.entries += stats.entries;
         throttle.exits += stats.exits;
+        throttle.escalations += stats.escalations;
+        throttle.deescalations += stats.deescalations;
         modeled += throttled.modeled_period_ms().unwrap_or(0.0);
         unthrottled += baseline.modeled_period_ms().unwrap_or(0.0);
     }
@@ -436,6 +453,7 @@ fn run_control_loop(
         frames: throttle.frames,
         throttled_frames: throttle.throttled_frames,
         throttle_entries: throttle.entries,
+        throttle_escalations: throttle.escalations,
         throttle_rate: throttle.throttle_rate(),
         modeled_period_ms: modeled / passes,
         unthrottled_period_ms: unthrottled / passes,
@@ -453,32 +471,48 @@ fn run_scenario(
     engine: EngineChoice,
     link: Option<LinkProfile>,
 ) -> (ScenarioResult, RunLog) {
+    // All three passes are timed by draining telemetry spans instead of
+    // ad-hoc `Instant` arithmetic: each frame is bracketed by a
+    // wall-clock frame span, per-pass totals are the exact span sums,
+    // and the histograms double as the percentile source.
+
     // Pre-PR baseline: the seed frontend, allocating per frame.
+    let baseline_hub = TelemetryHub::new(TelemetryConfig::new());
     let mut baseline = BaselineFrontend::new(FrontendConfig::default());
-    let t = Instant::now();
-    for frame in &data.frames {
+    for (i, frame) in data.frames.iter().enumerate() {
+        let t0 = baseline_hub.start();
         std::hint::black_box(baseline.process(&frame.left, &frame.right));
+        baseline_hub.record(SpanScope::Frame, "frame", i as u64, t0);
     }
-    let baseline_frontend_s = t.elapsed().as_secs_f64();
+    let baseline_frontend_s = baseline_hub.frame_histogram().sum_ns() as f64 * 1e-9;
 
     // Optimized frontend: scratch reuse + cached pyramid.
+    let fe_hub = TelemetryHub::new(TelemetryConfig::new());
     let mut frontend = Frontend::new(FrontendConfig::default());
-    let t = Instant::now();
-    for frame in &data.frames {
+    frontend.set_telemetry(Some(fe_hub.clone()));
+    for (i, frame) in data.frames.iter().enumerate() {
+        frontend.set_telemetry_frame(i as u64);
+        let t0 = fe_hub.start();
         std::hint::black_box(frontend.process(&frame.left, &frame.right));
+        fe_hub.record(SpanScope::Frame, "frame", i as u64, t0);
     }
-    let frontend_s = t.elapsed().as_secs_f64();
+    let frontend_s = fe_hub.frame_histogram().sum_ns() as f64 * 1e-9;
 
     // Full streaming session (frontend + backend + event plumbing),
     // timed with the default passthrough engine so session_fps stays
-    // comparable across engine choices.
-    let mut session = SessionBuilder::new(PipelineConfig::anchored()).build();
+    // comparable across engine choices. Telemetry armed: the session
+    // stamps its own frame and kernel spans, and the percentiles below
+    // come straight off its histograms.
+    let mut session = SessionBuilder::new(PipelineConfig::anchored())
+        .telemetry(TelemetryConfig::new())
+        .build();
     let alloc_before = alloc_track::allocations();
-    let t = Instant::now();
     let records: Vec<FrameRecord> = data.events().filter_map(|e| session.push(e)).collect();
-    let session_s = t.elapsed().as_secs_f64();
     let alloc_after = alloc_track::allocations();
     assert_eq!(records.len(), data.frames.len(), "every frame yields a record");
+    let hub = session.telemetry().expect("session telemetry armed").clone();
+    let frame_hist = hub.frame_histogram();
+    let session_s = frame_hist.sum_ns() as f64 * 1e-9;
     let cpu_log = RunLog { records };
 
     let n = data.frames.len() as f64;
@@ -507,10 +541,38 @@ fn run_scenario(
             ("stereo", mean_us(&cpu_log.records, |r| r.frontend_timing.stereo)),
             ("temporal", mean_us(&cpu_log.records, |r| r.frontend_timing.temporal)),
         ],
+        frame_latency_ms: (
+            frame_hist.p50_ms(),
+            frame_hist.p90_ms(),
+            frame_hist.p99_ms(),
+        ),
+        kernel_percentiles_us: hub
+            .kernel_histograms()
+            .iter()
+            .map(|(kernel, h)| {
+                (*kernel, h.quantile(0.50) * 1e-3, h.quantile(0.99) * 1e-3)
+            })
+            .collect(),
+        spans_recorded: hub.spans_recorded(),
+        spans_dropped: hub.spans_dropped(),
         allocations_per_frame: alloc_track::counting_enabled()
             .then(|| (alloc_after - alloc_before) as f64 / n),
         accel,
     };
+    // Every span-sourced percentile lands in the committed JSON: a NaN
+    // or infinity there means a histogram went unfed — fail here, not in
+    // whatever consumes the artifact.
+    let (p50, p90, p99) = result.frame_latency_ms;
+    assert!(
+        p50.is_finite() && p90.is_finite() && p99.is_finite(),
+        "{name}: non-finite frame percentiles ({p50}/{p90}/{p99})"
+    );
+    for (kernel, p50, p99) in &result.kernel_percentiles_us {
+        assert!(
+            p50.is_finite() && p99.is_finite(),
+            "{name}: non-finite percentiles for kernel {kernel}"
+        );
+    }
     (result, cpu_log)
 }
 
@@ -621,6 +683,29 @@ fn write_json(
             }
         }
         s.push_str("},\n");
+        s.push_str(&format!(
+            "      \"frame_latency_ms\": {{\"p50\": {}, \"p90\": {}, \"p99\": {}}},\n",
+            json_f(sc.frame_latency_ms.0),
+            json_f(sc.frame_latency_ms.1),
+            json_f(sc.frame_latency_ms.2),
+        ));
+        s.push_str("      \"kernel_percentiles_us\": {");
+        for (j, (k, p50, p99)) in sc.kernel_percentiles_us.iter().enumerate() {
+            s.push_str(&format!(
+                "\"{k}\": {{\"p50\": {}, \"p99\": {}}}",
+                json_f(*p50),
+                json_f(*p99)
+            ));
+            if j + 1 < sc.kernel_percentiles_us.len() {
+                s.push_str(", ");
+            }
+        }
+        s.push_str("},\n");
+        s.push_str(&format!(
+            "      \"spans_recorded\": {},\n",
+            sc.spans_recorded
+        ));
+        s.push_str(&format!("      \"spans_dropped\": {},\n", sc.spans_dropped));
         s.push_str(&format!(
             "      \"allocations_per_frame\": {},\n",
             sc.allocations_per_frame.map_or("null".to_string(), json_f)
@@ -733,6 +818,10 @@ fn write_json(
                 c.throttle_entries
             ));
             s.push_str(&format!(
+                "    \"throttle_escalations\": {},\n",
+                c.throttle_escalations
+            ));
+            s.push_str(&format!(
                 "    \"throttle_rate\": {},\n",
                 json_f(c.throttle_rate)
             ));
@@ -786,6 +875,7 @@ fn main() {
         "opt fps".into(),
         "speedup".into(),
         "session fps".into(),
+        "p50/p99 ms".into(),
         "accel fps(p)".into(),
         "alloc/frame".into(),
     ]);
@@ -798,6 +888,10 @@ fn main() {
             format!("{:.2}", result.frontend_fps),
             format!("{:.2}x", result.frontend_speedup),
             format!("{:.2}", result.session_fps),
+            format!(
+                "{:.2}/{:.2}",
+                result.frame_latency_ms.0, result.frame_latency_ms.2
+            ),
             result
                 .accel
                 .as_ref()

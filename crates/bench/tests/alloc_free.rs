@@ -1,7 +1,9 @@
 //! Counting-allocator proof of the allocation-free steady state: after
 //! one warm-up call, the scratch-reused kernels (blur, FAST, pyramid
-//! rebuild, KLT) perform zero heap allocations, and a warm
-//! `Frontend::process` allocates far less than a cold one.
+//! rebuild, KLT) perform zero heap allocations, a warm
+//! `Frontend::process` allocates far less than a cold one, and the
+//! telemetry recording path (`SpanRing::record`, `Histogram::record`,
+//! the full `TelemetryHub::record` round trip) allocates nothing at all.
 //!
 //! The counting allocator is global to this test binary, so everything
 //! runs inside a single `#[test]` — parallel test threads would otherwise
@@ -14,6 +16,7 @@ use eudoxus_frontend::{
 };
 use eudoxus_image::{gaussian_blur_into, FilterScratch, GrayImage, Pyramid};
 use eudoxus_sim::{Platform, ScenarioBuilder, ScenarioKind};
+use eudoxus_telemetry::{Histogram, Span, SpanRing, SpanScope, TelemetryConfig, TelemetryHub};
 
 #[global_allocator]
 static GLOBAL: CountingAllocator = CountingAllocator;
@@ -99,4 +102,51 @@ fn steady_state_kernels_are_allocation_free() {
         warm * 2 < cold,
         "warm Frontend::process allocated {warm} times vs {cold} cold — scratch reuse regressed"
     );
+
+    // Telemetry span ring: storage is reserved at construction, so
+    // recording — including wrap-around overwrites once the ring is
+    // full — never allocates.
+    let mut ring = SpanRing::new(64);
+    let span = Span {
+        scope: SpanScope::Kernel,
+        kernel: "detect_fast",
+        frame_idx: 0,
+        start_ns: 0,
+        dur_ns: 5,
+        track: 0,
+    };
+    let d = alloc_delta(|| {
+        for _ in 0..1_000 {
+            ring.record(span);
+        }
+    });
+    assert_eq!(d, 0, "SpanRing::record allocated {d} times");
+    assert_eq!(ring.dropped(), 1_000 - 64, "ring must have wrapped");
+
+    // Streaming histogram: a flat inline bucket array — recording is an
+    // index computation and an increment.
+    let mut hist = Histogram::new();
+    let d = alloc_delta(|| {
+        for v in 0..1_000u64 {
+            hist.record(v * 997);
+        }
+    });
+    assert_eq!(d, 0, "Histogram::record allocated {d} times");
+
+    // The full hub round trip (clock read + ring store + histogram
+    // feed): zero allocations after one warm-up sighting of each kernel
+    // name (the hub pre-reserves kernel slots, so even that is cold-path
+    // only).
+    let hub = TelemetryHub::new(TelemetryConfig::deterministic(100));
+    let t = hub.start();
+    hub.record(SpanScope::Kernel, "gaussian_blur", 0, t);
+    let d = alloc_delta(|| {
+        for i in 0..512u64 {
+            let t = hub.start();
+            hub.record(SpanScope::Kernel, "gaussian_blur", i, t);
+            let t = hub.start();
+            hub.record(SpanScope::Frame, "frame", i, t);
+        }
+    });
+    assert_eq!(d, 0, "warm TelemetryHub::record allocated {d} times");
 }

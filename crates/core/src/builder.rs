@@ -38,6 +38,7 @@ use eudoxus_backend::{Backend, Registration, Slam, Vio, WorldMap};
 use eudoxus_faults::{FaultPlan, FaultProcess};
 use eudoxus_link::LinkModel;
 use eudoxus_stream::OverflowPolicy;
+use eudoxus_telemetry::TelemetryConfig;
 
 /// Fluent constructor for [`LocalizationSession`]s (and everything built
 /// from them). See the [module docs](self) for the construction surface
@@ -64,6 +65,7 @@ pub struct SessionBuilder {
     health: Option<HealthConfig>,
     throttle: Option<ThrottleConfig>,
     admission: Option<AdmissionConfig>,
+    telemetry: Option<TelemetryConfig>,
 }
 
 impl std::fmt::Debug for SessionBuilder {
@@ -99,6 +101,7 @@ impl SessionBuilder {
             health: None,
             throttle: None,
             admission: None,
+            telemetry: None,
         }
     }
 
@@ -160,6 +163,18 @@ impl SessionBuilder {
     /// by [`build`](Self::build) — single sessions have no ingest gate.
     pub fn admission(mut self, config: AdmissionConfig) -> Self {
         self.admission = Some(config);
+        self
+    }
+
+    /// Arms span + histogram telemetry on every built session: each
+    /// gets its own
+    /// [`TelemetryHub`](eudoxus_telemetry::TelemetryHub) (per-agent
+    /// rings and histograms; the manager assigns trace tracks) stamping
+    /// frame, kernel, backend, engine and health spans. Off by default.
+    /// Pure observation — an armed session's poses and modeled
+    /// quantities are bit-identical to a plain one's.
+    pub fn telemetry(mut self, config: TelemetryConfig) -> Self {
+        self.telemetry = Some(config);
         self
     }
 
@@ -264,6 +279,9 @@ impl SessionBuilder {
         }
         if let Some(config) = self.throttle {
             session.enable_throttle(config);
+        }
+        if let Some(config) = self.telemetry {
+            session.enable_telemetry(config);
         }
         session
     }

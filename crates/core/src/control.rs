@@ -9,12 +9,21 @@
 //!   exceeds the deadline for `enter_frames` consecutive frames, it
 //!   issues a [`FrameDirective`] that the session applies to the
 //!   frontend on the *next* frame (shrunken feature budget, shallower
-//!   pyramid, optionally the scalar KLT datapath). The directive stays
-//!   in force until the *raw* modeled period drops below
+//!   pyramid, optionally the scalar KLT datapath). Severity is
+//!   *graded*: the controller carries a three-rung ladder of
+//!   directives and enters at the rung matching how badly the period
+//!   overshoots the deadline (`level2_ratio` / `level3_ratio`). While
+//!   throttled, frames that *still* miss the deadline
+//!   ([`ExecutionReport::deadline_missed`](crate::engine::ExecutionReport))
+//!   for `enter_frames` consecutive frames escalate one rung; the same
+//!   calm hysteresis that used to exit now first steps *down* one rung
+//!   at a time, and only exits from the bottom rung. The directive
+//!   stays in force until the *raw* modeled period drops below
 //!   `exit_margin × min(throttled baseline, deadline)` for
 //!   `exit_frames` consecutive frames — on constant load the throttled
 //!   period equals its own baseline and never clears the margin, so
-//!   the loop cannot oscillate.
+//!   the loop cannot oscillate (each rung re-settles and samples its
+//!   own baseline).
 //! - [`AdmissionConfig`] — policy for `SessionManager::try_enqueue`:
 //!   an agent whose (health-weighted) modeled frame period exceeds its
 //!   deadline has image frames decimated (admit one in
@@ -42,8 +51,15 @@ pub struct ThrottleConfig {
     /// EWMA smoothing factor for the reported modeled period
     /// (`0 < smoothing <= 1`; 1 = no smoothing).
     pub smoothing: f64,
-    /// The directive issued while throttled.
-    pub directive: FrameDirective,
+    /// The severity ladder, mildest first: rung 1 is issued on a small
+    /// overshoot, rung 3 on a gross one (or after repeated deadline
+    /// misses escalate the loop).
+    pub directives: [FrameDirective; 3],
+    /// Overshoot ratio (`modeled period / deadline`) at or above which
+    /// the loop *enters* directly at rung 2.
+    pub level2_ratio: f64,
+    /// Overshoot ratio at or above which the loop enters at rung 3.
+    pub level3_ratio: f64,
 }
 
 impl ThrottleConfig {
@@ -55,13 +71,26 @@ impl ThrottleConfig {
             exit_frames: 4,
             exit_margin: 0.8,
             smoothing: 0.3,
-            directive: FrameDirective::throttled(),
+            directives: [
+                FrameDirective::mild(),
+                FrameDirective::throttled(),
+                FrameDirective::severe(),
+            ],
+            level2_ratio: 1.5,
+            level3_ratio: 2.5,
         }
     }
 
-    /// Replaces the directive issued while throttled.
+    /// Collapses the ladder to a single directive issued at every rung
+    /// — the pre-ladder fixed-severity behavior.
     pub fn with_directive(mut self, directive: FrameDirective) -> Self {
-        self.directive = directive;
+        self.directives = [directive; 3];
+        self
+    }
+
+    /// Replaces the full severity ladder, mildest first.
+    pub fn with_ladder(mut self, directives: [FrameDirective; 3]) -> Self {
+        self.directives = directives;
         self
     }
 }
@@ -77,6 +106,23 @@ pub struct ThrottleStats {
     pub entries: u64,
     /// Times the loop exited throttling.
     pub exits: u64,
+    /// Times the loop stepped *up* a rung while already throttled
+    /// (consecutive deadline misses under the current directive).
+    pub escalations: u64,
+    /// Times the calm hysteresis stepped *down* a rung without exiting.
+    pub deescalations: u64,
+}
+
+impl eudoxus_telemetry::Telemetry for ThrottleStats {
+    fn publish(&self, reg: &mut eudoxus_telemetry::CounterRegistry) {
+        reg.counter("frames", self.frames);
+        reg.counter("throttled_frames", self.throttled_frames);
+        reg.counter("entries", self.entries);
+        reg.counter("exits", self.exits);
+        reg.counter("escalations", self.escalations);
+        reg.counter("deescalations", self.deescalations);
+        reg.gauge("throttle_rate", self.throttle_rate());
+    }
 }
 
 impl ThrottleStats {
@@ -100,12 +146,16 @@ const SETTLE_FRAMES: u32 = 2;
 #[derive(Debug, Clone)]
 pub struct ThrottleController {
     config: ThrottleConfig,
-    throttled: bool,
+    /// Severity rung in force: 0 = unthrottled, 1..=3 index the ladder.
+    level: u8,
     overrun_streak: u32,
     calm_streak: u32,
+    /// Consecutive deadline-missed frames under the current rung
+    /// (post-settle) — the escalation trigger.
+    miss_streak: u32,
     settle_left: u32,
-    /// Raw modeled period sampled once the throttled budget has taken
-    /// effect; the exit threshold is relative to this.
+    /// Raw modeled period sampled once the current rung's budget has
+    /// taken effect; the exit threshold is relative to this.
     baseline: Option<f64>,
     /// EWMA of the modeled period (reporting only; decisions use raw).
     period: Option<f64>,
@@ -117,9 +167,10 @@ impl ThrottleController {
     pub fn new(config: ThrottleConfig) -> Self {
         ThrottleController {
             config,
-            throttled: false,
+            level: 0,
             overrun_streak: 0,
             calm_streak: 0,
+            miss_streak: 0,
             settle_left: 0,
             baseline: None,
             period: None,
@@ -134,7 +185,12 @@ impl ThrottleController {
 
     /// Whether a directive is currently in force.
     pub fn is_throttled(&self) -> bool {
-        self.throttled
+        self.level > 0
+    }
+
+    /// The severity rung in force: 0 = unthrottled, 1 (mildest) to 3.
+    pub fn level(&self) -> u8 {
+        self.level
     }
 
     /// Smoothed modeled frame period (ms), if any frame was observed.
@@ -149,19 +205,56 @@ impl ThrottleController {
 
     /// The directive to apply to the next frame, if throttled.
     pub fn directive(&self) -> Option<FrameDirective> {
-        self.throttled.then_some(self.config.directive)
+        (self.level > 0).then(|| self.config.directives[usize::from(self.level - 1)])
+    }
+
+    /// The rung the loop would enter at for this overshoot ratio.
+    fn entry_level(&self, modeled_period_ms: f64) -> u8 {
+        let ratio = modeled_period_ms / self.config.deadline_ms;
+        if ratio >= self.config.level3_ratio {
+            3
+        } else if ratio >= self.config.level2_ratio {
+            2
+        } else {
+            1
+        }
+    }
+
+    /// Moves to `level` and restarts the settle window: the new rung's
+    /// directive steers the *next* frame, so its baseline must be
+    /// resampled before the calm hysteresis can act.
+    fn enter_level(&mut self, level: u8) {
+        self.level = level;
+        self.settle_left = SETTLE_FRAMES;
+        self.baseline = None;
+        self.calm_streak = 0;
+        self.miss_streak = 0;
     }
 
     /// Feeds one modeled frame period (ms) and returns the directive
-    /// for the *next* frame.
+    /// for the *next* frame. Equivalent to
+    /// [`observe_with_miss`](Self::observe_with_miss) with no deadline
+    /// miss — escalation never triggers through this path.
     pub fn observe(&mut self, modeled_period_ms: f64) -> Option<FrameDirective> {
+        self.observe_with_miss(modeled_period_ms, false)
+    }
+
+    /// Feeds one modeled frame period (ms) plus whether the frame
+    /// *still* missed its deadline after the engine's offload plan, and
+    /// returns the directive for the *next* frame. `enter_frames`
+    /// consecutive misses under a rung escalate one rung up.
+    pub fn observe_with_miss(
+        &mut self,
+        modeled_period_ms: f64,
+        deadline_missed: bool,
+    ) -> Option<FrameDirective> {
         self.stats.frames += 1;
         let alpha = self.config.smoothing.clamp(f64::EPSILON, 1.0);
         self.period = Some(match self.period {
             Some(p) => p + alpha * (modeled_period_ms - p),
             None => modeled_period_ms,
         });
-        if self.throttled {
+        if self.level > 0 {
             self.stats.throttled_frames += 1;
             if self.settle_left > 0 {
                 // The directive issued on entry steers the *next*
@@ -170,16 +263,35 @@ impl ThrottleController {
                 if self.settle_left == 0 {
                     self.baseline = Some(modeled_period_ms);
                 }
+            } else if deadline_missed && self.level < 3 {
+                // The current rung is not enough: the engine's final
+                // plan still blew the deadline. Repeats escalate.
+                self.miss_streak += 1;
+                self.calm_streak = 0;
+                if self.miss_streak >= self.config.enter_frames {
+                    self.enter_level(self.level + 1);
+                    self.stats.escalations += 1;
+                }
             } else {
+                self.miss_streak = 0;
                 let baseline = self.baseline.unwrap_or(self.config.deadline_ms);
                 let threshold = self.config.exit_margin * baseline.min(self.config.deadline_ms);
                 if modeled_period_ms < threshold {
                     self.calm_streak += 1;
                     if self.calm_streak >= self.config.exit_frames {
-                        self.throttled = false;
-                        self.calm_streak = 0;
-                        self.baseline = None;
-                        self.stats.exits += 1;
+                        if self.level > 1 {
+                            // Step down one rung and re-settle there;
+                            // exiting outright from a deep rung would
+                            // forfeit the hysteresis on the way back.
+                            self.enter_level(self.level - 1);
+                            self.stats.deescalations += 1;
+                        } else {
+                            self.level = 0;
+                            self.calm_streak = 0;
+                            self.miss_streak = 0;
+                            self.baseline = None;
+                            self.stats.exits += 1;
+                        }
                     }
                 } else {
                     self.calm_streak = 0;
@@ -188,10 +300,8 @@ impl ThrottleController {
         } else if modeled_period_ms > self.config.deadline_ms {
             self.overrun_streak += 1;
             if self.overrun_streak >= self.config.enter_frames {
-                self.throttled = true;
                 self.overrun_streak = 0;
-                self.settle_left = SETTLE_FRAMES;
-                self.baseline = None;
+                self.enter_level(self.entry_level(modeled_period_ms));
                 self.stats.entries += 1;
             }
         } else {
@@ -243,6 +353,16 @@ pub struct AdmissionStats {
     pub shed: u64,
 }
 
+impl eudoxus_telemetry::Telemetry for AdmissionStats {
+    fn publish(&self, reg: &mut eudoxus_telemetry::CounterRegistry) {
+        reg.counter("offered", self.offered);
+        reg.counter("admitted", self.admitted);
+        reg.counter("degraded", self.degraded);
+        reg.counter("shed", self.shed);
+        reg.gauge("shed_rate", self.shed_rate());
+    }
+}
+
 impl AdmissionStats {
     /// Fraction of offered frames shed outright.
     pub fn shed_rate(&self) -> f64 {
@@ -282,12 +402,20 @@ mod tests {
         tc.observe(20.0);
         tc.observe(20.0);
         assert!(tc.is_throttled());
+        assert_eq!(tc.level(), 2, "2× overshoot enters the middle rung");
         // Settle frames still reflect the unthrottled budget.
         tc.observe(20.0);
         tc.observe(6.0); // baseline sampled: 6.0
-        // Load collapses well below margin × baseline.
+        // Load collapses well below margin × baseline: down to rung 1.
         for _ in 0..tc.config().exit_frames {
             tc.observe(1.0);
+        }
+        assert_eq!(tc.level(), 1);
+        // Rung 1 settles, baselines, and the calm walks the loop out.
+        tc.observe(1.0);
+        tc.observe(1.0);
+        for _ in 0..tc.config().exit_frames {
+            tc.observe(0.1);
         }
         assert!(!tc.is_throttled());
         assert_eq!(tc.stats().exits, 1);
@@ -304,6 +432,107 @@ mod tests {
         assert_eq!(tc.stats().entries, 1);
         assert_eq!(tc.stats().exits, 0);
         assert!(tc.is_throttled());
+    }
+
+    #[test]
+    fn control_throttle_enters_at_rung_matching_overshoot() {
+        // Just past the deadline → mildest rung.
+        let mut tc = ThrottleController::new(ThrottleConfig::new(10.0));
+        tc.observe(12.0);
+        tc.observe(12.0);
+        assert_eq!(tc.level(), 1);
+        assert_eq!(tc.directive(), Some(FrameDirective::mild()));
+        // level2_ratio (1.5×) → middle rung.
+        let mut tc = ThrottleController::new(ThrottleConfig::new(10.0));
+        tc.observe(16.0);
+        tc.observe(16.0);
+        assert_eq!(tc.level(), 2);
+        assert_eq!(tc.directive(), Some(FrameDirective::throttled()));
+        // level3_ratio (2.5×) → deepest rung.
+        let mut tc = ThrottleController::new(ThrottleConfig::new(10.0));
+        tc.observe(30.0);
+        tc.observe(30.0);
+        assert_eq!(tc.level(), 3);
+        assert_eq!(tc.directive(), Some(FrameDirective::severe()));
+    }
+
+    #[test]
+    fn control_throttle_escalates_on_repeated_deadline_misses() {
+        let mut tc = ThrottleController::new(ThrottleConfig::new(10.0));
+        tc.observe(12.0);
+        tc.observe(12.0);
+        assert_eq!(tc.level(), 1);
+        // Settle frames first, then misses under the rung escalate.
+        tc.observe_with_miss(12.0, true);
+        tc.observe_with_miss(12.0, true);
+        assert_eq!(tc.level(), 1, "settle window absorbs the first misses");
+        tc.observe_with_miss(12.0, true);
+        tc.observe_with_miss(12.0, true);
+        assert_eq!(tc.level(), 2);
+        assert_eq!(tc.stats().escalations, 1);
+        // Each rung re-settles before it can escalate again.
+        tc.observe_with_miss(12.0, true);
+        tc.observe_with_miss(12.0, true);
+        tc.observe_with_miss(12.0, true);
+        tc.observe_with_miss(12.0, true);
+        assert_eq!(tc.level(), 3);
+        assert_eq!(tc.stats().escalations, 2);
+        // The top rung has nowhere to go.
+        for _ in 0..10 {
+            tc.observe_with_miss(12.0, true);
+        }
+        assert_eq!(tc.level(), 3);
+        assert_eq!(tc.stats().escalations, 2);
+        assert_eq!(tc.stats().entries, 1, "escalation is not re-entry");
+    }
+
+    #[test]
+    fn control_throttle_deescalates_one_rung_at_a_time() {
+        let mut tc = ThrottleController::new(ThrottleConfig::new(10.0));
+        tc.observe(30.0);
+        tc.observe(30.0);
+        assert_eq!(tc.level(), 3);
+        tc.observe(30.0);
+        tc.observe(8.0); // baseline for rung 3
+        // Calm frames step down to rung 2, not straight out.
+        for _ in 0..tc.config().exit_frames {
+            tc.observe(1.0);
+        }
+        assert_eq!(tc.level(), 2);
+        assert_eq!(tc.stats().deescalations, 1);
+        assert_eq!(tc.stats().exits, 0);
+        assert!(tc.is_throttled());
+        // Rung 2 re-settles, samples its own baseline, then the same
+        // calm hysteresis walks the rest of the ladder down and out.
+        tc.observe(1.0);
+        tc.observe(1.0);
+        for _ in 0..tc.config().exit_frames {
+            tc.observe(0.1);
+        }
+        assert_eq!(tc.level(), 1);
+        assert_eq!(tc.stats().deescalations, 2);
+        tc.observe(0.1);
+        tc.observe(0.1);
+        for _ in 0..tc.config().exit_frames {
+            tc.observe(0.01);
+        }
+        assert!(!tc.is_throttled());
+        assert_eq!(tc.stats().exits, 1);
+    }
+
+    #[test]
+    fn control_throttle_with_directive_collapses_ladder() {
+        let fixed = FrameDirective {
+            max_keypoints: 99,
+            max_tracks: 50,
+            max_pyramid_levels: 1,
+            scalar_klt: true,
+        };
+        let mut tc = ThrottleController::new(ThrottleConfig::new(10.0).with_directive(fixed));
+        tc.observe(30.0);
+        tc.observe(30.0);
+        assert_eq!(tc.level(), 3, "entry grading still applies");
+        assert_eq!(tc.directive(), Some(fixed), "but every rung issues the same directive");
     }
 
     #[test]

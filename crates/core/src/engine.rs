@@ -137,6 +137,16 @@ pub struct LinkStats {
     pub deadline_missed: u64,
 }
 
+impl eudoxus_telemetry::Telemetry for LinkStats {
+    fn publish(&self, reg: &mut eudoxus_telemetry::CounterRegistry) {
+        reg.counter("frames", self.frames);
+        reg.counter("frames_lost", self.frames_lost);
+        reg.counter("link_fallbacks", self.link_fallbacks);
+        reg.counter("deadline_missed", self.deadline_missed);
+        reg.gauge("loss_rate", self.loss_rate());
+    }
+}
+
 impl LinkStats {
     /// Fraction of frames the link dropped.
     pub fn loss_rate(&self) -> f64 {

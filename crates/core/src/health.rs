@@ -243,6 +243,20 @@ pub struct SessionHealthStats {
     pub fallback_frames: u64,
 }
 
+impl eudoxus_telemetry::Telemetry for SessionHealthStats {
+    fn publish(&self, reg: &mut eudoxus_telemetry::CounterRegistry) {
+        reg.counter("frames", self.frames);
+        reg.counter("degraded_frames", self.degraded_frames);
+        reg.counter("dead_reckoned_frames", self.dead_reckoned_frames);
+        reg.counter("recovering_frames", self.recovering_frames);
+        reg.counter("unserved_frames", self.unserved_frames);
+        reg.counter("faulted_drops", self.faulted_drops);
+        reg.counter("recoveries", self.recoveries);
+        reg.counter("relapses", self.relapses);
+        reg.counter("fallback_frames", self.fallback_frames);
+    }
+}
+
 impl fmt::Display for SessionHealthStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(

@@ -46,6 +46,20 @@ pub struct IngestSnapshot {
     pub sequential_drains: u64,
 }
 
+impl eudoxus_telemetry::Telemetry for IngestSnapshot {
+    fn publish(&self, reg: &mut eudoxus_telemetry::CounterRegistry) {
+        reg.counter("queued", self.queued as u64);
+        if self.capacity != usize::MAX {
+            reg.counter("capacity", self.capacity as u64);
+        }
+        reg.counter("sequential_drains", self.sequential_drains);
+        reg.scoped("ingest", |r| self.counters.publish(r));
+        reg.scoped("health", |r| self.health.publish(r));
+        reg.scoped("admission", |r| self.admission.publish(r));
+        reg.scoped("throttle", |r| self.throttle.publish(r));
+    }
+}
+
 impl std::fmt::Display for IngestSnapshot {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(

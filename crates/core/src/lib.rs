@@ -332,3 +332,11 @@ pub use eudoxus_link::{LinkModel, LinkProfile, LinkState, StaticLink, Stochastic
 // The fault model, re-exported so degradation experiments need only this
 // crate (the types live in the leaf `eudoxus-faults` crate).
 pub use eudoxus_faults::{FaultCounters, FaultInjector, FaultPlan, FaultProcess, FaultProfile};
+
+// The observation surface, re-exported so arming telemetry
+// (`SessionBuilder::telemetry`) and draining its spans need only this
+// crate (the types live in the leaf `eudoxus-telemetry` crate).
+pub use eudoxus_telemetry::{
+    chrome_trace_json, json_lines, validate_chrome_trace, CounterRegistry, Histogram, Span,
+    SpanScope, Telemetry, TelemetryConfig, TelemetryHub,
+};

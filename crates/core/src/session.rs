@@ -45,6 +45,7 @@ use eudoxus_stream::{
     Admission, Environment, ImageEvent, IngestCounters, IngestQueue, MuxPoll, OverflowPolicy,
     SensorEvent, StreamMux,
 };
+use eudoxus_telemetry::{CounterRegistry, SpanScope, Telemetry, TelemetryConfig, TelemetryHub};
 use std::collections::VecDeque;
 
 /// One agent's streaming localization state.
@@ -113,6 +114,11 @@ pub struct LocalizationSession {
     /// signal, updated on every engine report whether or not the
     /// throttle is armed. `None` for passthrough engines.
     modeled_period_ms: Option<f64>,
+    /// Span recording. `None` (the default) never touches a clock;
+    /// armed sessions stamp frame/kernel/backend/engine/health spans
+    /// but stay bit-identical on every pose and modeled quantity —
+    /// telemetry is observation only.
+    telemetry: Option<TelemetryHub>,
 }
 
 /// Smoothing factor of the session-level modeled-period EWMA (the
@@ -191,6 +197,7 @@ impl LocalizationSession {
             throttle: None,
             next_directive: None,
             modeled_period_ms: None,
+            telemetry: None,
         }
     }
 
@@ -270,6 +277,44 @@ impl LocalizationSession {
     /// [`SessionManager`] admission control prices agents by.
     pub fn modeled_period_ms(&self) -> Option<f64> {
         self.modeled_period_ms
+    }
+
+    /// Arms span recording: every pushed image frame opens a
+    /// [`SpanScope::Frame`] span with kernel / backend / engine / health
+    /// sub-spans stamped against the same [`TelemetryHub`]. Off by
+    /// default, and free to turn on — the armed session is bit-identical
+    /// to a plain one on every pose and modeled quantity (telemetry is
+    /// strictly observation; nothing it records is ever read back into
+    /// estimation or control).
+    pub fn enable_telemetry(&mut self, config: TelemetryConfig) -> &mut Self {
+        let hub = TelemetryHub::new(config);
+        self.frontend.set_telemetry(Some(hub.clone()));
+        self.telemetry = Some(hub);
+        self
+    }
+
+    /// The armed telemetry hub (drain spans, snapshot histograms), if
+    /// any.
+    pub fn telemetry(&self) -> Option<&TelemetryHub> {
+        self.telemetry.as_ref()
+    }
+
+    /// Publishes every stats surface this session owns into `reg` under
+    /// dotted scopes (`health.*`, `throttle.*`, `faults.*`, `link.*`) —
+    /// one call yields the session's whole state as a flat snapshot.
+    pub fn publish_counters(&self, reg: &mut CounterRegistry) {
+        reg.scoped("health", |r| self.health_stats().publish(r));
+        reg.scoped("throttle", |r| self.throttle_stats().publish(r));
+        if let Some(counters) = self.fault_counters() {
+            reg.scoped("faults", |r| counters.publish(r));
+        }
+        if let Some(link) = self.engine.link_stats() {
+            reg.scoped("link", |r| link.publish(r));
+        }
+        if let Some(period) = self.modeled_period_ms {
+            reg.gauge("modeled_period_ms", period);
+        }
+        reg.counter("frames_processed", self.next_index as u64);
     }
 
     /// Installs a persisted map, registering a registration backend.
@@ -467,6 +512,14 @@ impl LocalizationSession {
         // previous frame's report steers this frame's frontend budget.
         self.frontend.set_directive(self.next_directive);
 
+        // Open the frame span; the frontend's kernel spans and the
+        // backend / engine / health sub-spans below all land on the
+        // same hub, stamped with this frame's index.
+        let telemetry = self.telemetry.clone();
+        let span_frame = self.next_index as u64;
+        self.frontend.set_telemetry_frame(span_frame);
+        let frame_start = telemetry.as_ref().map(|hub| hub.start());
+
         // Shared frontend.
         let fe = self.frontend.process(&image.left, &image.right);
 
@@ -486,6 +539,11 @@ impl LocalizationSession {
 
         // Health verdict (when enabled) runs *before* the backend: the
         // state in force decides how this frame is served.
+        let health_start = if self.health.is_some() {
+            telemetry.as_ref().map(|hub| hub.start())
+        } else {
+            None
+        };
         let health = self.health.as_mut().map(|monitor| {
             let vitals = FrameVitals {
                 tracked: fe.observations.len(),
@@ -497,7 +555,11 @@ impl LocalizationSession {
             let state = monitor.observe(&vitals);
             (previous, state, vitals)
         });
+        if let (Some(hub), Some(start)) = (telemetry.as_ref(), health_start) {
+            hub.record(SpanScope::Health, "health_observe", span_frame, start);
+        }
 
+        let backend_start = telemetry.as_ref().map(|hub| hub.start());
         let last_pose = self.last_pose.unwrap_or_else(Pose::identity);
         let mut mode = preferred;
         let mut served = true;
@@ -570,6 +632,9 @@ impl LocalizationSession {
                 }
             }
         };
+        if let (Some(hub), Some(start)) = (telemetry.as_ref(), backend_start) {
+            hub.record(SpanScope::Backend, "backend_step", span_frame, start);
+        }
 
         if health.is_some() {
             self.health_stats.frames += 1;
@@ -617,12 +682,16 @@ impl LocalizationSession {
         // accelerator. Engines only observe — the estimate above is
         // already final — so every engine choice is pose-bit-identical
         // to the CPU passthrough.
+        let engine_start = telemetry.as_ref().map(|hub| hub.start());
         let mut execution = self.engine.execute_frame(&FrameContext {
             stats: &fe.stats,
             timing: &fe.timing,
             backend_kernels: &estimate.kernels,
             health: health_report,
         });
+        if let (Some(hub), Some(start)) = (telemetry.as_ref(), engine_start) {
+            hub.record(SpanScope::Engine, "execute_frame", span_frame, start);
+        }
 
         // The verdict steers the *next* frame: feed the modeled frame
         // period to the admission EWMA and the throttle hysteresis.
@@ -633,9 +702,16 @@ impl LocalizationSession {
                 None => total,
             });
             if let Some(controller) = &mut self.throttle {
-                self.next_directive = controller.observe(total);
+                // Misses escalate the severity ladder; the period
+                // drives entry/exit hysteresis.
+                self.next_directive =
+                    controller.observe_with_miss(total, report.deadline_missed);
                 report.directive = self.next_directive;
             }
+        }
+
+        if let (Some(hub), Some(start)) = (telemetry.as_ref(), frame_start) {
+            hub.record(SpanScope::Frame, "frame", span_frame, start);
         }
 
         let index = self.next_index;
@@ -837,13 +913,23 @@ impl SessionManager {
     /// id already exists.
     pub fn add_agent(&mut self, id: impl Into<String>, session: LocalizationSession) {
         let id = id.into();
-        if let Some(slot) = self.agents.iter_mut().find(|a| a.id == id) {
+        if let Some(pos) = self.agents.iter().position(|a| a.id == id) {
+            let slot = &mut self.agents[pos];
             slot.session = session;
             slot.inbox = IngestQueue::unbounded();
             slot.admission = AdmissionStats::default();
             slot.degrade_phase = 0;
             slot.sequential_drains = 0;
+            // Telemetry-armed agents get their slot index as the trace
+            // track (chrome `tid`), so a fleet trace reads one lane per
+            // agent.
+            if let Some(hub) = self.agents[pos].session.telemetry() {
+                hub.set_track(pos as u32);
+            }
         } else {
+            if let Some(hub) = session.telemetry() {
+                hub.set_track(self.agents.len() as u32);
+            }
             self.agents.push(AgentSlot {
                 id,
                 session,
@@ -1223,16 +1309,33 @@ impl SessionManager {
             std::thread::scope(|scope| {
                 let handles: Vec<_> = clean
                     .chunks_mut(chunk)
-                    .map(|slots| {
+                    .enumerate()
+                    .map(|(worker, slots)| {
                         scope.spawn(move || {
                             slots
                                 .iter_mut()
                                 .map(|(idx, slot)| {
+                                    // One Worker-scope span per drained
+                                    // agent, tagged with the worker that
+                                    // ran it (`frame_idx` carries the
+                                    // worker index — kernel names must
+                                    // stay `&'static`).
+                                    let hub = slot.session.telemetry().cloned();
+                                    let drain_start = hub.as_ref().map(|h| h.start());
                                     let mut records = Vec::new();
                                     while let Some(event) = slot.inbox.pop() {
                                         if let Some(record) = slot.session.push(event) {
                                             records.push(record);
                                         }
+                                    }
+                                    if let (Some(h), Some(start)) = (hub.as_ref(), drain_start)
+                                    {
+                                        h.record(
+                                            SpanScope::Worker,
+                                            "drain",
+                                            worker as u64,
+                                            start,
+                                        );
                                     }
                                     (*idx, records)
                                 })

@@ -154,6 +154,37 @@ proptest! {
         prop_assert_eq!(tc.stats().entries, 1, "constant overload enters exactly once");
         prop_assert_eq!(tc.stats().exits, 0, "constant load must never exit (oscillation)");
         prop_assert!(tc.is_throttled());
+        // The severity ladder must not re-introduce oscillation: with
+        // no deadline misses reported, the rung chosen on entry is the
+        // rung the loop is still on 300 frames later.
+        prop_assert_eq!(tc.stats().escalations, 0, "no misses, no escalation");
+        prop_assert_eq!(tc.stats().deescalations, 0, "constant load never steps down");
+    }
+
+    /// Ladder half of the no-oscillation contract: under *persistent*
+    /// deadline misses the rung climbs monotonically, saturates at the
+    /// top, and never counts more escalations than rungs above the
+    /// entry point — for any deadline and overshoot.
+    #[test]
+    fn control_ladder_escalates_monotonically_under_persistent_misses(
+        deadline in 1.0f64..50.0,
+        overload in 1.01f64..4.0,
+    ) {
+        let period = deadline * overload;
+        let mut tc = ThrottleController::new(ThrottleConfig::new(deadline));
+        let mut prev_level = 0u8;
+        for _ in 0..300 {
+            tc.observe_with_miss(period, true);
+            let level = tc.level();
+            prop_assert!(level >= prev_level, "rung must never drop while misses persist");
+            prev_level = level;
+        }
+        prop_assert_eq!(tc.level(), 3, "persistent misses saturate the ladder");
+        let entry_level = 3 - tc.stats().escalations;
+        prop_assert!((1..=3).contains(&entry_level));
+        prop_assert_eq!(tc.stats().entries, 1, "escalation is not re-entry");
+        prop_assert_eq!(tc.stats().exits, 0);
+        prop_assert_eq!(tc.stats().deescalations, 0);
     }
 }
 

@@ -1,0 +1,223 @@
+//! Telemetry equivalence: arming the observability subsystem must not
+//! perturb estimation, and the instrumented surfaces must actually be
+//! covered.
+//!
+//! 1. **Armed == plain.** A `SessionBuilder::telemetry(..)` session is
+//!    bit-identical to a plain one across all five `ScenarioKind`s —
+//!    telemetry observes (clock reads, ring stores, histogram feeds),
+//!    it never steers.
+//! 2. **Coverage.** Every pushed frame closes a `frame` span plus
+//!    backend/engine sub-spans, and the frontend stamps its six compute
+//!    kernels; the frame histogram counts exactly the served frames.
+//! 3. **Determinism.** Under the model clock, two independent armed
+//!    runs drain byte-identical span traces.
+//! 4. **Export.** A session's drained trace round-trips the chrome-trace
+//!    validator with one complete `frame` event per record.
+//!
+//! CI runs this suite by name (`cargo test -p eudoxus-core telemetry_`).
+
+use eudoxus_core::{
+    chrome_trace_json, validate_chrome_trace, CounterRegistry, FrameRecord, LocalizationSession,
+    PipelineConfig, SessionBuilder, SpanScope, TelemetryConfig, ThrottleConfig,
+};
+use eudoxus_sim::{Dataset, Platform, ScenarioBuilder, ScenarioKind};
+
+const ALL_KINDS: [ScenarioKind; 5] = [
+    ScenarioKind::OutdoorUnknown,
+    ScenarioKind::OutdoorKnown,
+    ScenarioKind::IndoorUnknown,
+    ScenarioKind::IndoorKnown,
+    ScenarioKind::Mixed,
+];
+
+/// The six frontend compute kernels every processed frame stamps.
+const FRONTEND_KERNELS: [&str; 6] = [
+    "gaussian_blur",
+    "detect_fast",
+    "compute_orb",
+    "match_stereo",
+    "pyramid_rebuild",
+    "track_pyramidal",
+];
+
+fn dataset(kind: ScenarioKind, frames: usize, seed: u64) -> Dataset {
+    ScenarioBuilder::new(kind)
+        .frames(frames)
+        .seed(seed)
+        .platform(Platform::Drone)
+        .build()
+}
+
+fn stream(session: &mut LocalizationSession, data: &Dataset) -> Vec<FrameRecord> {
+    data.events().filter_map(|e| session.push(e)).collect()
+}
+
+fn pose_bits(pose: &eudoxus_geometry::Pose) -> [u64; 7] {
+    [
+        pose.translation.x.to_bits(),
+        pose.translation.y.to_bits(),
+        pose.translation.z.to_bits(),
+        pose.rotation.w.to_bits(),
+        pose.rotation.x.to_bits(),
+        pose.rotation.y.to_bits(),
+        pose.rotation.z.to_bits(),
+    ]
+}
+
+fn assert_records_bit_identical(plain: &[FrameRecord], armed: &[FrameRecord], what: &str) {
+    assert_eq!(plain.len(), armed.len(), "{what}: record count");
+    for (p, a) in plain.iter().zip(armed) {
+        assert_eq!(p.index, a.index, "{what}: index");
+        assert_eq!(p.mode, a.mode, "{what}: mode");
+        assert_eq!(p.environment, a.environment, "{what}: environment");
+        assert_eq!(pose_bits(&p.pose), pose_bits(&a.pose), "{what}: pose bits");
+        assert_eq!(p.tracking, a.tracking, "{what}: tracking");
+    }
+}
+
+#[test]
+fn telemetry_armed_session_is_bit_identical_to_plain_across_kinds() {
+    for (i, kind) in ALL_KINDS.into_iter().enumerate() {
+        let data = dataset(kind, 4, 80 + i as u64);
+
+        let mut plain = SessionBuilder::new(PipelineConfig::anchored()).build();
+        let plain_records = stream(&mut plain, &data);
+
+        let mut armed = SessionBuilder::new(PipelineConfig::anchored())
+            .telemetry(TelemetryConfig::new())
+            .build();
+        let armed_records = stream(&mut armed, &data);
+
+        assert_records_bit_identical(&plain_records, &armed_records, &format!("{kind:?}"));
+        assert!(plain.telemetry().is_none(), "telemetry is opt-in");
+
+        // Coverage: one frame span (and histogram sample) per served
+        // record, and every frontend kernel seen at least once.
+        let hub = armed.telemetry().expect("armed session exposes its hub");
+        assert_eq!(hub.frame_histogram().count() as usize, armed_records.len());
+        assert_eq!(hub.spans_dropped(), 0, "default capacity must not wrap");
+        let kernels = hub.kernel_histograms();
+        for name in FRONTEND_KERNELS {
+            assert!(
+                kernels.iter().any(|(k, h)| *k == name && !h.is_empty()),
+                "{kind:?}: kernel {name} never recorded"
+            );
+        }
+        let spans = hub.drain();
+        let frames = spans
+            .iter()
+            .filter(|s| s.scope == SpanScope::Frame)
+            .count();
+        assert_eq!(frames, armed_records.len(), "{kind:?}: frame spans");
+        assert!(
+            spans.iter().any(|s| s.scope == SpanScope::Backend),
+            "{kind:?}: backend spans missing"
+        );
+        assert!(
+            spans.iter().any(|s| s.scope == SpanScope::Engine),
+            "{kind:?}: engine spans missing"
+        );
+    }
+}
+
+#[test]
+fn telemetry_model_clock_traces_replay_bit_for_bit() {
+    let data = dataset(ScenarioKind::Mixed, 5, 23);
+    let run = || {
+        let mut session = SessionBuilder::new(PipelineConfig::anchored())
+            .telemetry(TelemetryConfig::deterministic(1_000))
+            .build();
+        let records = stream(&mut session, &data);
+        let hub = session.telemetry().expect("armed").clone();
+        (records, hub.drain())
+    };
+    let (records_a, trace_a) = run();
+    let (records_b, trace_b) = run();
+    assert_records_bit_identical(&records_a, &records_b, "model clock");
+    assert_eq!(trace_a, trace_b, "model-clock traces must replay exactly");
+    assert!(!trace_a.is_empty());
+}
+
+#[test]
+fn telemetry_session_trace_round_trips_the_chrome_validator() {
+    let data = dataset(ScenarioKind::OutdoorUnknown, 4, 91);
+    let mut session = SessionBuilder::new(PipelineConfig::anchored())
+        .telemetry(TelemetryConfig::new())
+        .build();
+    let records = stream(&mut session, &data);
+    let spans = session.telemetry().expect("armed").drain();
+    let trace = chrome_trace_json(&spans);
+    let summary = validate_chrome_trace(&trace).expect("exported trace must validate");
+    assert_eq!(summary.events, spans.len());
+    assert_eq!(summary.frame_spans, records.len());
+    assert!(summary.frame_spans >= 1, "need at least one complete frame");
+}
+
+#[test]
+fn telemetry_counter_snapshot_covers_every_session_surface() {
+    // Arm everything a bare session can carry (throttle + telemetry) and
+    // check the one flat snapshot holds each surface under its scope.
+    let data = dataset(ScenarioKind::IndoorUnknown, 4, 13);
+    let mut session = SessionBuilder::new(PipelineConfig::anchored())
+        .throttle(ThrottleConfig::new(33.0))
+        .telemetry(TelemetryConfig::new())
+        .build();
+    let records = stream(&mut session, &data);
+
+    let mut reg = CounterRegistry::new();
+    session.publish_counters(&mut reg);
+    assert!(!reg.is_empty());
+    let frames = reg.get("frames_processed").expect("frame counter");
+    assert_eq!(frames.as_f64() as usize, records.len());
+    assert!(reg.get("health.frames").is_some(), "health surface: {reg}");
+    assert!(
+        reg.get("throttle.frames").is_some(),
+        "throttle surface: {reg}"
+    );
+    // Scoping a second agent's snapshot keeps keys disjoint.
+    let mut fleet = CounterRegistry::new();
+    fleet.scoped("agent-0", |r| session.publish_counters(r));
+    fleet.scoped("agent-1", |r| session.publish_counters(r));
+    assert_eq!(fleet.len(), 2 * reg.len(), "scoped snapshots stay disjoint");
+}
+
+#[test]
+fn telemetry_manager_assigns_one_track_per_agent() {
+    let a = dataset(ScenarioKind::OutdoorUnknown, 2, 1);
+    let b = dataset(ScenarioKind::IndoorUnknown, 2, 2);
+    let mut manager = SessionBuilder::new(PipelineConfig::anchored())
+        .telemetry(TelemetryConfig::new())
+        .agent("car")
+        .agent("drone")
+        .build_manager();
+    for (id, data) in [("car", &a), ("drone", &b)] {
+        for e in data.events() {
+            assert!(matches!(
+                manager.try_enqueue(id, e),
+                eudoxus_core::Enqueue::Accepted
+            ));
+        }
+    }
+    let records = manager.run_until_idle();
+    assert!(!records.is_empty());
+    let track_of = |id: &str| {
+        let hub = manager
+            .session(id)
+            .expect("agent exists")
+            .telemetry()
+            .expect("armed manager arms every agent");
+        let spans = hub.drain();
+        assert!(!spans.is_empty(), "{id}: no spans recorded");
+        let track = spans[0].track;
+        assert!(
+            spans.iter().all(|s| s.track == track),
+            "{id}: spans span multiple tracks"
+        );
+        track
+    };
+    assert_ne!(
+        track_of("car"),
+        track_of("drone"),
+        "agents must land on distinct chrome-trace tracks"
+    );
+}

@@ -51,6 +51,15 @@ impl std::fmt::Display for FaultCounters {
     }
 }
 
+impl eudoxus_telemetry::Telemetry for FaultCounters {
+    fn publish(&self, reg: &mut eudoxus_telemetry::CounterRegistry) {
+        reg.counter("images_dropped", self.images_dropped);
+        reg.counter("images_blacked_out", self.images_blacked_out);
+        reg.counter("images_corrupted", self.images_corrupted);
+        reg.counter("gps_dropped", self.gps_dropped);
+    }
+}
+
 /// A seeded, deterministic sensor-degradation process: feeds every
 /// [`SensorEvent`] through the faults a [`FaultPlan`] enables.
 ///

@@ -16,6 +16,7 @@ use crate::klt::{
 use crate::orb::{compute_orb, OrbConfig};
 use crate::stereo::{match_stereo, StereoConfig};
 use eudoxus_image::{gaussian_blur_into, FilterScratch, GrayImage, Pyramid};
+use eudoxus_telemetry::{SpanScope, TelemetryHub};
 use std::time::{Duration, Instant};
 
 /// Frontend parameters.
@@ -76,6 +77,18 @@ pub struct FrameDirective {
 }
 
 impl FrameDirective {
+    /// The mildest throttled operating point: a modest trim of the
+    /// feature budget with the full pyramid, on the SIMD path. First
+    /// rung of the control loop's severity ladder.
+    pub fn mild() -> Self {
+        FrameDirective {
+            max_keypoints: 600,
+            max_tracks: 320,
+            max_pyramid_levels: 3,
+            scalar_klt: false,
+        }
+    }
+
     /// The default throttled operating point: roughly half the default
     /// feature budget and one fewer pyramid level, on the SIMD path.
     pub fn throttled() -> Self {
@@ -83,6 +96,19 @@ impl FrameDirective {
             max_keypoints: 400,
             max_tracks: 210,
             max_pyramid_levels: 2,
+            scalar_klt: false,
+        }
+    }
+
+    /// The deepest cut: a quarter of the default feature budget on a
+    /// single pyramid level. Last rung of the severity ladder, for
+    /// frames that keep missing their deadline under
+    /// [`throttled`](Self::throttled).
+    pub fn severe() -> Self {
+        FrameDirective {
+            max_keypoints: 250,
+            max_tracks: 130,
+            max_pyramid_levels: 1,
             scalar_klt: false,
         }
     }
@@ -201,6 +227,13 @@ pub struct FrontendScratch {
     /// the frame it swaps with `Frontend::prev_pyr`, so the two slots
     /// alternate and no pyramid is ever rebuilt for the same image twice.
     spare_pyr: Pyramid,
+    /// Optional span recorder: when armed, [`Frontend::process`] stamps
+    /// one [`SpanScope::Kernel`] span per kernel invocation (blur, FAST,
+    /// ORB, stereo, pyramid rebuild, KLT). Pure observation — the armed
+    /// and unarmed paths are bit-identical on every output.
+    telemetry: Option<TelemetryHub>,
+    /// Frame index stamped on kernel spans (set by the session per frame).
+    telemetry_frame: u64,
 }
 
 /// The stateful frontend.
@@ -260,6 +293,18 @@ impl Frontend {
         self.directive
     }
 
+    /// Arms (or disarms) per-kernel span recording. The handle lives in
+    /// the scratch: the kernels themselves keep their signatures, and a
+    /// disarmed frontend never touches the clock.
+    pub fn set_telemetry(&mut self, telemetry: Option<TelemetryHub>) {
+        self.scratch.telemetry = telemetry;
+    }
+
+    /// Sets the frame index stamped on subsequent kernel spans.
+    pub fn set_telemetry_frame(&mut self, frame_idx: u64) {
+        self.scratch.telemetry_frame = frame_idx;
+    }
+
     /// Number of currently live tracks.
     pub fn live_tracks(&self) -> usize {
         self.tracks.len()
@@ -307,7 +352,20 @@ impl Frontend {
         let mut timing = FrontendTiming::default();
         let mut stats = FrameStats::default();
 
+        // Span bracketing: an Arc bump per frame when armed, nothing at
+        // all when not. Spans are stamped by the hub's clock (wall or
+        // model) independently of the `Instant` timing fields.
+        let telemetry = self.scratch.telemetry.clone();
+        let span_frame = self.scratch.telemetry_frame;
+        let span_open = || telemetry.as_ref().map(|hub| hub.start());
+        let span_close = |kernel: &'static str, start: Option<u64>| {
+            if let (Some(hub), Some(start)) = (telemetry.as_ref(), start) {
+                hub.record(SpanScope::Kernel, kernel, span_frame, start);
+            }
+        };
+
         // IF: smooth both images for descriptor sampling.
+        let s = span_open();
         let t = Instant::now();
         gaussian_blur_into(
             left,
@@ -322,16 +380,20 @@ impl Frontend {
             &mut self.scratch.right_blur,
         );
         timing.filtering = t.elapsed();
+        span_close("gaussian_blur", s);
 
         // FD: detect on both raw images.
+        let s = span_open();
         let t = Instant::now();
         detect_fast_into(left, &fast_cfg, &mut self.scratch.fast, &mut self.scratch.kps_left);
         detect_fast_into(right, &fast_cfg, &mut self.scratch.fast, &mut self.scratch.kps_right);
         timing.detection = t.elapsed();
+        span_close("detect_fast", s);
         stats.keypoints_left = self.scratch.kps_left.len();
         stats.keypoints_right = self.scratch.kps_right.len();
 
         // FC: describe on the blurred images; drop border points.
+        let s = span_open();
         let t = Instant::now();
         self.scratch.feats_left.clear();
         self.scratch.feats_left.extend(self.scratch.kps_left.iter().filter_map(|kp| {
@@ -348,8 +410,10 @@ impl Frontend {
             })
         }));
         timing.description = t.elapsed();
+        span_close("compute_orb", s);
 
         // MO + DR: spatial correspondences.
+        let s = span_open();
         let t = Instant::now();
         let stereo = match_stereo(
             &self.scratch.feats_left,
@@ -359,6 +423,7 @@ impl Frontend {
             &cfg.stereo,
         );
         timing.stereo = t.elapsed();
+        span_close("match_stereo", s);
         stats.stereo_matches = stereo.len();
         self.scratch.disparity_of.clear();
         self.scratch.disparity_of.resize(self.scratch.feats_left.len(), None);
@@ -370,8 +435,11 @@ impl Frontend {
         // left pyramid is built once into the spare slot; the previous
         // frame's pyramid (cached, not rebuilt) provides the template.
         let t = Instant::now();
+        let s = span_open();
         let mut cur_pyr = std::mem::take(&mut self.scratch.spare_pyr);
         cur_pyr.rebuild_from(left, klt_levels);
+        span_close("pyramid_rebuild", s);
+        let s = span_open();
         self.scratch.tracked.clear();
         if let Some(prev_pyr) = &self.prev_pyr {
             if !self.tracks.is_empty() {
@@ -401,6 +469,7 @@ impl Frontend {
             }
         }
         timing.temporal = t.elapsed();
+        span_close("track_pyramidal", s);
 
         // Associate: snap each tracked point to the nearest detection.
         let snap2 = cfg.tuning.snap_radius * cfg.tuning.snap_radius;
@@ -663,6 +732,48 @@ mod tests {
                 assert_eq!(oa.y.to_bits(), ob.y.to_bits());
             }
         }
+    }
+
+    #[test]
+    fn telemetry_spans_cover_every_kernel_and_change_nothing() {
+        use eudoxus_telemetry::TelemetryConfig;
+
+        let mut plain = Frontend::new(FrontendConfig::default());
+        let mut armed = Frontend::new(FrontendConfig::default());
+        let hub = TelemetryHub::new(TelemetryConfig::deterministic(1_000));
+        armed.set_telemetry(Some(hub.clone()));
+        for (i, shift) in [0.0f32, 2.0, 4.0].into_iter().enumerate() {
+            armed.set_telemetry_frame(i as u64);
+            let (l, r) = stereo_pair(shift, 6.0);
+            let a = plain.process(&l, &r);
+            let b = armed.process(&l, &r);
+            // Observation-only: arming never perturbs the outputs.
+            assert_eq!(a.observations.len(), b.observations.len());
+            for (oa, ob) in a.observations.iter().zip(&b.observations) {
+                assert_eq!(oa.track_id, ob.track_id);
+                assert_eq!(oa.x.to_bits(), ob.x.to_bits());
+                assert_eq!(oa.y.to_bits(), ob.y.to_bits());
+            }
+        }
+        let spans = hub.drain();
+        // Six kernel spans per frame, stamped with the frame index.
+        assert_eq!(spans.len(), 3 * 6);
+        for kernel in [
+            "gaussian_blur",
+            "detect_fast",
+            "compute_orb",
+            "match_stereo",
+            "pyramid_rebuild",
+            "track_pyramidal",
+        ] {
+            assert_eq!(
+                spans.iter().filter(|s| s.kernel == kernel).count(),
+                3,
+                "missing spans for {kernel}"
+            );
+        }
+        assert!(spans.iter().all(|s| s.scope == SpanScope::Kernel));
+        assert_eq!(spans.iter().filter(|s| s.frame_idx == 2).count(), 6);
     }
 
     #[test]

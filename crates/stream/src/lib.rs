@@ -15,23 +15,24 @@
 //!   by capture timestamp, chunking-insensitive and
 //!   backpressure-composable.
 //!
-//! It depends only on `eudoxus-geometry` and `eudoxus-image`: a live
-//! producer (a driver process, a network ingest shim) links this crate
-//! and nothing else — in particular **not** the simulator. The Eudoxus
-//! paper (HPCA 2021) treats localization as a streaming system fed by
-//! heterogeneous sensors at fixed rates; this crate is that system's
-//! front door.
+//! It depends only on `eudoxus-geometry`, `eudoxus-image` and the leaf
+//! `eudoxus-telemetry` (its counters publish into the shared registry):
+//! a live producer (a driver process, a network ingest shim) links this
+//! crate and nothing else — in particular **not** the simulator. The
+//! Eudoxus paper (HPCA 2021) treats localization as a streaming system
+//! fed by heterogeneous sensors at fixed rates; this crate is that
+//! system's front door.
 //!
 //! # Layering
 //!
 //! ```text
-//! eudoxus-math ─ eudoxus-geometry ─ eudoxus-image          (numerics)
-//!                        │                │
-//!                        └── eudoxus-stream ──┐            (this crate)
+//! eudoxus-math ─ eudoxus-geometry ─ eudoxus-image ─ eudoxus-telemetry   (numerics / observability)
+//!                        │                │                 │
+//!                        └── eudoxus-stream ──┐ ────────────┘           (this crate)
 //!                              │        │     │
-//!                              │  eudoxus-faults           (event corruption)
+//!                              │  eudoxus-faults                        (event corruption)
 //!                              │              │
-//!                        eudoxus-sim    eudoxus-core       (producers / consumers)
+//!                        eudoxus-sim    eudoxus-core                    (producers / consumers)
 //! ```
 //!
 //! `eudoxus-sim` (one producer among many) and `eudoxus-core` (the

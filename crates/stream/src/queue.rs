@@ -55,6 +55,16 @@ impl IngestCounters {
     }
 }
 
+impl eudoxus_telemetry::Telemetry for IngestCounters {
+    fn publish(&self, reg: &mut eudoxus_telemetry::CounterRegistry) {
+        reg.counter("accepted", self.accepted);
+        reg.counter("frames_dropped", self.frames_dropped);
+        reg.counter("events_dropped", self.events_dropped);
+        reg.counter("deferred", self.deferred);
+        reg.counter("high_watermark", self.high_watermark as u64);
+    }
+}
+
 /// Outcome of [`IngestQueue::offer`].
 #[derive(Debug)]
 pub enum Admission {

@@ -1,0 +1,123 @@
+//! Time sources for span recording.
+//!
+//! The telemetry clock contract mirrors the PR 6 reproducibility rule:
+//! **only modeled quantities are reproducible**. A [`WallClock`] span is
+//! a *measurement* — valid for profiling, excluded from bit-identity —
+//! while a [`ModelClock`] span is a pure function of the query count, so
+//! tests and replays that assert on span timestamps are wall-clock-free.
+
+use std::time::Instant;
+
+/// A monotonic nanosecond time source for span recording.
+///
+/// `now_ns` takes `&mut self` so deterministic clocks can advance their
+/// internal state per query; implementations must be monotonic
+/// (non-decreasing) across calls.
+pub trait Clock: Send {
+    /// Nanoseconds since the clock's epoch. Monotonic, never decreasing.
+    fn now_ns(&mut self) -> u64;
+}
+
+/// The real monotonic clock: nanoseconds since construction.
+///
+/// Spans stamped by a `WallClock` are measurements and are **not**
+/// reproducible run to run — exactly like the measured kernel times in
+/// `FrontendTiming`.
+#[derive(Debug, Clone)]
+pub struct WallClock {
+    epoch: Instant,
+}
+
+impl WallClock {
+    /// A wall clock whose epoch is "now".
+    pub fn new() -> Self {
+        WallClock {
+            epoch: Instant::now(),
+        }
+    }
+}
+
+impl Default for WallClock {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Clock for WallClock {
+    fn now_ns(&mut self) -> u64 {
+        let elapsed = self.epoch.elapsed();
+        // Saturate rather than wrap: u64 nanoseconds covers ~584 years.
+        u64::try_from(elapsed.as_nanos()).unwrap_or(u64::MAX)
+    }
+}
+
+/// A deterministic clock: each query returns the current virtual time
+/// and advances it by a fixed tick.
+///
+/// Two runs that make the same sequence of queries read the same
+/// timestamps bit for bit — the property the wall clock can never give.
+/// Use [`ModelClock::advance`] to model explicit gaps (e.g. inter-frame
+/// idle time) between queries.
+#[derive(Debug, Clone)]
+pub struct ModelClock {
+    now_ns: u64,
+    tick_ns: u64,
+}
+
+impl ModelClock {
+    /// A model clock starting at 0 that advances `tick_ns` per query.
+    pub fn new(tick_ns: u64) -> Self {
+        ModelClock { now_ns: 0, tick_ns }
+    }
+
+    /// Advances the virtual time without a query.
+    pub fn advance(&mut self, ns: u64) {
+        self.now_ns = self.now_ns.saturating_add(ns);
+    }
+}
+
+impl Default for ModelClock {
+    /// A 1 µs tick: successive queries are distinct but sub-millisecond.
+    fn default() -> Self {
+        Self::new(1_000)
+    }
+}
+
+impl Clock for ModelClock {
+    fn now_ns(&mut self) -> u64 {
+        let t = self.now_ns;
+        self.now_ns = self.now_ns.saturating_add(self.tick_ns);
+        t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wall_clock_is_monotonic() {
+        let mut clock = WallClock::new();
+        let a = clock.now_ns();
+        let b = clock.now_ns();
+        assert!(b >= a);
+    }
+
+    #[test]
+    fn model_clock_is_a_pure_function_of_query_count() {
+        let mut a = ModelClock::new(7);
+        let mut b = ModelClock::new(7);
+        let seq_a: Vec<u64> = (0..5).map(|_| a.now_ns()).collect();
+        let seq_b: Vec<u64> = (0..5).map(|_| b.now_ns()).collect();
+        assert_eq!(seq_a, seq_b);
+        assert_eq!(seq_a, vec![0, 7, 14, 21, 28]);
+    }
+
+    #[test]
+    fn model_clock_advance_models_gaps() {
+        let mut clock = ModelClock::new(1);
+        assert_eq!(clock.now_ns(), 0);
+        clock.advance(100);
+        assert_eq!(clock.now_ns(), 101);
+    }
+}

@@ -1,0 +1,221 @@
+//! The unified counter registry: every stats surface, one flat snapshot.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A registered value: a monotonic counter or an instantaneous gauge.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum MetricValue {
+    /// Monotonic count (events, frames, drops, …).
+    Counter(u64),
+    /// Instantaneous measurement (rates, periods, watermarks, …).
+    Gauge(f64),
+}
+
+impl MetricValue {
+    /// The value as f64 (counters convert losslessly up to 2^53).
+    pub fn as_f64(&self) -> f64 {
+        match *self {
+            MetricValue::Counter(v) => v as f64,
+            MetricValue::Gauge(v) => v,
+        }
+    }
+}
+
+impl fmt::Display for MetricValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            MetricValue::Counter(v) => write!(f, "{v}"),
+            MetricValue::Gauge(v) => write!(f, "{v:.4}"),
+        }
+    }
+}
+
+/// A flat, sorted `key → value` snapshot of system state.
+///
+/// Stats surfaces implement [`Telemetry`] and write themselves in under
+/// dotted keys; nesting is expressed with [`CounterRegistry::scoped`]
+/// prefixes (`agent-0.health.frames = 24`). Because keys are sorted and
+/// the layout is flat, two snapshots diff line by line — the registry is
+/// the one printer every example and bench shares, so output stays in
+/// sync as stats structs grow fields.
+///
+/// Snapshot assembly is a reporting path, not a per-frame path: it may
+/// allocate freely (unlike [`SpanRing`](crate::SpanRing) recording).
+#[derive(Debug, Clone, Default)]
+pub struct CounterRegistry {
+    entries: BTreeMap<String, MetricValue>,
+    scope: String,
+}
+
+impl CounterRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn key(&self, name: &str) -> String {
+        if self.scope.is_empty() {
+            name.to_string()
+        } else {
+            format!("{}.{name}", self.scope)
+        }
+    }
+
+    /// Registers a monotonic counter under the current scope.
+    pub fn counter(&mut self, name: &str, value: u64) {
+        self.entries.insert(self.key(name), MetricValue::Counter(value));
+    }
+
+    /// Registers a gauge under the current scope.
+    pub fn gauge(&mut self, name: &str, value: f64) {
+        self.entries.insert(self.key(name), MetricValue::Gauge(value));
+    }
+
+    /// Runs `f` with `prefix` pushed onto the dotted key scope.
+    pub fn scoped(&mut self, prefix: &str, f: impl FnOnce(&mut Self)) {
+        let saved = self.scope.len();
+        if !self.scope.is_empty() {
+            self.scope.push('.');
+        }
+        self.scope.push_str(prefix);
+        f(self);
+        self.scope.truncate(saved);
+    }
+
+    /// Publishes a [`Telemetry`] source under `prefix`.
+    pub fn publish_scoped(&mut self, prefix: &str, source: &dyn Telemetry) {
+        self.scoped(prefix, |reg| source.publish(reg));
+    }
+
+    /// Looks up a value by its full dotted key.
+    pub fn get(&self, key: &str) -> Option<MetricValue> {
+        self.entries.get(key).copied()
+    }
+
+    /// Number of registered entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the registry is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Iterates entries in sorted key order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, MetricValue)> {
+        self.entries.iter().map(|(k, v)| (k.as_str(), *v))
+    }
+
+    /// Keys whose values differ from (or are absent in) `baseline`,
+    /// with `(key, before, after)` — the diff two flat snapshots exist
+    /// to make trivial.
+    pub fn diff<'a>(
+        &'a self,
+        baseline: &'a CounterRegistry,
+    ) -> Vec<(&'a str, Option<MetricValue>, MetricValue)> {
+        self.entries
+            .iter()
+            .filter_map(|(k, v)| {
+                let before = baseline.get(k);
+                (before != Some(*v)).then_some((k.as_str(), before, *v))
+            })
+            .collect()
+    }
+}
+
+impl fmt::Display for CounterRegistry {
+    /// The snapshot printer: one aligned `key = value` line per entry,
+    /// sorted by key.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let width = self.entries.keys().map(|k| k.len()).max().unwrap_or(0);
+        for (key, value) in &self.entries {
+            writeln!(f, "  {key:<width$} = {value}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Anything that can register its state into a [`CounterRegistry`].
+///
+/// Every Eudoxus stats surface (`IngestSnapshot`, `LinkStats`,
+/// `FaultCounters`, `SessionHealthStats`, `AdmissionStats`,
+/// `ThrottleStats`, …) implements this, so one call per surface yields
+/// the whole system's state as a single flat snapshot.
+pub trait Telemetry {
+    /// Writes this source's counters and gauges into `reg` under the
+    /// registry's current scope.
+    fn publish(&self, reg: &mut CounterRegistry);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Fake {
+        frames: u64,
+    }
+
+    impl Telemetry for Fake {
+        fn publish(&self, reg: &mut CounterRegistry) {
+            reg.counter("frames", self.frames);
+            reg.gauge("rate", self.frames as f64 / 2.0);
+        }
+    }
+
+    #[test]
+    fn scoped_keys_nest_and_restore() {
+        let mut reg = CounterRegistry::new();
+        reg.counter("top", 1);
+        reg.scoped("agent-0", |r| {
+            r.counter("frames", 7);
+            r.scoped("link", |r| r.counter("lost", 2));
+        });
+        reg.counter("after", 3);
+        assert_eq!(reg.get("top"), Some(MetricValue::Counter(1)));
+        assert_eq!(reg.get("agent-0.frames"), Some(MetricValue::Counter(7)));
+        assert_eq!(reg.get("agent-0.link.lost"), Some(MetricValue::Counter(2)));
+        assert_eq!(reg.get("after"), Some(MetricValue::Counter(3)));
+    }
+
+    #[test]
+    fn publish_scoped_runs_the_sink() {
+        let mut reg = CounterRegistry::new();
+        reg.publish_scoped("fleet", &Fake { frames: 10 });
+        assert_eq!(reg.get("fleet.frames"), Some(MetricValue::Counter(10)));
+        assert_eq!(reg.get("fleet.rate"), Some(MetricValue::Gauge(5.0)));
+    }
+
+    #[test]
+    fn display_is_sorted_and_aligned() {
+        let mut reg = CounterRegistry::new();
+        reg.counter("zz", 1);
+        reg.counter("a", 2);
+        let out = reg.to_string();
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].trim_start().starts_with("a "), "sorted: {out}");
+        assert!(lines[1].trim_start().starts_with("zz"), "sorted: {out}");
+        // Both '=' signs align.
+        let eq: Vec<usize> = lines.iter().map(|l| l.find('=').unwrap()).collect();
+        assert_eq!(eq[0], eq[1]);
+    }
+
+    #[test]
+    fn diff_reports_changed_and_new_keys() {
+        let mut before = CounterRegistry::new();
+        before.counter("frames", 5);
+        before.counter("stable", 1);
+        let mut after = CounterRegistry::new();
+        after.counter("frames", 9);
+        after.counter("stable", 1);
+        after.counter("fresh", 2);
+        let d = after.diff(&before);
+        assert_eq!(d.len(), 2);
+        assert!(d.iter().any(|(k, b, a)| *k == "frames"
+            && *b == Some(MetricValue::Counter(5))
+            && *a == MetricValue::Counter(9)));
+        assert!(d.iter().any(|(k, b, _)| *k == "fresh" && b.is_none()));
+    }
+}

@@ -1,0 +1,258 @@
+//! Streaming log-bucketed latency histogram.
+
+use std::fmt;
+
+/// Sub-buckets per power of two: 3 bits of mantissa, so the relative
+/// quantization error is bounded by 1/8 = 12.5 % of the value.
+const SUB_BITS: u32 = 3;
+const SUB: usize = 1 << SUB_BITS;
+/// Buckets 0..SUB are exact (values 0..SUB); each further power of two
+/// contributes SUB linear sub-buckets, up to the full u64 range.
+const BUCKETS: usize = (64 - SUB_BITS as usize + 1) * SUB;
+
+/// A fixed-size log-linear histogram of nanosecond durations.
+///
+/// All storage is a flat inline array: recording is an index computation
+/// and an increment — no allocation, ever (enforced by the
+/// counting-allocator gate in `eudoxus-bench`). Quantiles are read back
+/// with ≤ 12.5 % relative error from the bucket layout, which is plenty
+/// for p50/p90/p99 latency reporting.
+#[derive(Clone)]
+pub struct Histogram {
+    counts: [u64; BUCKETS],
+    count: u64,
+    sum_ns: u64,
+    min_ns: u64,
+    max_ns: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Histogram {
+            counts: [0; BUCKETS],
+            count: 0,
+            sum_ns: 0,
+            min_ns: u64::MAX,
+            max_ns: 0,
+        }
+    }
+
+    /// The bucket a value lands in.
+    fn index(v: u64) -> usize {
+        if v < SUB as u64 {
+            v as usize
+        } else {
+            let exp = 63 - v.leading_zeros();
+            let sub = ((v >> (exp - SUB_BITS)) & (SUB as u64 - 1)) as usize;
+            (exp - SUB_BITS + 1) as usize * SUB + sub
+        }
+    }
+
+    /// The smallest value mapping to bucket `i` and the bucket's width.
+    fn bounds(i: usize) -> (u64, u64) {
+        if i < SUB {
+            (i as u64, 1)
+        } else {
+            let exp = (i / SUB) as u32 + SUB_BITS - 1;
+            let sub = (i % SUB) as u64;
+            let width = 1u64 << (exp - SUB_BITS);
+            ((1u64 << exp) + sub * width, width)
+        }
+    }
+
+    /// Records one duration (nanoseconds).
+    pub fn record(&mut self, ns: u64) {
+        self.counts[Self::index(ns)] += 1;
+        self.count += 1;
+        self.sum_ns = self.sum_ns.saturating_add(ns);
+        self.min_ns = self.min_ns.min(ns);
+        self.max_ns = self.max_ns.max(ns);
+    }
+
+    /// Samples recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Exact sum of all recorded values (ns) — totals stay exact even
+    /// though individual samples are bucketed.
+    pub fn sum_ns(&self) -> u64 {
+        self.sum_ns
+    }
+
+    /// Whether nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Smallest recorded value (ns); 0 when empty.
+    pub fn min_ns(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min_ns
+        }
+    }
+
+    /// Largest recorded value (ns).
+    pub fn max_ns(&self) -> u64 {
+        self.max_ns
+    }
+
+    /// Mean recorded value (ns); NaN when empty.
+    pub fn mean_ns(&self) -> f64 {
+        if self.count == 0 {
+            f64::NAN
+        } else {
+            self.sum_ns as f64 / self.count as f64
+        }
+    }
+
+    /// The `q`-quantile (0 ≤ q ≤ 1) in nanoseconds, interpolated within
+    /// the landing bucket and clamped to the observed min/max. NaN when
+    /// empty.
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return f64::NAN;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let target = q * self.count as f64;
+        let mut cum = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            cum += c;
+            if cum as f64 >= target {
+                let (lo, width) = Self::bounds(i);
+                let into = (target - (cum - c) as f64) / c as f64;
+                let v = lo as f64 + into * width as f64;
+                return v.clamp(self.min_ns as f64, self.max_ns as f64);
+            }
+        }
+        self.max_ns as f64
+    }
+
+    /// Median in milliseconds.
+    pub fn p50_ms(&self) -> f64 {
+        self.quantile(0.50) / 1e6
+    }
+
+    /// 90th percentile in milliseconds.
+    pub fn p90_ms(&self) -> f64 {
+        self.quantile(0.90) / 1e6
+    }
+
+    /// 99th percentile in milliseconds.
+    pub fn p99_ms(&self) -> f64 {
+        self.quantile(0.99) / 1e6
+    }
+
+    /// Folds another histogram into this one.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum_ns = self.sum_ns.saturating_add(other.sum_ns);
+        self.min_ns = self.min_ns.min(other.min_ns);
+        self.max_ns = self.max_ns.max(other.max_ns);
+    }
+}
+
+impl fmt::Debug for Histogram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Histogram")
+            .field("count", &self.count)
+            .field("min_ns", &self.min_ns())
+            .field("max_ns", &self.max_ns)
+            .field("p50_ms", &self.p50_ms())
+            .field("p99_ms", &self.p99_ms())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_are_contiguous_and_ordered() {
+        // Every value maps to a bucket whose bounds contain it, and
+        // bucket lower bounds are strictly increasing.
+        let mut prev_lo = None;
+        for i in 0..BUCKETS {
+            let (lo, width) = Histogram::bounds(i);
+            if let Some(p) = prev_lo {
+                assert!(lo > p, "bucket {i} not ordered");
+            }
+            prev_lo = Some(lo);
+            assert_eq!(Histogram::index(lo), i, "lower bound of {i}");
+            if let Some(hi) = lo.checked_add(width - 1) {
+                assert_eq!(Histogram::index(hi), i, "upper bound of {i}");
+            }
+        }
+        assert_eq!(Histogram::index(u64::MAX), BUCKETS - 1);
+    }
+
+    #[test]
+    fn quantiles_track_a_uniform_ramp() {
+        let mut h = Histogram::new();
+        for v in 1..=1000u64 {
+            h.record(v * 1000); // 1 µs .. 1 ms
+        }
+        assert_eq!(h.count(), 1000);
+        let p50 = h.quantile(0.5);
+        let p99 = h.quantile(0.99);
+        // Log-bucketed: within the 12.5 % relative-error bound.
+        assert!((p50 - 500_000.0).abs() < 0.125 * 500_000.0, "p50 = {p50}");
+        assert!((p99 - 990_000.0).abs() < 0.125 * 990_000.0, "p99 = {p99}");
+        assert!(h.quantile(0.0) >= h.min_ns() as f64);
+        assert!(h.quantile(1.0) <= h.max_ns() as f64 + 1e-9);
+    }
+
+    #[test]
+    fn small_exact_buckets_are_exact() {
+        let mut h = Histogram::new();
+        for v in [0u64, 1, 2, 3, 3, 3] {
+            h.record(v);
+        }
+        assert_eq!(h.min_ns(), 0);
+        assert_eq!(h.max_ns(), 3);
+        assert!((h.quantile(1.0) - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_histogram_is_nan() {
+        let h = Histogram::new();
+        assert!(h.quantile(0.5).is_nan());
+        assert!(h.mean_ns().is_nan());
+        assert_eq!(h.min_ns(), 0);
+    }
+
+    #[test]
+    fn merge_matches_combined_recording() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        let mut both = Histogram::new();
+        for v in 0..500u64 {
+            a.record(v * 7);
+            both.record(v * 7);
+        }
+        for v in 0..300u64 {
+            b.record(v * 13);
+            both.record(v * 13);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), both.count());
+        assert_eq!(a.max_ns(), both.max_ns());
+        assert_eq!(a.quantile(0.9).to_bits(), both.quantile(0.9).to_bits());
+    }
+}

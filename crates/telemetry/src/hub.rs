@@ -1,0 +1,305 @@
+//! The shared recorder handle threaded through the stack.
+
+use std::sync::{Arc, Mutex};
+
+use crate::clock::{Clock, ModelClock, WallClock};
+use crate::hist::Histogram;
+use crate::span::{Span, SpanRing, SpanScope};
+
+/// Which time source stamps spans.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ClockSource {
+    /// Real monotonic time — profiling runs.
+    Wall,
+    /// Deterministic virtual time advancing `tick_ns` per query —
+    /// wall-clock-free tests and replays.
+    Model {
+        /// Virtual nanoseconds per clock query.
+        tick_ns: u64,
+    },
+}
+
+/// Configuration for a [`TelemetryHub`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TelemetryConfig {
+    /// Span ring capacity (oldest spans are overwritten beyond this).
+    pub span_capacity: usize,
+    /// The clock stamping spans.
+    pub clock: ClockSource,
+}
+
+impl TelemetryConfig {
+    /// Wall-clock profiling with a ring big enough for long runs.
+    pub fn new() -> Self {
+        TelemetryConfig {
+            span_capacity: 65_536,
+            clock: ClockSource::Wall,
+        }
+    }
+
+    /// Deterministic spans: the model clock advances `tick_ns` per
+    /// query, so traces replay bit for bit.
+    pub fn deterministic(tick_ns: u64) -> Self {
+        TelemetryConfig {
+            span_capacity: 65_536,
+            clock: ClockSource::Model { tick_ns },
+        }
+    }
+
+    /// Replaces the span ring capacity.
+    pub fn with_capacity(mut self, span_capacity: usize) -> Self {
+        self.span_capacity = span_capacity;
+        self
+    }
+}
+
+impl Default for TelemetryConfig {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+enum HubClock {
+    Wall(WallClock),
+    Model(ModelClock),
+}
+
+impl HubClock {
+    fn now_ns(&mut self) -> u64 {
+        match self {
+            HubClock::Wall(c) => c.now_ns(),
+            HubClock::Model(c) => c.now_ns(),
+        }
+    }
+}
+
+/// How many distinct kernel names the hub pre-reserves histogram slots
+/// for; more simply allocate once, on first sight.
+const KERNEL_SLOTS: usize = 32;
+
+struct HubInner {
+    ring: SpanRing,
+    clock: HubClock,
+    frame_hist: Histogram,
+    kernel_hists: Vec<(&'static str, Histogram)>,
+    track: u32,
+}
+
+impl HubInner {
+    fn hist_for(&mut self, kernel: &'static str) -> &mut Histogram {
+        // Linear scan over a handful of static names: no hashing, no
+        // allocation once the name has been seen.
+        let idx = match self.kernel_hists.iter().position(|(k, _)| *k == kernel) {
+            Some(i) => i,
+            None => {
+                self.kernel_hists.push((kernel, Histogram::new()));
+                self.kernel_hists.len() - 1
+            }
+        };
+        &mut self.kernel_hists[idx].1
+    }
+}
+
+/// The recorder every instrumented layer shares: a clock, a span ring,
+/// and streaming per-kernel / per-frame histograms behind one cheaply
+/// clonable handle (`Arc`; cloning is a refcount bump).
+///
+/// Recording is lock-then-store: the mutex is uncontended within one
+/// session (sessions each own a hub) and the hot path performs no
+/// allocation — the allocation-free contract is gated in
+/// `eudoxus-bench/tests/alloc_free.rs`.
+///
+/// Telemetry is *observation only*: nothing read from the hub ever
+/// feeds back into estimation or control, which is what makes armed
+/// sessions bit-identical to plain ones.
+#[derive(Clone)]
+pub struct TelemetryHub {
+    inner: Arc<Mutex<HubInner>>,
+}
+
+impl std::fmt::Debug for TelemetryHub {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let inner = self.inner.lock().expect("telemetry poisoned");
+        f.debug_struct("TelemetryHub")
+            .field("spans", &inner.ring.len())
+            .field("dropped", &inner.ring.dropped())
+            .field("track", &inner.track)
+            .finish()
+    }
+}
+
+impl TelemetryHub {
+    /// A hub with the given ring capacity and clock.
+    pub fn new(config: TelemetryConfig) -> Self {
+        let clock = match config.clock {
+            ClockSource::Wall => HubClock::Wall(WallClock::new()),
+            ClockSource::Model { tick_ns } => HubClock::Model(ModelClock::new(tick_ns)),
+        };
+        TelemetryHub {
+            inner: Arc::new(Mutex::new(HubInner {
+                ring: SpanRing::new(config.span_capacity),
+                clock,
+                frame_hist: Histogram::new(),
+                kernel_hists: Vec::with_capacity(KERNEL_SLOTS),
+                track: 0,
+            })),
+        }
+    }
+
+    /// Sets the trace track (chrome `tid`) stamped on subsequent spans;
+    /// the session manager assigns one per agent.
+    pub fn set_track(&self, track: u32) {
+        self.inner.lock().expect("telemetry poisoned").track = track;
+    }
+
+    /// Reads the clock — the start timestamp for a span about to open.
+    pub fn start(&self) -> u64 {
+        self.inner.lock().expect("telemetry poisoned").clock.now_ns()
+    }
+
+    /// Closes a span opened at `start_ns`: reads the clock for the end
+    /// time, records the span, and feeds the matching histogram
+    /// ([`SpanScope::Frame`] → the frame histogram, [`SpanScope::Kernel`]
+    /// → that kernel's). Returns the duration in nanoseconds.
+    pub fn record(
+        &self,
+        scope: SpanScope,
+        kernel: &'static str,
+        frame_idx: u64,
+        start_ns: u64,
+    ) -> u64 {
+        let mut inner = self.inner.lock().expect("telemetry poisoned");
+        let end = inner.clock.now_ns();
+        let dur_ns = end.saturating_sub(start_ns);
+        let track = inner.track;
+        inner.ring.record(Span {
+            scope,
+            kernel,
+            frame_idx,
+            start_ns,
+            dur_ns,
+            track,
+        });
+        match scope {
+            SpanScope::Frame => inner.frame_hist.record(dur_ns),
+            SpanScope::Kernel => inner.hist_for(kernel).record(dur_ns),
+            _ => {}
+        }
+        dur_ns
+    }
+
+    /// Moves all retained spans (oldest-first) into `out`.
+    pub fn drain_into(&self, out: &mut Vec<Span>) {
+        self.inner
+            .lock()
+            .expect("telemetry poisoned")
+            .ring
+            .drain_into(out);
+    }
+
+    /// All retained spans, oldest-first (convenience over `drain_into`).
+    pub fn drain(&self) -> Vec<Span> {
+        let mut out = Vec::new();
+        self.drain_into(&mut out);
+        out
+    }
+
+    /// Total spans ever recorded.
+    pub fn spans_recorded(&self) -> u64 {
+        self.inner.lock().expect("telemetry poisoned").ring.recorded()
+    }
+
+    /// Spans overwritten because the ring was full.
+    pub fn spans_dropped(&self) -> u64 {
+        self.inner.lock().expect("telemetry poisoned").ring.dropped()
+    }
+
+    /// Snapshot of the per-frame latency histogram.
+    pub fn frame_histogram(&self) -> Histogram {
+        self.inner
+            .lock()
+            .expect("telemetry poisoned")
+            .frame_hist
+            .clone()
+    }
+
+    /// Snapshots of every kernel histogram seen so far, in first-seen
+    /// order.
+    pub fn kernel_histograms(&self) -> Vec<(&'static str, Histogram)> {
+        self.inner
+            .lock()
+            .expect("telemetry poisoned")
+            .kernel_hists
+            .clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hub_records_and_drains_spans() {
+        let hub = TelemetryHub::new(TelemetryConfig::deterministic(1_000));
+        let t0 = hub.start();
+        hub.record(SpanScope::Kernel, "detect_fast", 0, t0);
+        let t1 = hub.start();
+        hub.record(SpanScope::Frame, "frame", 0, t1);
+        let spans = hub.drain();
+        assert_eq!(spans.len(), 2);
+        assert_eq!(spans[0].kernel, "detect_fast");
+        assert_eq!(spans[1].scope, SpanScope::Frame);
+        assert!(spans[1].start_ns > spans[0].start_ns);
+        assert!(hub.drain().is_empty(), "drain empties the ring");
+        assert_eq!(hub.spans_recorded(), 2);
+    }
+
+    #[test]
+    fn hub_histograms_split_frame_and_kernel() {
+        let hub = TelemetryHub::new(TelemetryConfig::deterministic(500));
+        for i in 0..10u64 {
+            let t = hub.start();
+            hub.record(SpanScope::Kernel, "klt", i, t);
+            let t = hub.start();
+            hub.record(SpanScope::Frame, "frame", i, t);
+        }
+        assert_eq!(hub.frame_histogram().count(), 10);
+        let kernels = hub.kernel_histograms();
+        assert_eq!(kernels.len(), 1);
+        assert_eq!(kernels[0].0, "klt");
+        assert_eq!(kernels[0].1.count(), 10);
+    }
+
+    #[test]
+    fn deterministic_hubs_replay_bit_for_bit() {
+        let run = || {
+            let hub = TelemetryHub::new(TelemetryConfig::deterministic(250));
+            for i in 0..5u64 {
+                let t = hub.start();
+                hub.record(SpanScope::Kernel, "stereo", i, t);
+            }
+            hub.drain()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn track_is_stamped_on_spans() {
+        let hub = TelemetryHub::new(TelemetryConfig::deterministic(1));
+        hub.set_track(7);
+        let t = hub.start();
+        hub.record(SpanScope::Worker, "drain", 3, t);
+        let spans = hub.drain();
+        assert_eq!(spans[0].track, 7);
+        assert_eq!(spans[0].frame_idx, 3);
+    }
+
+    #[test]
+    fn clones_share_the_ring() {
+        let hub = TelemetryHub::new(TelemetryConfig::deterministic(1));
+        let other = hub.clone();
+        let t = other.start();
+        other.record(SpanScope::Backend, "vio", 0, t);
+        assert_eq!(hub.drain().len(), 1);
+    }
+}

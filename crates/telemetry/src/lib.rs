@@ -1,0 +1,65 @@
+//! Zero-allocation tracing and metrics for Eudoxus.
+//!
+//! The paper's core contribution is a *characterization* — per-kernel
+//! latency breakdowns (Figs. 5–11) that justify the accelerator. This
+//! crate is the reproduction's own characterization substrate: every
+//! layer above it (frontend kernels, sessions, engines, the fleet
+//! manager, the bench bins) observes itself through three primitives:
+//!
+//! * **Spans** — [`Span`] intervals recorded into a fixed-capacity
+//!   [`SpanRing`] whose steady-state recording path performs **zero
+//!   heap allocations** (gated by the counting allocator in
+//!   `eudoxus-bench`). A [`Clock`] stamps them: [`WallClock`] for real
+//!   profiling, deterministic [`ModelClock`] for wall-clock-free tests
+//!   and replays — the same rule as everywhere else in Eudoxus, where
+//!   only *modeled* quantities are reproducible.
+//! * **Counters** — a [`CounterRegistry`] into which every stats
+//!   surface publishes via the [`Telemetry`] trait, yielding the whole
+//!   system's state as one flat, sorted, diffable `key → value`
+//!   snapshot with a single shared printer.
+//! * **Histograms** — fixed log-bucketed [`Histogram`]s streaming
+//!   p50/p90/p99 per kernel and per frame, also allocation-free.
+//!
+//! [`TelemetryHub`] bundles a clock, a ring, and the histograms behind
+//! one clonable handle; `SessionBuilder::telemetry` (in `eudoxus-core`)
+//! arms it per session. Exporters ([`json_lines`], [`chrome_trace_json`])
+//! turn drained spans into grep-able lines or a Perfetto-loadable
+//! `chrome_trace.json`, and [`validate_chrome_trace`] is the structural
+//! load-check CI smokes against.
+//!
+//! This crate is a true leaf — nothing beyond `std`, below even
+//! `eudoxus-geometry` in the layering — so observation never constrains
+//! architecture. Telemetry is strictly one-way: nothing read back from
+//! a hub feeds estimation or control, which is why armed sessions stay
+//! bit-identical to plain ones.
+//!
+//! # Example
+//!
+//! ```
+//! use eudoxus_telemetry::{SpanScope, TelemetryConfig, TelemetryHub};
+//!
+//! let hub = TelemetryHub::new(TelemetryConfig::deterministic(1_000));
+//! for frame in 0..4 {
+//!     let t0 = hub.start();
+//!     // ... do the frame's work ...
+//!     hub.record(SpanScope::Frame, "frame", frame, t0);
+//! }
+//! assert_eq!(hub.frame_histogram().count(), 4);
+//! let trace = eudoxus_telemetry::chrome_trace_json(&hub.drain());
+//! let summary = eudoxus_telemetry::validate_chrome_trace(&trace).unwrap();
+//! assert_eq!(summary.frame_spans, 4);
+//! ```
+
+pub mod clock;
+pub mod counter;
+pub mod export;
+pub mod hist;
+pub mod hub;
+pub mod span;
+
+pub use clock::{Clock, ModelClock, WallClock};
+pub use counter::{CounterRegistry, MetricValue, Telemetry};
+pub use export::{chrome_trace_json, json_lines, validate_chrome_trace, ChromeTraceSummary};
+pub use hist::Histogram;
+pub use hub::{ClockSource, TelemetryConfig, TelemetryHub};
+pub use span::{Span, SpanRing, SpanScope};

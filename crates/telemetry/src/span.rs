@@ -1,0 +1,230 @@
+//! Spans and the fixed-capacity ring that records them.
+
+/// What layer of the system a span measures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SpanScope {
+    /// A whole pushed frame, ingest to record.
+    Frame,
+    /// One frontend compute kernel (blur, FAST, ORB, stereo, KLT, …).
+    Kernel,
+    /// The backend estimator step (or dead-reckoning fallback).
+    Backend,
+    /// The execution engine's offload plan + pricing pass.
+    Engine,
+    /// The health monitor's observe/verdict pass.
+    Health,
+    /// A `SessionManager` worker draining an agent's inbox.
+    Worker,
+}
+
+impl SpanScope {
+    /// Stable lowercase name (chrome-trace category, JSON field).
+    pub fn name(self) -> &'static str {
+        match self {
+            SpanScope::Frame => "frame",
+            SpanScope::Kernel => "kernel",
+            SpanScope::Backend => "backend",
+            SpanScope::Engine => "engine",
+            SpanScope::Health => "health",
+            SpanScope::Worker => "worker",
+        }
+    }
+}
+
+/// One completed measurement: a named interval at a scope, pinned to a
+/// frame and a track (agent) for multi-session traces.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Span {
+    /// The layer this span measures.
+    pub scope: SpanScope,
+    /// The kernel (or stage) name. `&'static str` by design: recording
+    /// must never allocate, and the set of stages is closed.
+    pub kernel: &'static str,
+    /// The frame index the work belongs to (for [`SpanScope::Worker`]
+    /// spans, the worker index instead).
+    pub frame_idx: u64,
+    /// Start time in nanoseconds since the recorder's clock epoch.
+    pub start_ns: u64,
+    /// Duration in nanoseconds.
+    pub dur_ns: u64,
+    /// Trace track (chrome-trace `tid`); the session manager assigns
+    /// one per agent so fleet traces stay readable.
+    pub track: u32,
+}
+
+impl Span {
+    /// End time in nanoseconds (saturating).
+    pub fn end_ns(&self) -> u64 {
+        self.start_ns.saturating_add(self.dur_ns)
+    }
+
+    /// Duration in milliseconds.
+    pub fn dur_ms(&self) -> f64 {
+        self.dur_ns as f64 / 1e6
+    }
+}
+
+/// Fixed-capacity span recorder: a ring buffer that overwrites the
+/// oldest span once full (counting what it dropped) so the steady-state
+/// recording path never allocates.
+///
+/// All storage is reserved at construction; [`SpanRing::record`]
+/// performs a bounds-checked store and two integer updates — nothing
+/// else. The allocation-free claim is enforced by the counting-allocator
+/// gate in `eudoxus-bench` (`tests/alloc_free.rs`).
+#[derive(Debug, Clone)]
+pub struct SpanRing {
+    buf: Vec<Span>,
+    capacity: usize,
+    /// Index of the oldest retained span.
+    head: usize,
+    /// Number of retained spans (≤ capacity).
+    len: usize,
+    /// Spans overwritten because the ring was full.
+    dropped: u64,
+    /// Total spans ever recorded.
+    recorded: u64,
+}
+
+impl SpanRing {
+    /// A ring holding at most `capacity` spans (min 1).
+    pub fn new(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        SpanRing {
+            buf: Vec::with_capacity(capacity),
+            capacity,
+            head: 0,
+            len: 0,
+            dropped: 0,
+            recorded: 0,
+        }
+    }
+
+    /// Maximum number of retained spans.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Retained spans.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether no spans are retained.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Spans overwritten because the ring was full.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Total spans ever recorded (retained + dropped).
+    pub fn recorded(&self) -> u64 {
+        self.recorded
+    }
+
+    /// Records one span, overwriting the oldest if the ring is full.
+    /// Never allocates once the ring has been filled to capacity — the
+    /// backing `Vec` only grows (within its reserved capacity) while
+    /// cold.
+    pub fn record(&mut self, span: Span) {
+        self.recorded += 1;
+        if self.buf.len() < self.capacity {
+            self.buf.push(span);
+            self.len += 1;
+        } else {
+            let slot = (self.head + self.len) % self.capacity;
+            self.buf[slot] = span;
+            if self.len < self.capacity {
+                self.len += 1;
+            } else {
+                self.head = (self.head + 1) % self.capacity;
+                self.dropped += 1;
+            }
+        }
+    }
+
+    /// Iterates the retained spans oldest-first without consuming them.
+    pub fn iter(&self) -> impl Iterator<Item = &Span> {
+        (0..self.len).map(move |i| &self.buf[(self.head + i) % self.capacity])
+    }
+
+    /// Moves every retained span (oldest-first) into `out` and empties
+    /// the ring. The drain path may grow `out`; the *recording* path is
+    /// the one under the zero-allocation contract.
+    pub fn drain_into(&mut self, out: &mut Vec<Span>) {
+        out.reserve(self.len);
+        for i in 0..self.len {
+            out.push(self.buf[(self.head + i) % self.capacity]);
+        }
+        self.head = 0;
+        self.len = 0;
+        self.buf.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn span(i: u64) -> Span {
+        Span {
+            scope: SpanScope::Kernel,
+            kernel: "detect_fast",
+            frame_idx: i,
+            start_ns: i * 10,
+            dur_ns: 5,
+            track: 0,
+        }
+    }
+
+    #[test]
+    fn ring_retains_in_order() {
+        let mut ring = SpanRing::new(4);
+        for i in 0..3 {
+            ring.record(span(i));
+        }
+        let idx: Vec<u64> = ring.iter().map(|s| s.frame_idx).collect();
+        assert_eq!(idx, vec![0, 1, 2]);
+        assert_eq!(ring.dropped(), 0);
+    }
+
+    #[test]
+    fn ring_overwrites_oldest_when_full() {
+        let mut ring = SpanRing::new(3);
+        for i in 0..7 {
+            ring.record(span(i));
+        }
+        let idx: Vec<u64> = ring.iter().map(|s| s.frame_idx).collect();
+        assert_eq!(idx, vec![4, 5, 6]);
+        assert_eq!(ring.dropped(), 4);
+        assert_eq!(ring.recorded(), 7);
+    }
+
+    #[test]
+    fn ring_drains_oldest_first_and_resets() {
+        let mut ring = SpanRing::new(3);
+        for i in 0..5 {
+            ring.record(span(i));
+        }
+        let mut out = Vec::new();
+        ring.drain_into(&mut out);
+        let idx: Vec<u64> = out.iter().map(|s| s.frame_idx).collect();
+        assert_eq!(idx, vec![2, 3, 4]);
+        assert!(ring.is_empty());
+        // The ring keeps recording after a drain.
+        ring.record(span(9));
+        assert_eq!(ring.len(), 1);
+        assert_eq!(ring.iter().next().unwrap().frame_idx, 9);
+    }
+
+    #[test]
+    fn span_accessors() {
+        let s = span(2);
+        assert_eq!(s.end_ns(), 25);
+        assert!((s.dur_ms() - 5e-6).abs() < 1e-15);
+        assert_eq!(SpanScope::Frame.name(), "frame");
+    }
+}

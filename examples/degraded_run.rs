@@ -67,11 +67,16 @@ fn main() {
     }
 
     let stats = session.health_stats();
-    let counters = session.fault_counters().expect("faults attached");
     let faulted_log = RunLog { records };
-    println!("\n--- mission report ---");
-    println!("injector: {counters}");
-    println!("health:   {stats}");
+
+    // One flat snapshot instead of per-struct Display lines: every stats
+    // surface the session carries (health, throttle, faults, link when
+    // attached) lands in a single sorted `key = value` dump, so the
+    // report keeps itself in sync as stats structs grow fields.
+    let mut reg = CounterRegistry::new();
+    session.publish_counters(&mut reg);
+    println!("\n--- mission report ({} counters) ---", reg.len());
+    print!("{reg}");
     println!(
         "pose RMSE: clean {:.3} m, faulted {:.3} m ({} of {} frames served)",
         clean_log.translation_rmse(),

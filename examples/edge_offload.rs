@@ -88,7 +88,12 @@ fn main() {
         }
         let run = log.execution_run().expect("every record carries a report");
         let stats = session.engine().link_stats().expect("link attached");
-        println!("{stats}");
+        // Per-profile snapshot via the shared counter-registry printer:
+        // the link's counters appear under `link.*` alongside the health
+        // and throttle surfaces the session always carries.
+        let mut reg = CounterRegistry::new();
+        session.publish_counters(&mut reg);
+        print!("{reg}");
         println!(
             "offload rate {:.0}% | fallback rate {:.0}% | modeled {:.1} ms mean\n",
             run.offload_rate() * 100.0,

@@ -1,8 +1,10 @@
 //! Quickstart: localize a vehicle on a synthetic outdoor traversal.
 //!
 //! Generates a KITTI-like street scenario, runs the unified Eudoxus
-//! pipeline (the environment selects VIO+GPS), and prints accuracy and
-//! per-stage latency.
+//! pipeline (the environment selects VIO+GPS) with telemetry armed, and
+//! prints accuracy, per-stage latency, span-sourced frame percentiles —
+//! and writes `chrome_trace.json`, loadable in Perfetto or
+//! `chrome://tracing`.
 //!
 //! Run with: `cargo run --release --example quickstart`
 
@@ -24,7 +26,9 @@ fn main() {
     );
 
     println!("running the unified localization pipeline…");
-    let mut system = SessionBuilder::new(PipelineConfig::anchored()).build_batch();
+    let mut system = SessionBuilder::new(PipelineConfig::anchored())
+        .telemetry(TelemetryConfig::new())
+        .build_batch();
     let log = system.process_dataset(&dataset);
 
     let summary = log.latency_summary(None);
@@ -40,6 +44,29 @@ fn main() {
         "  frontend/backend:  {:.1} / {:.1} ms mean",
         Summary::of(&log.frontend_ms(None)).mean,
         Summary::of(&log.backend_ms(None)).mean,
+    );
+
+    // The telemetry hub recorded a span per frame (and per frontend
+    // kernel): percentiles come from the streaming histogram, and the
+    // span ring exports a chrome://tracing file Perfetto loads directly.
+    let hub = system.session().telemetry().expect("telemetry armed").clone();
+    let frame_hist = hub.frame_histogram();
+    println!(
+        "  frame percentiles: p50 {:.1} / p90 {:.1} / p99 {:.1} ms",
+        frame_hist.p50_ms(),
+        frame_hist.p90_ms(),
+        frame_hist.p99_ms()
+    );
+    let trace = chrome_trace_json(&hub.drain());
+    let report = validate_chrome_trace(&trace).expect("exported trace must validate");
+    assert!(
+        report.frame_spans >= 1,
+        "trace must contain at least one complete frame span"
+    );
+    std::fs::write("chrome_trace.json", &trace).expect("write chrome_trace.json");
+    println!(
+        "  trace:             chrome_trace.json ({} events, {} frame spans)",
+        report.events, report.frame_spans
     );
 
     // Replay the measured run through the EDX-CAR accelerator model.

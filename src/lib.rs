@@ -16,6 +16,7 @@
 //! | [`math`] | `eudoxus-math` | dense linear algebra (QR/Cholesky/LU, Schur) |
 //! | [`geometry`] | `eudoxus-geometry` | SO(3)/SE(3), cameras, triangulation |
 //! | [`image`] | `eudoxus-image` | filtering, gradients, pyramids |
+//! | [`telemetry`] | `eudoxus-telemetry` | zero-allocation spans, histograms, counter registry, trace export |
 //! | [`stream`] | `eudoxus-stream` | sensor event model, environment taxonomy, sources/queues/mux |
 //! | [`sim`] | `eudoxus-sim` | synthetic worlds, sensors, datasets |
 //! | [`frontend`] | `eudoxus-frontend` | FAST, ORB, stereo, Lucas–Kanade |
@@ -239,6 +240,49 @@
 //! `control_loop` block of `BENCH_throughput.json` (throttle rate, shed
 //! counters, modeled-vs-unthrottled frame period).
 //!
+//! # Observing a running fleet
+//!
+//! The leaf `eudoxus-telemetry` crate is the one observability surface
+//! every layer shares: fixed-capacity allocation-free span recording
+//! ([`SpanRing`](eudoxus_telemetry::SpanRing)), streaming log-bucketed
+//! latency histograms with p50/p90/p99, a unified
+//! [`CounterRegistry`](eudoxus_telemetry::CounterRegistry) snapshot that
+//! every stats struct publishes into, and JSON-lines /
+//! `chrome://tracing` exporters (load the trace in Perfetto). Arm it
+//! with `SessionBuilder::telemetry(..)` — off by default, and an armed
+//! session stays bit-identical to a plain one (telemetry observes, it
+//! never steers):
+//!
+//! ```no_run
+//! use eudoxus::prelude::*;
+//!
+//! let dataset = ScenarioBuilder::new(ScenarioKind::Mixed).frames(20).build();
+//! let mut session = SessionBuilder::new(PipelineConfig::anchored())
+//!     .telemetry(TelemetryConfig::new())
+//!     .build();
+//! for event in dataset.events() {
+//!     session.push(event);
+//! }
+//! let hub = session.telemetry().unwrap();
+//! println!("frame p99 {:.2} ms", hub.frame_histogram().p99_ms());
+//! let trace = chrome_trace_json(&hub.drain());
+//! std::fs::write("chrome_trace.json", trace).unwrap();
+//! // One flat sorted snapshot of every counter the session carries:
+//! let mut reg = CounterRegistry::new();
+//! session.publish_counters(&mut reg);
+//! print!("{reg}");
+//! ```
+//!
+//! Each frame opens a `frame` span with `backend_step`, `execute_frame`
+//! and `health_observe` sub-spans, and the frontend stamps each of its
+//! six kernels (`gaussian_blur`, `detect_fast`, `compute_orb`,
+//! `match_stereo`, `pyramid_rebuild`, `track_pyramidal`); fleet
+//! managers tag each agent's spans with its own chrome-trace track. The
+//! bench bins time themselves from the same rings — the
+//! `frame_latency_ms` / `kernel_percentiles_us` blocks of
+//! `BENCH_throughput.json` are drained spans, not ad-hoc stopwatch
+//! arithmetic.
+//!
 //! # Performance
 //!
 //! The steady-state frame path is allocation-free and multi-core:
@@ -283,6 +327,7 @@ pub use eudoxus_link as link;
 pub use eudoxus_math as math;
 pub use eudoxus_sim as sim;
 pub use eudoxus_stream as stream;
+pub use eudoxus_telemetry as telemetry;
 pub use eudoxus_vocab as vocab;
 
 /// The most common imports, in one place.
@@ -305,6 +350,10 @@ pub mod prelude {
     pub use eudoxus_stream::{
         Environment, EventSource, IngestQueue, OverflowPolicy, SensorEvent, SourcePoll, StreamMux,
     };
+    pub use eudoxus_telemetry::{
+        chrome_trace_json, json_lines, validate_chrome_trace, CounterRegistry, Histogram, Span,
+        SpanScope, Telemetry, TelemetryConfig, TelemetryHub,
+    };
 }
 
 #[cfg(test)]
@@ -323,6 +372,9 @@ mod tests {
         let _ = ThrottleConfig::new(33.0);
         let _ = AdmissionConfig::new(33.0);
         let _ = FrameDirective::throttled();
+        let _ = TelemetryConfig::new();
+        let _ = CounterRegistry::new();
+        let _ = Histogram::new();
         assert!(FaultPlan::default().is_empty());
     }
 }
